@@ -1,0 +1,99 @@
+"""A2 — Assignment 2: tiling and lazy evaluation.
+
+"Students are invited to implement a tiled parallel version to maximize
+cache reuse ... they have to develop a lazy evaluation algorithm that
+avoids computing tiles whose neighborhood was in a steady state ...
+students have to experiment with various scheduling policies and various
+tile sizes."
+
+Sweeps tile sizes with lazy evaluation on and off over a sparse
+configuration; reports wall time, tile visits, and the lazy skip
+fraction.  Expected shape: lazy skips the bulk of tile visits on sparse
+configurations and never changes the fixpoint.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import emit, once
+from repro.common.tables import Table
+from repro.sandpile import run_to_fixpoint, sparse_random
+from repro.sandpile.theory import stabilize
+
+SIZE = 256
+
+
+def fresh_grid():
+    return sparse_random(SIZE, SIZE, n_piles=8, pile_grains=8_192, seed=12)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return stabilize(fresh_grid())
+
+
+@pytest.fixture(scope="module")
+def sweep(oracle):
+    rows = []
+    for tile in (16, 32, 64, 128):
+        for lazy in (False, True):
+            g = fresh_grid()
+            t0 = time.perf_counter()
+            r = run_to_fixpoint(g, "asandpile", "lazy" if lazy else "tiled", tile_size=tile)
+            dt = time.perf_counter() - t0
+            assert np.array_equal(g.interior, oracle.interior)
+            rows.append(
+                dict(tile=tile, lazy=lazy, seconds=dt, iterations=r.iterations,
+                     computed=r.tiles_computed, skipped=r.tiles_skipped,
+                     skip_frac=r.skip_fraction)
+            )
+    return rows
+
+
+def test_a2_report(benchmark, sweep):
+    t = Table(
+        ["tile", "lazy", "seconds", "iterations", "tiles computed", "tiles skipped", "skip %"],
+        title=f"A2: tile-size sweep on {SIZE}x{SIZE} sparse",
+    )
+    for row in sweep:
+        t.add_row([f"{row['tile']}x{row['tile']}", row["lazy"], row["seconds"],
+                   row["iterations"], row["computed"], row["skipped"],
+                   f"{100 * row['skip_frac']:.1f}"])
+    once(benchmark, lambda: emit("A2 - tiling & lazy evaluation", t.render()))
+
+    # lazy must skip a large fraction at fine tile sizes (coarse tiles
+    # cover more activity each, so their skip rate is naturally lower)
+    for row in sweep:
+        if row["lazy"] and row["tile"] <= 32:
+            assert row["skip_frac"] > 0.3, row
+
+    # lazy computes strictly fewer tiles than eager at the same tile size
+    by_key = {(r["tile"], r["lazy"]): r for r in sweep}
+    for tile in (16, 32, 64, 128):
+        assert by_key[(tile, True)]["computed"] < by_key[(tile, False)]["computed"]
+
+    # smaller tiles -> finer skipping -> higher skip fraction
+    fracs = [by_key[(tile, True)]["skip_frac"] for tile in (16, 32, 64, 128)]
+    assert fracs[0] > fracs[-1]
+
+
+def test_bench_lazy_32(benchmark, oracle):
+    def run():
+        g = fresh_grid()
+        run_to_fixpoint(g, "asandpile", "lazy", tile_size=32)
+        return g
+
+    g = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(g.interior, oracle.interior)
+
+
+def test_bench_eager_32(benchmark, oracle):
+    def run():
+        g = fresh_grid()
+        run_to_fixpoint(g, "asandpile", "tiled", tile_size=32)
+        return g
+
+    g = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(g.interior, oracle.interior)

@@ -1,0 +1,115 @@
+"""A4 — Assignment 4: the Ghost Cell Pattern and the halo-depth trade-off.
+
+"In every iteration, each pair of neighboring processes exchange a copy of
+their borders. However, the communication overheads are such that students
+have to develop a solution that trades redundant computation for
+less-frequent communication."
+
+Sweeps rank counts and halo depths; reports messages, bytes, redundant
+iterations, and virtual makespan under a high-latency network where the
+trade-off pays off.  Expected shape: halo depth k cuts message count ~k
+times; with expensive messages the deeper halo wins overall despite the
+redundant rows it recomputes.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit, once
+from repro.common.tables import Table
+from repro.sandpile import center_pile, run_distributed, run_distributed_2d
+from repro.sandpile.theory import stabilize
+from repro.simmpi import CostModel
+
+SIZE = 192
+GRAINS = 24_000
+#: an expensive network, where saving messages matters
+WAN = CostModel(latency=2e-3, bandwidth=1e9)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return stabilize(center_pile(SIZE, SIZE, GRAINS))
+
+
+@pytest.fixture(scope="module")
+def depth_sweep(oracle):
+    grid = center_pile(SIZE, SIZE, GRAINS)
+    out = {}
+    for depth in (1, 2, 4, 8):
+        res = run_distributed(grid, 4, halo_depth=depth, cost_model=WAN)
+        assert np.array_equal(res.final.interior, oracle.interior)
+        out[depth] = res
+    return out
+
+
+def test_a4_halo_depth_report(benchmark, depth_sweep):
+    t = Table(
+        ["halo depth", "supersteps", "iterations", "messages", "MB", "virtual makespan"],
+        title=f"A4: halo-depth trade-off, {SIZE}x{SIZE}, 4 ranks, 2ms-latency network",
+    )
+    for depth, res in depth_sweep.items():
+        t.add_row([depth, res.supersteps, res.iterations, res.messages,
+                   res.comm_bytes / 1e6, res.makespan])
+    once(benchmark, lambda: emit("A4 - ghost cells: redundant compute vs communication", t.render()))
+
+    # messages fall roughly k-fold with halo depth
+    m = {d: r.messages for d, r in depth_sweep.items()}
+    assert m[1] > m[2] > m[4] > m[8]
+    assert m[1] / m[4] > 2.5
+    # redundant computation: deeper halos never need fewer iterations
+    it = {d: r.iterations for d, r in depth_sweep.items()}
+    assert it[8] >= it[1]
+    # with expensive messages, a deeper halo wins wall-clock
+    assert depth_sweep[4].makespan < depth_sweep[1].makespan
+
+
+def test_a4_rank_scaling(benchmark, oracle):
+    # cheap LAN-like network here: the point is compute scaling, not the
+    # message trade-off (that is the WAN table above)
+    lan = CostModel()
+    grid = center_pile(SIZE, SIZE, GRAINS)
+    t = Table(["ranks", "messages", "MB", "virtual makespan"], title="A4: rank sweep (halo 2, LAN)")
+    makespans = {}
+    for nranks in (1, 2, 4, 8):
+        res = run_distributed(grid, nranks, halo_depth=2, cost_model=lan)
+        assert np.array_equal(res.final.interior, oracle.interior)
+        makespans[nranks] = res.makespan
+        t.add_row([nranks, res.messages, res.comm_bytes / 1e6, res.makespan])
+    once(benchmark, lambda: emit("A4 - rank scaling", t.render()))
+    # compute shrinks per rank: 4 ranks beat 1 despite communication
+    assert makespans[4] < makespans[1]
+
+
+def test_a4_1d_vs_2d_decomposition(benchmark, oracle):
+    """The go-further comparison: row blocks vs 2D blocks at 9 ranks."""
+    import numpy as np
+
+    grid = center_pile(SIZE, SIZE, GRAINS)
+    res_1d = run_distributed(grid, 9, halo_depth=1, cost_model=WAN)
+    res_2d = run_distributed_2d(grid, 9, dims=(3, 3), halo_depth=1, cost_model=WAN)
+    assert np.array_equal(res_1d.final.interior, oracle.interior)
+    assert np.array_equal(res_2d.final.interior, oracle.interior)
+    t = Table(["decomposition", "messages", "MB", "virtual makespan"],
+              title=f"A4: 1D row blocks vs 2D blocks, 9 ranks, {SIZE}x{SIZE}")
+    t.add_row(["1D (9x1)", res_1d.messages, res_1d.comm_bytes / 1e6, res_1d.makespan])
+    t.add_row(["2D (3x3)", res_2d.messages, res_2d.comm_bytes / 1e6, res_2d.makespan])
+    once(benchmark, lambda: emit("A4 - decomposition geometry", t.render()))
+    # the 2D halo surface is smaller: fewer bytes cross the network
+    assert res_2d.comm_bytes < res_1d.comm_bytes
+
+
+def test_bench_distributed_halo1(benchmark, oracle):
+    grid = center_pile(SIZE, SIZE, GRAINS)
+    res = benchmark.pedantic(
+        lambda: run_distributed(grid, 4, halo_depth=1, cost_model=WAN), rounds=1, iterations=1
+    )
+    assert np.array_equal(res.final.interior, oracle.interior)
+
+
+def test_bench_distributed_halo4(benchmark, oracle):
+    grid = center_pile(SIZE, SIZE, GRAINS)
+    res = benchmark.pedantic(
+        lambda: run_distributed(grid, 4, halo_depth=4, cost_model=WAN), rounds=1, iterations=1
+    )
+    assert np.array_equal(res.final.interior, oracle.interior)

@@ -1,0 +1,104 @@
+"""Ablation — the MapReduce combiner.
+
+Measures what the combiner actually buys on the temperature job (shuffle
+volume, reduce input) and demonstrates the classic correctness trap: a
+non-associative "mean of means" combiner silently produces split-dependent
+answers.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.climate.dwd import generate_dataset
+from repro.climate.jobs import (
+    annual_mean_job,
+    make_averaging_mapper,
+    mean_reducer,
+    naive_mean_of_means_combiner,
+)
+from repro.common.tables import Table
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.textio import text_splits
+
+
+@pytest.fixture(scope="module")
+def lines():
+    ds = generate_dataset(1881, 2019, seed=42)
+    return [l for f in ds.month_files().values() for l in f]
+
+
+def test_combiner_volume_report(benchmark, lines):
+    t = Table(
+        ["splits", "combiner", "shuffle records", "reduce inputs", "shrinkage"],
+        title="combiner ablation: annual-mean job, 1881-2019",
+    )
+    shrinkages = {}
+    for n_splits in (4, 16, 48):
+        base = run_job(annual_mean_job(with_combiner=False), text_splits(lines, n_splits))
+        comb = run_job(annual_mean_job(with_combiner=True), text_splits(lines, n_splits))
+        for label, result in [("off", base), ("on", comb)]:
+            shuffle = result.counters.value("task", "shuffle_records")
+            reduce_in = result.counters.value("task", "reduce_input_records")
+            t.add_row([n_splits, label, shuffle, reduce_in, ""])
+        ratio = base.counters.value("task", "shuffle_records") / max(
+            comb.counters.value("task", "shuffle_records"), 1
+        )
+        shrinkages[n_splits] = ratio
+        t.add_row([n_splits, "->", "", "", f"{ratio:.1f}x"])
+        # identical answers regardless
+        assert {k: round(v, 9) for k, v in base.pairs} == {k: round(v, 9) for k, v in comb.pairs}
+    once(benchmark, lambda: emit("ABL - combiner shuffle volume", t.render()))
+
+    # the combiner collapses per-split records to ~one per (split, year):
+    # an order of magnitude at least on this data
+    assert shrinkages[4] > 10
+    # fewer records per split -> less to collapse -> smaller ratio
+    assert shrinkages[48] < shrinkages[4]
+
+
+def test_wrong_combiner_split_dependence(benchmark):
+    # station-file rows are one sample each, so split boundaries cut years
+    # into *unequal* groups whose month-level means differ seasonally — the
+    # precondition for the mean-of-means bias.  (Month-file rows hold all
+    # 16 states, giving accidentally-equal group sizes that mask the bug;
+    # the trap strikes exactly when you change the input shape...)
+    from repro.climate.dwd import generate_dataset
+    from repro.climate.jobs import parse_station_file_line
+
+    ds = generate_dataset(1881, 2019, seed=42)
+    station_lines = [l for f in ds.station_files().values() for l in f]
+    job = MapReduceJob(
+        mapper=make_averaging_mapper(parse_station_file_line),
+        reducer=mean_reducer,
+        combiner=naive_mean_of_means_combiner,
+        name="annual-mean[WRONG combiner]",
+    )
+    answers = {}
+    for n_splits in (1, 7, 48):
+        result = run_job(job, text_splits(station_lines, n_splits))
+        answers[n_splits] = dict(result.pairs)
+    spread = max(
+        abs(answers[a][y] - answers[b][y])
+        for a in answers for b in answers for y in answers[1]
+    )
+    worst_year = max(
+        answers[1],
+        key=lambda y: max(abs(answers[a][y] - answers[b][y]) for a in answers for b in answers),
+    )
+    once(benchmark, lambda: emit(
+        "ABL - the mean-of-means trap",
+        f"worst year {worst_year} 'annual mean' vs split count: "
+        + ", ".join(f"{n}->{answers[n][worst_year]:.3f}" for n in sorted(answers))
+        + f"\nmax disagreement across all years: {spread:.3f} degC "
+          "(a correct combiner disagrees by ~1e-12)",
+    ))
+    assert spread > 0.2  # visibly, badly wrong
+
+
+def test_bench_job_with_combiner(benchmark, lines):
+    splits = text_splits(lines, 16)
+    result = benchmark.pedantic(
+        lambda: run_job(annual_mean_job(with_combiner=True), splits), rounds=2, iterations=1
+    )
+    assert len(result.pairs) == 139

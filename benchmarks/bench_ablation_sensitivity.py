@@ -1,0 +1,76 @@
+"""Ablation — how robust are the carbon verdicts to the calibration?
+
+The reproduction's substrate is a calibrated simulator; this bench sweeps
+the most contestable calibration knobs at paper scale and reports where
+the four headline verdicts (heuristic wins; cloud greener; cloud slower;
+mixed beats pure) hold or flip:
+
+* ``link_bandwidth`` — a fat WAN erodes the cloud's time penalty;
+* ``cloud_carbon_intensity`` — a dirtier cloud stops being greener;
+* ``idle_watts`` — high idle power is what makes powering off valuable.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.carbon.sensitivity import sweep_parameter
+from repro.common.tables import Table
+
+SWEEPS = {
+    "link_bandwidth": [12.5e6, 50e6, 400e6],
+    "cloud_carbon_intensity": [0.0, 10.0, 150.0, 291.0],
+    "idle_watts": [10.0, 30.0, 80.0],
+}
+
+
+@pytest.fixture(scope="module")
+def sweeps(full_scenario):
+    return {
+        param: sweep_parameter(param, values, base=full_scenario,
+                               hunt_fractions=(0.0, 0.5, 1.0))
+        for param, values in SWEEPS.items()
+    }
+
+
+def test_sensitivity_report(benchmark, sweeps, full_scenario):
+    t = Table(
+        ["parameter", "value", "heuristic wins", "cloud greener", "cloud slower",
+         "mixed beats pure", "all shape holds"],
+        title="calibration sensitivity of the paper-shaped verdicts",
+    )
+    for param, rows in sweeps.items():
+        for r in rows:
+            t.add_row([param, r.value, r.heuristic_wins, r.cloud_greener,
+                       r.cloud_slower, r.mixed_beats_pure, r.paper_shape_holds])
+    once(benchmark, lambda: emit("ABL - calibration sensitivity", t.render()))
+
+    # at the calibrated operating point, the full paper shape holds
+    base_bw = next(r for r in sweeps["link_bandwidth"] if r.value == full_scenario.link_bandwidth)
+    assert base_bw.paper_shape_holds
+    # a cluster-dirty cloud (291 = same as local) can no longer be greener
+    dirty = next(r for r in sweeps["cloud_carbon_intensity"] if r.value == 291.0)
+    assert not dirty.cloud_greener
+    # a perfectly green cloud (0 gCO2e/kWh) is, of course, greener
+    pristine = next(r for r in sweeps["cloud_carbon_intensity"] if r.value == 0.0)
+    assert pristine.cloud_greener
+    # Tab-1's heuristic verdict is about the cluster only: it must be
+    # insensitive to every cloud/link knob
+    for param in ("link_bandwidth", "cloud_carbon_intensity"):
+        assert all(r.heuristic_wins for r in sweeps[param])
+
+
+def test_mixed_always_at_least_pure(sweeps):
+    # by construction the hunt includes both pure placements, so the best
+    # mixed schedule can never be *worse* than both — a sanity invariant
+    for rows in sweeps.values():
+        for r in rows:
+            assert r.best_mixed_co2 <= min(r.all_local_co2, r.all_cloud_co2) + 1e-9
+
+
+def test_bench_one_verdict_evaluation(benchmark, full_scenario):
+    from repro.carbon.sensitivity import verdicts
+
+    v = benchmark.pedantic(
+        lambda: verdicts(full_scenario, hunt_fractions=(0.0, 1.0)), rounds=1, iterations=1
+    )
+    assert v["heuristic_wins"]

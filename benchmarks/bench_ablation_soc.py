@@ -1,0 +1,68 @@
+"""Ablation/extension — self-organised criticality of the sandpile.
+
+The BTW model was introduced as *the* example of self-organised
+criticality; a driven critical pile exhibits scale-free avalanches.  This
+bench measures the avalanche-size distribution on critical vs subcritical
+piles — the analysis a go-further student would run — and reports the
+log-binned histogram plus the CCDF slope.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.common.tables import Table
+from repro.easypap.grid import Grid2D
+from repro.sandpile.analysis import avalanche_statistics, drive_avalanches
+
+SIZE = 32
+DROPS = 1500
+
+
+@pytest.fixture(scope="module")
+def critical():
+    return avalanche_statistics(SIZE, SIZE, n_drops=DROPS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def subcritical():
+    return drive_avalanches(Grid2D(SIZE, SIZE), DROPS, seed=0)
+
+
+def test_soc_report(benchmark, critical, subcritical):
+    t = Table(
+        ["pile", "drops", "quiescent %", "mean size", "max size", "CCDF slope"],
+        title=f"SOC: avalanche statistics on {SIZE}x{SIZE}, {DROPS} drops",
+    )
+    t.add_row(["critical", critical.count, f"{100 * critical.quiescent_fraction:.0f}",
+               critical.mean_size, critical.max_size, critical.power_law_slope()])
+    t.add_row(["subcritical (empty)", subcritical.count,
+               f"{100 * subcritical.quiescent_fraction:.0f}",
+               subcritical.mean_size, subcritical.max_size, "-"])
+    hist = Table(["size range", "avalanches"], title="critical pile: log-binned sizes")
+    for lo, hi, count in critical.size_histogram():
+        hist.add_row([f"{lo}-{hi}", count])
+    once(benchmark, lambda: emit("SOC - avalanche distribution", t.render() + "\n\n" + hist.render()))
+
+    # shape: the critical pile is scale-free-ish (broad distribution,
+    # system-spanning events); the empty pile barely responds
+    assert critical.max_size > 100 * max(1, subcritical.max_size)
+    assert -1.0 < critical.power_law_slope() < 0.0
+    assert subcritical.quiescent_fraction > 0.9
+    assert critical.quiescent_fraction < 0.9
+
+
+def test_soc_sizes_scale_with_system(benchmark):
+    small = avalanche_statistics(16, 16, n_drops=600, seed=1)
+    large = avalanche_statistics(48, 48, n_drops=600, seed=1)
+    once(benchmark, lambda: emit(
+        "SOC - finite-size scaling",
+        f"max avalanche 16x16: {small.max_size}\nmax avalanche 48x48: {large.max_size}",
+    ))
+    assert large.max_size > small.max_size  # cutoff grows with system size
+
+
+def test_bench_drive_avalanches(benchmark):
+    result = benchmark.pedantic(
+        lambda: avalanche_statistics(SIZE, SIZE, n_drops=300, seed=2), rounds=2, iterations=1
+    )
+    assert result.count == 300

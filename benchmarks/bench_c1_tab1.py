@@ -1,0 +1,91 @@
+"""C1-C3 — Carbon assignment Tab 1, at paper scale.
+
+Q1: baseline with all 64 nodes at the highest p-state (time, speedup,
+efficiency).  Q2: under the 3-minute bound, binary-search the minimum node
+count and the minimum p-state; compare their CO2.  Q3: the boss's combined
+heuristic "leads to lower CO2 emission than both previously evaluated
+options, showing that combining power management techniques can be
+useful" — plus the exhaustive optimum the paper promises as future work.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.carbon.report import baseline_summary, tab1_table
+from repro.carbon.tab1 import (
+    exhaustive_optimum,
+    question1_baseline,
+    question2_min_nodes,
+    question2_min_pstate,
+    question3_comparison,
+)
+from repro.common.tables import Table
+
+
+@pytest.fixture(scope="module")
+def baseline(full_scenario):
+    return question1_baseline(full_scenario)
+
+
+@pytest.fixture(scope="module")
+def options(full_scenario):
+    return question3_comparison(full_scenario)
+
+
+def test_c1_q1_baseline(benchmark, baseline, full_scenario):
+    once(benchmark, lambda: emit("C1 - Tab 1 Q1 baseline", baseline_summary(baseline)))
+    c = baseline.config
+    assert c.n_nodes == 64 and c.pstate == 6
+    assert c.makespan < full_scenario.time_bound  # baseline comfortably beats 3 min
+    assert 1.0 < baseline.speedup < 64.0
+    assert 0.0 < baseline.efficiency < 1.0
+
+
+def test_c2_q2_single_lever_options(benchmark, options, full_scenario, baseline):
+    bound = full_scenario.time_bound
+    once(benchmark, lambda: emit("C2 - Tab 1 Q2/Q3 options", tab1_table(options, bound=bound)))
+    po, dc = options["power-off"], options["downclock"]
+    assert po.makespan <= bound and dc.makespan <= bound
+    # minimality (the binary searches found thresholds)
+    assert full_scenario.simulate_tab1(po.n_nodes - 1, 6).makespan > bound
+    if dc.pstate > 0:
+        assert full_scenario.simulate_tab1(64, dc.pstate - 1).makespan > bound
+    # both single levers save CO2 vs the baseline
+    assert po.co2_grams < baseline.config.co2_grams
+    assert dc.co2_grams < baseline.config.co2_grams
+
+
+def test_c3_q3_heuristic_wins(benchmark, options):
+    h = once(benchmark, lambda: options["heuristic"])
+    assert h.co2_grams < options["power-off"].co2_grams
+    assert h.co2_grams < options["downclock"].co2_grams
+    # the winning configuration uses both levers: fewer nodes AND a lower p-state
+    assert h.n_nodes < 64
+    assert h.pstate < 6
+
+
+def test_c3_exhaustive_optimum(benchmark, full_scenario, options):
+    best, configs = exhaustive_optimum(full_scenario, node_step=1)
+    feasible = [c for c in configs if c.makespan <= full_scenario.time_bound]
+    t = Table(["what", "nodes", "p-state", "time s", "CO2 g"], title="C3: exhaustive (all 64 node counts x 7 p-states)")
+    t.add_row(["optimum", best.n_nodes, best.pstate, best.makespan, best.co2_grams])
+    t.add_row(["heuristic", options["heuristic"].n_nodes, options["heuristic"].pstate,
+               options["heuristic"].makespan, options["heuristic"].co2_grams])
+    t.add_row(["feasible configs", len(feasible), "", "", ""])
+    once(benchmark, lambda: emit("C3 - exhaustive Tab-1 optimum", t.render()))
+    assert best.co2_grams <= options["heuristic"].co2_grams + 1e-9
+
+
+def test_bench_tab1_simulation(benchmark, full_scenario):
+    result = benchmark.pedantic(
+        lambda: full_scenario.simulate_tab1(64, 6), rounds=3, iterations=1
+    )
+    assert result.makespan > 0
+
+
+def test_bench_binary_searches(benchmark, full_scenario):
+    def run():
+        return question2_min_nodes(full_scenario), question2_min_pstate(full_scenario)
+
+    po, dc = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert po.makespan <= full_scenario.time_bound

@@ -1,0 +1,94 @@
+"""C4-C6 — Carbon assignment Tab 2, at paper scale.
+
+Q1: "all on the local cluster" vs "all on the cloud" baselines.
+Q2: three options for the first two workflow levels.
+Q3-5: the per-level-fraction "treasure hunt" and the exhaustive optimum
+(the paper's future-work promise).
+
+Expected shape: the green cloud emits less CO2 than the local cluster but
+is slower behind the limited link; mixed per-level placements beat both
+pure options on CO2.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.carbon.report import tab2_table
+from repro.carbon.tab2 import (
+    WIDE_LEVELS,
+    exhaustive_optimum,
+    question1_baselines,
+    question2_first_two_levels,
+)
+
+
+@pytest.fixture(scope="module")
+def baselines(full_scenario):
+    return question1_baselines(full_scenario)
+
+
+@pytest.fixture(scope="module")
+def hunt(full_scenario):
+    # 5 fractions on each of the 3 wide levels: 125 simulations
+    return exhaustive_optimum(full_scenario, resolution=5)
+
+
+def test_c4_q1_baselines(benchmark, baselines):
+    once(benchmark, lambda: emit("C4 - Tab 2 Q1 baselines", tab2_table(list(baselines.values()))))
+    local, cloud = baselines["all-local"], baselines["all-cloud"]
+    assert cloud.co2_grams < local.co2_grams       # green energy wins on CO2
+    assert cloud.makespan > local.makespan         # the limited link costs time
+    assert local.link_gb == 0.0
+    assert cloud.link_gb > 1.0                     # GBs must cross the WAN
+
+
+def test_c5_q2_first_two_levels(benchmark, full_scenario):
+    opts = question2_first_two_levels(full_scenario)
+    once(benchmark, lambda: emit("C5 - Tab 2 Q2: first two levels", tab2_table(list(opts.values()))))
+    # all three are valid full executions
+    total = len(full_scenario.workflow)
+    for r in opts.values():
+        assert r.cloud_tasks + r.local_tasks == total
+    # offloading only the projection level gives data locality headaches a
+    # student should notice: the projected images cross the link
+    assert opts["split"].link_gb > opts["both-local"].link_gb
+
+
+def test_c6_treasure_hunt_and_optimum(benchmark, hunt, baselines):
+    best, results = hunt
+    once(benchmark, lambda: emit("C6 - Tab 2 treasure hunt (top 10 of 125 by CO2)", tab2_table(results, top=10)))
+    # a mixed placement beats both pure baselines on CO2
+    assert best.co2_grams < baselines["all-local"].co2_grams
+    assert best.co2_grams < baselines["all-cloud"].co2_grams
+    # ... and the winner is genuinely mixed
+    assert 0 < best.cloud_tasks < best.cloud_tasks + best.local_tasks
+    # the optimum dominates every evaluated placement
+    assert all(best.co2_grams <= r.co2_grams + 1e-12 for r in results)
+    # the paper's engagement hook: many distinct CO2 values to hunt through
+    distinct = {round(r.co2_grams, 3) for r in results}
+    assert len(distinct) > 50
+
+
+def test_c6_levels_swept(hunt):
+    _, results = hunt
+    assert len(results) == 5 ** len(WIDE_LEVELS)
+
+
+def test_bench_tab2_simulation(benchmark, full_scenario):
+    from repro.wrench.scheduler import place_all
+    from repro.wrench.platform import CLOUD
+
+    result = benchmark.pedantic(
+        lambda: full_scenario.simulate_tab2(place_all(full_scenario.workflow, CLOUD)),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.makespan > 0
+
+
+def test_bench_treasure_hunt_27(benchmark, full_scenario):
+    from repro.carbon.tab2 import treasure_hunt
+
+    grid = {lv: [0.0, 0.5, 1.0] for lv in WIDE_LEVELS}
+    results = benchmark.pedantic(lambda: treasure_hunt(grid, full_scenario), rounds=1, iterations=1)
+    assert len(results) == 27

@@ -1,0 +1,81 @@
+"""F2 — Fig. 2: the synchronous and asynchronous kernels.
+
+Fig. 2 shows the two per-cell rules; the reproduction validates their
+semantics (tests do that exhaustively) and here measures what the course
+measures: the per-iteration cost of each whole-grid variant and the
+speedup of vectorisation over the scalar reference.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit, once
+from repro.common.tables import Table
+from repro.sandpile import random_uniform
+from repro.sandpile.kernels import async_sweep, sync_step
+from repro.sandpile.reference import async_step_reference, sync_step_reference
+
+SIZE = 96  # scalar reference is Python-level: keep the grid moderate
+
+
+@pytest.fixture(scope="module")
+def busy_grid():
+    """A grid with plenty of unstable cells (every step does real work)."""
+    return random_uniform(SIZE, SIZE, max_grains=64, seed=3)
+
+
+def test_fig2_report(benchmark, busy_grid):
+    import time
+
+    rows = []
+    for name, step in [
+        ("sync scalar (Fig.2 top)", sync_step_reference),
+        ("async scalar (Fig.2 bottom)", async_step_reference),
+        ("sync numpy", sync_step),
+        ("async numpy sweep", async_sweep),
+    ]:
+        g = busy_grid.copy()
+        t0 = time.perf_counter()
+        step(g)
+        dt = time.perf_counter() - t0
+        rows.append((name, dt))
+    t = Table(["kernel", "seconds/iteration", "speedup vs sync scalar"],
+              title=f"Fig. 2 kernels, one iteration on {SIZE}x{SIZE}")
+    base = rows[0][1]
+    for name, dt in rows:
+        t.add_row([name, dt, base / dt])
+    once(benchmark, lambda: emit("F2 - kernel variants", t.render()))
+    # vectorisation must win by a wide margin (the assignment's point)
+    scalar = rows[0][1]
+    vec = rows[2][1]
+    assert vec < scalar / 5
+
+
+def test_sync_async_same_fixpoint(busy_grid):
+    a, b = busy_grid.copy(), busy_grid.copy()
+    while sync_step(a):
+        pass
+    while async_sweep(b):
+        pass
+    assert np.array_equal(a.interior, b.interior)
+
+
+def test_bench_sync_scalar_step(benchmark, busy_grid):
+    benchmark.pedantic(lambda: sync_step_reference(busy_grid.copy()), rounds=3, iterations=1)
+
+
+def test_bench_sync_numpy_step(benchmark, busy_grid):
+    g = busy_grid.copy()
+    scratch = np.empty_like(g.data)
+    benchmark(lambda: sync_step(g, out=scratch))
+
+
+def test_bench_async_numpy_sweep(benchmark, busy_grid):
+    g = busy_grid.copy()
+    g.interior[:] = busy_grid.interior  # plenty of work each call
+
+    def step():
+        g.interior[:] = busy_grid.interior
+        async_sweep(g)
+
+    benchmark(step)

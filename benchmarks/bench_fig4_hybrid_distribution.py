@@ -1,0 +1,85 @@
+"""F4 — Fig. 4: tile distribution of a hybrid CPU+GPU execution.
+
+Paper: "Distribution of tiles during the execution of a hybrid
+OpenMP-OpenCL variant. On the CPU side, the color of a tile indicates the
+target core. Black areas represent stable tiles."
+
+We run the lazy hybrid stepper on a sparse configuration, snapshot the
+per-tile owner map mid-run, render it (the reproduction of the figure),
+and report the CPU/GPU/stable tile split and the dynamic-balancing
+trajectory of the CPU/GPU frontier.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit, once
+from repro.common.tables import Table
+from repro.easypap.display import render_tile_owners
+from repro.sandpile import HybridStepper, sparse_random
+from repro.sandpile.theory import stabilize
+
+SIZE = 512
+TILE = 32
+NWORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def hybrid_run():
+    grid = sparse_random(SIZE, SIZE, n_piles=16, pile_grains=4096, seed=5)
+    oracle = stabilize(grid.copy())
+    stepper = HybridStepper(grid, tile_size=TILE, nworkers=NWORKERS, lazy=True)
+    snapshots = []
+    splits = []
+    iterations = 0
+    while stepper():
+        iterations += 1
+        splits.append(stepper.split)
+        if iterations % 5 == 0:
+            snapshots.append(stepper.last_owner_map.copy())
+    return grid, oracle, stepper, snapshots, splits
+
+
+def test_fig4_report(benchmark, hybrid_run):
+    grid, oracle, stepper, snapshots, splits = hybrid_run
+    assert snapshots, "run too short to snapshot"
+    mid = snapshots[len(snapshots) // 2]
+    gpu_id = stepper.gpu_worker_id
+    counts = {
+        "stable (black)": int((mid == -1).sum()),
+        "GPU tiles": int((mid == gpu_id).sum()),
+    }
+    for w in range(NWORKERS):
+        counts[f"CPU core {w}"] = int((mid == w).sum())
+    t = Table(["tile owner", "tiles"], title=f"Fig. 4: owner map mid-run ({SIZE}x{SIZE}, {TILE}x{TILE} tiles)")
+    for k, v in counts.items():
+        t.add_row([k, v])
+    t.add_row(["frontier (tile row) trajectory", f"{splits[0]} -> {splits[-1]}"])
+    once(benchmark, lambda: emit("F4 - hybrid CPU+GPU tile distribution", t.render()))
+
+    # shape: lazy leaves stable areas black; both engines own tiles overall
+    assert counts["stable (black)"] > 0
+    owned_by_gpu = sum(int((s == gpu_id).sum()) for s in snapshots)
+    owned_by_cpu = sum(int(((s >= 0) & (s < gpu_id)).sum()) for s in snapshots)
+    assert owned_by_gpu > 0 and owned_by_cpu > 0
+    # correctness against the oracle
+    assert np.array_equal(grid.interior, oracle.interior)
+
+
+def test_fig4_renderable(hybrid_run):
+    _, _, stepper, snapshots, _ = hybrid_run
+    img = render_tile_owners(snapshots[-1], tile_pixels=4, gpu_workers={stepper.gpu_worker_id})
+    tiles = SIZE // TILE
+    assert img.shape == (tiles * 4, tiles * 4, 3)
+
+
+def test_bench_hybrid_run(benchmark):
+    def run():
+        grid = sparse_random(SIZE, SIZE, n_piles=16, pile_grains=4096, seed=5)
+        stepper = HybridStepper(grid, tile_size=TILE, nworkers=NWORKERS, lazy=True)
+        while stepper():
+            pass
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert grid.is_stable()

@@ -1,0 +1,35 @@
+"""F5 + S3 — Fig. 5 (EASYPAP survey) and the Sec. III-B big-data survey.
+
+The paper's evaluation artifacts for assignments 1-2 are classroom
+surveys; the reproduction archives the response counts and re-renders the
+published summaries.
+"""
+
+from conftest import emit, once
+from repro.surveys import BIG_DATA_SURVEY, EASYPAP_SURVEY, render_bar_summary, survey_statistics
+
+
+def test_fig5_easypap_summary(benchmark):
+    once(benchmark, lambda: emit("F5 - Fig. 5 EASYPAP survey summary", render_bar_summary(EASYPAP_SURVEY)))
+    stats = survey_statistics(EASYPAP_SURVEY)
+    # the figure's message: strongly positive across every statement
+    assert stats["__mean__"] > 0.8
+
+
+def test_s3_big_data_survey(benchmark):
+    once(benchmark, lambda: emit("S3 - Sec. III-B big-data course survey (n=8)", render_bar_summary(BIG_DATA_SURVEY)))
+    # headline bullets of the paper
+    q = BIG_DATA_SURVEY.question("How difficult")
+    assert q.top_choice() == "reasonable"
+    q = BIG_DATA_SURVEY.question("Did the assignment increase")
+    assert q.counts[0] == 7
+    q = BIG_DATA_SURVEY.question("How cool")
+    assert q.counts[0] + q.counts[1] == 8  # everyone: cool or very cool
+
+
+def test_bench_render_surveys(benchmark):
+    def render():
+        return render_bar_summary(EASYPAP_SURVEY) + render_bar_summary(BIG_DATA_SURVEY)
+
+    out = benchmark(render)
+    assert "EASYPAP" in out

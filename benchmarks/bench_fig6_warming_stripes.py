@@ -1,0 +1,79 @@
+"""F6 — Fig. 6: the warming stripes, Germany 1881-2019.
+
+Paper: "Annual average temperature rise for Germany ranging from 1881
+(left) to 2019 (right) ... The annual temperature ranges from a low around
+7 degC to a high around 10 degC. The range of temperature values used in
+the colorbar are manually specified by first computing the average
+temperature of the whole time span and then adding and subtracting
+1.5 degC."
+
+Regenerates the stripes from synthetic DWD data through the MapReduce
+pipeline, reports the decade means and the colourbar, and checks the
+paper's stated ranges.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit, once
+from repro.common.tables import Table
+from repro.climate import run_warming_stripes_workflow
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return run_warming_stripes_workflow(first_year=1881, last_year=2019, seed=42)
+
+
+def test_fig6_report(benchmark, workflow):
+    s = workflow.stripes
+    t = Table(["decade", "mean degC", "stripe tone"], title="Fig. 6: decade means, Germany 1881-2019")
+    for d0 in range(1881, 2020, 10):
+        years = [y for y in range(d0, min(d0 + 10, 2020)) if y in workflow.annual_means]
+        if not years:
+            continue
+        mean = float(np.mean([workflow.annual_means[y] for y in years]))
+        r, g, b = s.color_of(years[len(years) // 2])
+        tone = "blue" if b > r else ("red" if r > b else "white")
+        t.add_row([f"{d0}s", mean, tone])
+    body = t.render()
+    body += (
+        f"\ncolourbar: [{s.vmin:.2f}, {s.vmax:.2f}] degC"
+        f" (reference mean {s.reference_mean:.2f} +/- 1.5)"
+        f"\ntrend: {s.trend_degrees():+.2f} degC over the span"
+        f"\n{s.ascii()}"
+    )
+    once(benchmark, lambda: emit("F6 - warming stripes", body))
+
+    # the paper's stated ranges
+    lows, highs = min(workflow.annual_means.values()), max(workflow.annual_means.values())
+    assert 6.5 < lows < 8.5          # "a low around 7 degC"
+    assert 9.0 < highs < 11.5        # "a high around 10 degC"
+    assert s.vmax - s.vmin == pytest.approx(3.0)
+    assert s.trend_degrees() > 1.0   # the visible warming
+
+    # the stripes drift from blue-dominant to red-dominant
+    first_decade = [s.color_of(y) for y in range(1881, 1891)]
+    last_decade = [s.color_of(y) for y in range(2010, 2020)]
+    blue_early = sum(1 for r, g, b in first_decade if b > r)
+    red_late = sum(1 for r, g, b in last_decade if r > b)
+    assert blue_early >= 6
+    assert red_late >= 6
+
+
+def test_quality_clean(workflow):
+    assert workflow.quality.is_clean()
+    assert len(workflow.annual_means) == 139
+
+
+def test_bench_full_pipeline(benchmark):
+    def run():
+        return run_warming_stripes_workflow(first_year=1881, last_year=2019, seed=42)
+
+    wf = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(wf.annual_means) == 139
+
+
+def test_bench_stripes_render(benchmark, workflow):
+    img = benchmark(lambda: workflow.stripes.image(height=100, stripe_width=4))
+    assert img.shape[0] == 100

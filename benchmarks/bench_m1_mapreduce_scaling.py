@@ -1,0 +1,97 @@
+"""M1 — MapReduce cluster behaviour (Sec. III-A.4/5).
+
+The course moves from "Hello World on the local machine" to a 16-node
+Hadoop cluster and larger datasets.  This bench reproduces that scaling
+story on the simulated cluster: virtual speedup vs. worker count on the
+temperature job over a century of data, plus the cost of injected
+failures and stragglers — with outputs always equal to the local engine.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.climate.dwd import generate_dataset
+from repro.climate.jobs import annual_mean_job
+from repro.common.tables import Table
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.textio import text_splits
+
+
+def _cfg(n_workers, **kw):
+    """Map-heavy cost model: the scaling story is about the map phase."""
+    return ClusterConfig(
+        n_workers=n_workers,
+        map_cost_per_record=2e-3,
+        reduce_cost_per_record=1e-4,
+        shuffle_cost_per_record=1e-5,
+        **kw,
+    )
+
+
+@pytest.fixture(scope="module")
+def job_and_splits():
+    ds = generate_dataset(1881, 2019, seed=42)
+    lines = [l for f in ds.month_files().values() for l in f]
+    return annual_mean_job(num_reducers=4), text_splits(lines, 48)
+
+
+@pytest.fixture(scope="module")
+def local_result(job_and_splits):
+    job, splits = job_and_splits
+    return run_job(job, splits)
+
+
+def test_m1_worker_scaling(benchmark, job_and_splits, local_result):
+    job, splits = job_and_splits
+    t = Table(
+        ["workers", "virtual makespan", "speedup", "efficiency"],
+        title="M1: cluster scaling, annual-mean job, 48 map tasks",
+    )
+    makespans = {}
+    for n in (1, 2, 4, 8, 16):
+        result, report = SimulatedCluster(_cfg(n)).run(job, splits)
+        assert result.pairs == local_result.pairs
+        makespans[n] = report.makespan
+        speedup = makespans[1] / report.makespan
+        t.add_row([n, report.makespan, speedup, speedup / n])
+    once(benchmark, lambda: emit("M1 - MapReduce worker scaling", t.render()))
+    assert makespans[16] < makespans[1] / 4  # real scaling on 48 tasks
+    assert makespans[1] > makespans[2] > makespans[4]
+
+
+def test_m1_fault_tolerance(benchmark, job_and_splits, local_result):
+    job, splits = job_and_splits
+    t = Table(
+        ["failure prob", "straggler prob", "failures", "stragglers", "makespan", "output identical"],
+        title="M1: fault injection (8 workers)",
+    )
+    clean, _ = SimulatedCluster(_cfg(8)).run(job, splits)
+    base_ms = None
+    for fp, sp in [(0.0, 0.0), (0.1, 0.0), (0.3, 0.0), (0.0, 0.2), (0.3, 0.2)]:
+        cfg = _cfg(8, failure_prob=fp, straggler_prob=sp, seed=77)
+        result, report = SimulatedCluster(cfg).run(job, splits)
+        identical = result.pairs == clean.pairs == local_result.pairs
+        if base_ms is None:
+            base_ms = report.makespan
+        t.add_row([fp, sp, report.failures, report.stragglers, report.makespan, identical])
+        assert identical
+        assert report.makespan >= base_ms - 1e-12  # chaos never speeds things up
+    once(benchmark, lambda: emit("M1 - fault tolerance", t.render()))
+
+
+def test_bench_local_engine(benchmark, job_and_splits):
+    job, splits = job_and_splits
+    result = benchmark.pedantic(lambda: run_job(job, splits), rounds=2, iterations=1)
+    assert len(result.pairs) == 139
+
+
+def test_bench_cluster_with_chaos(benchmark, job_and_splits):
+    job, splits = job_and_splits
+    cfg = _cfg(8, failure_prob=0.2, straggler_prob=0.2, seed=5)
+
+    def run():
+        return SimulatedCluster(cfg).run(job, splits)
+
+    result, report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(result.pairs) == 139

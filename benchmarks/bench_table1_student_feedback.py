@@ -1,0 +1,39 @@
+"""T1 — Table I: student feedback on the carbon assignment (n = 11).
+
+Regenerates the published table verbatim from the archived counts and
+checks the headline findings the paper draws from it.
+"""
+
+from conftest import emit, once
+from repro.surveys import TABLE_I, render_table_i, survey_statistics
+
+
+def test_table1_layout(benchmark):
+    out = render_table_i(TABLE_I)
+    once(benchmark, lambda: emit("T1 - Table I: student feedback (n = 11)", out))
+    # every question and every choice of the published table is present
+    for q in TABLE_I.questions:
+        assert q.text in out
+        for choice in q.choices:
+            assert choice in out
+
+
+def test_table1_headline_findings(benchmark):
+    # "almost all students ... self-assessment results are a good
+    # indication that the assignment accomplishes its objectives"
+    stats = once(benchmark, lambda: survey_statistics(TABLE_I))
+    assert stats["__mean__"] > 0.65
+    # nobody found it difficult
+    difficulty = TABLE_I.question("How easy / difficult")
+    assert difficulty.counts[3] == 0 and difficulty.counts[4] == 0
+    # 10 of 11 want to learn more
+    interest = TABLE_I.question("Are you interested")
+    assert interest.counts == (10, 1)
+    # simulation rated useful by all respondents (no negative answers)
+    sim = TABLE_I.question("How useful is simulation")
+    assert sim.counts[3] == 0 and sim.counts[4] == 0
+
+
+def test_bench_render_table1(benchmark):
+    out = benchmark(lambda: render_table_i(TABLE_I))
+    assert "n = 11" in out

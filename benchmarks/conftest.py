@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+computes the experiment once (module-scoped fixtures), prints the rows the
+paper reports (run with ``-s`` to see them), asserts the *shape* of the
+result (who wins, by roughly what factor), and feeds the timed kernel to
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled experiment block (visible with ``pytest -s``)."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its value.
+
+    Report tests use this so they still execute (and print their tables)
+    under ``--benchmark-only``; the recorded time is the honest cost of
+    regenerating that table/figure from the module fixtures.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def full_scenario():
+    """The paper-scale carbon scenario (Montage-738, 64 nodes)."""
+    from repro.carbon.scenario import DEFAULT_SCENARIO
+
+    return DEFAULT_SCENARIO

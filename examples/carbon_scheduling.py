@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The carbon-footprint assignment, end to end (Sec. IV of the paper).
+
+Answers every question of both tabs against the calibrated Montage-738
+scenario: the Tab-1 baseline and power-management options, and the Tab-2
+cloud-placement baselines, first-two-levels comparison, and a treasure
+hunt for the CO2 minimum.
+
+Usage::
+
+    python examples/carbon_scheduling.py [--hunt-resolution N]
+"""
+
+import argparse
+
+from repro.carbon import (
+    DEFAULT_SCENARIO,
+    baseline_summary,
+    question1_baseline,
+    question1_baselines,
+    question2_first_two_levels,
+    question3_comparison,
+    tab1_table,
+    tab2_table,
+    tab2_exhaustive_optimum,
+)
+from repro.common.units import format_co2, format_duration
+
+
+def tab1() -> None:
+    print("#" * 70)
+    print("# Tab 1 — the local cluster, 64 nodes, 291 gCO2e/kWh")
+    print("#" * 70)
+    baseline = question1_baseline()
+    print("Q1.", baseline_summary(baseline))
+    options = question3_comparison()
+    print(tab1_table(options, bound=DEFAULT_SCENARIO.time_bound))
+    h = options["heuristic"]
+    saved = options["power-off"].co2_grams - h.co2_grams
+    print(f"Q3 verdict: the combined heuristic ({h.n_nodes} nodes @ p{h.pstate}) saves "
+          f"{format_co2(saved)} over the best single lever — combining "
+          f"power management techniques is useful.\n")
+
+
+def tab2(hunt_resolution: int) -> None:
+    print("#" * 70)
+    print("# Tab 2 — 12 local nodes @ lowest p-state + 16 green cloud VMs")
+    print("#" * 70)
+    baselines = question1_baselines()
+    print(tab2_table(list(baselines.values())))
+    local, cloud = baselines["all-local"], baselines["all-cloud"]
+    print(f"Q1 verdict: the cloud is greener "
+          f"({format_co2(cloud.co2_grams)} vs {format_co2(local.co2_grams)}) but slower "
+          f"({format_duration(cloud.makespan)} vs {format_duration(local.makespan)}) "
+          f"behind the limited link.\n")
+
+    print(tab2_table(list(question2_first_two_levels().values())))
+    print()
+
+    print(f"Treasure hunt: sweeping per-level cloud fractions "
+          f"({hunt_resolution} steps x 3 wide levels = {hunt_resolution ** 3} simulations)...")
+    best, results = tab2_exhaustive_optimum(resolution=hunt_resolution)
+    print(tab2_table(results, top=8))
+    print(f"Optimal schedule found: {best.label} ({best.description})")
+    print(f"  time {format_duration(best.makespan)}, {format_co2(best.co2_grams)} — "
+          f"{format_co2(min(local.co2_grams, cloud.co2_grams) - best.co2_grams)} below the "
+          f"best pure option.")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--hunt-resolution", type=int, default=5)
+    args = parser.parse_args()
+    tab1()
+    tab2(args.hunt_resolution)

@@ -1,0 +1,26 @@
+"""repro — a reproduction of "Peachy Parallel Assignments (EduPar 2022)".
+
+The paper presents three classroom assignments; this library implements
+each of them *and* the full system substrate each one rests on:
+
+1. :mod:`repro.sandpile` on :mod:`repro.easypap` and :mod:`repro.simmpi`
+   — the Abelian sandpile with every variant of the four-part Bordeaux
+   assignment (sync/async kernels, tiling, lazy evaluation, scheduling
+   policies, SIMD-style vectorisation, a simulated GPU, hybrid CPU+GPU
+   load balancing, and MPI-style ghost cells);
+2. :mod:`repro.climate` on :mod:`repro.mapreduce` — Warming Stripes
+   computed with a from-scratch MapReduce engine over synthetic DWD
+   climate data;
+3. :mod:`repro.carbon` on :mod:`repro.wrench` — carbon-footprint-aware
+   workflow scheduling on a WRENCH/SimGrid-like discrete-event simulator.
+
+:mod:`repro.surveys` archives the paper's classroom-evaluation data
+(Table I, Fig. 5); :mod:`repro.common` holds shared infrastructure.
+
+See DESIGN.md for the system inventory and the per-experiment index, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,62 @@
+"""The carbon-footprint workflow-scheduling assignment (Sec. IV).
+
+Built on :mod:`repro.wrench`: the calibrated scenario
+(:mod:`~repro.carbon.scenario`), the Tab-1 cluster power-management
+questions (:mod:`~repro.carbon.tab1`), the Tab-2 cloud-placement
+questions and exhaustive optimum (:mod:`~repro.carbon.tab2`), generic
+searches (:mod:`~repro.carbon.search`), and report rendering
+(:mod:`~repro.carbon.report`).
+"""
+
+from repro.carbon.assignment import answer_sheet
+from repro.carbon.report import baseline_summary, tab1_table, tab2_table
+from repro.carbon.scenario import DEFAULT_SCENARIO, AssignmentScenario
+from repro.carbon.search import binary_search_min, grid_search, linear_search_min
+from repro.carbon.sensitivity import SensitivityRow, sweep_parameter, verdicts
+from repro.carbon.tab1 import (
+    BaselineResult,
+    ClusterConfigResult,
+    boss_heuristic,
+    question1_baseline,
+    question2_min_nodes,
+    question2_min_pstate,
+    question3_comparison,
+)
+from repro.carbon.tab1 import exhaustive_optimum as tab1_exhaustive_optimum
+from repro.carbon.tab2 import (
+    WIDE_LEVELS,
+    PlacementResult,
+    question1_baselines,
+    question2_first_two_levels,
+    treasure_hunt,
+)
+from repro.carbon.tab2 import exhaustive_optimum as tab2_exhaustive_optimum
+
+__all__ = [
+    "answer_sheet",
+    "AssignmentScenario",
+    "DEFAULT_SCENARIO",
+    "binary_search_min",
+    "linear_search_min",
+    "grid_search",
+    "SensitivityRow",
+    "sweep_parameter",
+    "verdicts",
+    "BaselineResult",
+    "ClusterConfigResult",
+    "question1_baseline",
+    "question2_min_nodes",
+    "question2_min_pstate",
+    "boss_heuristic",
+    "question3_comparison",
+    "tab1_exhaustive_optimum",
+    "PlacementResult",
+    "WIDE_LEVELS",
+    "question1_baselines",
+    "question2_first_two_levels",
+    "treasure_hunt",
+    "tab2_exhaustive_optimum",
+    "baseline_summary",
+    "tab1_table",
+    "tab2_table",
+]

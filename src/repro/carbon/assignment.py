@@ -1,0 +1,94 @@
+"""The complete assignment answer sheet, generated.
+
+The paper's future-work note says the authors will compute reference
+optima "so that students know how far their solution is from the
+optimal".  :func:`answer_sheet` goes further: it runs every question of
+both tabs against a scenario and renders the full instructor answer key —
+baseline numbers, binary-search thresholds, the heuristic verdict,
+cloud-placement comparisons, the treasure-hunt optimum, and the two
+exhaustive reference optima.
+"""
+
+from __future__ import annotations
+
+from repro.carbon.report import baseline_summary, tab1_table, tab2_table
+from repro.carbon.scenario import DEFAULT_SCENARIO, AssignmentScenario
+from repro.carbon.tab1 import (
+    question1_baseline,
+    question3_comparison,
+)
+from repro.carbon.tab1 import exhaustive_optimum as tab1_exhaustive
+from repro.carbon.tab2 import (
+    question1_baselines,
+    question2_first_two_levels,
+)
+from repro.carbon.tab2 import exhaustive_optimum as tab2_exhaustive
+from repro.common.units import format_co2, format_duration
+
+__all__ = ["answer_sheet"]
+
+
+def answer_sheet(
+    scenario: AssignmentScenario = DEFAULT_SCENARIO,
+    *,
+    tab1_node_step: int = 1,
+    tab2_resolution: int = 5,
+) -> str:
+    """Render the instructor answer key for every question of both tabs."""
+    lines: list[str] = []
+    out = lines.append
+
+    out("=" * 72)
+    out("ANSWER KEY — Performance and Carbon Footprint of Distributed")
+    out("Workflow Executions (EduWRENCH workflow_co2)")
+    out("=" * 72)
+    wf = scenario.workflow
+    out(f"workflow: {len(wf)} tasks, {wf.total_bytes() / 1e9:.1f} GB, "
+        f"{wf.depth} levels; cluster: {scenario.max_nodes} nodes, "
+        f"{scenario.n_pstates} p-states, {scenario.cluster_carbon_intensity:.0f} gCO2e/kWh")
+    out("")
+
+    # -- Tab 1 -------------------------------------------------------------------
+    out("TAB 1 — cluster power management")
+    out("-" * 72)
+    baseline = question1_baseline(scenario)
+    out(f"Q1 (baseline): {baseline_summary(baseline)}")
+    out("")
+    options = question3_comparison(scenario)
+    out(f"Q2 (bound {format_duration(scenario.time_bound)}):")
+    out(tab1_table(options, bound=scenario.time_bound))
+    po, dc, h = options["power-off"], options["downclock"], options["heuristic"]
+    better = "power-off" if po.co2_grams < dc.co2_grams else "downclock"
+    out(f"Q2 verdict: the better single lever is {better}.")
+    out(f"Q3 verdict: the combined heuristic ({h.n_nodes} nodes @ p{h.pstate}) emits "
+        f"{format_co2(h.co2_grams)} — less than either lever alone; combining "
+        "power-management techniques is useful.")
+    best1, configs = tab1_exhaustive(scenario, node_step=tab1_node_step)
+    gap = h.co2_grams - best1.co2_grams
+    out(f"Reference optimum (exhaustive over {len(configs)} configurations): "
+        f"{best1.n_nodes} nodes @ p{best1.pstate}, {format_co2(best1.co2_grams)} "
+        f"(heuristic gap: {format_co2(gap)}).")
+    out("")
+
+    # -- Tab 2 -------------------------------------------------------------------
+    out("TAB 2 — local cluster + green cloud")
+    out("-" * 72)
+    baselines = question1_baselines(scenario)
+    out("Q1 (pure placements):")
+    out(tab2_table(list(baselines.values())))
+    local, cloud = baselines["all-local"], baselines["all-cloud"]
+    out(f"Q1 verdict: all-cloud is greener ({format_co2(cloud.co2_grams)} vs "
+        f"{format_co2(local.co2_grams)}) but slower "
+        f"({format_duration(cloud.makespan)} vs {format_duration(local.makespan)}).")
+    out("")
+    out("Q2 (first two levels):")
+    out(tab2_table(list(question2_first_two_levels(scenario).values())))
+    out("")
+    best2, results = tab2_exhaustive(scenario, resolution=tab2_resolution)
+    out(f"Q3-5 reference optimum over {len(results)} per-level schedules: "
+        f"{best2.label} -> {format_co2(best2.co2_grams)} at "
+        f"{format_duration(best2.makespan)} ({best2.description}).")
+    margin = min(local.co2_grams, cloud.co2_grams) - best2.co2_grams
+    out(f"It undercuts the best pure option by {format_co2(margin)} — the value "
+        "students' treasure hunts should converge towards.")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Rendering of the carbon assignment's results as text reports."""
+
+from __future__ import annotations
+
+from repro.carbon.tab1 import BaselineResult, ClusterConfigResult
+from repro.carbon.tab2 import PlacementResult
+from repro.common.tables import Table
+from repro.common.units import format_co2, format_duration
+
+__all__ = ["tab1_table", "tab2_table", "baseline_summary"]
+
+
+def baseline_summary(baseline: BaselineResult) -> str:
+    """Q1's three numbers as one line."""
+    c = baseline.config
+    return (
+        f"{c.n_nodes} nodes @ p{c.pstate}: time {format_duration(c.makespan)}, "
+        f"speedup {baseline.speedup:.1f}x, efficiency {baseline.efficiency:.2f}, "
+        f"{format_co2(c.co2_grams)}"
+    )
+
+
+def tab1_table(rows: dict[str, ClusterConfigResult], *, bound: float | None = None) -> str:
+    """Render named cluster configurations (Q2/Q3 options) as a table."""
+    t = Table(
+        ["option", "nodes", "p-state", "time", "CO2", "meets bound"],
+        title="Tab 1: power management under the time bound",
+    )
+    for name, c in rows.items():
+        meets = "-" if bound is None else ("yes" if c.makespan <= bound else "NO")
+        t.add_row(
+            [name, c.n_nodes, f"p{c.pstate}", format_duration(c.makespan),
+             format_co2(c.co2_grams), meets]
+        )
+    return t.render()
+
+
+def tab2_table(results: list[PlacementResult], *, top: int | None = None) -> str:
+    """Render placement results (sorted however the caller likes)."""
+    t = Table(
+        ["placement", "time", "CO2", "link GB", "cloud tasks"],
+        title="Tab 2: cluster vs. green cloud placements",
+    )
+    shown = results if top is None else results[:top]
+    for r in shown:
+        t.add_row(
+            [r.label, format_duration(r.makespan), format_co2(r.co2_grams),
+             f"{r.link_gb:.2f}", r.cloud_tasks]
+        )
+    return t.render()

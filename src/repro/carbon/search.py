@@ -1,0 +1,80 @@
+"""Search utilities for the assignment's optimisation questions.
+
+Tab-1 Q2 asks students "to perform a binary search to identify the minimum
+number of nodes to power on and the minimum p-state to use" under the
+3-minute bound; the paper's future-work note promises "exhaustively
+evaluate all possible options so as to compute the actual optimal CO2
+emission".  Both live here, generic enough to be tested against linear
+scans.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Sequence
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["binary_search_min", "linear_search_min", "grid_search"]
+
+
+def binary_search_min(
+    lo: int,
+    hi: int,
+    feasible: Callable[[int], bool],
+) -> int | None:
+    """Smallest integer in ``[lo, hi]`` satisfying a *monotone* predicate.
+
+    *feasible* must be monotone non-decreasing in its argument (if ``n``
+    is feasible, so is ``n + 1``) — true for "enough nodes to meet the
+    time bound" and "high-enough p-state".  Returns ``None`` when even
+    *hi* is infeasible.  Exactly the search students perform by hand with
+    the in-browser simulator.
+    """
+    if lo > hi:
+        raise ConfigurationError(f"empty range [{lo}, {hi}]")
+    if not feasible(hi):
+        return None
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def linear_search_min(lo: int, hi: int, feasible: Callable[[int], bool]) -> int | None:
+    """Reference implementation of :func:`binary_search_min` (O(n) scan)."""
+    if lo > hi:
+        raise ConfigurationError(f"empty range [{lo}, {hi}]")
+    for n in range(lo, hi + 1):
+        if feasible(n):
+            return n
+    return None
+
+
+def grid_search(
+    axes: Sequence[Iterable],
+    objective: Callable[..., float],
+    *,
+    constraint: Callable[..., bool] | None = None,
+):
+    """Exhaustive minimisation of *objective* over the product of *axes*.
+
+    Returns ``(best_point, best_value, evaluations)`` where *evaluations*
+    is the full list of ``(point, value, feasible)`` triples (handy for
+    reporting the whole landscape).  Points violating *constraint* are
+    recorded but cannot win.
+    """
+    best_point = None
+    best_value = float("inf")
+    evaluations: list[tuple[tuple, float, bool]] = []
+    for point in itertools.product(*[list(a) for a in axes]):
+        value = objective(*point)
+        ok = constraint(*point) if constraint is not None else True
+        evaluations.append((point, value, ok))
+        if ok and value < best_value:
+            best_value = value
+            best_point = point
+    return best_point, best_value, evaluations

@@ -1,0 +1,105 @@
+"""Sensitivity analysis of the calibrated scenario.
+
+The reproduction's carbon numbers come from a calibrated simulator, so an
+obvious question is how robust the paper-shaped *verdicts* are to the
+calibration.  This module sweeps one scenario parameter at a time and
+re-evaluates the two headline verdicts:
+
+* **Tab 1** — "the combined heuristic beats both single levers";
+* **Tab 2** — "the cloud is greener but slower; mixing beats both".
+
+:func:`sweep_parameter` returns one row per parameter value with the
+verdicts evaluated, so benches and notebooks can show exactly where (if
+anywhere) a verdict flips — e.g. raising idle power eventually kills the
+downclocking lever, and a fat WAN link erodes all-cloud's time penalty.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.carbon.scenario import DEFAULT_SCENARIO, AssignmentScenario
+from repro.carbon.tab1 import question3_comparison
+from repro.carbon.tab2 import question1_baselines, treasure_hunt
+from repro.common.errors import ConfigurationError
+
+__all__ = ["SensitivityRow", "sweep_parameter", "verdicts"]
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Verdicts of one scenario variant."""
+
+    parameter: str
+    value: float
+    heuristic_wins: bool            # Tab-1 Q3
+    cloud_greener: bool             # Tab-2 Q1, CO2 side
+    cloud_slower: bool              # Tab-2 Q1, time side
+    mixed_beats_pure: bool          # Tab-2 treasure hunt
+    heuristic_co2: float
+    all_local_co2: float
+    all_cloud_co2: float
+    best_mixed_co2: float
+
+    @property
+    def paper_shape_holds(self) -> bool:
+        """All four headline verdicts simultaneously true."""
+        return (
+            self.heuristic_wins
+            and self.cloud_greener
+            and self.cloud_slower
+            and self.mixed_beats_pure
+        )
+
+
+def verdicts(scenario: AssignmentScenario, *, hunt_fractions=(0.0, 0.5, 1.0)) -> dict:
+    """Evaluate the headline verdicts for one scenario."""
+    tab1 = question3_comparison(scenario)
+    h = tab1["heuristic"]
+    heuristic_wins = (
+        h.co2_grams <= tab1["power-off"].co2_grams + 1e-9
+        and h.co2_grams <= tab1["downclock"].co2_grams + 1e-9
+    )
+    baselines = question1_baselines(scenario)
+    local, cloud = baselines["all-local"], baselines["all-cloud"]
+    from repro.carbon.tab2 import WIDE_LEVELS
+
+    grid = {lv: list(hunt_fractions) for lv in WIDE_LEVELS}
+    best_mixed = treasure_hunt(grid, scenario)[0]
+    return {
+        "heuristic_wins": heuristic_wins,
+        "cloud_greener": cloud.co2_grams < local.co2_grams,
+        "cloud_slower": cloud.makespan > local.makespan,
+        "mixed_beats_pure": best_mixed.co2_grams
+        < min(local.co2_grams, cloud.co2_grams),
+        "heuristic_co2": h.co2_grams,
+        "all_local_co2": local.co2_grams,
+        "all_cloud_co2": cloud.co2_grams,
+        "best_mixed_co2": best_mixed.co2_grams,
+    }
+
+
+def sweep_parameter(
+    parameter: str,
+    values,
+    *,
+    base: AssignmentScenario = DEFAULT_SCENARIO,
+    hunt_fractions=(0.0, 0.5, 1.0),
+) -> list[SensitivityRow]:
+    """Re-evaluate the verdicts with *parameter* set to each of *values*.
+
+    *parameter* must be a field of :class:`AssignmentScenario`
+    (``link_bandwidth``, ``idle_watts``, ``cloud_carbon_intensity``, ...).
+    """
+    field_names = {f.name for f in dataclasses.fields(AssignmentScenario)}
+    if parameter not in field_names:
+        raise ConfigurationError(
+            f"unknown scenario parameter {parameter!r}; choose from {sorted(field_names)}"
+        )
+    rows = []
+    for value in values:
+        scenario = dataclasses.replace(base, **{parameter: value})
+        v = verdicts(scenario, hunt_fractions=hunt_fractions)
+        rows.append(SensitivityRow(parameter=parameter, value=float(value), **v))
+    return rows

@@ -1,0 +1,183 @@
+"""Tab 1 — cluster-only power management (three questions).
+
+Q1 establishes the performance baseline "when powering on all nodes in
+their highest p-state": execution time, parallel speedup, parallel
+efficiency.
+
+Q2 imposes the 3-minute bound and evaluates two mutually exclusive
+options via binary search: the minimum number of powered-on nodes (at the
+highest p-state), and the minimum p-state (with all 64 nodes).
+
+Q3 evaluates the hypothetical boss's heuristic combining both levers —
+power off nodes *and* downclock the survivors — and shows it emits less
+CO2 than either single-lever option.  An exhaustive search over
+(nodes, p-state) is also provided to locate the true optimum (the paper's
+future-work promise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.carbon.scenario import DEFAULT_SCENARIO, AssignmentScenario
+from repro.carbon.search import binary_search_min, grid_search
+from repro.common.errors import SchedulingError
+
+__all__ = [
+    "ClusterConfigResult",
+    "BaselineResult",
+    "question1_baseline",
+    "question2_min_nodes",
+    "question2_min_pstate",
+    "boss_heuristic",
+    "question3_comparison",
+    "exhaustive_optimum",
+]
+
+
+@dataclass(frozen=True)
+class ClusterConfigResult:
+    """One simulated cluster configuration."""
+
+    n_nodes: int
+    pstate: int
+    makespan: float
+    energy_joules: float
+    co2_grams: float
+
+    @property
+    def within_bound(self) -> bool:  # bound is scenario-specific; set by caller
+        """Placeholder flag; the caller applies the scenario's bound."""
+        return True
+
+
+def _run(scenario: AssignmentScenario, n_nodes: int, pstate: int) -> ClusterConfigResult:
+    res = scenario.simulate_tab1(n_nodes, pstate)
+    return ClusterConfigResult(
+        n_nodes=n_nodes,
+        pstate=pstate,
+        makespan=res.makespan,
+        energy_joules=res.total_energy,
+        co2_grams=res.total_co2,
+    )
+
+
+@lru_cache(maxsize=4096)
+def _run_cached(scenario: AssignmentScenario, n_nodes: int, pstate: int) -> ClusterConfigResult:
+    return _run(scenario, n_nodes, pstate)
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Q1's three numbers."""
+
+    config: ClusterConfigResult
+    single_node_makespan: float
+
+    @property
+    def speedup(self) -> float:
+        """Single-node time divided by this configuration's time."""
+        return self.single_node_makespan / self.config.makespan
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup divided by the number of nodes."""
+        return self.speedup / self.config.n_nodes
+
+
+def question1_baseline(scenario: AssignmentScenario = DEFAULT_SCENARIO) -> BaselineResult:
+    """Q1: all nodes at the highest p-state, plus the 1-node reference."""
+    full = _run_cached(scenario, scenario.max_nodes, scenario.highest_pstate)
+    single = _run_cached(scenario, 1, scenario.highest_pstate)
+    return BaselineResult(config=full, single_node_makespan=single.makespan)
+
+
+def question2_min_nodes(scenario: AssignmentScenario = DEFAULT_SCENARIO) -> ClusterConfigResult:
+    """Q2a: minimum powered-on nodes (highest p-state) meeting the bound."""
+    p = scenario.highest_pstate
+
+    def feasible(n: int) -> bool:
+        return _run_cached(scenario, n, p).makespan <= scenario.time_bound
+
+    n = binary_search_min(1, scenario.max_nodes, feasible)
+    if n is None:
+        raise SchedulingError("even the full cluster misses the time bound")
+    return _run_cached(scenario, n, p)
+
+
+def question2_min_pstate(scenario: AssignmentScenario = DEFAULT_SCENARIO) -> ClusterConfigResult:
+    """Q2b: minimum p-state (all nodes powered on) meeting the bound."""
+
+    def feasible(p: int) -> bool:
+        return _run_cached(scenario, scenario.max_nodes, p).makespan <= scenario.time_bound
+
+    p = binary_search_min(0, scenario.highest_pstate, feasible)
+    if p is None:
+        raise SchedulingError("even the highest p-state misses the time bound")
+    return _run_cached(scenario, scenario.max_nodes, p)
+
+
+def boss_heuristic(scenario: AssignmentScenario = DEFAULT_SCENARIO) -> ClusterConfigResult:
+    """Q3: the boss's combined heuristic.
+
+    Strategy (as a plausible realisation of "combines both power
+    management techniques"): for every p-state, binary-search the minimum
+    node count meeting the bound, then keep the (p-state, nodes) pair with
+    the lowest CO2.  It is a heuristic — it never considers *surplus*
+    nodes at a lower p-state — yet beats both single-lever options.
+    """
+    best: ClusterConfigResult | None = None
+    for p in range(scenario.n_pstates):
+
+        def feasible(n: int, _p=p) -> bool:
+            return _run_cached(scenario, n, _p).makespan <= scenario.time_bound
+
+        n = binary_search_min(1, scenario.max_nodes, feasible)
+        if n is None:
+            continue
+        cand = _run_cached(scenario, n, p)
+        if best is None or cand.co2_grams < best.co2_grams:
+            best = cand
+    if best is None:
+        raise SchedulingError("no configuration meets the time bound")
+    return best
+
+
+def question3_comparison(
+    scenario: AssignmentScenario = DEFAULT_SCENARIO,
+) -> dict[str, ClusterConfigResult]:
+    """All three Q2/Q3 options side by side (keys: power-off, downclock, heuristic)."""
+    return {
+        "power-off": question2_min_nodes(scenario),
+        "downclock": question2_min_pstate(scenario),
+        "heuristic": boss_heuristic(scenario),
+    }
+
+
+def exhaustive_optimum(
+    scenario: AssignmentScenario = DEFAULT_SCENARIO,
+    *,
+    node_step: int = 2,
+) -> tuple[ClusterConfigResult, list[ClusterConfigResult]]:
+    """True CO2 optimum over (nodes, p-state) under the bound.
+
+    ``node_step`` thins the node axis to keep the sweep fast; step 1 is
+    the fully exhaustive version.  Returns (best, all evaluated configs).
+    """
+    nodes = list(range(1, scenario.max_nodes + 1, node_step))
+    if nodes[-1] != scenario.max_nodes:
+        nodes.append(scenario.max_nodes)
+    pstates = range(scenario.n_pstates)
+
+    def objective(n: int, p: int) -> float:
+        return _run_cached(scenario, n, p).co2_grams
+
+    def constraint(n: int, p: int) -> bool:
+        return _run_cached(scenario, n, p).makespan <= scenario.time_bound
+
+    best_point, _, evals = grid_search([nodes, pstates], objective, constraint=constraint)
+    if best_point is None:
+        raise SchedulingError("no configuration meets the time bound")
+    all_configs = [_run_cached(scenario, n, p) for (n, p), _, _ in evals]
+    return _run_cached(scenario, *best_point), all_configs

@@ -1,0 +1,142 @@
+"""Tab 2 — cluster + green cloud placement (five questions).
+
+Q1 establishes the pure baselines: everything on the (12-node, lowest
+p-state) local cluster vs. everything on the 16 green VMs.
+
+Q2 compares three options for the first two workflow levels (both local,
+both cloud, and the split exploiting that level-1 consumes level-0's
+outputs — data locality).
+
+Q3-5 are the "treasure hunt": per-level cloud fractions explored towards
+the CO2 minimum, culminating in the exhaustive search the paper lists as
+future work ("run our simulator to exhaustively evaluate all possible
+options so as to compute the actual optimal CO2 emission for this
+(NP-complete) problem").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.carbon.scenario import DEFAULT_SCENARIO, AssignmentScenario
+from repro.carbon.search import grid_search
+from repro.wrench.platform import CLOUD, LOCAL
+from repro.wrench.scheduler import describe_placement, place_all, place_level_fractions, place_levels
+
+__all__ = [
+    "PlacementResult",
+    "question1_baselines",
+    "question2_first_two_levels",
+    "treasure_hunt",
+    "exhaustive_optimum",
+    "WIDE_LEVELS",
+]
+
+#: the wide (parallel) Montage levels worth offloading: mProject,
+#: mDiffFit, mBackground
+WIDE_LEVELS = (0, 1, 4)
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """One simulated placement."""
+
+    label: str
+    description: str
+    makespan: float
+    energy_joules: float
+    co2_grams: float
+    link_gb: float
+    cloud_tasks: int
+    local_tasks: int
+
+
+def _run(scenario: AssignmentScenario, label: str, placement: dict[str, str]) -> PlacementResult:
+    res = scenario.simulate_tab2(placement)
+    counts = res.site_task_counts()
+    return PlacementResult(
+        label=label,
+        description=describe_placement(scenario.workflow, placement),
+        makespan=res.makespan,
+        energy_joules=res.total_energy,
+        co2_grams=res.total_co2,
+        link_gb=res.link_bytes / 1e9,
+        cloud_tasks=counts.get(CLOUD, 0),
+        local_tasks=counts.get(LOCAL, 0),
+    )
+
+
+def question1_baselines(
+    scenario: AssignmentScenario = DEFAULT_SCENARIO,
+) -> dict[str, PlacementResult]:
+    """Q1: the two pure placements."""
+    wf = scenario.workflow
+    return {
+        "all-local": _run(scenario, "all-local", place_all(wf, LOCAL)),
+        "all-cloud": _run(scenario, "all-cloud", place_all(wf, CLOUD)),
+    }
+
+
+def question2_first_two_levels(
+    scenario: AssignmentScenario = DEFAULT_SCENARIO,
+) -> dict[str, PlacementResult]:
+    """Q2: three options for levels 0 (mProject) and 1 (mDiffFit).
+
+    * ``both-local`` — levels 0 and 1 on the cluster;
+    * ``both-cloud`` — both on the cloud (level 1 then enjoys data
+      locality with level 0's outputs already in cloud storage);
+    * ``split`` — level 0 on the cloud, level 1 back on the cluster (the
+      projected images must cross the link twice — the option students
+      should reason is worst).
+    """
+    wf = scenario.workflow
+    return {
+        "both-local": _run(scenario, "both-local", place_levels(wf, set())),
+        "both-cloud": _run(scenario, "both-cloud", place_levels(wf, {0, 1})),
+        "split": _run(scenario, "split", place_levels(wf, {0})),
+    }
+
+
+def treasure_hunt(
+    fraction_grid: dict[int, list[float]] | None = None,
+    scenario: AssignmentScenario = DEFAULT_SCENARIO,
+) -> list[PlacementResult]:
+    """Q3-4: sweep per-level cloud fractions; returns results sorted by CO2.
+
+    The default grid sends 0/25/50/75/100% of each wide level to the
+    cloud — the kind of space students explore by hand in the browser.
+    """
+    if fraction_grid is None:
+        fraction_grid = {lv: [0.0, 0.25, 0.5, 0.75, 1.0] for lv in WIDE_LEVELS}
+    wf = scenario.workflow
+    levels = sorted(fraction_grid)
+    results: list[PlacementResult] = []
+
+    def evaluate(*fracs: float) -> float:
+        placement = place_level_fractions(wf, dict(zip(levels, fracs)))
+        label = ",".join(f"L{lv}={f:.0%}" for lv, f in zip(levels, fracs))
+        result = _run(scenario, label, placement)
+        results.append(result)
+        return result.co2_grams
+
+    grid_search([fraction_grid[lv] for lv in levels], evaluate)
+    results.sort(key=lambda r: r.co2_grams)
+    return results
+
+
+def exhaustive_optimum(
+    scenario: AssignmentScenario = DEFAULT_SCENARIO,
+    *,
+    resolution: int = 5,
+) -> tuple[PlacementResult, list[PlacementResult]]:
+    """Q5/future work: the best per-level-fraction schedule on a fine grid.
+
+    ``resolution`` is the number of fraction steps per wide level
+    (5 -> {0, 25, 50, 75, 100}%).  Returns (optimum, all evaluations
+    sorted by CO2).  The space of arbitrary task placements is
+    exponential (NP-complete, as the paper notes); per-level fractions
+    are the natural restriction the assignment's UI exposes.
+    """
+    fracs = [i / (resolution - 1) for i in range(resolution)]
+    results = treasure_hunt({lv: fracs for lv in WIDE_LEVELS}, scenario)
+    return results[0], results

@@ -1,0 +1,155 @@
+"""Command-line entry points.
+
+Three small CLIs, one per assignment, mirroring how a student would poke
+at each system:
+
+* ``repro-sandpile`` — stabilise a configuration with a chosen kernel
+  variant, print statistics and an ASCII rendering, optionally save a PPM;
+* ``repro-stripes``  — run the four-phase warming-stripes workflow, print
+  the data-quality report and save the stripes image;
+* ``repro-carbon``   — answer the Tab-1/Tab-2 questions and print the
+  tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["sandpile_main", "stripes_main", "carbon_main"]
+
+
+def sandpile_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-sandpile``."""
+    from repro.common.colors import ascii_render, sandpile_to_rgb, write_ppm
+    from repro.easypap.kernel import REGISTRY
+    from repro.sandpile import center_pile, run_to_fixpoint, sparse_random, uniform
+
+    p = argparse.ArgumentParser(prog="repro-sandpile", description="Abelian sandpile simulator")
+    p.add_argument("--size", type=int, default=128, help="grid side length (default 128)")
+    p.add_argument(
+        "--config",
+        choices=["center", "uniform", "sparse"],
+        default="center",
+        help="initial configuration (Fig. 1a center pile, Fig. 1b uniform-4, or sparse)",
+    )
+    p.add_argument("--grains", type=int, default=25_000, help="grains for the center pile")
+    p.add_argument("--kernel", default="sandpile", choices=["sandpile", "asandpile"])
+    p.add_argument("--variant", default="vec")
+    p.add_argument("--tile-size", type=int, default=32)
+    p.add_argument("--nworkers", type=int, default=4)
+    p.add_argument("--policy", default="dynamic")
+    p.add_argument("--ppm", metavar="PATH", help="write the final state as a PPM image")
+    p.add_argument("--quiet", action="store_true")
+    args = p.parse_args(argv)
+
+    if args.config == "center":
+        grid = center_pile(args.size, args.size, args.grains)
+    elif args.config == "uniform":
+        grid = uniform(args.size, args.size, 4)
+    else:
+        grid = sparse_random(args.size, args.size)
+
+    variants = REGISTRY.variants(args.kernel)
+    if args.variant not in variants:
+        print(f"unknown variant {args.variant!r}; available: {', '.join(variants)}", file=sys.stderr)
+        return 2
+
+    opts = {}
+    if args.variant in ("tiled", "lazy", "omp", "split"):
+        opts["tile_size"] = args.tile_size
+    if args.variant == "omp":
+        opts["nworkers"] = args.nworkers
+        opts["policy"] = args.policy
+    result = run_to_fixpoint(grid, args.kernel, args.variant, **opts)
+    print(
+        f"{args.kernel}/{args.variant}: stable after {result.iterations} iterations, "
+        f"{grid.total_grains()} grains on grid, {grid.sink_absorbed} absorbed by the sink"
+    )
+    if result.tiles_computed:
+        print(
+            f"tiles computed {result.tiles_computed}, skipped {result.tiles_skipped} "
+            f"({100 * result.skip_fraction:.1f}% lazy savings)"
+        )
+    if not args.quiet:
+        print(ascii_render(grid.interior))
+    if args.ppm:
+        write_ppm(args.ppm, sandpile_to_rgb(grid.interior))
+        print(f"wrote {args.ppm}")
+    return 0
+
+
+def stripes_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-stripes``."""
+    from repro.climate import run_warming_stripes_workflow
+
+    p = argparse.ArgumentParser(prog="repro-stripes", description="Warming stripes via MapReduce")
+    p.add_argument("--first-year", type=int, default=1881)
+    p.add_argument("--last-year", type=int, default=2019)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--format", dest="input_format", default="month-files",
+                   choices=["month-files", "station-files"])
+    p.add_argument("--missing-winter", type=int, metavar="YEAR",
+                   help="blank out Nov/Dec of YEAR (the 2020 validation lesson)")
+    p.add_argument("--cluster", action="store_true", help="run on the simulated cluster")
+    p.add_argument("--ppm", metavar="PATH", help="write the stripes image as PPM")
+    args = p.parse_args(argv)
+
+    wf = run_warming_stripes_workflow(
+        first_year=args.first_year,
+        last_year=args.last_year,
+        seed=args.seed,
+        input_format=args.input_format,
+        with_missing_winter=args.missing_winter,
+        on_cluster=args.cluster,
+    )
+    s = wf.stripes
+    print(
+        f"{len(wf.annual_means)} years, reference mean {s.reference_mean:.2f} degC, "
+        f"colourbar [{s.vmin:.2f}, {s.vmax:.2f}], trend {s.trend_degrees():+.2f} degC"
+    )
+    print(f"data quality: {wf.quality.summary()}")
+    print(s.ascii())
+    if args.ppm:
+        s.save_ppm(args.ppm)
+        print(f"wrote {args.ppm}")
+    return 0
+
+
+def carbon_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-carbon``."""
+    from repro.carbon import (
+        DEFAULT_SCENARIO,
+        baseline_summary,
+        question1_baseline,
+        question1_baselines,
+        question2_first_two_levels,
+        question3_comparison,
+        tab1_table,
+        tab2_table,
+        treasure_hunt,
+    )
+
+    p = argparse.ArgumentParser(prog="repro-carbon", description="Carbon-aware workflow scheduling")
+    p.add_argument("--tab", type=int, choices=[1, 2], default=1)
+    p.add_argument("--hunt", action="store_true", help="tab 2: run the treasure-hunt sweep")
+    p.add_argument("--answer-key", action="store_true",
+                   help="print the full instructor answer sheet for both tabs")
+    args = p.parse_args(argv)
+
+    if args.answer_key:
+        from repro.carbon import answer_sheet
+
+        print(answer_sheet())
+        return 0
+
+    if args.tab == 1:
+        print("Q1:", baseline_summary(question1_baseline()))
+        print(tab1_table(question3_comparison(), bound=DEFAULT_SCENARIO.time_bound))
+    else:
+        print(tab2_table(list(question1_baselines().values())))
+        print(tab2_table(list(question2_first_two_levels().values())))
+        if args.hunt:
+            results = treasure_hunt()
+            print(tab2_table(results, top=10))
+    return 0

@@ -1,0 +1,64 @@
+"""Warming Stripes with MapReduce (Sec. III of the paper).
+
+Synthetic DWD climate data (:mod:`~repro.climate.dwd`), the
+format-invariant averaging jobs (:mod:`~repro.climate.jobs`), the stripes
+visualization (:mod:`~repro.climate.stripes`), data-quality validation
+(:mod:`~repro.climate.validate`), and the four-phase data-science
+workflow tying them together (:mod:`~repro.climate.workflow`).
+"""
+
+from repro.climate.dwd import GERMAN_STATES, MONTH_NAMES, DwdDataset, generate_dataset
+from repro.climate.jobs import (
+    annual_mean_job,
+    make_averaging_mapper,
+    mean_reducer,
+    naive_mean_of_means_combiner,
+    parse_daily_file_line,
+    parse_month_file_line,
+    parse_station_file_line,
+    streaming_mapper,
+    streaming_reducer,
+    sum_count_combiner,
+)
+from repro.climate.sources import (
+    generate_global_dataset,
+    global_annual_mean_job,
+    global_anomaly_file,
+    parse_global_line,
+)
+from repro.climate.stripes import WarmingStripes
+from repro.climate.validate import (
+    DataQualityReport,
+    YearQuality,
+    seasonal_bias_estimate,
+    validate_annual_counts,
+)
+from repro.climate.workflow import WorkflowResult, run_warming_stripes_workflow
+
+__all__ = [
+    "GERMAN_STATES",
+    "MONTH_NAMES",
+    "DwdDataset",
+    "generate_dataset",
+    "annual_mean_job",
+    "make_averaging_mapper",
+    "mean_reducer",
+    "sum_count_combiner",
+    "naive_mean_of_means_combiner",
+    "parse_month_file_line",
+    "parse_daily_file_line",
+    "parse_station_file_line",
+    "streaming_mapper",
+    "streaming_reducer",
+    "WarmingStripes",
+    "generate_global_dataset",
+    "global_anomaly_file",
+    "parse_global_line",
+    "global_annual_mean_job",
+    "DataQualityReport",
+    "YearQuality",
+    "validate_annual_counts",
+    "seasonal_bias_estimate",
+    "WorkflowResult",
+    "run_warming_stripes_workflow",
+]

@@ -1,0 +1,214 @@
+"""MapReduce jobs for the Warming-Stripes assignment.
+
+The canonical solution the paper sketches: "a mapper whose key-value pairs
+at the output represent a year as the key and temperatures averaged over
+all states as the value ... for each year, a reducer then averages over
+all months."
+
+The software-engineering twist (Sec. III-A.4) is format invariance: "the
+mapper should be capable of averaging any kind of data ... it should
+include a data-pre-processing stage that reorders and rearranges the
+input".  That is realised here by factoring the mapper into *parser*
+(format-specific: month-file rows vs. station-file rows) and *averaging
+core* (format-agnostic, emitting ``(group_key, (sum, count))`` partials).
+Emitting sum/count pairs instead of plain means is what makes the
+combiner *correct* — a classic MapReduce lesson the tests demonstrate by
+also providing the subtly-wrong mean-of-means combiner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.mapreduce.job import MapReduceJob
+
+__all__ = [
+    "parse_month_file_line",
+    "parse_daily_file_line",
+    "parse_station_file_line",
+    "make_averaging_mapper",
+    "sum_count_combiner",
+    "mean_reducer",
+    "naive_mean_of_means_combiner",
+    "annual_mean_job",
+    "streaming_mapper",
+    "streaming_reducer",
+]
+
+
+# -- format-specific parsers ----------------------------------------------------
+
+
+def parse_month_file_line(line: str) -> Iterator[tuple[int, float]]:
+    """Parse one DWD month-file row into ``(year, state temperature)`` samples.
+
+    Rows look like ``1881;01;t1;...;t16;national``; header and comment
+    lines yield nothing.  The national column is *excluded* (it is derived
+    data, averaging it in would double-count).
+    """
+    line = line.strip()
+    if not line or line.startswith("#") or line.startswith("Jahr"):
+        return
+    cells = line.split(";")
+    if len(cells) < 4:
+        return
+    try:
+        year = int(cells[0])
+        values = [float(c) for c in cells[2:-1]]  # drop year, month, national
+    except ValueError:
+        return
+    for v in values:
+        yield year, v
+
+
+def parse_daily_file_line(line: str) -> Iterator[tuple[int, float]]:
+    """Parse one daily row ``Jahr;Monat;Tag;Temperatur`` into a sample.
+
+    The third input shape of the reusability exercise — plugging this
+    parser into :func:`make_averaging_mapper` is the *only* change needed
+    to digest 365x more data.
+    """
+    line = line.strip()
+    if not line or line.startswith("#") or line.startswith("Jahr"):
+        return
+    cells = line.split(";")
+    if len(cells) != 4:
+        return
+    try:
+        year = int(cells[0])
+        value = float(cells[3])
+    except ValueError:
+        return
+    yield year, value
+
+
+def parse_station_file_line(line: str) -> Iterator[tuple[int, float]]:
+    """Parse one station-series row ``Jahr;Monat;Temperatur`` into samples."""
+    line = line.strip()
+    if not line or line.startswith("#") or line.startswith("Jahr"):
+        return
+    cells = line.split(";")
+    if len(cells) != 3:
+        return
+    try:
+        year = int(cells[0])
+        value = float(cells[2])
+    except ValueError:
+        return
+    yield year, value
+
+
+# -- format-agnostic averaging core -------------------------------------------------
+
+
+def make_averaging_mapper(parser) -> "callable":
+    """Build a mapper: parse a line with *parser*, emit ``(key, (sum, count))``.
+
+    Any parser producing ``(group_key, numeric_value)`` samples plugs in —
+    the averaging machinery never changes, which is the assignment's
+    reusability requirement.
+    """
+
+    def mapper(_key, line) -> Iterator[tuple]:
+        for group_key, value in parser(str(line)):
+            yield group_key, (float(value), 1)
+
+    return mapper
+
+
+def sum_count_combiner(key, partials: list) -> Iterator[tuple]:
+    """Correct combiner: add up ``(sum, count)`` partials."""
+    total = 0.0
+    count = 0
+    for s, c in partials:
+        total += s
+        count += c
+    yield key, (total, count)
+
+
+def mean_reducer(key, partials: list) -> Iterator[tuple]:
+    """Final reducer: weighted mean of ``(sum, count)`` partials."""
+    total = 0.0
+    count = 0
+    for s, c in partials:
+        total += s
+        count += c
+    if count:
+        yield key, total / count
+
+
+def naive_mean_of_means_combiner(key, partials: list) -> Iterator[tuple]:
+    """The *wrong* combiner students often write: average the partials.
+
+    Averaging means of unequal-sized groups is not associative; with this
+    combiner the job's answer depends on how the input was split.  Kept in
+    the library so tests and teaching material can demonstrate the bug.
+    """
+    sums = [s for s, _ in partials]
+    counts = [c for _, c in partials]
+    yield key, (sum(sums) / len(sums), max(1, round(sum(counts) / len(counts))))
+
+
+def annual_mean_job(
+    *,
+    input_format: str = "month-files",
+    with_combiner: bool = True,
+    num_reducers: int = 1,
+) -> MapReduceJob:
+    """The assignment's job: annual mean temperature per year.
+
+    ``input_format`` selects the parser (``month-files`` or
+    ``station-files``); the rest of the pipeline is identical, as required.
+    """
+    parsers = {
+        "month-files": parse_month_file_line,
+        "station-files": parse_station_file_line,
+        "daily-files": parse_daily_file_line,
+    }
+    try:
+        parser = parsers[input_format]
+    except KeyError:
+        raise ValueError(
+            f"unknown input_format {input_format!r}; choose from {sorted(parsers)}"
+        ) from None
+    return MapReduceJob(
+        mapper=make_averaging_mapper(parser),
+        combiner=sum_count_combiner if with_combiner else None,
+        reducer=mean_reducer,
+        num_reducers=num_reducers,
+        name=f"annual-mean[{input_format}]",
+    )
+
+
+# -- Hadoop-streaming versions ---------------------------------------------------------
+#
+# These are the assignment solution as students would literally write it:
+# stdin lines in, `key\tvalue` lines out, key-boundary detection by hand.
+
+
+def streaming_mapper(lines) -> Iterator[str]:
+    """Streaming mapper: month-file rows -> ``year<TAB>sum,count`` lines."""
+    for line in lines:
+        for year, value in parse_month_file_line(line):
+            yield f"{year}\t{value},1"
+
+
+def streaming_reducer(lines) -> Iterator[str]:
+    """Streaming reducer over sorted lines: ``year<TAB>annual mean``."""
+    current_key: str | None = None
+    total = 0.0
+    count = 0
+
+    def emit():
+        if current_key is not None and count:
+            yield f"{current_key}\t{total / count:.6f}"
+
+    for line in lines:
+        key, payload = line.rstrip("\n").split("\t", 1)
+        s, c = payload.split(",")
+        if key != current_key:
+            yield from emit()
+            current_key, total, count = key, 0.0, 0
+        total += float(s)
+        count += int(c)
+    yield from emit()

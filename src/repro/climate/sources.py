@@ -1,0 +1,106 @@
+"""Additional synthetic climate-data sources.
+
+"The cluster is used to execute the final implementation ... optionally
+also for larger data sets to be downloaded by the students from various
+different sources."  Beyond the DWD regional files, this module provides
+a GISTEMP-flavoured *global* source so students can rebuild Ed Hawkins'
+famous worldwide stripes with the very same MapReduce job:
+
+* :func:`generate_global_dataset` — monthly global-mean temperature
+  anomalies 1880 onwards, with the observed shape: ~flat to 1940, a
+  mid-century plateau, then steep warming to ~+1.0 degC by 2019;
+* :func:`global_anomaly_file` — one CSV-ish text rendering
+  (``Year;Month;Anomaly``) digestible by the existing averaging mapper via
+  :func:`parse_global_line`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+
+__all__ = [
+    "generate_global_dataset",
+    "global_anomaly_file",
+    "parse_global_line",
+    "global_annual_mean_job",
+]
+
+
+def _global_trend(years: np.ndarray) -> np.ndarray:
+    """Global-mean anomaly (degC vs late-19th-century baseline) per year.
+
+    Piecewise: slow warming to 1940 (+0.2), a flat mid-century plateau
+    (aerosol masking), then ~+0.018 degC/yr after 1970 — reaching ~+1.0
+    by 2019, the familiar GISTEMP shape.
+    """
+    early = np.clip(years - 1880, 0, 60) * (0.2 / 60)
+    late = np.clip(years - 1970, 0, None) * 0.018
+    return early + late
+
+
+def generate_global_dataset(
+    first_year: int = 1880,
+    last_year: int = 2019,
+    *,
+    seed: int | np.random.Generator | None = 99,
+) -> np.ndarray:
+    """Monthly global anomalies: array ``(n_years, 12)`` in degC."""
+    if last_year < first_year:
+        raise ConfigurationError("last_year must be >= first_year")
+    rng = make_rng(seed)
+    years = np.arange(first_year, last_year + 1)
+    trend = _global_trend(years)[:, None]
+    # global means are far less noisy than regional ones (sigma ~0.1 degC),
+    # with a small ENSO-like interannual component shared across months
+    enso = rng.normal(0.0, 0.09, size=(years.size, 1))
+    monthly = rng.normal(0.0, 0.05, size=(years.size, 12))
+    return trend + enso + monthly
+
+
+def global_anomaly_file(
+    first_year: int = 1880,
+    last_year: int = 2019,
+    *,
+    seed: int = 99,
+) -> Iterator[str]:
+    """Text rendering: header + one ``Year;Month;Anomaly`` row per month."""
+    data = generate_global_dataset(first_year, last_year, seed=seed)
+    yield "Year;Month;Anomaly"
+    for yi, year in enumerate(range(first_year, last_year + 1)):
+        for m in range(12):
+            yield f"{year};{m + 1:02d};{data[yi, m]:+.3f}"
+
+
+def parse_global_line(line: str) -> Iterator[tuple[int, float]]:
+    """Parser plugging the global source into the averaging machinery."""
+    line = line.strip()
+    if not line or line.startswith("Year") or line.startswith("#"):
+        return
+    cells = line.split(";")
+    if len(cells) != 3:
+        return
+    try:
+        year = int(cells[0])
+        value = float(cells[1 + 1])
+    except ValueError:
+        return
+    yield year, value
+
+
+def global_annual_mean_job(**kwargs):
+    """The same assignment job, pointed at the global source."""
+    from repro.climate.jobs import make_averaging_mapper, mean_reducer, sum_count_combiner
+    from repro.mapreduce.job import MapReduceJob
+
+    return MapReduceJob(
+        mapper=make_averaging_mapper(parse_global_line),
+        combiner=sum_count_combiner,
+        reducer=mean_reducer,
+        name="global-annual-anomaly",
+        **kwargs,
+    )

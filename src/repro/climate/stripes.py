@@ -1,0 +1,179 @@
+"""Warming-stripes computation and rendering (Fig. 6).
+
+Ed Hawkins' stripes assign one vertical colour bar per year, coloured by
+the year's mean temperature on a diverging blue-red ramp.  The paper pins
+the colourbar exactly: "first computing the average temperature of the
+whole time span and then adding and subtracting 1.5 degC to set the
+maximum and minimum".  :class:`WarmingStripes` reproduces that rule and
+renders through :func:`repro.common.colors.stripes_to_rgb`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.colors import diverging_rgb, stripes_to_rgb, write_ppm
+from repro.common.errors import DataValidationError
+
+__all__ = ["WarmingStripes"]
+
+#: the paper's colourbar half-range (degC around the long-term mean)
+COLORBAR_HALF_RANGE = 1.5
+
+
+@dataclass
+class WarmingStripes:
+    """Annual means plus the derived colourbar; renders to an RGB image."""
+
+    years: np.ndarray  # (n,) int, consecutive
+    means: np.ndarray  # (n,) float degC, nan = missing year
+
+    @classmethod
+    def from_annual_means(cls, annual_means: dict[int, float]) -> "WarmingStripes":
+        """Build from ``{year: mean}``, filling gaps in the range with nan."""
+        if not annual_means:
+            raise DataValidationError("no annual means to plot")
+        y0, y1 = min(annual_means), max(annual_means)
+        years = np.arange(y0, y1 + 1)
+        means = np.array([annual_means.get(int(y), np.nan) for y in years])
+        return cls(years=years, means=means)
+
+    def __post_init__(self) -> None:
+        if self.years.shape != self.means.shape:
+            raise DataValidationError("years and means must have equal length")
+        if self.years.size == 0:
+            raise DataValidationError("empty stripes")
+
+    # -- colourbar (the paper's manual rule) -------------------------------------
+
+    @property
+    def reference_mean(self) -> float:
+        """Average temperature of the whole time span (nan-aware)."""
+        valid = ~np.isnan(self.means)
+        if not valid.any():
+            raise DataValidationError("all years missing")
+        return float(self.means[valid].mean())
+
+    @property
+    def vmin(self) -> float:
+        """Lower colourbar pin: reference mean minus 1.5 degC."""
+        return self.reference_mean - COLORBAR_HALF_RANGE
+
+    @property
+    def vmax(self) -> float:
+        """Upper colourbar pin: reference mean plus 1.5 degC."""
+        return self.reference_mean + COLORBAR_HALF_RANGE
+
+    # -- queries -----------------------------------------------------------------------
+
+    def color_of(self, year: int) -> tuple[int, int, int]:
+        """RGB colour of one year's stripe."""
+        idx = int(year) - int(self.years[0])
+        if not (0 <= idx < self.years.size):
+            raise DataValidationError(f"year {year} outside range")
+        v = self.means[idx]
+        if np.isnan(v):
+            return (128, 128, 128)
+        return diverging_rgb(float(v), self.vmin, self.vmax)
+
+    def trend_degrees(self) -> float:
+        """Least-squares warming over the span (degC, first to last year)."""
+        valid = ~np.isnan(self.means)
+        if valid.sum() < 2:
+            raise DataValidationError("need at least two years for a trend")
+        coeffs = np.polyfit(self.years[valid], self.means[valid], 1)
+        return float(coeffs[0] * (self.years[-1] - self.years[0]))
+
+    # -- rendering ----------------------------------------------------------------------
+
+    def image(self, *, height: int = 100, stripe_width: int = 4) -> np.ndarray:
+        """The stripes as an ``(H, W, 3) uint8`` RGB array."""
+        return stripes_to_rgb(
+            self.means, self.vmin, self.vmax, height=height, stripe_width=stripe_width
+        )
+
+    def save_ppm(self, path, *, height: int = 100, stripe_width: int = 4) -> None:
+        """Write the stripes image as a binary PPM file."""
+        write_ppm(path, self.image(height=height, stripe_width=stripe_width))
+
+    # -- anomaly view (showyourstripes' "bars" mode) -----------------------------
+
+    def anomalies(self, *, baseline: tuple[int, int] | None = None) -> np.ndarray:
+        """Per-year anomaly (degC) against a baseline period's mean.
+
+        *baseline* is an inclusive ``(first, last)`` year range; the
+        default is the 1971-2000-style convention: the last 30 years of
+        the series (or the whole span when shorter).  Missing years stay
+        ``nan``.
+        """
+        if baseline is None:
+            last = int(self.years[-1])
+            baseline = (max(int(self.years[0]), last - 29), last)
+        b0, b1 = baseline
+        mask = (self.years >= b0) & (self.years <= b1) & ~np.isnan(self.means)
+        if not mask.any():
+            raise DataValidationError(f"no data in baseline {baseline}")
+        return self.means - float(self.means[mask].mean())
+
+    def bars_image(
+        self,
+        *,
+        baseline: tuple[int, int] | None = None,
+        height: int = 120,
+        stripe_width: int = 4,
+    ) -> np.ndarray:
+        """The "stripes with bars" variant: bar height encodes the anomaly.
+
+        Each year's stripe extends from the vertical midline by an amount
+        proportional to its anomaly — up (red) for warm, down (blue) for
+        cold; the background stays white.
+        """
+        anoms = self.anomalies(baseline=baseline)
+        finite = anoms[~np.isnan(anoms)]
+        if finite.size == 0:
+            raise DataValidationError("all years missing")
+        scale = max(abs(float(finite.min())), abs(float(finite.max())), 1e-9)
+        img = np.full((height, anoms.size * stripe_width, 3), 255, dtype=np.uint8)
+        mid = height // 2
+        half = mid - 1
+        for i, a in enumerate(anoms):
+            xs = slice(i * stripe_width, (i + 1) * stripe_width)
+            if np.isnan(a):
+                img[mid - 1 : mid + 1, xs] = (128, 128, 128)
+                continue
+            colour = diverging_rgb(float(a), -scale, scale)
+            extent = max(1, int(round(abs(a) / scale * half)))
+            if a >= 0:
+                img[mid - extent : mid, xs] = colour
+            else:
+                img[mid : mid + extent, xs] = colour
+        return img
+
+    def ascii(self, *, width_chars: int = 80) -> str:
+        """Terminal rendering: one character per (downsampled) year.
+
+        ``b``/``B`` cold, ``.`` neutral, ``r``/``R`` warm, ``?`` missing —
+        enough to see the blue-to-red drift in a test log.
+        """
+        n = self.years.size
+        step = max(1, int(np.ceil(n / width_chars)))
+        chars = []
+        for i in range(0, n, step):
+            v = self.means[i]
+            if np.isnan(v):
+                chars.append("?")
+                continue
+            t = (float(v) - self.vmin) / (self.vmax - self.vmin)
+            if t < 0.2:
+                chars.append("B")
+            elif t < 0.4:
+                chars.append("b")
+            elif t < 0.6:
+                chars.append(".")
+            elif t < 0.8:
+                chars.append("r")
+            else:
+                chars.append("R")
+        return "".join(chars)

@@ -1,0 +1,123 @@
+"""Result validation — phase 4 of the data-science workflow.
+
+The assignment's punchline: DWD data downloaded in late 2020 was missing
+the last months of the year, so a naive annual mean is biased warm
+(missing winter months).  This module detects exactly that: per-year
+sample counts, incomplete years, and a seasonal-bias estimate for each
+incomplete year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import DataValidationError
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.job import MapReduceJob
+
+__all__ = ["YearQuality", "DataQualityReport", "validate_annual_counts", "count_samples_job"]
+
+#: expected samples per complete year: 12 months x 16 states
+EXPECTED_SAMPLES_PER_YEAR = 12 * 16
+
+
+@dataclass(frozen=True)
+class YearQuality:
+    """Per-year data-quality verdict."""
+
+    year: int
+    samples: int
+    expected: int
+
+    @property
+    def complete(self) -> bool:
+        """True when the year has all expected samples."""
+        return self.samples >= self.expected
+
+    @property
+    def missing_fraction(self) -> float:
+        """Share of expected samples that are absent."""
+        return 1.0 - self.samples / self.expected if self.expected else 0.0
+
+
+@dataclass
+class DataQualityReport:
+    """All per-year verdicts plus convenience views."""
+
+    years: list[YearQuality] = field(default_factory=list)
+
+    @property
+    def incomplete_years(self) -> list[int]:
+        """Years flagged with missing samples."""
+        return [y.year for y in self.years if not y.complete]
+
+    @property
+    def complete_years(self) -> list[int]:
+        """Years with all expected samples present."""
+        return [y.year for y in self.years if y.complete]
+
+    def is_clean(self) -> bool:
+        """True when no year is incomplete."""
+        return not self.incomplete_years
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.is_clean():
+            return f"all {len(self.years)} years complete"
+        bad = ", ".join(
+            f"{y.year} ({y.samples}/{y.expected})" for y in self.years if not y.complete
+        )
+        return f"{len(self.incomplete_years)} incomplete year(s): {bad}"
+
+
+def count_samples_job(parser) -> MapReduceJob:
+    """A MapReduce job counting samples per year — validation via the
+    same paradigm the analysis uses (good practice the course teaches)."""
+
+    def mapper(_key, line):
+        for year, _value in parser(str(line)):
+            yield year, 1
+
+    def reducer(year, ones):
+        yield year, sum(ones)
+
+    def combiner(year, ones):
+        yield year, sum(ones)
+
+    return MapReduceJob(mapper=mapper, reducer=reducer, combiner=combiner, name="count-samples")
+
+
+def validate_annual_counts(
+    splits,
+    parser,
+    *,
+    expected_per_year: int = EXPECTED_SAMPLES_PER_YEAR,
+) -> DataQualityReport:
+    """Run the sample-count job over *splits* and report incomplete years."""
+    if expected_per_year < 1:
+        raise DataValidationError("expected_per_year must be >= 1")
+    result = run_job(count_samples_job(parser), splits)
+    report = DataQualityReport()
+    for year, count in sorted(result.pairs):
+        report.years.append(YearQuality(int(year), int(count), expected_per_year))
+    return report
+
+
+def seasonal_bias_estimate(present_months: list[int]) -> float:
+    """Rough warm-bias (degC) of an annual mean missing some months.
+
+    Uses the German seasonal cycle: the bias is the difference between the
+    mean over *present* months and the full-year mean of the climatology.
+    E.g. missing Nov+Dec (the 2020 case) biases the year ~+1 degC warm.
+    """
+    from repro.climate.dwd import _SEASONAL_CYCLE
+
+    if not present_months:
+        raise DataValidationError("no months present")
+    cycle = np.asarray(_SEASONAL_CYCLE)
+    idx = [m - 1 for m in present_months]
+    if any(not (0 <= i < 12) for i in idx):
+        raise DataValidationError("months must be in 1..12")
+    return float(cycle[idx].mean() - cycle.mean())

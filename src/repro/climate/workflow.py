@@ -1,0 +1,115 @@
+"""The four-phase data-science workflow, end to end.
+
+The assignment "guides students through ... (1) data acquisition, (2) data
+pre-processing, (3) computations to analyze data, and (4) result
+validation".  :func:`run_warming_stripes_workflow` performs the four
+phases against the synthetic DWD source and returns every intermediate
+artifact, so examples, tests and the Fig. 6 benchmark all share one
+codepath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.climate.dwd import DwdDataset, generate_dataset
+from repro.climate.jobs import annual_mean_job, parse_month_file_line, parse_station_file_line
+from repro.climate.stripes import WarmingStripes
+from repro.climate.validate import (
+    EXPECTED_SAMPLES_PER_YEAR,
+    DataQualityReport,
+    validate_annual_counts,
+)
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.engine import JobResult, run_job
+from repro.mapreduce.textio import text_splits
+
+__all__ = ["WorkflowResult", "run_warming_stripes_workflow"]
+
+_PARSERS = {
+    "month-files": parse_month_file_line,
+    "station-files": parse_station_file_line,
+}
+
+
+@dataclass
+class WorkflowResult:
+    """Artifacts of all four phases."""
+
+    dataset: DwdDataset                  # phase 1: acquisition
+    input_lines: list[str]               # phase 2: pre-processing (flattened text)
+    job_result: JobResult                # phase 3: analysis
+    annual_means: dict[int, float]
+    quality: DataQualityReport           # phase 4: validation
+    stripes: WarmingStripes
+
+    @property
+    def suspicious_years(self) -> list[int]:
+        """Years whose mean is untrustworthy (incomplete data)."""
+        return self.quality.incomplete_years
+
+
+def run_warming_stripes_workflow(
+    *,
+    first_year: int = 1881,
+    last_year: int = 2019,
+    seed: int = 42,
+    input_format: str = "month-files",
+    n_splits: int = 12,
+    with_missing_winter: int | None = None,
+    on_cluster: bool = False,
+    cluster_config: ClusterConfig | None = None,
+) -> WorkflowResult:
+    """Run acquisition -> pre-processing -> MapReduce -> validation.
+
+    Parameters
+    ----------
+    with_missing_winter:
+        If set to a year, that year's November and December are removed
+    before analysis — the paper's 2020 scenario.
+    input_format:
+        ``month-files`` (12 files, states as columns) or ``station-files``
+        (one file per state) — same job either way.
+    on_cluster:
+        Route the job through the simulated cluster instead of the local
+        engine (identical results, different timing report).
+    """
+    # Phase 1: acquisition ("download" the synthetic DWD data).
+    dataset = generate_dataset(first_year, last_year, seed=seed)
+    if with_missing_winter is not None:
+        dataset.inject_missing(with_missing_winter, [11, 12])
+
+    # Phase 2: pre-processing — flatten the chosen file shape into lines.
+    if input_format == "month-files":
+        files = dataset.month_files().values()
+    elif input_format == "station-files":
+        files = dataset.station_files().values()
+    else:
+        raise ValueError(f"unknown input_format {input_format!r}")
+    input_lines = [line for f in files for line in f]
+    splits = text_splits(input_lines, n_splits)
+
+    # Phase 3: analysis — the MapReduce job.
+    job = annual_mean_job(input_format=input_format)
+    if on_cluster:
+        cluster = SimulatedCluster(cluster_config or ClusterConfig())
+        job_result, _report = cluster.run(job, splits)
+    else:
+        job_result = run_job(job, splits)
+    annual_means = {int(k): float(v) for k, v in job_result.pairs}
+
+    # Phase 4: validation — sample counts per year.
+    expected = EXPECTED_SAMPLES_PER_YEAR
+    if input_format == "station-files":
+        expected = 12 * len(dataset.states)
+    quality = validate_annual_counts(splits, _PARSERS[input_format], expected_per_year=expected)
+
+    stripes = WarmingStripes.from_annual_means(annual_means)
+    return WorkflowResult(
+        dataset=dataset,
+        input_lines=input_lines,
+        job_result=job_result,
+        annual_means=annual_means,
+        quality=quality,
+        stripes=stripes,
+    )

@@ -1,0 +1,34 @@
+"""Shared infrastructure: RNG, units, tables, colours, timing, errors."""
+
+from repro.common.errors import (
+    CommunicationError,
+    ConfigurationError,
+    DataValidationError,
+    KernelError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng, spawn_rngs
+from repro.common.tables import Table, format_table, histogram_bar
+from repro.common.timing import Stopwatch, TimingResult, time_call
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "CommunicationError",
+    "SchedulingError",
+    "DataValidationError",
+    "KernelError",
+    "DEFAULT_SEED",
+    "make_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "Table",
+    "format_table",
+    "histogram_bar",
+    "Stopwatch",
+    "TimingResult",
+    "time_call",
+]

@@ -1,0 +1,150 @@
+"""Colour maps and image output.
+
+Two palettes matter for the paper:
+
+* the **sandpile palette** of Fig. 1 — black for 0 grains, green for 1,
+  blue for 2, red for 3 (and a saturation ramp for still-unstable cells);
+* a **diverging blue-white-red map** for the warming stripes of Fig. 6,
+  modelled on ColorBrewer's RdBu ramp that Ed Hawkins' original uses.
+
+Images are plain ``uint8`` RGB numpy arrays of shape ``(H, W, 3)``; they can
+be written to the venerable binary PPM format, which needs no external
+imaging library and is accepted by every viewer/converter.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SANDPILE_PALETTE",
+    "sandpile_to_rgb",
+    "diverging_rgb",
+    "stripes_to_rgb",
+    "write_ppm",
+    "ascii_render",
+]
+
+#: Fig. 1 colours: index = grain count (0..3); unstable cells (>=4) reuse red
+#: with increasing brightness so animations show activity.
+SANDPILE_PALETTE: tuple[tuple[int, int, int], ...] = (
+    (0, 0, 0),        # 0 grains: black
+    (0, 200, 0),      # 1 grain : green
+    (0, 80, 255),     # 2 grains: blue
+    (255, 40, 40),    # 3 grains: red
+)
+
+#: ColorBrewer-like 11-class RdBu anchor colours, blue (cold) -> red (warm).
+_RDBU_ANCHORS: tuple[tuple[int, int, int], ...] = (
+    (5, 48, 97),
+    (33, 102, 172),
+    (67, 147, 195),
+    (146, 197, 222),
+    (209, 229, 240),
+    (247, 247, 247),
+    (253, 219, 199),
+    (244, 165, 130),
+    (214, 96, 77),
+    (178, 24, 43),
+    (103, 0, 31),
+)
+
+
+def sandpile_to_rgb(grid: np.ndarray) -> np.ndarray:
+    """Render a sandpile state to an RGB image using the Fig. 1 palette.
+
+    *grid* holds grain counts; values ``>= 4`` (unstable, mid-simulation)
+    are drawn as bright white-hot pixels so activity is visible.
+    """
+    g = np.asarray(grid)
+    if g.ndim != 2:
+        raise ValueError(f"expected a 2D grid, got shape {g.shape}")
+    img = np.empty((*g.shape, 3), dtype=np.uint8)
+    stable = np.clip(g, 0, 3).astype(np.intp)
+    palette = np.array(SANDPILE_PALETTE, dtype=np.uint8)
+    img[:] = palette[stable]
+    hot = g >= 4
+    if hot.any():
+        # brightness grows with log2 of the surplus, capped at white
+        level = np.clip(180 + 15 * np.log2(g[hot].astype(float) - 2.0), 0, 255)
+        img[hot] = np.stack([level, level * 0.9, level * 0.6], axis=-1).astype(np.uint8)
+    return img
+
+
+def diverging_rgb(value: float, vmin: float, vmax: float) -> tuple[int, int, int]:
+    """Map *value* in ``[vmin, vmax]`` onto the blue-white-red diverging ramp.
+
+    Values outside the range clamp to the end colours, mirroring how the
+    warming-stripes colourbar is manually pinned to mean +/- 1.5 degC.
+    """
+    if vmax <= vmin:
+        raise ValueError("vmax must exceed vmin")
+    t = (float(value) - vmin) / (vmax - vmin)
+    t = min(max(t, 0.0), 1.0)
+    pos = t * (len(_RDBU_ANCHORS) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(_RDBU_ANCHORS) - 1)
+    frac = pos - lo
+    c0 = np.array(_RDBU_ANCHORS[lo], dtype=float)
+    c1 = np.array(_RDBU_ANCHORS[hi], dtype=float)
+    r, g, b = np.round(c0 + frac * (c1 - c0)).astype(int)
+    return int(r), int(g), int(b)
+
+
+def stripes_to_rgb(
+    values: Sequence[float],
+    vmin: float,
+    vmax: float,
+    *,
+    height: int = 100,
+    stripe_width: int = 4,
+) -> np.ndarray:
+    """Render one vertical stripe per value — the Fig. 6 visualization.
+
+    *values* are annual mean temperatures ordered by year; each becomes a
+    ``stripe_width``-pixel-wide column coloured by :func:`diverging_rgb`.
+    Missing years may be passed as ``nan`` and are drawn grey.
+    """
+    vals = np.asarray(list(values), dtype=float)
+    if vals.ndim != 1 or vals.size == 0:
+        raise ValueError("values must be a non-empty 1D sequence")
+    if height <= 0 or stripe_width <= 0:
+        raise ValueError("height and stripe_width must be positive")
+    img = np.empty((height, vals.size * stripe_width, 3), dtype=np.uint8)
+    for i, v in enumerate(vals):
+        colour = (128, 128, 128) if np.isnan(v) else diverging_rgb(v, vmin, vmax)
+        img[:, i * stripe_width : (i + 1) * stripe_width] = colour
+    return img
+
+
+def write_ppm(path: str | os.PathLike, image: np.ndarray) -> None:
+    """Write an ``(H, W, 3) uint8`` RGB array as a binary PPM (P6) file."""
+    img = np.asarray(image)
+    if img.ndim != 3 or img.shape[2] != 3 or img.dtype != np.uint8:
+        raise ValueError("image must be an (H, W, 3) uint8 array")
+    h, w = img.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(img.tobytes())
+
+
+def ascii_render(grid: np.ndarray, *, max_size: int = 64) -> str:
+    """Downsampled ASCII view of a sandpile grid (for terminals / logs).
+
+    Each character encodes the dominant grain count of its block:
+    ``' '`` 0, ``'.'`` 1, ``'+'`` 2, ``'#'`` 3, ``'@'`` unstable.
+    """
+    g = np.asarray(grid)
+    if g.ndim != 2:
+        raise ValueError("expected a 2D grid")
+    step = max(1, int(np.ceil(max(g.shape) / max_size)))
+    sampled = g[::step, ::step]
+    chars = np.array([" ", ".", "+", "#"])
+    out_lines = []
+    for row in sampled:
+        line = "".join("@" if v >= 4 else chars[int(v)] for v in row)
+        out_lines.append(line)
+    return "\n".join(out_lines)

@@ -1,0 +1,46 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+Keeping a single root exception (:class:`ReproError`) lets callers catch
+"anything this library raised" without also swallowing genuine programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "CommunicationError",
+    "SchedulingError",
+    "DataValidationError",
+    "KernelError",
+]
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation reached an inconsistent or impossible state."""
+
+
+class CommunicationError(ReproError, RuntimeError):
+    """A message-passing operation failed (bad rank, deadlock, type...)."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """A scheduler could not produce a valid assignment."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """Input data failed a quality/consistency check."""
+
+
+class KernelError(ReproError, RuntimeError):
+    """A compute kernel or kernel variant misbehaved (unknown name, ...)."""

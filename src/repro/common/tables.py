@@ -1,0 +1,88 @@
+"""Plain-text table rendering for benchmark harnesses and reports.
+
+Every benchmark in ``benchmarks/`` prints the rows the paper reports
+(Table I, the survey of Fig. 5, per-experiment sweeps) through
+:class:`Table`, so all harness output shares one format and the tests can
+assert on structure instead of ad-hoc string formatting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_table", "histogram_bar"]
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An accumulating plain-text table.
+
+    >>> t = Table(["name", "value"], title="demo")
+    >>> t.add_row(["x", 1.0])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    columns: Sequence[str]
+    title: str | None = None
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable) -> None:
+        """Append one row; values are stringified with 4-significant-digit floats."""
+        cells = [_cell(v) for v in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render to an aligned ASCII table string."""
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        lines.append(fmt_row(headers))
+        lines.append(sep)
+        lines.extend(fmt_row(r) for r in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_table(columns: Sequence[str], rows: Iterable[Iterable], title: str | None = None) -> str:
+    """One-shot helper: build a :class:`Table` from rows and render it."""
+    t = Table(columns, title=title)
+    for row in rows:
+        t.add_row(row)
+    return t.render()
+
+
+def histogram_bar(count: int, max_count: int, width: int = 30, char: str = "#") -> str:
+    """A text bar proportional to ``count / max_count``, used by the survey renderer."""
+    if max_count <= 0:
+        return ""
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    n = round(width * count / max_count)
+    if count > 0:
+        n = max(n, 1)  # nonzero counts always show at least one tick
+    return char * n

@@ -1,0 +1,94 @@
+"""Wall-clock measurement helpers.
+
+EASYPAP teaches students "no optimisation without measuring"; this module is
+the measuring tape.  :class:`Stopwatch` accumulates intervals (usable as a
+context manager), and :func:`time_call` runs a callable several times and
+reports the best-of-N, the standard methodology for micro-benchmarks (the
+minimum is the least noisy estimator of intrinsic cost on a busy machine).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "time_call", "TimingResult"]
+
+
+class Stopwatch:
+    """Accumulating timer based on :func:`time.perf_counter`.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._started: float | None = None
+        self.intervals: list[float] = []
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) the stopwatch; returns self for chaining."""
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the just-measured interval (seconds)."""
+        if self._started is None:
+            raise RuntimeError("stopwatch is not running")
+        dt = time.perf_counter() - self._started
+        self._started = None
+        self._total += dt
+        self.intervals.append(dt)
+        return dt
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated time, including a currently-running interval."""
+        running = 0.0
+        if self._started is not None:
+            running = time.perf_counter() - self._started
+        return self._total + running
+
+    def reset(self) -> None:
+        """Clear all accumulated state."""
+        self._total = 0.0
+        self._started = None
+        self.intervals.clear()
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class TimingResult:
+    """Outcome of :func:`time_call`."""
+
+    best: float
+    mean: float
+    runs: list[float] = field(default_factory=list)
+
+    @property
+    def worst(self) -> float:
+        """The slowest observed run, in seconds."""
+        return max(self.runs) if self.runs else self.best
+
+
+def time_call(fn, *args, repeat: int = 3, **kwargs) -> TimingResult:
+    """Call ``fn(*args, **kwargs)`` *repeat* times; report best/mean seconds."""
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    runs: list[float] = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        runs.append(time.perf_counter() - t0)
+    return TimingResult(best=min(runs), mean=sum(runs) / len(runs), runs=runs)

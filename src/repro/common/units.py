@@ -1,0 +1,114 @@
+"""Physical-unit helpers for the simulators.
+
+The carbon-footprint simulator mixes seconds, watts, kilowatt-hours, bytes
+and grams of CO2-equivalent; mixing them up silently is the classic source
+of off-by-1000 bugs, so conversions are centralised here and named
+explicitly.  All values are plain floats — the overhead of a full unit
+system is not justified for an inner simulation loop.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB", "MB", "GB", "TB",
+    "KILO", "MEGA", "GIGA",
+    "MINUTE", "HOUR",
+    "joules_to_kwh", "kwh_to_joules",
+    "watts_to_kw",
+    "bytes_to_gb", "gb_to_bytes", "mb_to_bytes",
+    "grams_co2e",
+    "format_bytes", "format_duration", "format_power", "format_co2",
+]
+
+# Binary prefixes are deliberately *not* used: network/storage vendors and
+# the paper's "7.5GB total data footprint" speak decimal units.
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+MINUTE = 60.0
+HOUR = 3600.0
+
+_JOULES_PER_KWH = 3.6e6
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert energy in joules to kilowatt-hours."""
+    return joules / _JOULES_PER_KWH
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Convert energy in kilowatt-hours to joules."""
+    return kwh * _JOULES_PER_KWH
+
+
+def watts_to_kw(watts: float) -> float:
+    """Convert power in watts to kilowatts."""
+    return watts / 1e3
+
+
+def bytes_to_gb(nbytes: float) -> float:
+    """Convert a byte count to decimal gigabytes."""
+    return nbytes / GB
+
+
+def gb_to_bytes(gb: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return gb * GB
+
+
+def mb_to_bytes(mb: float) -> float:
+    """Convert decimal megabytes to bytes."""
+    return mb * MB
+
+
+def grams_co2e(energy_joules: float, intensity_g_per_kwh: float) -> float:
+    """Carbon emission (gCO2e) of *energy_joules* at a given carbon intensity.
+
+    *intensity_g_per_kwh* is the grid's carbon intensity in grams of CO2
+    equivalent per kWh (the paper's local power plant emits 291 gCO2e/kWh).
+    """
+    if intensity_g_per_kwh < 0:
+        raise ValueError("carbon intensity cannot be negative")
+    return joules_to_kwh(energy_joules) * intensity_g_per_kwh
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable decimal byte count, e.g. ``7.50 GB``."""
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(nbytes) >= unit:
+            return f"{nbytes / unit:.2f} {name}"
+    return f"{nbytes:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``2m 03.5s``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.2f}s"
+    if seconds < HOUR:
+        m, s = divmod(seconds, MINUTE)
+        return f"{int(m)}m {s:04.1f}s"
+    h, rest = divmod(seconds, HOUR)
+    m = rest / MINUTE
+    return f"{int(h)}h {m:04.1f}m"
+
+
+def format_power(watts: float) -> str:
+    """Human-readable power, e.g. ``12.4 kW``."""
+    if abs(watts) >= 1e3:
+        return f"{watts / 1e3:.2f} kW"
+    return f"{watts:.1f} W"
+
+
+def format_co2(grams: float) -> str:
+    """Human-readable CO2-equivalent mass, e.g. ``1.25 kgCO2e``."""
+    if abs(grams) >= 1e3:
+        return f"{grams / 1e3:.3f} kgCO2e"
+    return f"{grams:.2f} gCO2e"

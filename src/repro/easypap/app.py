@@ -1,0 +1,140 @@
+"""The EASYPAP-style application loop.
+
+EASYPAP's main program wires a kernel variant to an interactive SDL window
+with monitoring; students run ``./run -k sandpile -v omp -ts 32``.  This
+module is the headless counterpart: :class:`EasyPapApp` resolves a
+variant from the registry, drives it to the fixpoint (or an iteration
+budget), and on the way collects everything the interactive tools would
+show — periodic RGB frames (writable as a PPM sequence), per-iteration
+timing, and the execution trace.
+
+>>> app = EasyPapApp("sandpile", "lazy", grid, tile_size=16)
+>>> result = app.run(max_iterations=500, frame_every=50)
+>>> result.frames[0].shape
+(128, 128, 3)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.colors import sandpile_to_rgb, write_ppm
+from repro.common.errors import ConfigurationError
+from repro.easypap.grid import Grid2D
+from repro.easypap.kernel import get_variant
+from repro.easypap.monitor import Trace
+
+__all__ = ["AppResult", "EasyPapApp"]
+
+
+@dataclass
+class AppResult:
+    """Everything a run produced."""
+
+    kernel: str
+    variant: str
+    iterations: int
+    converged: bool
+    wall_seconds: float
+    iteration_seconds: list[float] = field(default_factory=list)
+    frames: list[np.ndarray] = field(default_factory=list)
+    frame_iterations: list[int] = field(default_factory=list)
+    trace: Trace | None = None
+
+    @property
+    def mean_iteration_seconds(self) -> float:
+        """Average wall time per executed iteration."""
+        if not self.iteration_seconds:
+            return 0.0
+        return sum(self.iteration_seconds) / len(self.iteration_seconds)
+
+    def save_frames(self, directory, *, prefix: str = "frame") -> list[Path]:
+        """Write all collected frames as ``<prefix>_<iteration>.ppm`` files."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for it, frame in zip(self.frame_iterations, self.frames):
+            path = directory / f"{prefix}_{it:06d}.ppm"
+            write_ppm(path, frame)
+            paths.append(path)
+        return paths
+
+
+class EasyPapApp:
+    """Drive one kernel variant with monitoring, frames, and hooks."""
+
+    def __init__(
+        self,
+        kernel: str,
+        variant: str,
+        grid: Grid2D,
+        *,
+        trace: bool = False,
+        **options,
+    ) -> None:
+        self.kernel = kernel
+        self.variant = variant
+        self.grid = grid
+        self.trace = Trace() if trace else None
+        info = get_variant(kernel, variant)
+        self._stepper = info.fn(grid, trace=self.trace, **options)
+
+    def run(
+        self,
+        *,
+        max_iterations: int = 10**7,
+        frame_every: int | None = None,
+        on_iteration=None,
+    ) -> AppResult:
+        """Run to the fixpoint or *max_iterations*, whichever comes first.
+
+        Parameters
+        ----------
+        frame_every:
+            Collect an RGB frame every N iterations (plus the final state).
+        on_iteration:
+            Optional callback ``fn(iteration, grid) -> bool | None``; a
+            truthy return stops the run early (the interactive window's
+            "pause" in API form).
+        """
+        if max_iterations < 0:
+            raise ConfigurationError("max_iterations cannot be negative")
+        frames: list[np.ndarray] = []
+        frame_iterations: list[int] = []
+        iteration_seconds: list[float] = []
+        converged = False
+        t0 = time.perf_counter()
+        iteration = 0
+        while iteration < max_iterations:
+            it_start = time.perf_counter()
+            changed = self._stepper()
+            iteration_seconds.append(time.perf_counter() - it_start)
+            if not changed:
+                converged = True
+                break
+            iteration += 1
+            if frame_every and iteration % frame_every == 0:
+                frames.append(sandpile_to_rgb(self.grid.interior))
+                frame_iterations.append(iteration)
+            if on_iteration is not None and on_iteration(iteration, self.grid):
+                break
+        wall = time.perf_counter() - t0
+        # always include the final state as the last frame when collecting
+        if frame_every:
+            frames.append(sandpile_to_rgb(self.grid.interior))
+            frame_iterations.append(iteration)
+        return AppResult(
+            kernel=self.kernel,
+            variant=self.variant,
+            iterations=iteration,
+            converged=converged,
+            wall_seconds=wall,
+            iteration_seconds=iteration_seconds,
+            frames=frames,
+            frame_iterations=frame_iterations,
+            trace=self.trace,
+        )

@@ -1,0 +1,241 @@
+"""Task-execution backends.
+
+A tiled iteration produces a list of independent tile tasks; how they are
+*executed* is orthogonal to what they compute.  Three backends cover the
+assignment's needs:
+
+* :class:`SequentialBackend` — runs tasks one by one; the reference.
+* :class:`SimulatedBackend` — runs tasks (still sequentially: this machine
+  has one core and Python a GIL) but *places* them on ``nworkers`` virtual
+  workers under an OpenMP-style policy using per-task costs, yielding the
+  virtual-time spans from which speedup/efficiency and the Fig. 3 traces
+  are computed.  Costs may be supplied (cost model) or measured.
+* :class:`ThreadBackend` — a real :class:`concurrent.futures.ThreadPoolExecutor`
+  pool, demonstrating that the tasks genuinely are thread-safe (numpy
+  releases the GIL for large array ops); wall-clock spans are recorded.
+
+All backends return the executed :class:`~repro.easypap.schedule.TaskSpan`
+list and optionally feed a :class:`~repro.easypap.monitor.Trace`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from collections.abc import Callable, Sequence
+
+from repro.common.errors import ConfigurationError, SchedulingError
+from repro.easypap.monitor import TaskRecord, Trace
+from repro.easypap.schedule import ScheduleResult, TaskSpan, chunk_plan, simulate_schedule
+from repro.easypap.tiling import Tile
+
+__all__ = ["TaskBatch", "SequentialBackend", "SimulatedBackend", "ThreadBackend", "make_backend"]
+
+
+class TaskBatch:
+    """A batch of independent tasks for one iteration.
+
+    Parameters
+    ----------
+    tasks:
+        Callables taking no arguments (typically closures over a tile).
+    tiles:
+        Optional parallel list of :class:`Tile` for trace annotation.
+    costs:
+        Optional virtual cost per task; backends that need costs but do not
+        receive them fall back to measuring wall time or to tile area.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[Callable[[], object]],
+        *,
+        tiles: Sequence[Tile] | None = None,
+        costs: Sequence[float] | None = None,
+    ) -> None:
+        self.tasks = list(tasks)
+        if tiles is not None and len(tiles) != len(self.tasks):
+            raise ConfigurationError("tiles and tasks must have equal length")
+        if costs is not None and len(costs) != len(self.tasks):
+            raise ConfigurationError("costs and tasks must have equal length")
+        self.tiles = list(tiles) if tiles is not None else None
+        self.costs = [float(c) for c in costs] if costs is not None else None
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def tile_coords(self, i: int) -> tuple[int, int]:
+        """The (ty, tx) of task *i*'s tile, or (-1, -1) when untracked."""
+        if self.tiles is None:
+            return (-1, -1)
+        t = self.tiles[i]
+        return (t.ty, t.tx)
+
+
+def _record_spans(
+    spans: Sequence[TaskSpan],
+    batch: TaskBatch,
+    trace: Trace | None,
+    iteration: int,
+    kind: str,
+) -> None:
+    if trace is None:
+        return
+    for s in spans:
+        ty, tx = batch.tile_coords(s.task)
+        trace.add(
+            TaskRecord(
+                iteration=iteration,
+                task=s.task,
+                worker=s.worker,
+                start=s.start,
+                end=s.end,
+                kind=kind,
+                tile_ty=ty,
+                tile_tx=tx,
+            )
+        )
+
+
+class SequentialBackend:
+    """Execute tasks in index order on a single (virtual) worker."""
+
+    nworkers = 1
+
+    def __init__(self, *, trace: Trace | None = None) -> None:
+        self.trace = trace
+
+    def run(self, batch: TaskBatch, *, iteration: int = 0, kind: str = "compute") -> ScheduleResult:
+        """Execute the batch; returns the resulting schedule placement."""
+        spans: list[TaskSpan] = []
+        t = 0.0
+        for i, task in enumerate(batch.tasks):
+            t0 = time.perf_counter()
+            ret = task()
+            dt = time.perf_counter() - t0
+            if batch.costs is not None:
+                cost = batch.costs[i]
+            elif isinstance(ret, (int, float)) and not isinstance(ret, bool):
+                cost = float(ret)
+            else:
+                cost = dt
+            spans.append(TaskSpan(i, 0, t, t + cost))
+            t += cost
+        result = ScheduleResult(policy="sequential", nworkers=1, chunk=1, spans=spans)
+        _record_spans(spans, batch, self.trace, iteration, kind)
+        return result
+
+
+class SimulatedBackend:
+    """Execute tasks for real, place them on virtual workers for timing.
+
+    The placement uses :func:`~repro.easypap.schedule.simulate_schedule`;
+    tasks are *executed* in the order the scheduling policy consumes them,
+    so dynamic-policy runs really do interleave chunks the way a work
+    queue would (this matters for the in-place asynchronous sandpile, whose
+    intermediate states depend on execution order even though the fixpoint
+    does not).
+    """
+
+    def __init__(
+        self,
+        nworkers: int,
+        policy: str = "dynamic",
+        *,
+        chunk: int = 1,
+        trace: Trace | None = None,
+        measure: bool = False,
+    ) -> None:
+        if nworkers < 1:
+            raise ConfigurationError("nworkers must be >= 1")
+        self.nworkers = nworkers
+        self.policy = policy
+        self.chunk = chunk
+        self.trace = trace
+        #: when True and the batch has no costs, wall-time is measured per task
+        self.measure = measure
+
+    def run(self, batch: TaskBatch, *, iteration: int = 0, kind: str = "compute") -> ScheduleResult:
+        # Execute in policy chunk order first (and measure if requested)...
+        """Execute the batch; returns the resulting schedule placement."""
+        order = [i for ch in chunk_plan(len(batch), self.nworkers, self.policy, self.chunk) for i in ch]
+        measured: list[float] = [0.0] * len(batch)
+        returned: list[object] = [None] * len(batch)
+        for i in order:
+            t0 = time.perf_counter()
+            returned[i] = batch.tasks[i]()
+            measured[i] = time.perf_counter() - t0
+        # ...then place on virtual workers using, in order of preference:
+        # supplied costs, measured wall times, numeric task return values
+        # (deterministic work units), or a uniform unit cost.
+        if batch.costs is not None:
+            costs = batch.costs
+        elif self.measure:
+            costs = measured
+        else:
+            costs = [
+                float(r) if isinstance(r, (int, float)) and not isinstance(r, bool) else 1.0
+                for r in returned
+            ]
+        result = simulate_schedule(costs, self.nworkers, self.policy, chunk=self.chunk)
+        _record_spans(result.spans, batch, self.trace, iteration, kind)
+        return result
+
+
+class ThreadBackend:
+    """Run tasks on a real thread pool; spans are wall-clock measurements.
+
+    Only valid for batches whose tasks are mutually independent (the
+    synchronous sandpile variant, or one colour wave of the multi-wave
+    asynchronous variant).
+    """
+
+    def __init__(self, nworkers: int, *, trace: Trace | None = None) -> None:
+        if nworkers < 1:
+            raise ConfigurationError("nworkers must be >= 1")
+        self.nworkers = nworkers
+        self.trace = trace
+
+    def run(self, batch: TaskBatch, *, iteration: int = 0, kind: str = "compute") -> ScheduleResult:
+        """Execute the batch; returns the resulting schedule placement."""
+        spans: list[TaskSpan | None] = [None] * len(batch)
+        epoch = time.perf_counter()
+        worker_ids: dict[int, int] = {}
+
+        def call(i: int) -> None:
+            import threading
+
+            tid = threading.get_ident()
+            w = worker_ids.setdefault(tid, len(worker_ids))
+            t0 = time.perf_counter() - epoch
+            batch.tasks[i]()
+            t1 = time.perf_counter() - epoch
+            spans[i] = TaskSpan(i, w, t0, t1)
+
+        with ThreadPoolExecutor(max_workers=self.nworkers) as pool:
+            list(pool.map(call, range(len(batch))))
+
+        done = [s for s in spans if s is not None]
+        if len(done) != len(batch):
+            raise SchedulingError("some tasks did not complete")
+        result = ScheduleResult(policy="threads", nworkers=self.nworkers, chunk=1, spans=done)
+        _record_spans(done, batch, self.trace, iteration, kind)
+        return result
+
+
+def make_backend(
+    name: str,
+    nworkers: int = 1,
+    *,
+    policy: str = "dynamic",
+    chunk: int = 1,
+    trace: Trace | None = None,
+):
+    """Factory: ``sequential``, ``simulated``, or ``threads``."""
+    if name == "sequential":
+        return SequentialBackend(trace=trace)
+    if name == "simulated":
+        return SimulatedBackend(nworkers, policy, chunk=chunk, trace=trace)
+    if name == "threads":
+        return ThreadBackend(nworkers, trace=trace)
+    raise ConfigurationError(f"unknown backend {name!r}")

@@ -1,0 +1,125 @@
+"""Kernel/variant registry.
+
+EASYPAP's central idea is that a *kernel* (e.g. ``sandpile``) comes in many
+*variants* (``seq``, ``omp``, ``lazy``, ``vec``, ``ocl``...) selectable from
+the command line, so students "just add a few lines of code, compile, and it
+is ready for command line testing".  This module reproduces that workflow:
+variants register themselves with :func:`register_variant` and callers
+retrieve them by ``(kernel, variant)`` name through :func:`get_variant`.
+
+A variant is any callable ``fn(grid, **options) -> StepResult``-producing
+iteration function; the registry does not constrain the signature beyond
+callability, it only provides discovery and error messages listing what is
+available (matching EASYPAP's helpful CLI behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import KernelError
+
+__all__ = ["VariantInfo", "KernelRegistry", "REGISTRY", "register_variant", "get_variant"]
+
+
+@dataclass(frozen=True)
+class VariantInfo:
+    """Metadata attached to a registered kernel variant."""
+
+    kernel: str
+    name: str
+    fn: Callable
+    description: str = ""
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def qualified_name(self) -> str:
+        """The 'kernel/variant' display name."""
+        return f"{self.kernel}/{self.name}"
+
+
+class KernelRegistry:
+    """Maps ``(kernel, variant)`` names to callables."""
+
+    def __init__(self) -> None:
+        self._variants: dict[tuple[str, str], VariantInfo] = {}
+
+    def register(
+        self,
+        kernel: str,
+        name: str,
+        fn: Callable,
+        *,
+        description: str = "",
+        tags: tuple[str, ...] = (),
+        overwrite: bool = False,
+    ) -> VariantInfo:
+        """Register a variant callable under (kernel, name)."""
+        key = (kernel, name)
+        if key in self._variants and not overwrite:
+            raise KernelError(f"variant {kernel}/{name} already registered")
+        info = VariantInfo(kernel, name, fn, description, tuple(tags))
+        self._variants[key] = info
+        return info
+
+    def get(self, kernel: str, name: str) -> VariantInfo:
+        """Look up a variant; raises KernelError with the available list."""
+        try:
+            return self._variants[(kernel, name)]
+        except KeyError:
+            avail = ", ".join(sorted(self.variants(kernel))) or "<none>"
+            raise KernelError(
+                f"unknown variant {name!r} for kernel {kernel!r}; available: {avail}"
+            ) from None
+
+    def kernels(self) -> list[str]:
+        """Sorted list of kernel names with at least one variant."""
+        return sorted({k for k, _ in self._variants})
+
+    def variants(self, kernel: str) -> list[str]:
+        """Sorted variant names registered for *kernel*."""
+        return sorted(name for k, name in self._variants if k == kernel)
+
+    def all_variants(self) -> list[VariantInfo]:
+        """Every registered variant, sorted by (kernel, name)."""
+        return [self._variants[k] for k in sorted(self._variants)]
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._variants
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+
+#: Process-wide default registry, filled by ``repro.sandpile`` on import.
+REGISTRY = KernelRegistry()
+
+
+def register_variant(
+    kernel: str,
+    name: str,
+    *,
+    description: str = "",
+    tags: tuple[str, ...] = (),
+    registry: KernelRegistry | None = None,
+) -> Callable[[Callable], Callable]:
+    """Decorator form of :meth:`KernelRegistry.register`.
+
+    >>> @register_variant("sandpile", "seq", description="reference loop")
+    ... def step(grid): ...
+    """
+
+    def deco(fn: Callable) -> Callable:
+        # `is not None`, not truthiness: an empty registry is falsy (len 0)
+        target = registry if registry is not None else REGISTRY
+        target.register(kernel, name, fn, description=description, tags=tags)
+        return fn
+
+    return deco
+
+
+def get_variant(kernel: str, name: str, *, registry: KernelRegistry | None = None) -> VariantInfo:
+    """Look up a variant in the given (default: global) registry."""
+    target = registry if registry is not None else REGISTRY
+    return target.get(kernel, name)

@@ -1,0 +1,207 @@
+"""A simulated MapReduce cluster: workers, stragglers, failures, retries.
+
+The paper's course moves students from "Hello World on the local machine"
+to the 16-node Hadoop partition of the Ara cluster.  This module is that
+cluster in miniature: map and reduce tasks are scheduled onto ``n_workers``
+virtual workers (earliest-available-first, like Hadoop's slot scheduler),
+charged per-record virtual costs, and optionally subjected to fault
+injection — task attempts may fail (and are retried elsewhere, up to
+``max_attempts``) or straggle (run slowed by ``straggler_factor``).
+
+The *output* of a cluster run is produced by the same pure functions as the
+local engine, so it is bit-identical to :func:`repro.mapreduce.engine.run_job`
+no matter how many workers, failures, or stragglers were simulated —
+re-execution-based fault tolerance in MapReduce is exactly this
+determinism argument, and the tests assert it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.common.rng import make_rng
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.engine import JobResult, combine_pairs, map_split, reduce_partition, shuffle
+from repro.mapreduce.job import MapReduceJob
+
+__all__ = ["ClusterConfig", "TaskAttempt", "ClusterReport", "SimulatedCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Virtual cluster parameters.
+
+    Costs are in virtual seconds.  ``failure_prob`` and ``straggler_prob``
+    apply independently per task *attempt*.
+    """
+
+    n_workers: int = 4
+    map_cost_per_record: float = 1e-4
+    reduce_cost_per_record: float = 1e-4
+    shuffle_cost_per_record: float = 2e-5
+    task_overhead: float = 5e-3
+    failure_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_factor: float = 5.0
+    max_attempts: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise SimulationError("need at least one worker")
+        if not (0.0 <= self.failure_prob < 1.0):
+            raise SimulationError("failure_prob must be in [0, 1)")
+        if not (0.0 <= self.straggler_prob <= 1.0):
+            raise SimulationError("straggler_prob must be in [0, 1]")
+        if self.max_attempts < 1:
+            raise SimulationError("max_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """One attempt of one task on one worker."""
+
+    phase: str  # "map" or "reduce"
+    task: int
+    attempt: int
+    worker: int
+    start: float
+    end: float
+    failed: bool
+    straggled: bool
+
+
+@dataclass
+class ClusterReport:
+    """Virtual-time execution report of a cluster run."""
+
+    attempts: list[TaskAttempt] = field(default_factory=list)
+    map_finish: float = 0.0
+    shuffle_finish: float = 0.0
+    makespan: float = 0.0
+
+    @property
+    def failures(self) -> int:
+        """Number of failed task attempts."""
+        return sum(1 for a in self.attempts if a.failed)
+
+    @property
+    def stragglers(self) -> int:
+        """Number of straggling task attempts."""
+        return sum(1 for a in self.attempts if a.straggled)
+
+    def worker_busy(self, n_workers: int) -> list[float]:
+        """Total busy seconds per worker index."""
+        busy = [0.0] * n_workers
+        for a in self.attempts:
+            busy[a.worker] += a.end - a.start
+        return busy
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all task durations (serial-equivalent work)."""
+        return sum(a.end - a.start for a in self.attempts)
+
+    def speedup(self) -> float:
+        """Virtual speedup over serialising every (successful) attempt."""
+        return self.total_work / self.makespan if self.makespan > 0 else 1.0
+
+
+class SimulatedCluster:
+    """Executes :class:`MapReduceJob` instances under a virtual cluster model."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+
+    # -- internal scheduling ----------------------------------------------------
+
+    def _run_phase(
+        self,
+        phase: str,
+        durations: list[float],
+        rng,
+        report: ClusterReport,
+        start_time: float,
+    ) -> float:
+        """Schedule one phase's tasks; returns the phase finish time.
+
+        Tasks are pulled by the earliest-available worker.  A failed
+        attempt re-enqueues the task (the retry runs after the failure is
+        detected, i.e. at the attempt's end time).
+        """
+        cfg = self.config
+        workers = [(start_time, w) for w in range(cfg.n_workers)]
+        heapq.heapify(workers)
+        # queue of (ready_time, task, attempt); heap keeps retries ordered
+        pending: list[tuple[float, int, int]] = [(start_time, t, 1) for t in range(len(durations))]
+        heapq.heapify(pending)
+        finish = start_time
+        while pending:
+            ready, task, attempt = heapq.heappop(pending)
+            avail, w = heapq.heappop(workers)
+            begin = max(ready, avail)
+            failed = rng.random() < cfg.failure_prob and attempt < cfg.max_attempts
+            straggled = rng.random() < cfg.straggler_prob
+            duration = cfg.task_overhead + durations[task]
+            if straggled:
+                duration *= cfg.straggler_factor
+            if failed:
+                # failure surfaces halfway through, Hadoop-style heartbeat loss
+                duration *= 0.5
+            end = begin + duration
+            report.attempts.append(
+                TaskAttempt(phase, task, attempt, w, begin, end, failed, straggled)
+            )
+            heapq.heappush(workers, (end, w))
+            if failed:
+                if attempt + 1 > cfg.max_attempts:
+                    raise SimulationError(f"{phase} task {task} exceeded max attempts")
+                heapq.heappush(pending, (end, task, attempt + 1))
+            else:
+                finish = max(finish, end)
+        return finish
+
+    # -- public API ------------------------------------------------------------------
+
+    def run(self, job: MapReduceJob, splits) -> tuple[JobResult, ClusterReport]:
+        """Execute *job* over *splits*; returns (result, virtual-time report).
+
+        The result is computed with the deterministic engine functions and
+        is independent of the injected failures/stragglers.
+        """
+        cfg = self.config
+        rng = make_rng(cfg.seed)
+        counters = Counters()
+        report = ClusterReport()
+
+        # -- map phase (compute outputs once; attempts only affect timing)
+        splits = [list(s) for s in splits]
+        spills = []
+        map_durations = []
+        for split in splits:
+            spill = combine_pairs(job, map_split(job, split, counters), counters)
+            spills.append(spill)
+            map_durations.append(len(split) * cfg.map_cost_per_record)
+        report.map_finish = self._run_phase("map", map_durations, rng, report, 0.0)
+
+        # -- shuffle (modelled as a barrier network transfer)
+        partitions = shuffle(job, spills, counters)
+        shuffle_records = sum(len(spill) for spill in spills)
+        report.shuffle_finish = report.map_finish + shuffle_records * cfg.shuffle_cost_per_record
+
+        # -- reduce phase
+        outputs = []
+        reduce_durations = []
+        for groups in partitions:
+            outputs.append(reduce_partition(job, groups, counters))
+            reduce_durations.append(
+                sum(len(v) for _, v in groups) * cfg.reduce_cost_per_record
+            )
+        report.makespan = self._run_phase(
+            "reduce", reduce_durations, rng, report, report.shuffle_finish
+        )
+
+        pairs = [pair for part in outputs for pair in part]
+        return JobResult(pairs=pairs, counters=counters, partitions=outputs), report

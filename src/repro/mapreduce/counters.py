@@ -1,0 +1,51 @@
+"""Hadoop-style job counters.
+
+Counters are the MapReduce idiom for side statistics (records read,
+records written, bad rows skipped...).  They are grouped two levels deep
+(``group -> name -> count``), merge associatively across tasks, and are
+reported at job completion — all of which this small class reproduces.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["Counters"]
+
+
+class Counters:
+    """Two-level counter map with Hadoop-flavoured helpers."""
+
+    #: canonical framework groups
+    TASK = "task"
+
+    def __init__(self) -> None:
+        self._groups: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        """Add *amount* (may be negative is a programming error: rejected)."""
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self._groups[group][name] += amount
+
+    def value(self, group: str, name: str) -> int:
+        """Current value (0 when never incremented)."""
+        return self._groups.get(group, {}).get(name, 0)
+
+    def group(self, group: str) -> dict[str, int]:
+        """Snapshot of one group."""
+        return dict(self._groups.get(group, {}))
+
+    def merge(self, other: "Counters") -> None:
+        """Fold *other* into this (used when collecting per-task counters)."""
+        for grp, names in other._groups.items():
+            for name, v in names.items():
+                self._groups[grp][name] += v
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Plain-dict snapshot."""
+        return {g: dict(names) for g, names in self._groups.items()}
+
+    def __repr__(self) -> str:
+        total = sum(len(v) for v in self._groups.values())
+        return f"Counters({len(self._groups)} groups, {total} counters)"

@@ -1,0 +1,155 @@
+"""The local (single-process) MapReduce engine.
+
+This is the semantic core: :func:`run_job` executes the canonical
+three-phase pipeline deterministically and is the oracle against which the
+simulated cluster (:mod:`repro.mapreduce.cluster`) must agree bit-for-bit.
+
+Phases, in Hadoop terms:
+
+1. **map** — each input split's records go through the mapper; output
+   pairs accumulate per split ("spill");
+2. **combine** — if a combiner is configured, it reduces each split's
+   spill locally, cutting shuffle volume (the counters expose how much);
+3. **partition + shuffle + sort (group-by-keys)** — pairs are routed to
+   ``num_reducers`` partitions by the partitioner, then grouped by key
+   (sorted when ``job.sort_keys``, insertion order otherwise);
+4. **reduce** — each group goes through the reducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import MapReduceJob
+
+__all__ = ["JobResult", "run_job", "map_split", "combine_pairs", "shuffle", "reduce_partition"]
+
+
+@dataclass
+class JobResult:
+    """Output pairs plus bookkeeping of a finished job."""
+
+    pairs: list[tuple]
+    counters: Counters
+    #: output pairs per reduce partition (concatenated to form ``pairs``)
+    partitions: list[list[tuple]] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """Outputs as a dict — only valid when output keys are unique."""
+        d = dict(self.pairs)
+        if len(d) != len(self.pairs):
+            raise ValueError("duplicate output keys; use .pairs instead")
+        return d
+
+
+def map_split(job: MapReduceJob, split: Iterable[tuple], counters: Counters) -> list[tuple]:
+    """Phase 1 for one input split: run the mapper over its records."""
+    out: list[tuple] = []
+    for key, value in split:
+        counters.increment(Counters.TASK, "map_input_records")
+        for pair in job.run_mapper(key, value):
+            out.append(pair)
+            counters.increment(Counters.TASK, "map_output_records")
+    return out
+
+
+def combine_pairs(job: MapReduceJob, pairs: list[tuple], counters: Counters) -> list[tuple]:
+    """Phase 2: map-side combine of one spill (no-op without a combiner)."""
+    if job.combiner is None:
+        return pairs
+    grouped: dict = {}
+    order: list = []
+    for k, v in pairs:
+        if k not in grouped:
+            grouped[k] = []
+            order.append(k)
+        grouped[k].append(v)
+    out: list[tuple] = []
+    for k in order:
+        for pair in job.combiner(k, grouped[k]):
+            if not isinstance(pair, tuple) or len(pair) != 2:
+                raise ConfigurationError(f"combiner must yield (key, value) pairs, got {pair!r}")
+            out.append(pair)
+    counters.increment(Counters.TASK, "combine_input_records", len(pairs))
+    counters.increment(Counters.TASK, "combine_output_records", len(out))
+    return out
+
+
+def shuffle(
+    job: MapReduceJob, spills: Sequence[list[tuple]], counters: Counters
+) -> list[list[tuple[object, list]]]:
+    """Phase 3: partition all spills, group by key within each partition.
+
+    Returns ``num_reducers`` lists of ``(key, [values...])`` groups.  Values
+    within a group preserve spill order then in-spill order, mirroring how
+    a merge of sorted map outputs behaves.
+    """
+    parts: list[dict] = [dict() for _ in range(job.num_reducers)]
+    orders: list[list] = [[] for _ in range(job.num_reducers)]
+    for spill in spills:
+        for k, v in spill:
+            p = job.partitioner(k, job.num_reducers)
+            if not (0 <= p < job.num_reducers):
+                raise ConfigurationError(
+                    f"partitioner returned {p} for key {k!r}, valid range is "
+                    f"[0, {job.num_reducers})"
+                )
+            bucket = parts[p]
+            if k not in bucket:
+                bucket[k] = []
+                orders[p].append(k)
+            bucket[k].append(v)
+            counters.increment(Counters.TASK, "shuffle_records")
+    out: list[list[tuple[object, list]]] = []
+    for p in range(job.num_reducers):
+        keys = sorted(orders[p]) if job.sort_keys else orders[p]
+        if job.group_key is None:
+            groups = [(k, parts[p][k]) for k in keys]
+        else:
+            # grouping comparator: merge consecutive sorted keys sharing a
+            # group key; values arrive ordered by the full composite key
+            # (this is Hadoop's secondary-sort mechanism)
+            groups = []
+            current = object()
+            for k in keys:
+                gk = job.group_key(k)
+                if not groups or gk != current:
+                    groups.append((gk, []))
+                    current = gk
+                groups[-1][1].extend(parts[p][k])
+        out.append(groups)
+        counters.increment(Counters.TASK, "reduce_groups", len(groups))
+    return out
+
+
+def reduce_partition(
+    job: MapReduceJob, groups: list[tuple[object, list]], counters: Counters
+) -> list[tuple]:
+    """Phase 4 for one partition: run the reducer over each key group."""
+    out: list[tuple] = []
+    for k, values in groups:
+        counters.increment(Counters.TASK, "reduce_input_records", len(values))
+        for pair in job.run_reducer(k, values):
+            out.append(pair)
+            counters.increment(Counters.TASK, "reduce_output_records")
+    return out
+
+
+def run_job(job: MapReduceJob, splits: Sequence[Iterable[tuple]]) -> JobResult:
+    """Execute *job* over the given input splits, single-process.
+
+    *splits* is a sequence of record iterables; each record is a
+    ``(key, value)`` tuple (for text inputs, use
+    :func:`repro.mapreduce.textio.text_splits` to build them).
+    """
+    counters = Counters()
+    spills = [
+        combine_pairs(job, map_split(job, split, counters), counters) for split in splits
+    ]
+    partitions = shuffle(job, spills, counters)
+    outputs = [reduce_partition(job, groups, counters) for groups in partitions]
+    pairs = [pair for part in outputs for pair in part]
+    return JobResult(pairs=pairs, counters=counters, partitions=outputs)

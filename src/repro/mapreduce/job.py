@@ -1,0 +1,115 @@
+"""Job definition: the user-visible MapReduce contract.
+
+A job is exactly the three-phase pipeline the Warming-Stripes assignment
+teaches: **map** -> **group-by-keys** -> **reduce**, optionally with a
+combiner (a map-side mini-reduce) and a custom partitioner.  The severe
+constraint the paper emphasises — "for beginners, it is difficult to
+reformulate a given problem under the ... three-step approach" — lives in
+the two function signatures:
+
+* ``mapper(key, value) -> iterable of (key2, value2)``
+* ``reducer(key2, values) -> iterable of (key3, value3)``
+
+Nothing else about the computation is expressible, which is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["MapReduceJob", "hash_partitioner", "grouped_partitioner"]
+
+
+def grouped_partitioner(group_key):
+    """Build a partitioner that routes by ``group_key(key)`` only.
+
+    The standard companion of :attr:`MapReduceJob.group_key`: composite
+    keys ``(natural, secondary)`` must all land in the partition of their
+    natural part, or groups would be split across reducers.
+    """
+
+    def partition(key, num_partitions: int) -> int:
+        return hash_partitioner(group_key(key), num_partitions)
+
+    return partition
+
+
+def hash_partitioner(key, num_partitions: int) -> int:
+    """Default partitioner: stable hash of the key's repr modulo partitions.
+
+    ``repr`` rather than ``hash`` keeps partitioning deterministic across
+    processes (Python's string hashing is salted per process).
+    """
+    acc = 0
+    for ch in repr(key):
+        acc = (acc * 131 + ord(ch)) % (2**31)
+    return acc % num_partitions
+
+
+@dataclass
+class MapReduceJob:
+    """A complete MapReduce job specification.
+
+    Parameters
+    ----------
+    mapper:
+        ``(key, value) -> iterable[(k2, v2)]``.
+    reducer:
+        ``(key, values: list) -> iterable[(k3, v3)]``.
+    combiner:
+        Optional map-side reducer with the same signature as *reducer*;
+        must be associative/commutative for correctness (the engine
+        asserts nothing — exactly like Hadoop, a wrong combiner silently
+        corrupts results, which tests in this repo demonstrate).
+    partitioner:
+        ``(key, num_partitions) -> partition index``.
+    num_reducers:
+        Number of reduce partitions (>= 1).
+    group_key:
+        Optional *grouping comparator* (Hadoop's secondary-sort mechanism):
+        a function of the map-output key.  After the within-partition sort,
+        consecutive keys with equal ``group_key`` are merged into a single
+        reduce group keyed by that value — so the reducer sees its values
+        ordered by the full composite key.  When used, the partitioner must
+        route equal group keys to the same partition (see
+        :func:`grouped_partitioner`).
+    name:
+        Display name for reports.
+    """
+
+    mapper: Callable[[object, object], Iterable[tuple]]
+    reducer: Callable[[object, list], Iterable[tuple]]
+    combiner: Callable[[object, list], Iterable[tuple]] | None = None
+    partitioner: Callable[[object, int], int] = hash_partitioner
+    num_reducers: int = 1
+    group_key: Callable[[object], object] | None = None
+    name: str = "mapreduce-job"
+    sort_keys: bool = True
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ConfigurationError("num_reducers must be >= 1")
+        if not callable(self.mapper) or not callable(self.reducer):
+            raise ConfigurationError("mapper and reducer must be callable")
+
+    def run_mapper(self, key, value) -> Iterator[tuple]:
+        """Invoke the mapper, validating its output shape."""
+        for out in self.mapper(key, value):
+            if not isinstance(out, tuple) or len(out) != 2:
+                raise ConfigurationError(
+                    f"{self.name}: mapper must yield (key, value) pairs, got {out!r}"
+                )
+            yield out
+
+    def run_reducer(self, key, values: list) -> Iterator[tuple]:
+        """Invoke the reducer, validating its output shape."""
+        for out in self.reducer(key, values):
+            if not isinstance(out, tuple) or len(out) != 2:
+                raise ConfigurationError(
+                    f"{self.name}: reducer must yield (key, value) pairs, got {out!r}"
+                )
+            yield out

@@ -1,0 +1,128 @@
+"""Multi-stage MapReduce pipelines.
+
+Real data-science jobs rarely fit one map/reduce pass — the course's later
+assignments chain several.  :func:`run_pipeline` wires jobs in sequence:
+each stage's output pairs become the next stage's input records,
+re-sharded into a chosen number of splits.
+
+A worked second-stage pattern is included: :func:`top_k_job` selects the
+``k`` largest values of a first stage's output (the classic "hottest
+years" follow-up to the annual-means job), and
+:func:`secondary_sort_demo_job` shows the grouping-comparator mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.engine import JobResult, run_job
+from repro.mapreduce.job import MapReduceJob, grouped_partitioner
+
+__all__ = ["PipelineResult", "run_pipeline", "reshard", "top_k_job", "secondary_sort_demo_job"]
+
+
+@dataclass
+class PipelineResult:
+    """Per-stage results of a chained run; ``final`` is the last stage's."""
+
+    stages: list[JobResult] = field(default_factory=list)
+
+    @property
+    def final(self) -> JobResult:
+        """The last stage's result."""
+        if not self.stages:
+            raise ConfigurationError("empty pipeline result")
+        return self.stages[-1]
+
+
+def reshard(pairs: Sequence[tuple], n_splits: int) -> list[list[tuple]]:
+    """Split output pairs into *n_splits* contiguous input splits."""
+    if n_splits < 1:
+        raise ConfigurationError("need at least one split")
+    pairs = list(pairs)
+    if not pairs:
+        return [[]]
+    n = min(n_splits, len(pairs))
+    base, extra = divmod(len(pairs), n)
+    out = []
+    start = 0
+    for i in range(n):
+        stop = start + base + (1 if i < extra else 0)
+        out.append(pairs[start:stop])
+        start = stop
+    return out
+
+
+def run_pipeline(
+    jobs: Sequence[MapReduceJob],
+    splits,
+    *,
+    intermediate_splits: int = 4,
+) -> PipelineResult:
+    """Run *jobs* in sequence over *splits*.
+
+    Stage ``i+1`` consumes stage ``i``'s output pairs as its input records
+    (re-sharded into *intermediate_splits* map tasks), exactly like a
+    chain of Hadoop jobs reading each other's output directories.
+    """
+    if not jobs:
+        raise ConfigurationError("need at least one job")
+    result = PipelineResult()
+    current = splits
+    for job in jobs:
+        stage = run_job(job, current)
+        result.stages.append(stage)
+        current = reshard(stage.pairs, intermediate_splits)
+    return result
+
+
+def top_k_job(k: int, *, largest: bool = True) -> MapReduceJob:
+    """Stage-2 job: keep the *k* extreme ``(key, numeric value)`` pairs.
+
+    Mapper routes everything to a single token key; the reducer sorts and
+    truncates — the textbook single-reducer top-k (fine for k << data).
+    Output pairs are ``(key, value)`` ordered most-extreme first.
+    """
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+
+    def mapper(key, value):
+        yield "__topk__", (float(value), key)
+
+    def reducer(_token, pairs):
+        pairs.sort(reverse=largest)
+        for value, key in pairs[:k]:
+            yield key, value
+
+    return MapReduceJob(mapper=mapper, reducer=reducer, num_reducers=1,
+                        sort_keys=False, name=f"top-{k}")
+
+
+def secondary_sort_demo_job() -> MapReduceJob:
+    """Per-station temperature series, months delivered in order.
+
+    Input records are ``(offset, "station;month;temp")`` lines.  The
+    mapper emits composite keys ``(station, month)``; the grouping
+    comparator collapses them back to the station while the shuffle's
+    sort guarantees the reducer sees temps in month order — no sorting in
+    user code, which is the entire point of the pattern.
+    """
+
+    def mapper(_key, line):
+        station, month, temp = str(line).split(";")
+        yield (station, int(month)), float(temp)
+
+    def reducer(station, temps_in_month_order):
+        yield station, tuple(temps_in_month_order)
+
+    group = lambda composite: composite[0]
+    return MapReduceJob(
+        mapper=mapper,
+        reducer=reducer,
+        group_key=group,
+        partitioner=grouped_partitioner(group),
+        num_reducers=2,
+        name="secondary-sort-demo",
+    )

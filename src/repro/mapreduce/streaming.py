@@ -1,0 +1,135 @@
+"""Hadoop Streaming emulation: line-in, line-out mapper/reducer scripts.
+
+The course uses "the Apache Hadoop Streaming API": students write a
+mapper and a reducer that read lines from stdin and print
+``key<TAB>value`` lines to stdout; the framework sorts between them.
+:func:`run_streaming` reproduces that protocol with Python callables of
+shape ``Iterable[str] -> Iterable[str]``, so an assignment solution can be
+written exactly as the stdin/stdout script it would be on a cluster —
+and :func:`script_adapter` turns such a callable into a mapper/reducer
+usable with the structured engine.
+
+The crucial teaching detail is preserved: the reducer receives *sorted
+lines*, not grouped values — detecting the key-change boundary is the
+student's job, and getting it wrong corrupts exactly the rows the tests
+check.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from typing import Callable, Iterable, Iterator
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.textio import parse_kv_line
+
+__all__ = [
+    "run_streaming",
+    "run_streaming_subprocess",
+    "sort_phase",
+    "script_adapter",
+    "group_sorted_lines",
+]
+
+LineScript = Callable[[Iterable[str]], Iterable[str]]
+
+
+def sort_phase(lines: Iterable[str]) -> list[str]:
+    """The framework's shuffle: sort mapper output lines by key, stably.
+
+    Sorting is by the *key field only* (text before the first tab), which
+    matches ``sort -k1,1 -s`` — the exact command the Jupyter-notebook
+    version of the assignment pipes through.
+    """
+    return sorted(lines, key=lambda line: parse_kv_line(line)[0])
+
+
+def run_streaming(
+    mapper: LineScript,
+    reducer: LineScript,
+    input_lines: Iterable[str],
+) -> list[str]:
+    """Run ``cat input | mapper | sort | reducer`` entirely in process."""
+    mapped = list(mapper(iter(input_lines)))
+    shuffled = sort_phase(mapped)
+    return list(reducer(iter(shuffled)))
+
+
+def run_streaming_subprocess(
+    mapper_script,
+    reducer_script,
+    input_lines: Iterable[str],
+    *,
+    timeout: float = 120.0,
+) -> list[str]:
+    """Run student *files* through real OS pipes, like Hadoop Streaming does.
+
+    ``mapper_script``/``reducer_script`` are paths to Python programs that
+    read stdin and print to stdout — byte-for-byte what students submit.
+    The framework supplies the sort between them.  Non-zero exits raise
+    with the script's stderr attached (the error students actually debug).
+    """
+
+    def pipe(script, lines: list[str]) -> list[str]:
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            input="\n".join(lines) + ("\n" if lines else ""),
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+        if proc.returncode != 0:
+            raise ConfigurationError(
+                f"{script} exited {proc.returncode}; stderr:\n{proc.stderr}"
+            )
+        return [l for l in proc.stdout.split("\n") if l]
+
+    mapped = pipe(mapper_script, list(input_lines))
+    shuffled = sort_phase(mapped)
+    return pipe(reducer_script, shuffled)
+
+
+def group_sorted_lines(lines: Iterable[str]) -> Iterator[tuple[str, list[str]]]:
+    """Group sorted ``key<TAB>value`` lines into ``(key, [values...])``.
+
+    Helper for writing streaming reducers without hand-rolling the
+    key-boundary loop (though doing it by hand is the lesson...).
+    """
+    current_key: str | None = None
+    values: list[str] = []
+    for line in lines:
+        k, v = parse_kv_line(line.rstrip("\n"))
+        if k != current_key:
+            if current_key is not None:
+                yield current_key, values
+            current_key, values = k, []
+        values.append(v)
+    if current_key is not None:
+        yield current_key, values
+
+
+def script_adapter(script: LineScript, *, side: str) -> Callable:
+    """Wrap a streaming script as a structured mapper or reducer.
+
+    ``side="map"`` produces ``mapper(key, value)`` feeding the script one
+    line (the value) and parsing its output lines into pairs;
+    ``side="reduce"`` produces ``reducer(key, values)`` feeding the script
+    the group's lines in streaming form.
+    """
+    if side == "map":
+
+        def mapper(_key, value) -> Iterator[tuple]:
+            for line in script(iter([str(value)])):
+                yield parse_kv_line(line.rstrip("\n"))
+
+        return mapper
+    if side == "reduce":
+
+        def reducer(key, values: list) -> Iterator[tuple]:
+            lines = [f"{key}\t{v}" for v in values]
+            for line in script(iter(lines)):
+                yield parse_kv_line(line.rstrip("\n"))
+
+        return reducer
+    raise ValueError(f"side must be 'map' or 'reduce', got {side!r}")

@@ -1,0 +1,72 @@
+"""Text input/output formats (the Hadoop TextInputFormat analogue).
+
+The assignment's data arrives as text files — "12 input files storing the
+average temperature of one month for every year (row) in every state
+(column)".  These helpers turn raw text into the ``(key, value)`` records
+the engine consumes (key = line offset, value = line, exactly like
+TextInputFormat) and split record lists into map tasks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["lines_to_records", "text_splits", "parse_kv_line", "format_kv_line"]
+
+
+def lines_to_records(lines: Iterable[str]) -> list[tuple[int, str]]:
+    """Number lines like TextInputFormat: key = byte offset, value = line.
+
+    Trailing newlines are stripped (Hadoop's LineRecordReader does the
+    same); offsets count the original bytes including the newline so they
+    are honest file positions.
+    """
+    records: list[tuple[int, str]] = []
+    offset = 0
+    for line in lines:
+        stripped = line.rstrip("\n")
+        records.append((offset, stripped))
+        offset += len(line.encode("utf-8")) + (0 if line.endswith("\n") else 1)
+    return records
+
+
+def text_splits(lines: Sequence[str], n_splits: int) -> list[list[tuple[int, str]]]:
+    """Split *lines* into *n_splits* contiguous record lists (map tasks).
+
+    Produces exactly ``min(n_splits, len(lines))`` non-empty splits when
+    there are fewer lines than requested splits; zero lines produce a
+    single empty split so a job can still run end-to-end.
+    """
+    if n_splits < 1:
+        raise ConfigurationError("need at least one split")
+    records = lines_to_records(lines)
+    if not records:
+        return [[]]
+    n = min(n_splits, len(records))
+    base, extra = divmod(len(records), n)
+    out: list[list[tuple[int, str]]] = []
+    start = 0
+    for i in range(n):
+        stop = start + base + (1 if i < extra else 0)
+        out.append(records[start:stop])
+        start = stop
+    return out
+
+
+def parse_kv_line(line: str, *, sep: str = "\t") -> tuple[str, str]:
+    """Split a streaming-protocol line into ``(key, value)``.
+
+    A line without the separator is a key with an empty value — Hadoop
+    Streaming's convention.
+    """
+    if sep in line:
+        k, v = line.split(sep, 1)
+        return k, v
+    return line, ""
+
+
+def format_kv_line(key, value, *, sep: str = "\t") -> str:
+    """Render a ``(key, value)`` pair as one streaming-protocol line."""
+    return f"{key}{sep}{value}"

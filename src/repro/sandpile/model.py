@@ -1,0 +1,97 @@
+"""Initial sandpile configurations.
+
+The Bak-Tang-Wiesenfeld Abelian sandpile [Bak, Tang, Wiesenfeld 1988] is an
+``N x M`` 4-connected cellular automaton whose border cells feed a sink.
+Cells holding >= 4 grains are *unstable* and topple, giving ``grains // 4``
+to each of their four neighbours and keeping ``grains % 4``.
+
+This module builds the initial configurations used throughout the paper:
+
+* :func:`center_pile` — Fig. 1a: all grains in one centre cell (25 000
+  grains on 128x128 in the paper);
+* :func:`uniform` — Fig. 1b: the same count everywhere (4 grains per cell);
+* :func:`sparse_random` — the "sparse configurations" whose load imbalance
+  the tiling/scheduling experiments of Fig. 3 investigate: a few heavy
+  random piles on an otherwise empty grid;
+* :func:`random_uniform` — i.i.d. random grains, handy for property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.easypap.grid import Grid2D
+
+__all__ = ["center_pile", "uniform", "sparse_random", "random_uniform", "max_stable"]
+
+
+def center_pile(height: int, width: int, grains: int = 25_000) -> Grid2D:
+    """All *grains* stacked in the single centre cell (Fig. 1a)."""
+    if grains < 0:
+        raise ConfigurationError("grain count cannot be negative")
+    g = Grid2D(height, width)
+    g.interior[height // 2, width // 2] = grains
+    return g
+
+
+def uniform(height: int, width: int, grains: int = 4) -> Grid2D:
+    """Every interior cell starts with *grains* grains (Fig. 1b uses 4)."""
+    if grains < 0:
+        raise ConfigurationError("grain count cannot be negative")
+    g = Grid2D(height, width)
+    g.interior[...] = grains
+    return g
+
+
+def max_stable(height: int, width: int) -> Grid2D:
+    """The maximal stable configuration: 3 grains everywhere.
+
+    Used by :mod:`repro.sandpile.theory` to compute the identity element of
+    the sandpile group.
+    """
+    return uniform(height, width, 3)
+
+
+def sparse_random(
+    height: int,
+    width: int,
+    *,
+    n_piles: int = 32,
+    pile_grains: int = 4_096,
+    seed: int | np.random.Generator | None = 0,
+) -> Grid2D:
+    """A few tall piles at random positions on an empty grid.
+
+    This is the irregular workload of the scheduling experiments: most
+    tiles stay stable forever while activity swirls around the piles,
+    producing exactly the load imbalance Fig. 3 visualises.
+    """
+    if n_piles < 0 or pile_grains < 0:
+        raise ConfigurationError("pile count and size cannot be negative")
+    rng = make_rng(seed)
+    g = Grid2D(height, width)
+    if n_piles == 0:
+        return g
+    ys = rng.integers(0, height, size=n_piles)
+    xs = rng.integers(0, width, size=n_piles)
+    # += via np.add.at so coincident piles stack instead of overwriting
+    np.add.at(g.interior, (ys, xs), pile_grains)
+    return g
+
+
+def random_uniform(
+    height: int,
+    width: int,
+    *,
+    max_grains: int = 8,
+    seed: int | np.random.Generator | None = 0,
+) -> Grid2D:
+    """I.i.d. uniform random grains in ``[0, max_grains]`` per cell."""
+    if max_grains < 0:
+        raise ConfigurationError("max_grains cannot be negative")
+    rng = make_rng(seed)
+    g = Grid2D(height, width)
+    g.interior[...] = rng.integers(0, max_grains + 1, size=(height, width))
+    return g

@@ -1,0 +1,203 @@
+"""Distributed sandpile over the simulated MPI substrate (assignment 4).
+
+Row-block decomposition with the Ghost Cell Pattern: every rank owns a
+contiguous band of rows and keeps ``k`` ghost rows from each neighbour.
+After one halo exchange a rank can run **k synchronous iterations** before
+the next exchange by recomputing a progressively narrowing band of halo
+rows — the exact "trade redundant computation for less-frequent
+communication" scheme the assignment asks for.  With ``k = 1`` this
+degenerates to the textbook exchange-every-iteration pattern.
+
+Stability is detected with an ``allreduce`` of per-rank change flags once
+per superstep.  The result gathers the assembled final grid, the iteration
+count, and the communication report (message/byte counters and virtual
+makespan) used by the A4 benchmark to show the halo-depth trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.easypap.grid import Grid2D
+from repro.simmpi.comm import Communicator
+from repro.simmpi.costmodel import CostModel
+from repro.simmpi.ghost import HaloExchanger, split_rows
+from repro.simmpi.runner import WorldReport, run_ranks
+
+__all__ = ["DistributedResult", "run_distributed"]
+
+#: virtual per-core throughput used to charge local compute time
+_CELL_RATE = 1e9
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of a distributed stabilisation."""
+
+    final: Grid2D
+    iterations: int
+    supersteps: int
+    halo_depth: int
+    report: WorldReport
+
+    @property
+    def messages(self) -> int:
+        """Total messages sent across all ranks."""
+        return self.report.total_messages
+
+    @property
+    def comm_bytes(self) -> int:
+        """Total bytes sent across all ranks."""
+        return self.report.total_bytes
+
+    @property
+    def makespan(self) -> float:
+        """Virtual completion time (the slowest participant's finish)."""
+        return self.report.makespan
+
+
+def _sync_rows(src: np.ndarray, dst: np.ndarray, a: int, b: int) -> bool:
+    """Synchronous update of framed-array rows ``a..b`` (inclusive), all columns.
+
+    Rows are indexed in the *framed* local array; the caller guarantees
+    rows ``a-1`` and ``b+1`` exist and hold valid (possibly ghost) data.
+    Returns True when any updated cell changed.
+    """
+    rows = slice(a, b + 1)
+    centre = src[rows, 1:-1]
+    new = (
+        (centre & 3)
+        + (src[rows, :-2] >> 2)
+        + (src[rows, 2:] >> 2)
+        + (src[a - 1 : b, 1:-1] >> 2)
+        + (src[a + 1 : b + 2, 1:-1] >> 2)
+    )
+    dst[rows, 1:-1] = new
+    return bool((new != centre).any())
+
+
+def _rank_program(
+    comm: Communicator,
+    interior: np.ndarray | None,
+    halo_depth: int,
+    max_supersteps: int,
+) -> tuple[np.ndarray, int, int]:
+    """SPMD body: returns (owned block, iterations, supersteps) on every rank."""
+    k = halo_depth
+
+    # -- distribute ---------------------------------------------------------------
+    if comm.rank == 0:
+        assert interior is not None
+        h, w = interior.shape
+        bounds = split_rows(h, comm.size)
+        blocks = [np.ascontiguousarray(interior[a:b]) for a, b in bounds]
+        meta = comm.bcast((h, w, bounds), root=0)
+        block = comm.scatter(blocks, root=0)
+    else:
+        meta = comm.bcast(None, root=0)
+        block = comm.scatter(None, root=0)
+    h, w, bounds = meta
+    a, b = bounds[comm.rank]
+    nrows = b - a
+
+    # Local framed array: k ghost rows top and bottom, 1 sink column each side.
+    local = np.zeros((nrows + 2 * k, w + 2), dtype=np.int64)
+    local[k : k + nrows, 1:-1] = block
+    scratch = local.copy()
+    exchanger = HaloExchanger(comm, depth=k)
+    top_rank = comm.rank == 0
+    bottom_rank = comm.rank == comm.size - 1
+
+    iterations = 0
+    supersteps = 0
+    for _ in range(max_supersteps):
+        supersteps += 1
+        if comm.size > 1:
+            exchanger.exchange(local)
+            scratch[:k] = local[:k]
+            scratch[-k:] = local[-k:]
+        # Top/bottom ranks: their outermost ghost band is the sink — zero it.
+        if top_rank:
+            local[:k] = 0
+            scratch[:k] = 0
+        if bottom_rank:
+            local[-k:] = 0
+            scratch[-k:] = 0
+
+        changed_local = False
+        # j-th local iteration may validly compute rows [k-(k-1-j) .. ] —
+        # i.e. the computable band shrinks from +/-(k-1) halo rows to the
+        # owned rows only.
+        for j in range(k):
+            margin = k - 1 - j  # halo rows still trustworthy this iteration
+            lo = k - margin
+            hi = k + nrows - 1 + margin
+            lo = max(lo, 1)
+            hi = min(hi, local.shape[0] - 2)
+            ch = _sync_rows(local, scratch, lo, hi)
+            # commit: copy the updated band back (double-buffer the band)
+            local[lo : hi + 1] = scratch[lo : hi + 1]
+            # side sink columns absorb and reset every iteration
+            local[:, 0] = 0
+            local[:, -1] = 0
+            # outer sink rows of the edge ranks likewise
+            if top_rank:
+                local[:k] = 0
+            if bottom_rank:
+                local[-k:] = 0
+            comm.compute((hi - lo + 1) * w / _CELL_RATE)
+            iterations += 1
+            if ch:
+                changed_local = True
+
+        any_changed = comm.allreduce(1 if changed_local else 0)
+        if not any_changed:
+            break
+
+    # -- collect --------------------------------------------------------------------
+    owned = local[k : k + nrows, 1:-1].copy()
+    return owned, iterations, supersteps
+
+
+def run_distributed(
+    grid: Grid2D,
+    nranks: int,
+    *,
+    halo_depth: int = 1,
+    cost_model: CostModel | None = None,
+    max_supersteps: int = 10**6,
+) -> DistributedResult:
+    """Stabilise *grid*'s configuration on *nranks* simulated MPI ranks.
+
+    The input grid is left untouched; the stabilised configuration is
+    returned in a fresh :class:`Grid2D`.
+    """
+    if nranks < 1:
+        raise ConfigurationError("need at least one rank")
+    if halo_depth < 1:
+        raise ConfigurationError("halo depth must be >= 1")
+    if grid.height < nranks * max(halo_depth, 1):
+        raise ConfigurationError(
+            f"{grid.height} rows too few for {nranks} ranks with halo depth {halo_depth}"
+        )
+    interior = grid.interior.copy()
+
+    def body(comm: Communicator):
+        arg = interior if comm.rank == 0 else None
+        return _rank_program(comm, arg, halo_depth, max_supersteps)
+
+    report = run_ranks(nranks, body, cost_model=cost_model)
+    blocks = [owned for owned, _, _ in report.results]
+    final = Grid2D.from_interior(np.vstack(blocks))
+    iterations = max(it for _, it, _ in report.results)
+    supersteps = max(ss for _, _, ss in report.results)
+    return DistributedResult(
+        final=final,
+        iterations=iterations,
+        supersteps=supersteps,
+        halo_depth=halo_depth,
+        report=report,
+    )

@@ -1,0 +1,122 @@
+"""Scalar reference kernels — direct translations of the paper's Fig. 2.
+
+These are deliberately written as per-cell functions plus explicit loops,
+mirroring the C handed to students, and serve as the semantic oracle for
+every optimised variant.  They are O(cells) *Python-level* work per
+iteration and therefore only used on small grids in tests.
+
+The two variants:
+
+* **synchronous** (:func:`sync_compute_new_state`): all cells read the old
+  state and write a ``next`` array, which is then swapped in;
+* **asynchronous** (:func:`async_compute_new_state`): unstable cells topple
+  in place, immediately crediting their neighbours — later cells in the
+  same sweep see the update.
+
+Dhar [1990] proved both converge to the same unique stable configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.easypap.grid import Grid2D
+
+__all__ = [
+    "sync_compute_new_state",
+    "async_compute_new_state",
+    "sync_step_reference",
+    "async_step_reference",
+    "stabilize_reference",
+]
+
+
+def sync_compute_new_state(data: np.ndarray, next_data: np.ndarray, y: int, x: int) -> bool:
+    """Synchronous per-cell rule (Fig. 2, lines 1-10).
+
+    *data*/*next_data* are full ``(H+2, W+2)`` arrays including the sink
+    frame; *y*, *x* are frame coordinates of an interior cell.  Returns
+    whether the cell's value changed.
+    """
+    new = (
+        data[y, x] % 4
+        + data[y, x - 1] // 4
+        + data[y, x + 1] // 4
+        + data[y - 1, x] // 4
+        + data[y + 1, x] // 4
+    )
+    next_data[y, x] = new
+    return bool(new != data[y, x])
+
+
+def async_compute_new_state(data: np.ndarray, y: int, x: int) -> bool:
+    """Asynchronous per-cell rule (Fig. 2, lines 12-22).
+
+    Topples cell ``(y, x)`` in place if unstable, crediting the four
+    neighbours immediately.  Returns whether a toppling occurred.
+    """
+    if data[y, x] < 4:
+        return False
+    div4 = data[y, x] // 4
+    data[y, x - 1] += div4
+    data[y, x + 1] += div4
+    data[y - 1, x] += div4
+    data[y + 1, x] += div4
+    data[y, x] %= 4
+    return True
+
+
+def sync_step_reference(grid: Grid2D) -> bool:
+    """One synchronous iteration over the whole grid; True if anything changed.
+
+    The sink frame is drained afterwards so border cells never topple back.
+    """
+    data = grid.data
+    next_data = data.copy()
+    changed = False
+    for y in range(1, grid.height + 1):
+        for x in range(1, grid.width + 1):
+            if sync_compute_new_state(data, next_data, y, x):
+                changed = True
+    # account grains that toppled off the edge (the frame is never computed)
+    before = int(data[1:-1, 1:-1].sum())
+    after = int(next_data[1:-1, 1:-1].sum())
+    grid.sink_absorbed += before - after
+    grid.data[...] = next_data
+    grid.drain_sink()
+    return changed
+
+
+def async_step_reference(grid: Grid2D, *, order: str = "raster") -> bool:
+    """One asynchronous in-place sweep; True if any cell toppled.
+
+    *order* selects the sweep order (``raster``, ``reverse``, or
+    ``columns``) — the Abelian property tests exploit that the fixpoint
+    must not depend on it.
+    """
+    data = grid.data
+    if order == "raster":
+        coords = ((y, x) for y in range(1, grid.height + 1) for x in range(1, grid.width + 1))
+    elif order == "reverse":
+        coords = (
+            (y, x) for y in range(grid.height, 0, -1) for x in range(grid.width, 0, -1)
+        )
+    elif order == "columns":
+        coords = ((y, x) for x in range(1, grid.width + 1) for y in range(1, grid.height + 1))
+    else:
+        raise ValueError(f"unknown sweep order {order!r}")
+    changed = False
+    for y, x in coords:
+        if async_compute_new_state(data, y, x):
+            changed = True
+    grid.drain_sink()
+    return changed
+
+
+def stabilize_reference(grid: Grid2D, *, variant: str = "sync", max_iterations: int = 10**7) -> int:
+    """Run the reference kernel to the stable fixpoint; return iteration count."""
+    step = sync_step_reference if variant == "sync" else async_step_reference
+    for iteration in range(max_iterations):
+        if not step(grid):
+            return iteration
+    raise RuntimeError(f"no fixpoint within {max_iterations} iterations")

@@ -1,0 +1,194 @@
+"""Simulation driver: run any sandpile variant to its stable fixpoint.
+
+This module plays EASYPAP's command-line role: every kernel variant of the
+four assignments is registered under the ``sandpile`` kernel (synchronous
+family) or ``asandpile`` (asynchronous family, the paper's ``asandPile``),
+and :func:`run_to_fixpoint` selects one by name, drives it until the grid
+is stable, and reports statistics.
+
+Registered variants
+-------------------
+``sandpile``  : ``seq`` (scalar reference), ``vec`` (whole-grid numpy),
+``tiled``, ``lazy``, ``omp`` (tiled + scheduling policy on virtual
+workers), ``split`` (inner/outer SIMD split).
+
+``asandpile`` : ``seq``, ``vec`` (sweep), ``tiled``, ``lazy``, ``omp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.easypap.executor import SequentialBackend, SimulatedBackend, ThreadBackend
+from repro.easypap.grid import Grid2D
+from repro.easypap.kernel import get_variant, register_variant
+from repro.easypap.monitor import Trace
+from repro.sandpile.omp import TiledAsyncStepper, TiledSyncStepper
+from repro.sandpile.reference import async_step_reference, sync_step_reference
+from repro.sandpile.vectorized import AsyncVecStepper, SplitSyncStepper, SyncVecStepper
+
+__all__ = ["RunResult", "run_to_fixpoint", "make_stepper"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of driving a variant to the stable fixpoint."""
+
+    kernel: str
+    variant: str
+    iterations: int
+    final_grid: Grid2D
+    tiles_computed: int = 0
+    tiles_skipped: int = 0
+    trace: Trace | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def skip_fraction(self) -> float:
+        """Fraction of tile visits avoided by lazy evaluation."""
+        total = self.tiles_computed + self.tiles_skipped
+        return self.tiles_skipped / total if total else 0.0
+
+
+def _make_backend(name: str, nworkers: int, policy: str, chunk: int, trace: Trace | None):
+    if name == "sequential":
+        return SequentialBackend(trace=trace)
+    if name == "simulated":
+        return SimulatedBackend(nworkers, policy, chunk=chunk, trace=trace)
+    if name == "threads":
+        return ThreadBackend(nworkers, trace=trace)
+    raise ConfigurationError(f"unknown backend {name!r}")
+
+
+# -- variant factories --------------------------------------------------------
+#
+# Each factory takes (grid, **options) and returns a nullary stepper callable
+# that performs one iteration and returns whether anything changed.
+
+
+@register_variant("sandpile", "seq", description="scalar reference loops (Fig. 2 sync)")
+def _sandpile_seq(grid: Grid2D, **_opts):
+    return lambda: sync_step_reference(grid)
+
+
+@register_variant("sandpile", "vec", description="whole-grid numpy synchronous step")
+def _sandpile_vec(grid: Grid2D, **_opts):
+    return SyncVecStepper(grid)
+
+
+@register_variant("sandpile", "split", description="inner/outer tile split (SIMD lesson)")
+def _sandpile_split(grid: Grid2D, *, tile_size: int = 32, **_opts):
+    return SplitSyncStepper(grid, tile_size)
+
+
+@register_variant("sandpile", "tiled", description="tiled synchronous, sequential tiles")
+def _sandpile_tiled(grid: Grid2D, *, tile_size: int = 32, trace: Trace | None = None, **_opts):
+    return TiledSyncStepper(grid, tile_size, backend=SequentialBackend(trace=trace))
+
+
+@register_variant("sandpile", "lazy", description="tiled synchronous + lazy tile skipping")
+def _sandpile_lazy(grid: Grid2D, *, tile_size: int = 32, trace: Trace | None = None, **_opts):
+    return TiledSyncStepper(grid, tile_size, backend=SequentialBackend(trace=trace), lazy=True)
+
+
+@register_variant("sandpile", "omp", description="tiled synchronous on virtual workers")
+def _sandpile_omp(
+    grid: Grid2D,
+    *,
+    tile_size: int = 32,
+    nworkers: int = 4,
+    policy: str = "dynamic",
+    chunk: int = 1,
+    backend: str = "simulated",
+    lazy: bool = False,
+    trace: Trace | None = None,
+    **_opts,
+):
+    be = _make_backend(backend, nworkers, policy, chunk, trace)
+    return TiledSyncStepper(grid, tile_size, backend=be, lazy=lazy)
+
+
+@register_variant("asandpile", "seq", description="scalar reference in-place sweep (Fig. 2 async)")
+def _asandpile_seq(grid: Grid2D, *, order: str = "raster", **_opts):
+    return lambda: async_step_reference(grid, order=order)
+
+
+@register_variant("asandpile", "vec", description="vectorised topple-all sweep")
+def _asandpile_vec(grid: Grid2D, **_opts):
+    return AsyncVecStepper(grid)
+
+
+@register_variant("asandpile", "tiled", description="tile-local relaxation, sequential tiles")
+def _asandpile_tiled(grid: Grid2D, *, tile_size: int = 32, trace: Trace | None = None, **_opts):
+    return TiledAsyncStepper(grid, tile_size, backend=SequentialBackend(trace=trace))
+
+
+@register_variant("asandpile", "lazy", description="tile-local relaxation + lazy skipping")
+def _asandpile_lazy(grid: Grid2D, *, tile_size: int = 32, trace: Trace | None = None, **_opts):
+    return TiledAsyncStepper(grid, tile_size, backend=SequentialBackend(trace=trace), lazy=True)
+
+
+@register_variant("asandpile", "omp", description="multi-wave tiles on virtual workers")
+def _asandpile_omp(
+    grid: Grid2D,
+    *,
+    tile_size: int = 32,
+    nworkers: int = 4,
+    policy: str = "dynamic",
+    chunk: int = 1,
+    backend: str = "simulated",
+    lazy: bool = True,
+    trace: Trace | None = None,
+    **_opts,
+):
+    be = _make_backend(backend, nworkers, policy, chunk, trace)
+    return TiledAsyncStepper(grid, tile_size, backend=be, lazy=lazy)
+
+
+# -- driver ---------------------------------------------------------------------
+
+
+def make_stepper(grid: Grid2D, kernel: str = "sandpile", variant: str = "vec", **options):
+    """Instantiate the stepper for ``kernel/variant`` on *grid*."""
+    info = get_variant(kernel, variant)
+    return info.fn(grid, **options)
+
+
+def run_to_fixpoint(
+    grid: Grid2D,
+    kernel: str = "sandpile",
+    variant: str = "vec",
+    *,
+    max_iterations: int = 10**7,
+    trace: Trace | None = None,
+    **options,
+) -> RunResult:
+    """Drive ``kernel/variant`` on *grid* until stable; return statistics.
+
+    The grid is modified in place; it is also carried in the result as
+    ``final_grid`` for convenience.  Additional *options* are passed to the
+    variant factory (``tile_size``, ``nworkers``, ``policy``, ``chunk``,
+    ``backend``, ``lazy``...).
+    """
+    stepper = make_stepper(grid, kernel, variant, trace=trace, **options)
+    iterations = 0
+    for _ in range(max_iterations):
+        if not stepper():
+            break
+        iterations += 1
+    else:
+        raise RuntimeError(f"{kernel}/{variant}: no fixpoint within {max_iterations} iterations")
+    return RunResult(
+        kernel=kernel,
+        variant=variant,
+        iterations=iterations,
+        final_grid=grid,
+        tiles_computed=getattr(stepper, "tiles_computed", 0),
+        tiles_skipped=getattr(stepper, "tiles_skipped", 0),
+        trace=trace,
+        extras={
+            "inner_tile_updates": getattr(stepper, "inner_tile_updates", None),
+            "outer_tile_updates": getattr(stepper, "outer_tile_updates", None),
+        },
+    )

@@ -1,0 +1,35 @@
+"""A simulated MPI substrate (threads + virtual clocks).
+
+Real MPI is unavailable offline, so the fourth sandpile assignment's
+distributed variant runs on this in-process substrate: mpi4py-flavoured
+point-to-point and collective operations between thread-ranks, a postal
+cost model charging ``latency + bytes/bandwidth`` per message onto
+per-rank virtual clocks, and the Ghost Cell Pattern helper the assignment
+is built around.
+"""
+
+from repro.simmpi.cart import Cart2DHalo, CartComm, choose_dims
+from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, CommStats, Communicator, Message, Request, World
+from repro.simmpi.costmodel import CostModel, payload_nbytes
+from repro.simmpi.ghost import HaloExchanger, split_rows
+from repro.simmpi.runner import RankFailure, WorldReport, run_ranks
+
+__all__ = [
+    "Cart2DHalo",
+    "CartComm",
+    "choose_dims",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "CommStats",
+    "Message",
+    "World",
+    "Request",
+    "CostModel",
+    "payload_nbytes",
+    "HaloExchanger",
+    "split_rows",
+    "RankFailure",
+    "WorldReport",
+    "run_ranks",
+]

@@ -1,0 +1,169 @@
+"""2D Cartesian process topologies (MPI_Cart_create's teaching subset).
+
+Row-block decomposition (:mod:`repro.simmpi.ghost`) is the assignment's
+baseline; the classic go-further step is a full 2D block decomposition,
+which scales the halo surface as O(n/sqrt(p)) instead of O(n).  This
+module provides:
+
+* :class:`CartComm` — a 2D process grid over a communicator: rank <->
+  coordinate mapping and 4-neighbour lookup (non-periodic, matching the
+  sink-bounded sandpile);
+* :class:`Cart2DHalo` — ghost exchange for a 2D block with depth-k halos
+  on all four sides, including the corner-consistency trick (exchange
+  rows first *including* the column halos, then columns including the row
+  halos — corners arrive correctly without diagonal messages).
+* :func:`split_extent` — 1D block bounds, re-exported for building the
+  2D decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import CommunicationError, ConfigurationError
+from repro.simmpi.comm import Communicator
+from repro.simmpi.ghost import split_rows as split_extent
+
+__all__ = ["CartComm", "Cart2DHalo", "split_extent", "choose_dims"]
+
+_TAG_ROW = 201
+_TAG_COL = 202
+
+
+def choose_dims(nranks: int) -> tuple[int, int]:
+    """Factor *nranks* into the most square ``(rows, cols)`` grid.
+
+    The MPI_Dims_create analogue: 12 -> (4, 3), 9 -> (3, 3), primes ->
+    (nranks, 1).
+    """
+    if nranks < 1:
+        raise ConfigurationError("need at least one rank")
+    best = (nranks, 1)
+    for rows in range(1, int(nranks**0.5) + 1):
+        if nranks % rows == 0:
+            best = (nranks // rows, rows)
+    return best
+
+
+class CartComm:
+    """A non-periodic 2D coordinate view over a communicator."""
+
+    def __init__(self, comm: Communicator, dims: tuple[int, int] | None = None) -> None:
+        self.comm = comm
+        if dims is None:
+            dims = choose_dims(comm.size)
+        py, px = dims
+        if py * px != comm.size:
+            raise ConfigurationError(
+                f"dims {dims} do not tile {comm.size} ranks"
+            )
+        self.dims = (py, px)
+
+    # -- coordinate algebra --------------------------------------------------------
+
+    def coords(self, rank: int | None = None) -> tuple[int, int]:
+        """``(row, col)`` of *rank* (default: this rank) in the grid."""
+        r = self.comm.rank if rank is None else rank
+        if not (0 <= r < self.comm.size):
+            raise CommunicationError(f"rank {r} outside world")
+        return divmod(r, self.dims[1])
+
+    def rank_of(self, row: int, col: int) -> int:
+        """Rank at grid coordinates (row, col)."""
+        py, px = self.dims
+        if not (0 <= row < py and 0 <= col < px):
+            raise CommunicationError(f"coords ({row}, {col}) outside {self.dims}")
+        return row * px + col
+
+    def neighbor(self, drow: int, dcol: int) -> int | None:
+        """Rank at the given offset, or None outside the (non-periodic) grid."""
+        row, col = self.coords()
+        nrow, ncol = row + drow, col + dcol
+        py, px = self.dims
+        if 0 <= nrow < py and 0 <= ncol < px:
+            return self.rank_of(nrow, ncol)
+        return None
+
+    @property
+    def north(self) -> int | None:
+        """Rank above, or None at the top edge."""
+        return self.neighbor(-1, 0)
+
+    @property
+    def south(self) -> int | None:
+        """Rank below, or None at the bottom edge."""
+        return self.neighbor(1, 0)
+
+    @property
+    def west(self) -> int | None:
+        """Rank to the left, or None at the left edge."""
+        return self.neighbor(0, -1)
+
+    @property
+    def east(self) -> int | None:
+        """Rank to the right, or None at the right edge."""
+        return self.neighbor(0, 1)
+
+    def block_bounds(self, height: int, width: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        """This rank's ``((y0, y1), (x0, x1))`` block of an ``height x width`` domain."""
+        row, col = self.coords()
+        ys = split_extent(height, self.dims[0])[row]
+        xs = split_extent(width, self.dims[1])[col]
+        return ys, xs
+
+
+class Cart2DHalo:
+    """Depth-k halo exchange on a 2D block.
+
+    The local array is laid out ``(k + rows + k, k + cols + k)``; the
+    exchange refreshes all four halo bands (and, transitively, the
+    corners) in two phases:
+
+    1. vertical: swap the top/bottom *owned* row bands, full width
+       including the side halo columns (which are stale but harmless —
+       they are refreshed in phase 2 on the receiving side's own column
+       exchange);
+    2. horizontal: swap the left/right *owned+row-halo* column bands,
+       full height — carrying the fresh phase-1 rows sideways, which is
+       exactly what fills the corners correctly.
+    """
+
+    def __init__(self, cart: CartComm, depth: int = 1) -> None:
+        if depth < 1:
+            raise ConfigurationError("halo depth must be >= 1")
+        self.cart = cart
+        self.depth = depth
+        self.exchanges = 0
+
+    def exchange(self, local: np.ndarray) -> None:
+        """Refresh all four halo bands (corners included) in place."""
+        k = self.depth
+        if local.shape[0] < 3 * k or local.shape[1] < 3 * k:
+            raise ConfigurationError(
+                f"local block {local.shape} too small for halo depth {k}"
+            )
+        comm = self.cart.comm
+        north, south = self.cart.north, self.cart.south
+        west, east = self.cart.west, self.cart.east
+
+        # -- phase 1: vertical (rows), full width
+        if north is not None:
+            comm.send(local[k : 2 * k, :], north, tag=_TAG_ROW)
+        if south is not None:
+            comm.send(local[-2 * k : -k, :], south, tag=_TAG_ROW)
+        if north is not None:
+            local[:k, :] = comm.recv(source=north, tag=_TAG_ROW)
+        if south is not None:
+            local[-k:, :] = comm.recv(source=south, tag=_TAG_ROW)
+
+        # -- phase 2: horizontal (columns), full height incl. fresh row halos
+        if west is not None:
+            comm.send(local[:, k : 2 * k], west, tag=_TAG_COL)
+        if east is not None:
+            comm.send(local[:, -2 * k : -k], east, tag=_TAG_COL)
+        if west is not None:
+            local[:, :k] = comm.recv(source=west, tag=_TAG_COL)
+        if east is not None:
+            local[:, -k:] = comm.recv(source=east, tag=_TAG_COL)
+
+        self.exchanges += 1

@@ -1,0 +1,358 @@
+"""In-process message passing with mpi4py-like semantics.
+
+Each *rank* is a Python thread running the same program; ranks exchange
+deep-copied payloads through per-rank mailboxes and advance a per-rank
+**virtual clock** according to the :class:`~repro.simmpi.costmodel.CostModel`.
+The GIL makes threads a correctness vehicle, not a speed one — wall-clock
+speedup is not the point; the virtual clocks are what the ghost-cell
+experiments measure.
+
+Semantics follow the mpi4py tutorial subset used in teaching:
+
+* ``send``/``recv`` with ``(source, tag)`` matching (``ANY_SOURCE`` /
+  ``ANY_TAG`` wildcards supported);
+* ``sendrecv`` — the deadlock-free halo-exchange primitive;
+* collectives ``barrier``, ``bcast``, ``gather``, ``allgather``,
+  ``reduce``, ``allreduce``, ``scatter`` implemented over point-to-point
+  (linear algorithms, costs accounted through the same postal model);
+* per-rank statistics: message and byte counters, final virtual clock.
+
+Payloads are deep-copied on send (numpy arrays via ``np.copy``, the rest
+via pickle) so a rank mutating its buffer after sending cannot corrupt a
+message in flight — the classic bug the copy semantics of MPI teaching
+examples avoid.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import CommunicationError
+from repro.simmpi.costmodel import CostModel, payload_nbytes
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "CommStats",
+    "Communicator",
+    "World",
+    "Request",
+]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: seconds a blocking recv/barrier waits before declaring a deadlock
+_DEADLOCK_TIMEOUT = 60.0
+
+
+def _copy_payload(obj):
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    return copy.deepcopy(obj)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: object
+    nbytes: int
+    arrival: float  # virtual time at which the payload is available
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication counters."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+    sends_by_tag: dict[int, int] = field(default_factory=dict)
+
+
+class World:
+    """Shared state of a group of ranks: mailboxes, locks, failure flag."""
+
+    def __init__(self, size: int, cost_model: CostModel | None = None) -> None:
+        if size < 1:
+            raise CommunicationError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.cost_model = cost_model or CostModel()
+        self._mailboxes: list[deque[Message]] = [deque() for _ in range(size)]
+        self._conditions = [threading.Condition() for _ in range(size)]
+        self._barrier = threading.Barrier(size)
+        #: set by the runner when any rank raises, to unblock the others
+        self.aborted = False
+
+    def abort(self) -> None:
+        """Mark the world failed and wake every blocked rank."""
+        self.aborted = True
+        for cond in self._conditions:
+            with cond:
+                cond.notify_all()
+
+    def deliver(self, msg: Message) -> None:
+        """Append a message to the destination's mailbox and notify."""
+        cond = self._conditions[msg.dest]
+        with cond:
+            self._mailboxes[msg.dest].append(msg)
+            cond.notify_all()
+
+    def try_take(self, rank: int, source: int, tag: int) -> Message | None:
+        """Non-blocking probe-and-take; None when no matching message."""
+        cond = self._conditions[rank]
+        box = self._mailboxes[rank]
+        with cond:
+            if self.aborted:
+                raise CommunicationError(f"rank {rank}: world aborted")
+            for i, msg in enumerate(box):
+                if (source in (ANY_SOURCE, msg.source)) and (tag in (ANY_TAG, msg.tag)):
+                    del box[i]
+                    return msg
+            return None
+
+    def take(self, rank: int, source: int, tag: int) -> Message:
+        """Block until a matching message is available for *rank*."""
+        cond = self._conditions[rank]
+        box = self._mailboxes[rank]
+        with cond:
+            while True:
+                if self.aborted:
+                    raise CommunicationError(f"rank {rank}: world aborted")
+                for i, msg in enumerate(box):
+                    if (source in (ANY_SOURCE, msg.source)) and (tag in (ANY_TAG, msg.tag)):
+                        del box[i]
+                        return msg
+                if not cond.wait(timeout=_DEADLOCK_TIMEOUT):
+                    raise CommunicationError(
+                        f"rank {rank}: recv(source={source}, tag={tag}) timed out "
+                        f"— likely deadlock"
+                    )
+
+    def wait_barrier(self, rank: int) -> None:
+        """Block on the world barrier; raises on abort/deadlock."""
+        try:
+            self._barrier.wait(timeout=_DEADLOCK_TIMEOUT)
+        except threading.BrokenBarrierError:
+            raise CommunicationError(f"rank {rank}: barrier broken (deadlock or abort)") from None
+
+
+class Communicator:
+    """Rank-local endpoint — the object rank programs receive."""
+
+    def __init__(self, world: World, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.stats = CommStats()
+        #: rank-local virtual clock (seconds)
+        self.clock = 0.0
+
+    # -- size/rank accessors (mpi4py spelling) -----------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self.world.size
+
+    def Get_rank(self) -> int:  # noqa: N802 - mpi4py compatibility
+        """mpi4py-spelled alias for the rank number."""
+        return self.rank
+
+    def Get_size(self) -> int:  # noqa: N802 - mpi4py compatibility
+        """mpi4py-spelled alias for the world size."""
+        return self.world.size
+
+    # -- virtual time -------------------------------------------------------------
+
+    def compute(self, seconds: float) -> None:
+        """Advance this rank's virtual clock by a local-computation cost."""
+        if seconds < 0:
+            raise ValueError("compute time cannot be negative")
+        self.clock += seconds
+
+    # -- point-to-point ------------------------------------------------------------
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        """Copy *obj* into flight towards *dest* (eager, non-blocking)."""
+        if not (0 <= dest < self.size):
+            raise CommunicationError(f"rank {self.rank}: invalid dest {dest}")
+        if dest == self.rank:
+            # self-sends are legal and occasionally useful in collectives
+            pass
+        cm = self.world.cost_model
+        nbytes = payload_nbytes(obj)
+        self.clock += cm.overhead
+        arrival = self.clock + cm.transfer_time(nbytes)
+        msg = Message(self.rank, dest, tag, _copy_payload(obj), nbytes, arrival)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
+        self.stats.sends_by_tag[tag] = self.stats.sends_by_tag.get(tag, 0) + 1
+        self.world.deliver(msg)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Block until a matching message arrives; returns the payload."""
+        if source != ANY_SOURCE and not (0 <= source < self.size):
+            raise CommunicationError(f"rank {self.rank}: invalid source {source}")
+        msg = self.world.take(self.rank, source, tag)
+        cm = self.world.cost_model
+        self.clock = max(self.clock, msg.arrival) + cm.overhead
+        self.stats.messages_received += 1
+        self.stats.bytes_received += msg.nbytes
+        return msg.payload
+
+    def sendrecv(self, sendobj, dest: int, recvsource: int, *, sendtag: int = 0, recvtag: int = ANY_TAG):
+        """Simultaneous send and receive (halo-exchange safe)."""
+        self.send(sendobj, dest, tag=sendtag)
+        return self.recv(source=recvsource, tag=recvtag)
+
+    # -- non-blocking point-to-point ----------------------------------------------
+
+    def isend(self, obj, dest: int, tag: int = 0) -> "Request":
+        """Non-blocking send.  Sends are eager in this substrate (the
+        payload is copied immediately), so the returned request is already
+        complete — matching mpi4py teaching examples where ``isend`` is
+        immediately followed by ``wait``."""
+        self.send(obj, dest, tag=tag)
+        return Request(self, kind="send")
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "Request":
+        """Non-blocking receive; complete it with ``req.wait()`` or poll
+        with ``req.test()``."""
+        return Request(self, kind="recv", source=source, tag=tag)
+
+    # -- collectives (linear algorithms over pt2pt) -----------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks; clocks advance to the global maximum."""
+        # Gather clocks at rank 0 through the shared world, then align.
+        clocks = self.allgather(self.clock)
+        self.world.wait_barrier(self.rank)
+        self.clock = max(clocks)
+
+    def bcast(self, obj, root: int = 0):
+        """Broadcast *obj* from *root* to every rank."""
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag=_TAG_BCAST)
+            return _copy_payload(obj)
+        return self.recv(source=root, tag=_TAG_BCAST)
+
+    def gather(self, obj, root: int = 0):
+        """Gather one object per rank at *root* (list ordered by rank)."""
+        if self.rank == root:
+            out: list = [None] * self.size
+            out[root] = _copy_payload(obj)
+            for _ in range(self.size - 1):
+                msg = self.world.take(self.rank, ANY_SOURCE, _TAG_GATHER)
+                cm = self.world.cost_model
+                self.clock = max(self.clock, msg.arrival) + cm.overhead
+                self.stats.messages_received += 1
+                self.stats.bytes_received += msg.nbytes
+                out[msg.source] = msg.payload
+            return out
+        self.send(obj, root, tag=_TAG_GATHER)
+        return None
+
+    def allgather(self, obj) -> list:
+        """Gather at rank 0, then broadcast the list to everyone."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def scatter(self, objs, root: int = 0):
+        """Scatter a size-length list from *root*; returns this rank's item."""
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommunicationError(
+                    f"scatter needs a list of exactly {self.size} items at the root"
+                )
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(objs[dest], dest, tag=_TAG_SCATTER)
+            return _copy_payload(objs[root])
+        return self.recv(source=root, tag=_TAG_SCATTER)
+
+    def reduce(self, value, op=None, root: int = 0):
+        """Reduce values to *root* with *op* (default: addition)."""
+        op = op or _add
+        gathered = self.gather(value, root=root)
+        if self.rank != root:
+            return None
+        acc = gathered[0]
+        for v in gathered[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, value, op=None):
+        """Reduce to rank 0 then broadcast the result."""
+        result = self.reduce(value, op=op, root=0)
+        return self.bcast(result, root=0)
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py's ``Request`` subset).
+
+    ``wait()`` blocks until completion and returns the payload (recv) or
+    None (send); ``test()`` returns ``(done, payload-or-None)`` without
+    blocking.  A request may be completed at most once.
+    """
+
+    def __init__(self, comm: "Communicator", kind: str, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        self._comm = comm
+        self._kind = kind
+        self._source = source
+        self._tag = tag
+        self._done = kind == "send"  # eager sends complete immediately
+        self._payload = None
+
+    @property
+    def done(self) -> bool:
+        """True once the operation has completed."""
+        return self._done
+
+    def _absorb(self, msg: Message) -> None:
+        comm = self._comm
+        cm = comm.world.cost_model
+        comm.clock = max(comm.clock, msg.arrival) + cm.overhead
+        comm.stats.messages_received += 1
+        comm.stats.bytes_received += msg.nbytes
+        self._payload = msg.payload
+        self._done = True
+
+    def test(self):
+        """Non-blocking completion check: ``(done, payload_or_None)``."""
+        if self._done:
+            return True, self._payload
+        msg = self._comm.world.try_take(self._comm.rank, self._source, self._tag)
+        if msg is None:
+            return False, None
+        self._absorb(msg)
+        return True, self._payload
+
+    def wait(self):
+        """Block until complete; returns the payload (recv) or None (send)."""
+        if self._done:
+            return self._payload
+        msg = self._comm.world.take(self._comm.rank, self._source, self._tag)
+        self._absorb(msg)
+        return self._payload
+
+
+_TAG_BCAST = -1001
+_TAG_GATHER = -1002
+_TAG_SCATTER = -1003
+
+
+def _add(a, b):
+    return a + b

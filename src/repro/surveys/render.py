@@ -1,0 +1,50 @@
+"""Rendering of the survey data as the paper's tables/figures.
+
+:func:`render_table_i` reproduces Table I's layout (question, choices,
+answer counts with ``-`` for zero); :func:`render_bar_summary` renders a
+Fig. 5-style horizontal bar chart in text.
+"""
+
+from __future__ import annotations
+
+from repro.common.tables import Table, histogram_bar
+from repro.surveys.data import Survey
+
+__all__ = ["render_table_i", "render_bar_summary", "survey_statistics"]
+
+
+def render_table_i(survey: Survey) -> str:
+    """The paper's Table I layout: one row per (question, choice)."""
+    t = Table(
+        ["Question", "Choices", "#Answers"],
+        title=f"{survey.name} (n = {survey.n_participants})",
+    )
+    for q in survey.questions:
+        for i, (choice, count) in enumerate(zip(q.choices, q.counts)):
+            t.add_row([q.text if i == 0 else "", choice, count if count else "-"])
+    return t.render()
+
+
+def render_bar_summary(survey: Survey, *, width: int = 24) -> str:
+    """Fig. 5-style summary: one bar block per question."""
+    lines = [f"== {survey.name} (n = {survey.n_participants}) ==", f"   source: {survey.source}"]
+    for q in survey.questions:
+        lines.append("")
+        lines.append(q.text)
+        peak = max(q.counts) if q.counts else 1
+        for choice, count in zip(q.choices, q.counts):
+            bar = histogram_bar(count, peak, width=width)
+            lines.append(f"  {choice:<32s} {count:>3d} |{bar}")
+    return "\n".join(lines)
+
+
+def survey_statistics(survey: Survey) -> dict[str, float]:
+    """Headline statistics: per-question top-2-box agreement, and the mean."""
+    stats: dict[str, float] = {}
+    fracs = []
+    for q in survey.questions:
+        f = q.positive_fraction()
+        stats[q.text] = f
+        fracs.append(f)
+    stats["__mean__"] = sum(fracs) / len(fracs) if fracs else 0.0
+    return stats

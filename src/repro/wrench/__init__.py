@@ -1,0 +1,92 @@
+"""A WRENCH/SimGrid-like workflow-execution simulator, from scratch.
+
+The carbon-footprint assignment (Sec. IV of the paper) runs on WRENCH +
+SimGrid behind the EduWRENCH site.  This package is the offline
+replacement: platforms of p-state-configurable cluster nodes and green
+cloud VMs (:mod:`~repro.wrench.platform`, :mod:`~repro.wrench.power`),
+a bandwidth-limited shared link (:mod:`~repro.wrench.network`), per-site
+storage with data locality (:mod:`~repro.wrench.storage`), Montage-like
+workflow DAGs (:mod:`~repro.wrench.workflow`), placement policies
+(:mod:`~repro.wrench.scheduler`), and the greedy list-scheduled
+discrete-event execution engine with energy/CO2 accounting
+(:mod:`~repro.wrench.simulation`).
+"""
+
+from repro.wrench.analysis import (
+    EnergyBreakdown,
+    LevelRow,
+    MakespanBounds,
+    bounds,
+    energy_breakdown,
+    level_gantt_ascii,
+    level_timeline,
+    utilization,
+)
+from repro.wrench.heft import heft_placement, upward_ranks
+from repro.wrench.network import Link, TransferRecord
+from repro.wrench.platform import (
+    CLOUD,
+    LOCAL,
+    ComputeResource,
+    Platform,
+    Site,
+    make_cloud_site,
+    make_cluster_site,
+    make_platform,
+)
+from repro.wrench.power import PowerModel, PState, default_pstates
+from repro.wrench.scheduler import (
+    describe_placement,
+    place_all,
+    place_level_fractions,
+    place_levels,
+)
+from repro.wrench.simulation import (
+    FaultModel,
+    SimulationResult,
+    TaskExecution,
+    WorkflowSimulation,
+    simulate,
+)
+from repro.wrench.storage import StorageService
+from repro.wrench.workflow import Task, Workflow, WorkflowFile, montage_workflow
+
+__all__ = [
+    "LevelRow",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "MakespanBounds",
+    "bounds",
+    "level_gantt_ascii",
+    "level_timeline",
+    "utilization",
+    "heft_placement",
+    "upward_ranks",
+    "Link",
+    "TransferRecord",
+    "LOCAL",
+    "CLOUD",
+    "ComputeResource",
+    "Site",
+    "Platform",
+    "make_cluster_site",
+    "make_cloud_site",
+    "make_platform",
+    "PState",
+    "PowerModel",
+    "default_pstates",
+    "place_all",
+    "place_levels",
+    "place_level_fractions",
+    "describe_placement",
+    "SimulationResult",
+    "FaultModel",
+    "TaskExecution",
+    "WorkflowSimulation",
+    "simulate",
+    "StorageService",
+    "Task",
+    "Workflow",
+    "WorkflowFile",
+    "montage_workflow",
+]

@@ -1,0 +1,210 @@
+"""Post-simulation analysis of workflow executions.
+
+The EduWRENCH questions repeatedly ask students to *reason* about an
+execution — where the time goes, which level is the bottleneck, how close
+the run is to its theoretical bounds.  This module computes those views
+from a :class:`~repro.wrench.simulation.SimulationResult`:
+
+* :func:`level_timeline` — per-level start/end/work/span rows;
+* :func:`utilization` — fraction of resource-seconds actually computing;
+* :func:`bounds` — the two classic lower bounds (critical path, total
+  work / aggregate speed) and the achieved makespan;
+* :func:`level_gantt_ascii` — a terminal Gantt chart of the levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.platform import Platform
+from repro.wrench.simulation import SimulationResult
+from repro.wrench.workflow import Workflow
+
+__all__ = [
+    "LevelRow",
+    "level_timeline",
+    "utilization",
+    "bounds",
+    "level_gantt_ascii",
+    "MakespanBounds",
+    "EnergyBreakdown",
+    "energy_breakdown",
+]
+
+
+@dataclass(frozen=True)
+class LevelRow:
+    """Aggregate timing of one workflow level in one execution."""
+
+    level: int
+    category: str
+    tasks: int
+    start: float
+    end: float
+    compute_time: float   # sum of task compute durations
+    transfer_time: float  # sum of task input-transfer durations
+
+    @property
+    def span(self) -> float:
+        """Seconds from the level's first start to its last end."""
+        return self.end - self.start
+
+
+def level_timeline(result: SimulationResult) -> list[LevelRow]:
+    """Per-level rows ordered by level."""
+    by_level: dict[int, list] = {}
+    for ex in result.executions:
+        by_level.setdefault(ex.level, []).append(ex)
+    rows = []
+    for lv in sorted(by_level):
+        exs = by_level[lv]
+        rows.append(
+            LevelRow(
+                level=lv,
+                category=exs[0].category,
+                tasks=len(exs),
+                start=min(e.start for e in exs),
+                end=max(e.end for e in exs),
+                compute_time=sum(e.compute_time for e in exs),
+                transfer_time=sum(e.transfer_time for e in exs),
+            )
+        )
+    return rows
+
+
+def utilization(result: SimulationResult, platform: Platform) -> float:
+    """Computing resource-seconds / available resource-seconds.
+
+    Uses the platform's *current* resource set (the one that executed the
+    result) and the result's makespan as the availability window.
+    """
+    n = len(platform.all_resources())
+    if n == 0:
+        raise ConfigurationError("platform has no resources")
+    if result.makespan <= 0:
+        return 0.0
+    compute = sum(e.compute_time for e in result.executions)
+    return compute / (n * result.makespan)
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """The two classic lower bounds next to the achieved makespan."""
+
+    critical_path: float
+    work_bound: float
+    achieved: float
+
+    @property
+    def lower_bound(self) -> float:
+        """The binding lower bound: max(critical path, work bound)."""
+        return max(self.critical_path, self.work_bound)
+
+    @property
+    def optimality_gap(self) -> float:
+        """achieved / max(bounds) - 1 (0 = provably optimal schedule)."""
+        lb = self.lower_bound
+        return self.achieved / lb - 1.0 if lb > 0 else 0.0
+
+
+def bounds(result: SimulationResult, workflow: Workflow, platform: Platform) -> MakespanBounds:
+    """Critical-path and work lower bounds for this platform (compute only).
+
+    Speeds are taken per placed site, so the work bound respects the
+    placement's split; transfers are excluded (the bounds stay valid
+    lower bounds).
+    """
+    site_speed = {
+        name: (site.resources[0].speed if site.resources else float("inf"))
+        for name, site in platform.sites.items()
+    }
+    placement = {e.task: e.site for e in result.executions}
+    # critical path in seconds, using each task's placed speed
+    import networkx as nx
+
+    graph = workflow.graph()
+    longest: dict[str, float] = {}
+    for name in nx.topological_sort(graph):
+        t = workflow.task(name)
+        seconds = t.flops / site_speed[placement.get(name, next(iter(site_speed)))]
+        base = max((longest[p] for p in graph.predecessors(name)), default=0.0)
+        longest[name] = base + seconds
+    critical = max(longest.values(), default=0.0)
+
+    # work bound: total seconds of compute / number of resources, per site,
+    # taking the max over sites (each site must at least finish its share)
+    work_bound = 0.0
+    for site_name, site in platform.sites.items():
+        if not site.resources:
+            continue
+        site_work = sum(
+            workflow.task(e.task).flops / site_speed[site_name]
+            for e in result.executions
+            if e.site == site_name
+        )
+        work_bound = max(work_bound, site_work / len(site.resources))
+
+    return MakespanBounds(critical_path=critical, work_bound=work_bound, achieved=result.makespan)
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-site split of an execution's energy into busy and idle parts."""
+
+    site: str
+    busy_joules: float
+    idle_joules: float
+    co2_grams: float
+
+    @property
+    def total_joules(self) -> float:
+        """Busy plus idle energy, in joules."""
+        return self.busy_joules + self.idle_joules
+
+    @property
+    def idle_fraction(self) -> float:
+        """Share of the site's energy burned while idle."""
+        t = self.total_joules
+        return self.idle_joules / t if t > 0 else 0.0
+
+
+def energy_breakdown(result: SimulationResult, platform: Platform) -> list[EnergyBreakdown]:
+    """Split each site's energy into busy vs idle joules.
+
+    The idle share is the quantity the Tab-1 power-off lever attacks and
+    the reason the greedy-green scheduler backfires — worth printing.
+    """
+    out = []
+    for name, site in platform.sites.items():
+        busy = 0.0
+        idle = 0.0
+        for r in site.resources:
+            busy += r.busy_time * r.pstate.busy_power
+            idle += max(result.makespan - r.busy_time, 0.0) * r.pstate.idle_power
+        out.append(
+            EnergyBreakdown(
+                site=name,
+                busy_joules=busy,
+                idle_joules=idle,
+                co2_grams=result.co2_grams.get(name, 0.0),
+            )
+        )
+    return out
+
+
+def level_gantt_ascii(result: SimulationResult, *, width: int = 64) -> str:
+    """One line per level: ``#`` where the level has tasks running."""
+    rows = level_timeline(result)
+    if not rows:
+        return "<empty execution>"
+    t1 = max(r.end for r in rows)
+    span = max(t1, 1e-12)
+    lines = [f"levels over time (0 .. {t1:.4g}s)"]
+    for r in rows:
+        a = int(r.start / span * (width - 1))
+        b = int(r.end / span * (width - 1))
+        bar = "." * a + "#" * max(b - a + 1, 1)
+        bar = bar.ljust(width, ".")
+        lines.append(f"L{r.level} {r.category:<12s} |{bar}| {r.tasks} tasks")
+    return "\n".join(lines)

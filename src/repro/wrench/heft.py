@@ -1,0 +1,157 @@
+"""List-scheduling placement heuristics (HEFT and a carbon-aware variant).
+
+The assignment has students hand-craft placements; a production workflow
+system would compute them.  This module implements the classic baseline —
+HEFT [Topcuoglu et al. 2002]: order tasks by *upward rank* (critical-path
+distance to the exit), then greedily assign each to the resource with the
+earliest estimated finish time — plus a carbon-aware twist that scores
+candidate sites by estimated incremental CO2 instead of finish time
+(subject to not blowing up the makespan estimate).
+
+These produce *placements* consumed by the same simulator as the manual
+options, so heuristics, hand-crafted schedules, and the exhaustive optimum
+are all comparable on equal footing (see the C6 ablation bench).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import grams_co2e
+from repro.wrench.platform import Platform
+from repro.wrench.workflow import Workflow
+
+__all__ = ["upward_ranks", "heft_placement"]
+
+
+def upward_ranks(workflow: Workflow, avg_speed: float, avg_bandwidth: float) -> dict[str, float]:
+    """HEFT's upward rank: critical-path length from each task to the exit.
+
+    ``rank(t) = flops(t)/avg_speed + max over children (transfer + rank)``,
+    using platform-average speed and bandwidth as the estimator.
+    """
+    if avg_speed <= 0 or avg_bandwidth <= 0:
+        raise ConfigurationError("average speed and bandwidth must be positive")
+    graph = workflow.graph()
+    ranks: dict[str, float] = {}
+    import networkx as nx
+
+    for name in reversed(list(nx.topological_sort(graph))):
+        task = workflow.task(name)
+        compute = task.flops / avg_speed
+        best_child = 0.0
+        for child in graph.successors(name):
+            # estimated bytes crossing if child lands elsewhere: the files
+            # the child consumes from this task
+            produced = {f.name: f.size for f in task.outputs}
+            xfer_bytes = sum(
+                f.size for f in workflow.task(child).inputs if f.name in produced
+            )
+            best_child = max(best_child, xfer_bytes / avg_bandwidth + ranks[child])
+        ranks[name] = compute + best_child
+    return ranks
+
+
+def heft_placement(
+    workflow: Workflow,
+    platform: Platform,
+    *,
+    objective: str = "makespan",
+    co2_slack: float = 1.5,
+) -> dict[str, str]:
+    """Compute a per-task site placement with a HEFT-style greedy pass.
+
+    Parameters
+    ----------
+    objective:
+        ``"makespan"`` — classic HEFT: earliest estimated finish wins.
+        ``"co2"`` — pick the site with the lowest estimated incremental
+        CO2 among those whose estimated finish is within ``co2_slack``
+        times the best finish (so the green choice cannot stall the DAG
+        arbitrarily).
+    co2_slack:
+        Allowed finish-time degradation factor for the co2 objective.
+
+    The estimator mirrors the simulator's first-order behaviour: per-site
+    resource heaps for compute, and a single shared-link occupancy clock so
+    cross-site transfers *serialise* in the plan just as they do in the
+    FCFS link model.  It remains an estimate (no event interleaving); the
+    true outcome comes from simulating the returned placement.
+    """
+    if objective not in ("makespan", "co2"):
+        raise ConfigurationError(f"unknown objective {objective!r}")
+    sites = {name: site for name, site in platform.sites.items() if site.n_resources > 0}
+    if not sites:
+        raise ConfigurationError("platform has no resources")
+
+    speeds = [r.speed for s in sites.values() for r in s.resources]
+    avg_speed = sum(speeds) / len(speeds)
+    ranks = upward_ranks(workflow, avg_speed, platform.link.bandwidth)
+
+    # per-site min-heaps of resource available times
+    pools: dict[str, list[float]] = {
+        name: [0.0] * site.n_resources for name, site in sites.items()
+    }
+    for heap in pools.values():
+        heapq.heapify(heap)
+
+    placement: dict[str, str] = {}
+    finish_est: dict[str, float] = {}
+    order = sorted(workflow.tasks, key=lambda t: -ranks[t.name])
+    graph = workflow.graph()
+    link_free = 0.0  # estimated shared-link occupancy (FCFS, like the simulator)
+    # replica sets per file (workflow inputs start at the default site,
+    # matching the simulator's initial_data_site="local")
+    default_site = "local" if "local" in sites else sorted(sites)[0]
+    file_sites: dict[str, set[str]] = {
+        f.name: {default_site} for f in workflow.input_files()
+    }
+
+    for task in order:
+        candidates = []
+        for site_name, site in sites.items():
+            speed = site.resources[0].speed
+            resource_free = pools[site_name][0]
+            data_ready = max(
+                (finish_est[p] for p in graph.predecessors(task.name)), default=0.0
+            )
+            # serialise the transfers of inputs with no replica here
+            xfer_bytes = sum(
+                f.size
+                for f in task.inputs
+                if site_name not in file_sites.get(f.name, {default_site})
+            )
+            link_after = link_free
+            if xfer_bytes > 0:
+                start_xfer = max(data_ready, link_free)
+                data_ready = start_xfer + platform.link.latency + xfer_bytes / platform.link.bandwidth
+                link_after = data_ready
+            start = max(resource_free, data_ready)
+            compute = task.flops / speed
+            finish = start + compute
+            # incremental CO2 estimate: busy energy at this site's intensity
+            busy_power = site.resources[0].pstate.busy_power
+            co2 = grams_co2e(compute * busy_power, site.carbon_intensity)
+            candidates.append((finish, co2, site_name, link_after))
+
+        best_finish = min(c[0] for c in candidates)
+        if objective == "makespan":
+            finish, co2, chosen, link_after = min(candidates)
+        else:
+            eligible = [c for c in candidates if c[0] <= co2_slack * best_finish]
+            co2, finish, chosen, link_after = min(
+                (c[1], c[0], c[2], c[3]) for c in eligible
+            )
+        placement[task.name] = chosen
+        finish_est[task.name] = finish
+        link_free = link_after
+        heapq.heapreplace(pools[chosen], finish)
+        # inputs fetched to the chosen site are now replicated there; the
+        # outputs materialise there
+        for f in task.inputs:
+            file_sites.setdefault(f.name, {default_site}).add(chosen)
+        for f in task.outputs:
+            file_sites.setdefault(f.name, set()).add(chosen)
+
+    return placement

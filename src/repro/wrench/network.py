@@ -1,0 +1,72 @@
+"""Bandwidth-limited network links.
+
+The cluster and the cloud are joined by "a network link with limited
+bandwidth"; whether moving data across it is worth the carbon savings is
+the crux of the Tab-2 questions.  :class:`Link` is a FCFS shared resource:
+transfers queue and serialise, each costing ``latency + bytes/bandwidth``.
+FCFS (rather than fluid fair-sharing) slightly *over*-serialises
+concurrent transfers; experiments only rely on orderings, which FCFS
+preserves, and the simplification is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["TransferRecord", "Link"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer over a link."""
+
+    file_name: str
+    nbytes: float
+    start: float
+    end: float
+    src: str
+    dst: str
+
+
+@dataclass
+class Link:
+    """A shared, FCFS, full-duplex-agnostic network link."""
+
+    name: str = "wide-area"
+    bandwidth: float = 100e6  # bytes/s — the assignment's limited WAN link
+    latency: float = 0.01     # seconds
+    busy_until: float = 0.0
+    records: list[TransferRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigurationError("latency cannot be negative")
+
+    def transfer(self, file_name: str, nbytes: float, now: float, src: str, dst: str) -> float:
+        """Enqueue a transfer at *now*; returns its completion time."""
+        if nbytes < 0:
+            raise ConfigurationError("cannot transfer negative bytes")
+        start = max(now, self.busy_until)
+        end = start + self.latency + nbytes / self.bandwidth
+        self.busy_until = end
+        self.records.append(TransferRecord(file_name, nbytes, start, end, src, dst))
+        return end
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes, summed."""
+        return sum(r.nbytes for r in self.records)
+
+    @property
+    def busy_time(self) -> float:
+        """Total seconds the link spent transferring."""
+        return sum(r.end - r.start for r in self.records)
+
+    def reset(self) -> None:
+        """Clear all accumulated state."""
+        self.busy_until = 0.0
+        self.records.clear()

@@ -1,0 +1,159 @@
+"""Execution platforms: sites of compute resources joined by a link.
+
+The assignment's platform has two sites:
+
+* a **local cluster** of up to 64 single-task nodes, each configurable to
+  one of seven p-states (all powered-on nodes share one p-state — "the
+  cluster is homogeneous"), powered by a 291 gCO2e/kWh plant;
+* a **remote cloud** of up to 16 virtual machine instances on green
+  (low-carbon) physical hosts, reachable over a limited-bandwidth link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.network import Link
+from repro.wrench.power import PowerModel, PState
+
+__all__ = ["ComputeResource", "Site", "Platform", "LOCAL", "CLOUD"]
+
+LOCAL = "local"
+CLOUD = "cloud"
+
+
+@dataclass
+class ComputeResource:
+    """One single-task execution slot (a cluster node or a cloud VM)."""
+
+    name: str
+    site: str
+    pstate: PState
+    available_at: float = 0.0
+    busy_time: float = 0.0
+    tasks_run: int = 0
+
+    @property
+    def speed(self) -> float:
+        """Compute speed at the current p-state, in flop/s."""
+        return self.pstate.speed
+
+
+@dataclass
+class Site:
+    """A named pool of resources with one carbon intensity."""
+
+    name: str
+    resources: list[ComputeResource] = field(default_factory=list)
+    carbon_intensity: float = 0.0  # gCO2e per kWh
+    #: power drawn by site infrastructure regardless of load (watts); kept 0
+    #: by default so single-site closed-form energy checks stay simple
+    overhead_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.carbon_intensity < 0:
+            raise ConfigurationError("carbon intensity cannot be negative")
+
+    @property
+    def n_resources(self) -> int:
+        """Number of compute resources at the site."""
+        return len(self.resources)
+
+
+@dataclass
+class Platform:
+    """Sites plus the wide-area link joining them."""
+
+    sites: dict[str, Site]
+    link: Link
+
+    def site(self, name: str) -> Site:
+        """Look up a site by name; raises on unknown names."""
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown site {name!r}; have {sorted(self.sites)}"
+            ) from None
+
+    def all_resources(self) -> list[ComputeResource]:
+        """Every resource across all sites."""
+        return [r for s in self.sites.values() for r in s.resources]
+
+
+def make_cluster_site(
+    n_nodes: int,
+    pstate_index: int,
+    *,
+    power_model: PowerModel | None = None,
+    carbon_intensity: float = 291.0,
+) -> Site:
+    """The assignment's local cluster: *n_nodes* powered-on homogeneous nodes.
+
+    ``pstate_index`` follows the paper's convention: the *highest* p-state
+    (index ``n_pstates - 1``) is the fastest.  Powered-off nodes simply do
+    not appear (they draw no power).
+    """
+    pm = power_model or PowerModel()
+    states = pm.pstates()
+    if not (0 <= pstate_index < len(states)):
+        raise ConfigurationError(
+            f"p-state {pstate_index} out of range 0..{len(states) - 1}"
+        )
+    if n_nodes < 0:
+        raise ConfigurationError("node count cannot be negative")
+    ps = states[pstate_index]
+    return Site(
+        name=LOCAL,
+        resources=[ComputeResource(f"node_{i:02d}", LOCAL, ps) for i in range(n_nodes)],
+        carbon_intensity=carbon_intensity,
+    )
+
+
+def make_cloud_site(
+    n_vms: int,
+    *,
+    vm_speed: float = 80e9,
+    vm_busy_watts: float = 150.0,
+    vm_idle_watts: float = 70.0,
+    carbon_intensity: float = 20.0,
+) -> Site:
+    """The remote green cloud: *n_vms* fixed-speed VM instances.
+
+    VMs are slightly slower than a top-p-state cluster node (they are
+    shares of virtualised hosts) and their physical hosts run on a green
+    source, so the site carbon intensity is low but not zero (embodied
+    transmission/overheads).
+    """
+    if n_vms < 0:
+        raise ConfigurationError("VM count cannot be negative")
+    ps = PState(index=0, speed=vm_speed, busy_power=vm_busy_watts, idle_power=vm_idle_watts)
+    return Site(
+        name=CLOUD,
+        resources=[ComputeResource(f"vm_{i:02d}", CLOUD, ps) for i in range(n_vms)],
+        carbon_intensity=carbon_intensity,
+    )
+
+
+def make_platform(
+    *,
+    cluster_nodes: int = 64,
+    cluster_pstate: int = 6,
+    cloud_vms: int = 0,
+    link_bandwidth: float = 100e6,
+    link_latency: float = 0.01,
+    power_model: PowerModel | None = None,
+    cluster_carbon_intensity: float = 291.0,
+    cloud_carbon_intensity: float = 20.0,
+) -> Platform:
+    """Assemble the assignment's two-site platform."""
+    sites: dict[str, Site] = {}
+    sites[LOCAL] = make_cluster_site(
+        cluster_nodes,
+        cluster_pstate,
+        power_model=power_model,
+        carbon_intensity=cluster_carbon_intensity,
+    )
+    sites[CLOUD] = make_cloud_site(cloud_vms, carbon_intensity=cloud_carbon_intensity)
+    return Platform(sites=sites, link=Link(bandwidth=link_bandwidth, latency=link_latency))

@@ -1,0 +1,87 @@
+"""Host power model and p-states.
+
+The assignment's cluster nodes "can be configured to operate in one of
+seven power states (p-states), each corresponding to a different trade-off
+between compute speed and power consumption", and idle nodes still burn
+power unless powered off — which is why powering nodes off and
+downclocking are *different* levers, and why combining them (Tab-1 Q3)
+wins.
+
+The model follows standard DVFS physics: per-node power is
+``idle + dynamic * f^3`` when computing at relative frequency ``f`` and
+``idle`` when idle; a powered-off node consumes nothing.  Speed scales
+linearly with ``f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["PState", "PowerModel", "default_pstates"]
+
+
+@dataclass(frozen=True)
+class PState:
+    """One operating point of a host."""
+
+    index: int
+    speed: float        # flop/s while computing
+    busy_power: float   # watts while computing
+    idle_power: float   # watts while powered on but idle
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ConfigurationError(f"p-state {self.index}: speed must be positive")
+        if self.busy_power < self.idle_power:
+            raise ConfigurationError(f"p-state {self.index}: busy power below idle power")
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-host DVFS parameter set generating a ladder of p-states."""
+
+    # Defaults are calibrated so the assignment's downclocking lever works:
+    # with low idle power and strongly frequency-dependent dynamic power,
+    # a *busy* node is more flops-per-joule efficient at a lower p-state.
+    # (With idle ~= half of peak — common on real servers — race-to-idle
+    # wins instead and the assignment's Tab-1 Q2b has no solution space.)
+    base_speed: float = 100e9   # flop/s at the highest p-state
+    idle_watts: float = 30.0
+    dynamic_watts: float = 170.0  # extra power at full frequency (f = 1)
+    n_pstates: int = 7
+    min_frequency: float = 0.4  # lowest p-state's relative frequency
+
+    def __post_init__(self) -> None:
+        if self.n_pstates < 1:
+            raise ConfigurationError("need at least one p-state")
+        if not (0 < self.min_frequency <= 1.0):
+            raise ConfigurationError("min_frequency must be in (0, 1]")
+
+    def pstates(self) -> list[PState]:
+        """P-states ordered 0 (slowest) .. n-1 (fastest), paper-style.
+
+        "Highest p-state" in the assignment text means fastest; we use
+        index ``n_pstates - 1`` for it.
+        """
+        out = []
+        for i in range(self.n_pstates):
+            if self.n_pstates == 1:
+                f = 1.0
+            else:
+                f = self.min_frequency + (1.0 - self.min_frequency) * i / (self.n_pstates - 1)
+            out.append(
+                PState(
+                    index=i,
+                    speed=self.base_speed * f,
+                    busy_power=self.idle_watts + self.dynamic_watts * f**3,
+                    idle_power=self.idle_watts,
+                )
+            )
+        return out
+
+
+def default_pstates() -> list[PState]:
+    """The seven p-states of the assignment's cluster nodes."""
+    return PowerModel().pstates()

@@ -1,0 +1,81 @@
+"""Placement policies: which site runs which task.
+
+The Tab-2 questions are all placement questions: "all on the local
+cluster", "all on the cloud", and "configurations that execute fractions
+of some workflow levels on the cloud".  A placement here is simply a
+``{task_name: site_name}`` dict consumed by the simulator; this module
+builds the dicts.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.platform import CLOUD, LOCAL
+from repro.wrench.workflow import Workflow
+
+__all__ = [
+    "place_all",
+    "place_levels",
+    "place_level_fractions",
+    "describe_placement",
+]
+
+
+def place_all(workflow: Workflow, site: str) -> dict[str, str]:
+    """Every task on one site."""
+    return {t.name: site for t in workflow.tasks}
+
+
+def place_levels(workflow: Workflow, cloud_levels: set[int]) -> dict[str, str]:
+    """Whole levels on the cloud, the rest local."""
+    levels = workflow.levels()
+    return {
+        name: (CLOUD if lv in cloud_levels else LOCAL) for name, lv in levels.items()
+    }
+
+
+def place_level_fractions(
+    workflow: Workflow, fractions: dict[int, float]
+) -> dict[str, str]:
+    """Send a *fraction* of each listed level's tasks to the cloud.
+
+    ``fractions`` maps level -> fraction in [0, 1]; unlisted levels stay
+    local.  Within a level, tasks are sent in name order (deterministic),
+    the first ``round(fraction * n)`` of them — matching how the
+    EduWRENCH app exposes "run some fraction of the tasks in particular
+    workflow levels on the remote cloud".
+    """
+    placement: dict[str, str] = {}
+    levels = workflow.levels()
+    by_level: dict[int, list[str]] = {}
+    for name, lv in levels.items():
+        by_level.setdefault(lv, []).append(name)
+    for lv, frac in fractions.items():
+        if not (0.0 <= frac <= 1.0):
+            raise ConfigurationError(f"level {lv}: fraction {frac} outside [0, 1]")
+        if lv not in by_level:
+            raise ConfigurationError(f"workflow has no level {lv}")
+    for lv, names in by_level.items():
+        names.sort()
+        frac = fractions.get(lv, 0.0)
+        n_cloud = round(frac * len(names))
+        for i, name in enumerate(names):
+            placement[name] = CLOUD if i < n_cloud else LOCAL
+    return placement
+
+
+def describe_placement(workflow: Workflow, placement: dict[str, str]) -> str:
+    """Human-readable per-level summary, e.g. ``L0: 50% cloud (91/182)``."""
+    levels = workflow.levels()
+    per_level: dict[int, list[str]] = {}
+    for name, lv in levels.items():
+        per_level.setdefault(lv, []).append(name)
+    parts = []
+    for lv in sorted(per_level):
+        names = per_level[lv]
+        n_cloud = sum(1 for n in names if placement.get(n, LOCAL) == CLOUD)
+        if n_cloud == 0:
+            continue
+        pct = 100.0 * n_cloud / len(names)
+        parts.append(f"L{lv}: {pct:.0f}% cloud ({n_cloud}/{len(names)})")
+    return "; ".join(parts) if parts else "all local"

@@ -1,0 +1,52 @@
+"""Per-site storage services.
+
+Each execution site (the local cluster, the remote cloud) has a storage
+service holding file replicas.  "The remote cloud has storage, so the
+output of a task executed on the cloud is available locally to a
+subsequent child task that also executes on the cloud" — data locality is
+just membership in the right :class:`StorageService`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+
+__all__ = ["StorageService"]
+
+
+@dataclass
+class StorageService:
+    """A set of file replicas at one site, with byte accounting."""
+
+    site: str
+    files: dict[str, float] = field(default_factory=dict)  # name -> bytes
+    bytes_written: float = 0.0
+
+    def has(self, file_name: str) -> bool:
+        """True when a replica of the file is present."""
+        return file_name in self.files
+
+    def put(self, file_name: str, nbytes: float) -> None:
+        """Store (or refresh) a replica."""
+        if nbytes < 0:
+            raise SimulationError("file size cannot be negative")
+        if file_name not in self.files:
+            self.bytes_written += nbytes
+        self.files[file_name] = nbytes
+
+    def size_of(self, file_name: str) -> float:
+        """Size of a stored replica; raises when absent."""
+        try:
+            return self.files[file_name]
+        except KeyError:
+            raise SimulationError(f"{self.site}: file {file_name!r} not present") from None
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes, summed."""
+        return sum(self.files.values())
+
+    def __len__(self) -> int:
+        return len(self.files)

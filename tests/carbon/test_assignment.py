@@ -1,0 +1,50 @@
+"""Tests for the generated answer sheet."""
+
+import pytest
+
+from repro.carbon.assignment import answer_sheet
+
+
+@pytest.fixture(scope="module")
+def sheet(tiny_scenario_module):
+    return answer_sheet(tiny_scenario_module, tab1_node_step=1, tab2_resolution=3)
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario_module():
+    from repro.carbon.scenario import AssignmentScenario
+
+    return AssignmentScenario(
+        n_projections=12,
+        n_difffits=20,
+        gflop_scale=20.0,
+        max_nodes=8,
+        tab2_local_nodes=4,
+        cloud_vms=4,
+        time_bound=60.0,
+    )
+
+
+class TestAnswerSheet:
+    def test_covers_every_question(self, sheet):
+        for marker in ("Q1 (baseline)", "Q2 (bound", "Q2 verdict", "Q3 verdict",
+                       "Reference optimum", "Q1 (pure placements)",
+                       "Q2 (first two levels)", "Q3-5 reference optimum"):
+            assert marker in sheet, marker
+
+    def test_tab_headers(self, sheet):
+        assert "TAB 1" in sheet and "TAB 2" in sheet
+
+    def test_workflow_summary_line(self, sheet):
+        assert "50 tasks" in sheet  # 12 project + 20 difffit + 12 background + 6 tail
+
+    def test_mentions_both_pure_placements(self, sheet):
+        assert "all-local" in sheet and "all-cloud" in sheet
+
+    def test_heuristic_gap_reported(self, sheet):
+        assert "heuristic gap" in sheet
+
+    def test_deterministic(self, tiny_scenario_module):
+        a = answer_sheet(tiny_scenario_module, tab1_node_step=2, tab2_resolution=2)
+        b = answer_sheet(tiny_scenario_module, tab1_node_step=2, tab2_resolution=2)
+        assert a == b

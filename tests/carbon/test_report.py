@@ -1,0 +1,44 @@
+"""Tests for the carbon report rendering."""
+
+from repro.carbon.report import baseline_summary, tab1_table, tab2_table
+from repro.carbon.tab1 import BaselineResult, ClusterConfigResult
+from repro.carbon.tab2 import PlacementResult
+
+
+def config(n=64, p=6, t=85.0, co2=38.0):
+    return ClusterConfigResult(n_nodes=n, pstate=p, makespan=t, energy_joules=1e5, co2_grams=co2)
+
+
+class TestBaselineSummary:
+    def test_contains_key_numbers(self):
+        b = BaselineResult(config=config(), single_node_makespan=1790.0)
+        s = baseline_summary(b)
+        assert "64 nodes" in s
+        assert "speedup 21.1x" in s
+        assert "efficiency 0.33" in s
+
+
+class TestTab1Table:
+    def test_bound_verdicts(self):
+        rows = {"fast": config(t=100.0), "slow": config(t=300.0)}
+        out = tab1_table(rows, bound=180.0)
+        lines = out.splitlines()
+        fast_line = next(l for l in lines if l.startswith("fast"))
+        slow_line = next(l for l in lines if l.startswith("slow"))
+        assert "yes" in fast_line
+        assert "NO" in slow_line
+
+    def test_no_bound_dash(self):
+        out = tab1_table({"x": config()})
+        assert "-" in out.splitlines()[-1]
+
+
+class TestTab2Table:
+    def test_rows_and_top(self):
+        results = [
+            PlacementResult("a", "", 100.0, 1.0, 10.0, 0.5, 10, 90),
+            PlacementResult("b", "", 200.0, 2.0, 20.0, 1.5, 20, 80),
+        ]
+        out = tab2_table(results, top=1)
+        assert "a" in out
+        assert "\nb " not in out

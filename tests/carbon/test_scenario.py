@@ -1,0 +1,68 @@
+"""Tests for the assignment scenario."""
+
+import pytest
+
+from repro.carbon.scenario import DEFAULT_SCENARIO, AssignmentScenario
+from repro.wrench.platform import CLOUD, LOCAL
+
+
+class TestPaperConstants:
+    """Every constant the paper states must be the default."""
+
+    def test_montage_738_tasks(self):
+        assert len(DEFAULT_SCENARIO.workflow) == 738
+
+    def test_7_5_gb_footprint(self):
+        assert DEFAULT_SCENARIO.workflow.total_bytes() == pytest.approx(7.5e9, rel=1e-6)
+
+    def test_64_node_cluster(self):
+        assert DEFAULT_SCENARIO.max_nodes == 64
+
+    def test_seven_pstates(self):
+        assert DEFAULT_SCENARIO.n_pstates == 7
+        assert DEFAULT_SCENARIO.highest_pstate == 6
+
+    def test_291_gco2e_per_kwh(self):
+        assert DEFAULT_SCENARIO.cluster_carbon_intensity == 291.0
+
+    def test_3_minute_bound(self):
+        assert DEFAULT_SCENARIO.time_bound == 180.0
+
+    def test_16_cloud_vms(self):
+        assert DEFAULT_SCENARIO.cloud_vms == 16
+
+    def test_tab2_12_local_nodes_lowest_pstate(self):
+        assert DEFAULT_SCENARIO.tab2_local_nodes == 12
+        assert DEFAULT_SCENARIO.tab2_local_pstate == 0
+
+
+class TestPlatformBuilders:
+    def test_tab1_platform(self, tiny_scenario):
+        p = tiny_scenario.tab1_platform(4, 2)
+        assert p.site(LOCAL).n_resources == 4
+        assert all(r.pstate.index == 2 for r in p.site(LOCAL).resources)
+        assert CLOUD not in p.sites
+
+    def test_tab2_platform(self, tiny_scenario):
+        p = tiny_scenario.tab2_platform()
+        assert p.site(LOCAL).n_resources == tiny_scenario.tab2_local_nodes
+        assert p.site(CLOUD).n_resources == tiny_scenario.cloud_vms
+        assert all(r.pstate.index == 0 for r in p.site(LOCAL).resources)
+        assert p.link.bandwidth == tiny_scenario.link_bandwidth
+
+    def test_workflow_cached(self, tiny_scenario):
+        assert tiny_scenario.workflow is tiny_scenario.workflow
+
+    def test_simulate_helpers(self, tiny_scenario):
+        r = tiny_scenario.simulate_tab1(4, tiny_scenario.highest_pstate)
+        assert r.makespan > 0
+        from repro.wrench.scheduler import place_all
+
+        r2 = tiny_scenario.simulate_tab2(place_all(tiny_scenario.workflow, LOCAL))
+        assert r2.makespan > 0
+
+    def test_frozen_and_hashable(self):
+        s = AssignmentScenario()
+        with pytest.raises(Exception):
+            s.max_nodes = 32
+        assert hash(s) == hash(AssignmentScenario())

@@ -1,0 +1,65 @@
+"""Tests for the search utilities."""
+
+import pytest
+
+from repro.carbon.search import binary_search_min, grid_search, linear_search_min
+from repro.common.errors import ConfigurationError
+
+
+class TestBinarySearchMin:
+    def test_finds_threshold(self):
+        assert binary_search_min(1, 100, lambda n: n >= 37) == 37
+
+    def test_lo_feasible(self):
+        assert binary_search_min(1, 100, lambda n: True) == 1
+
+    def test_nothing_feasible(self):
+        assert binary_search_min(1, 100, lambda n: False) is None
+
+    def test_hi_only(self):
+        assert binary_search_min(1, 10, lambda n: n == 10) == 10
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            binary_search_min(5, 4, lambda n: True)
+
+    @pytest.mark.parametrize("threshold", [1, 2, 13, 50, 64])
+    def test_agrees_with_linear_scan(self, threshold):
+        feasible = lambda n: n >= threshold
+        assert binary_search_min(1, 64, feasible) == linear_search_min(1, 64, feasible)
+
+    def test_call_count_logarithmic(self):
+        calls = []
+
+        def feasible(n):
+            calls.append(n)
+            return n >= 33
+
+        binary_search_min(1, 64, feasible)
+        assert len(calls) <= 8  # log2(64) + the initial hi probe
+
+
+class TestGridSearch:
+    def test_unconstrained_minimum(self):
+        best, value, evals = grid_search(
+            [range(5), range(5)], lambda a, b: (a - 2) ** 2 + (b - 3) ** 2
+        )
+        assert best == (2, 3)
+        assert value == 0
+        assert len(evals) == 25
+
+    def test_constraint_excludes(self):
+        best, value, _ = grid_search(
+            [range(5)], lambda a: a, constraint=lambda a: a >= 2
+        )
+        assert best == (2,)
+
+    def test_infeasible_everywhere(self):
+        best, value, evals = grid_search([range(3)], lambda a: a, constraint=lambda a: False)
+        assert best is None
+        assert value == float("inf")
+        assert all(not ok for _, _, ok in evals)
+
+    def test_evaluations_complete(self):
+        _, _, evals = grid_search([range(2), range(3)], lambda a, b: a * b)
+        assert {p for p, _, _ in evals} == {(a, b) for a in range(2) for b in range(3)}

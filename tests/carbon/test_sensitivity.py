@@ -1,0 +1,83 @@
+"""Tests for the calibration sensitivity analysis."""
+
+import pytest
+
+from repro.carbon.sensitivity import SensitivityRow, sweep_parameter, verdicts
+from repro.common.errors import ConfigurationError
+
+
+class TestVerdicts:
+    def test_base_tiny_scenario_verdict_keys(self, tiny_scenario):
+        v = verdicts(tiny_scenario, hunt_fractions=(0.0, 0.5, 1.0))
+        assert set(v) == {
+            "heuristic_wins", "cloud_greener", "cloud_slower", "mixed_beats_pure",
+            "heuristic_co2", "all_local_co2", "all_cloud_co2", "best_mixed_co2",
+        }
+        assert v["heuristic_wins"] is True  # the calibrated shape
+
+    def test_numbers_consistent(self, tiny_scenario):
+        v = verdicts(tiny_scenario)
+        assert v["best_mixed_co2"] <= min(v["all_local_co2"], v["all_cloud_co2"]) + 1e-9
+        assert v["heuristic_co2"] > 0
+
+
+class TestSweep:
+    def test_one_row_per_value(self, tiny_scenario):
+        rows = sweep_parameter(
+            "cloud_carbon_intensity", [10.0, 100.0], base=tiny_scenario,
+            hunt_fractions=(0.0, 1.0),
+        )
+        assert len(rows) == 2
+        assert all(isinstance(r, SensitivityRow) for r in rows)
+        assert [r.value for r in rows] == [10.0, 100.0]
+
+    def test_dirty_cloud_worsens_cloud_co2(self, tiny_scenario):
+        # the tiny scenario is calibrated for Tab-1 only, so assert the
+        # monotone effect rather than an absolute verdict: a dirtier cloud
+        # strictly raises all-cloud CO2 and loses the greener verdict
+        rows = sweep_parameter(
+            "cloud_carbon_intensity", [10.0, 2000.0], base=tiny_scenario,
+            hunt_fractions=(0.0, 1.0),
+        )
+        assert rows[1].all_cloud_co2 > rows[0].all_cloud_co2
+        # (all-local CO2 also rises a little: the idle VMs' site burns at
+        # the new intensity; the *cloud-heavy* run must rise much faster)
+        cloud_rise = rows[1].all_cloud_co2 - rows[0].all_cloud_co2
+        local_rise = rows[1].all_local_co2 - rows[0].all_local_co2
+        assert cloud_rise > local_rise
+        assert not rows[1].cloud_greener  # a coal-powered "cloud" is not green
+
+    def test_unknown_parameter_rejected(self, tiny_scenario):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter("warp_factor", [1.0], base=tiny_scenario)
+
+    def test_paper_shape_holds_property(self, tiny_scenario):
+        rows = sweep_parameter(
+            "cloud_carbon_intensity", [2000.0], base=tiny_scenario,
+            hunt_fractions=(0.0, 1.0),
+        )
+        assert rows[0].paper_shape_holds is False
+
+
+class TestEnergyBreakdown:
+    def test_busy_plus_idle_equals_total(self, tiny_scenario):
+        from repro.wrench.analysis import energy_breakdown
+        from repro.wrench.scheduler import place_all
+        from repro.wrench.platform import LOCAL
+        from repro.wrench.simulation import WorkflowSimulation
+
+        plat = tiny_scenario.tab2_platform()
+        wf = tiny_scenario.workflow
+        result = WorkflowSimulation(plat, wf, place_all(wf, LOCAL)).run()
+        breakdown = energy_breakdown(result, plat)
+        total = sum(b.total_joules for b in breakdown)
+        assert total == pytest.approx(result.total_energy, rel=1e-9)
+
+    def test_idle_fraction_bounds(self, tiny_scenario):
+        from repro.wrench.analysis import energy_breakdown
+        from repro.wrench.simulation import WorkflowSimulation
+
+        plat = tiny_scenario.tab2_platform()
+        result = WorkflowSimulation(plat, tiny_scenario.workflow).run()
+        for b in energy_breakdown(result, plat):
+            assert 0.0 <= b.idle_fraction <= 1.0

@@ -1,0 +1,105 @@
+"""Tests for the Tab-1 questions (cluster power management).
+
+Uses the shrunken ``tiny_scenario`` for speed; one slow test validates the
+full paper-scale scenario end to end (the benchmark regenerates it fully).
+"""
+
+import pytest
+
+from repro.carbon.tab1 import (
+    boss_heuristic,
+    exhaustive_optimum,
+    question1_baseline,
+    question2_min_nodes,
+    question2_min_pstate,
+    question3_comparison,
+)
+
+
+class TestQuestion1:
+    def test_baseline_uses_full_cluster_top_pstate(self, tiny_scenario):
+        b = question1_baseline(tiny_scenario)
+        assert b.config.n_nodes == tiny_scenario.max_nodes
+        assert b.config.pstate == tiny_scenario.highest_pstate
+
+    def test_speedup_between_1_and_nodes(self, tiny_scenario):
+        b = question1_baseline(tiny_scenario)
+        assert 1.0 < b.speedup <= tiny_scenario.max_nodes
+        assert 0.0 < b.efficiency <= 1.0
+
+    def test_speedup_consistent(self, tiny_scenario):
+        b = question1_baseline(tiny_scenario)
+        assert b.speedup == pytest.approx(b.single_node_makespan / b.config.makespan)
+
+
+class TestQuestion2:
+    def test_min_nodes_meets_bound(self, tiny_scenario):
+        c = question2_min_nodes(tiny_scenario)
+        assert c.makespan <= tiny_scenario.time_bound
+        assert c.pstate == tiny_scenario.highest_pstate
+
+    def test_min_nodes_is_minimal(self, tiny_scenario):
+        c = question2_min_nodes(tiny_scenario)
+        if c.n_nodes > 1:
+            fewer = tiny_scenario.simulate_tab1(c.n_nodes - 1, c.pstate)
+            assert fewer.makespan > tiny_scenario.time_bound
+
+    def test_min_pstate_meets_bound(self, tiny_scenario):
+        c = question2_min_pstate(tiny_scenario)
+        assert c.makespan <= tiny_scenario.time_bound
+        assert c.n_nodes == tiny_scenario.max_nodes
+
+    def test_min_pstate_is_minimal(self, tiny_scenario):
+        c = question2_min_pstate(tiny_scenario)
+        if c.pstate > 0:
+            lower = tiny_scenario.simulate_tab1(c.n_nodes, c.pstate - 1)
+            assert lower.makespan > tiny_scenario.time_bound
+
+    def test_both_options_save_co2_vs_baseline(self, tiny_scenario):
+        base = question1_baseline(tiny_scenario).config
+        assert question2_min_nodes(tiny_scenario).co2_grams < base.co2_grams
+        assert question2_min_pstate(tiny_scenario).co2_grams < base.co2_grams
+
+
+class TestQuestion3:
+    def test_heuristic_beats_both_single_levers(self, tiny_scenario):
+        opts = question3_comparison(tiny_scenario)
+        h = opts["heuristic"]
+        assert h.makespan <= tiny_scenario.time_bound
+        assert h.co2_grams <= opts["power-off"].co2_grams
+        assert h.co2_grams <= opts["downclock"].co2_grams
+
+    def test_heuristic_never_worse_than_options_it_contains(self, tiny_scenario):
+        # the heuristic evaluates (min nodes at p) for every p, which
+        # includes both Q2 answers as special cases
+        h = boss_heuristic(tiny_scenario)
+        assert h.makespan <= tiny_scenario.time_bound
+
+
+class TestExhaustive:
+    def test_optimum_dominates_heuristic(self, tiny_scenario):
+        best, evals = exhaustive_optimum(tiny_scenario, node_step=1)
+        h = boss_heuristic(tiny_scenario)
+        assert best.co2_grams <= h.co2_grams + 1e-9
+        assert best.makespan <= tiny_scenario.time_bound
+
+    def test_all_configs_evaluated(self, tiny_scenario):
+        _, evals = exhaustive_optimum(tiny_scenario, node_step=1)
+        assert len(evals) == tiny_scenario.max_nodes * tiny_scenario.n_pstates
+
+    def test_node_step_thins_axis(self, tiny_scenario):
+        _, evals = exhaustive_optimum(tiny_scenario, node_step=4)
+        nodes = {c.n_nodes for c in evals}
+        assert tiny_scenario.max_nodes in nodes
+        assert len(nodes) < tiny_scenario.max_nodes
+
+
+@pytest.mark.slow
+class TestPaperScale:
+    def test_full_scenario_story_holds(self):
+        """The complete Tab-1 narrative at paper scale (64 nodes, Montage-738)."""
+        opts = question3_comparison()
+        assert opts["heuristic"].co2_grams < opts["power-off"].co2_grams
+        assert opts["heuristic"].co2_grams < opts["downclock"].co2_grams
+        for c in opts.values():
+            assert c.makespan <= 180.0

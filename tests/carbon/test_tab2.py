@@ -1,0 +1,106 @@
+"""Tests for the Tab-2 questions (cluster + green cloud)."""
+
+import pytest
+
+from repro.carbon.tab2 import (
+    WIDE_LEVELS,
+    exhaustive_optimum,
+    question1_baselines,
+    question2_first_two_levels,
+    treasure_hunt,
+)
+
+
+class TestQuestion1Baselines:
+    def test_both_pure_placements(self, tiny_scenario):
+        bl = question1_baselines(tiny_scenario)
+        total = len(tiny_scenario.workflow)
+        assert bl["all-local"].local_tasks == total
+        assert bl["all-local"].cloud_tasks == 0
+        assert bl["all-cloud"].cloud_tasks == total
+
+    def test_all_local_no_link_traffic(self, tiny_scenario):
+        assert question1_baselines(tiny_scenario)["all-local"].link_gb == 0.0
+
+    def test_all_cloud_moves_data(self, tiny_scenario):
+        assert question1_baselines(tiny_scenario)["all-cloud"].link_gb > 0.0
+
+
+class TestQuestion2:
+    def test_three_options(self, tiny_scenario):
+        opts = question2_first_two_levels(tiny_scenario)
+        assert set(opts) == {"both-local", "both-cloud", "split"}
+
+    def test_cloud_options_move_data_local_does_not(self, tiny_scenario):
+        opts = question2_first_two_levels(tiny_scenario)
+        assert opts["both-local"].link_gb == 0.0
+        assert opts["both-cloud"].link_gb > 0.0
+        assert opts["split"].link_gb > 0.0
+
+    def test_options_cover_all_tasks(self, tiny_scenario):
+        total = len(tiny_scenario.workflow)
+        for r in question2_first_two_levels(tiny_scenario).values():
+            assert r.cloud_tasks + r.local_tasks == total
+
+    def test_files_cross_link_at_most_once(self, tiny_scenario):
+        # storage caches replicas, so even the split option (which forces
+        # projected images back to the cluster) never re-transfers a file
+        from repro.wrench.scheduler import place_levels
+        from repro.wrench.simulation import WorkflowSimulation
+
+        wf = tiny_scenario.workflow
+        plat = tiny_scenario.tab2_platform()
+        WorkflowSimulation(plat, wf, place_levels(wf, {0})).run()
+        names = [r.file_name for r in plat.link.records]
+        assert len(names) == len(set(names))
+
+
+class TestTreasureHunt:
+    @pytest.fixture(scope="class")
+    def hunt(self, request):
+        tiny = request.getfixturevalue("tiny_scenario")
+        grid = {lv: [0.0, 0.5, 1.0] for lv in WIDE_LEVELS}
+        return treasure_hunt(grid, tiny), tiny
+
+    def test_covers_grid(self, hunt):
+        results, _ = hunt
+        assert len(results) == 27
+
+    def test_sorted_by_co2(self, hunt):
+        results, _ = hunt
+        co2 = [r.co2_grams for r in results]
+        assert co2 == sorted(co2)
+
+    def test_mixed_beats_pure_options(self, hunt):
+        results, tiny = hunt
+        best = results[0]
+        baselines = question1_baselines(tiny)
+        assert best.co2_grams <= baselines["all-local"].co2_grams
+        assert best.co2_grams <= baselines["all-cloud"].co2_grams
+
+    def test_labels_describe_fractions(self, hunt):
+        results, _ = hunt
+        assert all("L0=" in r.label for r in results)
+
+
+class TestExhaustiveOptimum:
+    def test_optimum_dominates_everything_on_grid(self, tiny_scenario):
+        best, all_results = exhaustive_optimum(tiny_scenario, resolution=3)
+        assert all(best.co2_grams <= r.co2_grams + 1e-12 for r in all_results)
+
+    def test_resolution_controls_grid(self, tiny_scenario):
+        _, r3 = exhaustive_optimum(tiny_scenario, resolution=3)
+        assert len(r3) == 27
+
+
+@pytest.mark.slow
+class TestPaperScale:
+    def test_full_scenario_story_holds(self):
+        """The Tab-2 narrative at paper scale: green cloud is slower but
+        cleaner; mixing beats both."""
+        bl = question1_baselines()
+        assert bl["all-cloud"].co2_grams < bl["all-local"].co2_grams
+        assert bl["all-cloud"].makespan > bl["all-local"].makespan
+        hunt = treasure_hunt({lv: [0.0, 0.5] for lv in WIDE_LEVELS})
+        assert hunt[0].co2_grams < bl["all-local"].co2_grams
+        assert hunt[0].co2_grams < bl["all-cloud"].co2_grams

@@ -1,0 +1,154 @@
+"""Tests for the synthetic DWD dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.climate.dwd import GERMAN_STATES, DwdDataset, generate_dataset
+from repro.common.errors import ConfigurationError
+
+
+class TestGeneration:
+    def test_shape(self, climate_dataset):
+        assert climate_dataset.temps.shape == (30, 12, 16)
+        assert climate_dataset.first_year == 1990
+        assert climate_dataset.last_year == 2019
+
+    def test_sixteen_states(self):
+        assert len(GERMAN_STATES) == 16
+
+    def test_deterministic(self):
+        a = generate_dataset(2000, 2005, seed=1)
+        b = generate_dataset(2000, 2005, seed=1)
+        assert np.array_equal(a.temps, b.temps)
+
+    def test_seed_matters(self):
+        a = generate_dataset(2000, 2005, seed=1)
+        b = generate_dataset(2000, 2005, seed=2)
+        assert not np.array_equal(a.temps, b.temps)
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            generate_dataset(2020, 2019)
+
+
+class TestClimatology:
+    """The paper's headline numbers must hold statistically."""
+
+    @pytest.fixture(scope="class")
+    def full(self):
+        return generate_dataset(1881, 2019, seed=42)
+
+    def test_annual_mean_range_7_to_10(self, full):
+        means = full.true_annual_means()
+        assert 6.5 < min(means.values()) < 8.5
+        assert 9.0 < max(means.values()) < 11.5
+
+    def test_warming_trend_about_1_5_degrees(self, full):
+        means = full.true_annual_means()
+        years = np.array(sorted(means))
+        vals = np.array([means[y] for y in years])
+        slope = np.polyfit(years, vals, 1)[0]
+        total = slope * (years[-1] - years[0])
+        assert 1.0 < total < 2.2
+
+    def test_recent_decades_warmer(self, full):
+        means = full.true_annual_means()
+        early = np.mean([means[y] for y in range(1881, 1911)])
+        late = np.mean([means[y] for y in range(1990, 2020)])
+        assert late - early > 0.8
+
+    def test_summer_warmer_than_winter(self, full):
+        jan = full.temps[:, 0, :].mean()
+        jul = full.temps[:, 6, :].mean()
+        assert jul - jan > 12.0
+
+    def test_state_anomalies_correlated(self, full):
+        # the national anomaly dominates: two states' july series correlate
+        a = full.temps[:, 6, 0]
+        b = full.temps[:, 6, 8]
+        r = np.corrcoef(a, b)[0, 1]
+        assert r > 0.85
+
+
+class TestMissingData:
+    def test_inject_and_detect(self, climate_dataset):
+        ds = generate_dataset(2000, 2020, seed=3)
+        ds.inject_missing(2020, [11, 12])
+        assert np.isnan(ds.temps[-1, 10:, :]).all()
+        assert (2020, 11) in ds.missing
+
+    def test_annual_mean_warm_biased(self):
+        ds = generate_dataset(2000, 2020, seed=3)
+        honest = ds.true_annual_means()[2020]
+        ds.inject_missing(2020, [11, 12])
+        biased = ds.true_annual_means()[2020]
+        assert biased > honest  # missing winter months inflate the mean
+
+    def test_skip_incomplete_drops_year(self):
+        ds = generate_dataset(2000, 2020, seed=3)
+        ds.inject_missing(2020, [11, 12])
+        means = ds.true_annual_means(skip_incomplete=True)
+        assert 2020 not in means
+        assert 2019 in means
+
+    def test_bad_year_rejected(self, climate_dataset):
+        ds = generate_dataset(2000, 2001, seed=0)
+        with pytest.raises(ConfigurationError):
+            ds.inject_missing(1990, [1])
+
+    def test_bad_month_rejected(self):
+        ds = generate_dataset(2000, 2001, seed=0)
+        with pytest.raises(ConfigurationError):
+            ds.inject_missing(2000, [13])
+
+
+class TestFileRenderings:
+    def test_month_file_layout(self, climate_dataset):
+        lines = climate_dataset.month_file(1)
+        header = lines[0].split(";")
+        assert header[0] == "Jahr" and header[-1] == "Deutschland"
+        assert len(header) == 2 + 16 + 1
+        row = lines[1].split(";")
+        assert row[0] == "1990" and row[1] == "01"
+
+    def test_month_files_all_twelve(self, climate_dataset):
+        files = climate_dataset.month_files()
+        assert sorted(files) == list(range(1, 13))
+
+    def test_missing_rows_omitted(self):
+        ds = generate_dataset(2000, 2020, seed=3)
+        ds.inject_missing(2020, [12])
+        lines = ds.month_file(12)
+        assert not any(line.startswith("2020;") for line in lines)
+        assert any(line.startswith("2019;") for line in lines)
+
+    def test_national_column_is_row_mean(self, climate_dataset):
+        line = climate_dataset.month_file(6)[1]
+        cells = line.split(";")
+        states = np.array([float(c) for c in cells[2:-1]])
+        national = float(cells[-1])
+        assert national == pytest.approx(states.mean(), abs=0.01)
+
+    def test_station_file_layout(self, climate_dataset):
+        lines = climate_dataset.station_file("Bayern")
+        assert lines[0].startswith("#")
+        assert lines[1] == "Jahr;Monat;Temperatur"
+        assert len(lines) == 2 + 30 * 12
+
+    def test_station_file_unknown_state(self, climate_dataset):
+        with pytest.raises(ConfigurationError):
+            climate_dataset.station_file("Atlantis")
+
+    def test_month_out_of_range(self, climate_dataset):
+        with pytest.raises(ConfigurationError):
+            climate_dataset.month_file(0)
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DwdDataset(first_year=2000, temps=np.zeros((2, 11, 16)))
+
+    def test_state_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DwdDataset(first_year=2000, temps=np.zeros((2, 12, 3)))

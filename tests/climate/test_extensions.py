@@ -1,0 +1,113 @@
+"""Tests for the climate extensions: anomalies, bars mode, daily data."""
+
+import numpy as np
+import pytest
+
+from repro.climate.dwd import generate_dataset
+from repro.climate.jobs import annual_mean_job, parse_daily_file_line
+from repro.climate.stripes import WarmingStripes
+from repro.common.errors import ConfigurationError, DataValidationError
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.textio import text_splits
+
+
+def make_stripes(values, first_year=2000):
+    return WarmingStripes.from_annual_means(
+        {first_year + i: v for i, v in enumerate(values)}
+    )
+
+
+class TestAnomalies:
+    def test_explicit_baseline(self):
+        s = make_stripes([7.0, 8.0, 9.0, 10.0])
+        anoms = s.anomalies(baseline=(2000, 2001))  # mean 7.5
+        assert anoms == pytest.approx([-0.5, 0.5, 1.5, 2.5])
+
+    def test_default_baseline_last_30_years(self):
+        values = [8.0] * 40
+        s = make_stripes(values)
+        assert s.anomalies() == pytest.approx([0.0] * 40)
+
+    def test_warming_series_positive_recent_anomalies(self):
+        s = make_stripes(list(np.linspace(7.0, 10.0, 60)), first_year=1960)
+        anoms = s.anomalies(baseline=(1960, 1989))
+        assert anoms[-1] > 1.0
+        assert anoms[0] < 0.0
+
+    def test_nan_years_stay_nan(self):
+        s = WarmingStripes.from_annual_means({2000: 8.0, 2002: 9.0})
+        anoms = s.anomalies(baseline=(2000, 2002))
+        assert np.isnan(anoms[1])
+
+    def test_empty_baseline_rejected(self):
+        s = make_stripes([8.0, 9.0])
+        with pytest.raises(DataValidationError):
+            s.anomalies(baseline=(1900, 1910))
+
+
+class TestBarsImage:
+    def test_geometry_and_background(self):
+        s = make_stripes([7.0, 8.0, 9.0])
+        img = s.bars_image(height=40, stripe_width=3)
+        assert img.shape == (40, 9, 3)
+        # corners stay white (background)
+        assert tuple(img[0, 0]) == (255, 255, 255)
+
+    def test_warm_bars_above_cold_below(self):
+        s = make_stripes([6.0, 10.0])
+        img = s.bars_image(baseline=(2000, 2001), height=40, stripe_width=2)
+        mid = 20
+        # cold year: coloured strictly below the midline
+        cold_above = (img[: mid - 1, 0:2] != 255).any()
+        cold_below = (img[mid:, 0:2] != 255).any()
+        warm_above = (img[: mid - 1, 2:4] != 255).any()
+        warm_below = (img[mid + 1 :, 2:4] != 255).any()
+        assert not cold_above and cold_below
+        assert warm_above and not warm_below
+
+    def test_missing_year_grey_tick(self):
+        s = WarmingStripes.from_annual_means({2000: 8.0, 2002: 9.0})
+        img = s.bars_image(baseline=(2000, 2002), height=20, stripe_width=1)
+        assert (img[:, 1] == 128).any()
+
+
+class TestDailyData:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset(2000, 2002, seed=4)
+
+    def test_row_count(self, dataset):
+        rows = list(dataset.daily_file("Berlin"))
+        assert len(rows) == 3 * 365  # non-leap calendar
+
+    def test_parser(self):
+        assert list(parse_daily_file_line("2000;07;15;21.50")) == [(2000, 21.5)]
+        assert list(parse_daily_file_line("Jahr;Monat;Tag;Temperatur")) == []
+        assert list(parse_daily_file_line("2000;07;21.50")) == []
+
+    def test_daily_monthly_consistency(self, dataset):
+        """Daily means reproduce monthly means exactly (unbiased noise)."""
+        lines = list(dataset.daily_file("Berlin"))
+        result = run_job(annual_mean_job(input_format="daily-files"), text_splits(lines, 4))
+        si = dataset.states.index("Berlin")
+        for year, computed in result.pairs:
+            yi = year - dataset.first_year
+            # day-weighted mean of monthly means (daily noise is centred)
+            days = np.array([31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31])
+            expected = float((dataset.temps[yi, :, si] * days).sum() / days.sum())
+            assert computed == pytest.approx(expected, abs=0.02)
+
+    def test_missing_months_skipped(self, dataset):
+        ds = generate_dataset(2000, 2000, seed=1)
+        ds.inject_missing(2000, [12])
+        rows = list(ds.daily_file(ds.states[0]))
+        assert len(rows) == 365 - 31
+
+    def test_unknown_state_rejected(self, dataset):
+        with pytest.raises(ConfigurationError):
+            list(dataset.daily_file("Narnia"))
+
+    def test_deterministic(self, dataset):
+        a = list(dataset.daily_file("Bayern"))
+        b = list(dataset.daily_file("Bayern"))
+        assert a == b

@@ -1,0 +1,109 @@
+"""Tests for the climate MapReduce jobs."""
+
+import pytest
+
+from repro.climate.jobs import (
+    annual_mean_job,
+    parse_month_file_line,
+    parse_station_file_line,
+    streaming_mapper,
+    streaming_reducer,
+)
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.streaming import run_streaming
+from repro.mapreduce.textio import text_splits
+
+
+class TestMonthFileParser:
+    def test_parses_states_excludes_national(self):
+        line = "1881;01;1.0;2.0;3.0;2.0"
+        samples = list(parse_month_file_line(line))
+        assert samples == [(1881, 1.0), (1881, 2.0), (1881, 3.0)]
+
+    def test_header_skipped(self):
+        assert list(parse_month_file_line("Jahr;Monat;Bayern;Deutschland")) == []
+
+    def test_comment_and_blank_skipped(self):
+        assert list(parse_month_file_line("# comment")) == []
+        assert list(parse_month_file_line("   ")) == []
+
+    def test_garbage_skipped(self):
+        assert list(parse_month_file_line("not;a;valid;row")) == []
+
+    def test_short_row_skipped(self):
+        assert list(parse_month_file_line("1881;01;5.0")) == []
+
+
+class TestStationFileParser:
+    def test_parses(self):
+        assert list(parse_station_file_line("1881;07;17.25")) == [(1881, 17.25)]
+
+    def test_header_skipped(self):
+        assert list(parse_station_file_line("Jahr;Monat;Temperatur")) == []
+
+    def test_wrong_arity_skipped(self):
+        assert list(parse_station_file_line("1881;07;17.25;extra")) == []
+
+
+class TestAnnualMeanJob:
+    def test_computes_exact_mean(self):
+        lines = [
+            "Jahr;Monat;A;B;Deutschland",
+            "2000;01;1.0;3.0;2.0",
+            "2000;02;5.0;7.0;6.0",
+        ]
+        result = run_job(annual_mean_job(), text_splits(lines, 2))
+        assert result.as_dict() == {2000: pytest.approx(4.0)}
+
+    def test_multiple_years(self):
+        lines = ["2000;01;1.0;1.0;1.0", "2001;01;9.0;9.0;9.0"]
+        result = run_job(annual_mean_job(), text_splits(lines, 1))
+        assert result.as_dict() == {2000: pytest.approx(1.0), 2001: pytest.approx(9.0)}
+
+    def test_both_formats_same_answer(self, climate_dataset):
+        month_lines = [l for f in climate_dataset.month_files().values() for l in f]
+        station_lines = [l for f in climate_dataset.station_files().values() for l in f]
+        m = run_job(annual_mean_job(input_format="month-files"), text_splits(month_lines, 6))
+        s = run_job(annual_mean_job(input_format="station-files"), text_splits(station_lines, 6))
+        md, sd = m.as_dict(), s.as_dict()
+        assert set(md) == set(sd)
+        for year in md:
+            assert md[year] == pytest.approx(sd[year], abs=1e-9)
+
+    def test_combiner_optional_same_answer(self, climate_dataset):
+        lines = [l for f in climate_dataset.month_files().values() for l in f]
+        with_c = run_job(annual_mean_job(with_combiner=True), text_splits(lines, 5))
+        without = run_job(annual_mean_job(with_combiner=False), text_splits(lines, 5))
+        wc, wo = with_c.as_dict(), without.as_dict()
+        assert set(wc) == set(wo)
+        for y in wc:
+            # combiner changes summation order: bit-level drift only
+            assert wc[y] == pytest.approx(wo[y], abs=1e-9)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            annual_mean_job(input_format="parquet")
+
+    def test_matches_dataset_oracle(self, climate_dataset):
+        lines = [l for f in climate_dataset.month_files().values() for l in f]
+        result = run_job(annual_mean_job(), text_splits(lines, 12))
+        oracle = climate_dataset.true_annual_means()
+        computed = result.as_dict()
+        assert set(computed) == set(oracle)
+        for year, v in oracle.items():
+            # files quantise to 0.01 degC, so allow that much slack
+            assert computed[year] == pytest.approx(v, abs=0.01)
+
+
+class TestStreamingSolution:
+    def test_matches_structured_job(self, climate_dataset):
+        lines = [l for f in climate_dataset.month_files().values() for l in f]
+        structured = run_job(annual_mean_job(), text_splits(lines, 4)).as_dict()
+        streamed = run_streaming(streaming_mapper, streaming_reducer, lines)
+        parsed = {int(l.split("\t")[0]): float(l.split("\t")[1]) for l in streamed}
+        assert set(parsed) == set(structured)
+        for y in parsed:
+            assert parsed[y] == pytest.approx(structured[y], abs=1e-5)
+
+    def test_empty_input(self):
+        assert run_streaming(streaming_mapper, streaming_reducer, []) == []

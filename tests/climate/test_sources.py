@@ -1,0 +1,71 @@
+"""Tests for the global climate source."""
+
+import numpy as np
+import pytest
+
+from repro.climate.sources import (
+    generate_global_dataset,
+    global_annual_mean_job,
+    global_anomaly_file,
+    parse_global_line,
+)
+from repro.climate.stripes import WarmingStripes
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.textio import text_splits
+
+
+class TestGlobalDataset:
+    def test_shape(self):
+        data = generate_global_dataset(1880, 2019)
+        assert data.shape == (140, 12)
+
+    def test_warming_shape(self):
+        data = generate_global_dataset(1880, 2019, seed=1)
+        annual = data.mean(axis=1)
+        # late-19th-century baseline near zero; 2010s near +1 degC
+        assert abs(annual[:20].mean()) < 0.25
+        assert 0.6 < annual[-10:].mean() < 1.3
+        # mid-century plateau: 1945-1970 mean close to 1940 level
+        assert annual[65:90].mean() - annual[55:65].mean() < 0.2
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            generate_global_dataset(seed=5), generate_global_dataset(seed=5)
+        )
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            generate_global_dataset(2020, 2019)
+
+
+class TestFileAndParser:
+    def test_roundtrip_line_count(self):
+        lines = list(global_anomaly_file(2000, 2002))
+        assert len(lines) == 1 + 3 * 12
+
+    def test_parser(self):
+        assert list(parse_global_line("1998;05;+0.612")) == [(1998, 0.612)]
+        assert list(parse_global_line("Year;Month;Anomaly")) == []
+        assert list(parse_global_line("bad line")) == []
+
+
+class TestGlobalJob:
+    def test_annual_means_match_oracle(self):
+        lines = list(global_anomaly_file(1990, 2019, seed=3))
+        result = run_job(global_annual_mean_job(), text_splits(lines, 6))
+        oracle = generate_global_dataset(1990, 2019, seed=3).mean(axis=1)
+        computed = result.as_dict()
+        for i, year in enumerate(range(1990, 2020)):
+            assert computed[year] == pytest.approx(oracle[i], abs=0.001)
+
+    def test_global_stripes_drift_blue_to_red(self):
+        lines = list(global_anomaly_file(1880, 2019))
+        result = run_job(global_annual_mean_job(), text_splits(lines, 12))
+        stripes = WarmingStripes.from_annual_means(
+            {int(k): float(v) for k, v in result.pairs}
+        )
+        art = stripes.ascii()
+        assert art[0] in "Bb"
+        assert art[-1] in "Rr"
+        assert stripes.trend_degrees() > 0.7

@@ -1,0 +1,107 @@
+"""Tests for the warming-stripes computation and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.climate.stripes import WarmingStripes
+from repro.common.errors import DataValidationError
+
+
+def make_stripes(values, first_year=2000):
+    means = {first_year + i: v for i, v in enumerate(values)}
+    return WarmingStripes.from_annual_means(means)
+
+
+class TestColorbarRule:
+    """The paper's rule: colourbar = whole-span mean +/- 1.5 degC."""
+
+    def test_reference_mean(self):
+        s = make_stripes([7.0, 8.0, 9.0])
+        assert s.reference_mean == pytest.approx(8.0)
+        assert s.vmin == pytest.approx(6.5)
+        assert s.vmax == pytest.approx(9.5)
+
+    def test_nan_years_excluded_from_reference(self):
+        s = WarmingStripes.from_annual_means({2000: 8.0, 2002: 10.0})
+        assert np.isnan(s.means[1])  # the 2001 gap
+        assert s.reference_mean == pytest.approx(9.0)
+
+    def test_all_missing_rejected(self):
+        s = WarmingStripes(years=np.array([2000]), means=np.array([np.nan]))
+        with pytest.raises(DataValidationError):
+            s.reference_mean
+
+
+class TestConstruction:
+    def test_gaps_filled_with_nan(self):
+        s = WarmingStripes.from_annual_means({1990: 8.0, 1993: 9.0})
+        assert list(s.years) == [1990, 1991, 1992, 1993]
+        assert np.isnan(s.means[1]) and np.isnan(s.means[2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataValidationError):
+            WarmingStripes.from_annual_means({})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataValidationError):
+            WarmingStripes(years=np.array([2000, 2001]), means=np.array([8.0]))
+
+
+class TestColors:
+    def test_cold_year_blue_warm_year_red(self):
+        s = make_stripes([7.0, 8.0, 9.0])
+        r0, g0, b0 = s.color_of(2000)
+        r2, g2, b2 = s.color_of(2002)
+        assert b0 > r0
+        assert r2 > b2
+
+    def test_missing_year_grey(self):
+        s = WarmingStripes.from_annual_means({2000: 8.0, 2002: 9.0})
+        assert s.color_of(2001) == (128, 128, 128)
+
+    def test_out_of_range_year_rejected(self):
+        with pytest.raises(DataValidationError):
+            make_stripes([8.0]).color_of(1800)
+
+
+class TestTrend:
+    def test_positive_warming(self):
+        s = make_stripes([7.0, 7.5, 8.0, 8.5])
+        assert s.trend_degrees() == pytest.approx(1.5)
+
+    def test_flat(self):
+        assert make_stripes([8.0, 8.0, 8.0]).trend_degrees() == pytest.approx(0.0, abs=1e-9)
+
+    def test_needs_two_years(self):
+        with pytest.raises(DataValidationError):
+            make_stripes([8.0]).trend_degrees()
+
+    def test_nan_robust(self):
+        s = WarmingStripes.from_annual_means({2000: 7.0, 2002: 8.0, 2004: 9.0})
+        assert s.trend_degrees() == pytest.approx(2.0)
+
+
+class TestRendering:
+    def test_image_geometry(self):
+        img = make_stripes([7.0, 8.0, 9.0]).image(height=50, stripe_width=3)
+        assert img.shape == (50, 9, 3)
+        assert img.dtype == np.uint8
+
+    def test_save_ppm(self, tmp_path):
+        path = tmp_path / "stripes.ppm"
+        make_stripes([7.0, 9.0]).save_ppm(path)
+        assert path.read_bytes().startswith(b"P6\n")
+
+    def test_ascii_cold_to_warm(self):
+        s = make_stripes(list(np.linspace(6.0, 11.0, 40)))
+        art = s.ascii()
+        assert art[0] in "Bb"
+        assert art[-1] in "Rr"
+
+    def test_ascii_missing_marker(self):
+        s = WarmingStripes.from_annual_means({2000: 8.0, 2002: 8.0})
+        assert "?" in s.ascii()
+
+    def test_ascii_downsamples(self):
+        s = make_stripes([8.0] * 500)
+        assert len(s.ascii(width_chars=50)) <= 51

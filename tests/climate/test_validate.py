@@ -1,0 +1,83 @@
+"""Tests for data-quality validation."""
+
+import pytest
+
+from repro.climate.dwd import generate_dataset
+from repro.climate.jobs import parse_month_file_line
+from repro.climate.validate import (
+    EXPECTED_SAMPLES_PER_YEAR,
+    YearQuality,
+    seasonal_bias_estimate,
+    validate_annual_counts,
+)
+from repro.common.errors import DataValidationError
+from repro.mapreduce.textio import text_splits
+
+
+def dataset_splits(ds, n=6):
+    lines = [l for f in ds.month_files().values() for l in f]
+    return text_splits(lines, n)
+
+
+class TestYearQuality:
+    def test_complete(self):
+        q = YearQuality(2000, 192, 192)
+        assert q.complete
+        assert q.missing_fraction == 0.0
+
+    def test_incomplete(self):
+        q = YearQuality(2020, 160, 192)
+        assert not q.complete
+        assert q.missing_fraction == pytest.approx(1 - 160 / 192)
+
+
+class TestValidateAnnualCounts:
+    def test_clean_dataset(self, climate_dataset):
+        report = validate_annual_counts(dataset_splits(climate_dataset), parse_month_file_line)
+        assert report.is_clean()
+        assert len(report.years) == 30
+        assert all(q.samples == EXPECTED_SAMPLES_PER_YEAR for q in report.years)
+
+    def test_detects_missing_winter(self):
+        ds = generate_dataset(2000, 2020, seed=3)
+        ds.inject_missing(2020, [11, 12])
+        report = validate_annual_counts(dataset_splits(ds), parse_month_file_line)
+        assert report.incomplete_years == [2020]
+        assert 2019 in report.complete_years
+        bad = next(q for q in report.years if q.year == 2020)
+        assert bad.samples == 10 * 16
+
+    def test_summary_strings(self):
+        ds = generate_dataset(2000, 2002, seed=0)
+        report = validate_annual_counts(dataset_splits(ds), parse_month_file_line)
+        assert "complete" in report.summary()
+        ds.inject_missing(2001, [1])
+        report2 = validate_annual_counts(dataset_splits(ds), parse_month_file_line)
+        assert "2001" in report2.summary()
+
+    def test_expected_validated(self, climate_dataset):
+        with pytest.raises(DataValidationError):
+            validate_annual_counts(dataset_splits(climate_dataset), parse_month_file_line,
+                                   expected_per_year=0)
+
+
+class TestSeasonalBias:
+    def test_missing_winter_warm_bias(self):
+        # present Jan..Oct (missing Nov, Dec) -> mean over warmer months
+        bias = seasonal_bias_estimate(list(range(1, 11)))
+        assert bias > 0.3
+
+    def test_missing_summer_cold_bias(self):
+        bias = seasonal_bias_estimate([1, 2, 3, 10, 11, 12])
+        assert bias < -3.0
+
+    def test_full_year_zero(self):
+        assert seasonal_bias_estimate(list(range(1, 13))) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataValidationError):
+            seasonal_bias_estimate([])
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(DataValidationError):
+            seasonal_bias_estimate([0])

@@ -1,0 +1,71 @@
+"""Tests for the four-phase warming-stripes workflow."""
+
+import pytest
+
+from repro.climate.workflow import run_warming_stripes_workflow
+from repro.mapreduce.cluster import ClusterConfig
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def wf(self):
+        return run_warming_stripes_workflow(first_year=1990, last_year=2019, seed=5)
+
+    def test_all_artifacts_present(self, wf):
+        assert wf.dataset.first_year == 1990
+        assert len(wf.input_lines) > 0
+        assert len(wf.annual_means) == 30
+        assert wf.quality.is_clean()
+        assert wf.stripes.years[0] == 1990
+
+    def test_means_match_oracle(self, wf):
+        oracle = wf.dataset.true_annual_means()
+        for year, v in oracle.items():
+            assert wf.annual_means[year] == pytest.approx(v, abs=0.01)
+
+    def test_no_suspicious_years(self, wf):
+        assert wf.suspicious_years == []
+
+
+class TestMissingWinterScenario:
+    def test_2020_flagged_and_biased(self):
+        wf = run_warming_stripes_workflow(
+            first_year=2010, last_year=2020, seed=3, with_missing_winter=2020
+        )
+        assert wf.suspicious_years == [2020]
+        # the biased mean is visibly warm against neighbours
+        neighbours = [wf.annual_means[y] for y in range(2015, 2020)]
+        assert wf.annual_means[2020] > max(neighbours) - 0.5
+
+
+class TestVariants:
+    def test_station_format(self):
+        a = run_warming_stripes_workflow(first_year=2000, last_year=2005, seed=1)
+        b = run_warming_stripes_workflow(
+            first_year=2000, last_year=2005, seed=1, input_format="station-files"
+        )
+        for y in a.annual_means:
+            assert a.annual_means[y] == pytest.approx(b.annual_means[y], abs=1e-9)
+
+    def test_cluster_execution_identical(self):
+        a = run_warming_stripes_workflow(first_year=2000, last_year=2005, seed=1)
+        b = run_warming_stripes_workflow(
+            first_year=2000,
+            last_year=2005,
+            seed=1,
+            on_cluster=True,
+            cluster_config=ClusterConfig(n_workers=4, failure_prob=0.2, seed=8),
+        )
+        assert a.annual_means == b.annual_means
+
+    def test_split_count_irrelevant(self):
+        a = run_warming_stripes_workflow(first_year=2000, last_year=2003, seed=2, n_splits=1)
+        b = run_warming_stripes_workflow(first_year=2000, last_year=2003, seed=2, n_splits=24)
+        assert set(a.annual_means) == set(b.annual_means)
+        for y in a.annual_means:
+            # summation order differs across splits: bit-level drift only
+            assert a.annual_means[y] == pytest.approx(b.annual_means[y], abs=1e-9)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            run_warming_stripes_workflow(input_format="excel")

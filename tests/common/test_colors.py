@@ -1,0 +1,127 @@
+"""Tests for repro.common.colors."""
+
+import numpy as np
+import pytest
+
+from repro.common.colors import (
+    SANDPILE_PALETTE,
+    ascii_render,
+    diverging_rgb,
+    sandpile_to_rgb,
+    stripes_to_rgb,
+    write_ppm,
+)
+
+
+class TestSandpilePalette:
+    def test_fig1_colors(self):
+        # black 0, green 1, blue 2, red 3 (paper's caption)
+        grid = np.array([[0, 1], [2, 3]])
+        img = sandpile_to_rgb(grid)
+        assert tuple(img[0, 0]) == SANDPILE_PALETTE[0] == (0, 0, 0)
+        assert img[0, 1][1] > 150 and img[0, 1][0] == 0          # green
+        assert img[1, 0][2] > 150                                 # blue
+        assert img[1, 1][0] > 150 and img[1, 1][2] < 100          # red
+
+    def test_unstable_cells_bright(self):
+        img = sandpile_to_rgb(np.array([[25000]]))
+        assert img[0, 0].max() >= 180
+
+    def test_shape(self):
+        img = sandpile_to_rgb(np.zeros((4, 6), dtype=int))
+        assert img.shape == (4, 6, 3)
+        assert img.dtype == np.uint8
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            sandpile_to_rgb(np.zeros(5))
+
+
+class TestDiverging:
+    def test_endpoints_blue_and_red(self):
+        r_low, g_low, b_low = diverging_rgb(0.0, 0.0, 1.0)
+        r_hi, g_hi, b_hi = diverging_rgb(1.0, 0.0, 1.0)
+        assert b_low > r_low  # cold end is blue
+        assert r_hi > b_hi    # warm end is red
+
+    def test_midpoint_near_white(self):
+        r, g, b = diverging_rgb(0.5, 0.0, 1.0)
+        assert min(r, g, b) > 200
+
+    def test_clamps_out_of_range(self):
+        assert diverging_rgb(-99.0, 0.0, 1.0) == diverging_rgb(0.0, 0.0, 1.0)
+        assert diverging_rgb(99.0, 0.0, 1.0) == diverging_rgb(1.0, 0.0, 1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            diverging_rgb(0.5, 1.0, 1.0)
+
+    def test_cold_half_blue_warm_half_red(self):
+        # the ends darken (RdBu), so dominance is not monotone — but the
+        # *sign* of red-minus-blue must match the half of the ramp
+        for t in np.linspace(0.0, 0.42, 6):
+            c = diverging_rgb(t, 0.0, 1.0)
+            assert c[2] > c[0], f"t={t}: expected blue-dominant, got {c}"
+        for t in np.linspace(0.58, 1.0, 6):
+            c = diverging_rgb(t, 0.0, 1.0)
+            assert c[0] > c[2], f"t={t}: expected red-dominant, got {c}"
+
+    def test_returns_ints(self):
+        assert all(isinstance(c, int) for c in diverging_rgb(0.3, 0.0, 1.0))
+
+
+class TestStripes:
+    def test_geometry(self):
+        img = stripes_to_rgb([1.0, 2.0, 3.0], 0.0, 4.0, height=10, stripe_width=5)
+        assert img.shape == (10, 15, 3)
+
+    def test_nan_is_grey(self):
+        img = stripes_to_rgb([np.nan], 0.0, 1.0, height=2, stripe_width=2)
+        assert tuple(img[0, 0]) == (128, 128, 128)
+
+    def test_cold_vs_warm(self):
+        img = stripes_to_rgb([0.0, 1.0], 0.0, 1.0, height=1, stripe_width=1)
+        assert img[0, 0, 2] > img[0, 0, 0]  # first stripe blue
+        assert img[0, 1, 0] > img[0, 1, 2]  # second stripe red
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stripes_to_rgb([], 0.0, 1.0)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            stripes_to_rgb([1.0], 0.0, 1.0, height=0)
+
+
+class TestPpm:
+    def test_roundtrip_header_and_bytes(self, tmp_path):
+        img = np.arange(24, dtype=np.uint8).reshape(2, 4, 3)
+        path = tmp_path / "img.ppm"
+        write_ppm(path, img)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P6\n4 2\n255\n")
+        assert raw.endswith(img.tobytes())
+
+    def test_rejects_wrong_dtype(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 2, 3), dtype=float))
+
+    def test_rejects_wrong_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestAsciiRender:
+    def test_characters(self):
+        out = ascii_render(np.array([[0, 1], [3, 7]]))
+        lines = out.splitlines()
+        assert lines[0] == " ."
+        assert lines[1] == "#@"
+
+    def test_downsamples_large(self):
+        out = ascii_render(np.zeros((256, 256), dtype=int), max_size=64)
+        assert len(out.splitlines()) <= 64
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_render(np.zeros(4))

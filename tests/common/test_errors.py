@@ -1,0 +1,32 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.CommunicationError,
+            errors.SchedulingError,
+            errors.DataValidationError,
+            errors.KernelError,
+        ],
+    )
+    def test_all_derive_from_root(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        # so `except ValueError` in generic user code still works
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_simulation_error_is_runtime_error(self):
+        assert issubclass(errors.SimulationError, RuntimeError)
+
+    def test_catchable_as_root(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.KernelError("boom")

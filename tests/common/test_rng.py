@@ -1,0 +1,84 @@
+"""Tests for repro.common.rng."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import DEFAULT_SEED, choice_weighted, derive_seed, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(123).integers(0, 1000, 10)
+        b = make_rng(123).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 10**9, 8)
+        b = make_rng(2).integers(0, 10**9, 8)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(7)
+        assert make_rng(g) is g
+
+    def test_default_seed_used(self):
+        a = make_rng().integers(0, 10**9, 4)
+        b = make_rng(DEFAULT_SEED).integers(0, 10**9, 4)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(9, 2)
+        assert not np.array_equal(a.integers(0, 10**9, 16), b.integers(0, 10**9, 16))
+
+    def test_reproducible(self):
+        a1, b1 = spawn_rngs(9, 2)
+        a2, b2 = spawn_rngs(9, 2)
+        assert np.array_equal(a1.integers(0, 100, 8), a2.integers(0, 100, 8))
+        assert np.array_equal(b1.integers(0, 100, 8), b2.integers(0, 100, 8))
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "worker", 3) == derive_seed(1, "worker", 3)
+
+    def test_context_matters(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, 1) != derive_seed(1, 2)
+
+    def test_returns_int(self):
+        assert isinstance(derive_seed(5, "x"), int)
+
+
+class TestChoiceWeighted:
+    def test_degenerate_weight_always_wins(self, rng):
+        assert all(choice_weighted(rng, ["a", "b"], [1.0, 0.0]) == "a" for _ in range(20))
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            choice_weighted(rng, ["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            choice_weighted(rng, [], [])
+
+    def test_rejects_zero_total(self, rng):
+        with pytest.raises(ValueError):
+            choice_weighted(rng, ["a"], [0.0])
+
+    def test_roughly_proportional(self):
+        g = np.random.default_rng(1)
+        picks = [choice_weighted(g, ["x", "y"], [3.0, 1.0]) for _ in range(2000)]
+        frac = picks.count("x") / len(picks)
+        assert 0.68 < frac < 0.82

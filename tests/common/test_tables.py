@@ -1,0 +1,75 @@
+"""Tests for repro.common.tables."""
+
+import pytest
+
+from repro.common.tables import Table, format_table, histogram_bar
+
+
+class TestTable:
+    def test_render_contains_headers_and_rows(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row(["x", 1.5])
+        out = t.render()
+        assert "== demo ==" in out
+        assert "name" in out and "value" in out
+        assert "x" in out and "1.5" in out
+
+    def test_row_length_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting_4_sig_digits(self):
+        t = Table(["v"])
+        t.add_row([3.14159265])
+        assert "3.142" in t.render()
+
+    def test_none_rendered_as_dash(self):
+        t = Table(["v"])
+        t.add_row([None])
+        assert "-" in t.render().splitlines()[-1]
+
+    def test_alignment(self):
+        t = Table(["col"])
+        t.add_row(["short"])
+        t.add_row(["a-much-longer-cell"])
+        lines = t.render().splitlines()
+        # header and separator widths accommodate the longest cell
+        assert len(lines[1]) >= len("a-much-longer-cell")
+
+    def test_empty_table_renders(self):
+        t = Table(["a"])
+        out = t.render()
+        assert "a" in out
+
+    def test_str_equals_render(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+
+class TestFormatTable:
+    def test_one_shot(self):
+        out = format_table(["k", "v"], [["x", 1], ["y", 2]])
+        assert "x" in out and "y" in out
+
+
+class TestHistogramBar:
+    def test_full_width(self):
+        assert histogram_bar(10, 10, width=20) == "#" * 20
+
+    def test_zero_count_empty(self):
+        assert histogram_bar(0, 10) == ""
+
+    def test_nonzero_count_never_empty(self):
+        assert histogram_bar(1, 1000, width=10) == "#"
+
+    def test_zero_max(self):
+        assert histogram_bar(0, 0) == ""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_bar(-1, 10)
+
+    def test_custom_char(self):
+        assert histogram_bar(5, 5, width=3, char="*") == "***"

@@ -1,0 +1,65 @@
+"""Tests for repro.common.timing."""
+
+import pytest
+
+from repro.common.timing import Stopwatch, time_call
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        assert sw.elapsed >= 0.0
+        assert len(sw.intervals) == 1
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert sw.intervals == []
+
+    def test_elapsed_while_running(self):
+        sw = Stopwatch().start()
+        assert sw.elapsed >= 0.0
+        sw.stop()
+
+    def test_multiple_intervals_sum(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw:
+                pass
+        assert len(sw.intervals) == 3
+        assert sw.elapsed == pytest.approx(sum(sw.intervals))
+
+
+class TestTimeCall:
+    def test_runs_requested_times(self):
+        calls = []
+        time_call(lambda: calls.append(1), repeat=4)
+        assert len(calls) == 4
+
+    def test_best_le_mean_le_worst(self):
+        r = time_call(sum, range(1000), repeat=3)
+        assert r.best <= r.mean <= r.worst
+
+    def test_repeat_validated(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeat=0)
+
+    def test_passes_kwargs(self):
+        seen = {}
+        time_call(lambda **kw: seen.update(kw), repeat=1, x=3)
+        assert seen == {"x": 3}

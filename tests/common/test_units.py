@@ -1,0 +1,69 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestEnergyConversions:
+    def test_kwh_joules_roundtrip(self):
+        assert units.joules_to_kwh(units.kwh_to_joules(2.5)) == pytest.approx(2.5)
+
+    def test_one_kwh_is_3_6_megajoules(self):
+        assert units.kwh_to_joules(1.0) == pytest.approx(3.6e6)
+
+    def test_watts_to_kw(self):
+        assert units.watts_to_kw(1500.0) == pytest.approx(1.5)
+
+
+class TestByteConversions:
+    def test_gb_roundtrip(self):
+        assert units.bytes_to_gb(units.gb_to_bytes(7.5)) == pytest.approx(7.5)
+
+    def test_mb(self):
+        assert units.mb_to_bytes(16) == pytest.approx(16e6)
+
+    def test_decimal_not_binary(self):
+        assert units.GB == 1e9  # the paper's 7.5GB is decimal
+
+
+class TestCarbon:
+    def test_known_value(self):
+        # 1 kWh at 291 g/kWh = 291 g
+        assert units.grams_co2e(units.kwh_to_joules(1.0), 291.0) == pytest.approx(291.0)
+
+    def test_zero_energy(self):
+        assert units.grams_co2e(0.0, 291.0) == 0.0
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            units.grams_co2e(1.0, -1.0)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [(7.5e9, "7.50 GB"), (16e6, "16.00 MB"), (2e3, "2.00 KB"), (12, "12 B"), (2e12, "2.00 TB")],
+    )
+    def test_format_bytes(self, nbytes, expected):
+        assert units.format_bytes(nbytes) == expected
+
+    def test_format_duration_seconds(self):
+        assert units.format_duration(12.345) == "12.35s"
+
+    def test_format_duration_minutes(self):
+        assert units.format_duration(185.0) == "3m 05.0s"
+
+    def test_format_duration_hours(self):
+        assert units.format_duration(3 * 3600 + 90) == "3h 01.5m"
+
+    def test_format_duration_negative(self):
+        assert units.format_duration(-5.0).startswith("-")
+
+    def test_format_power(self):
+        assert units.format_power(12500.0) == "12.50 kW"
+        assert units.format_power(95.0) == "95.0 W"
+
+    def test_format_co2(self):
+        assert units.format_co2(1250.0) == "1.250 kgCO2e"
+        assert units.format_co2(37.9) == "37.90 gCO2e"

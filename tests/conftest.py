@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Most tests build their own small inputs; the fixtures here are the few
+expensive-but-reusable ones (the reference stable configuration used by
+every cross-variant equality test, a small climate dataset, a shrunken
+carbon scenario).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.carbon.scenario import AssignmentScenario
+from repro.climate.dwd import generate_dataset
+from repro.sandpile.model import center_pile, random_uniform
+from repro.sandpile.theory import stabilize
+
+
+@pytest.fixture(scope="session")
+def small_random_grid():
+    """A 24x24 random configuration (fresh copy per use via .copy())."""
+    return random_uniform(24, 24, max_grains=12, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_random_stable(small_random_grid):
+    """The stabilised fixpoint of ``small_random_grid`` (do not mutate)."""
+    return stabilize(small_random_grid.copy())
+
+
+@pytest.fixture(scope="session")
+def center_grid():
+    """A 32x32 centre pile with 2000 grains."""
+    return center_pile(32, 32, 2000)
+
+
+@pytest.fixture(scope="session")
+def center_stable(center_grid):
+    return stabilize(center_grid.copy())
+
+
+@pytest.fixture(scope="session")
+def climate_dataset():
+    """30 years of synthetic DWD data (1990-2019)."""
+    return generate_dataset(1990, 2019, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario():
+    """A shrunken carbon scenario: 20x the smaller Montage, fast to simulate."""
+    return AssignmentScenario(
+        n_projections=12,
+        n_difffits=20,
+        gflop_scale=20.0,
+        max_nodes=8,
+        tab2_local_nodes=4,
+        cloud_vms=4,
+        time_bound=60.0,
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

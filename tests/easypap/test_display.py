@@ -1,0 +1,67 @@
+"""Tests for grid/owner-map rendering."""
+
+import numpy as np
+import pytest
+
+from repro.easypap.display import WORKER_PALETTE, render_grid, render_tile_owners, upscale
+from repro.easypap.grid import Grid2D
+
+
+class TestRenderGrid:
+    def test_accepts_grid2d(self):
+        g = Grid2D(3, 3)
+        img = render_grid(g)
+        assert img.shape == (3, 3, 3)
+
+    def test_accepts_raw_array(self):
+        img = render_grid(np.zeros((2, 2), dtype=int))
+        assert img.shape == (2, 2, 3)
+
+
+class TestRenderTileOwners:
+    def test_uncomputed_black(self):
+        owners = np.full((2, 2), -1, dtype=np.int32)
+        img = render_tile_owners(owners, tile_pixels=2)
+        assert (img == 0).all()
+
+    def test_worker_colors(self):
+        owners = np.array([[0, 1]], dtype=np.int32)
+        img = render_tile_owners(owners, tile_pixels=1)
+        assert tuple(img[0, 0]) == WORKER_PALETTE[0]
+        assert tuple(img[0, 1]) == WORKER_PALETTE[1]
+
+    def test_gpu_hue(self):
+        owners = np.array([[4]], dtype=np.int32)
+        img = render_tile_owners(owners, tile_pixels=1, gpu_workers={4})
+        r, g, b = img[0, 0]
+        assert r > 200 and b == 0  # orange family
+
+    def test_palette_cycles(self):
+        owners = np.array([[len(WORKER_PALETTE)]], dtype=np.int32)
+        img = render_tile_owners(owners, tile_pixels=1)
+        assert tuple(img[0, 0]) == WORKER_PALETTE[0]
+
+    def test_geometry(self):
+        owners = np.zeros((3, 5), dtype=np.int32)
+        img = render_tile_owners(owners, tile_pixels=4)
+        assert img.shape == (12, 20, 3)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            render_tile_owners(np.zeros(4, dtype=np.int32))
+
+
+class TestUpscale:
+    def test_factor(self):
+        img = np.arange(12, dtype=np.uint8).reshape(2, 2, 3)
+        up = upscale(img, 3)
+        assert up.shape == (6, 6, 3)
+        assert (up[0:3, 0:3] == img[0, 0]).all()
+
+    def test_identity(self):
+        img = np.zeros((2, 2, 3), dtype=np.uint8)
+        assert upscale(img, 1).shape == img.shape
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            upscale(np.zeros((2, 2, 3), dtype=np.uint8), 0)

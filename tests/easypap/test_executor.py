@@ -1,0 +1,130 @@
+"""Tests for the execution backends."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.easypap.executor import (
+    SequentialBackend,
+    SimulatedBackend,
+    TaskBatch,
+    ThreadBackend,
+    make_backend,
+)
+from repro.easypap.monitor import Trace
+from repro.easypap.tiling import TileGrid
+
+
+def make_counter_batch(n, costs=None, tiles=None):
+    hits = []
+
+    def mk(i):
+        def task():
+            hits.append(i)
+            return float(i + 1)
+        return task
+
+    return TaskBatch([mk(i) for i in range(n)], costs=costs, tiles=tiles), hits
+
+
+class TestTaskBatch:
+    def test_length(self):
+        b, _ = make_counter_batch(3)
+        assert len(b) == 3
+
+    def test_mismatched_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskBatch([lambda: None], costs=[1.0, 2.0])
+
+    def test_mismatched_tiles_rejected(self):
+        tg = TileGrid(8, 8, 4)
+        with pytest.raises(ConfigurationError):
+            TaskBatch([lambda: None], tiles=list(tg))
+
+    def test_tile_coords_default(self):
+        b, _ = make_counter_batch(1)
+        assert b.tile_coords(0) == (-1, -1)
+
+
+class TestSequentialBackend:
+    def test_runs_all_in_order(self):
+        b, hits = make_counter_batch(5)
+        SequentialBackend().run(b)
+        assert hits == [0, 1, 2, 3, 4]
+
+    def test_uses_return_value_as_cost(self):
+        b, _ = make_counter_batch(3)
+        r = SequentialBackend().run(b)
+        assert r.makespan == pytest.approx(1.0 + 2.0 + 3.0)
+
+    def test_explicit_costs_take_precedence(self):
+        b, _ = make_counter_batch(2, costs=[10.0, 20.0])
+        r = SequentialBackend().run(b)
+        assert r.makespan == pytest.approx(30.0)
+
+    def test_trace_recorded(self):
+        trace = Trace()
+        tg = TileGrid(8, 8, 4)
+        b, _ = make_counter_batch(4, tiles=list(tg))
+        SequentialBackend(trace=trace).run(b, iteration=7)
+        assert len(trace) == 4
+        assert trace.iterations() == [7]
+        assert trace.records[0].tile_ty == 0
+
+
+class TestSimulatedBackend:
+    def test_all_tasks_execute(self):
+        b, hits = make_counter_batch(10)
+        SimulatedBackend(4, "dynamic").run(b)
+        assert sorted(hits) == list(range(10))
+
+    def test_execution_order_follows_policy(self):
+        b, hits = make_counter_batch(6)
+        SimulatedBackend(2, "static").run(b)
+        # static chunks: [0,1,2], [3,4,5] consumed in order
+        assert hits == [0, 1, 2, 3, 4, 5]
+
+    def test_virtual_speedup_from_return_costs(self):
+        b, _ = make_counter_batch(8)
+        r = SimulatedBackend(4, "dynamic").run(b)
+        assert r.nworkers == 4
+        assert r.makespan < sum(range(1, 9))  # parallel placement
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedBackend(0)
+
+    def test_trace_has_virtual_spans(self):
+        trace = Trace()
+        b, _ = make_counter_batch(4)
+        SimulatedBackend(2, "dynamic", trace=trace).run(b, iteration=3)
+        summary = trace.summarize(3)
+        assert summary.task_count == 4
+        assert summary.nworkers <= 2
+
+
+class TestThreadBackend:
+    def test_all_tasks_complete(self):
+        b, hits = make_counter_batch(12)
+        r = ThreadBackend(4).run(b)
+        assert sorted(hits) == list(range(12))
+        assert len(r.spans) == 12
+
+    def test_wall_clock_spans_positive(self):
+        b, _ = make_counter_batch(3)
+        r = ThreadBackend(2).run(b)
+        assert all(s.end >= s.start for s in r.spans)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            ThreadBackend(0)
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_backend("sequential"), SequentialBackend)
+        assert isinstance(make_backend("simulated", 4), SimulatedBackend)
+        assert isinstance(make_backend("threads", 2), ThreadBackend)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_backend("gpu")

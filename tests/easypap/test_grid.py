@@ -1,0 +1,128 @@
+"""Tests for repro.easypap.grid."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.easypap.grid import Grid2D
+
+
+class TestConstruction:
+    def test_shape_and_frame(self):
+        g = Grid2D(5, 7)
+        assert g.shape == (5, 7)
+        assert g.data.shape == (7, 9)
+        assert g.interior.shape == (5, 7)
+
+    def test_starts_empty_and_stable(self):
+        g = Grid2D(4, 4)
+        assert g.total_grains() == 0
+        assert g.is_stable()
+
+    @pytest.mark.parametrize("h,w", [(0, 4), (4, 0), (-1, 3)])
+    def test_rejects_bad_dims(self, h, w):
+        with pytest.raises(ConfigurationError):
+            Grid2D(h, w)
+
+    def test_from_interior_copies(self):
+        arr = np.arange(12).reshape(3, 4)
+        g = Grid2D.from_interior(arr)
+        arr[0, 0] = 999
+        assert g.interior[0, 0] == 0
+
+    def test_from_interior_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            Grid2D.from_interior(np.zeros(4))
+
+    def test_interior_is_view(self):
+        g = Grid2D(3, 3)
+        g.interior[1, 1] = 5
+        assert g.data[2, 2] == 5
+
+
+class TestSink:
+    def test_drain_counts_and_zeroes(self):
+        g = Grid2D(3, 3)
+        g.data[0, 1] = 4
+        g.data[2, 0] = 2
+        absorbed = g.drain_sink()
+        assert absorbed == 6
+        assert g.sink_absorbed == 6
+        assert g.border_sum() == 0
+
+    def test_corner_counted_once(self):
+        g = Grid2D(2, 2)
+        g.data[0, 0] = 5
+        assert g.border_sum() == 5
+
+    def test_repeated_drain_accumulates(self):
+        g = Grid2D(2, 2)
+        g.data[0, 1] = 1
+        g.drain_sink()
+        g.data[0, 1] = 2
+        g.drain_sink()
+        assert g.sink_absorbed == 3
+
+
+class TestQueries:
+    def test_stability(self):
+        g = Grid2D(2, 2)
+        g.interior[0, 0] = 3
+        assert g.is_stable()
+        g.interior[0, 0] = 4
+        assert not g.is_stable()
+        assert g.unstable_count() == 1
+
+    def test_total_grains_excludes_frame(self):
+        g = Grid2D(2, 2)
+        g.interior[...] = 1
+        g.data[0, 0] = 100
+        assert g.total_grains() == 4
+
+
+class TestCopyAndEquality:
+    def test_copy_independent(self):
+        g = Grid2D(3, 3)
+        g.interior[0, 0] = 7
+        g.sink_absorbed = 5
+        c = g.copy()
+        c.interior[0, 0] = 1
+        assert g.interior[0, 0] == 7
+        assert c.sink_absorbed == 5
+
+    def test_equality_by_interior(self):
+        a = Grid2D.from_interior(np.ones((2, 2), dtype=np.int64))
+        b = Grid2D.from_interior(np.ones((2, 2), dtype=np.int64))
+        assert a == b
+        b.interior[0, 0] = 2
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Grid2D(2, 2))
+
+    def test_eq_other_type(self):
+        assert (Grid2D(2, 2) == 42) is False
+
+
+class TestSwapBuffer:
+    def test_swap_installs_and_returns(self):
+        g = Grid2D(2, 2)
+        buf = np.full((4, 4), 3, dtype=np.int64)
+        old = g.swap_buffer(buf)
+        assert g.data is buf
+        assert old.shape == (4, 4)
+        assert (old == 0).all()
+
+    def test_swap_rejects_wrong_shape(self):
+        g = Grid2D(2, 2)
+        with pytest.raises(ConfigurationError):
+            g.swap_buffer(np.zeros((5, 5), dtype=np.int64))
+
+    def test_swap_rejects_wrong_dtype(self):
+        g = Grid2D(2, 2)
+        with pytest.raises(ConfigurationError):
+            g.swap_buffer(np.zeros((4, 4), dtype=np.int32))
+
+    def test_repr(self):
+        assert "Grid2D(2x2" in repr(Grid2D(2, 2))

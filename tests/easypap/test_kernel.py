@@ -1,0 +1,82 @@
+"""Tests for the kernel/variant registry."""
+
+import pytest
+
+from repro.common.errors import KernelError
+from repro.easypap.kernel import KernelRegistry, get_variant, register_variant
+
+
+@pytest.fixture
+def registry():
+    return KernelRegistry()
+
+
+class TestRegistration:
+    def test_register_and_get(self, registry):
+        fn = lambda g: None
+        registry.register("k", "v", fn, description="d", tags=("x",))
+        info = registry.get("k", "v")
+        assert info.fn is fn
+        assert info.description == "d"
+        assert info.tags == ("x",)
+        assert info.qualified_name == "k/v"
+
+    def test_duplicate_rejected(self, registry):
+        registry.register("k", "v", lambda: None)
+        with pytest.raises(KernelError):
+            registry.register("k", "v", lambda: None)
+
+    def test_overwrite_allowed_explicitly(self, registry):
+        registry.register("k", "v", lambda: 1)
+        new = lambda: 2
+        registry.register("k", "v", new, overwrite=True)
+        assert registry.get("k", "v").fn is new
+
+    def test_decorator(self, registry):
+        @register_variant("k", "v", registry=registry)
+        def step(grid):
+            return grid
+
+        assert registry.get("k", "v").fn is step
+
+
+class TestLookup:
+    def test_unknown_lists_available(self, registry):
+        registry.register("k", "a", lambda: None)
+        registry.register("k", "b", lambda: None)
+        with pytest.raises(KernelError, match="a, b"):
+            registry.get("k", "nope")
+
+    def test_kernels_and_variants_sorted(self, registry):
+        registry.register("z", "v2", lambda: None)
+        registry.register("a", "v1", lambda: None)
+        registry.register("z", "v1", lambda: None)
+        assert registry.kernels() == ["a", "z"]
+        assert registry.variants("z") == ["v1", "v2"]
+
+    def test_contains_and_len(self, registry):
+        registry.register("k", "v", lambda: None)
+        assert ("k", "v") in registry
+        assert ("k", "w") not in registry
+        assert len(registry) == 1
+
+    def test_all_variants(self, registry):
+        registry.register("k", "v", lambda: None)
+        assert [i.qualified_name for i in registry.all_variants()] == ["k/v"]
+
+
+class TestGlobalRegistry:
+    def test_sandpile_variants_registered_on_import(self):
+        import repro.sandpile  # noqa: F401 - triggers registration
+
+        info = get_variant("sandpile", "vec")
+        assert callable(info.fn)
+        info = get_variant("asandpile", "lazy")
+        assert callable(info.fn)
+
+    def test_expected_variant_sets(self):
+        import repro.sandpile  # noqa: F401
+        from repro.easypap.kernel import REGISTRY
+
+        assert set(REGISTRY.variants("sandpile")) >= {"seq", "vec", "tiled", "lazy", "omp", "split"}
+        assert set(REGISTRY.variants("asandpile")) >= {"seq", "vec", "tiled", "lazy", "omp"}

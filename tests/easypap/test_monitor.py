@@ -1,0 +1,108 @@
+"""Tests for trace recording and analysis."""
+
+import numpy as np
+
+from repro.easypap.monitor import TaskRecord, Trace
+
+
+def rec(iteration=0, task=0, worker=0, start=0.0, end=1.0, kind="compute", ty=-1, tx=-1):
+    return TaskRecord(iteration, task, worker, start, end, kind, ty, tx)
+
+
+class TestTrace:
+    def test_add_and_len(self):
+        t = Trace()
+        t.add(rec())
+        t.extend([rec(task=1), rec(task=2)])
+        assert len(t) == 3
+
+    def test_iterations_sorted(self):
+        t = Trace()
+        t.add(rec(iteration=5))
+        t.add(rec(iteration=1))
+        assert t.iterations() == [1, 5]
+
+    def test_iteration_records_sorted_by_start(self):
+        t = Trace()
+        t.add(rec(task=1, start=2.0, end=3.0))
+        t.add(rec(task=0, start=0.0, end=1.0))
+        recs = t.iteration_records(0)
+        assert [r.task for r in recs] == [0, 1]
+
+
+class TestSummary:
+    def test_basic_stats(self):
+        t = Trace()
+        t.add(rec(worker=0, start=0.0, end=2.0))
+        t.add(rec(task=1, worker=1, start=0.0, end=1.0))
+        s = t.summarize(0)
+        assert s.task_count == 2
+        assert s.makespan == 2.0
+        assert s.total_work == 3.0
+        assert s.worker_busy == {0: 2.0, 1: 1.0}
+        assert s.imbalance > 0.0
+
+    def test_balanced_zero_imbalance(self):
+        t = Trace()
+        t.add(rec(worker=0, start=0.0, end=1.0))
+        t.add(rec(task=1, worker=1, start=0.0, end=1.0))
+        assert t.summarize(0).imbalance == 0.0
+
+    def test_empty_iteration(self):
+        s = Trace().summarize(42)
+        assert s.task_count == 0
+        assert s.makespan == 0.0
+        assert s.imbalance == 0.0
+
+
+class TestOwnerMap:
+    def test_basic(self):
+        t = Trace()
+        t.add(rec(worker=3, ty=0, tx=1))
+        t.add(rec(task=1, worker=1, ty=1, tx=0))
+        owners = t.tile_owner_map(2, 2, 0)
+        assert owners[0, 1] == 3
+        assert owners[1, 0] == 1
+        assert owners[0, 0] == -1  # not computed: black in Fig. 4
+
+    def test_out_of_range_tiles_ignored(self):
+        t = Trace()
+        t.add(rec(ty=99, tx=0))
+        owners = t.tile_owner_map(2, 2, 0)
+        assert (owners == -1).all()
+
+    def test_dtype(self):
+        owners = Trace().tile_owner_map(3, 3, 0)
+        assert owners.dtype == np.int32
+
+
+class TestGantt:
+    def test_contains_workers_and_marks(self):
+        t = Trace()
+        t.add(rec(worker=0, start=0.0, end=1.0))
+        t.add(rec(task=1, worker=1, start=0.5, end=1.0, kind="gpu"))
+        out = t.gantt_ascii(0)
+        assert "w0" in out and "w1" in out
+        assert "#" in out and "G" in out
+
+    def test_empty(self):
+        assert "<no tasks>" in Trace().gantt_ascii(3)
+
+
+class TestExport:
+    def test_to_rows(self):
+        t = Trace()
+        t.add(rec(iteration=2, task=7, worker=1, ty=3, tx=4))
+        rows = t.to_rows()
+        assert rows == [
+            {
+                "iteration": 2,
+                "task": 7,
+                "worker": 1,
+                "start": 0.0,
+                "end": 1.0,
+                "kind": "compute",
+                "tile_ty": 3,
+                "tile_tx": 4,
+            }
+        ]

@@ -1,0 +1,106 @@
+"""Tests for the performance-campaign tooling."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.easypap.perf import PerfCampaign, speedup_series
+
+
+class FakeStepper:
+    """Runs for a fixed number of iterations; exposes a metric."""
+
+    def __init__(self, iterations: int, metric: float = 0.5) -> None:
+        self.remaining = iterations
+        self.metric = metric
+
+    def __call__(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+class TestPerfCampaign:
+    def test_full_grid_executed(self):
+        campaign = PerfCampaign(
+            factory=lambda n, tile: FakeStepper(n * tile),
+            grid={"n": [1, 2], "tile": [3, 4]},
+        )
+        points = campaign.run()
+        assert len(points) == 4
+        assert {p.iterations for p in points} == {3, 4, 6, 8}
+
+    def test_params_recorded(self):
+        campaign = PerfCampaign(factory=lambda n: FakeStepper(n), grid={"n": [5]})
+        (p,) = campaign.run()
+        assert p.param("n") == 5
+        with pytest.raises(KeyError):
+            p.param("zzz")
+
+    def test_metrics_evaluated_on_stepper(self):
+        campaign = PerfCampaign(
+            factory=lambda n: FakeStepper(n, metric=n * 10.0),
+            grid={"n": [1, 2]},
+            metrics={"metric": lambda s: s.metric},
+        )
+        points = campaign.run()
+        assert [p.extra("metric") for p in points] == [10.0, 20.0]
+
+    def test_series_extraction(self):
+        campaign = PerfCampaign(
+            factory=lambda n, mode: FakeStepper(n if mode == "a" else 2 * n),
+            grid={"n": [1, 2, 3], "mode": ["a", "b"]},
+        )
+        campaign.run()
+        series = campaign.series("n", y="iterations", mode="b")
+        assert series == [(1, 2.0), (2, 4.0), (3, 6.0)]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerfCampaign(factory=lambda: FakeStepper(1), grid={}).run()
+
+    def test_nonterminating_guarded(self):
+        class Forever:
+            def __call__(self):
+                return True
+
+        campaign = PerfCampaign(factory=lambda n: Forever(), grid={"n": [1]}, max_iterations=10)
+        with pytest.raises(ConfigurationError):
+            campaign.run()
+
+    def test_table_render(self):
+        campaign = PerfCampaign(factory=lambda n: FakeStepper(n), grid={"n": [1]})
+        campaign.run()
+        out = campaign.table("demo")
+        assert "demo" in out and "iterations" in out
+
+    def test_table_empty(self):
+        campaign = PerfCampaign(factory=lambda n: FakeStepper(n), grid={"n": [1]})
+        assert campaign.table() == "<no points>"
+
+    def test_integration_with_real_stepper(self):
+        from repro.sandpile.model import center_pile
+        from repro.sandpile.omp import TiledSyncStepper
+
+        campaign = PerfCampaign(
+            factory=lambda tile_size: TiledSyncStepper(center_pile(16, 16, 100), tile_size),
+            grid={"tile_size": [4, 8]},
+            metrics={"computed": lambda s: s.tiles_computed},
+        )
+        points = campaign.run()
+        assert len(points) == 2
+        assert all(p.iterations > 0 for p in points)
+        assert points[0].extra("computed") > points[1].extra("computed")
+
+
+class TestSpeedupSeries:
+    def test_basic(self):
+        s = speedup_series([(1, 10.0), (2, 5.0), (4, 2.5)])
+        assert s == [(1, 1.0), (2, 2.0), (4, 4.0)]
+
+    def test_empty(self):
+        assert speedup_series([]) == []
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speedup_series([(1, 0.0)])

@@ -1,0 +1,122 @@
+"""Tests for the OpenMP-style scheduling simulation."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.easypap.schedule import POLICIES, chunk_plan, simulate_schedule
+
+
+class TestChunkPlan:
+    def test_static_contiguous_blocks(self):
+        chunks = chunk_plan(10, 3, "static", 1)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_cyclic_chunked(self):
+        chunks = chunk_plan(7, 2, "cyclic", 2)
+        assert chunks == [[0, 1], [2, 3], [4, 5], [6]]
+
+    def test_guided_decreasing(self):
+        chunks = chunk_plan(100, 4, "guided", 2)
+        sizes = [len(c) for c in chunks]
+        assert sizes[0] == 25
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] >= 1
+        assert sum(sizes) == 100
+
+    def test_guided_respects_min_chunk(self):
+        chunks = chunk_plan(20, 4, "guided", 4)
+        assert all(len(c) >= 4 or c is chunks[-1] for c in chunks)
+
+    def test_covers_all_tasks_once(self):
+        for policy in POLICIES:
+            tasks = [t for c in chunk_plan(23, 3, policy, 2) for t in c]
+            assert sorted(tasks) == list(range(23))
+
+    def test_empty(self):
+        assert chunk_plan(0, 4, "static", 1) == []
+        assert chunk_plan(0, 4, "dynamic", 1) == []
+
+    def test_bad_policy(self):
+        with pytest.raises(SchedulingError):
+            chunk_plan(4, 2, "magic", 1)
+
+    def test_bad_chunk(self):
+        with pytest.raises(SchedulingError):
+            chunk_plan(4, 2, "dynamic", 0)
+
+
+class TestSimulateSchedule:
+    def test_uniform_static_perfect_balance(self):
+        r = simulate_schedule([1.0] * 8, 4, "static")
+        assert r.makespan == pytest.approx(2.0)
+        assert r.imbalance == pytest.approx(0.0)
+        assert r.speedup() == pytest.approx(4.0)
+        assert r.efficiency() == pytest.approx(1.0)
+
+    def test_every_task_has_span(self):
+        r = simulate_schedule([1.0, 2.0, 3.0], 2, "dynamic")
+        assert sorted(s.task for s in r.spans) == [0, 1, 2]
+
+    def test_dynamic_beats_static_on_skew(self):
+        # one huge task first: static gives worker 0 the huge + more;
+        # dynamic lets other workers drain the rest concurrently
+        costs = [100.0] + [1.0] * 30
+        ms_static = simulate_schedule(costs, 4, "static").makespan
+        ms_dynamic = simulate_schedule(costs, 4, "dynamic").makespan
+        assert ms_dynamic < ms_static
+
+    def test_makespan_at_least_critical_task(self):
+        costs = [50.0, 1.0, 1.0]
+        for policy in POLICIES:
+            assert simulate_schedule(costs, 8, policy).makespan >= 50.0
+
+    def test_makespan_at_least_mean_load(self):
+        costs = [3.0] * 10
+        for policy in POLICIES:
+            r = simulate_schedule(costs, 4, policy)
+            assert r.makespan >= sum(costs) / 4 - 1e-9
+
+    def test_single_worker_serializes(self):
+        r = simulate_schedule([1.0, 2.0, 3.0], 1, "dynamic")
+        assert r.makespan == pytest.approx(6.0)
+        assert r.speedup() == pytest.approx(1.0)
+
+    def test_worker_busy_sums_to_total(self):
+        costs = [1.0, 2.5, 0.5, 4.0]
+        r = simulate_schedule(costs, 3, "guided")
+        assert sum(r.worker_busy()) == pytest.approx(sum(costs))
+
+    def test_spans_do_not_overlap_per_worker(self):
+        r = simulate_schedule([0.5] * 20, 3, "dynamic", chunk=2)
+        by_worker = {}
+        for s in sorted(r.spans, key=lambda s: s.start):
+            if s.worker in by_worker:
+                assert s.start >= by_worker[s.worker] - 1e-12
+            by_worker[s.worker] = s.end
+
+    def test_empty_tasks(self):
+        r = simulate_schedule([], 4, "dynamic")
+        assert r.makespan == 0.0
+        assert r.imbalance == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(SchedulingError):
+            simulate_schedule([-1.0], 2)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SchedulingError):
+            simulate_schedule([1.0], 0)
+
+    def test_assignment_mapping(self):
+        r = simulate_schedule([1.0] * 6, 2, "cyclic", chunk=1)
+        a = r.assignment()
+        assert a[0] == 0 and a[1] == 1 and a[2] == 0  # round-robin
+
+    def test_start_time_offset(self):
+        r = simulate_schedule([1.0], 1, "static", start_time=5.0)
+        assert r.spans[0].start == pytest.approx(5.0)
+
+    def test_cyclic_chunk_grouping(self):
+        r = simulate_schedule([1.0] * 4, 2, "cyclic", chunk=2)
+        a = r.assignment()
+        assert a[0] == a[1] == 0 and a[2] == a[3] == 1

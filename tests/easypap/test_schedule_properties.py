@@ -1,0 +1,83 @@
+"""Property-based tests for the scheduling simulation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.easypap.schedule import POLICIES, chunk_plan, simulate_schedule
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+costs_strategy = st.lists(st.floats(0.0, 100.0), min_size=0, max_size=40)
+workers_strategy = st.integers(1, 8)
+policy_strategy = st.sampled_from(POLICIES)
+chunk_strategy = st.integers(1, 5)
+
+
+@given(costs=costs_strategy, p=workers_strategy, policy=policy_strategy, chunk=chunk_strategy)
+@settings(**SETTINGS)
+def test_every_task_scheduled_exactly_once(costs, p, policy, chunk):
+    r = simulate_schedule(costs, p, policy, chunk=chunk)
+    assert sorted(s.task for s in r.spans) == list(range(len(costs)))
+
+
+@given(costs=costs_strategy, p=workers_strategy, policy=policy_strategy, chunk=chunk_strategy)
+@settings(**SETTINGS)
+def test_makespan_lower_bounds(costs, p, policy, chunk):
+    r = simulate_schedule(costs, p, policy, chunk=chunk)
+    assert r.makespan >= max(costs, default=0.0) - 1e-9       # critical task
+    assert r.makespan >= sum(costs) / p - 1e-9                # mean load
+
+
+@given(costs=costs_strategy, p=workers_strategy, policy=policy_strategy, chunk=chunk_strategy)
+@settings(**SETTINGS)
+def test_makespan_upper_bound_serial(costs, p, policy, chunk):
+    # no policy is ever worse than running everything serially
+    r = simulate_schedule(costs, p, policy, chunk=chunk)
+    assert r.makespan <= sum(costs) + 1e-9
+
+
+@given(costs=costs_strategy, p=workers_strategy, policy=policy_strategy, chunk=chunk_strategy)
+@settings(**SETTINGS)
+def test_busy_time_conserved(costs, p, policy, chunk):
+    r = simulate_schedule(costs, p, policy, chunk=chunk)
+    assert abs(sum(r.worker_busy()) - sum(costs)) < 1e-6
+
+
+@given(costs=costs_strategy, p=workers_strategy, policy=policy_strategy, chunk=chunk_strategy)
+@settings(**SETTINGS)
+def test_no_overlap_per_worker(costs, p, policy, chunk):
+    r = simulate_schedule(costs, p, policy, chunk=chunk)
+    by_worker: dict[int, list] = {}
+    for s in r.spans:
+        by_worker.setdefault(s.worker, []).append(s)
+    for spans in by_worker.values():
+        spans.sort(key=lambda s: s.start)
+        for a, b in zip(spans, spans[1:]):
+            assert b.start >= a.end - 1e-9
+
+
+@given(costs=costs_strategy, p=workers_strategy, chunk=chunk_strategy)
+@settings(**SETTINGS)
+def test_dynamic_never_worse_than_cyclic_by_much(costs, p, chunk):
+    # dynamic adapts to skew; cyclic is its static pre-assignment.  Dynamic
+    # can lose on adversarial orders but never by more than one max task.
+    dyn = simulate_schedule(costs, p, "dynamic", chunk=chunk).makespan
+    cyc = simulate_schedule(costs, p, "cyclic", chunk=chunk).makespan
+    assert dyn <= cyc + max(costs, default=0.0) + 1e-9
+
+
+@given(n=st.integers(0, 60), p=workers_strategy, policy=policy_strategy, chunk=chunk_strategy)
+@settings(**SETTINGS)
+def test_chunk_plan_partitions_tasks(n, p, policy, chunk):
+    chunks = chunk_plan(n, p, policy, chunk)
+    flat = [t for c in chunks for t in c]
+    assert sorted(flat) == list(range(n))
+    assert all(c for c in chunks)  # no empty chunks
+
+
+@given(costs=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=30), p=workers_strategy)
+@settings(**SETTINGS)
+def test_uniform_unit_chunks_speedup_monotone(costs, p):
+    s1 = simulate_schedule(costs, 1, "dynamic").makespan
+    sp = simulate_schedule(costs, p, "dynamic").makespan
+    assert sp <= s1 + 1e-9

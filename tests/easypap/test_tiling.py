@@ -1,0 +1,100 @@
+"""Tests for repro.easypap.tiling."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.easypap.tiling import TileGrid
+
+
+class TestDecomposition:
+    def test_even_split(self):
+        tg = TileGrid(64, 64, 32)
+        assert len(tg) == 4
+        assert tg.tiles_y == tg.tiles_x == 2
+        assert all(t.h == t.w == 32 for t in tg)
+
+    def test_uneven_edges(self):
+        tg = TileGrid(10, 10, 4)
+        assert tg.tiles_y == 3
+        edge = tg.at(2, 2)
+        assert edge.h == 2 and edge.w == 2
+
+    def test_rectangular_tiles(self):
+        tg = TileGrid(8, 12, 4, 6)
+        assert (tg.tiles_y, tg.tiles_x) == (2, 2)
+        assert tg.at(0, 0).w == 6
+
+    def test_covers_exactly(self):
+        tg = TileGrid(13, 7, 5)
+        covered = sum(t.area for t in tg)
+        assert covered == 13 * 7
+
+    def test_no_overlap(self):
+        tg = TileGrid(9, 9, 4)
+        seen = set()
+        for t in tg:
+            for y in range(t.y0, t.y1):
+                for x in range(t.x0, t.x1):
+                    assert (y, x) not in seen
+                    seen.add((y, x))
+
+    def test_indices_row_major(self):
+        tg = TileGrid(8, 8, 4)
+        assert [t.index for t in tg] == [0, 1, 2, 3]
+        assert tg.at(1, 0).index == 2
+
+    @pytest.mark.parametrize("args", [(0, 4, 2), (4, 4, 0), (4, 0, 2)])
+    def test_rejects_bad_dims(self, args):
+        with pytest.raises(ConfigurationError):
+            TileGrid(*args)
+
+    def test_tile_bigger_than_grid(self):
+        tg = TileGrid(5, 5, 100)
+        assert len(tg) == 1
+        assert tg[0].h == 5
+
+    def test_slices(self):
+        t = TileGrid(8, 8, 4).at(1, 1)
+        ys, xs = t.slices()
+        assert (ys.start, ys.stop) == (4, 8)
+        assert (xs.start, xs.stop) == (4, 8)
+
+    def test_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            TileGrid(8, 8, 4).at(2, 0)
+
+
+class TestNeighbors:
+    def test_interior_tile_has_four(self):
+        tg = TileGrid(12, 12, 4)
+        nbrs = tg.neighbors(tg.at(1, 1))
+        assert len(nbrs) == 4
+        assert {(n.ty, n.tx) for n in nbrs} == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_corner_tile_has_two(self):
+        tg = TileGrid(12, 12, 4)
+        assert len(tg.neighbors(tg.at(0, 0))) == 2
+
+    def test_diagonal_option(self):
+        tg = TileGrid(12, 12, 4)
+        assert len(tg.neighbors(tg.at(1, 1), diagonal=True)) == 8
+
+
+class TestBorderClassification:
+    def test_inner_outer_partition(self):
+        tg = TileGrid(16, 16, 4)
+        inner, outer = tg.inner_tiles(), tg.outer_tiles()
+        assert len(inner) + len(outer) == len(tg)
+        assert len(inner) == 4  # 2x2 core of a 4x4 tile grid
+
+    def test_small_grid_all_outer(self):
+        tg = TileGrid(8, 8, 4)
+        assert tg.inner_tiles() == []
+
+    def test_border_predicate(self):
+        tg = TileGrid(12, 12, 4)
+        assert tg.is_border_tile(tg.at(0, 1))
+        assert not tg.is_border_tile(tg.at(1, 1))
+
+    def test_repr(self):
+        assert "TileGrid" in repr(TileGrid(8, 8, 4))

@@ -1,0 +1,64 @@
+"""Smoke tests: the shipped example scripts must keep running.
+
+Each example executes in a subprocess exactly as a user would run it;
+the fast ones run always, the heavyweight ones are marked slow.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args, timeout: float = 600.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_mapreduce_wordcount(self):
+        out = run_example("mapreduce_wordcount.py")
+        assert "identical to the structured run: True" in out
+        assert "output identical to the clean run: True" in out
+
+    def test_soc_avalanches(self, tmp_path):
+        out = run_example("soc_avalanches.py", str(tmp_path))
+        assert "CCDF slope" in out
+        assert (tmp_path / "toppling_profile.ppm").exists()
+
+    def test_warming_stripes(self, tmp_path):
+        out = run_example("warming_stripes.py", str(tmp_path))
+        assert "phase 4 (validate)" in out
+        assert "2020" in out
+        assert (tmp_path / "fig6_warming_stripes.ppm").exists()
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Abelian sandpile" in out
+        assert "Warming stripes" in out
+        assert "heuristic" in out
+
+    def test_mpi_ghost_cells(self):
+        out = run_example("mpi_ghost_cells.py")
+        assert "best halo depth" in out
+
+    def test_carbon_scheduling(self):
+        out = run_example("carbon_scheduling.py", "--hunt-resolution", "2")
+        assert "Optimal schedule found" in out
+
+    def test_sandpile_fractal(self, tmp_path):
+        out = run_example("sandpile_fractal.py", str(tmp_path))
+        assert "fixpoint identical: True" in out
+        assert (tmp_path / "identity_128.ppm").exists()

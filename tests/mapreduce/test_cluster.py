@@ -1,0 +1,139 @@
+"""Tests for the simulated cluster: scheduling, fault injection, determinism."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.job import MapReduceJob
+
+
+def wc_mapper(_k, line):
+    for w in str(line).split():
+        yield w, 1
+
+
+def wc_reducer(w, counts):
+    yield w, sum(counts)
+
+
+JOB = MapReduceJob(mapper=wc_mapper, reducer=wc_reducer, num_reducers=2)
+SPLITS = [
+    [(0, "alpha beta gamma"), (1, "beta gamma")],
+    [(2, "gamma delta")],
+    [(3, "alpha alpha beta")],
+]
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        ClusterConfig()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"n_workers": 0},
+            {"failure_prob": 1.0},
+            {"failure_prob": -0.1},
+            {"straggler_prob": 1.5},
+            {"max_attempts": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(SimulationError):
+            ClusterConfig(**kw)
+
+
+class TestOutputEquality:
+    """The heart of MapReduce fault tolerance: output never depends on the cluster."""
+
+    def test_matches_local_engine(self):
+        local = run_job(JOB, SPLITS)
+        clustered, _ = SimulatedCluster().run(JOB, SPLITS)
+        assert clustered.pairs == local.pairs
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 8])
+    def test_worker_count_irrelevant_to_output(self, n_workers):
+        local = run_job(JOB, SPLITS)
+        result, _ = SimulatedCluster(ClusterConfig(n_workers=n_workers)).run(JOB, SPLITS)
+        assert result.pairs == local.pairs
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_failures_and_stragglers_irrelevant_to_output(self, seed):
+        local = run_job(JOB, SPLITS)
+        cfg = ClusterConfig(failure_prob=0.3, straggler_prob=0.3, seed=seed)
+        result, report = SimulatedCluster(cfg).run(JOB, SPLITS)
+        assert result.pairs == local.pairs
+
+    def test_counters_match_local(self):
+        local = run_job(JOB, SPLITS)
+        result, _ = SimulatedCluster().run(JOB, SPLITS)
+        assert result.counters.as_dict() == local.counters.as_dict()
+
+
+class TestVirtualTiming:
+    def test_phases_ordered(self):
+        _, report = SimulatedCluster().run(JOB, SPLITS)
+        assert 0 < report.map_finish <= report.shuffle_finish <= report.makespan
+
+    def test_more_workers_not_slower(self):
+        big_splits = [[(i, "w x y z")] for i in range(32)]
+        t1 = SimulatedCluster(ClusterConfig(n_workers=1)).run(JOB, big_splits)[1].makespan
+        t8 = SimulatedCluster(ClusterConfig(n_workers=8)).run(JOB, big_splits)[1].makespan
+        assert t8 < t1
+
+    def test_speedup_bounded_by_workers(self):
+        big_splits = [[(i, "w x y z")] for i in range(32)]
+        _, report = SimulatedCluster(ClusterConfig(n_workers=4)).run(JOB, big_splits)
+        assert report.speedup() <= 4.0 + 1e-9
+
+    def test_stragglers_slow_the_run(self):
+        base = ClusterConfig(n_workers=2, seed=5)
+        straggly = ClusterConfig(n_workers=2, seed=5, straggler_prob=1.0, straggler_factor=10.0)
+        t_base = SimulatedCluster(base).run(JOB, SPLITS)[1].makespan
+        t_slow = SimulatedCluster(straggly).run(JOB, SPLITS)[1].makespan
+        assert t_slow > 2 * t_base
+
+    def test_deterministic_given_seed(self):
+        cfg = ClusterConfig(failure_prob=0.2, straggler_prob=0.2, seed=9)
+        r1 = SimulatedCluster(cfg).run(JOB, SPLITS)[1]
+        r2 = SimulatedCluster(cfg).run(JOB, SPLITS)[1]
+        assert r1.makespan == r2.makespan
+        assert len(r1.attempts) == len(r2.attempts)
+
+
+class TestFaultInjection:
+    def test_failures_produce_retries(self):
+        cfg = ClusterConfig(failure_prob=0.5, seed=1)
+        _, report = SimulatedCluster(cfg).run(JOB, SPLITS)
+        assert report.failures > 0
+        # every failure has a follow-up attempt of the same task
+        for a in report.attempts:
+            if a.failed:
+                retries = [
+                    b for b in report.attempts
+                    if b.phase == a.phase and b.task == a.task and b.attempt == a.attempt + 1
+                ]
+                assert retries, f"no retry for {a}"
+
+    def test_retry_starts_after_failure_detected(self):
+        cfg = ClusterConfig(failure_prob=0.5, seed=1)
+        _, report = SimulatedCluster(cfg).run(JOB, SPLITS)
+        for a in report.attempts:
+            if a.failed:
+                retry = next(
+                    b for b in report.attempts
+                    if b.phase == a.phase and b.task == a.task and b.attempt == a.attempt + 1
+                )
+                assert retry.start >= a.end - 1e-12
+
+    def test_attempts_never_exceed_max(self):
+        cfg = ClusterConfig(failure_prob=0.6, max_attempts=3, seed=2)
+        _, report = SimulatedCluster(cfg).run(JOB, SPLITS)
+        assert max(a.attempt for a in report.attempts) <= 3
+
+    def test_worker_busy_accounting(self):
+        _, report = SimulatedCluster(ClusterConfig(n_workers=3)).run(JOB, SPLITS)
+        busy = report.worker_busy(3)
+        assert len(busy) == 3
+        assert sum(busy) == pytest.approx(report.total_work)

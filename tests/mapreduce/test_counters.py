@@ -1,0 +1,44 @@
+"""Tests for job counters."""
+
+import pytest
+
+from repro.mapreduce.counters import Counters
+
+
+class TestCounters:
+    def test_increment_and_value(self):
+        c = Counters()
+        c.increment("task", "map_input_records", 3)
+        c.increment("task", "map_input_records")
+        assert c.value("task", "map_input_records") == 4
+
+    def test_missing_is_zero(self):
+        assert Counters().value("nope", "nothing") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().increment("g", "n", -1)
+
+    def test_group_snapshot_isolated(self):
+        c = Counters()
+        c.increment("g", "a")
+        snap = c.group("g")
+        snap["a"] = 99
+        assert c.value("g", "a") == 1
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("g", "x", 2)
+        b.increment("g", "x", 3)
+        b.increment("h", "y", 1)
+        a.merge(b)
+        assert a.value("g", "x") == 5
+        assert a.value("h", "y") == 1
+
+    def test_as_dict(self):
+        c = Counters()
+        c.increment("g", "x")
+        assert c.as_dict() == {"g": {"x": 1}}
+
+    def test_repr(self):
+        assert "Counters" in repr(Counters())

@@ -1,0 +1,143 @@
+"""Tests for the local MapReduce engine (wordcount as the canonical job)."""
+
+import pytest
+
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.job import MapReduceJob
+
+
+def wc_mapper(_key, line):
+    for word in str(line).split():
+        yield word, 1
+
+
+def wc_reducer(word, counts):
+    yield word, sum(counts)
+
+
+def wc_combiner(word, counts):
+    yield word, sum(counts)
+
+
+def make_wc_job(**kw):
+    return MapReduceJob(mapper=wc_mapper, reducer=wc_reducer, name="wordcount", **kw)
+
+
+LINES = ["the quick brown fox", "the lazy dog", "the fox"]
+SPLITS = [[(0, LINES[0])], [(1, LINES[1]), (2, LINES[2])]]
+EXPECTED = {"the": 3, "fox": 2, "quick": 1, "brown": 1, "lazy": 1, "dog": 1}
+
+
+class TestWordcount:
+    def test_basic(self):
+        result = run_job(make_wc_job(), SPLITS)
+        assert result.as_dict() == EXPECTED
+
+    def test_output_sorted_by_key(self):
+        result = run_job(make_wc_job(), SPLITS)
+        keys = [k for k, _ in result.pairs]
+        assert keys == sorted(keys)
+
+    def test_unsorted_mode_preserves_insertion(self):
+        result = run_job(make_wc_job(sort_keys=False), SPLITS)
+        assert [k for k, _ in result.pairs][0] == "the"
+
+    def test_split_independence(self):
+        one_split = [[(i, l) for i, l in enumerate(LINES)]]
+        many_splits = [[(i, l)] for i, l in enumerate(LINES)]
+        assert run_job(make_wc_job(), one_split).as_dict() == EXPECTED
+        assert run_job(make_wc_job(), many_splits).as_dict() == EXPECTED
+
+    def test_combiner_same_answer_fewer_shuffle_records(self):
+        plain = run_job(make_wc_job(), SPLITS)
+        combined = run_job(make_wc_job(combiner=wc_combiner), SPLITS)
+        assert plain.as_dict() == combined.as_dict()
+        assert combined.counters.value("task", "shuffle_records") < plain.counters.value(
+            "task", "shuffle_records"
+        )
+
+    def test_multiple_reducers_partition_and_union(self):
+        result = run_job(make_wc_job(num_reducers=3), SPLITS)
+        assert result.as_dict() == EXPECTED
+        assert len(result.partitions) == 3
+        total = sum(len(p) for p in result.partitions)
+        assert total == len(EXPECTED)
+
+    def test_empty_input(self):
+        result = run_job(make_wc_job(), [[]])
+        assert result.pairs == []
+
+    def test_counters(self):
+        result = run_job(make_wc_job(), SPLITS)
+        c = result.counters
+        assert c.value("task", "map_input_records") == 3
+        assert c.value("task", "map_output_records") == 9
+        assert c.value("task", "reduce_groups") == 6
+        assert c.value("task", "reduce_output_records") == 6
+
+
+class TestReducerSemantics:
+    def test_values_grouped_per_key(self):
+        seen = {}
+
+        def spy_reducer(key, values):
+            seen[key] = list(values)
+            yield key, len(values)
+
+        job = MapReduceJob(mapper=wc_mapper, reducer=spy_reducer)
+        run_job(job, SPLITS)
+        assert seen["the"] == [1, 1, 1]
+
+    def test_reducer_may_emit_many(self):
+        def exploding_reducer(key, values):
+            for i in range(len(values)):
+                yield f"{key}#{i}", 1
+
+        job = MapReduceJob(mapper=wc_mapper, reducer=exploding_reducer)
+        result = run_job(job, SPLITS)
+        assert ("the#2", 1) in result.pairs
+
+    def test_reducer_may_emit_nothing(self):
+        def filter_reducer(key, values):
+            if sum(values) > 1:
+                yield key, sum(values)
+
+        job = MapReduceJob(mapper=wc_mapper, reducer=filter_reducer)
+        assert run_job(job, SPLITS).as_dict() == {"the": 3, "fox": 2}
+
+
+class TestPartitioner:
+    def test_custom_partitioner_routes(self):
+        def first_letter(key, n):
+            return 0 if key[0] < "m" else n - 1
+
+        job = make_wc_job(num_reducers=2, partitioner=first_letter)
+        result = run_job(job, SPLITS)
+        p0_keys = {k for k, _ in result.partitions[0]}
+        assert p0_keys == {"brown", "dog", "fox", "lazy"}
+
+    def test_out_of_range_partition_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        job = make_wc_job(num_reducers=2, partitioner=lambda k, n: 5)
+        with pytest.raises(ConfigurationError):
+            run_job(job, SPLITS)
+
+    def test_bad_combiner_output_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        job = make_wc_job(combiner=lambda k, vs: iter(["oops"]))
+        with pytest.raises(ConfigurationError):
+            run_job(job, SPLITS)
+
+
+class TestAsDict:
+    def test_duplicate_keys_rejected(self):
+        def dup_reducer(key, values):
+            yield key, 1
+            yield key, 2
+
+        job = MapReduceJob(mapper=wc_mapper, reducer=dup_reducer)
+        result = run_job(job, SPLITS)
+        with pytest.raises(ValueError):
+            result.as_dict()

@@ -1,0 +1,66 @@
+"""Tests for the job specification layer."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.job import MapReduceJob, hash_partitioner
+
+
+def identity_mapper(k, v):
+    yield k, v
+
+
+def identity_reducer(k, values):
+    for v in values:
+        yield k, v
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        for key in ["a", 42, (1, "x"), None]:
+            p = hash_partitioner(key, 7)
+            assert 0 <= p < 7
+
+    def test_deterministic(self):
+        assert hash_partitioner("year-1881", 4) == hash_partitioner("year-1881", 4)
+
+    def test_spreads_keys(self):
+        parts = {hash_partitioner(f"key-{i}", 8) for i in range(100)}
+        assert len(parts) >= 6  # most partitions hit
+
+    def test_single_partition(self):
+        assert hash_partitioner("anything", 1) == 0
+
+
+class TestJobValidation:
+    def test_valid(self):
+        job = MapReduceJob(mapper=identity_mapper, reducer=identity_reducer)
+        assert job.num_reducers == 1
+
+    def test_zero_reducers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceJob(mapper=identity_mapper, reducer=identity_reducer, num_reducers=0)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceJob(mapper="not-callable", reducer=identity_reducer)
+
+    def test_mapper_output_shape_validated(self):
+        def bad_mapper(k, v):
+            yield "just-a-key"
+
+        job = MapReduceJob(mapper=bad_mapper, reducer=identity_reducer)
+        with pytest.raises(ConfigurationError, match="mapper must yield"):
+            list(job.run_mapper(0, "x"))
+
+    def test_reducer_output_shape_validated(self):
+        def bad_reducer(k, values):
+            yield (k, 1, 2)
+
+        job = MapReduceJob(mapper=identity_mapper, reducer=bad_reducer)
+        with pytest.raises(ConfigurationError, match="reducer must yield"):
+            list(job.run_reducer("k", [1]))
+
+    def test_run_mapper_passthrough(self):
+        job = MapReduceJob(mapper=identity_mapper, reducer=identity_reducer)
+        assert list(job.run_mapper("k", "v")) == [("k", "v")]

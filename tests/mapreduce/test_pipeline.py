@@ -1,0 +1,148 @@
+"""Tests for multi-stage pipelines, top-k, and secondary sort."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.pipeline import (
+    reshard,
+    run_pipeline,
+    secondary_sort_demo_job,
+    top_k_job,
+)
+from repro.mapreduce.textio import text_splits
+
+
+def wc_job():
+    def mapper(_k, line):
+        for w in str(line).split():
+            yield w, 1
+
+    def reducer(w, counts):
+        yield w, sum(counts)
+
+    return MapReduceJob(mapper=mapper, reducer=reducer)
+
+
+LINES = ["a b c a", "b a", "c c c a"]
+
+
+class TestReshard:
+    def test_partition_sizes(self):
+        splits = reshard([(i, i) for i in range(7)], 3)
+        assert [len(s) for s in splits] == [3, 2, 2]
+
+    def test_empty(self):
+        assert reshard([], 4) == [[]]
+
+    def test_order_preserved(self):
+        splits = reshard([(i, i) for i in range(5)], 2)
+        flat = [k for s in splits for k, _ in s]
+        assert flat == [0, 1, 2, 3, 4]
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reshard([(1, 1)], 0)
+
+
+class TestRunPipeline:
+    def test_wordcount_then_topk(self):
+        result = run_pipeline([wc_job(), top_k_job(2)], text_splits(LINES, 2))
+        assert len(result.stages) == 2
+        top = result.final.pairs
+        assert top == [("a", 4.0), ("c", 4.0)] or top == [("c", 4.0), ("a", 4.0)]
+
+    def test_single_stage_equals_run_job(self):
+        direct = run_job(wc_job(), text_splits(LINES, 2))
+        piped = run_pipeline([wc_job()], text_splits(LINES, 2))
+        assert piped.final.pairs == direct.pairs
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_pipeline([], [[]])
+
+    def test_final_property_empty(self):
+        from repro.mapreduce.pipeline import PipelineResult
+
+        with pytest.raises(ConfigurationError):
+            PipelineResult().final
+
+
+class TestTopK:
+    def test_largest(self):
+        records = [("x", 1.0), ("y", 9.0), ("z", 5.0)]
+        result = run_job(top_k_job(2), [records])
+        assert result.pairs == [("y", 9.0), ("z", 5.0)]
+
+    def test_smallest(self):
+        records = [("x", 1.0), ("y", 9.0), ("z", 5.0)]
+        result = run_job(top_k_job(1, largest=False), [records])
+        assert result.pairs == [("x", 1.0)]
+
+    def test_k_larger_than_data(self):
+        result = run_job(top_k_job(10), [[("a", 1.0)]])
+        assert result.pairs == [("a", 1.0)]
+
+    def test_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            top_k_job(0)
+
+    def test_hottest_years_end_to_end(self, climate_dataset):
+        """The classic follow-up: annual means -> 3 hottest years."""
+        from repro.climate.jobs import annual_mean_job
+
+        lines = [l for f in climate_dataset.month_files().values() for l in f]
+        result = run_pipeline(
+            [annual_mean_job(), top_k_job(3)], text_splits(lines, 6)
+        )
+        top_years = [y for y, _ in result.final.pairs]
+        oracle = climate_dataset.true_annual_means()
+        expected = sorted(oracle, key=oracle.get, reverse=True)[:3]
+        assert top_years == expected
+
+
+class TestSecondarySort:
+    def test_months_delivered_in_order(self):
+        lines = [
+            "B;3;5.0",
+            "A;2;2.0",
+            "B;1;3.0",
+            "A;1;1.0",
+            "A;3;3.0",
+            "B;2;4.0",
+        ]
+        records = [(i, l) for i, l in enumerate(lines)]
+        result = run_job(secondary_sort_demo_job(), [records[:3], records[3:]])
+        d = dict(result.pairs)
+        assert d["A"] == (1.0, 2.0, 3.0)
+        assert d["B"] == (3.0, 4.0, 5.0)
+
+    def test_group_never_split_across_partitions(self):
+        lines = [f"S{i % 5};{m};{float(m)}" for i in range(5) for m in range(1, 13)]
+        records = [(i, l) for i, l in enumerate(lines)]
+        result = run_job(secondary_sort_demo_job(), [records])
+        # every station appears exactly once across all partitions
+        stations = [k for part in result.partitions for k, _ in part]
+        assert len(stations) == len(set(stations)) == 5
+
+    def test_grouping_comparator_in_engine(self):
+        """Unit-level: composite keys merge by group_key with sorted values."""
+        from repro.mapreduce.job import grouped_partitioner
+
+        def mapper(_k, v):
+            yield (v[0], v[1]), v[1]
+
+        def reducer(gk, values):
+            yield gk, tuple(values)
+
+        group = lambda k: k[0]
+        job = MapReduceJob(
+            mapper=mapper,
+            reducer=reducer,
+            group_key=group,
+            partitioner=grouped_partitioner(group),
+        )
+        records = [(0, ("a", 3)), (1, ("a", 1)), (2, ("b", 2)), (3, ("a", 2))]
+        result = run_job(job, [records])
+        assert dict(result.pairs) == {"a": (1, 2, 3), "b": (2,)}

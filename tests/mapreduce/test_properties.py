@@ -1,0 +1,110 @@
+"""Property-based tests for the MapReduce engine.
+
+Invariants:
+
+* sharding-independence: however the input records are split, the job's
+  output is identical;
+* a correct (associative, sum/count) combiner never changes results;
+* the classic *wrong* combiner (mean of means) does — demonstrating why
+  the correctness condition matters;
+* the simulated cluster always equals the local engine.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.job import MapReduceJob
+
+words = st.text(alphabet="abcdef", min_size=1, max_size=4)
+lines = st.lists(words, min_size=0, max_size=8).map(" ".join)
+documents = st.lists(lines, min_size=1, max_size=12)
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+def wc_mapper(_k, line):
+    for w in str(line).split():
+        yield w, 1
+
+
+def wc_reducer(w, counts):
+    yield w, sum(counts)
+
+
+def wc_combiner(w, counts):
+    yield w, sum(counts)
+
+
+def split_into(records, n):
+    n = max(1, min(n, len(records))) if records else 1
+    if not records:
+        return [[]]
+    size = -(-len(records) // n)
+    return [records[i : i + size] for i in range(0, len(records), size)]
+
+
+@given(doc=documents, n_splits=st.integers(1, 6))
+@settings(**SETTINGS)
+def test_sharding_independence(doc, n_splits):
+    records = list(enumerate(doc))
+    job = MapReduceJob(mapper=wc_mapper, reducer=wc_reducer)
+    base = run_job(job, [records]).pairs
+    split = run_job(job, split_into(records, n_splits)).pairs
+    assert base == split
+
+
+@given(doc=documents, n_splits=st.integers(1, 6))
+@settings(**SETTINGS)
+def test_correct_combiner_is_transparent(doc, n_splits):
+    records = list(enumerate(doc))
+    splits = split_into(records, n_splits)
+    plain = MapReduceJob(mapper=wc_mapper, reducer=wc_reducer)
+    combined = MapReduceJob(mapper=wc_mapper, reducer=wc_reducer, combiner=wc_combiner)
+    assert run_job(plain, splits).pairs == run_job(combined, splits).pairs
+
+
+@given(doc=documents, n_reducers=st.integers(1, 5))
+@settings(**SETTINGS)
+def test_reducer_count_only_changes_grouping(doc, n_reducers):
+    records = list(enumerate(doc))
+    one = MapReduceJob(mapper=wc_mapper, reducer=wc_reducer, num_reducers=1)
+    many = MapReduceJob(mapper=wc_mapper, reducer=wc_reducer, num_reducers=n_reducers)
+    assert dict(run_job(one, [records]).pairs) == dict(run_job(many, [records]).pairs)
+
+
+@given(doc=documents, seed=st.integers(0, 100))
+@settings(**SETTINGS)
+def test_cluster_equals_local_under_chaos(doc, seed):
+    records = list(enumerate(doc))
+    splits = split_into(records, 3)
+    job = MapReduceJob(mapper=wc_mapper, reducer=wc_reducer)
+    local = run_job(job, splits)
+    cfg = ClusterConfig(n_workers=3, failure_prob=0.25, straggler_prob=0.25, seed=seed)
+    clustered, _ = SimulatedCluster(cfg).run(job, splits)
+    assert clustered.pairs == local.pairs
+
+
+def test_wrong_combiner_breaks_sharding_independence():
+    """The mean-of-means combiner gives split-dependent answers."""
+    from repro.climate.jobs import (
+        make_averaging_mapper,
+        mean_reducer,
+        naive_mean_of_means_combiner,
+    )
+
+    def parser(line):
+        year, value = line.split(",")
+        yield int(year), float(value)
+
+    # year 2000: values 1, 1, 10 — true mean 4.0
+    records = [(i, f"2000,{v}") for i, v in enumerate([1.0, 1.0, 10.0])]
+    job = MapReduceJob(
+        mapper=make_averaging_mapper(parser),
+        reducer=mean_reducer,
+        combiner=naive_mean_of_means_combiner,
+    )
+    balanced = run_job(job, [records]).as_dict()[2000]
+    skewed = run_job(job, [records[:2], records[2:]]).as_dict()[2000]
+    assert abs(balanced - skewed) > 0.5  # the bug is visible

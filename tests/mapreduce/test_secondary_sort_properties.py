@@ -1,0 +1,69 @@
+"""Property-based tests for the grouping-comparator (secondary sort)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.job import MapReduceJob, grouped_partitioner
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+records = st.lists(
+    st.tuples(st.sampled_from("abcde"), st.integers(0, 50)),
+    min_size=0,
+    max_size=40,
+)
+
+
+def make_job(num_reducers=3):
+    def mapper(_k, pair):
+        natural, secondary = pair
+        yield (natural, secondary), secondary
+
+    def reducer(natural, values):
+        yield natural, tuple(values)
+
+    group = lambda composite: composite[0]
+    return MapReduceJob(
+        mapper=mapper,
+        reducer=reducer,
+        group_key=group,
+        partitioner=grouped_partitioner(group),
+        num_reducers=num_reducers,
+    )
+
+
+@given(data=records, n_reducers=st.integers(1, 5))
+@settings(**SETTINGS)
+def test_values_sorted_within_group(data, n_reducers):
+    result = run_job(make_job(n_reducers), [list(enumerate(data))])
+    for _natural, values in result.pairs:
+        assert list(values) == sorted(values)
+
+
+@given(data=records)
+@settings(**SETTINGS)
+def test_every_value_delivered_exactly_once(data):
+    result = run_job(make_job(), [list(enumerate(data))])
+    delivered = sorted(v for _k, values in result.pairs for v in values)
+    assert delivered == sorted(v for _n, v in data)
+
+
+@given(data=records)
+@settings(**SETTINGS)
+def test_one_group_per_natural_key(data):
+    result = run_job(make_job(), [list(enumerate(data))])
+    keys = [k for k, _ in result.pairs]
+    assert len(keys) == len(set(keys))
+    assert set(keys) == {n for n, _ in data}
+
+
+@given(data=records, n_splits=st.integers(1, 5))
+@settings(**SETTINGS)
+def test_sharding_independent(data, n_splits):
+    recs = list(enumerate(data))
+    size = max(1, -(-len(recs) // n_splits)) if recs else 1
+    splits = [recs[i : i + size] for i in range(0, len(recs), size)] or [[]]
+    one = run_job(make_job(), [recs])
+    many = run_job(make_job(), splits)
+    assert dict(one.pairs) == dict(many.pairs)

@@ -1,0 +1,90 @@
+"""Tests for the Hadoop-streaming emulation."""
+
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.streaming import group_sorted_lines, run_streaming, script_adapter, sort_phase
+
+
+def wc_stream_mapper(lines):
+    for line in lines:
+        for word in line.split():
+            yield f"{word}\t1"
+
+
+def wc_stream_reducer(lines):
+    for key, values in group_sorted_lines(lines):
+        yield f"{key}\t{sum(int(v) for v in values)}"
+
+
+LINES = ["the quick brown fox", "the lazy dog", "the fox"]
+
+
+class TestSortPhase:
+    def test_sorts_by_key_field_only(self):
+        lines = ["b\t2", "a\t9", "a\t1"]
+        assert sort_phase(lines) == ["a\t9", "a\t1", "b\t2"]  # stable, key-only
+
+    def test_empty(self):
+        assert sort_phase([]) == []
+
+
+class TestRunStreaming:
+    def test_wordcount(self):
+        out = run_streaming(wc_stream_mapper, wc_stream_reducer, LINES)
+        counts = dict(line.split("\t") for line in out)
+        assert counts == {"the": "3", "quick": "1", "brown": "1", "fox": "2", "lazy": "1", "dog": "1"}
+
+    def test_reducer_sees_sorted_lines(self):
+        seen = []
+
+        def spy_reducer(lines):
+            seen.extend(lines)
+            return iter(())
+
+        run_streaming(wc_stream_mapper, spy_reducer, LINES)
+        keys = [l.split("\t")[0] for l in seen]
+        assert keys == sorted(keys)
+
+    def test_empty_input(self):
+        assert run_streaming(wc_stream_mapper, wc_stream_reducer, []) == []
+
+
+class TestGroupSortedLines:
+    def test_groups(self):
+        lines = ["a\t1", "a\t2", "b\t3"]
+        assert list(group_sorted_lines(lines)) == [("a", ["1", "2"]), ("b", ["3"])]
+
+    def test_single_group(self):
+        assert list(group_sorted_lines(["k\tv"])) == [("k", ["v"])]
+
+    def test_empty(self):
+        assert list(group_sorted_lines([])) == []
+
+    def test_handles_trailing_newlines(self):
+        assert list(group_sorted_lines(["k\tv\n"])) == [("k", ["v"])]
+
+
+class TestScriptAdapter:
+    def test_streaming_scripts_run_on_structured_engine(self):
+        job = MapReduceJob(
+            mapper=script_adapter(wc_stream_mapper, side="map"),
+            reducer=script_adapter(wc_stream_reducer, side="reduce"),
+        )
+        splits = [[(i, line)] for i, line in enumerate(LINES)]
+        result = run_job(job, splits)
+        assert dict(result.pairs)["the"] == "3"
+
+    def test_equivalence_streaming_vs_structured(self):
+        streamed = run_streaming(wc_stream_mapper, wc_stream_reducer, LINES)
+        job = MapReduceJob(
+            mapper=script_adapter(wc_stream_mapper, side="map"),
+            reducer=script_adapter(wc_stream_reducer, side="reduce"),
+        )
+        structured = run_job(job, [[(i, l) for i, l in enumerate(LINES)]])
+        assert dict(l.split("\t") for l in streamed) == dict(structured.pairs)
+
+    def test_bad_side_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            script_adapter(wc_stream_mapper, side="shuffle")

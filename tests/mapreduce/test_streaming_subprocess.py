@@ -1,0 +1,132 @@
+"""Tests for subprocess-based Hadoop-streaming execution."""
+
+import textwrap
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.streaming import run_streaming, run_streaming_subprocess
+
+MAPPER_SRC = textwrap.dedent(
+    """
+    import sys
+    for line in sys.stdin:
+        for word in line.split():
+            print(f"{word}\\t1")
+    """
+)
+
+REDUCER_SRC = textwrap.dedent(
+    """
+    import sys
+    current, count = None, 0
+    def flush():
+        if current is not None:
+            print(f"{current}\\t{count}")
+    for line in sys.stdin:
+        key, value = line.rstrip("\\n").split("\\t", 1)
+        if key != current:
+            flush()
+            current, count = key, 0
+        count += int(value)
+    flush()
+    """
+)
+
+LINES = ["the quick brown fox", "the lazy dog", "the fox"]
+
+
+@pytest.fixture
+def scripts(tmp_path):
+    mapper = tmp_path / "mapper.py"
+    reducer = tmp_path / "reducer.py"
+    mapper.write_text(MAPPER_SRC)
+    reducer.write_text(REDUCER_SRC)
+    return mapper, reducer
+
+
+class TestSubprocessStreaming:
+    def test_wordcount(self, scripts):
+        mapper, reducer = scripts
+        out = run_streaming_subprocess(mapper, reducer, LINES)
+        counts = dict(l.split("\t") for l in out)
+        assert counts == {"the": "3", "quick": "1", "brown": "1", "fox": "2",
+                          "lazy": "1", "dog": "1"}
+
+    def test_matches_in_process_streaming(self, scripts):
+        mapper, reducer = scripts
+
+        def py_mapper(lines):
+            for line in lines:
+                for w in line.split():
+                    yield f"{w}\t1"
+
+        def py_reducer(lines):
+            from repro.mapreduce.streaming import group_sorted_lines
+
+            for k, vs in group_sorted_lines(lines):
+                yield f"{k}\t{sum(int(v) for v in vs)}"
+
+        sub = run_streaming_subprocess(mapper, reducer, LINES)
+        inproc = run_streaming(py_mapper, py_reducer, LINES)
+        assert sorted(sub) == sorted(inproc)
+
+    def test_empty_input(self, scripts):
+        mapper, reducer = scripts
+        assert run_streaming_subprocess(mapper, reducer, []) == []
+
+    def test_crashing_script_reports_stderr(self, tmp_path, scripts):
+        _, reducer = scripts
+        bad = tmp_path / "bad.py"
+        bad.write_text("raise RuntimeError('kaboom in mapper')\n")
+        with pytest.raises(ConfigurationError, match="kaboom"):
+            run_streaming_subprocess(bad, reducer, LINES)
+
+    def test_climate_job_via_real_pipes(self, tmp_path, climate_dataset):
+        """The actual assignment solution, executed as submitted files."""
+        mapper = tmp_path / "m.py"
+        mapper.write_text(textwrap.dedent(
+            """
+            import sys
+            for line in sys.stdin:
+                line = line.strip()
+                if not line or line.startswith("Jahr") or line.startswith("#"):
+                    continue
+                cells = line.split(";")
+                if len(cells) < 4:
+                    continue
+                try:
+                    year = int(cells[0])
+                    values = [float(c) for c in cells[2:-1]]
+                except ValueError:
+                    continue
+                for v in values:
+                    print(f"{year}\\t{v},1")
+            """
+        ))
+        reducer = tmp_path / "r.py"
+        reducer.write_text(textwrap.dedent(
+            """
+            import sys
+            current, total, count = None, 0.0, 0
+            def flush():
+                if current is not None and count:
+                    print(f"{current}\\t{total / count:.6f}")
+            for line in sys.stdin:
+                key, payload = line.rstrip("\\n").split("\\t", 1)
+                s, c = payload.split(",")
+                if key != current:
+                    flush()
+                    current, total, count = key, 0.0, 0
+                total += float(s)
+                count += int(c)
+            flush()
+            """
+        ))
+        lines = [l for f in climate_dataset.month_files().values() for l in f]
+        out = run_streaming_subprocess(mapper, reducer, lines)
+        means = {int(l.split("\t")[0]): float(l.split("\t")[1]) for l in out}
+        oracle = climate_dataset.true_annual_means()
+        assert set(means) == set(oracle)
+        for y in oracle:
+            assert means[y] == pytest.approx(oracle[y], abs=0.01)

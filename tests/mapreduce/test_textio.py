@@ -1,0 +1,62 @@
+"""Tests for text input helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.textio import format_kv_line, lines_to_records, parse_kv_line, text_splits
+
+
+class TestLinesToRecords:
+    def test_keys_are_byte_offsets(self):
+        recs = lines_to_records(["ab\n", "cde\n", "f"])
+        assert recs == [(0, "ab"), (3, "cde"), (7, "f")]
+
+    def test_strips_only_newline(self):
+        recs = lines_to_records(["  padded  \n"])
+        assert recs[0][1] == "  padded  "
+
+    def test_utf8_offsets(self):
+        recs = lines_to_records(["héllo\n", "x"])
+        assert recs[1][0] == len("héllo\n".encode())
+
+    def test_empty(self):
+        assert lines_to_records([]) == []
+
+
+class TestTextSplits:
+    def test_split_count(self):
+        splits = text_splits(["a", "b", "c", "d", "e"], 2)
+        assert len(splits) == 2
+        assert [len(s) for s in splits] == [3, 2]
+
+    def test_fewer_lines_than_splits(self):
+        splits = text_splits(["a", "b"], 10)
+        assert len(splits) == 2
+
+    def test_no_lines_single_empty_split(self):
+        assert text_splits([], 4) == [[]]
+
+    def test_records_preserved_in_order(self):
+        splits = text_splits(["a", "b", "c"], 2)
+        values = [v for s in splits for _, v in s]
+        assert values == ["a", "b", "c"]
+
+    def test_zero_splits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            text_splits(["a"], 0)
+
+
+class TestKvLines:
+    def test_roundtrip(self):
+        line = format_kv_line("1881", "3.5,1")
+        assert parse_kv_line(line) == ("1881", "3.5,1")
+
+    def test_missing_separator_gives_empty_value(self):
+        assert parse_kv_line("lonely") == ("lonely", "")
+
+    def test_value_may_contain_separator(self):
+        assert parse_kv_line("k\ta\tb") == ("k", "a\tb")
+
+    def test_custom_separator(self):
+        assert parse_kv_line("k;v", sep=";") == ("k", "v")
+        assert format_kv_line("k", "v", sep=";") == "k;v"

@@ -1,0 +1,123 @@
+"""Tests for the SOC avalanche analysis."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.easypap.grid import Grid2D
+from repro.sandpile.analysis import (
+    avalanche_statistics,
+    drive_avalanches,
+    toppling_profile,
+)
+from repro.sandpile.model import center_pile, random_uniform, uniform
+from repro.sandpile.theory import stabilize
+
+
+class TestDriveAvalanches:
+    def test_counts_and_stability(self):
+        g = uniform(16, 16, 6)
+        stats = drive_avalanches(g, 50, seed=1)
+        assert stats.count == 50
+        assert g.is_stable()  # every drop fully relaxed
+
+    def test_zero_drops(self):
+        g = uniform(8, 8, 2)
+        stats = drive_avalanches(g, 0)
+        assert stats.count == 0
+        assert stats.mean_size == 0.0
+        assert stats.max_size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            drive_avalanches(uniform(4, 4, 1), -1)
+
+    def test_deterministic(self):
+        a = drive_avalanches(uniform(12, 12, 6), 30, seed=5)
+        b = drive_avalanches(uniform(12, 12, 6), 30, seed=5)
+        assert [x.size for x in a.avalanches] == [x.size for x in b.avalanches]
+
+    def test_grain_conservation_per_avalanche(self):
+        g = uniform(12, 12, 6)
+        stabilize(g)
+        total = g.total_grains() + g.sink_absorbed
+        stats = drive_avalanches(g, 20, seed=2, stabilize_first=False)
+        # each drop adds one grain; sink absorbs whatever leaves
+        assert g.total_grains() + g.sink_absorbed == total + 20
+        assert sum(a.grains_lost for a in stats.avalanches) >= 0
+
+    def test_subcritical_pile_mostly_quiescent(self):
+        g = Grid2D(12, 12)  # empty: drops almost never topple
+        stats = drive_avalanches(g, 40, seed=3)
+        assert stats.quiescent_fraction > 0.9
+
+    def test_critical_pile_produces_large_avalanches(self):
+        stats = avalanche_statistics(24, 24, n_drops=400, seed=4)
+        assert stats.max_size > 50  # system-spanning events exist
+        assert stats.quiescent_fraction < 0.9
+
+    def test_avalanche_fields_consistent(self):
+        stats = avalanche_statistics(12, 12, n_drops=100, seed=5)
+        for a in stats.avalanches:
+            assert a.size >= 0 and a.area >= 0 and a.duration >= 0
+            assert a.area <= 144
+            assert a.size >= a.area  # each toppled cell topples >= once
+            if a.size == 0:
+                assert a.area == 0 and a.duration == 0
+
+
+class TestStatistics:
+    @pytest.fixture(scope="class")
+    def critical_stats(self):
+        return avalanche_statistics(32, 32, n_drops=1500, seed=0)
+
+    def test_power_law_slope_flat(self, critical_stats):
+        # critical piles have broad size distributions: ccdf slope well
+        # above an exponential's effective plummet; expect roughly -0.6..-0.05
+        slope = critical_stats.power_law_slope()
+        assert -1.0 < slope < 0.0
+
+    def test_histogram_covers_all_sizes(self, critical_stats):
+        rows = critical_stats.size_histogram()
+        assert rows
+        counted = sum(c for _, _, c in rows)
+        nonzero = int((critical_stats.sizes() > 0).sum())
+        assert counted == nonzero
+
+    def test_slope_requires_enough_data(self):
+        stats = avalanche_statistics(8, 8, n_drops=5, seed=1)
+        with pytest.raises(ConfigurationError):
+            stats.power_law_slope(min_size=10**9)
+
+    def test_empty_histogram(self):
+        g = Grid2D(6, 6)
+        stats = drive_avalanches(g, 3, seed=0)
+        if (stats.sizes() == 0).all():
+            assert stats.size_histogram() == []
+
+
+class TestTopplingProfile:
+    def test_profile_matches_stabilization(self):
+        g = center_pile(21, 21, 2000)
+        expected = stabilize(g.copy())
+        profile = toppling_profile(g)
+        assert np.array_equal(g.interior, expected.interior)
+        assert profile.sum() > 0
+
+    def test_center_pile_profile_radially_monotone(self):
+        g = center_pile(21, 21, 2000)
+        profile = toppling_profile(g)
+        c = 10
+        # along the axis from the centre outwards, topplings never increase
+        row = profile[c, c:]
+        assert all(b <= a for a, b in zip(row, row[1:]))
+
+    def test_stable_grid_zero_profile(self):
+        g = random_uniform(8, 8, max_grains=3, seed=1)
+        assert toppling_profile(g).sum() == 0
+
+    def test_profile_symmetry(self):
+        g = center_pile(15, 15, 888)
+        profile = toppling_profile(g)
+        assert np.array_equal(profile, profile.T)
+        assert np.array_equal(profile, profile[::-1, :])

@@ -1,0 +1,121 @@
+"""Tests for the simulated GPU steppers."""
+
+import numpy as np
+import pytest
+
+from repro.easypap.grid import Grid2D
+from repro.sandpile.gpu import DeviceModel, GpuStepper, LazyGpuStepper, sync_step_region
+from repro.sandpile.model import center_pile, sparse_random
+from repro.sandpile.vectorized import SyncVecStepper
+
+
+def drive(stepper):
+    n = 0
+    while stepper():
+        n += 1
+        assert n < 100_000
+    return n
+
+
+class TestDeviceModel:
+    def test_launch_cost_formula(self):
+        d = DeviceModel(launch_overhead=1e-3, cell_rate=1e6)
+        assert d.launch_cost(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceModel().launch_cost(-1)
+
+    def test_transfer_cost(self):
+        d = DeviceModel(transfer_rate=1e9)
+        assert d.transfer_cost(1e9) == pytest.approx(1.0)
+
+    def test_small_grids_launch_bound(self):
+        d = DeviceModel()
+        # a tiny launch is dominated by overhead
+        assert d.launch_cost(100) < 2 * d.launch_overhead
+
+
+class TestSyncStepRegion:
+    def test_whole_grid_matches_vec(self):
+        a = center_pile(12, 12, 300)
+        b = a.copy()
+        sa = SyncVecStepper(a)
+        for _ in range(40):
+            ca = sa()
+            cb = sync_step_region(b, 0, 12, 0, 12)
+            assert ca == cb
+            assert np.array_equal(a.interior, b.interior)
+            if not ca:
+                break
+
+    def test_restricted_region_exact_when_dilated(self):
+        g = Grid2D(10, 10)
+        g.interior[5, 5] = 8
+        ref = g.copy()
+        sync_step_region(ref, 0, 10, 0, 10)
+        sync_step_region(g, 4, 7, 4, 7)  # active cell 5 dilated by 1
+        assert np.array_equal(g.interior, ref.interior)
+
+    def test_empty_region_noop(self):
+        g = center_pile(8, 8, 100)
+        assert sync_step_region(g, 3, 3, 0, 8) is False
+
+    def test_out_of_bounds_rejected(self):
+        g = Grid2D(4, 4)
+        with pytest.raises(ValueError):
+            sync_step_region(g, 0, 5, 0, 4)
+
+    def test_border_loss_accounted(self):
+        g = Grid2D(1, 1)
+        g.interior[0, 0] = 7
+        sync_step_region(g, 0, 1, 0, 1)
+        assert g.interior[0, 0] == 3
+        assert g.sink_absorbed == 4
+
+
+class TestGpuStepper:
+    def test_fixpoint(self, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        drive(GpuStepper(g))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_virtual_time_accumulates(self):
+        g = center_pile(16, 16, 64)
+        s = GpuStepper(g)
+        drive(s)
+        assert s.virtual_time > 0
+        assert s.launches == s.iterations
+        assert s.cells_computed == s.launches * 256
+
+
+class TestLazyGpuStepper:
+    def test_fixpoint(self, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        drive(LazyGpuStepper(g))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_computes_fewer_cells_on_sparse(self):
+        g1 = sparse_random(64, 64, n_piles=1, pile_grains=256, seed=2)
+        g2 = g1.copy()
+        full, lazy = GpuStepper(g1), LazyGpuStepper(g2)
+        drive(full)
+        drive(lazy)
+        assert np.array_equal(g1.interior, g2.interior)
+        assert lazy.cells_computed < full.cells_computed / 4
+
+    def test_stable_grid_zero_launches(self):
+        from repro.sandpile.model import random_uniform
+
+        g = random_uniform(8, 8, max_grains=3, seed=1)
+        s = LazyGpuStepper(g)
+        assert s() is False
+        assert s.launches == 0
+
+    def test_edge_pile_handled(self):
+        g = Grid2D(8, 8)
+        g.interior[0, 0] = 40
+        ref = g.copy()
+        drive(SyncVecStepper(ref))
+        drive(LazyGpuStepper(g))
+        assert np.array_equal(g.interior, ref.interior)

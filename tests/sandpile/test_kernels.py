@@ -1,0 +1,143 @@
+"""Tests for the vectorised kernels against the scalar reference."""
+
+import numpy as np
+import pytest
+
+from repro.easypap.grid import Grid2D
+from repro.easypap.tiling import TileGrid
+from repro.sandpile.kernels import async_sweep, async_tile_relax, sync_step, sync_tile, toppling_count
+from repro.sandpile.model import center_pile, random_uniform
+from repro.sandpile.reference import sync_step_reference
+
+
+class TestSyncStep:
+    def test_matches_reference_step_by_step(self):
+        a = random_uniform(12, 12, max_grains=16, seed=5)
+        b = a.copy()
+        for _ in range(30):
+            ca = sync_step(a)
+            cb = sync_step_reference(b)
+            assert ca == cb
+            assert np.array_equal(a.interior, b.interior)
+            if not ca:
+                break
+
+    def test_scratch_buffer_reuse(self):
+        g = center_pile(8, 8, 50)
+        scratch = np.empty_like(g.data)
+        while sync_step(g, out=scratch):
+            pass
+        assert g.is_stable()
+
+    def test_wrong_scratch_shape_rejected(self):
+        g = Grid2D(4, 4)
+        with pytest.raises(ValueError):
+            sync_step(g, out=np.empty((3, 3), dtype=np.int64))
+
+    def test_conservation_via_sink(self):
+        g = center_pile(7, 7, 500)
+        total0 = g.total_grains()
+        while sync_step(g):
+            assert g.total_grains() + g.sink_absorbed == total0
+
+    def test_edge_loss_single_cell_grid(self):
+        g = Grid2D(1, 1)
+        g.interior[0, 0] = 11
+        sync_step(g)
+        # keeps 11 % 4 = 3, loses 2 to each of 4 sink sides
+        assert g.interior[0, 0] == 3
+        assert g.sink_absorbed == 8
+
+
+class TestAsyncSweep:
+    def test_returns_false_when_stable(self):
+        g = random_uniform(6, 6, max_grains=3, seed=0)
+        assert not async_sweep(g)
+
+    def test_reaches_reference_fixpoint(self):
+        base = random_uniform(10, 10, max_grains=12, seed=9)
+        ref = base.copy()
+        while sync_step_reference(ref):
+            pass
+        g = base.copy()
+        while async_sweep(g):
+            pass
+        assert np.array_equal(g.interior, ref.interior)
+
+    def test_conservation(self):
+        g = center_pile(9, 9, 300)
+        total0 = g.total_grains()
+        while async_sweep(g):
+            assert g.total_grains() + g.sink_absorbed == total0
+
+
+class TestSyncTile:
+    def test_full_cover_equals_whole_grid_step(self):
+        g1 = random_uniform(12, 12, max_grains=10, seed=2)
+        g2 = g1.copy()
+        # whole-grid vectorised step
+        sync_step(g1)
+        # tile-by-tile into a scratch plane
+        src = g2.data
+        dst = src.copy()
+        changed = False
+        for tile in TileGrid(12, 12, 4):
+            changed |= sync_tile(src, dst, tile)
+        g2.data[1:-1, 1:-1] = dst[1:-1, 1:-1]
+        g2.drain_sink()
+        assert changed
+        assert np.array_equal(g1.interior, g2.interior)
+
+    def test_change_detection_per_tile(self):
+        g = Grid2D(8, 8)
+        g.interior[0, 0] = 8  # only the first tile is active
+        src = g.data
+        dst = src.copy()
+        tg = TileGrid(8, 8, 4)
+        assert sync_tile(src, dst, tg.at(0, 0)) is True
+        assert sync_tile(src, dst, tg.at(1, 1)) is False
+
+
+class TestAsyncTileRelax:
+    def test_tile_internally_stable_after(self):
+        g = center_pile(8, 8, 200)
+        tg = TileGrid(8, 8, 4)
+        tile = tg.at(1, 1)  # centre (4,4) is inside this tile
+        rounds = async_tile_relax(g, tile)
+        assert rounds > 0
+        ys, xs = tile.slices()
+        assert (g.interior[ys, xs] < 4).all()
+
+    def test_pushes_grains_to_halo_not_beyond(self):
+        g = Grid2D(8, 8)
+        g.interior[0, 0] = 8
+        tg = TileGrid(8, 8, 4)
+        before = g.interior.copy()
+        async_tile_relax(g, tg.at(0, 0))
+        # grains moved at most one cell outside the tile (plus the frame)
+        outside = g.interior[5:, :].sum() + g.interior[:, 5:].sum()
+        assert outside == 0
+        assert g.interior[0, 0] == 0
+        assert before.sum() == g.interior.sum() + g.border_sum()
+
+    def test_stable_tile_zero_rounds(self):
+        g = random_uniform(8, 8, max_grains=3, seed=1)
+        tg = TileGrid(8, 8, 4)
+        assert async_tile_relax(g, tg.at(0, 0)) == 0
+
+    def test_max_rounds_guard(self):
+        g = center_pile(8, 8, 10**6)
+        tg = TileGrid(8, 8, 8)
+        with pytest.raises(RuntimeError):
+            async_tile_relax(g, tg.at(0, 0), max_rounds=1)
+
+
+class TestTopplingCount:
+    def test_counts_unstable(self):
+        g = Grid2D(3, 3)
+        g.interior[0, 0] = 4
+        g.interior[2, 2] = 100
+        assert toppling_count(g) == 2
+
+    def test_zero_on_stable(self):
+        assert toppling_count(random_uniform(5, 5, max_grains=3, seed=0)) == 0

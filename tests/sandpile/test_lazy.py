@@ -1,0 +1,76 @@
+"""Tests for lazy tile tracking."""
+
+from repro.easypap.tiling import TileGrid
+from repro.sandpile.lazy import LazyFlags
+
+
+class TestInitialState:
+    def test_everything_dirty_at_start(self):
+        tg = TileGrid(16, 16, 4)
+        flags = LazyFlags(tg)
+        assert len(flags.active_tiles()) == len(tg)
+
+
+class TestPropagation:
+    def test_change_activates_neighbourhood(self):
+        tg = TileGrid(16, 16, 4)  # 4x4 tiles
+        flags = LazyFlags(tg)
+        flags.active_tiles()
+        # only the centre tile (1,1) changed
+        flags.mark(tg.at(1, 1), True)
+        flags.advance()
+        active = {(t.ty, t.tx) for t in flags.active_tiles()}
+        assert active == {(1, 1), (0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_diagonal_not_activated(self):
+        tg = TileGrid(16, 16, 4)
+        flags = LazyFlags(tg)
+        flags.active_tiles()
+        flags.mark(tg.at(1, 1), True)
+        flags.advance()
+        active = {(t.ty, t.tx) for t in flags.active_tiles()}
+        assert (0, 0) not in active  # 4-connected stencil only
+
+    def test_corner_tile_neighbourhood_clipped(self):
+        tg = TileGrid(16, 16, 4)
+        flags = LazyFlags(tg)
+        flags.active_tiles()
+        flags.mark(tg.at(0, 0), True)
+        flags.advance()
+        active = {(t.ty, t.tx) for t in flags.active_tiles()}
+        assert active == {(0, 0), (0, 1), (1, 0)}
+
+    def test_no_changes_quiesces(self):
+        tg = TileGrid(8, 8, 4)
+        flags = LazyFlags(tg)
+        flags.active_tiles()
+        assert not flags.advance()
+        assert flags.active_tiles() == []
+        assert flags.dirty_fraction == 0.0
+
+
+class TestBookkeeping:
+    def test_counters_accumulate(self):
+        tg = TileGrid(8, 8, 4)  # 4 tiles
+        flags = LazyFlags(tg)
+        flags.active_tiles()           # 4 computed
+        flags.mark(tg.at(0, 0), True)
+        flags.advance()
+        flags.active_tiles()           # 3 active (corner + 2 neighbours)
+        assert flags.computed_total == 7
+        assert flags.skipped_total == 1
+
+    def test_reset_marks_all_dirty(self):
+        tg = TileGrid(8, 8, 4)
+        flags = LazyFlags(tg)
+        flags.active_tiles()
+        flags.advance()  # everything quiet
+        flags.reset()
+        assert len(flags.active_tiles()) == len(tg)
+
+    def test_mark_false_is_noop(self):
+        tg = TileGrid(8, 8, 4)
+        flags = LazyFlags(tg)
+        flags.active_tiles()
+        flags.mark(tg.at(0, 0), False)
+        assert not flags.advance()

@@ -1,0 +1,107 @@
+"""Tests for the distributed (ghost-cell) sandpile."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sandpile.model import center_pile, random_uniform, sparse_random
+from repro.sandpile.mpi import run_distributed
+from repro.simmpi import CostModel
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4])
+    def test_matches_oracle_depth1(self, nranks, center_grid, center_stable):
+        res = run_distributed(center_grid, nranks, halo_depth=1)
+        assert np.array_equal(res.final.interior, center_stable.interior)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 5])
+    def test_matches_oracle_any_depth(self, depth, center_grid, center_stable):
+        res = run_distributed(center_grid, 3, halo_depth=depth)
+        assert np.array_equal(res.final.interior, center_stable.interior)
+
+    def test_random_config(self, small_random_grid, small_random_stable):
+        res = run_distributed(small_random_grid, 2, halo_depth=2)
+        assert np.array_equal(res.final.interior, small_random_stable.interior)
+
+    def test_input_grid_untouched(self):
+        g = center_pile(16, 16, 400)
+        before = g.interior.copy()
+        run_distributed(g, 2)
+        assert np.array_equal(g.interior, before)
+
+    def test_uneven_row_split(self):
+        g = sparse_random(17, 13, n_piles=4, pile_grains=60, seed=1)
+        from repro.sandpile.theory import stabilize
+
+        expected = stabilize(g.copy())
+        res = run_distributed(g, 3, halo_depth=2)
+        assert np.array_equal(res.final.interior, expected.interior)
+
+    def test_already_stable(self):
+        g = random_uniform(12, 12, max_grains=3, seed=0)
+        res = run_distributed(g, 2)
+        assert np.array_equal(res.final.interior, g.interior)
+        assert res.supersteps == 1  # one superstep to discover stability
+
+
+class TestValidation:
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_distributed(center_pile(8, 8, 10), 0)
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_distributed(center_pile(8, 8, 10), 2, halo_depth=0)
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_distributed(center_pile(4, 4, 10), 8)
+
+    def test_depth_too_deep_for_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_distributed(center_pile(8, 8, 10), 4, halo_depth=3)
+
+
+class TestHaloTradeoff:
+    """The assignment's lesson: deeper halos = fewer messages, more compute."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        g = center_pile(32, 32, 2000)
+        return {k: run_distributed(g, 4, halo_depth=k) for k in (1, 2, 4)}
+
+    def test_messages_decrease_with_depth(self, results):
+        assert results[1].messages > results[2].messages > results[4].messages
+
+    def test_message_reduction_roughly_k_fold(self, results):
+        ratio = results[1].messages / results[4].messages
+        assert 2.5 < ratio < 6.0  # ~4x fewer exchanges, modulo collectives
+
+    def test_redundant_iterations_grow_with_depth(self, results):
+        # iteration count is rounded up to a multiple of k per superstep
+        assert results[4].iterations >= results[1].iterations
+
+    def test_all_depths_agree(self, results):
+        base = results[1].final.interior
+        assert np.array_equal(base, results[2].final.interior)
+        assert np.array_equal(base, results[4].final.interior)
+
+    def test_makespan_reported(self, results):
+        assert all(r.makespan > 0 for r in results.values())
+
+
+class TestCostModelInfluence:
+    def test_higher_latency_higher_makespan(self):
+        g = center_pile(24, 24, 800)
+        fast = run_distributed(g, 3, cost_model=CostModel(latency=1e-6))
+        slow = run_distributed(g, 3, cost_model=CostModel(latency=1e-2))
+        assert slow.makespan > fast.makespan
+
+    def test_deep_halo_wins_at_high_latency(self):
+        # when messages are expensive, halo depth 4 must beat depth 1
+        g = center_pile(32, 32, 2000)
+        cm = CostModel(latency=5e-3)
+        t1 = run_distributed(g, 4, halo_depth=1, cost_model=cm).makespan
+        t4 = run_distributed(g, 4, halo_depth=4, cost_model=cm).makespan
+        assert t4 < t1

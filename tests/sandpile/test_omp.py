@@ -1,0 +1,131 @@
+"""Tests for the tiled parallel steppers."""
+
+import numpy as np
+import pytest
+
+from repro.easypap.executor import SimulatedBackend, ThreadBackend
+from repro.easypap.monitor import Trace
+from repro.sandpile.model import center_pile, random_uniform, sparse_random
+from repro.sandpile.omp import TiledAsyncStepper, TiledSyncStepper, wave_partition
+from repro.easypap.tiling import TileGrid
+from repro.sandpile.theory import stabilize
+
+
+def drive(stepper, max_iter=100_000):
+    n = 0
+    while stepper():
+        n += 1
+        assert n < max_iter
+    return n
+
+
+class TestWavePartition:
+    def test_four_colors(self):
+        tg = TileGrid(16, 16, 4)
+        waves = wave_partition(list(tg))
+        assert len(waves) == 4
+        assert sum(len(w) for w in waves) == len(tg)
+
+    def test_within_wave_no_adjacent_tiles(self):
+        tg = TileGrid(32, 32, 4)
+        for wave in wave_partition(list(tg)):
+            coords = {(t.ty, t.tx) for t in wave}
+            for ty, tx in coords:
+                assert (ty + 1, tx) not in coords
+                assert (ty, tx + 1) not in coords
+
+    def test_single_row(self):
+        tg = TileGrid(4, 16, 4)
+        waves = wave_partition(list(tg))
+        assert len(waves) == 2
+
+
+class TestTiledSyncStepper:
+    @pytest.mark.parametrize("lazy", [False, True])
+    @pytest.mark.parametrize("tile_size", [4, 5, 16])
+    def test_fixpoint_matches_oracle(self, lazy, tile_size, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        drive(TiledSyncStepper(g, tile_size, lazy=lazy))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_conservation(self):
+        g = center_pile(16, 16, 800)
+        total0 = g.total_grains()
+        stepper = TiledSyncStepper(g, 4)
+        while stepper():
+            assert g.total_grains() + g.sink_absorbed == total0
+
+    def test_lazy_skips_tiles_on_sparse_config(self):
+        g = sparse_random(64, 64, n_piles=2, pile_grains=64, seed=3)
+        stepper = TiledSyncStepper(g, 8, lazy=True)
+        drive(stepper)
+        assert stepper.tiles_skipped > stepper.tiles_computed
+
+    def test_eager_never_skips(self):
+        g = center_pile(16, 16, 64)
+        stepper = TiledSyncStepper(g, 8)
+        drive(stepper)
+        assert stepper.tiles_skipped == 0
+
+    def test_simulated_backend_same_result(self, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        backend = SimulatedBackend(4, "dynamic")
+        drive(TiledSyncStepper(g, 6, backend=backend))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_thread_backend_same_result(self, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        drive(TiledSyncStepper(g, 8, backend=ThreadBackend(4)))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_trace_records_tiles(self):
+        trace = Trace()
+        g = center_pile(16, 16, 64)
+        backend = SimulatedBackend(2, "static", trace=trace)
+        drive(TiledSyncStepper(g, 8, backend=backend))
+        assert len(trace) > 0
+        owners = trace.tile_owner_map(2, 2, 0)
+        assert (owners >= 0).all()  # eager: every tile computed at iteration 0
+
+
+class TestTiledAsyncStepper:
+    @pytest.mark.parametrize("lazy", [False, True])
+    @pytest.mark.parametrize("tile_size", [4, 7, 12])
+    def test_fixpoint_matches_oracle(self, lazy, tile_size, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        drive(TiledAsyncStepper(g, tile_size, lazy=lazy))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_center_pile_matches_oracle(self):
+        g = center_pile(24, 24, 3000)
+        expected = stabilize(g.copy())
+        drive(TiledAsyncStepper(g, 6, lazy=True))
+        assert np.array_equal(g.interior, expected.interior)
+
+    def test_conservation(self):
+        g = center_pile(16, 16, 500)
+        total0 = g.total_grains()
+        stepper = TiledAsyncStepper(g, 4, lazy=True)
+        while stepper():
+            assert g.total_grains() + g.sink_absorbed == total0
+
+    def test_async_converges_in_fewer_iterations_than_sync(self):
+        # tile-local relaxation moves grains many cells per iteration
+        g1 = center_pile(32, 32, 4000)
+        g2 = g1.copy()
+        n_async = drive(TiledAsyncStepper(g1, 8))
+        n_sync = drive(TiledSyncStepper(g2, 8))
+        assert n_async < n_sync
+
+    def test_simulated_backend_same_result(self, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        backend = SimulatedBackend(4, "guided", chunk=1)
+        drive(TiledAsyncStepper(g, 6, backend=backend, lazy=True))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_thread_backend_waves_safe(self, small_random_grid, small_random_stable):
+        # threads + 4-colour waves: adjacent tiles never run concurrently,
+        # so the fixpoint must still be exact
+        g = small_random_grid.copy()
+        drive(TiledAsyncStepper(g, 6, backend=ThreadBackend(4)))
+        assert np.array_equal(g.interior, small_random_stable.interior)

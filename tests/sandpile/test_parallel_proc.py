@@ -1,0 +1,73 @@
+"""Tests for the process-pool (true-parallel) stepper."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sandpile.model import center_pile, random_uniform
+from repro.sandpile.parallel_proc import ProcessSyncStepper
+from repro.sandpile.theory import stabilize
+
+
+@pytest.fixture(scope="module")
+def oracle_pair():
+    grid = random_uniform(16, 16, max_grains=10, seed=17)
+    return grid, stabilize(grid.copy())
+
+
+class TestProcessSyncStepper:
+    def test_fixpoint_matches_oracle(self, oracle_pair):
+        grid, oracle = oracle_pair
+        g = grid.copy()
+        with ProcessSyncStepper(g, nworkers=2) as stepper:
+            while stepper():
+                pass
+        assert np.array_equal(g.interior, oracle.interior)
+
+    def test_band_rows_irrelevant_to_result(self, oracle_pair):
+        grid, oracle = oracle_pair
+        for band_rows in (1, 3, 16):
+            g = grid.copy()
+            with ProcessSyncStepper(g, nworkers=2, band_rows=band_rows) as stepper:
+                while stepper():
+                    pass
+            assert np.array_equal(g.interior, oracle.interior), band_rows
+
+    def test_conservation(self):
+        g = center_pile(12, 12, 300)
+        total0 = g.total_grains()
+        with ProcessSyncStepper(g, nworkers=2) as stepper:
+            while stepper():
+                assert g.total_grains() + g.sink_absorbed == total0
+
+    def test_single_worker(self, oracle_pair):
+        grid, oracle = oracle_pair
+        g = grid.copy()
+        with ProcessSyncStepper(g, nworkers=1) as stepper:
+            while stepper():
+                pass
+        assert np.array_equal(g.interior, oracle.interior)
+
+    def test_closed_stepper_rejected(self):
+        g = center_pile(8, 8, 10)
+        stepper = ProcessSyncStepper(g, nworkers=1)
+        stepper.close()
+        with pytest.raises(ConfigurationError):
+            stepper()
+
+    def test_close_idempotent(self):
+        stepper = ProcessSyncStepper(center_pile(8, 8, 10), nworkers=1)
+        stepper.close()
+        stepper.close()  # must not raise
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessSyncStepper(center_pile(8, 8, 10), nworkers=0)
+
+    def test_iteration_counter(self):
+        g = center_pile(8, 8, 20)
+        with ProcessSyncStepper(g, nworkers=1) as stepper:
+            n = 0
+            while stepper():
+                n += 1
+            assert stepper.iterations == n + 1

@@ -1,0 +1,112 @@
+"""Tests for the scalar reference kernels (the paper's Fig. 2 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.easypap.grid import Grid2D
+from repro.sandpile.model import center_pile, random_uniform
+from repro.sandpile.reference import (
+    async_compute_new_state,
+    async_step_reference,
+    stabilize_reference,
+    sync_compute_new_state,
+    sync_step_reference,
+)
+
+
+class TestPerCellRules:
+    def test_fig2_example_11_grains(self):
+        # "if a cell contains 11 grains, then it will give 2 to each
+        # neighbor and keep the remaining 3 grains"
+        g = Grid2D(3, 3)
+        g.interior[1, 1] = 11
+        changed = async_compute_new_state(g.data, 2, 2)
+        assert changed
+        assert g.interior[1, 1] == 3
+        assert g.interior[0, 1] == g.interior[2, 1] == 2
+        assert g.interior[1, 0] == g.interior[1, 2] == 2
+
+    def test_async_stable_cell_noop(self):
+        g = Grid2D(3, 3)
+        g.interior[1, 1] = 3
+        assert not async_compute_new_state(g.data, 2, 2)
+        assert g.interior[1, 1] == 3
+
+    def test_sync_gathers_from_neighbors(self):
+        g = Grid2D(3, 3)
+        g.interior[0, 1] = 8  # north neighbour of centre gives 8//4 = 2
+        nxt = g.data.copy()
+        changed = sync_compute_new_state(g.data, nxt, 2, 2)
+        assert changed
+        assert nxt[2, 2] == 2
+
+    def test_sync_unchanged_returns_false(self):
+        g = Grid2D(3, 3)
+        g.interior[1, 1] = 2
+        nxt = g.data.copy()
+        assert not sync_compute_new_state(g.data, nxt, 2, 2)
+
+
+class TestFullSteps:
+    def test_sync_step_conserves_with_sink(self):
+        g = center_pile(5, 5, 100)
+        total0 = g.total_grains()
+        while sync_step_reference(g):
+            assert g.total_grains() + g.sink_absorbed == total0
+        assert g.is_stable()
+
+    def test_async_step_conserves_with_sink(self):
+        g = center_pile(5, 5, 100)
+        total0 = g.total_grains()
+        while async_step_reference(g):
+            assert g.total_grains() + g.sink_absorbed == total0
+        assert g.is_stable()
+
+    def test_stable_input_is_fixpoint(self):
+        g = random_uniform(6, 6, max_grains=3, seed=1)
+        before = g.interior.copy()
+        assert not sync_step_reference(g)
+        assert np.array_equal(g.interior, before)
+        assert not async_step_reference(g)
+        assert np.array_equal(g.interior, before)
+
+    @pytest.mark.parametrize("order", ["raster", "reverse", "columns"])
+    def test_async_orders_reach_same_fixpoint(self, order):
+        base = random_uniform(10, 10, max_grains=12, seed=7)
+        ref = base.copy()
+        stabilize_reference(ref, variant="sync")
+        g = base.copy()
+        while async_step_reference(g, order=order):
+            pass
+        assert np.array_equal(g.interior, ref.interior)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            async_step_reference(Grid2D(2, 2), order="spiral")
+
+
+class TestStabilizeReference:
+    def test_sync_async_identical_fixpoint(self):
+        base = random_uniform(8, 8, max_grains=10, seed=3)
+        a, b = base.copy(), base.copy()
+        stabilize_reference(a, variant="sync")
+        stabilize_reference(b, variant="async")
+        assert np.array_equal(a.interior, b.interior)
+
+    def test_iteration_count_returned(self):
+        g = center_pile(5, 5, 16)
+        n = stabilize_reference(g, variant="sync")
+        assert n >= 1
+        assert g.is_stable()
+
+    def test_max_iterations_enforced(self):
+        g = center_pile(9, 9, 10_000)
+        with pytest.raises(RuntimeError):
+            stabilize_reference(g, max_iterations=2)
+
+    def test_four_grain_cell_empties(self):
+        g = Grid2D(3, 3)
+        g.interior[1, 1] = 4
+        stabilize_reference(g)
+        assert g.interior[1, 1] == 0
+        assert g.interior.sum() == 4

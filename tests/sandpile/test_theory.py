@@ -1,0 +1,161 @@
+"""Tests for the sandpile algebra (Dhar theory)."""
+
+import numpy as np
+import pytest
+
+from repro.easypap.grid import Grid2D
+from repro.sandpile.model import max_stable, random_uniform, uniform
+from repro.sandpile.theory import (
+    add,
+    burning_test,
+    enumerate_recurrent,
+    group_order,
+    identity,
+    is_recurrent,
+    stabilize,
+)
+
+
+class TestStabilize:
+    def test_idempotent(self):
+        g = random_uniform(8, 8, max_grains=10, seed=1)
+        s1 = stabilize(g.copy())
+        s2 = stabilize(s1.copy())
+        assert np.array_equal(s1.interior, s2.interior)
+
+    def test_result_stable(self):
+        assert stabilize(uniform(10, 10, 9)).is_stable()
+
+    def test_in_place_and_returned(self):
+        g = uniform(4, 4, 5)
+        out = stabilize(g)
+        assert out is g
+
+    def test_max_sweeps_guard(self):
+        with pytest.raises(RuntimeError):
+            stabilize(uniform(16, 16, 100), max_sweeps=1)
+
+
+class TestGroupOperation:
+    def test_add_commutative(self):
+        a = random_uniform(6, 6, max_grains=3, seed=2)
+        b = random_uniform(6, 6, max_grains=3, seed=3)
+        assert np.array_equal(add(a, b).interior, add(b, a).interior)
+
+    def test_add_associative(self):
+        a = random_uniform(5, 5, max_grains=3, seed=4)
+        b = random_uniform(5, 5, max_grains=3, seed=5)
+        c = random_uniform(5, 5, max_grains=3, seed=6)
+        left = add(add(a, b), c)
+        right = add(a, add(b, c))
+        assert np.array_equal(left.interior, right.interior)
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            add(Grid2D(2, 2), Grid2D(3, 3))
+
+    def test_inputs_not_mutated(self):
+        a = uniform(4, 4, 3)
+        b = uniform(4, 4, 3)
+        add(a, b)
+        assert (a.interior == 3).all() and (b.interior == 3).all()
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_identity_is_recurrent(self, n):
+        assert is_recurrent(identity(n, n))
+
+    def test_identity_neutral_on_recurrent(self):
+        # S(2*max + r) is always recurrent; the identity must fix it
+        n = 6
+        r = stabilize(
+            Grid2D.from_interior(
+                max_stable(n, n).interior * 2
+                + random_uniform(n, n, max_grains=3, seed=7).interior
+            )
+        )
+        assert is_recurrent(r)
+        result = add(r, identity(n, n))
+        assert np.array_equal(result.interior, r.interior)
+
+    def test_identity_idempotent_under_add(self):
+        n = 5
+        e = identity(n, n)
+        assert np.array_equal(add(e, e).interior, e.interior)
+
+    def test_identity_nontrivial(self):
+        # the identity of a grid >= 3x3 is not the zero configuration
+        assert identity(4, 4).total_grains() > 0
+
+    def test_rectangular(self):
+        e = identity(4, 6)
+        assert e.shape == (4, 6)
+        assert is_recurrent(e)
+
+
+class TestBurningTest:
+    def test_max_stable_recurrent(self):
+        assert is_recurrent(max_stable(7, 7))
+
+    def test_zero_not_recurrent(self):
+        g = Grid2D(4, 4)
+        assert not is_recurrent(g)
+
+    def test_requires_stable_input(self):
+        with pytest.raises(ValueError):
+            burning_test(uniform(4, 4, 9))
+
+    def test_burnt_mask_shape(self):
+        mask = burning_test(max_stable(3, 5))
+        assert mask.shape == (3, 5)
+        assert mask.dtype == bool
+
+    def test_1x1_all_recurrent(self):
+        for v in range(4):
+            g = Grid2D(1, 1)
+            g.interior[0, 0] = v
+            assert is_recurrent(g)
+
+    def test_partial_burning(self):
+        # a stable config with an all-zero core: border cells burn
+        # (border has sink neighbours), the zero core cannot
+        g = Grid2D(5, 5)
+        g.interior[...] = 3
+        g.interior[1:4, 1:4] = 0
+        mask = burning_test(g)
+        assert mask[0, 0]
+        assert not mask[2, 2]
+
+
+class TestGroupOrder:
+    """The matrix-tree determinant against brute-force enumeration."""
+
+    @pytest.mark.parametrize(
+        "h,w,expected",
+        [(1, 1, 4), (1, 2, 15), (2, 2, 192), (2, 3, 2415), (3, 3, 100352)],
+    )
+    def test_known_orders(self, h, w, expected):
+        assert group_order(h, w) == expected
+
+    @pytest.mark.parametrize("h,w", [(1, 1), (1, 2), (2, 2), (1, 3), (2, 3)])
+    def test_determinant_matches_enumeration(self, h, w):
+        assert group_order(h, w) == enumerate_recurrent(h, w)
+
+    def test_symmetric_in_dimensions(self):
+        assert group_order(2, 5) == group_order(5, 2)
+
+    def test_large_grid_exact_integer(self):
+        order = group_order(8, 8)
+        assert isinstance(order, int)
+        assert order > 10**30  # the group is astronomically large
+
+    def test_enumeration_guard(self):
+        with pytest.raises(ValueError):
+            enumerate_recurrent(4, 4)
+
+    def test_identity_has_order_dividing_group(self):
+        # sanity via Lagrange: adding the identity to itself |G| times is
+        # overkill to test, but the identity must be idempotent (order 1)
+        e = identity(3, 3)
+        assert np.array_equal(add(e, e).interior, e.interior)

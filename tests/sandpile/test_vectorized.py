@@ -1,0 +1,81 @@
+"""Tests for the whole-grid and split vectorised steppers."""
+
+import numpy as np
+import pytest
+
+from repro.sandpile.model import center_pile, random_uniform
+from repro.sandpile.vectorized import AsyncVecStepper, SplitSyncStepper, SyncVecStepper
+
+
+def drive(stepper):
+    n = 0
+    while stepper():
+        n += 1
+        assert n < 100_000
+    return n
+
+
+class TestSyncVecStepper:
+    def test_fixpoint(self, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        drive(SyncVecStepper(g))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_iteration_counter(self):
+        g = center_pile(8, 8, 16)
+        s = SyncVecStepper(g)
+        n = drive(s)
+        assert s.iterations == n + 1  # the final no-change step also counts
+
+
+class TestAsyncVecStepper:
+    def test_fixpoint(self, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        drive(AsyncVecStepper(g))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_stable_grid_noop(self):
+        g = random_uniform(8, 8, max_grains=3, seed=0)
+        assert AsyncVecStepper(g)() is False
+
+
+class TestSplitSyncStepper:
+    @pytest.mark.parametrize("tile_size", [4, 8])
+    def test_fixpoint(self, tile_size, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        drive(SplitSyncStepper(g, tile_size))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_inner_outer_counters(self):
+        g = center_pile(16, 16, 256)
+        s = SplitSyncStepper(g, 4)  # 4x4 tiles: 4 inner, 12 outer
+        drive(s)
+        assert s.inner_tile_updates > 0
+        assert s.outer_tile_updates > 0
+        # per iteration: 4 inner vs 12 outer
+        assert s.outer_tile_updates == 3 * s.inner_tile_updates
+
+    def test_grid_with_no_inner_tiles(self):
+        g = center_pile(8, 8, 64)
+        s = SplitSyncStepper(g, 4)  # 2x2 tiles, all touch the border
+        drive(s)
+        assert s.inner_tile_updates == 0
+        assert g.is_stable()
+
+    def test_conservation(self):
+        g = center_pile(16, 16, 2000)
+        total0 = g.total_grains()
+        s = SplitSyncStepper(g, 4)
+        while s():
+            assert g.total_grains() + g.sink_absorbed == total0
+
+    def test_matches_plain_vec_step_by_step(self):
+        a = random_uniform(16, 16, max_grains=20, seed=4)
+        b = a.copy()
+        sa, sb = SyncVecStepper(a), SplitSyncStepper(b, 4)
+        for _ in range(50):
+            ca, cb = sa(), sb()
+            assert ca == cb
+            assert np.array_equal(a.interior, b.interior)
+            if not ca:
+                break

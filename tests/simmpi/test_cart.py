@@ -1,0 +1,129 @@
+"""Tests for the 2D Cartesian topology and halo exchange."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CommunicationError, ConfigurationError
+from repro.simmpi import run_ranks
+from repro.simmpi.cart import Cart2DHalo, CartComm, choose_dims
+
+
+class TestChooseDims:
+    @pytest.mark.parametrize("n,expected", [(1, (1, 1)), (4, (2, 2)), (6, (3, 2)),
+                                            (9, (3, 3)), (12, (4, 3)), (7, (7, 1))])
+    def test_most_square_factorisation(self, n, expected):
+        assert choose_dims(n) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            choose_dims(0)
+
+
+class TestCartComm:
+    def test_coords_roundtrip(self):
+        def body(comm):
+            cart = CartComm(comm, (2, 3))
+            row, col = cart.coords()
+            assert cart.rank_of(row, col) == comm.rank
+            return (row, col)
+
+        report = run_ranks(6, body)
+        assert report.results == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_neighbors_non_periodic(self):
+        def body(comm):
+            cart = CartComm(comm, (2, 2))
+            return (cart.north, cart.south, cart.west, cart.east)
+
+        report = run_ranks(4, body)
+        assert report.results[0] == (None, 2, None, 1)   # top-left
+        assert report.results[3] == (1, None, 2, None)   # bottom-right
+
+    def test_dims_must_tile(self):
+        def body(comm):
+            CartComm(comm, (2, 2))
+
+        with pytest.raises(CommunicationError):
+            run_ranks(3, body)
+
+    def test_block_bounds_cover_domain(self):
+        def body(comm):
+            cart = CartComm(comm, (2, 2))
+            return cart.block_bounds(10, 7)
+
+        report = run_ranks(4, body)
+        cells = set()
+        for (y0, y1), (x0, x1) in report.results:
+            for y in range(y0, y1):
+                for x in range(x0, x1):
+                    assert (y, x) not in cells
+                    cells.add((y, x))
+        assert len(cells) == 70
+
+
+class TestCart2DHalo:
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_halos_and_corners_filled(self, depth):
+        """4 ranks in a 2x2 grid, each block tagged with rank+1: after one
+        exchange, every halo band (and corner) holds the right tag."""
+
+        def body(comm):
+            k = depth
+            cart = CartComm(comm, (2, 2))
+            local = np.zeros((4 + 2 * k, 4 + 2 * k), dtype=np.int64)
+            local[k:-k, k:-k] = comm.rank + 1
+            Cart2DHalo(cart, depth=k).exchange(local)
+            return local
+
+        results = run_ranks(4, body).results
+        k = depth
+        # rank 0 (top-left): east halo from rank 1, south halo from rank 2,
+        # south-east corner from rank 3
+        r0 = results[0]
+        assert (r0[k:-k, -k:] == 2).all()
+        assert (r0[-k:, k:-k] == 3).all()
+        assert (r0[-k:, -k:] == 4).all()
+        # rank 3 (bottom-right): west from 3's west = rank 2+1=3, north from rank 1+1=2,
+        # north-west corner from rank 0+1=1
+        r3 = results[3]
+        assert (r3[k:-k, :k] == 3).all()
+        assert (r3[:k, k:-k] == 2).all()
+        assert (r3[:k, :k] == 1).all()
+
+    def test_outer_halos_untouched(self):
+        def body(comm):
+            cart = CartComm(comm, (2, 2))
+            local = np.full((6, 6), -7, dtype=np.int64)
+            local[1:-1, 1:-1] = comm.rank
+            Cart2DHalo(cart, depth=1).exchange(local)
+            return local
+
+        r0 = run_ranks(4, body).results[0]
+        # rank 0's north and west halos have no neighbour: stay -7
+        assert (r0[0, 1:-1] == -7).all()
+        assert (r0[1:-1, 0] == -7).all()
+
+    def test_single_rank_noop(self):
+        def body(comm):
+            cart = CartComm(comm, (1, 1))
+            local = np.full((5, 5), 3, dtype=np.int64)
+            ex = Cart2DHalo(cart)
+            ex.exchange(local)
+            return ex.exchanges
+
+        assert run_ranks(1, body).results == [1]
+
+    def test_too_small_block_rejected(self):
+        def body(comm):
+            cart = CartComm(comm, (1, 1))
+            Cart2DHalo(cart, depth=2).exchange(np.zeros((5, 5)))
+
+        with pytest.raises(CommunicationError):
+            run_ranks(1, body)
+
+    def test_depth_validated(self):
+        def body(comm):
+            Cart2DHalo(CartComm(comm, (1, 1)), depth=0)
+
+        with pytest.raises(CommunicationError):
+            run_ranks(1, body)

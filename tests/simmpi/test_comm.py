@@ -1,0 +1,233 @@
+"""Tests for point-to-point and collective communication."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CommunicationError
+from repro.simmpi import ANY_SOURCE, CostModel, run_ranks
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        report = run_ranks(2, body)
+        assert report.results[1] == {"a": 7, "b": 3.14}
+
+    def test_numpy_payload_copied(self):
+        def body(comm):
+            if comm.rank == 0:
+                data = np.arange(10)
+                comm.send(data, dest=1)
+                data[:] = -1  # mutation after send must not corrupt the message
+                return None
+            return comm.recv(source=0)
+
+        report = run_ranks(2, body)
+        assert np.array_equal(report.results[1], np.arange(10))
+
+    def test_tag_matching(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        report = run_ranks(2, body)
+        assert report.results[1] == ("first", "second")
+
+    def test_any_source(self):
+        def body(comm):
+            if comm.rank == 0:
+                got = {comm.recv(source=ANY_SOURCE, tag=5) for _ in range(comm.size - 1)}
+                return got
+            comm.send(comm.rank, dest=0, tag=5)
+            return None
+
+        report = run_ranks(4, body)
+        assert report.results[0] == {1, 2, 3}
+
+    def test_fifo_per_source_tag(self):
+        def body(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1, tag=0)
+                return None
+            return [comm.recv(source=0, tag=0) for _ in range(5)]
+
+        report = run_ranks(2, body)
+        assert report.results[1] == [0, 1, 2, 3, 4]
+
+    def test_invalid_dest(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=99)
+
+        with pytest.raises(CommunicationError):
+            run_ranks(2, body)
+
+    def test_sendrecv_exchange(self):
+        def body(comm):
+            other = 1 - comm.rank
+            return comm.sendrecv(f"from {comm.rank}", other, other)
+
+        report = run_ranks(2, body)
+        assert report.results[0] == "from 1"
+        assert report.results[1] == "from 0"
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def body(comm):
+            data = {"key": [1, 2, 3]} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        report = run_ranks(4, body)
+        assert all(r == {"key": [1, 2, 3]} for r in report.results)
+
+    def test_gather_ordered_by_rank(self):
+        def body(comm):
+            return comm.gather((comm.rank + 1) ** 2, root=0)
+
+        report = run_ranks(4, body)
+        assert report.results[0] == [1, 4, 9, 16]
+        assert all(r is None for r in report.results[1:])
+
+    def test_allgather(self):
+        def body(comm):
+            return comm.allgather(comm.rank * 10)
+
+        report = run_ranks(3, body)
+        assert all(r == [0, 10, 20] for r in report.results)
+
+    def test_scatter(self):
+        def body(comm):
+            objs = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        report = run_ranks(4, body)
+        assert report.results == [0, 1, 4, 9]
+
+    def test_scatter_wrong_length(self):
+        def body(comm):
+            objs = [1] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        with pytest.raises(CommunicationError):
+            run_ranks(2, body)
+
+    def test_reduce_sum(self):
+        def body(comm):
+            return comm.reduce(comm.rank + 1, root=0)
+
+        report = run_ranks(4, body)
+        assert report.results[0] == 10
+
+    def test_allreduce_custom_op(self):
+        def body(comm):
+            return comm.allreduce(comm.rank, op=max)
+
+        report = run_ranks(5, body)
+        assert all(r == 4 for r in report.results)
+
+    def test_barrier_aligns_clocks(self):
+        def body(comm):
+            comm.compute(float(comm.rank))  # rank r works r seconds
+            comm.barrier()
+            return comm.clock
+
+        report = run_ranks(4, body)
+        # all clocks equal after the barrier, and at least the slowest rank's work
+        assert len({round(c, 9) for c in report.results}) == 1
+        assert report.results[0] >= 3.0
+
+    def test_single_rank_collectives(self):
+        def body(comm):
+            assert comm.bcast("x") == "x"
+            assert comm.gather(1) == [1]
+            assert comm.allreduce(2) == 2
+            comm.barrier()
+            return "ok"
+
+        assert run_ranks(1, body).results == ["ok"]
+
+
+class TestVirtualTime:
+    def test_compute_advances_clock(self):
+        def body(comm):
+            comm.compute(2.5)
+            return comm.clock
+
+        assert run_ranks(1, body).results[0] == pytest.approx(2.5)
+
+    def test_negative_compute_rejected(self):
+        def body(comm):
+            comm.compute(-1.0)
+
+        with pytest.raises(CommunicationError):
+            run_ranks(1, body)
+
+    def test_recv_waits_for_arrival(self):
+        cm = CostModel(latency=1.0, bandwidth=1e9, overhead=0.0)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(b"x", dest=1)
+                return comm.clock
+            comm.recv(source=0)
+            return comm.clock
+
+        report = run_ranks(2, body, cost_model=cm)
+        assert report.results[1] >= 1.0  # receiver waited out the latency
+        assert report.results[0] < 1.0   # eager sender did not
+
+    def test_makespan_is_max_clock(self):
+        def body(comm):
+            comm.compute(comm.rank * 2.0)
+
+        report = run_ranks(3, body)
+        assert report.makespan == pytest.approx(4.0)
+
+
+class TestStats:
+    def test_message_and_byte_counters(self):
+        payload = np.zeros(128, dtype=np.int8)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(payload, dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+
+        report = run_ranks(2, body)
+        assert report.stats[0].messages_sent == 1
+        assert report.stats[0].bytes_sent == 128
+        assert report.stats[1].messages_received == 1
+        assert report.total_messages == 1
+        assert report.total_bytes == 128
+
+
+class TestFailures:
+    def test_rank_exception_propagates_with_rank(self):
+        def body(comm):
+            if comm.rank == 2:
+                raise ValueError("boom on 2")
+            # other ranks wait on a message that never comes
+            if comm.rank == 0:
+                comm.recv(source=2)
+
+        with pytest.raises(CommunicationError, match="rank 2"):
+            run_ranks(3, body)
+
+    def test_world_size_validated(self):
+        from repro.simmpi.comm import World
+
+        with pytest.raises(CommunicationError):
+            World(0)

@@ -1,0 +1,43 @@
+"""Tests for the simmpi cost model."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.costmodel import CostModel, payload_nbytes
+
+
+class TestCostModel:
+    def test_transfer_time_formula(self):
+        cm = CostModel(latency=1e-3, bandwidth=1e6)
+        assert cm.transfer_time(1_000_000) == pytest.approx(1e-3 + 1.0)
+
+    def test_zero_bytes_pays_latency(self):
+        cm = CostModel(latency=5e-6)
+        assert cm.transfer_time(0) == pytest.approx(5e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().transfer_time(-1)
+
+    def test_larger_messages_cost_more(self):
+        cm = CostModel()
+        assert cm.transfer_time(10**6) > cm.transfer_time(10**3)
+
+
+class TestPayloadNbytes:
+    def test_numpy_exact(self):
+        a = np.zeros(100, dtype=np.int64)
+        assert payload_nbytes(a) == 800
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_picklable_object(self):
+        assert payload_nbytes({"a": 1}) > 0
+
+    def test_unpicklable_falls_back(self):
+        assert payload_nbytes(lambda x: x) > 0
+
+    def test_view_counts_view_bytes(self):
+        a = np.zeros((10, 10), dtype=np.float64)
+        assert payload_nbytes(a[:2]) == 2 * 10 * 8

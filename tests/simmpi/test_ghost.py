@@ -1,0 +1,128 @@
+"""Tests for the Ghost Cell Pattern helper."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.simmpi import HaloExchanger, run_ranks, split_rows
+
+
+class TestSplitRows:
+    def test_even(self):
+        assert split_rows(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_front_loaded(self):
+        bounds = split_rows(10, 3)
+        sizes = [b - a for a, b in bounds]
+        assert sizes == [4, 3, 3]
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+
+    def test_contiguous(self):
+        bounds = split_rows(17, 5)
+        for (a0, b0), (a1, b1) in zip(bounds, bounds[1:]):
+            assert b0 == a1
+
+    def test_more_ranks_than_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_rows(2, 3)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_rows(5, 0)
+
+
+class TestHaloExchanger:
+    def _run_exchange(self, nranks, depth, rows_per_rank=4, cols=3):
+        """Each rank fills its owned rows with its rank id, exchanges once."""
+
+        def body(comm):
+            k = depth
+            local = np.zeros((rows_per_rank + 2 * k, cols), dtype=np.int64)
+            local[k:-k] = comm.rank + 1  # owned rows tagged by rank
+            ex = HaloExchanger(comm, depth=k)
+            ex.exchange(local)
+            return local
+
+        return run_ranks(nranks, body).results
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_ghosts_hold_neighbor_rows(self, depth):
+        locals_ = self._run_exchange(3, depth)
+        k = depth
+        # middle rank sees rank 0 above and rank 2 below
+        mid = locals_[1]
+        assert (mid[:k] == 1).all()      # from rank 0 (id 0+1)
+        assert (mid[-k:] == 3).all()     # from rank 2 (id 2+1)
+        # top rank's lower ghost from rank 1
+        assert (locals_[0][-k:] == 2).all()
+        # bottom rank's upper ghost from rank 1
+        assert (locals_[2][:k] == 2).all()
+
+    def test_edge_ghosts_untouched(self):
+        locals_ = self._run_exchange(2, 1)
+        # rank 0's top ghost and rank 1's bottom ghost have no neighbour:
+        # they keep their initial zeros
+        assert (locals_[0][:1] == 0).all()
+        assert (locals_[1][-1:] == 0).all()
+
+    def test_single_rank_noop(self):
+        locals_ = self._run_exchange(1, 1)
+        assert (locals_[0][:1] == 0).all() and (locals_[0][-1:] == 0).all()
+
+    def test_sends_owned_not_ghost_rows(self):
+        # depth 2: the neighbour must receive our *owned* boundary rows,
+        # not our ghosts
+        def body(comm):
+            k = 2
+            local = np.zeros((4 + 2 * k, 1), dtype=np.int64)
+            local[k:-k, 0] = np.arange(4) + 10 * (comm.rank + 1)
+            HaloExchanger(comm, depth=k).exchange(local)
+            return local
+
+        results = run_ranks(2, body).results
+        # rank 1's upper ghost = rank 0's bottom two owned rows (12, 13)
+        assert list(results[1][:2, 0]) == [12, 13]
+        # rank 0's lower ghost = rank 1's top two owned rows (20, 21)
+        assert list(results[0][-2:, 0]) == [20, 21]
+
+    def test_depth_validation(self):
+        def body(comm):
+            HaloExchanger(comm, depth=0)
+
+        from repro.common.errors import CommunicationError
+
+        with pytest.raises(CommunicationError):
+            run_ranks(1, body)
+
+    def test_too_small_block_rejected(self):
+        def body(comm):
+            local = np.zeros((2, 3))
+            HaloExchanger(comm, depth=1).exchange(local)
+
+        from repro.common.errors import CommunicationError
+
+        with pytest.raises(CommunicationError):
+            run_ranks(2, body)
+
+    def test_exchange_counter(self):
+        def body(comm):
+            local = np.zeros((6, 2))
+            ex = HaloExchanger(comm, depth=1)
+            ex.exchange(local)
+            ex.exchange(local)
+            return ex.exchanges
+
+        assert run_ranks(2, body).results == [2, 2]
+
+    def test_message_count_scales_with_exchanges_not_depth(self):
+        def run_with(depth, n_exchanges):
+            def body(comm):
+                local = np.zeros((8 + 2 * depth, 4))
+                ex = HaloExchanger(comm, depth=depth)
+                for _ in range(n_exchanges):
+                    ex.exchange(local)
+
+            return run_ranks(2, body).total_messages
+
+        assert run_with(1, 4) == run_with(4, 4)  # depth changes bytes, not messages
+        assert run_with(1, 8) == 2 * run_with(1, 4)

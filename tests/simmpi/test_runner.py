@@ -1,0 +1,62 @@
+"""Tests for the SPMD launcher."""
+
+import pytest
+
+from repro.common.errors import CommunicationError
+from repro.simmpi import CostModel, run_ranks
+
+
+class TestRunRanks:
+    def test_results_ordered_by_rank(self):
+        report = run_ranks(4, lambda comm: comm.rank * 2)
+        assert report.results == [0, 2, 4, 6]
+
+    def test_kwargs_forwarded(self):
+        def body(comm, a, b=0):
+            return a + b + comm.rank
+
+        report = run_ranks(2, body, 10, b=5)
+        assert report.results == [15, 16]
+
+    def test_stats_per_rank(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+
+        report = run_ranks(3, body)
+        assert len(report.stats) == 3
+        assert report.stats[2].messages_sent == 0
+
+    def test_custom_cost_model_used(self):
+        slow = CostModel(latency=2.0, bandwidth=1e9, overhead=0.0)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(b"x", dest=1)
+            else:
+                comm.recv(source=0)
+            return comm.clock
+
+        report = run_ranks(2, body, cost_model=slow)
+        assert report.clocks[1] >= 2.0
+
+    def test_non_communication_error_preferred(self):
+        # rank 1 raises ValueError; rank 0 gets a CommunicationError from
+        # the abort — the report must blame the root cause
+        def body(comm):
+            if comm.rank == 1:
+                raise ValueError("root cause")
+            comm.recv(source=1)
+
+        with pytest.raises(CommunicationError, match="rank 1"):
+            run_ranks(2, body)
+
+    def test_empty_world_rejected(self):
+        with pytest.raises(CommunicationError):
+            run_ranks(0, lambda comm: None)
+
+    def test_makespan_empty(self):
+        report = run_ranks(2, lambda comm: None)
+        assert report.makespan >= 0.0

@@ -1,0 +1,43 @@
+"""Tests for survey rendering."""
+
+from repro.surveys.data import BIG_DATA_SURVEY, TABLE_I
+from repro.surveys.render import render_bar_summary, render_table_i, survey_statistics
+
+
+class TestRenderTableI:
+    def test_layout_matches_paper(self):
+        out = render_table_i(TABLE_I)
+        assert "(n = 11)" in out
+        assert "How easy / difficult is the assignment?" in out
+        assert "somewhat easy" in out
+
+    def test_zero_rendered_as_dash(self):
+        out = render_table_i(TABLE_I)
+        difficult_line = next(l for l in out.splitlines() if "very difficult" in l)
+        assert difficult_line.rstrip().endswith("-")
+
+    def test_question_printed_once(self):
+        out = render_table_i(TABLE_I)
+        assert out.count("How easy / difficult is the assignment?") == 1
+
+
+class TestRenderBarSummary:
+    def test_bars_proportional(self):
+        out = render_bar_summary(BIG_DATA_SURVEY, width=14)
+        lines = out.splitlines()
+        reasonable = next(l for l in lines if "reasonable" in l)
+        difficult = next(l for l in lines if l.strip().startswith("difficult "))
+        assert reasonable.count("#") > difficult.count("#")
+
+    def test_source_shown(self):
+        assert "Jena" in render_bar_summary(BIG_DATA_SURVEY)
+
+
+class TestStatistics:
+    def test_mean_agreement(self):
+        stats = survey_statistics(TABLE_I)
+        assert 0.0 < stats["__mean__"] <= 1.0
+
+    def test_per_question_keys(self):
+        stats = survey_statistics(TABLE_I)
+        assert len(stats) == len(TABLE_I.questions) + 1

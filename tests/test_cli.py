@@ -1,0 +1,92 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import carbon_main, sandpile_main, stripes_main
+
+
+class TestSandpileCli:
+    def test_default_run(self, capsys):
+        rc = sandpile_main(["--size", "32", "--grains", "500", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stable after" in out
+
+    def test_lazy_reports_savings(self, capsys):
+        rc = sandpile_main(["--size", "64", "--config", "sparse", "--variant", "lazy", "--quiet"])
+        assert rc == 0
+        assert "lazy savings" in capsys.readouterr().out
+
+    def test_async_kernel(self, capsys):
+        rc = sandpile_main(["--size", "32", "--kernel", "asandpile", "--variant", "tiled",
+                            "--grains", "500", "--quiet"])
+        assert rc == 0
+
+    def test_unknown_variant_exits_2(self, capsys):
+        rc = sandpile_main(["--variant", "quantum"])
+        assert rc == 2
+        assert "unknown variant" in capsys.readouterr().err
+
+    def test_ppm_output(self, tmp_path, capsys):
+        ppm = tmp_path / "out.ppm"
+        rc = sandpile_main(["--size", "16", "--grains", "100", "--quiet", "--ppm", str(ppm)])
+        assert rc == 0
+        assert ppm.read_bytes().startswith(b"P6\n")
+
+    def test_ascii_render_shown_by_default(self, capsys):
+        sandpile_main(["--size", "16", "--grains", "64"])
+        out = capsys.readouterr().out
+        assert "\n" in out.strip()
+
+
+class TestStripesCli:
+    def test_default_run(self, capsys):
+        rc = stripes_main(["--first-year", "2000", "--last-year", "2010"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reference mean" in out
+        assert "all 11 years complete" in out
+
+    def test_missing_winter_flagged(self, capsys):
+        rc = stripes_main(["--first-year", "2010", "--last-year", "2020",
+                           "--missing-winter", "2020"])
+        assert rc == 0
+        assert "2020" in capsys.readouterr().out
+
+    def test_cluster_flag(self, capsys):
+        rc = stripes_main(["--first-year", "2000", "--last-year", "2003", "--cluster"])
+        assert rc == 0
+
+    def test_ppm_output(self, tmp_path, capsys):
+        ppm = tmp_path / "stripes.ppm"
+        rc = stripes_main(["--first-year", "2000", "--last-year", "2005", "--ppm", str(ppm)])
+        assert rc == 0
+        assert ppm.exists()
+
+
+@pytest.mark.slow
+class TestCarbonCli:
+    def test_tab1(self, capsys):
+        rc = carbon_main(["--tab", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Q1:" in out
+        assert "heuristic" in out
+
+    def test_tab2(self, capsys):
+        rc = carbon_main(["--tab", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all-local" in out and "all-cloud" in out
+
+
+@pytest.mark.slow
+class TestCarbonAnswerKey:
+    def test_answer_key_covers_both_tabs(self, capsys):
+        rc = carbon_main(["--answer-key"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ANSWER KEY" in out
+        assert "TAB 1" in out and "TAB 2" in out
+        assert "Reference optimum" in out
+        assert "Q3-5 reference optimum" in out

@@ -1,0 +1,111 @@
+"""Tests for post-simulation execution analysis."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.analysis import bounds, level_gantt_ascii, level_timeline, utilization
+from repro.wrench.platform import make_platform
+from repro.wrench.simulation import simulate
+from repro.wrench.workflow import Task, Workflow, WorkflowFile, montage_workflow
+
+
+@pytest.fixture(scope="module")
+def executed():
+    wf = montage_workflow(n_projections=8, n_difffits=12, gflop_scale=5)
+    plat = make_platform(cluster_nodes=4, cluster_pstate=6)
+    return wf, plat, simulate(wf, plat)
+
+
+class TestLevelTimeline:
+    def test_one_row_per_level(self, executed):
+        wf, _, result = executed
+        rows = level_timeline(result)
+        assert len(rows) == wf.depth
+        assert [r.level for r in rows] == list(range(wf.depth))
+
+    def test_levels_ordered_in_time(self, executed):
+        _, _, result = executed
+        rows = level_timeline(result)
+        for a, b in zip(rows, rows[1:]):
+            assert b.end >= a.start  # later levels cannot finish before earlier start
+        # level 1 depends on level 0: it cannot *end* before level 0 ends
+        assert rows[1].end >= rows[0].end
+
+    def test_task_counts(self, executed):
+        wf, _, result = executed
+        rows = level_timeline(result)
+        assert [r.tasks for r in rows] == [len(wf.level_tasks(lv)) for lv in range(wf.depth)]
+
+    def test_span_positive(self, executed):
+        _, _, result = executed
+        for r in level_timeline(result):
+            assert r.span >= 0
+            assert r.compute_time > 0
+
+
+class TestUtilization:
+    def test_in_unit_interval(self, executed):
+        _, plat, result = executed
+        u = utilization(result, plat)
+        assert 0.0 < u <= 1.0
+
+    def test_serial_chain_utilization_one_over_n(self):
+        wf = Workflow()
+        prev = None
+        for i in range(3):
+            inputs = (prev,) if prev else ()
+            out = WorkflowFile(f"f{i}", 1)
+            wf.add_task(Task(f"T{i}", 1e9, inputs=inputs, outputs=(out,)))
+            prev = out
+        plat = make_platform(cluster_nodes=4, cluster_pstate=6)
+        result = simulate(wf, plat)
+        u = utilization(result, plat)
+        assert u == pytest.approx(0.25, rel=1e-6)  # 1 of 4 nodes busy
+
+    def test_empty_platform_rejected(self, executed):
+        _, _, result = executed
+        plat = make_platform(cluster_nodes=0, cluster_pstate=0)
+        with pytest.raises(ConfigurationError):
+            utilization(result, plat)
+
+
+class TestBounds:
+    def test_achieved_at_least_lower_bound(self, executed):
+        wf, plat, result = executed
+        b = bounds(result, wf, plat)
+        assert b.achieved >= b.critical_path - 1e-9
+        assert b.achieved >= b.work_bound - 1e-9
+        assert b.optimality_gap >= -1e-9
+
+    def test_single_task_tight(self):
+        wf = Workflow()
+        wf.add_task(Task("only", 5e9))
+        plat = make_platform(cluster_nodes=2, cluster_pstate=6)
+        result = simulate(wf, plat)
+        b = bounds(result, wf, plat)
+        assert b.achieved == pytest.approx(b.critical_path)
+        assert b.optimality_gap == pytest.approx(0.0)
+
+    def test_perfectly_parallel_work_bound_tight(self):
+        wf = Workflow()
+        for i in range(8):
+            wf.add_task(Task(f"T{i}", 1e9, outputs=(WorkflowFile(f"f{i}", 1),)))
+        plat = make_platform(cluster_nodes=4, cluster_pstate=6)
+        result = simulate(wf, plat)
+        b = bounds(result, wf, plat)
+        assert b.achieved == pytest.approx(b.work_bound, rel=1e-6)
+
+
+class TestGantt:
+    def test_renders_all_levels(self, executed):
+        wf, _, result = executed
+        out = level_gantt_ascii(result)
+        for lv in range(wf.depth):
+            assert f"L{lv} " in out
+        assert "#" in out
+
+    def test_empty(self):
+        from repro.wrench.simulation import SimulationResult
+
+        empty = SimulationResult(0.0, [], {}, {}, 0.0, 0.0)
+        assert "empty" in level_gantt_ascii(empty)

@@ -1,0 +1,117 @@
+"""Tests for task-failure injection in the workflow simulator."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.platform import make_platform
+from repro.wrench.simulation import FaultModel, simulate
+from repro.wrench.workflow import montage_workflow
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return montage_workflow(n_projections=8, n_difffits=12, gflop_scale=5)
+
+
+def plat():
+    return make_platform(cluster_nodes=4, cluster_pstate=6)
+
+
+class TestFaultModelValidation:
+    @pytest.mark.parametrize("kw", [
+        {"failure_prob": 1.0},
+        {"failure_prob": -0.1},
+        {"max_attempts": 0},
+        {"detect_factor": 0.0},
+        {"detect_factor": 1.5},
+    ])
+    def test_invalid(self, kw):
+        with pytest.raises(ConfigurationError):
+            FaultModel(**kw)
+
+    def test_final_attempt_never_fails(self):
+        fm = FaultModel(failure_prob=0.9, max_attempts=3, seed=1)
+        assert fm.attempt_fails("t", 3) is False
+
+    def test_draws_deterministic(self):
+        fm = FaultModel(failure_prob=0.5, seed=2)
+        assert fm.attempt_fails("x", 1) == fm.attempt_fails("x", 1)
+
+
+class TestFaultyExecution:
+    def test_all_tasks_eventually_complete(self, wf):
+        res = simulate(wf, plat(), fault_model=FaultModel(failure_prob=0.3, seed=3))
+        succeeded = {e.task for e in res.executions if not e.failed}
+        assert succeeded == {t.name for t in wf.tasks}
+        assert res.failures > 0
+
+    def test_no_faults_without_model(self, wf):
+        res = simulate(wf, plat())
+        assert res.failures == 0
+        assert len(res.executions) == len(wf)
+
+    def test_failures_slow_the_run(self, wf):
+        clean = simulate(wf, plat()).makespan
+        faulty = simulate(
+            wf, plat(), fault_model=FaultModel(failure_prob=0.4, seed=1)
+        ).makespan
+        assert faulty > clean
+
+    def test_retry_attempts_numbered(self, wf):
+        res = simulate(wf, plat(), fault_model=FaultModel(failure_prob=0.4, seed=5))
+        by_task: dict[str, list] = {}
+        for e in res.executions:
+            by_task.setdefault(e.task, []).append(e)
+        for name, attempts in by_task.items():
+            attempts.sort(key=lambda e: e.attempt)
+            assert [e.attempt for e in attempts] == list(range(1, len(attempts) + 1))
+            # all but the last attempt failed; the last succeeded
+            assert all(e.failed for e in attempts[:-1])
+            assert not attempts[-1].failed
+
+    def test_retry_starts_after_failure_detected(self, wf):
+        res = simulate(wf, plat(), fault_model=FaultModel(failure_prob=0.4, seed=5))
+        by_task: dict[str, list] = {}
+        for e in res.executions:
+            by_task.setdefault(e.task, []).append(e)
+        for attempts in by_task.values():
+            attempts.sort(key=lambda e: e.attempt)
+            for a, b in zip(attempts, attempts[1:]):
+                assert b.start >= a.end - 1e-9
+
+    def test_deterministic(self, wf):
+        fm = FaultModel(failure_prob=0.3, seed=7)
+        r1 = simulate(wf, plat(), fault_model=fm)
+        r2 = simulate(wf, plat(), fault_model=fm)
+        assert r1.makespan == r2.makespan
+        assert r1.failures == r2.failures
+
+    def test_dependencies_still_respected(self, wf):
+        res = simulate(wf, plat(), fault_model=FaultModel(failure_prob=0.3, seed=9))
+        ends = {e.task: e.end for e in res.executions if not e.failed}
+        starts = {}
+        for e in res.executions:
+            starts.setdefault(e.task, e.start)
+            starts[e.task] = min(starts[e.task], e.start)
+        for t in wf.tasks:
+            for parent in wf.parents(t.name):
+                assert starts[t.name] >= ends[parent] - 1e-9 or any(
+                    e.task == t.name and e.failed for e in res.executions
+                )
+        # strong form: first *successful* start after parent's success
+        first_success = {
+            e.task: e.start for e in sorted(res.executions, key=lambda e: e.start)
+            if not e.failed
+        }
+        for t in wf.tasks:
+            for parent in wf.parents(t.name):
+                assert first_success[t.name] >= ends[parent] - 1e-9
+
+    def test_failed_attempts_burn_energy(self, wf):
+        clean = simulate(wf, plat())
+        faulty = simulate(wf, plat(), fault_model=FaultModel(failure_prob=0.4, seed=2))
+        assert faulty.total_energy > clean.total_energy
+
+    def test_site_counts_exclude_failures(self, wf):
+        res = simulate(wf, plat(), fault_model=FaultModel(failure_prob=0.4, seed=2))
+        assert sum(res.site_task_counts().values()) == len(wf)

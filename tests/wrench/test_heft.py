@@ -1,0 +1,129 @@
+"""Tests for the HEFT placement heuristics."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.heft import heft_placement, upward_ranks
+from repro.wrench.platform import CLOUD, LOCAL, make_platform
+from repro.wrench.scheduler import place_all
+from repro.wrench.simulation import simulate
+from repro.wrench.workflow import Task, Workflow, WorkflowFile, montage_workflow
+
+
+@pytest.fixture(scope="module")
+def small_montage():
+    return montage_workflow(n_projections=12, n_difffits=20, gflop_scale=10)
+
+
+def two_site_platform():
+    return make_platform(
+        cluster_nodes=4, cluster_pstate=6, cloud_vms=4,
+        link_bandwidth=50e6, link_latency=0.05,
+    )
+
+
+class TestUpwardRanks:
+    def test_exit_task_rank_is_own_compute(self):
+        wf = Workflow()
+        wf.add_task(Task("only", 2e9))
+        ranks = upward_ranks(wf, avg_speed=1e9, avg_bandwidth=1e9)
+        assert ranks["only"] == pytest.approx(2.0)
+
+    def test_rank_decreases_along_chain(self):
+        wf = Workflow()
+        f1, f2 = WorkflowFile("f1", 100), WorkflowFile("f2", 100)
+        wf.add_task(Task("A", 1e9, outputs=(f1,)))
+        wf.add_task(Task("B", 1e9, inputs=(f1,), outputs=(f2,)))
+        wf.add_task(Task("C", 1e9, inputs=(f2,)))
+        ranks = upward_ranks(wf, 1e9, 1e9)
+        assert ranks["A"] > ranks["B"] > ranks["C"]
+
+    def test_entry_rank_is_critical_path(self):
+        wf = Workflow()
+        f1 = WorkflowFile("f1", 0)
+        wf.add_task(Task("A", 1e9, outputs=(f1,)))
+        wf.add_task(Task("B", 3e9, inputs=(f1,)))
+        ranks = upward_ranks(wf, 1e9, 1e9)
+        assert ranks["A"] == pytest.approx(4.0)
+
+    def test_validation(self, small_montage):
+        with pytest.raises(ConfigurationError):
+            upward_ranks(small_montage, 0.0, 1e9)
+
+
+class TestHeftPlacement:
+    def test_every_task_placed_on_real_site(self, small_montage):
+        placement = heft_placement(small_montage, two_site_platform())
+        assert set(placement) == {t.name for t in small_montage.tasks}
+        assert set(placement.values()) <= {LOCAL, CLOUD}
+
+    def test_placement_simulates_successfully(self, small_montage):
+        plat = two_site_platform()
+        placement = heft_placement(small_montage, plat)
+        res = simulate(small_montage, two_site_platform(), placement)
+        assert res.makespan > 0
+
+    def test_beats_both_pure_placements_when_sites_balanced(self):
+        # a slow local cluster and a comparable cloud: mixing must win
+        wf = montage_workflow(n_projections=12, n_difffits=20, gflop_scale=20)
+
+        def plat():
+            return make_platform(
+                cluster_nodes=3, cluster_pstate=0, cloud_vms=3,
+                link_bandwidth=100e6, link_latency=0.02,
+            )
+
+        heft_time = simulate(wf, plat(), heft_placement(wf, plat())).makespan
+        local_time = simulate(wf, plat(), place_all(wf, LOCAL)).makespan
+        cloud_time = simulate(wf, plat(), place_all(wf, CLOUD)).makespan
+        assert heft_time < local_time
+        assert heft_time < cloud_time
+
+    def test_near_optimal_when_one_site_dominates(self, small_montage):
+        # a fast local cluster the cloud cannot help: HEFT must not fall
+        # far behind the obvious all-local schedule (its plan-time model
+        # is first-order, so a modest gap is tolerated), and must beat
+        # the wrong pure choice comfortably
+        placement = heft_placement(small_montage, two_site_platform())
+        heft_time = simulate(small_montage, two_site_platform(), placement).makespan
+        local_time = simulate(
+            small_montage, two_site_platform(), place_all(small_montage, LOCAL)
+        ).makespan
+        cloud_time = simulate(
+            small_montage, two_site_platform(), place_all(small_montage, CLOUD)
+        ).makespan
+        assert heft_time < cloud_time
+        assert heft_time < 1.5 * local_time
+
+    def test_uses_both_sites_when_profitable(self, small_montage):
+        placement = heft_placement(small_montage, two_site_platform())
+        assert set(placement.values()) == {LOCAL, CLOUD}
+
+    def test_single_site_platform_all_there(self, small_montage):
+        plat = make_platform(cluster_nodes=4, cluster_pstate=6, cloud_vms=0)
+        placement = heft_placement(small_montage, plat)
+        assert set(placement.values()) == {LOCAL}
+
+    def test_co2_objective_prefers_green_site(self, small_montage):
+        # with generous slack, the co2 objective shifts work cloudwards
+        time_p = heft_placement(small_montage, two_site_platform(), objective="makespan")
+        co2_p = heft_placement(
+            small_montage, two_site_platform(), objective="co2", co2_slack=3.0
+        )
+        cloud_time = sum(1 for s in time_p.values() if s == CLOUD)
+        cloud_co2 = sum(1 for s in co2_p.values() if s == CLOUD)
+        assert cloud_co2 >= cloud_time
+
+    def test_unknown_objective_rejected(self, small_montage):
+        with pytest.raises(ConfigurationError):
+            heft_placement(small_montage, two_site_platform(), objective="joy")
+
+    def test_empty_platform_rejected(self, small_montage):
+        plat = make_platform(cluster_nodes=0, cluster_pstate=0, cloud_vms=0)
+        with pytest.raises(ConfigurationError):
+            heft_placement(small_montage, plat)
+
+    def test_deterministic(self, small_montage):
+        a = heft_placement(small_montage, two_site_platform())
+        b = heft_placement(small_montage, two_site_platform())
+        assert a == b

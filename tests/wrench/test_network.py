@@ -1,0 +1,56 @@
+"""Tests for the FCFS shared link."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.network import Link
+
+
+class TestTransfer:
+    def test_duration(self):
+        link = Link(bandwidth=1e6, latency=0.5)
+        end = link.transfer("f", 1e6, now=0.0, src="local", dst="cloud")
+        assert end == pytest.approx(0.5 + 1.0)
+
+    def test_fcfs_serialisation(self):
+        link = Link(bandwidth=1e6, latency=0.0)
+        e1 = link.transfer("a", 1e6, now=0.0, src="l", dst="c")
+        e2 = link.transfer("b", 1e6, now=0.0, src="l", dst="c")
+        assert e1 == pytest.approx(1.0)
+        assert e2 == pytest.approx(2.0)  # queued behind the first
+
+    def test_idle_gap_respected(self):
+        link = Link(bandwidth=1e6, latency=0.0)
+        link.transfer("a", 1e6, now=0.0, src="l", dst="c")
+        end = link.transfer("b", 1e6, now=10.0, src="l", dst="c")
+        assert end == pytest.approx(11.0)  # starts at now, not busy_until
+
+    def test_records(self):
+        link = Link(bandwidth=1e6)
+        link.transfer("f1", 500, now=0.0, src="l", dst="c")
+        link.transfer("f2", 700, now=1.0, src="c", dst="l")
+        assert link.total_bytes == pytest.approx(1200)
+        assert len(link.records) == 2
+        assert link.records[1].src == "c"
+
+    def test_busy_time(self):
+        link = Link(bandwidth=1e3, latency=0.0)
+        link.transfer("f", 1e3, now=0.0, src="a", dst="b")
+        assert link.busy_time == pytest.approx(1.0)
+
+    def test_reset(self):
+        link = Link()
+        link.transfer("f", 100, now=0.0, src="a", dst="b")
+        link.reset()
+        assert link.busy_until == 0.0
+        assert link.records == []
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Link().transfer("f", -1, now=0.0, src="a", dst="b")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Link(bandwidth=0.0)
+        with pytest.raises(ConfigurationError):
+            Link(latency=-1.0)

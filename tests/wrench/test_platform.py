@@ -1,0 +1,73 @@
+"""Tests for platform assembly."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.platform import (
+    CLOUD,
+    LOCAL,
+    make_cloud_site,
+    make_cluster_site,
+    make_platform,
+)
+
+
+class TestClusterSite:
+    def test_node_count_and_pstate(self):
+        site = make_cluster_site(8, 3)
+        assert site.n_resources == 8
+        assert all(r.pstate.index == 3 for r in site.resources)
+        assert site.carbon_intensity == 291.0
+
+    def test_zero_nodes_allowed(self):
+        assert make_cluster_site(0, 0).n_resources == 0
+
+    def test_bad_pstate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster_site(4, 7)  # only 0..6 exist
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster_site(-1, 0)
+
+    def test_homogeneous(self):
+        site = make_cluster_site(4, 2)
+        speeds = {r.speed for r in site.resources}
+        assert len(speeds) == 1
+
+
+class TestCloudSite:
+    def test_vm_count(self):
+        site = make_cloud_site(16)
+        assert site.n_resources == 16
+        assert site.name == CLOUD
+
+    def test_green_intensity_default(self):
+        assert make_cloud_site(1).carbon_intensity < 50.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cloud_site(-1)
+
+
+class TestPlatform:
+    def test_two_sites(self):
+        p = make_platform(cluster_nodes=4, cluster_pstate=6, cloud_vms=2)
+        assert set(p.sites) == {LOCAL, CLOUD}
+        assert len(p.all_resources()) == 6
+
+    def test_unknown_site_lookup(self):
+        p = make_platform(cluster_nodes=1, cluster_pstate=0)
+        with pytest.raises(ConfigurationError):
+            p.site("mars")
+
+    def test_link_parameters(self):
+        p = make_platform(cluster_nodes=1, cluster_pstate=0, link_bandwidth=5e6, link_latency=0.2)
+        assert p.link.bandwidth == 5e6
+        assert p.link.latency == 0.2
+
+    def test_negative_intensity_rejected(self):
+        from repro.wrench.platform import Site
+
+        with pytest.raises(ConfigurationError):
+            Site(name="x", carbon_intensity=-1.0)

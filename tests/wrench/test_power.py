@@ -1,0 +1,66 @@
+"""Tests for the DVFS power model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.power import PowerModel, PState, default_pstates
+
+
+class TestPState:
+    def test_valid(self):
+        PState(0, 1e9, busy_power=100.0, idle_power=50.0)
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PState(0, 0.0, 100.0, 50.0)
+
+    def test_busy_below_idle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PState(0, 1e9, 40.0, 50.0)
+
+
+class TestPowerModel:
+    def test_seven_pstates_default(self):
+        states = default_pstates()
+        assert len(states) == 7
+        assert [s.index for s in states] == list(range(7))
+
+    def test_speed_increases_with_index(self):
+        states = default_pstates()
+        speeds = [s.speed for s in states]
+        assert speeds == sorted(speeds)
+        assert speeds[-1] == pytest.approx(PowerModel().base_speed)
+
+    def test_lowest_state_at_min_frequency(self):
+        pm = PowerModel(min_frequency=0.4)
+        assert pm.pstates()[0].speed == pytest.approx(0.4 * pm.base_speed)
+
+    def test_busy_power_cubic(self):
+        pm = PowerModel(idle_watts=0.0, dynamic_watts=100.0, min_frequency=0.5, n_pstates=2)
+        lo, hi = pm.pstates()
+        assert hi.busy_power == pytest.approx(100.0)
+        assert lo.busy_power == pytest.approx(100.0 * 0.5**3)
+
+    def test_idle_power_constant(self):
+        states = default_pstates()
+        assert len({s.idle_power for s in states}) == 1
+
+    def test_energy_efficiency_tradeoff(self):
+        # flops per joule while busy must IMPROVE at lower p-states —
+        # the physical fact behind the downclocking option
+        states = default_pstates()
+        eff = [s.speed / s.busy_power for s in states]
+        assert eff[0] > eff[-1]
+
+    def test_single_pstate(self):
+        states = PowerModel(n_pstates=1).pstates()
+        assert len(states) == 1
+        assert states[0].speed == pytest.approx(PowerModel().base_speed)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(n_pstates=0)
+        with pytest.raises(ConfigurationError):
+            PowerModel(min_frequency=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel(min_frequency=1.5)

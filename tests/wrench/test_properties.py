@@ -1,0 +1,113 @@
+"""Property-based tests for the workflow simulator on random DAGs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wrench.platform import CLOUD, LOCAL, make_platform
+from repro.wrench.scheduler import place_level_fractions
+from repro.wrench.simulation import simulate
+from repro.wrench.workflow import Task, Workflow, WorkflowFile
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@st.composite
+def random_workflows(draw):
+    """Layered random DAGs: up to 4 levels of up to 4 tasks; each task
+    consumes a random subset of the previous level's outputs."""
+    n_levels = draw(st.integers(1, 4))
+    wf = Workflow("random")
+    prev_outputs: list[WorkflowFile] = []
+    uid = 0
+    for lv in range(n_levels):
+        width = draw(st.integers(1, 4))
+        new_outputs = []
+        for i in range(width):
+            inputs = tuple(
+                f for f in prev_outputs if draw(st.booleans())
+            )
+            out = WorkflowFile(f"f{uid}", draw(st.floats(0.0, 1e6)))
+            uid += 1
+            flops = draw(st.floats(1e6, 5e9))
+            wf.add_task(Task(f"t{lv}_{i}", flops, inputs=inputs, outputs=(out,)))
+            new_outputs.append(out)
+        prev_outputs = new_outputs
+    return wf
+
+
+@given(wf=random_workflows(), nodes=st.integers(1, 6))
+@settings(**SETTINGS)
+def test_all_tasks_run_dependencies_respected(wf, nodes):
+    plat = make_platform(cluster_nodes=nodes, cluster_pstate=6)
+    res = simulate(wf, plat)
+    executed = {e.task for e in res.executions}
+    assert executed == {t.name for t in wf.tasks}
+    starts = {e.task: e.start for e in res.executions}
+    ends = {e.task: e.end for e in res.executions}
+    for t in wf.tasks:
+        for parent in wf.parents(t.name):
+            assert starts[t.name] >= ends[parent] - 1e-9
+
+
+@given(wf=random_workflows(), nodes=st.integers(1, 4))
+@settings(**SETTINGS)
+def test_energy_and_co2_positive_and_consistent(wf, nodes):
+    plat = make_platform(cluster_nodes=nodes, cluster_pstate=3)
+    res = simulate(wf, plat)
+    assert res.total_energy >= 0
+    assert res.total_co2 >= 0
+    if res.makespan > 0:
+        # energy at least idle floor, at most busy ceiling
+        site = plat.site(LOCAL)
+        idle_floor = nodes * site.resources[0].pstate.idle_power * res.makespan
+        busy_ceiling = nodes * site.resources[0].pstate.busy_power * res.makespan
+        assert idle_floor - 1e-6 <= res.energy_joules[LOCAL] <= busy_ceiling + 1e-6
+
+
+@given(wf=random_workflows())
+@settings(**SETTINGS)
+def test_more_nodes_never_slower(wf):
+    t2 = simulate(wf, make_platform(cluster_nodes=2, cluster_pstate=6)).makespan
+    t4 = simulate(wf, make_platform(cluster_nodes=4, cluster_pstate=6)).makespan
+    assert t4 <= t2 + 1e-9
+
+
+@given(wf=random_workflows())
+@settings(**SETTINGS)
+def test_makespan_at_least_critical_path_seconds(wf):
+    plat = make_platform(cluster_nodes=8, cluster_pstate=6)
+    speed = plat.site(LOCAL).resources[0].speed
+    res = simulate(wf, plat)
+    assert res.makespan >= wf.critical_path_flops() / speed - 1e-9
+
+
+@given(wf=random_workflows(), frac=st.floats(0.0, 1.0))
+@settings(**SETTINGS)
+def test_two_site_placement_runs_everything(wf, frac):
+    plat = make_platform(cluster_nodes=2, cluster_pstate=6, cloud_vms=2)
+    placement = place_level_fractions(wf, {0: frac})
+    res = simulate(wf, plat, placement)
+    assert len(res.executions) == len(wf)
+    counts = res.site_task_counts()
+    assert counts.get(LOCAL, 0) + counts.get(CLOUD, 0) == len(wf)
+
+
+@given(wf=random_workflows())
+@settings(**SETTINGS)
+def test_simulation_deterministic(wf):
+    r1 = simulate(wf, make_platform(cluster_nodes=3, cluster_pstate=6))
+    r2 = simulate(wf, make_platform(cluster_nodes=3, cluster_pstate=6))
+    assert r1.makespan == r2.makespan
+    assert [e.task for e in r1.executions] == [e.task for e in r2.executions]
+
+
+@given(wf=random_workflows())
+@settings(**SETTINGS)
+def test_json_roundtrip_simulates_identically(wf):
+    from repro.wrench.workflow import Workflow
+
+    clone = Workflow.from_dict(wf.to_dict())
+    r1 = simulate(wf, make_platform(cluster_nodes=2, cluster_pstate=6))
+    r2 = simulate(clone, make_platform(cluster_nodes=2, cluster_pstate=6))
+    assert np.isclose(r1.makespan, r2.makespan)

@@ -1,0 +1,81 @@
+"""Tests for placement policies."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.platform import CLOUD, LOCAL
+from repro.wrench.scheduler import (
+    describe_placement,
+    place_all,
+    place_level_fractions,
+    place_levels,
+)
+from repro.wrench.workflow import montage_workflow
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return montage_workflow(n_projections=8, n_difffits=12)
+
+
+class TestPlaceAll:
+    def test_everything_on_site(self, wf):
+        p = place_all(wf, CLOUD)
+        assert len(p) == len(wf)
+        assert set(p.values()) == {CLOUD}
+
+
+class TestPlaceLevels:
+    def test_selected_levels_cloud(self, wf):
+        p = place_levels(wf, {0, 4})
+        levels = wf.levels()
+        for name, site in p.items():
+            assert site == (CLOUD if levels[name] in (0, 4) else LOCAL)
+
+    def test_empty_set_all_local(self, wf):
+        assert set(place_levels(wf, set()).values()) == {LOCAL}
+
+
+class TestPlaceLevelFractions:
+    def test_rounding(self, wf):
+        p = place_level_fractions(wf, {0: 0.5})
+        cloud_l0 = [n for n, s in p.items() if s == CLOUD]
+        assert len(cloud_l0) == 4  # half of 8 projections
+
+    def test_zero_fraction_all_local(self, wf):
+        p = place_level_fractions(wf, {0: 0.0})
+        assert set(p.values()) == {LOCAL}
+
+    def test_full_fraction_whole_level(self, wf):
+        p = place_level_fractions(wf, {1: 1.0})
+        levels = wf.levels()
+        for name, site in p.items():
+            if levels[name] == 1:
+                assert site == CLOUD
+
+    def test_deterministic_name_order(self, wf):
+        p = place_level_fractions(wf, {0: 0.25})
+        cloud = sorted(n for n, s in p.items() if s == CLOUD)
+        assert cloud == ["mProject_0000", "mProject_0001"]
+
+    def test_all_tasks_placed(self, wf):
+        p = place_level_fractions(wf, {0: 0.3, 4: 0.7})
+        assert len(p) == len(wf)
+
+    def test_invalid_fraction_rejected(self, wf):
+        with pytest.raises(ConfigurationError):
+            place_level_fractions(wf, {0: 1.5})
+
+    def test_unknown_level_rejected(self, wf):
+        with pytest.raises(ConfigurationError):
+            place_level_fractions(wf, {99: 0.5})
+
+
+class TestDescribe:
+    def test_all_local(self, wf):
+        assert describe_placement(wf, place_all(wf, LOCAL)) == "all local"
+
+    def test_fraction_summary(self, wf):
+        p = place_level_fractions(wf, {0: 0.5})
+        desc = describe_placement(wf, p)
+        assert "L0" in desc and "50%" in desc and "(4/8)" in desc

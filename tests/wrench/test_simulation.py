@@ -1,0 +1,209 @@
+"""Tests for the discrete-event execution engine."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import grams_co2e
+from repro.wrench.platform import CLOUD, LOCAL, make_platform
+from repro.wrench.power import PowerModel
+from repro.wrench.scheduler import place_all, place_levels
+from repro.wrench.simulation import simulate
+from repro.wrench.workflow import Task, Workflow, WorkflowFile, montage_workflow
+
+
+def single_task_workflow(flops=1e9, in_bytes=0.0):
+    wf = Workflow("one")
+    inputs = (WorkflowFile("in", in_bytes),) if in_bytes else ()
+    wf.add_task(Task("T", flops, inputs=inputs, outputs=(WorkflowFile("out", 10),)))
+    return wf
+
+
+def chain_workflow(n=3, flops=1e9):
+    wf = Workflow("chain")
+    prev = None
+    for i in range(n):
+        inputs = (prev,) if prev is not None else ()
+        out = WorkflowFile(f"f{i}", 100)
+        wf.add_task(Task(f"T{i}", flops, inputs=inputs, outputs=(out,)))
+        prev = out
+    return wf
+
+
+def fan_workflow(n=8, flops=1e9):
+    wf = Workflow("fan")
+    for i in range(n):
+        wf.add_task(Task(f"T{i}", flops, outputs=(WorkflowFile(f"f{i}", 10),)))
+    return wf
+
+
+class TestClosedForms:
+    """Single-task runs have exact closed-form time/energy."""
+
+    def test_compute_time(self):
+        pm = PowerModel(base_speed=1e9)
+        plat = make_platform(cluster_nodes=1, cluster_pstate=6, power_model=pm)
+        res = simulate(single_task_workflow(flops=2e9), plat)
+        assert res.makespan == pytest.approx(2.0)
+
+    def test_energy_busy_only_node(self):
+        pm = PowerModel(base_speed=1e9, idle_watts=50.0, dynamic_watts=100.0)
+        plat = make_platform(cluster_nodes=1, cluster_pstate=6, power_model=pm)
+        res = simulate(single_task_workflow(flops=1e9), plat)
+        # 1 second at busy power (idle 50 + dynamic 100 at f=1)
+        assert res.energy_joules[LOCAL] == pytest.approx(150.0)
+
+    def test_co2_from_energy(self):
+        pm = PowerModel(base_speed=1e9, idle_watts=50.0, dynamic_watts=100.0)
+        plat = make_platform(cluster_nodes=1, cluster_pstate=6, power_model=pm)
+        res = simulate(single_task_workflow(flops=1e9), plat)
+        assert res.co2_grams[LOCAL] == pytest.approx(grams_co2e(150.0, 291.0))
+
+    def test_idle_node_charged_idle_power(self):
+        pm = PowerModel(base_speed=1e9, idle_watts=50.0, dynamic_watts=100.0)
+        plat = make_platform(cluster_nodes=2, cluster_pstate=6, power_model=pm)
+        res = simulate(single_task_workflow(flops=1e9), plat)
+        # busy node 150 J + idle node 50 J
+        assert res.energy_joules[LOCAL] == pytest.approx(200.0)
+
+    def test_pstate_slows_and_saves(self):
+        plat_fast = make_platform(cluster_nodes=1, cluster_pstate=6)
+        plat_slow = make_platform(cluster_nodes=1, cluster_pstate=0)
+        wf = single_task_workflow(flops=100e9)
+        fast = simulate(wf, plat_fast)
+        slow = simulate(wf, plat_slow)
+        assert slow.makespan > fast.makespan
+        assert slow.total_energy < fast.total_energy  # cubic power wins
+
+
+class TestSchedulingSemantics:
+    def test_chain_serialises(self):
+        plat = make_platform(cluster_nodes=4, cluster_pstate=6)
+        pm_speed = plat.site(LOCAL).resources[0].speed
+        res = simulate(chain_workflow(3, flops=pm_speed), plat)
+        assert res.makespan == pytest.approx(3.0, rel=1e-6)
+
+    def test_fan_parallelises(self):
+        plat = make_platform(cluster_nodes=8, cluster_pstate=6)
+        speed = plat.site(LOCAL).resources[0].speed
+        res = simulate(fan_workflow(8, flops=speed), plat)
+        assert res.makespan == pytest.approx(1.0, rel=1e-6)
+
+    def test_fan_on_fewer_nodes_waves(self):
+        plat = make_platform(cluster_nodes=2, cluster_pstate=6)
+        speed = plat.site(LOCAL).resources[0].speed
+        res = simulate(fan_workflow(8, flops=speed), plat)
+        assert res.makespan == pytest.approx(4.0, rel=1e-6)
+
+    def test_deterministic(self):
+        wf = montage_workflow(n_projections=8, n_difffits=12)
+        r1 = simulate(wf, make_platform(cluster_nodes=4, cluster_pstate=6))
+        r2 = simulate(wf, make_platform(cluster_nodes=4, cluster_pstate=6))
+        assert r1.makespan == r2.makespan
+        assert [e.task for e in r1.executions] == [e.task for e in r2.executions]
+
+    def test_all_tasks_executed_once(self):
+        wf = montage_workflow(n_projections=6, n_difffits=10)
+        res = simulate(wf, make_platform(cluster_nodes=3, cluster_pstate=6))
+        names = [e.task for e in res.executions]
+        assert len(names) == len(wf)
+        assert len(set(names)) == len(wf)
+
+    def test_dependencies_respected(self):
+        wf = montage_workflow(n_projections=6, n_difffits=10)
+        res = simulate(wf, make_platform(cluster_nodes=3, cluster_pstate=6))
+        ends = {e.task: e.end for e in res.executions}
+        starts = {e.task: e.start for e in res.executions}
+        for t in wf.tasks:
+            for parent in wf.parents(t.name):
+                assert starts[t.name] >= ends[parent] - 1e-9
+
+
+class TestDataMovement:
+    def _two_site_platform(self, bw=1e6):
+        return make_platform(
+            cluster_nodes=1, cluster_pstate=6, cloud_vms=1, link_bandwidth=bw, link_latency=0.0
+        )
+
+    def test_cloud_task_fetches_input(self):
+        wf = single_task_workflow(flops=0.0, in_bytes=2e6)
+        plat = self._two_site_platform(bw=1e6)
+        res = simulate(wf, plat, place_all(wf, CLOUD))
+        assert res.makespan == pytest.approx(2.0)  # pure transfer time
+        assert res.link_bytes == pytest.approx(2e6)
+
+    def test_local_task_no_transfer(self):
+        wf = single_task_workflow(flops=0.0, in_bytes=2e6)
+        plat = self._two_site_platform()
+        res = simulate(wf, plat, place_all(wf, LOCAL))
+        assert res.link_bytes == 0.0
+
+    def test_data_locality_on_cloud(self):
+        # parent and child both on cloud: the intermediate file does not
+        # cross the link again
+        wf = chain_workflow(2, flops=0.0)
+        plat = self._two_site_platform()
+        res = simulate(wf, plat, place_all(wf, CLOUD))
+        assert res.link_bytes == 0.0  # chain has no external input
+
+    def test_file_cached_after_first_fetch(self):
+        # two cloud tasks consuming the same local input: one transfer
+        wf = Workflow()
+        shared = WorkflowFile("shared", 1e6)
+        wf.add_task(Task("A", 0.0, inputs=(shared,), outputs=(WorkflowFile("oa", 1),)))
+        wf.add_task(Task("B", 0.0, inputs=(shared,), outputs=(WorkflowFile("ob", 1),)))
+        plat = self._two_site_platform()
+        res = simulate(wf, plat, place_all(wf, CLOUD))
+        assert res.link_bytes == pytest.approx(1e6)
+
+    def test_output_returns_when_child_is_local(self):
+        wf = chain_workflow(2, flops=0.0)
+        plat = self._two_site_platform()
+        placement = {"T0": CLOUD, "T1": LOCAL}
+        res = simulate(wf, plat, placement)
+        assert res.link_bytes == pytest.approx(100)  # T0's output comes back
+
+
+class TestValidation:
+    def test_unknown_site_rejected(self):
+        wf = single_task_workflow()
+        plat = make_platform(cluster_nodes=1, cluster_pstate=0)
+        with pytest.raises(ConfigurationError):
+            simulate(wf, plat, {"T": "mars"})
+
+    def test_empty_site_rejected(self):
+        wf = single_task_workflow()
+        plat = make_platform(cluster_nodes=1, cluster_pstate=0, cloud_vms=0)
+        with pytest.raises(ConfigurationError):
+            simulate(wf, plat, place_all(wf, CLOUD))
+
+    def test_empty_workflow(self):
+        plat = make_platform(cluster_nodes=1, cluster_pstate=0)
+        res = simulate(Workflow(), plat)
+        assert res.makespan == 0.0
+
+
+class TestResultViews:
+    def test_site_task_counts(self):
+        wf = montage_workflow(n_projections=6, n_difffits=10)
+        plat = make_platform(cluster_nodes=2, cluster_pstate=6, cloud_vms=2)
+        res = simulate(wf, plat, place_levels(wf, {0}))
+        counts = res.site_task_counts()
+        assert counts[CLOUD] == 6
+        assert counts[LOCAL] == len(wf) - 6
+
+    def test_mean_power(self):
+        wf = single_task_workflow(flops=1e9)
+        pm = PowerModel(base_speed=1e9, idle_watts=50.0, dynamic_watts=100.0)
+        plat = make_platform(cluster_nodes=1, cluster_pstate=6, power_model=pm)
+        res = simulate(wf, plat)
+        assert res.mean_power_watts == pytest.approx(150.0)
+
+    def test_transfer_and_compute_time_split(self):
+        wf = single_task_workflow(flops=1e9, in_bytes=1e6)
+        plat = make_platform(
+            cluster_nodes=0, cluster_pstate=0, cloud_vms=1, link_bandwidth=1e6, link_latency=0.0
+        )
+        res = simulate(wf, plat, place_all(wf, CLOUD))
+        ex = res.executions[0]
+        assert ex.transfer_time == pytest.approx(1.0)
+        assert ex.compute_time > 0.0

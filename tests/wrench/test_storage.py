@@ -1,0 +1,36 @@
+"""Tests for per-site storage services."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.wrench.storage import StorageService
+
+
+class TestStorage:
+    def test_put_and_has(self):
+        s = StorageService("local")
+        assert not s.has("f")
+        s.put("f", 100)
+        assert s.has("f")
+        assert s.size_of("f") == 100
+
+    def test_missing_file_raises(self):
+        with pytest.raises(SimulationError):
+            StorageService("local").size_of("nope")
+
+    def test_bytes_written_counts_new_files_only(self):
+        s = StorageService("cloud")
+        s.put("f", 100)
+        s.put("f", 100)  # refresh of an existing replica
+        assert s.bytes_written == 100
+
+    def test_total_bytes(self):
+        s = StorageService("x")
+        s.put("a", 10)
+        s.put("b", 20)
+        assert s.total_bytes == 30
+        assert len(s) == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            StorageService("x").put("f", -1)

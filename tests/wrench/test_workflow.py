@@ -1,0 +1,122 @@
+"""Tests for workflow DAGs and the Montage generator."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.wrench.workflow import Task, Workflow, WorkflowFile, montage_workflow
+
+
+def simple_chain():
+    wf = Workflow("chain")
+    f1 = WorkflowFile("a.out", 100)
+    f2 = WorkflowFile("b.out", 100)
+    wf.add_task(Task("A", 1e9, inputs=(WorkflowFile("in", 10),), outputs=(f1,)))
+    wf.add_task(Task("B", 1e9, inputs=(f1,), outputs=(f2,)))
+    wf.add_task(Task("C", 1e9, inputs=(f2,)))
+    return wf
+
+
+class TestWorkflowStructure:
+    def test_dependencies_from_files(self):
+        wf = simple_chain()
+        assert wf.parents("B") == ["A"]
+        assert wf.children("B") == ["C"]
+        assert wf.parents("A") == []
+
+    def test_levels(self):
+        wf = simple_chain()
+        assert wf.levels() == {"A": 0, "B": 1, "C": 2}
+        assert wf.depth == 3
+
+    def test_level_tasks(self):
+        wf = simple_chain()
+        assert [t.name for t in wf.level_tasks(1)] == ["B"]
+
+    def test_input_files_are_unproduced(self):
+        wf = simple_chain()
+        assert [f.name for f in wf.input_files()] == ["in"]
+
+    def test_duplicate_task_rejected(self):
+        wf = simple_chain()
+        with pytest.raises(ConfigurationError):
+            wf.add_task(Task("A", 1.0))
+
+    def test_duplicate_producer_rejected(self):
+        wf = Workflow()
+        f = WorkflowFile("x", 1)
+        wf.add_task(Task("P1", 1.0, outputs=(f,)))
+        with pytest.raises(ConfigurationError):
+            wf.add_task(Task("P2", 1.0, outputs=(f,)))
+
+    def test_cycle_detected(self):
+        wf = Workflow()
+        fa, fb = WorkflowFile("a", 1), WorkflowFile("b", 1)
+        wf.add_task(Task("A", 1.0, inputs=(fb,), outputs=(fa,)))
+        wf.add_task(Task("B", 1.0, inputs=(fa,), outputs=(fb,)))
+        with pytest.raises(ConfigurationError, match="cycle"):
+            wf.graph()
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Task("X", -1.0)
+
+    def test_negative_file_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkflowFile("x", -5)
+
+    def test_critical_path(self):
+        wf = simple_chain()
+        assert wf.critical_path_flops() == pytest.approx(3e9)
+
+    def test_total_bytes_unique_files(self):
+        wf = simple_chain()
+        assert wf.total_bytes() == pytest.approx(210)
+
+
+class TestMontageGenerator:
+    @pytest.fixture(scope="class")
+    def montage(self):
+        return montage_workflow()
+
+    def test_paper_task_count(self, montage):
+        assert len(montage) == 738
+
+    def test_paper_data_footprint(self, montage):
+        assert montage.total_bytes() == pytest.approx(7.5e9, rel=1e-6)
+
+    def test_nine_levels(self, montage):
+        assert montage.depth == 9
+
+    def test_level_widths(self, montage):
+        widths = [len(montage.level_tasks(lv)) for lv in range(montage.depth)]
+        assert widths == [182, 368, 1, 1, 182, 1, 1, 1, 1]
+
+    def test_level_categories(self, montage):
+        cats = [montage.level_tasks(lv)[0].category for lv in range(montage.depth)]
+        assert cats == [
+            "mProject", "mDiffFit", "mConcatFit", "mBgModel",
+            "mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG",
+        ]
+
+    def test_deterministic(self):
+        a = montage_workflow(seed=3)
+        b = montage_workflow(seed=3)
+        assert {t.name: t.flops for t in a.tasks} == {t.name: t.flops for t in b.tasks}
+
+    def test_gflop_scale(self):
+        small = montage_workflow(gflop_scale=1.0)
+        big = montage_workflow(gflop_scale=10.0)
+        assert big.total_flops() == pytest.approx(10 * small.total_flops())
+
+    def test_difffit_consumes_two_projections(self, montage):
+        t = montage.level_tasks(1)[0]
+        assert len(t.inputs) == 2
+        assert all(f.name.startswith("proj_") for f in t.inputs)
+
+    def test_custom_size(self):
+        wf = montage_workflow(n_projections=10, n_difffits=15)
+        assert len(wf) == 10 + 15 + 10 + 6
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            montage_workflow(n_projections=1)
