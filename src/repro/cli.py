@@ -39,6 +39,14 @@ def sandpile_main(argv: list[str] | None = None) -> int:
     p.add_argument("--tile-size", type=int, default=32)
     p.add_argument("--nworkers", type=int, default=4)
     p.add_argument("--policy", default="dynamic")
+    p.add_argument(
+        "--backend",
+        default="simulated",
+        choices=["sequential", "simulated", "threads", "process"],
+        help="executor for the omp variant: virtual workers (simulated), a real "
+        "thread pool, or real worker processes over shared memory (process)",
+    )
+    p.add_argument("--chunk", type=int, default=1, help="chunk size for cyclic/dynamic/guided")
     p.add_argument("--ppm", metavar="PATH", help="write the final state as a PPM image")
     p.add_argument("--quiet", action="store_true")
     args = p.parse_args(argv)
@@ -61,6 +69,8 @@ def sandpile_main(argv: list[str] | None = None) -> int:
     if args.variant == "omp":
         opts["nworkers"] = args.nworkers
         opts["policy"] = args.policy
+        opts["backend"] = args.backend
+        opts["chunk"] = args.chunk
     result = run_to_fixpoint(grid, args.kernel, args.variant, **opts)
     print(
         f"{args.kernel}/{args.variant}: stable after {result.iterations} iterations, "

@@ -83,6 +83,22 @@ class EasyPapApp:
         info = get_variant(kernel, variant)
         self._stepper = info.fn(grid, trace=self.trace, **options)
 
+    def close(self) -> None:
+        """Release stepper resources (process pools, shared memory); idempotent.
+
+        Only steppers on a process backend hold OS resources, but calling
+        this is always safe.  The app is also usable as a context manager.
+        """
+        close = getattr(self._stepper, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "EasyPapApp":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def run(
         self,
         *,

@@ -1,18 +1,27 @@
 """Task-execution backends.
 
 A tiled iteration produces a list of independent tile tasks; how they are
-*executed* is orthogonal to what they compute.  Three backends cover the
+*executed* is orthogonal to what they compute.  Four backends cover the
 assignment's needs:
 
 * :class:`SequentialBackend` — runs tasks one by one; the reference.
-* :class:`SimulatedBackend` — runs tasks (still sequentially: this machine
-  has one core and Python a GIL) but *places* them on ``nworkers`` virtual
-  workers under an OpenMP-style policy using per-task costs, yielding the
-  virtual-time spans from which speedup/efficiency and the Fig. 3 traces
-  are computed.  Costs may be supplied (cost model) or measured.
+* :class:`SimulatedBackend` — runs tasks (still sequentially, in-process)
+  but *places* them on ``nworkers`` virtual workers under an OpenMP-style
+  policy using per-task costs, yielding the virtual-time spans from which
+  speedup/efficiency and the Fig. 3 traces are computed.  Costs may be
+  supplied (cost model) or measured.
 * :class:`ThreadBackend` — a real :class:`concurrent.futures.ThreadPoolExecutor`
   pool, demonstrating that the tasks genuinely are thread-safe (numpy
   releases the GIL for large array ops); wall-clock spans are recorded.
+* :class:`ProcessBackend` — a real ``multiprocessing`` pool over
+  :mod:`multiprocessing.shared_memory`-backed grid planes: the first
+  backend whose speedup is measured on actual hardware rather than
+  simulated.  Tile batches are described by picklable :class:`TileTask`
+  specs and dispatched under the same ``static``/``cyclic``/``dynamic``/
+  ``guided`` chunk plans as :func:`~repro.easypap.schedule.simulate_schedule`
+  (static/cyclic as per-worker chunk lists, dynamic/guided through the
+  pool's shared work queue).  When ``fork`` or shared memory is
+  unavailable it degrades gracefully to a :class:`ThreadBackend`.
 
 All backends return the executed :class:`~repro.easypap.schedule.TaskSpan`
 list and optionally feed a :class:`~repro.easypap.monitor.Trace`.
@@ -20,16 +29,68 @@ list and optionally feed a :class:`~repro.easypap.monitor.Trace`.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError, SchedulingError
 from repro.easypap.monitor import TaskRecord, Trace
-from repro.easypap.schedule import ScheduleResult, TaskSpan, chunk_plan, simulate_schedule
+from repro.easypap.schedule import (
+    POLICIES,
+    ScheduleResult,
+    TaskSpan,
+    chunk_plan,
+    simulate_schedule,
+)
 from repro.easypap.tiling import Tile
 
-__all__ = ["TaskBatch", "SequentialBackend", "SimulatedBackend", "ThreadBackend", "make_backend"]
+__all__ = [
+    "TaskBatch",
+    "TileTask",
+    "register_tile_kernel",
+    "SequentialBackend",
+    "SimulatedBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+]
+
+
+@dataclass(frozen=True)
+class TileTask:
+    """Picklable description of one tile-kernel application.
+
+    ``kernel`` names a function registered with :func:`register_tile_kernel`;
+    ``src``/``dst`` index into the plane list bound to the executing
+    :class:`ProcessBackend` (equal for in-place kernels).
+    """
+
+    kernel: str
+    src: int
+    dst: int
+    tile: Tile
+
+
+#: name -> fn(planes, task) for kernels executable from a TileTask spec.
+#: Worker processes are forked after registration, so they inherit this.
+_TILE_KERNELS: dict[str, Callable] = {}
+
+
+def register_tile_kernel(name: str, fn: Callable) -> None:
+    """Register *fn(planes, task)* as the executor of ``TileTask(kernel=name)``.
+
+    *planes* is the list of shared arrays the backend bound; *task* the
+    :class:`TileTask`.  The return value is surfaced in
+    :attr:`ScheduleResult.returns` (steppers use it for changed flags).
+    """
+    _TILE_KERNELS[name] = fn
 
 
 class TaskBatch:
@@ -44,6 +105,11 @@ class TaskBatch:
     costs:
         Optional virtual cost per task; backends that need costs but do not
         receive them fall back to measuring wall time or to tile area.
+    spec:
+        Optional parallel list of :class:`TileTask` — a picklable
+        description of each task that :class:`ProcessBackend` can ship to
+        worker processes (closures cannot cross a process boundary).
+        Backends without process workers ignore it and run the closures.
     """
 
     def __init__(
@@ -52,14 +118,18 @@ class TaskBatch:
         *,
         tiles: Sequence[Tile] | None = None,
         costs: Sequence[float] | None = None,
+        spec: Sequence[TileTask] | None = None,
     ) -> None:
         self.tasks = list(tasks)
         if tiles is not None and len(tiles) != len(self.tasks):
             raise ConfigurationError("tiles and tasks must have equal length")
         if costs is not None and len(costs) != len(self.tasks):
             raise ConfigurationError("costs and tasks must have equal length")
+        if spec is not None and len(spec) != len(self.tasks):
+            raise ConfigurationError("spec and tasks must have equal length")
         self.tiles = list(tiles) if tiles is not None else None
         self.costs = [float(c) for c in costs] if costs is not None else None
+        self.spec = list(spec) if spec is not None else None
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -201,12 +271,18 @@ class ThreadBackend:
         spans: list[TaskSpan | None] = [None] * len(batch)
         epoch = time.perf_counter()
         worker_ids: dict[int, int] = {}
+        # worker-ID assignment must be atomic: with a bare
+        # ``setdefault(tid, len(worker_ids))`` the ``len()`` is evaluated
+        # *before* the insert, so two threads could claim the same index
+        # and corrupt worker_busy()/trace lanes
+        id_lock = threading.Lock()
 
         def call(i: int) -> None:
-            import threading
-
             tid = threading.get_ident()
-            w = worker_ids.setdefault(tid, len(worker_ids))
+            w = worker_ids.get(tid)
+            if w is None:
+                with id_lock:
+                    w = worker_ids.setdefault(tid, len(worker_ids))
             t0 = time.perf_counter() - epoch
             batch.tasks[i]()
             t1 = time.perf_counter() - epoch
@@ -223,6 +299,247 @@ class ThreadBackend:
         return result
 
 
+# -- ProcessBackend worker-side machinery (module level: picklable by name) ----
+
+_PROC_PLANES: dict = {}
+
+
+def _proc_attach(plane_specs: list[tuple[str, tuple, str]]) -> None:
+    """Pool initializer: map every shared plane into this worker process."""
+    from multiprocessing import shared_memory
+
+    segments = [shared_memory.SharedMemory(name=name) for name, _, _ in plane_specs]
+    _PROC_PLANES["shm"] = segments
+    _PROC_PLANES["arrays"] = [
+        np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+        for seg, (_, shape, dtype) in zip(segments, plane_specs)
+    ]
+
+
+def _proc_run_chunk(
+    items: list[tuple[int, TileTask]], epoch: float
+) -> list[tuple[int, int, float, float, object]]:
+    """Execute one chunk of tile tasks in a worker process.
+
+    Returns ``(task_index, pid, start, end, return_value)`` per task; times
+    are offsets from *epoch* (CLOCK_MONOTONIC is system-wide on the
+    platforms where fork exists, so offsets are comparable across workers).
+    """
+    arrays = _PROC_PLANES["arrays"]
+    pid = os.getpid()
+    out = []
+    for idx, task in items:
+        fn = _TILE_KERNELS.get(task.kernel)
+        if fn is None:
+            raise SchedulingError(
+                f"tile kernel {task.kernel!r} is not registered in this worker"
+            )
+        t0 = time.perf_counter() - epoch
+        ret = fn(arrays, task)
+        t1 = time.perf_counter() - epoch
+        out.append((idx, pid, t0, t1, ret))
+    return out
+
+
+class ProcessBackend:
+    """Run tile batches on real worker processes over shared-memory planes.
+
+    Usage contract (what the tiled steppers implement):
+
+    1. construct the backend and check :attr:`uses_processes`;
+    2. :meth:`bind_planes` the grid buffers — the arrays are copied into
+       :mod:`multiprocessing.shared_memory` segments and the returned
+       shm-backed replacements must be installed in their place (e.g. via
+       :meth:`Grid2D.swap_buffer <repro.easypap.grid.Grid2D.swap_buffer>`);
+    3. per iteration, pass a :class:`TaskBatch` whose ``spec`` lists one
+       :class:`TileTask` per task; per-task return values come back in
+       :attr:`ScheduleResult.returns`;
+    4. :meth:`close` when done (also a context manager).
+
+    Chunks follow :func:`~repro.easypap.schedule.chunk_plan` exactly:
+    ``static``/``cyclic`` chunks are pre-assigned to logical workers
+    (chunk *k* belongs to worker ``k % nworkers``) and shipped as one
+    submission per worker; ``dynamic``/``guided`` chunks are individual
+    submissions consumed from the pool's shared queue by whichever process
+    frees up first, with worker IDs stably derived from the worker's PID.
+
+    When ``fork`` or shared memory is unavailable the backend silently
+    degrades to a :class:`ThreadBackend` (``uses_processes`` is False and
+    closures run in-process); batches without a ``spec`` take the same
+    thread path.
+    """
+
+    def __init__(
+        self,
+        nworkers: int,
+        policy: str = "static",
+        *,
+        chunk: int = 1,
+        trace: Trace | None = None,
+    ) -> None:
+        if nworkers < 1:
+            raise ConfigurationError("nworkers must be >= 1")
+        if policy not in POLICIES:
+            raise ConfigurationError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+        self.nworkers = nworkers
+        self.policy = policy
+        self.chunk = chunk
+        self.trace = trace
+        self._pool: ProcessPoolExecutor | None = None
+        self._shm: list = []
+        self._planes: list[np.ndarray] = []
+        self._pid_to_wid: dict[int, int] = {}
+        self._threads: ThreadBackend | None = None
+        self._closed = False
+        #: True when real worker processes will execute tile specs; False
+        #: means every batch degrades to the thread path.
+        self.uses_processes = self.available()
+
+    @staticmethod
+    def available() -> bool:
+        """True when fork + shared memory exist on this host."""
+        try:
+            from multiprocessing import shared_memory  # noqa: F401
+        except ImportError:  # pragma: no cover - always present on CPython/Linux
+            return False
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    # -- plane management -------------------------------------------------------
+
+    def bind_planes(self, *arrays: np.ndarray) -> list[np.ndarray]:
+        """Copy *arrays* into shared memory and (re)start the worker pool.
+
+        Returns shm-backed arrays of identical shape/dtype/contents; the
+        caller must use these in place of the originals so parent-side
+        writes are visible to the workers.  In fallback mode this is a
+        no-op returning the arrays unchanged.
+        """
+        if self._closed:
+            raise ConfigurationError("backend is closed")
+        if not self.uses_processes:
+            return list(arrays)
+        from multiprocessing import shared_memory
+
+        self._release_pool_and_planes()
+        specs: list[tuple[str, tuple, str]] = []
+        for arr in arrays:
+            seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            plane = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            plane[...] = arr
+            self._shm.append(seg)
+            self._planes.append(plane)
+            specs.append((seg.name, arr.shape, arr.dtype.str))
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.nworkers,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=_proc_attach,
+            initargs=(specs,),
+        )
+        self._pid_to_wid = {}
+        return list(self._planes)
+
+    def _worker_id(self, pid: int) -> int:
+        """Stable logical worker index for a pool process (first-seen order)."""
+        wid = self._pid_to_wid.get(pid)
+        if wid is None:
+            wid = len(self._pid_to_wid)
+            self._pid_to_wid[pid] = wid
+        return wid
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _release_pool_and_planes(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        # drop our own views before closing, else close() raises BufferError
+        self._planes = []
+        for seg in self._shm:
+            try:
+                seg.close()
+            except BufferError:  # a caller still holds a view; unlink anyway
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+        self._shm = []
+
+    def close(self) -> None:
+        """Shut the pool down and release the shared planes (idempotent).
+
+        Callers still holding shm-backed arrays from :meth:`bind_planes`
+        must replace them with private copies *before* closing.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._release_pool_and_planes()
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ---------------------------------------------------------------
+
+    def _run_threads(self, batch: TaskBatch, iteration: int, kind: str) -> ScheduleResult:
+        if self._threads is None:
+            self._threads = ThreadBackend(self.nworkers, trace=self.trace)
+        return self._threads.run(batch, iteration=iteration, kind=kind)
+
+    def run(self, batch: TaskBatch, *, iteration: int = 0, kind: str = "compute") -> ScheduleResult:
+        """Execute the batch; returns the schedule with per-task returns."""
+        if self._closed:
+            raise ConfigurationError("backend is closed")
+        if not self.uses_processes or batch.spec is None:
+            return self._run_threads(batch, iteration, kind)
+        if self._pool is None:
+            raise SchedulingError("bind_planes() must be called before running tile batches")
+        n = len(batch)
+        chunks = chunk_plan(n, self.nworkers, self.policy, self.chunk)
+        epoch = time.perf_counter()
+        submissions: list[tuple[int | None, object]] = []
+        if self.policy in ("static", "cyclic"):
+            # fixed assignment: each logical worker gets its chunk list whole
+            per_worker: list[list[tuple[int, TileTask]]] = [[] for _ in range(self.nworkers)]
+            for k, ch in enumerate(chunks):
+                per_worker[k % self.nworkers].extend((i, batch.spec[i]) for i in ch)
+            for w, items in enumerate(per_worker):
+                if items:
+                    submissions.append((w, self._pool.submit(_proc_run_chunk, items, epoch)))
+        else:
+            # dynamic/guided: the pool's input queue is the shared work queue
+            for ch in chunks:
+                items = [(i, batch.spec[i]) for i in ch]
+                submissions.append((None, self._pool.submit(_proc_run_chunk, items, epoch)))
+        spans: list[TaskSpan | None] = [None] * n
+        returns: list[object] = [None] * n
+        try:
+            for wid, fut in submissions:
+                for idx, pid, t0, t1, ret in fut.result():
+                    w = wid if wid is not None else self._worker_id(pid)
+                    spans[idx] = TaskSpan(idx, w, t0, t1)
+                    returns[idx] = ret
+        except BrokenProcessPool as exc:  # pragma: no cover - host-dependent
+            raise SchedulingError(f"process pool died mid-batch: {exc}") from exc
+        done = [s for s in spans if s is not None]
+        if len(done) != n:
+            raise SchedulingError("some tasks did not complete")
+        result = ScheduleResult(
+            policy=self.policy,
+            nworkers=self.nworkers,
+            chunk=self.chunk,
+            spans=done,
+            returns=returns,
+        )
+        _record_spans(done, batch, self.trace, iteration, kind)
+        return result
+
+
 def make_backend(
     name: str,
     nworkers: int = 1,
@@ -231,11 +548,13 @@ def make_backend(
     chunk: int = 1,
     trace: Trace | None = None,
 ):
-    """Factory: ``sequential``, ``simulated``, or ``threads``."""
+    """Factory: ``sequential``, ``simulated``, ``threads``, or ``process``."""
     if name == "sequential":
         return SequentialBackend(trace=trace)
     if name == "simulated":
         return SimulatedBackend(nworkers, policy, chunk=chunk, trace=trace)
     if name == "threads":
         return ThreadBackend(nworkers, trace=trace)
+    if name in ("process", "processes"):
+        return ProcessBackend(nworkers, policy, chunk=chunk, trace=trace)
     raise ConfigurationError(f"unknown backend {name!r}")

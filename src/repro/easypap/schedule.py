@@ -50,12 +50,18 @@ class TaskSpan:
 
 @dataclass
 class ScheduleResult:
-    """Outcome of :func:`simulate_schedule`."""
+    """Outcome of :func:`simulate_schedule` (or of a real backend run).
+
+    ``returns`` is filled by backends that execute out-of-process (the
+    parent cannot observe closure side effects there): per-task return
+    values, indexed like the batch.  In-process backends leave it None.
+    """
 
     policy: str
     nworkers: int
     chunk: int
     spans: list[TaskSpan]
+    returns: list | None = None
 
     @property
     def makespan(self) -> float:

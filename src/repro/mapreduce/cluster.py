@@ -57,6 +57,13 @@ class ClusterConfig:
             raise SimulationError("straggler_prob must be in [0, 1]")
         if self.max_attempts < 1:
             raise SimulationError("max_attempts must be >= 1")
+        # a factor below 1 would make "stragglers" run *faster* than normal
+        if self.straggler_factor < 1.0:
+            raise SimulationError("straggler_factor must be >= 1")
+        for name in ("map_cost_per_record", "reduce_cost_per_record",
+                     "shuffle_cost_per_record", "task_overhead"):
+            if getattr(self, name) < 0.0:
+                raise SimulationError(f"{name} must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -101,11 +108,17 @@ class ClusterReport:
 
     @property
     def total_work(self) -> float:
-        """Sum of all task durations (serial-equivalent work)."""
-        return sum(a.end - a.start for a in self.attempts)
+        """Sum of *successful* attempt durations (serial-equivalent work).
+
+        Failed attempts are wasted cycles, not work a serial run would have
+        to do — counting them would inflate :meth:`speedup` under fault
+        injection.  Stragglers completed, so their (slowed) durations count.
+        Use :meth:`worker_busy` for occupancy including failures.
+        """
+        return sum(a.end - a.start for a in self.attempts if not a.failed)
 
     def speedup(self) -> float:
-        """Virtual speedup over serialising every (successful) attempt."""
+        """Virtual speedup over serialising every successful attempt."""
         return self.total_work / self.makespan if self.makespan > 0 else 1.0
 
 

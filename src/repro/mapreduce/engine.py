@@ -86,6 +86,13 @@ def shuffle(
     Returns ``num_reducers`` lists of ``(key, [values...])`` groups.  Values
     within a group preserve spill order then in-spill order, mirroring how
     a merge of sorted map outputs behaves.
+
+    When ``job.group_key`` is set, grouping follows Hadoop's
+    grouping-comparator contract: keys are sorted by the full composite
+    key first, then *adjacent* keys with equal ``group_key`` merge into a
+    single group (which is why ``sort_keys=False`` is rejected — without
+    the sort, equal group keys need not be adjacent and would fragment
+    into duplicate groups).
     """
     parts: list[dict] = [dict() for _ in range(job.num_reducers)]
     orders: list[list] = [[] for _ in range(job.num_reducers)]
@@ -104,6 +111,13 @@ def shuffle(
             bucket[k].append(v)
             counters.increment(Counters.TASK, "shuffle_records")
     out: list[list[tuple[object, list]]] = []
+    if job.group_key is not None and not job.sort_keys:
+        # normally caught by MapReduceJob.__post_init__; re-checked here
+        # because jobs are mutable dataclasses
+        raise ConfigurationError(
+            f"{job.name}: group_key requires sort_keys=True — grouping merges "
+            "adjacent sorted keys (Hadoop's grouping-comparator contract)"
+        )
     for p in range(job.num_reducers):
         keys = sorted(orders[p]) if job.sort_keys else orders[p]
         if job.group_key is None:

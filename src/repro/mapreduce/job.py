@@ -73,9 +73,12 @@ class MapReduceJob:
         a function of the map-output key.  After the within-partition sort,
         consecutive keys with equal ``group_key`` are merged into a single
         reduce group keyed by that value — so the reducer sees its values
-        ordered by the full composite key.  When used, the partitioner must
-        route equal group keys to the same partition (see
-        :func:`grouped_partitioner`).
+        ordered by the full composite key.  Two obligations come with it:
+        the partitioner must route equal group keys to the same partition
+        (see :func:`grouped_partitioner`), and ``sort_keys`` must stay True
+        — merging is adjacency-based, so without the sort, equal group keys
+        arriving non-adjacently would yield duplicate groups (rejected at
+        construction).
     name:
         Display name for reports.
     """
@@ -95,6 +98,15 @@ class MapReduceJob:
             raise ConfigurationError("num_reducers must be >= 1")
         if not callable(self.mapper) or not callable(self.reducer):
             raise ConfigurationError("mapper and reducer must be callable")
+        # Hadoop's grouping-comparator contract: the comparator merges
+        # *consecutive* keys after the shuffle sort.  Without the sort,
+        # non-adjacent keys sharing a group key would silently produce
+        # duplicate groups instead of one merged group.
+        if self.group_key is not None and not self.sort_keys:
+            raise ConfigurationError(
+                f"{self.name}: group_key requires sort_keys=True — the grouping "
+                "comparator only merges adjacent keys of the sorted shuffle output"
+            )
 
     def run_mapper(self, key, value) -> Iterator[tuple]:
         """Invoke the mapper, validating its output shape."""

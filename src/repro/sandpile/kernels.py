@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.easypap.executor import register_tile_kernel
 from repro.easypap.grid import Grid2D
 from repro.easypap.tiling import Tile
 
@@ -32,6 +33,7 @@ __all__ = [
     "sync_tile",
     "async_sweep",
     "async_tile_relax",
+    "async_tile_relax_array",
     "toppling_count",
 ]
 
@@ -123,7 +125,15 @@ def async_tile_relax(grid: Grid2D, tile: Tile, *, max_rounds: int | None = None)
     Returns the number of vectorised topple rounds performed (0 means the
     tile was already stable).
     """
-    d = grid.data
+    return async_tile_relax_array(grid.data, tile, max_rounds=max_rounds)
+
+
+def async_tile_relax_array(d: np.ndarray, tile: Tile, *, max_rounds: int | None = None) -> int:
+    """:func:`async_tile_relax` on a raw framed ``(H+2, W+2)`` array.
+
+    This form is what worker processes run: they hold shared-memory planes,
+    not :class:`Grid2D` objects.
+    """
     ys = slice(tile.y0 + 1, tile.y1 + 1)
     xs = slice(tile.x0 + 1, tile.x1 + 1)
     sub = d[ys, xs]
@@ -145,3 +155,23 @@ def async_tile_relax(grid: Grid2D, tile: Tile, *, max_rounds: int | None = None)
 def toppling_count(grid: Grid2D) -> int:
     """Number of cells that would topple right now (>= 4 grains)."""
     return int((grid.interior >= 4).sum())
+
+
+# -- tile-kernel registration for the process backend ---------------------------
+#
+# ProcessBackend workers execute picklable TileTask specs; these adapters
+# resolve a spec's plane indices against the shared planes and call the
+# kernels above.  Workers are forked after import, so they inherit the
+# registry.
+
+
+def _sync_tile_kernel(planes, task) -> bool:
+    return sync_tile(planes[task.src], planes[task.dst], task.tile)
+
+
+def _async_tile_relax_kernel(planes, task) -> int:
+    return async_tile_relax_array(planes[task.src], task.tile)
+
+
+register_tile_kernel("sync_tile", _sync_tile_kernel)
+register_tile_kernel("async_tile_relax", _async_tile_relax_kernel)

@@ -17,13 +17,20 @@ Two families:
 Per-tile *work* is reported as the task's return value so the simulated
 backend places tasks deterministically: a computed sync tile costs its
 area (plus a touch overhead), an async tile costs ``rounds x area``.
+
+Both steppers also speak the :class:`~repro.easypap.executor.ProcessBackend`
+protocol: when the backend advertises ``uses_processes``, the grid buffers
+are rebound onto shared memory at construction and each batch additionally
+carries picklable :class:`~repro.easypap.executor.TileTask` specs (closures
+cannot cross a process boundary; changed flags come back through
+``ScheduleResult.returns`` instead).  Steppers owning such a backend hold
+OS resources — call :meth:`close` (or rely on
+:func:`~repro.sandpile.simulate.run_to_fixpoint`, which always does).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.easypap.executor import SequentialBackend, TaskBatch
+from repro.easypap.executor import SequentialBackend, TaskBatch, TileTask
 from repro.easypap.grid import Grid2D
 from repro.easypap.tiling import Tile, TileGrid
 from repro.sandpile.kernels import async_tile_relax, sync_tile
@@ -62,6 +69,24 @@ class TiledSyncStepper:
         self.iterations = 0
         self.tiles_computed = 0
         self.tiles_skipped = 0
+        self._shared = False
+        self._src_plane = 0
+        if getattr(self.backend, "uses_processes", False):
+            # move both planes into shared memory so worker processes see them
+            plane0, plane1 = self.backend.bind_planes(grid.data, self._scratch)
+            grid.swap_buffer(plane0)
+            self._scratch = plane1
+            self._shared = True
+
+    def close(self) -> None:
+        """Detach the grid from shared memory and release the backend."""
+        if self._shared:
+            self.grid.swap_buffer(self.grid.data.copy())
+            self._scratch = self._scratch.copy()
+            self._shared = False
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
 
     def _active_tiles(self) -> list[Tile]:
         if self.lazy_flags is None:
@@ -87,8 +112,15 @@ class TiledSyncStepper:
                 return _TOUCH_COST + tile.area
             return task
 
-        batch = TaskBatch([make_task(t) for t in active], tiles=active)
-        self.backend.run(batch, iteration=self.iterations)
+        spec = None
+        if self._shared:
+            s, d = self._src_plane, 1 - self._src_plane
+            spec = [TileTask("sync_tile", s, d, t) for t in active]
+        batch = TaskBatch([make_task(t) for t in active], tiles=active, spec=spec)
+        result = self.backend.run(batch, iteration=self.iterations)
+        if result.returns is not None:
+            for t, ret in zip(active, result.returns):
+                changed_flags[t.index] = bool(ret)
 
         changed = any(changed_flags.values())
         if self.lazy_flags is not None:
@@ -101,6 +133,8 @@ class TiledSyncStepper:
             self.grid.sink_absorbed += lost
         # Swap the planes: dst becomes the live state.
         self._scratch = self.grid.swap_buffer(self._scratch)
+        if self._shared:
+            self._src_plane = 1 - self._src_plane
         self.grid.drain_sink()
         self.iterations += 1
         return changed
@@ -130,6 +164,21 @@ class TiledAsyncStepper:
         self.iterations = 0
         self.tiles_computed = 0
         self.tiles_skipped = 0
+        self._shared = False
+        if getattr(self.backend, "uses_processes", False):
+            # the async kernel is in-place: a single shared plane suffices
+            (plane,) = self.backend.bind_planes(grid.data)
+            grid.swap_buffer(plane)
+            self._shared = True
+
+    def close(self) -> None:
+        """Detach the grid from shared memory and release the backend."""
+        if self._shared:
+            self.grid.swap_buffer(self.grid.data.copy())
+            self._shared = False
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
 
     def _active_tiles(self) -> list[Tile]:
         if self.lazy_flags is None:
@@ -150,10 +199,15 @@ class TiledAsyncStepper:
                 return _TOUCH_COST + rounds * tile.area
             return task
 
-        changed = False
         for wave in wave_partition(active):
-            batch = TaskBatch([make_task(t) for t in wave], tiles=wave)
-            self.backend.run(batch, iteration=self.iterations)
+            spec = None
+            if self._shared:
+                spec = [TileTask("async_tile_relax", 0, 0, t) for t in wave]
+            batch = TaskBatch([make_task(t) for t in wave], tiles=wave, spec=spec)
+            result = self.backend.run(batch, iteration=self.iterations)
+            if result.returns is not None:
+                for t, rounds in zip(wave, result.returns):
+                    changed_flags[t.index] = rounds > 0
         changed = any(changed_flags.values())
 
         if self.lazy_flags is not None:

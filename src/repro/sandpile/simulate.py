@@ -9,8 +9,9 @@ is stable, and reports statistics.
 Registered variants
 -------------------
 ``sandpile``  : ``seq`` (scalar reference), ``vec`` (whole-grid numpy),
-``tiled``, ``lazy``, ``omp`` (tiled + scheduling policy on virtual
-workers), ``split`` (inner/outer SIMD split).
+``tiled``, ``lazy``, ``omp`` (tiled + scheduling policy; pick the executor
+with ``backend="simulated"|"threads"|"process"|"sequential"``), ``split``
+(inner/outer SIMD split).
 
 ``asandpile`` : ``seq``, ``vec`` (sweep), ``tiled``, ``lazy``, ``omp``.
 """
@@ -19,8 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import ConfigurationError
-from repro.easypap.executor import SequentialBackend, SimulatedBackend, ThreadBackend
+from repro.easypap.executor import SequentialBackend, make_backend
 from repro.easypap.grid import Grid2D
 from repro.easypap.kernel import get_variant, register_variant
 from repro.easypap.monitor import Trace
@@ -52,13 +52,9 @@ class RunResult:
 
 
 def _make_backend(name: str, nworkers: int, policy: str, chunk: int, trace: Trace | None):
-    if name == "sequential":
-        return SequentialBackend(trace=trace)
-    if name == "simulated":
-        return SimulatedBackend(nworkers, policy, chunk=chunk, trace=trace)
-    if name == "threads":
-        return ThreadBackend(nworkers, trace=trace)
-    raise ConfigurationError(f"unknown backend {name!r}")
+    # thin alias over the executor factory: "sequential", "simulated",
+    # "threads", or "process" (real worker processes over shared memory)
+    return make_backend(name, nworkers, policy=policy, chunk=chunk, trace=trace)
 
 
 # -- variant factories --------------------------------------------------------
@@ -173,12 +169,20 @@ def run_to_fixpoint(
     """
     stepper = make_stepper(grid, kernel, variant, trace=trace, **options)
     iterations = 0
-    for _ in range(max_iterations):
-        if not stepper():
-            break
-        iterations += 1
-    else:
-        raise RuntimeError(f"{kernel}/{variant}: no fixpoint within {max_iterations} iterations")
+    try:
+        for _ in range(max_iterations):
+            if not stepper():
+                break
+            iterations += 1
+        else:
+            raise RuntimeError(
+                f"{kernel}/{variant}: no fixpoint within {max_iterations} iterations"
+            )
+    finally:
+        # steppers on a process backend own OS resources (pool + shm)
+        close = getattr(stepper, "close", None)
+        if close is not None:
+            close()
     return RunResult(
         kernel=kernel,
         variant=variant,

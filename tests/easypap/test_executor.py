@@ -1,16 +1,23 @@
 """Tests for the execution backends."""
 
+import threading
+
+import numpy as np
 import pytest
 
-from repro.common.errors import ConfigurationError
+import repro.sandpile.kernels  # noqa: F401 - registers the tile kernels
+from repro.common.errors import ConfigurationError, SchedulingError
 from repro.easypap.executor import (
+    ProcessBackend,
     SequentialBackend,
     SimulatedBackend,
     TaskBatch,
     ThreadBackend,
+    TileTask,
     make_backend,
 )
 from repro.easypap.monitor import Trace
+from repro.easypap.schedule import chunk_plan
 from repro.easypap.tiling import TileGrid
 
 
@@ -119,11 +126,164 @@ class TestThreadBackend:
             ThreadBackend(0)
 
 
+class TestSimulatedChunkOrder:
+    @pytest.mark.parametrize("policy", ["static", "cyclic", "dynamic", "guided"])
+    @pytest.mark.parametrize("ntasks,nworkers,chunk", [(13, 3, 2), (2, 5, 1), (0, 4, 1)])
+    def test_every_task_exactly_once_in_chunk_order(self, policy, ntasks, nworkers, chunk):
+        b, hits = make_counter_batch(ntasks)
+        SimulatedBackend(nworkers, policy, chunk=chunk).run(b)
+        expected = [i for ch in chunk_plan(ntasks, nworkers, policy, chunk) for i in ch]
+        assert hits == expected
+        assert sorted(hits) == list(range(ntasks))
+
+
+class TestThreadWorkerIds:
+    def test_worker_ids_unique_under_stress(self):
+        """Two threads must never claim the same worker lane (regression:
+        ``setdefault(tid, len(ids))`` evaluated len() before the insert)."""
+        nworkers, ntasks = 8, 160
+        for _ in range(10):
+            tids: list = [None] * ntasks
+
+            def mk(i):
+                def task():
+                    tids[i] = threading.get_ident()
+                return task
+
+            r = ThreadBackend(nworkers).run(TaskBatch([mk(i) for i in range(ntasks)]))
+            worker_of_tid: dict = {}
+            for span in sorted(r.spans, key=lambda s: s.task):
+                worker_of_tid.setdefault(tids[span.task], set()).add(span.worker)
+            # each thread keeps one id for the whole batch...
+            assert all(len(ws) == 1 for ws in worker_of_tid.values())
+            # ...no two threads share an id, and ids stay in range
+            ids = [next(iter(ws)) for ws in worker_of_tid.values()]
+            assert len(set(ids)) == len(ids)
+            assert all(0 <= w < nworkers for w in ids)
+
+
+def make_plane_batch(n=8, grains=6):
+    """An n x n grid pair plus a sync-tile spec batch over 4x4 tiles."""
+    from repro.easypap.grid import Grid2D
+
+    g = Grid2D(n, n)
+    g.interior[:] = grains
+    scratch = g.data.copy()
+    tiles = list(TileGrid(n, n, 4))
+    spec = [TileTask("sync_tile", 0, 1, t) for t in tiles]
+    return g, scratch, tiles, spec
+
+
+needs_processes = pytest.mark.skipif(
+    not ProcessBackend.available(), reason="fork/shared_memory unavailable"
+)
+
+
+class TestProcessBackend:
+    @needs_processes
+    @pytest.mark.parametrize("policy", ["static", "cyclic", "dynamic", "guided"])
+    def test_spec_batch_executes_on_shared_planes(self, policy):
+        from repro.sandpile.kernels import sync_step
+
+        g, scratch, tiles, spec = make_plane_batch()
+        expected = g.copy()
+        sync_step(expected)
+        with ProcessBackend(2, policy) as be:
+            p0, p1 = be.bind_planes(g.data, scratch)
+            r = be.run(TaskBatch([lambda: None] * len(tiles), tiles=tiles, spec=spec))
+            assert len(r.spans) == len(tiles)
+            assert r.returns is not None and all(isinstance(x, bool) for x in r.returns)
+            assert all(0 <= s.worker < 2 for s in r.spans)
+            assert all(s.end >= s.start for s in r.spans)
+            # workers wrote the synchronous update into the dst plane
+            assert np.array_equal(p1[1:-1, 1:-1], expected.interior)
+            assert p0 is not None
+
+    @needs_processes
+    def test_returns_report_changed_flags(self):
+        g, scratch, tiles, spec = make_plane_batch(grains=0)  # already stable
+        with ProcessBackend(2) as be:
+            be.bind_planes(g.data, scratch)
+            r = be.run(TaskBatch([lambda: None] * len(tiles), tiles=tiles, spec=spec))
+            assert r.returns == [False] * len(tiles)
+
+    @needs_processes
+    def test_trace_records_wall_clock_lanes(self):
+        trace = Trace()
+        g, scratch, tiles, spec = make_plane_batch()
+        with ProcessBackend(2, "dynamic", trace=trace) as be:
+            be.bind_planes(g.data, scratch)
+            be.run(TaskBatch([lambda: None] * len(tiles), tiles=tiles, spec=spec), iteration=5)
+        assert trace.iterations() == [5]
+        assert {r.worker for r in trace.records} <= {0, 1}
+        assert trace.records[0].tile_ty >= 0
+
+    @needs_processes
+    def test_empty_batch(self):
+        g, scratch, _, _ = make_plane_batch()
+        with ProcessBackend(2) as be:
+            be.bind_planes(g.data, scratch)
+            r = be.run(TaskBatch([], tiles=[], spec=[]))
+            assert r.spans == [] and r.returns == []
+
+    @needs_processes
+    def test_spec_without_bind_rejected(self):
+        _, _, tiles, spec = make_plane_batch()
+        with ProcessBackend(2) as be:
+            with pytest.raises(SchedulingError):
+                be.run(TaskBatch([lambda: None] * len(tiles), tiles=tiles, spec=spec))
+
+    @needs_processes
+    def test_closure_batch_degrades_to_threads(self):
+        b, hits = make_counter_batch(6)
+        with ProcessBackend(2) as be:
+            r = be.run(b)
+        assert sorted(hits) == list(range(6))
+        assert r.policy == "threads"
+        assert r.returns is None
+
+    def test_fallback_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(ProcessBackend, "available", staticmethod(lambda: False))
+        be = ProcessBackend(2)
+        assert not be.uses_processes
+        arr = np.zeros((4, 4))
+        assert be.bind_planes(arr)[0] is arr  # no-op passthrough
+        b, hits = make_counter_batch(5)
+        r = be.run(b)
+        assert sorted(hits) == list(range(5))
+        assert len(r.spans) == 5
+        be.close()
+
+    @needs_processes
+    def test_close_idempotent_and_rejects_reuse(self):
+        g, scratch, tiles, spec = make_plane_batch()
+        be = ProcessBackend(2)
+        be.bind_planes(g.data, scratch)
+        be.close()
+        be.close()
+        with pytest.raises(ConfigurationError):
+            be.run(TaskBatch([lambda: None] * len(tiles), tiles=tiles, spec=spec))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ProcessBackend(0)
+        with pytest.raises(ConfigurationError):
+            ProcessBackend(2, "magic")
+        with pytest.raises(ConfigurationError):
+            ProcessBackend(2, chunk=0)
+
+    def test_spec_length_validated(self):
+        with pytest.raises(ConfigurationError):
+            TaskBatch([lambda: None], spec=[])
+
+
 class TestFactory:
     def test_names(self):
         assert isinstance(make_backend("sequential"), SequentialBackend)
         assert isinstance(make_backend("simulated", 4), SimulatedBackend)
         assert isinstance(make_backend("threads", 2), ThreadBackend)
+        assert isinstance(make_backend("process", 2), ProcessBackend)
+        assert isinstance(make_backend("processes", 2, policy="static"), ProcessBackend)
 
     def test_unknown(self):
         with pytest.raises(ConfigurationError):

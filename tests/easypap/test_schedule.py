@@ -45,6 +45,49 @@ class TestChunkPlan:
             chunk_plan(4, 2, "dynamic", 0)
 
 
+class TestSchedulingEdgeCases:
+    """Degenerate shapes: fewer tasks than workers, no tasks, guided shrink."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fewer_tasks_than_workers_plan(self, policy):
+        chunks = chunk_plan(3, 8, policy, 1)
+        assert sorted(t for c in chunks for t in c) == [0, 1, 2]
+        assert all(chunks), "no empty chunks"
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fewer_tasks_than_workers_schedule(self, policy):
+        r = simulate_schedule([2.0, 3.0, 5.0], 8, policy)
+        assert len(r.spans) == 3
+        assert all(0 <= s.worker < 8 for s in r.spans)
+        # nothing forces serialisation: the longest task bounds the makespan
+        assert r.makespan == pytest.approx(5.0)
+        assert len(r.worker_busy()) == 8
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_zero_tasks(self, policy):
+        assert chunk_plan(0, 4, policy, 1) == []
+        r = simulate_schedule([], 4, policy)
+        assert r.spans == []
+        assert r.makespan == 0.0
+        assert r.imbalance == 0.0
+
+    def test_guided_shrink_sequence_exact(self):
+        # size_k = min(max(remaining // nworkers, chunk), remaining)
+        chunks = chunk_plan(100, 4, "guided", 1)
+        sizes, expected, remaining = [len(c) for c in chunks], [], 100
+        while remaining:
+            size = min(max(remaining // 4, 1), remaining)
+            expected.append(size)
+            remaining -= size
+        assert sizes == expected
+        assert sizes[0] == 25 and sizes[-1] == 1
+
+    def test_guided_tail_hits_min_chunk(self):
+        chunks = chunk_plan(64, 4, "guided", 8)
+        # shrink: 16, 12, 9, then the floor of 8 until the 3-task remainder
+        assert [len(c) for c in chunks] == [16, 12, 9, 8, 8, 8, 3]
+
+
 class TestSimulateSchedule:
     def test_uniform_static_perfect_balance(self):
         r = simulate_schedule([1.0] * 8, 4, "static")

@@ -37,11 +37,20 @@ class TestConfigValidation:
             {"failure_prob": -0.1},
             {"straggler_prob": 1.5},
             {"max_attempts": 0},
+            {"straggler_factor": 0.5},  # "stragglers" must not run faster
+            {"straggler_factor": -1.0},
+            {"map_cost_per_record": -1e-6},
+            {"reduce_cost_per_record": -1e-6},
+            {"shuffle_cost_per_record": -1e-6},
+            {"task_overhead": -0.1},
         ],
     )
     def test_invalid_rejected(self, kw):
         with pytest.raises(SimulationError):
             ClusterConfig(**kw)
+
+    def test_straggler_factor_one_allowed(self):
+        ClusterConfig(straggler_factor=1.0)
 
 
 class TestOutputEquality:
@@ -137,3 +146,25 @@ class TestFaultInjection:
         busy = report.worker_busy(3)
         assert len(busy) == 3
         assert sum(busy) == pytest.approx(report.total_work)
+
+    @pytest.mark.parametrize("seed", [1, 2, 7])
+    def test_total_work_excludes_failed_attempts(self, seed):
+        """Regression: failed attempts inflated total_work and hence speedup."""
+        cfg = ClusterConfig(n_workers=4, failure_prob=0.5, seed=seed)
+        _, report = SimulatedCluster(cfg).run(JOB, SPLITS)
+        assert report.failures > 0
+        successful = sum(a.end - a.start for a in report.attempts if not a.failed)
+        assert report.total_work == pytest.approx(successful)
+        # busy time counts everything the workers did, including failures
+        assert sum(report.worker_busy(4)) > report.total_work
+
+    def test_speedup_not_inflated_by_failures(self):
+        big_splits = [[(i, "w x y z")] for i in range(64)]
+        for seed in range(5):
+            cfg = ClusterConfig(n_workers=4, failure_prob=0.4, seed=seed)
+            _, report = SimulatedCluster(cfg).run(JOB, big_splits)
+            assert report.speedup() <= 4.0 + 1e-9
+            if report.failures:
+                # the pre-fix value serialised failed attempts too
+                inflated = sum(a.end - a.start for a in report.attempts) / report.makespan
+                assert report.speedup() < inflated

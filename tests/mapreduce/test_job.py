@@ -64,3 +64,41 @@ class TestJobValidation:
     def test_run_mapper_passthrough(self):
         job = MapReduceJob(mapper=identity_mapper, reducer=identity_reducer)
         assert list(job.run_mapper("k", "v")) == [("k", "v")]
+
+
+class TestGroupingComparatorContract:
+    """group_key merges *adjacent sorted* keys (Hadoop's grouping comparator);
+    without the sort, equal group keys can arrive non-adjacently and would
+    silently fragment into duplicate reduce groups — so the combination is
+    rejected outright."""
+
+    def test_group_key_with_unsorted_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceJob(
+                mapper=identity_mapper,
+                reducer=identity_reducer,
+                group_key=lambda k: k[0],
+                sort_keys=False,
+            )
+
+    def test_group_key_with_sorted_keys_allowed(self):
+        MapReduceJob(
+            mapper=identity_mapper,
+            reducer=identity_reducer,
+            group_key=lambda k: k[0],
+            sort_keys=True,
+        )
+
+    def test_shuffle_rechecks_mutated_job(self):
+        # jobs are mutable dataclasses: the engine must not trust __post_init__
+        from repro.mapreduce.counters import Counters
+        from repro.mapreduce.engine import shuffle
+
+        job = MapReduceJob(
+            mapper=identity_mapper,
+            reducer=identity_reducer,
+            group_key=lambda k: k[0],
+        )
+        job.sort_keys = False
+        with pytest.raises(ConfigurationError):
+            shuffle(job, [[(("s", 2), 1.0), (("t", 1), 2.0), (("s", 1), 3.0)]], Counters())

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.easypap.executor import SimulatedBackend, ThreadBackend
+from repro.easypap.executor import ProcessBackend, SimulatedBackend, ThreadBackend
 from repro.easypap.monitor import Trace
 from repro.sandpile.model import center_pile, random_uniform, sparse_random
 from repro.sandpile.omp import TiledAsyncStepper, TiledSyncStepper, wave_partition
@@ -128,4 +128,78 @@ class TestTiledAsyncStepper:
         # so the fixpoint must still be exact
         g = small_random_grid.copy()
         drive(TiledAsyncStepper(g, 6, backend=ThreadBackend(4)))
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+
+needs_processes = pytest.mark.skipif(
+    not ProcessBackend.available(), reason="fork/shared_memory unavailable"
+)
+
+
+@needs_processes
+class TestProcessBackendSteppers:
+    """Real worker processes over shared-memory planes: fixpoints must be
+    bit-identical to the sequential reference (Dhar's abelian property plus
+    deterministic synchronous updates)."""
+
+    @pytest.mark.parametrize("policy", ["static", "dynamic"])
+    @pytest.mark.parametrize("lazy", [False, True])
+    def test_sync_fixpoint_bit_identical(self, policy, lazy, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        stepper = TiledSyncStepper(g, 6, backend=ProcessBackend(2, policy), lazy=lazy)
+        try:
+            drive(stepper)
+        finally:
+            stepper.close()
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    @pytest.mark.parametrize("policy", ["static", "guided"])
+    def test_async_fixpoint_bit_identical(self, policy, small_random_grid, small_random_stable):
+        g = small_random_grid.copy()
+        stepper = TiledAsyncStepper(g, 6, backend=ProcessBackend(2, policy))
+        try:
+            drive(stepper)
+        finally:
+            stepper.close()
+        assert np.array_equal(g.interior, small_random_stable.interior)
+
+    def test_conservation_through_shared_planes(self):
+        g = center_pile(16, 16, 800)
+        total0 = g.total_grains()
+        stepper = TiledSyncStepper(g, 4, backend=ProcessBackend(2, "static"))
+        try:
+            while stepper():
+                assert g.total_grains() + g.sink_absorbed == total0
+        finally:
+            stepper.close()
+
+    def test_trace_has_stable_worker_lanes(self, small_random_grid):
+        trace = Trace()
+        g = small_random_grid.copy()
+        stepper = TiledSyncStepper(g, 6, backend=ProcessBackend(2, "dynamic", trace=trace))
+        try:
+            for _ in range(5):
+                stepper()
+        finally:
+            stepper.close()
+        workers = {r.worker for r in trace.records}
+        assert workers <= {0, 1}
+        assert all(r.end >= r.start for r in trace.records)
+
+    def test_close_detaches_grid_from_shared_memory(self, small_random_grid):
+        g = small_random_grid.copy()
+        stepper = TiledSyncStepper(g, 6, backend=ProcessBackend(2))
+        stepper()
+        stepper.close()
+        stepper.close()  # idempotent
+        # the grid survived detachment and stays fully usable
+        assert g.total_grains() >= 0
+        g.interior[0, 0] += 1
+        assert g.total_grains() >= 1
+
+    def test_run_to_fixpoint_closes_backend(self, small_random_grid, small_random_stable):
+        from repro.sandpile.simulate import run_to_fixpoint
+
+        g = small_random_grid.copy()
+        run_to_fixpoint(g, "sandpile", "omp", backend="process", nworkers=2, tile_size=6)
         assert np.array_equal(g.interior, small_random_stable.interior)
