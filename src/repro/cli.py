@@ -47,6 +47,27 @@ def sandpile_main(argv: list[str] | None = None) -> int:
         "thread pool, or real worker processes over shared memory (process)",
     )
     p.add_argument("--chunk", type=int, default=1, help="chunk size for cyclic/dynamic/guided")
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="process backend: attempts per tile batch before giving up "
+        "or falling back to threads (default 3)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="process backend: wall-clock budget per batch attempt "
+        "(default: unbounded)",
+    )
+    p.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="process backend: fail hard after retries instead of degrading "
+        "to the thread backend",
+    )
     p.add_argument("--ppm", metavar="PATH", help="write the final state as a PPM image")
     p.add_argument("--quiet", action="store_true")
     args = p.parse_args(argv)
@@ -64,6 +85,7 @@ def sandpile_main(argv: list[str] | None = None) -> int:
         return 2
 
     opts = {}
+    degradation = None
     if args.variant in ("tiled", "lazy", "omp", "split"):
         opts["tile_size"] = args.tile_size
     if args.variant == "omp":
@@ -71,6 +93,14 @@ def sandpile_main(argv: list[str] | None = None) -> int:
         opts["policy"] = args.policy
         opts["backend"] = args.backend
         opts["chunk"] = args.chunk
+        if args.backend == "process":
+            from repro.common.resilience import DegradationLog, RetryPolicy
+
+            degradation = DegradationLog()
+            opts["retry"] = RetryPolicy(max_attempts=args.max_retries)
+            opts["task_timeout"] = args.task_timeout
+            opts["allow_fallback"] = not args.no_fallback
+            opts["degradation"] = degradation
     result = run_to_fixpoint(grid, args.kernel, args.variant, **opts)
     print(
         f"{args.kernel}/{args.variant}: stable after {result.iterations} iterations, "
@@ -81,6 +111,8 @@ def sandpile_main(argv: list[str] | None = None) -> int:
             f"tiles computed {result.tiles_computed}, skipped {result.tiles_skipped} "
             f"({100 * result.skip_fraction:.1f}% lazy savings)"
         )
+    if degradation:
+        print(f"degradations: {degradation.summary()}", file=sys.stderr)
     if not args.quiet:
         print(ascii_render(grid.interior))
     if args.ppm:

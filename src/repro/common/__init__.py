@@ -1,4 +1,4 @@
-"""Shared infrastructure: RNG, units, tables, colours, timing, errors."""
+"""Shared infrastructure: RNG, units, tables, colours, timing, errors, resilience."""
 
 from repro.common.errors import (
     CommunicationError,
@@ -8,6 +8,14 @@ from repro.common.errors import (
     ReproError,
     SchedulingError,
     SimulationError,
+)
+from repro.common.resilience import (
+    Deadline,
+    DegradationEvent,
+    DegradationLog,
+    FaultInjector,
+    InjectedFault,
+    RetryPolicy,
 )
 from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng, spawn_rngs
 from repro.common.tables import Table, format_table, histogram_bar
@@ -21,6 +29,12 @@ __all__ = [
     "SchedulingError",
     "DataValidationError",
     "KernelError",
+    "InjectedFault",
+    "RetryPolicy",
+    "Deadline",
+    "FaultInjector",
+    "DegradationEvent",
+    "DegradationLog",
     "DEFAULT_SEED",
     "make_rng",
     "spawn_rngs",

@@ -1,0 +1,248 @@
+"""Fault-tolerant execution primitives shared by the real backends.
+
+The simulated substrates (the virtual cluster, the scheduling replays)
+promise re-execution-based fault tolerance: the output is identical no
+matter how many workers, failures, or stragglers occur.  This module gives
+the *hardware-backed* paths the same story:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  deterministic jitter (seeded through :mod:`repro.common.rng`, so two runs
+  with the same seed sleep the same amount);
+* :class:`Deadline` — a wall-clock budget threaded through blocking calls;
+* :class:`FaultInjector` — deterministic fault injection for tests: kill
+  the executing worker process, or raise :class:`InjectedFault` inside a
+  task, a bounded number of times;
+* :class:`DegradationLog` — an audit trail of every fallback the system
+  takes (pool rebuilds, thread-pool degradation, retries), so "it worked"
+  never silently means "it worked on the slow path".
+
+Everything here is pure stdlib + numpy and safe to import in forked
+worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError, ReproError
+from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng
+
+__all__ = [
+    "InjectedFault",
+    "RetryPolicy",
+    "Deadline",
+    "FaultInjector",
+    "DegradationEvent",
+    "DegradationLog",
+]
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """Raised by :class:`FaultInjector` inside an instrumented task."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    initial attempt plus up to two retries.  The delay before retry *k*
+    (1-based) is ``base_delay * backoff ** (k - 1)`` capped at
+    ``max_delay``, plus a jitter drawn uniformly from ``[0, jitter]``
+    using a generator derived from ``seed`` — identical seeds produce
+    identical sleep schedules, keeping fault-injection tests reproducible.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.0
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ConfigurationError("delays and jitter must be >= 0")
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1, got {self.backoff}")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry *attempt* (1 = first retry)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        d = min(self.base_delay * self.backoff ** (attempt - 1), self.max_delay)
+        if self.jitter > 0:
+            rng = make_rng(derive_seed(self.seed, "retry-jitter", attempt))
+            d += float(rng.uniform(0.0, self.jitter))
+        return d
+
+    def retries_left(self, attempt: int) -> int:
+        """Remaining retries after *attempt* attempts have been made."""
+        return max(0, self.max_attempts - attempt)
+
+    def sleep(self, attempt: int) -> float:
+        """Sleep for :meth:`delay`; returns the slept duration."""
+        d = self.delay(attempt)
+        if d > 0:
+            time.sleep(d)
+        return d
+
+
+class Deadline:
+    """A wall-clock budget: ``Deadline(5.0)`` expires five seconds later.
+
+    ``Deadline(None)`` never expires (``remaining()`` returns ``None``),
+    letting callers thread one object through without branching.
+    """
+
+    def __init__(self, budget: float | None) -> None:
+        if budget is not None and budget <= 0:
+            raise ConfigurationError(f"deadline budget must be > 0, got {budget}")
+        self.budget = budget
+        self._t0 = time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is exhausted."""
+        r = self.remaining()
+        return r is not None and r <= 0.0
+
+    def remaining(self) -> float | None:
+        """Seconds left (may be <= 0), or None for an unbounded deadline."""
+        if self.budget is None:
+            return None
+        return self.budget - (time.monotonic() - self._t0)
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline started."""
+        return time.monotonic() - self._t0
+
+
+class FaultInjector:
+    """Deterministically inject faults into task execution (tests only).
+
+    ``kill_on_tasks`` names task indices whose execution terminates the
+    hosting worker process (``os._exit``), producing a genuine
+    ``BrokenProcessPool`` in the parent; ``raise_on_tasks`` names indices
+    that raise :class:`InjectedFault` in-process instead.  Each injector
+    fires at most ``max_fires`` times *globally* — the count lives in a
+    :class:`multiprocessing.Value`, shared by fork with every worker (and
+    with rebuilt pools), so retried tasks succeed and recovery paths can
+    be asserted rather than looping forever.
+    """
+
+    #: exit status used by killed workers, distinctive in diagnostics
+    KILL_EXIT_CODE = 39
+
+    def __init__(
+        self,
+        *,
+        kill_on_tasks: frozenset[int] | set[int] | tuple[int, ...] = (),
+        raise_on_tasks: frozenset[int] | set[int] | tuple[int, ...] = (),
+        max_fires: int = 1,
+    ) -> None:
+        if max_fires < 0:
+            raise ConfigurationError(f"max_fires must be >= 0, got {max_fires}")
+        self.kill_on_tasks = frozenset(kill_on_tasks)
+        self.raise_on_tasks = frozenset(raise_on_tasks)
+        if self.kill_on_tasks & self.raise_on_tasks:
+            raise ConfigurationError("a task index cannot both kill and raise")
+        self.max_fires = max_fires
+        # fork-shared so one-shot semantics survive pool rebuilds
+        self._fired = multiprocessing.get_context("fork" if os.name == "posix" else "spawn").Value(
+            "i", 0
+        )
+
+    @property
+    def fires(self) -> int:
+        """Number of faults injected so far (across all processes)."""
+        return int(self._fired.value)
+
+    def check(self, task_index: int) -> None:
+        """Inject the configured fault for *task_index*, if armed.
+
+        Called by instrumented executors immediately before running a
+        task.  A no-op once ``max_fires`` faults have been injected.
+        """
+        if task_index in self.kill_on_tasks:
+            with self._fired.get_lock():
+                if self._fired.value >= self.max_fires:
+                    return
+                self._fired.value += 1
+            # flush nothing, release nothing: simulate a hard crash
+            os._exit(self.KILL_EXIT_CODE)
+        if task_index in self.raise_on_tasks:
+            with self._fired.get_lock():
+                if self._fired.value >= self.max_fires:
+                    return
+                self._fired.value += 1
+            raise InjectedFault(f"injected fault on task {task_index}")
+
+    def wrap(self, task_index: int, fn):
+        """Return a nullary callable running ``check`` then ``fn()``."""
+
+        def wrapped():
+            self.check(task_index)
+            return fn()
+
+        return wrapped
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One fallback the system took, and why."""
+
+    component: str  # e.g. "ProcessBackend", "run_job_parallel"
+    action: str  # e.g. "pool-rebuild", "thread-fallback", "retry"
+    reason: str  # human-readable cause, e.g. the triggering exception
+    attempt: int = 0  # which retry attempt recorded the event
+    detail: dict = field(default_factory=dict)  # structured extras (tile ids...)
+
+
+class DegradationLog:
+    """Append-only record of every fallback taken during a run.
+
+    Passed into backends that can degrade; assertions in tests (and
+    curious users) read it back.  Thread-safe by virtue of ``list.append``
+    atomicity; events are plain frozen dataclasses.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[DegradationEvent] = []
+
+    def record(
+        self,
+        component: str,
+        action: str,
+        reason: str,
+        *,
+        attempt: int = 0,
+        **detail,
+    ) -> DegradationEvent:
+        """Append and return a :class:`DegradationEvent`."""
+        ev = DegradationEvent(component, action, reason, attempt=attempt, detail=detail)
+        self.events.append(ev)
+        return ev
+
+    def by_action(self, action: str) -> list[DegradationEvent]:
+        """Events whose action matches."""
+        return [e for e in self.events if e.action == action]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def summary(self) -> str:
+        """One line per event, for logs and CLI output."""
+        if not self.events:
+            return "no degradation events"
+        return "\n".join(
+            f"[{e.component}] {e.action} (attempt {e.attempt}): {e.reason}" for e in self.events
+        )

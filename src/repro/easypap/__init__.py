@@ -19,6 +19,7 @@ reproduces its moving parts:
 
 from repro.easypap.app import AppResult, EasyPapApp
 from repro.easypap.executor import (
+    ProcessBackend,
     SequentialBackend,
     SimulatedBackend,
     TaskBatch,
@@ -51,6 +52,7 @@ __all__ = [
     "SequentialBackend",
     "SimulatedBackend",
     "ThreadBackend",
+    "ProcessBackend",
     "make_backend",
     "Trace",
     "TaskRecord",

@@ -34,6 +34,7 @@ import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -41,6 +42,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import ConfigurationError, SchedulingError
+from repro.common.resilience import Deadline, DegradationLog, FaultInjector, RetryPolicy
 from repro.easypap.monitor import TaskRecord, Trace
 from repro.easypap.schedule import (
     POLICIES,
@@ -293,7 +295,11 @@ class ThreadBackend:
 
         done = [s for s in spans if s is not None]
         if len(done) != len(batch):
-            raise SchedulingError("some tasks did not complete")
+            unfinished = [i for i, s in enumerate(spans) if s is None]
+            raise SchedulingError(
+                f"{len(unfinished)} of {len(batch)} thread tasks did not complete: "
+                f"tasks {unfinished[:20]}"
+            )
         result = ScheduleResult(policy="threads", nworkers=self.nworkers, chunk=1, spans=done)
         _record_spans(done, batch, self.trace, iteration, kind)
         return result
@@ -304,7 +310,10 @@ class ThreadBackend:
 _PROC_PLANES: dict = {}
 
 
-def _proc_attach(plane_specs: list[tuple[str, tuple, str]]) -> None:
+def _proc_attach(
+    plane_specs: list[tuple[str, tuple, str]],
+    fault_injector: FaultInjector | None = None,
+) -> None:
     """Pool initializer: map every shared plane into this worker process."""
     from multiprocessing import shared_memory
 
@@ -314,6 +323,7 @@ def _proc_attach(plane_specs: list[tuple[str, tuple, str]]) -> None:
         np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
         for seg, (_, shape, dtype) in zip(segments, plane_specs)
     ]
+    _PROC_PLANES["injector"] = fault_injector
 
 
 def _proc_run_chunk(
@@ -326,6 +336,7 @@ def _proc_run_chunk(
     platforms where fork exists, so offsets are comparable across workers).
     """
     arrays = _PROC_PLANES["arrays"]
+    injector: FaultInjector | None = _PROC_PLANES.get("injector")
     pid = os.getpid()
     out = []
     for idx, task in items:
@@ -334,6 +345,8 @@ def _proc_run_chunk(
             raise SchedulingError(
                 f"tile kernel {task.kernel!r} is not registered in this worker"
             )
+        if injector is not None:
+            injector.check(idx)
         t0 = time.perf_counter() - epoch
         ret = fn(arrays, task)
         t1 = time.perf_counter() - epoch
@@ -363,10 +376,25 @@ class ProcessBackend:
     submissions consumed from the pool's shared queue by whichever process
     frees up first, with worker IDs stably derived from the worker's PID.
 
-    When ``fork`` or shared memory is unavailable the backend silently
-    degrades to a :class:`ThreadBackend` (``uses_processes`` is False and
-    closures run in-process); batches without a ``spec`` take the same
-    thread path.
+    When ``fork`` or shared memory is unavailable the backend degrades to
+    a :class:`ThreadBackend` (``uses_processes`` is False and closures run
+    in-process); batches without a ``spec`` take the same thread path.
+
+    **Fault tolerance** (the real-hardware mirror of the simulated
+    cluster's re-execution story): worker crashes mid-batch —
+    ``BrokenProcessPool`` — do not lose the batch.  The pool is rebuilt
+    (workers re-attach the still-live shared planes by name), and only the
+    tasks whose spans are missing are re-submitted; tile kernels are
+    idempotent, so re-running one is safe.  Retries follow ``retry``
+    (a :class:`~repro.common.resilience.RetryPolicy`); each attempt may be
+    bounded by ``task_timeout`` seconds, after which hung workers are
+    terminated and the attempt counts as failed.  When retries are
+    exhausted, the still-missing tasks run on a thread pool in-process
+    (``allow_fallback=True``, the default) or a :class:`SchedulingError`
+    naming the unfinished tasks is raised (``allow_fallback=False``).
+    Every recovery step is recorded in ``degradation``
+    (a :class:`~repro.common.resilience.DegradationLog`) when one is
+    supplied.
     """
 
     def __init__(
@@ -376,6 +404,11 @@ class ProcessBackend:
         *,
         chunk: int = 1,
         trace: Trace | None = None,
+        retry: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        allow_fallback: bool = True,
+        degradation: DegradationLog | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if nworkers < 1:
             raise ConfigurationError("nworkers must be >= 1")
@@ -383,16 +416,26 @@ class ProcessBackend:
             raise ConfigurationError(f"unknown policy {policy!r}; choose from {POLICIES}")
         if chunk < 1:
             raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ConfigurationError(f"task_timeout must be > 0, got {task_timeout}")
         self.nworkers = nworkers
         self.policy = policy
         self.chunk = chunk
         self.trace = trace
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.task_timeout = task_timeout
+        self.allow_fallback = allow_fallback
+        self.degradation = degradation
+        self.fault_injector = fault_injector
         self._pool: ProcessPoolExecutor | None = None
         self._shm: list = []
         self._planes: list[np.ndarray] = []
+        self._plane_specs: list[tuple[str, tuple, str]] = []
         self._pid_to_wid: dict[int, int] = {}
         self._threads: ThreadBackend | None = None
         self._closed = False
+        self._reported_thread_degradation = False
+        self._degraded = False
         #: True when real worker processes will execute tile specs; False
         #: means every batch degrades to the thread path.
         self.uses_processes = self.available()
@@ -431,14 +474,19 @@ class ProcessBackend:
             self._shm.append(seg)
             self._planes.append(plane)
             specs.append((seg.name, arr.shape, arr.dtype.str))
+        self._plane_specs = specs
+        self._start_pool()
+        return list(self._planes)
+
+    def _start_pool(self) -> None:
+        """(Re)create the worker pool attached to the current planes."""
         self._pool = ProcessPoolExecutor(
             max_workers=self.nworkers,
             mp_context=multiprocessing.get_context("fork"),
             initializer=_proc_attach,
-            initargs=(specs,),
+            initargs=(self._plane_specs, self.fault_injector),
         )
         self._pid_to_wid = {}
-        return list(self._planes)
 
     def _worker_id(self, pid: int) -> int:
         """Stable logical worker index for a pool process (first-seen order)."""
@@ -450,12 +498,39 @@ class ProcessBackend:
 
     # -- lifecycle --------------------------------------------------------------
 
+    def _teardown_pool(self, *, terminate: bool = False) -> None:
+        """Shut the pool down without touching the shared planes.
+
+        Never raises: teardown runs on error paths (broken pools, timed-out
+        attempts, ``close()`` after a failed ``run``) where a secondary
+        exception would mask the original failure.  With ``terminate``,
+        worker processes are killed first so a hung worker cannot stall
+        ``shutdown(wait=True)``.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if terminate:
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:  # pragma: no cover - already-dead worker
+                    pass
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may refuse politely
+            pass
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken/hung pool; workers re-attach the live planes."""
+        self._teardown_pool(terminate=True)
+        self._start_pool()
+
     def _release_pool_and_planes(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self._teardown_pool(terminate=True)
         # drop our own views before closing, else close() raises BufferError
         self._planes = []
+        self._plane_specs = []
         for seg in self._shm:
             try:
                 seg.close()
@@ -468,10 +543,13 @@ class ProcessBackend:
         self._shm = []
 
     def close(self) -> None:
-        """Shut the pool down and release the shared planes (idempotent).
+        """Shut the pool down and release the shared planes.
 
-        Callers still holding shm-backed arrays from :meth:`bind_planes`
-        must replace them with private copies *before* closing.
+        Idempotent and exception-safe: callable any number of times, after
+        a failed ``run``, and with a broken or hung pool — the shared
+        memory segments are always unlinked.  Callers still holding
+        shm-backed arrays from :meth:`bind_planes` must replace them with
+        private copies *before* closing.
         """
         if self._closed:
             return
@@ -486,13 +564,133 @@ class ProcessBackend:
 
     # -- execution ---------------------------------------------------------------
 
+    def _log_degradation(self, action: str, reason: str, *, attempt: int = 0, **detail) -> None:
+        if self.degradation is not None:
+            self.degradation.record("ProcessBackend", action, reason, attempt=attempt, **detail)
+
     def _run_threads(self, batch: TaskBatch, iteration: int, kind: str) -> ScheduleResult:
+        if not self._reported_thread_degradation:
+            self._reported_thread_degradation = True
+            if self._degraded:
+                reason = "backend degraded after retry exhaustion"
+            elif not self.uses_processes:
+                reason = "fork/shared memory unavailable on this host"
+            else:
+                reason = "batch carries no picklable TileTask spec"
+            self._log_degradation("thread-execution", reason)
         if self._threads is None:
             self._threads = ThreadBackend(self.nworkers, trace=self.trace)
         return self._threads.run(batch, iteration=iteration, kind=kind)
 
+    def _describe_missing(self, batch: TaskBatch, missing: set[int], chunks) -> str:
+        """Name the unfinished tasks, their tiles, and where they were scheduled."""
+        idxs = sorted(missing)
+        chunk_of = {i: k for k, ch in enumerate(chunks) for i in ch}
+        parts = []
+        for i in idxs[:20]:
+            ty, tx = batch.tile_coords(i)
+            tile = f" tile(ty={ty},tx={tx})" if ty >= 0 else ""
+            k = chunk_of.get(i, -1)
+            if self.policy in ("static", "cyclic"):
+                where = f"chunk {k} on worker {k % self.nworkers}"
+            else:
+                where = f"chunk {k} (shared queue)"
+            parts.append(f"task {i}{tile} [{where}]")
+        more = f" (+{len(idxs) - 20} more)" if len(idxs) > 20 else ""
+        return (
+            f"{len(idxs)} of {len(batch)} tasks did not complete under "
+            f"policy={self.policy!r} nworkers={self.nworkers} chunk={self.chunk}: "
+            + "; ".join(parts)
+            + more
+        )
+
+    def _submit_missing(self, batch: TaskBatch, chunks, missing: set[int], epoch: float):
+        """Submit the chunks owed for *missing*; returns (wid, future) pairs.
+
+        Chunks keep their original worker assignment (static/cyclic) or
+        queue order (dynamic/guided); already-completed tasks are filtered
+        out, so a retry re-submits only the spans still missing.
+        """
+        submissions: list[tuple[int | None, object]] = []
+        if self.policy in ("static", "cyclic"):
+            # fixed assignment: each logical worker gets its chunk list whole
+            per_worker: list[list[tuple[int, TileTask]]] = [[] for _ in range(self.nworkers)]
+            for k, ch in enumerate(chunks):
+                per_worker[k % self.nworkers].extend(
+                    (i, batch.spec[i]) for i in ch if i in missing
+                )
+            for w, items in enumerate(per_worker):
+                if items:
+                    submissions.append((w, self._pool.submit(_proc_run_chunk, items, epoch)))
+        else:
+            # dynamic/guided: the pool's input queue is the shared work queue
+            for ch in chunks:
+                items = [(i, batch.spec[i]) for i in ch if i in missing]
+                if items:
+                    submissions.append((None, self._pool.submit(_proc_run_chunk, items, epoch)))
+        return submissions
+
+    def _collect(self, submissions, deadline: Deadline, spans, returns, missing: set[int]):
+        """Harvest whatever finished; returns the first failure seen (or None).
+
+        A broken pool fails only the futures that never ran — results from
+        chunks that completed before the crash are kept, which is what
+        makes re-submitting *only* the missing spans possible.
+        """
+        failure: Exception | None = None
+        for wid, fut in submissions:
+            try:
+                rows = fut.result(timeout=deadline.remaining())
+            except BrokenProcessPool as exc:
+                failure = failure or exc
+                continue
+            except FuturesTimeoutError:
+                failure = failure or SchedulingError(
+                    f"attempt exceeded task_timeout={self.task_timeout}s"
+                )
+                continue
+            except Exception as exc:  # a task raised inside the worker
+                failure = failure or exc
+                continue
+            for idx, pid, t0, t1, ret in rows:
+                w = wid if wid is not None else self._worker_id(pid)
+                spans[idx] = TaskSpan(idx, w, t0, t1)
+                returns[idx] = ret
+                missing.discard(idx)
+        return failure
+
+    def _fallback_to_threads(self, batch: TaskBatch, missing: set[int], spans, returns, epoch):
+        """Run the still-missing tasks in-process on a thread pool.
+
+        The parent-side closures operate on the same shm-backed planes the
+        workers were mutating, so completing them here preserves the
+        batch's results; per-task return values are captured so changed
+        flags survive the degradation.
+        """
+        idxs = sorted(missing)
+        captured: dict[int, object] = {}
+
+        def mk(i: int):
+            def task() -> None:
+                captured[i] = batch.tasks[i]()
+
+            return task
+
+        base = time.perf_counter() - epoch
+        result = ThreadBackend(self.nworkers).run(TaskBatch([mk(i) for i in idxs]))
+        for s in result.spans:
+            orig = idxs[s.task]
+            spans[orig] = TaskSpan(orig, s.worker, base + s.start, base + s.end)
+            returns[orig] = captured.get(orig)
+            missing.discard(orig)
+
     def run(self, batch: TaskBatch, *, iteration: int = 0, kind: str = "compute") -> ScheduleResult:
-        """Execute the batch; returns the schedule with per-task returns."""
+        """Execute the batch; returns the schedule with per-task returns.
+
+        Survives worker crashes and hangs: missing spans are retried on a
+        rebuilt pool per :attr:`retry`, then degrade to the thread path
+        (or raise, per :attr:`allow_fallback`).  See the class docstring.
+        """
         if self._closed:
             raise ConfigurationError("backend is closed")
         if not self.uses_processes or batch.spec is None:
@@ -502,33 +700,63 @@ class ProcessBackend:
         n = len(batch)
         chunks = chunk_plan(n, self.nworkers, self.policy, self.chunk)
         epoch = time.perf_counter()
-        submissions: list[tuple[int | None, object]] = []
-        if self.policy in ("static", "cyclic"):
-            # fixed assignment: each logical worker gets its chunk list whole
-            per_worker: list[list[tuple[int, TileTask]]] = [[] for _ in range(self.nworkers)]
-            for k, ch in enumerate(chunks):
-                per_worker[k % self.nworkers].extend((i, batch.spec[i]) for i in ch)
-            for w, items in enumerate(per_worker):
-                if items:
-                    submissions.append((w, self._pool.submit(_proc_run_chunk, items, epoch)))
-        else:
-            # dynamic/guided: the pool's input queue is the shared work queue
-            for ch in chunks:
-                items = [(i, batch.spec[i]) for i in ch]
-                submissions.append((None, self._pool.submit(_proc_run_chunk, items, epoch)))
         spans: list[TaskSpan | None] = [None] * n
         returns: list[object] = [None] * n
-        try:
-            for wid, fut in submissions:
-                for idx, pid, t0, t1, ret in fut.result():
-                    w = wid if wid is not None else self._worker_id(pid)
-                    spans[idx] = TaskSpan(idx, w, t0, t1)
-                    returns[idx] = ret
-        except BrokenProcessPool as exc:  # pragma: no cover - host-dependent
-            raise SchedulingError(f"process pool died mid-batch: {exc}") from exc
+        missing: set[int] = set(range(n))
+        attempt = 1
+        while missing:
+            deadline = Deadline(self.task_timeout)
+            try:
+                submissions = self._submit_missing(batch, chunks, missing, epoch)
+                failure = self._collect(submissions, deadline, spans, returns, missing)
+            except BrokenProcessPool as exc:  # pool already broken at submit time
+                failure = exc
+            if not missing:
+                break
+            if failure is None:
+                # every future completed yet spans are missing: a worker
+                # returned fewer rows than it was handed — a kernel bug,
+                # not a crash, so retrying would loop forever
+                raise SchedulingError(self._describe_missing(batch, missing, chunks))
+            if attempt >= self.retry.max_attempts:
+                # leave no half-dead worker writing into the shared planes
+                self._teardown_pool(terminate=True)
+                if not self.allow_fallback:
+                    self._log_degradation(
+                        "give-up",
+                        f"retries exhausted: {failure}",
+                        attempt=attempt,
+                        tasks=sorted(missing),
+                    )
+                    raise SchedulingError(
+                        f"retries exhausted ({self.retry.max_attempts} attempts) and "
+                        f"fallback disabled: {self._describe_missing(batch, missing, chunks)}"
+                    ) from failure
+                self._log_degradation(
+                    "thread-fallback",
+                    f"retries exhausted: {failure}",
+                    attempt=attempt,
+                    tasks=sorted(missing),
+                )
+                self._fallback_to_threads(batch, missing, spans, returns, epoch)
+                # stay degraded: later batches take the thread path outright
+                self.uses_processes = False
+                self._degraded = True
+                break
+            self._log_degradation(
+                "pool-rebuild",
+                f"{type(failure).__name__}: {failure}",
+                attempt=attempt,
+                tasks=sorted(missing),
+            )
+            self.retry.sleep(attempt)
+            self._rebuild_pool()
+            attempt += 1
         done = [s for s in spans if s is not None]
-        if len(done) != n:
-            raise SchedulingError("some tasks did not complete")
+        if len(done) != n:  # pragma: no cover - all exits above fill or raise
+            raise SchedulingError(
+                self._describe_missing(batch, {i for i, s in enumerate(spans) if s is None}, chunks)
+            )
         result = ScheduleResult(
             policy=self.policy,
             nworkers=self.nworkers,
@@ -547,8 +775,17 @@ def make_backend(
     policy: str = "dynamic",
     chunk: int = 1,
     trace: Trace | None = None,
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    allow_fallback: bool = True,
+    degradation: DegradationLog | None = None,
 ):
-    """Factory: ``sequential``, ``simulated``, ``threads``, or ``process``."""
+    """Factory: ``sequential``, ``simulated``, ``threads``, or ``process``.
+
+    The resilience knobs (``retry``, ``task_timeout``, ``allow_fallback``,
+    ``degradation``) apply to the ``process`` backend — the only one with
+    workers that can crash or hang — and are ignored by the others.
+    """
     if name == "sequential":
         return SequentialBackend(trace=trace)
     if name == "simulated":
@@ -556,5 +793,14 @@ def make_backend(
     if name == "threads":
         return ThreadBackend(nworkers, trace=trace)
     if name in ("process", "processes"):
-        return ProcessBackend(nworkers, policy, chunk=chunk, trace=trace)
+        return ProcessBackend(
+            nworkers,
+            policy,
+            chunk=chunk,
+            trace=trace,
+            retry=retry,
+            task_timeout=task_timeout,
+            allow_fallback=allow_fallback,
+            degradation=degradation,
+        )
     raise ConfigurationError(f"unknown backend {name!r}")

@@ -18,7 +18,7 @@ this package provides the same contract end to end:
 
 from repro.mapreduce.cluster import ClusterConfig, ClusterReport, SimulatedCluster, TaskAttempt
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.engine import JobResult, run_job
+from repro.mapreduce.engine import JobResult, run_job, run_job_parallel
 from repro.mapreduce.job import MapReduceJob, grouped_partitioner, hash_partitioner
 from repro.mapreduce.pipeline import PipelineResult, reshard, run_pipeline, secondary_sort_demo_job, top_k_job
 from repro.mapreduce.streaming import (
@@ -41,6 +41,7 @@ __all__ = [
     "secondary_sort_demo_job",
     "JobResult",
     "run_job",
+    "run_job_parallel",
     "Counters",
     "ClusterConfig",
     "ClusterReport",

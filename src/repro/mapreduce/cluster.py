@@ -47,6 +47,9 @@ class ClusterConfig:
     straggler_factor: float = 5.0
     max_attempts: int = 4
     seed: int = 0
+    #: launch backup attempts for straggling tasks (Hadoop's speculative
+    #: execution); the first finisher wins, duplicates are suppressed
+    speculate: bool = False
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -68,7 +71,14 @@ class ClusterConfig:
 
 @dataclass(frozen=True)
 class TaskAttempt:
-    """One attempt of one task on one worker."""
+    """One attempt of one task on one worker.
+
+    ``speculative`` marks a backup copy launched against a straggling
+    primary attempt; whichever finishes first determines the task's
+    completion time, and the duplicate's output is suppressed (outputs are
+    computed once by the deterministic engine, so suppression is an
+    accounting statement, not a correctness mechanism).
+    """
 
     phase: str  # "map" or "reduce"
     task: int
@@ -78,6 +88,7 @@ class TaskAttempt:
     end: float
     failed: bool
     straggled: bool
+    speculative: bool = False
 
 
 @dataclass
@@ -99,6 +110,26 @@ class ClusterReport:
         """Number of straggling task attempts."""
         return sum(1 for a in self.attempts if a.straggled)
 
+    @property
+    def speculative(self) -> int:
+        """Number of speculative (backup) attempts launched."""
+        return sum(1 for a in self.attempts if a.speculative)
+
+    @property
+    def speculative_wins(self) -> int:
+        """Backups that finished before the straggling primary they shadowed."""
+        primary_end: dict[tuple[str, int], float] = {}
+        for a in self.attempts:
+            if not a.speculative and not a.failed:
+                key = (a.phase, a.task)
+                primary_end[key] = min(primary_end.get(key, float("inf")), a.end)
+        return sum(
+            1
+            for a in self.attempts
+            if a.speculative and not a.failed
+            and a.end < primary_end.get((a.phase, a.task), float("inf"))
+        )
+
     def worker_busy(self, n_workers: int) -> list[float]:
         """Total busy seconds per worker index."""
         busy = [0.0] * n_workers
@@ -108,14 +139,16 @@ class ClusterReport:
 
     @property
     def total_work(self) -> float:
-        """Sum of *successful* attempt durations (serial-equivalent work).
+        """Sum of *successful primary* attempt durations (serial-equivalent work).
 
         Failed attempts are wasted cycles, not work a serial run would have
         to do — counting them would inflate :meth:`speedup` under fault
-        injection.  Stragglers completed, so their (slowed) durations count.
-        Use :meth:`worker_busy` for occupancy including failures.
+        injection.  Speculative backups are duplicates of work already
+        counted, so they are excluded for the same reason.  Stragglers
+        completed, so their (slowed) durations count.  Use
+        :meth:`worker_busy` for occupancy including failures and backups.
         """
-        return sum(a.end - a.start for a in self.attempts if not a.failed)
+        return sum(a.end - a.start for a in self.attempts if not a.failed and not a.speculative)
 
     def speedup(self) -> float:
         """Virtual speedup over serialising every successful attempt."""
@@ -142,7 +175,11 @@ class SimulatedCluster:
 
         Tasks are pulled by the earliest-available worker.  A failed
         attempt re-enqueues the task (the retry runs after the failure is
-        detected, i.e. at the attempt's end time).
+        detected, i.e. at the attempt's end time).  With
+        ``config.speculate``, each straggling primary attempt may get one
+        backup copy on the earliest-free worker; the task completes at the
+        *earlier* of the two finish times (first-finisher-wins) and the
+        loser's output is suppressed.
         """
         cfg = self.config
         workers = [(start_time, w) for w in range(cfg.n_workers)]
@@ -150,7 +187,8 @@ class SimulatedCluster:
         # queue of (ready_time, task, attempt); heap keeps retries ordered
         pending: list[tuple[float, int, int]] = [(start_time, t, 1) for t in range(len(durations))]
         heapq.heapify(pending)
-        finish = start_time
+        finish_of: dict[int, float] = {}
+        success_of: dict[int, TaskAttempt] = {}
         while pending:
             ready, task, attempt = heapq.heappop(pending)
             avail, w = heapq.heappop(workers)
@@ -164,17 +202,68 @@ class SimulatedCluster:
                 # failure surfaces halfway through, Hadoop-style heartbeat loss
                 duration *= 0.5
             end = begin + duration
-            report.attempts.append(
-                TaskAttempt(phase, task, attempt, w, begin, end, failed, straggled)
-            )
+            record = TaskAttempt(phase, task, attempt, w, begin, end, failed, straggled)
+            report.attempts.append(record)
             heapq.heappush(workers, (end, w))
             if failed:
                 if attempt + 1 > cfg.max_attempts:
                     raise SimulationError(f"{phase} task {task} exceeded max attempts")
                 heapq.heappush(pending, (end, task, attempt + 1))
             else:
-                finish = max(finish, end)
-        return finish
+                finish_of[task] = end
+                success_of[task] = record
+        if cfg.speculate:
+            self._speculate(phase, durations, rng, report, workers, finish_of, success_of)
+        return max(finish_of.values(), default=start_time)
+
+    def _speculate(
+        self,
+        phase: str,
+        durations: list[float],
+        rng,
+        report: ClusterReport,
+        workers: list[tuple[float, int]],
+        finish_of: dict[int, float],
+        success_of: dict[int, "TaskAttempt"],
+    ) -> None:
+        """Launch backup attempts for straggling primaries (one per task).
+
+        A backup only launches when the earliest-free worker could plausibly
+        beat the straggler (its start plus a *normal* duration precedes the
+        primary's finish — Hadoop's "launch where it can win" rule).  Backups
+        draw failure/straggle like any attempt; a losing or failed backup
+        changes nothing, a winning one pulls the task's finish time in.
+        Output is computed once by the pure engine functions either way, so
+        the determinism invariant is untouched.
+        """
+        cfg = self.config
+        for task in sorted(finish_of):
+            primary = success_of[task]
+            if not primary.straggled:
+                continue
+            avail, w = workers[0]  # peek the earliest-free worker
+            normal = cfg.task_overhead + durations[task]
+            if avail + normal >= finish_of[task]:
+                continue  # the backup could not win; don't waste the slot
+            heapq.heappop(workers)
+            failed = rng.random() < cfg.failure_prob
+            straggled = rng.random() < cfg.straggler_prob
+            duration = normal
+            if straggled:
+                duration *= cfg.straggler_factor
+            if failed:
+                duration *= 0.5
+            end = avail + duration
+            report.attempts.append(
+                TaskAttempt(
+                    phase, task, primary.attempt + 1, w, avail, end,
+                    failed, straggled, speculative=True,
+                )
+            )
+            heapq.heappush(workers, (end, w))
+            if not failed:
+                # first finisher wins; the loser's duplicate output is dropped
+                finish_of[task] = min(finish_of[task], end)
 
     # -- public API ------------------------------------------------------------------
 

@@ -18,14 +18,24 @@ Phases, in Hadoop terms:
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SchedulingError
+from repro.common.resilience import DegradationLog, FaultInjector, RetryPolicy
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob
 
-__all__ = ["JobResult", "run_job", "map_split", "combine_pairs", "shuffle", "reduce_partition"]
+__all__ = [
+    "JobResult",
+    "run_job",
+    "run_job_parallel",
+    "map_split",
+    "combine_pairs",
+    "shuffle",
+    "reduce_partition",
+]
 
 
 @dataclass
@@ -165,5 +175,98 @@ def run_job(job: MapReduceJob, splits: Sequence[Iterable[tuple]]) -> JobResult:
     ]
     partitions = shuffle(job, spills, counters)
     outputs = [reduce_partition(job, groups, counters) for groups in partitions]
+    pairs = [pair for part in outputs for pair in part]
+    return JobResult(pairs=pairs, counters=counters, partitions=outputs)
+
+
+def run_job_parallel(
+    job: MapReduceJob,
+    splits: Sequence[Iterable[tuple]],
+    *,
+    max_workers: int = 4,
+    retry: RetryPolicy | None = None,
+    degradation: DegradationLog | None = None,
+    fault_injector: FaultInjector | None = None,
+) -> JobResult:
+    """Execute *job* over real thread-pool workers with retry-on-failure.
+
+    The multi-worker twin of :func:`run_job`, honouring the promise the
+    simulated cluster makes: task attempts that *fail* are re-executed
+    (up to ``retry.max_attempts`` times, with the policy's backoff) and
+    the output is bit-identical to the sequential engine regardless of
+    how many workers ran or how many attempts failed.  That holds because
+    map and reduce tasks are pure: each attempt starts from the immutable
+    input split / shuffled partition and accumulates into a *fresh*
+    per-attempt :class:`Counters`, so a failed attempt leaves no partial
+    state behind; only the winning attempt's counters are merged, in
+    task-index order.
+
+    ``fault_injector`` (tests) raises inside map/reduce tasks by task
+    index — map tasks are indexed ``0..len(splits)-1``, reduce tasks
+    continue at ``len(splits)``.  Retries are logged to ``degradation``.
+    """
+    retry = retry if retry is not None else RetryPolicy()
+    splits = [list(s) for s in splits]
+
+    def attempt_task(kind: str, index: int, fn):
+        """Run *fn* with retries; returns (result, per-attempt counters)."""
+        last: BaseException | None = None
+        for attempt in range(1, retry.max_attempts + 1):
+            local = Counters()
+            try:
+                if fault_injector is not None:
+                    fault_injector.check(index)
+                return fn(local), local
+            except Exception as exc:  # noqa: BLE001 - retried per policy
+                last = exc
+                if degradation is not None:
+                    degradation.record(
+                        "run_job_parallel",
+                        "retry",
+                        f"{kind} task {index} attempt {attempt} failed: {exc!r}",
+                        attempt=attempt,
+                        kind=kind,
+                        task=index,
+                    )
+                if attempt < retry.max_attempts:
+                    retry.sleep(attempt)
+        raise SchedulingError(
+            f"{kind} task {index} failed after {retry.max_attempts} attempts: {last!r}"
+        ) from last
+
+    counters = Counters()
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        map_futs = [
+            pool.submit(
+                attempt_task,
+                "map",
+                i,
+                lambda c, s=split: combine_pairs(job, map_split(job, s, c), c),
+            )
+            for i, split in enumerate(splits)
+        ]
+        spills = []
+        for fut in map_futs:  # collect in split order: determinism
+            spill, local = fut.result()
+            spills.append(spill)
+            counters.merge(local)
+
+        partitions = shuffle(job, spills, counters)
+
+        reduce_futs = [
+            pool.submit(
+                attempt_task,
+                "reduce",
+                len(splits) + p,
+                lambda c, g=groups: reduce_partition(job, g, c),
+            )
+            for p, groups in enumerate(partitions)
+        ]
+        outputs = []
+        for fut in reduce_futs:  # partition order, like the sequential engine
+            part, local = fut.result()
+            outputs.append(part)
+            counters.merge(local)
+
     pairs = [pair for part in outputs for pair in part]
     return JobResult(pairs=pairs, counters=counters, partitions=outputs)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.resilience import DegradationLog, RetryPolicy
 from repro.easypap.executor import SequentialBackend, make_backend
 from repro.easypap.grid import Grid2D
 from repro.easypap.kernel import get_variant, register_variant
@@ -51,10 +52,32 @@ class RunResult:
         return self.tiles_skipped / total if total else 0.0
 
 
-def _make_backend(name: str, nworkers: int, policy: str, chunk: int, trace: Trace | None):
+def _make_backend(
+    name: str,
+    nworkers: int,
+    policy: str,
+    chunk: int,
+    trace: Trace | None,
+    *,
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    allow_fallback: bool = True,
+    degradation: DegradationLog | None = None,
+):
     # thin alias over the executor factory: "sequential", "simulated",
-    # "threads", or "process" (real worker processes over shared memory)
-    return make_backend(name, nworkers, policy=policy, chunk=chunk, trace=trace)
+    # "threads", or "process" (real worker processes over shared memory);
+    # the resilience knobs only matter for the process backend
+    return make_backend(
+        name,
+        nworkers,
+        policy=policy,
+        chunk=chunk,
+        trace=trace,
+        retry=retry,
+        task_timeout=task_timeout,
+        allow_fallback=allow_fallback,
+        degradation=degradation,
+    )
 
 
 # -- variant factories --------------------------------------------------------
@@ -99,9 +122,17 @@ def _sandpile_omp(
     backend: str = "simulated",
     lazy: bool = False,
     trace: Trace | None = None,
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    allow_fallback: bool = True,
+    degradation: DegradationLog | None = None,
     **_opts,
 ):
-    be = _make_backend(backend, nworkers, policy, chunk, trace)
+    be = _make_backend(
+        backend, nworkers, policy, chunk, trace,
+        retry=retry, task_timeout=task_timeout,
+        allow_fallback=allow_fallback, degradation=degradation,
+    )
     return TiledSyncStepper(grid, tile_size, backend=be, lazy=lazy)
 
 
@@ -136,9 +167,17 @@ def _asandpile_omp(
     backend: str = "simulated",
     lazy: bool = True,
     trace: Trace | None = None,
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    allow_fallback: bool = True,
+    degradation: DegradationLog | None = None,
     **_opts,
 ):
-    be = _make_backend(backend, nworkers, policy, chunk, trace)
+    be = _make_backend(
+        backend, nworkers, policy, chunk, trace,
+        retry=retry, task_timeout=task_timeout,
+        allow_fallback=allow_fallback, degradation=degradation,
+    )
     return TiledAsyncStepper(grid, tile_size, backend=be, lazy=lazy)
 
 

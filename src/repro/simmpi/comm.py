@@ -48,7 +48,8 @@ __all__ = [
 ANY_SOURCE = -1
 ANY_TAG = -1
 
-#: seconds a blocking recv/barrier waits before declaring a deadlock
+#: default seconds a blocking recv/barrier waits before declaring a deadlock
+#: (per-world override: ``World(..., deadlock_timeout=...)``)
 _DEADLOCK_TIMEOUT = 60.0
 
 
@@ -82,25 +83,69 @@ class CommStats:
 
 
 class World:
-    """Shared state of a group of ranks: mailboxes, locks, failure flag."""
+    """Shared state of a group of ranks: mailboxes, locks, failure flag.
 
-    def __init__(self, size: int, cost_model: CostModel | None = None) -> None:
+    ``deadlock_timeout`` bounds every blocking ``recv``/``barrier``; when
+    it expires the raised error names the blocked rank and what it was
+    waiting for, plus every *other* rank currently blocked — the full
+    wait-graph snapshot a deadlock post-mortem needs.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        cost_model: CostModel | None = None,
+        *,
+        deadlock_timeout: float = _DEADLOCK_TIMEOUT,
+    ) -> None:
         if size < 1:
             raise CommunicationError(f"world size must be >= 1, got {size}")
+        if deadlock_timeout <= 0:
+            raise CommunicationError(f"deadlock_timeout must be > 0, got {deadlock_timeout}")
         self.size = size
         self.cost_model = cost_model or CostModel()
+        self.deadlock_timeout = deadlock_timeout
         self._mailboxes: list[deque[Message]] = [deque() for _ in range(size)]
         self._conditions = [threading.Condition() for _ in range(size)]
         self._barrier = threading.Barrier(size)
+        #: rank -> ("recv", source, tag) | ("barrier",) while blocked, else None
+        self._waiting: list[tuple | None] = [None] * size
         #: set by the runner when any rank raises, to unblock the others
         self.aborted = False
 
     def abort(self) -> None:
         """Mark the world failed and wake every blocked rank."""
         self.aborted = True
+        self._barrier.abort()
         for cond in self._conditions:
             with cond:
                 cond.notify_all()
+
+    def blocked_ranks(self) -> list[tuple]:
+        """Snapshot of blocked ranks: ``(rank, kind, *details)`` tuples."""
+        return [(r, *w) for r, w in enumerate(self._waiting) if w is not None]
+
+    def describe_blocked(self) -> str:
+        """Human-readable list of who is blocked on what (for diagnostics)."""
+        blocked = self.blocked_ranks()
+        if not blocked:
+            return "no ranks are blocked in communication calls"
+        parts = []
+        for entry in blocked:
+            rank, kind = entry[0], entry[1]
+            if kind == "recv":
+                _, _, source, tag = entry
+                src = "ANY_SOURCE" if source == ANY_SOURCE else f"rank {source}"
+                if tag in _TAG_NAMES:
+                    tg = f"{tag} [{_TAG_NAMES[tag]}]"
+                elif tag == ANY_TAG:
+                    tg = "ANY_TAG"
+                else:
+                    tg = str(tag)
+                parts.append(f"rank {rank} blocked in recv(source={src}, tag={tg})")
+            else:
+                parts.append(f"rank {rank} blocked in {kind}")
+        return "; ".join(parts)
 
     def deliver(self, msg: Message) -> None:
         """Append a message to the destination's mailbox and notify."""
@@ -127,25 +172,36 @@ class World:
         cond = self._conditions[rank]
         box = self._mailboxes[rank]
         with cond:
-            while True:
-                if self.aborted:
-                    raise CommunicationError(f"rank {rank}: world aborted")
-                for i, msg in enumerate(box):
-                    if (source in (ANY_SOURCE, msg.source)) and (tag in (ANY_TAG, msg.tag)):
-                        del box[i]
-                        return msg
-                if not cond.wait(timeout=_DEADLOCK_TIMEOUT):
-                    raise CommunicationError(
-                        f"rank {rank}: recv(source={source}, tag={tag}) timed out "
-                        f"— likely deadlock"
-                    )
+            self._waiting[rank] = ("recv", source, tag)
+            try:
+                while True:
+                    if self.aborted:
+                        raise CommunicationError(f"rank {rank}: world aborted")
+                    for i, msg in enumerate(box):
+                        if (source in (ANY_SOURCE, msg.source)) and (tag in (ANY_TAG, msg.tag)):
+                            del box[i]
+                            return msg
+                    if not cond.wait(timeout=self.deadlock_timeout):
+                        raise CommunicationError(
+                            f"rank {rank}: recv(source={source}, tag={tag}) timed out "
+                            f"after {self.deadlock_timeout}s — likely deadlock "
+                            f"({self.describe_blocked()})"
+                        )
+            finally:
+                self._waiting[rank] = None
 
     def wait_barrier(self, rank: int) -> None:
         """Block on the world barrier; raises on abort/deadlock."""
+        self._waiting[rank] = ("barrier",)
         try:
-            self._barrier.wait(timeout=_DEADLOCK_TIMEOUT)
+            self._barrier.wait(timeout=self.deadlock_timeout)
         except threading.BrokenBarrierError:
-            raise CommunicationError(f"rank {rank}: barrier broken (deadlock or abort)") from None
+            raise CommunicationError(
+                f"rank {rank}: barrier broken after {self.deadlock_timeout}s "
+                f"(deadlock or abort; {self.describe_blocked()})"
+            ) from None
+        finally:
+            self._waiting[rank] = None
 
 
 class Communicator:
@@ -352,6 +408,13 @@ class Request:
 _TAG_BCAST = -1001
 _TAG_GATHER = -1002
 _TAG_SCATTER = -1003
+
+#: internal collective tags, named for blocked-rank diagnostics
+_TAG_NAMES = {
+    _TAG_BCAST: "bcast",
+    _TAG_GATHER: "gather (also: allgather, barrier, reduce)",
+    _TAG_SCATTER: "scatter",
+}
 
 
 def _add(a, b):

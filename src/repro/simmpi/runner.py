@@ -11,6 +11,7 @@ re-raised in the caller with rank attribution.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from collections.abc import Callable
 
@@ -58,14 +59,24 @@ def run_ranks(
     fn: Callable[..., object],
     *args,
     cost_model: CostModel | None = None,
+    deadlock_timeout: float = 60.0,
+    wall_timeout: float = 300.0,
     **kwargs,
 ) -> WorldReport:
     """Run ``fn(comm, *args, **kwargs)`` on *nranks* simulated ranks.
 
     Returns a :class:`WorldReport` with per-rank return values (ordered by
     rank), communication statistics, and final virtual clocks.
+
+    ``deadlock_timeout`` bounds each blocking ``recv``/``barrier`` inside
+    the world (the old hard-coded 60 s); ``wall_timeout`` bounds the whole
+    SPMD run (the old hard-coded 300 s).  When either expires, the raised
+    error names the blocked ranks and the ``(source, tag)`` each was
+    waiting on.
     """
-    world = World(nranks, cost_model=cost_model)
+    if wall_timeout <= 0:
+        raise CommunicationError(f"wall_timeout must be > 0, got {wall_timeout}")
+    world = World(nranks, cost_model=cost_model, deadlock_timeout=deadlock_timeout)
     comms = [Communicator(world, r) for r in range(nranks)]
     results: list = [None] * nranks
     failures: list[RankFailure] = []
@@ -85,22 +96,33 @@ def run_ranks(
     ]
     for t in threads:
         t.start()
+    # one shared wall-clock budget, not wall_timeout per thread
+    deadline = time.monotonic() + wall_timeout
     for t in threads:
-        t.join(timeout=300.0)
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
     if any(t.is_alive() for t in threads):
+        diagnostics = world.describe_blocked()
         world.abort()
         stuck = [t.name for t in threads if t.is_alive()]
-        raise CommunicationError(f"ranks did not terminate: {stuck}")
+        raise CommunicationError(
+            f"ranks did not terminate within wall_timeout={wall_timeout}s: {stuck} "
+            f"({diagnostics})"
+        )
 
     if failures:
         failures.sort(key=lambda f: f.rank)
-        first = failures[0]
-        # Communication aborts on other ranks are a symptom, not the cause:
-        # prefer the first non-CommunicationError if one exists.
-        for f in failures:
+        # Abort echoes on other ranks are a symptom, not the cause: prefer
+        # the first non-CommunicationError, then the first communication
+        # failure that is not a bare "world aborted" (e.g. a deadlock
+        # timeout carrying the blocked source/tag diagnostics).
+        def _severity(f: RankFailure) -> int:
             if not isinstance(f.exception, CommunicationError):
-                first = f
-                break
+                return 0
+            if "world aborted" not in str(f.exception):
+                return 1
+            return 2
+
+        first = min(failures, key=lambda f: (_severity(f), f.rank))
         raise CommunicationError(f"rank {first.rank} failed: {first.exception!r}") from first.exception
 
     return WorldReport(

@@ -1,0 +1,145 @@
+"""Tests for the fault-tolerance primitives."""
+
+import time
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.resilience import (
+    Deadline,
+    DegradationLog,
+    FaultInjector,
+    InjectedFault,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        p = RetryPolicy()
+        assert p.max_attempts == 3
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+            {"jitter": -0.5},
+            {"backoff": 0.5},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kw)
+
+    def test_exponential_backoff_capped(self):
+        p = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=0.3)
+        assert p.delay(1) == pytest.approx(0.1)
+        assert p.delay(2) == pytest.approx(0.2)
+        assert p.delay(3) == pytest.approx(0.3)  # capped
+        assert p.delay(10) == pytest.approx(0.3)
+
+    def test_jitter_deterministic_per_seed(self):
+        a = RetryPolicy(base_delay=0.0, jitter=1.0, seed=7)
+        b = RetryPolicy(base_delay=0.0, jitter=1.0, seed=7)
+        c = RetryPolicy(base_delay=0.0, jitter=1.0, seed=8)
+        assert a.delay(1) == b.delay(1)
+        assert a.delay(2) == b.delay(2)
+        assert a.delay(1) != c.delay(1)
+        assert 0.0 <= a.delay(1) <= 1.0
+
+    def test_jitter_varies_per_attempt(self):
+        p = RetryPolicy(base_delay=0.0, jitter=1.0, seed=3)
+        assert p.delay(1) != p.delay(2)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay(0)
+
+    def test_retries_left(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.retries_left(1) == 2
+        assert p.retries_left(3) == 0
+        assert p.retries_left(5) == 0
+
+    def test_sleep_returns_duration(self):
+        p = RetryPolicy(base_delay=0.0, jitter=0.0)
+        assert p.sleep(1) == 0.0
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        d = Deadline(None)
+        assert d.remaining() is None
+        assert not d.expired
+
+    def test_bounded_expires(self):
+        d = Deadline(0.01)
+        assert d.remaining() <= 0.01
+        time.sleep(0.02)
+        assert d.expired
+        assert d.remaining() <= 0.0
+
+    def test_elapsed_monotonic(self):
+        d = Deadline(10.0)
+        e1 = d.elapsed()
+        e2 = d.elapsed()
+        assert 0.0 <= e1 <= e2
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(0.0)
+        with pytest.raises(ConfigurationError):
+            Deadline(-1.0)
+
+
+class TestFaultInjector:
+    def test_raise_fires_bounded(self):
+        inj = FaultInjector(raise_on_tasks={3}, max_fires=2)
+        with pytest.raises(InjectedFault):
+            inj.check(3)
+        with pytest.raises(InjectedFault):
+            inj.check(3)
+        inj.check(3)  # exhausted: no-op
+        assert inj.fires == 2
+
+    def test_untargeted_tasks_unaffected(self):
+        inj = FaultInjector(raise_on_tasks={1}, max_fires=5)
+        inj.check(0)
+        inj.check(2)
+        assert inj.fires == 0
+
+    def test_kill_and_raise_sets_disjoint(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(kill_on_tasks={1}, raise_on_tasks={1})
+
+    def test_negative_max_fires_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(max_fires=-1)
+
+    def test_wrap_runs_check_then_fn(self):
+        inj = FaultInjector(raise_on_tasks={0}, max_fires=1)
+        wrapped = inj.wrap(0, lambda: "ok")
+        with pytest.raises(InjectedFault):
+            wrapped()
+        assert wrapped() == "ok"  # injector exhausted after one fire
+
+
+class TestDegradationLog:
+    def test_record_and_query(self):
+        log = DegradationLog()
+        log.record("ProcessBackend", "pool-rebuild", "worker died", attempt=1, tasks=[3, 4])
+        log.record("ProcessBackend", "thread-fallback", "retries exhausted", attempt=3)
+        assert len(log) == 2
+        rebuilds = log.by_action("pool-rebuild")
+        assert len(rebuilds) == 1
+        assert rebuilds[0].detail == {"tasks": [3, 4]}
+        assert [e.action for e in log] == ["pool-rebuild", "thread-fallback"]
+
+    def test_summary_lines(self):
+        log = DegradationLog()
+        assert log.summary() == "no degradation events"
+        log.record("X", "retry", "boom", attempt=2)
+        assert "retry" in log.summary()
+        assert "attempt 2" in log.summary()

@@ -168,3 +168,78 @@ class TestFaultInjection:
                 # the pre-fix value serialised failed attempts too
                 inflated = sum(a.end - a.start for a in report.attempts) / report.makespan
                 assert report.speedup() < inflated
+
+
+class TestSpeculation:
+    """Hadoop-style backup attempts for stragglers: faster, never different."""
+
+    CFG = dict(n_workers=4, straggler_prob=0.4, straggler_factor=20.0)
+
+    def test_output_identical_to_local_engine(self):
+        local = run_job(JOB, SPLITS)
+        for seed in range(6):
+            cfg = ClusterConfig(seed=seed, speculate=True, **self.CFG)
+            result, report = SimulatedCluster(cfg).run(JOB, SPLITS)
+            assert result.pairs == local.pairs
+            assert result.partitions == local.partitions
+            assert result.counters.as_dict() == local.counters.as_dict()
+
+    def test_backups_reported(self):
+        # straggler_prob=1 forces every primary to straggle, so backups
+        # (which can still straggle) are launched wherever they can win
+        cfg = ClusterConfig(
+            n_workers=4, straggler_prob=1.0, straggler_factor=50.0,
+            seed=0, speculate=True,
+        )
+        _, report = SimulatedCluster(cfg).run(JOB, SPLITS)
+        assert report.speculative > 0
+        # backups are numbered after the primary attempt they shadow
+        assert all(a.attempt > 1 for a in report.attempts if a.speculative)
+
+    def test_disabled_by_default(self):
+        cfg = ClusterConfig(seed=3, **self.CFG)
+        _, report = SimulatedCluster(cfg).run(JOB, SPLITS)
+        assert report.speculative == 0
+        assert report.speculative_wins == 0
+
+    def test_winning_backup_improves_makespan(self):
+        # find a seed where a backup wins and check the makespan shrank
+        found = False
+        for seed in range(10):
+            base = ClusterConfig(seed=seed, speculate=False, **self.CFG)
+            spec = ClusterConfig(seed=seed, speculate=True, **self.CFG)
+            _, r0 = SimulatedCluster(base).run(JOB, SPLITS)
+            _, r1 = SimulatedCluster(spec).run(JOB, SPLITS)
+            if r1.speculative_wins > 0 and r1.makespan < r0.makespan:
+                found = True
+                break
+        assert found, "no seed in range produced a winning backup"
+
+    def test_backup_only_where_it_can_win(self):
+        # a backup's scheduled duration at launch must beat the primary
+        cfg = ClusterConfig(seed=1, speculate=True, **self.CFG)
+        _, report = SimulatedCluster(cfg).run(JOB, SPLITS)
+        primaries = {
+            (a.phase, a.task): a
+            for a in report.attempts
+            if not a.speculative and not a.failed
+        }
+        for b in (a for a in report.attempts if a.speculative):
+            p = primaries[(b.phase, b.task)]
+            assert p.straggled  # only straggling primaries get backups
+            assert b.start < p.end  # launched while the primary still ran
+
+    def test_total_work_excludes_backups(self):
+        cfg = ClusterConfig(
+            n_workers=4, straggler_prob=1.0, straggler_factor=50.0,
+            seed=0, speculate=True,
+        )
+        _, report = SimulatedCluster(cfg).run(JOB, SPLITS)
+        assert report.speculative > 0
+        primary_work = sum(
+            a.end - a.start for a in report.attempts
+            if not a.failed and not a.speculative
+        )
+        assert report.total_work == pytest.approx(primary_work)
+        # occupancy still counts the backups' cycles
+        assert sum(report.worker_busy(4)) > report.total_work

@@ -1,0 +1,106 @@
+"""Tests for the multi-worker engine path (``run_job_parallel``)."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.common.resilience import DegradationLog, FaultInjector, RetryPolicy
+from repro.mapreduce.engine import run_job, run_job_parallel
+from repro.mapreduce.job import MapReduceJob
+
+pytestmark = pytest.mark.faults
+
+
+def wc_mapper(_k, line):
+    for w in str(line).split():
+        yield w, 1
+
+
+def wc_combiner(w, counts):
+    yield w, sum(counts)
+
+
+def wc_reducer(w, counts):
+    yield w, sum(counts)
+
+
+JOB = MapReduceJob(
+    mapper=wc_mapper, combiner=wc_combiner, reducer=wc_reducer, num_reducers=3
+)
+SPLITS = [
+    [(0, "alpha beta gamma"), (1, "beta gamma")],
+    [(2, "gamma delta")],
+    [(3, "alpha alpha beta")],
+    [(4, "epsilon")],
+]
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+
+class TestParity:
+    def test_identical_to_sequential_engine(self):
+        local = run_job(JOB, SPLITS)
+        parallel = run_job_parallel(JOB, SPLITS, max_workers=4)
+        assert parallel.pairs == local.pairs
+        assert parallel.partitions == local.partitions
+        assert parallel.counters.as_dict() == local.counters.as_dict()
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_worker_count_irrelevant(self, workers):
+        local = run_job(JOB, SPLITS)
+        parallel = run_job_parallel(JOB, SPLITS, max_workers=workers)
+        assert parallel.pairs == local.pairs
+
+    def test_empty_splits(self):
+        result = run_job_parallel(JOB, [], max_workers=2)
+        assert result.pairs == run_job(JOB, []).pairs
+
+
+class TestRetry:
+    def test_map_fault_retried_output_unchanged(self):
+        local = run_job(JOB, SPLITS)
+        log = DegradationLog()
+        inj = FaultInjector(raise_on_tasks={1}, max_fires=1)
+        result = run_job_parallel(
+            JOB, SPLITS, max_workers=2, retry=FAST_RETRY,
+            degradation=log, fault_injector=inj,
+        )
+        assert result.pairs == local.pairs
+        assert result.counters.as_dict() == local.counters.as_dict()
+        assert inj.fires == 1
+        retries = log.by_action("retry")
+        assert len(retries) == 1
+        assert retries[0].detail["kind"] == "map"
+        assert retries[0].detail["task"] == 1
+
+    def test_reduce_fault_retried_output_unchanged(self):
+        local = run_job(JOB, SPLITS)
+        log = DegradationLog()
+        # reduce tasks are indexed after the map tasks
+        inj = FaultInjector(raise_on_tasks={len(SPLITS) + 1}, max_fires=1)
+        result = run_job_parallel(
+            JOB, SPLITS, max_workers=2, retry=FAST_RETRY,
+            degradation=log, fault_injector=inj,
+        )
+        assert result.pairs == local.pairs
+        assert log.by_action("retry")[0].detail["kind"] == "reduce"
+
+    def test_exhaustion_raises_scheduling_error(self):
+        inj = FaultInjector(raise_on_tasks={0}, max_fires=100)
+        retry = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(SchedulingError) as exc_info:
+            run_job_parallel(
+                JOB, SPLITS, max_workers=2, retry=retry, fault_injector=inj,
+            )
+        msg = str(exc_info.value)
+        assert "map task 0" in msg
+        assert "2 attempts" in msg
+        assert inj.fires == 2
+
+    def test_failed_attempt_counters_discarded(self):
+        """A failed attempt must leave no partial counter state behind."""
+        local = run_job(JOB, SPLITS)
+        inj = FaultInjector(raise_on_tasks={0, 2}, max_fires=2)
+        result = run_job_parallel(
+            JOB, SPLITS, max_workers=4, retry=FAST_RETRY, fault_injector=inj,
+        )
+        assert result.counters.as_dict() == local.counters.as_dict()

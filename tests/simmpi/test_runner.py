@@ -60,3 +60,67 @@ class TestRunRanks:
     def test_makespan_empty(self):
         report = run_ranks(2, lambda comm: None)
         assert report.makespan >= 0.0
+
+
+class TestTimeouts:
+    """Configurable deadlock/wall timeouts with blocked-rank diagnostics."""
+
+    def test_deadlock_error_names_blocked_source_and_tag(self):
+        # classic head-to-head deadlock: both ranks recv, nobody sends
+        def body(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=7)
+
+        with pytest.raises(CommunicationError) as exc_info:
+            run_ranks(2, body, deadlock_timeout=0.2, wall_timeout=10.0)
+        msg = str(exc_info.value)
+        assert "timed out" in msg
+        assert "tag=7" in msg
+        assert "blocked" in msg
+        # the diagnostics list *both* parties of the deadlock
+        assert "rank 0" in msg and "rank 1" in msg
+
+    def test_deadlock_diagnostics_prefer_timeout_over_abort_echo(self):
+        # the rank that times out aborts the world; its peers then fail
+        # with a bare "world aborted" — the surfaced error must be the
+        # diagnostic-rich timeout, whichever rank hit it first
+        def body(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=9)
+
+        with pytest.raises(CommunicationError, match="timed out"):
+            run_ranks(3, body, deadlock_timeout=0.2, wall_timeout=10.0)
+
+    def test_wall_timeout_names_stuck_ranks(self):
+        import time as _time
+
+        def body(comm):
+            if comm.rank == 1:
+                _time.sleep(5.0)  # stuck outside any communication call
+
+        with pytest.raises(CommunicationError) as exc_info:
+            run_ranks(2, body, wall_timeout=0.3)
+        msg = str(exc_info.value)
+        assert "wall_timeout=0.3" in msg
+        assert "simmpi-rank-1" in msg
+
+    def test_barrier_deadlock_diagnosed(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.barrier()  # rank 1 never arrives
+
+        with pytest.raises(CommunicationError) as exc_info:
+            run_ranks(2, body, deadlock_timeout=0.2, wall_timeout=10.0)
+        assert "barrier" in str(exc_info.value)
+
+    def test_invalid_timeouts_rejected(self):
+        with pytest.raises(CommunicationError):
+            run_ranks(1, lambda comm: None, wall_timeout=0.0)
+        with pytest.raises(CommunicationError):
+            run_ranks(1, lambda comm: None, deadlock_timeout=-1.0)
+
+    def test_defaults_unchanged(self):
+        # the old hard-coded constants are now the defaults
+        import inspect
+
+        sig = inspect.signature(run_ranks)
+        assert sig.parameters["deadlock_timeout"].default == 60.0
+        assert sig.parameters["wall_timeout"].default == 300.0
