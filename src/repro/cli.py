@@ -35,7 +35,12 @@ def sandpile_main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--grains", type=int, default=25_000, help="grains for the center pile")
     p.add_argument("--kernel", default="sandpile", choices=["sandpile", "asandpile"])
-    p.add_argument("--variant", default="vec")
+    p.add_argument(
+        "--variant",
+        default="vec",
+        help="kernel variant: seq, vec, frontier (bounding-box stepping over "
+        "the active region), tiled, lazy, split, omp (default vec)",
+    )
     p.add_argument("--tile-size", type=int, default=32)
     p.add_argument("--nworkers", type=int, default=4)
     p.add_argument("--policy", default="dynamic")

@@ -48,7 +48,7 @@ from repro.easypap.schedule import (
     POLICIES,
     ScheduleResult,
     TaskSpan,
-    chunk_plan,
+    chunk_plan_cached,
     simulate_schedule,
 )
 from repro.easypap.tiling import Tile
@@ -230,7 +230,11 @@ class SimulatedBackend:
     def run(self, batch: TaskBatch, *, iteration: int = 0, kind: str = "compute") -> ScheduleResult:
         # Execute in policy chunk order first (and measure if requested)...
         """Execute the batch; returns the resulting schedule placement."""
-        order = [i for ch in chunk_plan(len(batch), self.nworkers, self.policy, self.chunk) for i in ch]
+        order = [
+            i
+            for ch in chunk_plan_cached(len(batch), self.nworkers, self.policy, self.chunk)
+            for i in ch
+        ]
         measured: list[float] = [0.0] * len(batch)
         returned: list[object] = [None] * len(batch)
         for i in order:
@@ -698,7 +702,7 @@ class ProcessBackend:
         if self._pool is None:
             raise SchedulingError("bind_planes() must be called before running tile batches")
         n = len(batch)
-        chunks = chunk_plan(n, self.nworkers, self.policy, self.chunk)
+        chunks = chunk_plan_cached(n, self.nworkers, self.policy, self.chunk)
         epoch = time.perf_counter()
         spans: list[TaskSpan | None] = [None] * n
         returns: list[object] = [None] * n

@@ -24,11 +24,19 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from functools import lru_cache
 from collections.abc import Sequence
 
 from repro.common.errors import SchedulingError
 
-__all__ = ["POLICIES", "TaskSpan", "ScheduleResult", "simulate_schedule", "chunk_plan"]
+__all__ = [
+    "POLICIES",
+    "TaskSpan",
+    "ScheduleResult",
+    "simulate_schedule",
+    "chunk_plan",
+    "chunk_plan_cached",
+]
 
 POLICIES = ("static", "cyclic", "dynamic", "guided")
 
@@ -113,19 +121,37 @@ def chunk_plan(ntasks: int, nworkers: int, policy: str, chunk: int) -> list[list
     For ``static``/``cyclic`` the worker of each chunk is fixed a priori; for
     ``dynamic``/``guided`` chunks are consumed in this order by whichever
     worker frees up first.
+
+    Returns fresh mutable lists; hot paths that only *read* the plan should
+    use :func:`chunk_plan_cached` instead, which memoises the (purely
+    parameter-determined) plan across iterations.
+    """
+    return [list(c) for c in chunk_plan_cached(ntasks, nworkers, policy, chunk)]
+
+
+@lru_cache(maxsize=4096)
+def chunk_plan_cached(
+    ntasks: int, nworkers: int, policy: str, chunk: int
+) -> tuple[tuple[int, ...], ...]:
+    """Memoised, immutable form of :func:`chunk_plan`.
+
+    A plan depends only on ``(ntasks, nworkers, policy, chunk)``, yet the
+    steppers ask for it every iteration — caching removes that rebuild from
+    the per-step hot path (backends reuse the identical tuple each step).
+    Invalid parameters raise :class:`SchedulingError` and are not cached.
     """
     if ntasks < 0:
         raise SchedulingError("negative task count")
     if chunk < 1:
         raise SchedulingError(f"chunk must be >= 1, got {chunk}")
-    tasks = list(range(ntasks))
+    tasks = tuple(range(ntasks))
     if policy == "static":
         block = -(-ntasks // nworkers) if ntasks else 0
-        return [tasks[i : i + block] for i in range(0, ntasks, block)] if block else []
+        return tuple(tasks[i : i + block] for i in range(0, ntasks, block)) if block else ()
     if policy in ("cyclic", "dynamic"):
-        return [tasks[i : i + chunk] for i in range(0, ntasks, chunk)]
+        return tuple(tasks[i : i + chunk] for i in range(0, ntasks, chunk))
     if policy == "guided":
-        chunks: list[list[int]] = []
+        chunks: list[tuple[int, ...]] = []
         pos = 0
         while pos < ntasks:
             remaining = ntasks - pos
@@ -133,7 +159,7 @@ def chunk_plan(ntasks: int, nworkers: int, policy: str, chunk: int) -> list[list
             size = min(size, remaining)
             chunks.append(tasks[pos : pos + size])
             pos += size
-        return chunks
+        return tuple(chunks)
     raise SchedulingError(f"unknown policy {policy!r}; choose from {POLICIES}")
 
 
@@ -167,7 +193,7 @@ def simulate_schedule(
     for i, c in enumerate(costs):
         if c < 0:
             raise SchedulingError(f"task {i} has negative cost {c}")
-    chunks = chunk_plan(len(costs), nworkers, policy, chunk)
+    chunks = chunk_plan_cached(len(costs), nworkers, policy, chunk)
     spans: list[TaskSpan] = []
 
     if policy in ("static", "cyclic"):

@@ -29,7 +29,15 @@ from repro.sandpile.analysis import (
 )
 from repro.sandpile.gpu import DeviceModel, GpuStepper, LazyGpuStepper
 from repro.sandpile.hybrid import CpuModel, HybridStepper
-from repro.sandpile.kernels import async_sweep, async_tile_relax, sync_step, sync_tile
+from repro.sandpile.kernels import (
+    async_sweep,
+    async_tile_relax,
+    grow_window,
+    sync_step,
+    sync_tile,
+    sync_tile_nc,
+    unstable_bbox,
+)
 from repro.sandpile.lazy import LazyFlags
 from repro.sandpile.model import center_pile, max_stable, random_uniform, sparse_random, uniform
 from repro.sandpile.mpi import DistributedResult, run_distributed
@@ -53,7 +61,13 @@ from repro.sandpile.theory import (
     is_recurrent,
     stabilize,
 )
-from repro.sandpile.vectorized import AsyncVecStepper, SplitSyncStepper, SyncVecStepper
+from repro.sandpile.vectorized import (
+    AsyncVecStepper,
+    FrontierAsyncStepper,
+    FrontierSyncStepper,
+    SplitSyncStepper,
+    SyncVecStepper,
+)
 
 __all__ = [
     "Avalanche",
@@ -68,8 +82,11 @@ __all__ = [
     "random_uniform",
     "sync_step",
     "sync_tile",
+    "sync_tile_nc",
     "async_sweep",
     "async_tile_relax",
+    "unstable_bbox",
+    "grow_window",
     "sync_compute_new_state",
     "async_compute_new_state",
     "sync_step_reference",
@@ -82,6 +99,8 @@ __all__ = [
     "wave_partition",
     "SyncVecStepper",
     "AsyncVecStepper",
+    "FrontierSyncStepper",
+    "FrontierAsyncStepper",
     "SplitSyncStepper",
     "DeviceModel",
     "GpuStepper",

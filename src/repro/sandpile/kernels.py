@@ -1,4 +1,4 @@
-"""Vectorised sandpile kernels (whole-grid and per-tile).
+"""Vectorised sandpile kernels (whole-grid, windowed, and per-tile).
 
 These are the numpy counterparts of the reference loops: the "code
 simplification [that enables] compiler auto-vectorization" lesson of the
@@ -9,15 +9,24 @@ ops, no copies in the hot path).
 Kernel glossary (paper names in parentheses):
 
 * :func:`sync_step` (``sandPile``)  — synchronous step via an auxiliary
-  array; every cell recomputed from the previous state.
+  array; every cell recomputed from the previous state.  With ``window=``
+  the update and the sink accounting are sliced to a sub-rectangle of the
+  interior — exact whenever the window contains every unstable cell plus
+  a one-cell margin (activity moves at most one cell per iteration), the
+  invariant the frontier steppers maintain.
 * :func:`async_sweep` (``asandPile``) — topple *all currently unstable*
   cells simultaneously, in place.  One sweep of the asynchronous variant;
-  repeated sweeps converge to the same fixpoint (Dhar).
+  repeated sweeps converge to the same fixpoint (Dhar).  With ``window=``
+  the sweep is sliced to a rectangle containing every unstable cell.
+* :func:`unstable_bbox` / :func:`grow_window` — dirty-bounding-box helpers
+  the frontier steppers use to track where activity can possibly be.
 * :func:`sync_tile` / :func:`async_tile_relax` — tile-local forms used by
   the tiled, lazy, and parallel variants.  ``async_tile_relax`` keeps
   toppling inside one tile until the tile is internally stable, pushing
   surplus grains into the one-cell halo around the tile — the in-place
-  analogue of cache-friendly tile processing.
+  analogue of cache-friendly tile processing.  ``sync_tile_nc`` is the
+  lazy path's form: no per-tile change test (detection happens once,
+  vectorised, per batch via ``LazyFlags.mark_from_diff``).
 """
 
 from __future__ import annotations
@@ -31,25 +40,95 @@ from repro.easypap.tiling import Tile
 __all__ = [
     "sync_step",
     "sync_tile",
+    "sync_tile_nc",
     "async_sweep",
     "async_tile_relax",
     "async_tile_relax_array",
     "toppling_count",
+    "unstable_bbox",
+    "grow_window",
 ]
 
+#: A bounding box ``(y0, y1, x0, x1)`` in interior coordinates, half-open.
+Window = tuple[int, int, int, int]
 
-def sync_step(grid: Grid2D, out: np.ndarray | None = None) -> bool:
-    """One synchronous iteration over the whole grid, vectorised.
+
+def unstable_bbox(interior: np.ndarray, window: Window | None = None) -> Window | None:
+    """Bounding box of cells holding >= 4 grains, or None when stable.
+
+    *interior* is the unframed ``(H, W)`` interior plane; when *window* is
+    given only that sub-rectangle is scanned (activity can only appear
+    where the previous step computed, so the scan stays O(window)).
+    """
+    if window is None:
+        y0, x0 = 0, 0
+        y1, x1 = interior.shape
+    else:
+        y0, y1, x0, x1 = window
+    mask = interior[y0:y1, x0:x1] >= 4
+    rows = np.flatnonzero(mask.any(axis=1))
+    if rows.size == 0:
+        return None
+    cols = np.flatnonzero(mask.any(axis=0))
+    return (
+        y0 + int(rows[0]),
+        y0 + int(rows[-1]) + 1,
+        x0 + int(cols[0]),
+        x0 + int(cols[-1]) + 1,
+    )
+
+
+def grow_window(window: Window, height: int, width: int, pad: int = 1) -> Window:
+    """Grow a bounding box by *pad* cells, clipped to the interior."""
+    y0, y1, x0, x1 = window
+    return (max(y0 - pad, 0), min(y1 + pad, height), max(x0 - pad, 0), min(x1 + pad, width))
+
+
+def _touches_border(window: Window, height: int, width: int) -> bool:
+    y0, y1, x0, x1 = window
+    return y0 == 0 or x0 == 0 or y1 == height or x1 == width
+
+
+def sync_step(grid: Grid2D, out: np.ndarray | None = None, window: Window | None = None) -> bool:
+    """One synchronous iteration, vectorised; optionally windowed.
 
     *out* may supply a preallocated ``(H+2, W+2)`` scratch array (reused
     across iterations to avoid per-step allocations).  Returns True when
     any interior cell changed.
+
+    *window* slices the update to a sub-rectangle ``(y0, y1, x0, x1)`` of
+    the interior.  This is exact — cells outside the window cannot change
+    — iff the window contains every unstable cell *grown by one cell*
+    (see :func:`grow_window`): topplers then sit strictly inside the
+    window, so no grain crosses its boundary except into the sink frame.
+    Sink accounting is likewise sliced: grains lost off the edge equal the
+    window's grain deficit, and only windows touching the border can lose
+    any.
     """
     d = grid.data
     if out is None:
         out = np.empty_like(d)
     elif out.shape != d.shape:
         raise ValueError(f"scratch buffer shape {out.shape} != grid shape {d.shape}")
+
+    if window is not None:
+        y0, y1, x0, x1 = window
+        ys = slice(y0 + 1, y1 + 1)
+        xs = slice(x0 + 1, x1 + 1)
+        centre = d[ys, xs]
+        new = out[ys, xs]
+        np.bitwise_and(centre, 3, out=new)
+        new += d[ys, x0:x1] >> 2
+        new += d[ys, x0 + 2 : x1 + 2] >> 2
+        new += d[y0:y1, xs] >> 2
+        new += d[y0 + 2 : y1 + 2, xs] >> 2
+        changed = bool((new != centre).any())
+        if _touches_border(window, grid.height, grid.width):
+            # net window deficit == grains that toppled into the sink frame
+            grid.sink_absorbed += int(centre.sum()) - int(new.sum())
+        d[ys, xs] = new
+        return changed
+
     div = d >> 2  # d // 4, sign-safe because counts are non-negative
     interior_new = out[1:-1, 1:-1]
     np.add(d[1:-1, 1:-1] & 3, div[1:-1, :-2], out=interior_new)
@@ -92,15 +171,56 @@ def sync_tile(src: np.ndarray, dst: np.ndarray, tile: Tile) -> bool:
     return bool((new != centre).any())
 
 
-def async_sweep(grid: Grid2D) -> bool:
+def sync_tile_nc(src: np.ndarray, dst: np.ndarray, tile: Tile) -> None:
+    """:func:`sync_tile` without the per-tile change test.
+
+    The lazy stepper derives all changed flags in one vectorised pass
+    afterwards (``LazyFlags.mark_from_diff``), so the per-tile ``.any()``
+    reduction would be pure overhead.
+    """
+    ys = slice(tile.y0 + 1, tile.y1 + 1)
+    xs = slice(tile.x0 + 1, tile.x1 + 1)
+    dst[ys, xs] = (
+        (src[ys, xs] & 3)
+        + (src[ys, tile.x0 : tile.x1] >> 2)
+        + (src[ys, tile.x0 + 2 : tile.x1 + 2] >> 2)
+        + (src[tile.y0 : tile.y1, xs] >> 2)
+        + (src[tile.y0 + 2 : tile.y1 + 2, xs] >> 2)
+    )
+
+
+def async_sweep(grid: Grid2D, window: Window | None = None) -> bool:
     """Topple every currently-unstable cell once, in place (one sweep).
 
     Equivalent to one synchronous step in effect, but expressed as the
     in-place scatter of the asynchronous kernel; kept separate because the
     tiled/parallel asynchronous variants build on the same scatter.
     Returns True when at least one cell toppled.
+
+    *window* slices the sweep to a sub-rectangle of the interior; exact
+    iff the window contains every unstable cell (writes land in the
+    window's one-cell halo via the offset slices, so no growth is needed).
+    The sink is only drained when the halo can reach the frame, i.e. when
+    the window touches the border.
     """
     d = grid.data
+    if window is not None:
+        y0, y1, x0, x1 = window
+        ys = slice(y0 + 1, y1 + 1)
+        xs = slice(x0 + 1, x1 + 1)
+        inner = d[ys, xs]
+        div = inner >> 2
+        if not div.any():
+            return False
+        inner &= 3
+        d[ys, x0:x1] += div            # west
+        d[ys, x0 + 2 : x1 + 2] += div  # east
+        d[y0:y1, xs] += div            # north
+        d[y0 + 2 : y1 + 2, xs] += div  # south
+        if _touches_border(window, grid.height, grid.width):
+            grid.drain_sink()
+        return True
+
     inner = d[1:-1, 1:-1]
     div = inner >> 2
     if not div.any():
@@ -169,9 +289,14 @@ def _sync_tile_kernel(planes, task) -> bool:
     return sync_tile(planes[task.src], planes[task.dst], task.tile)
 
 
+def _sync_tile_nc_kernel(planes, task) -> None:
+    return sync_tile_nc(planes[task.src], planes[task.dst], task.tile)
+
+
 def _async_tile_relax_kernel(planes, task) -> int:
     return async_tile_relax_array(planes[task.src], task.tile)
 
 
 register_tile_kernel("sync_tile", _sync_tile_kernel)
+register_tile_kernel("sync_tile_nc", _sync_tile_nc_kernel)
 register_tile_kernel("async_tile_relax", _async_tile_relax_kernel)

@@ -14,6 +14,11 @@ A tile must be recomputed when it or any 4-neighbour changed previously:
 grains only cross one cell per toppling, so activity propagates at most
 one tile per iteration — skipping everything else is exact, not an
 approximation (tests assert bit-identical fixpoints).
+
+The active set is derived by a single vectorised 4-neighbour dilation of
+the ``changed`` plane (no per-tile Python loop), and per-tile change
+detection can be done in one pass over the cell planes
+(:meth:`LazyFlags.mark_from_diff`) instead of one ``.any()`` per tile.
 """
 
 from __future__ import annotations
@@ -26,7 +31,13 @@ __all__ = ["LazyFlags"]
 
 
 class LazyFlags:
-    """Per-tile dirty tracking for lazy evaluation over a :class:`TileGrid`."""
+    """Per-tile dirty tracking for lazy evaluation over a :class:`TileGrid`.
+
+    The cumulative ``computed_total``/``skipped_total`` statistics (the
+    Fig. 3 / A2 skip counters) are committed by :meth:`advance`, once per
+    iteration — querying :meth:`active_tiles` any number of times within
+    an iteration does not skew them.
+    """
 
     def __init__(self, tiles: TileGrid) -> None:
         self.tiles = tiles
@@ -34,34 +45,52 @@ class LazyFlags:
         # Everything is dirty initially: the first iteration computes all tiles.
         self._changed = np.ones(shape, dtype=bool)
         self._next = np.zeros(shape, dtype=bool)
+        #: cached 4-neighbour dilation of ``_changed`` (rebuilt on demand,
+        #: dropped whenever the changed plane moves)
+        self._need: np.ndarray | None = None
+        #: active count from the last query, committed by :meth:`advance`
+        self._pending: int | None = None
         #: cumulative statistics (exposed for the Fig. 3 / A2 benchmarks)
         self.computed_total = 0
         self.skipped_total = 0
 
     # -- queries ---------------------------------------------------------------
 
+    def _need_mask(self) -> np.ndarray:
+        """Boolean tile plane: tile or any 4-neighbour changed last iteration.
+
+        One vectorised dilation of the ``changed`` plane; cached until the
+        plane advances.
+        """
+        if self._need is None:
+            c = self._changed
+            need = c.copy()
+            need[1:, :] |= c[:-1, :]
+            need[:-1, :] |= c[1:, :]
+            need[:, 1:] |= c[:, :-1]
+            need[:, :-1] |= c[:, 1:]
+            self._need = need
+        return self._need
+
     def needs_compute(self, tile: Tile) -> bool:
         """True when *tile* or a 4-neighbour changed last iteration."""
-        ty, tx = tile.ty, tile.tx
-        c = self._changed
-        if c[ty, tx]:
-            return True
-        if ty > 0 and c[ty - 1, tx]:
-            return True
-        if ty + 1 < c.shape[0] and c[ty + 1, tx]:
-            return True
-        if tx > 0 and c[ty, tx - 1]:
-            return True
-        if tx + 1 < c.shape[1] and c[ty, tx + 1]:
-            return True
-        return False
+        return bool(self._need_mask()[tile.ty, tile.tx])
+
+    def active_indices(self) -> np.ndarray:
+        """Row-major indices of tiles needing recomputation this iteration."""
+        idx = np.flatnonzero(self._need_mask())
+        self._pending = int(idx.size)
+        return idx
 
     def active_tiles(self) -> list[Tile]:
-        """Tiles needing recomputation this iteration (row-major order)."""
-        active = [t for t in self.tiles if self.needs_compute(t)]
-        self.computed_total += len(active)
-        self.skipped_total += len(self.tiles) - len(active)
-        return active
+        """Tiles needing recomputation this iteration (row-major order).
+
+        Idempotent: repeated queries within one iteration return the same
+        set and do not double-count the skip statistics (accounting is
+        deferred to :meth:`advance`).
+        """
+        tiles = self.tiles
+        return [tiles[int(i)] for i in self.active_indices()]
 
     @property
     def dirty_fraction(self) -> float:
@@ -75,13 +104,51 @@ class LazyFlags:
         if changed:
             self._next[tile.ty, tile.tx] = True
 
+    def mark_from_diff(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Flag every tile whose interior differs between two framed planes.
+
+        One vectorised compare + per-tile ``logical_or`` reduction replaces
+        per-tile ``.any()`` calls.  The scan is restricted to the bounding
+        box of the last :meth:`active_tiles` query — tiles outside it were
+        not recomputed, so their planes are equal by construction.
+        """
+        t = self.tiles
+        need = self._need
+        if need is not None:
+            ridx = np.flatnonzero(need.any(axis=1))
+            if ridx.size == 0:
+                return
+            cidx = np.flatnonzero(need.any(axis=0))
+            ty0, ty1 = int(ridx[0]), int(ridx[-1]) + 1
+            tx0, tx1 = int(cidx[0]), int(cidx[-1]) + 1
+        else:
+            ty0, ty1, tx0, tx1 = 0, t.tiles_y, 0, t.tiles_x
+        y0, y1 = ty0 * t.tile_h, min(ty1 * t.tile_h, t.height)
+        x0, x1 = tx0 * t.tile_w, min(tx1 * t.tile_w, t.width)
+        diff = src[1 + y0 : 1 + y1, 1 + x0 : 1 + x1] != dst[1 + y0 : 1 + y1, 1 + x0 : 1 + x1]
+        rstarts = np.arange(ty1 - ty0) * t.tile_h
+        cstarts = np.arange(tx1 - tx0) * t.tile_w
+        mask = np.logical_or.reduceat(np.logical_or.reduceat(diff, rstarts, axis=0), cstarts, axis=1)
+        self._next[ty0:ty1, tx0:tx1] |= mask
+
     def advance(self) -> bool:
-        """Commit the current iteration's flags; True if anything changed."""
+        """Commit the current iteration's flags; True if anything changed.
+
+        Also commits the skip statistics for the iteration being closed,
+        based on the last active-set query.
+        """
+        if self._pending is not None:
+            self.computed_total += self._pending
+            self.skipped_total += len(self.tiles) - self._pending
+            self._pending = None
         self._changed, self._next = self._next, self._changed
         self._next[...] = False
+        self._need = None
         return bool(self._changed.any())
 
     def reset(self) -> None:
         """Mark every tile dirty again (e.g. after an external grid edit)."""
         self._changed[...] = True
         self._next[...] = False
+        self._need = None
+        self._pending = None

@@ -26,6 +26,14 @@ cannot cross a process boundary; changed flags come back through
 ``ScheduleResult.returns`` instead).  Steppers owning such a backend hold
 OS resources — call :meth:`close` (or rely on
 :func:`~repro.sandpile.simulate.run_to_fixpoint`, which always does).
+
+**Zero-rebuild batches**: task closures, ``TileTask`` specs, and the
+all-tiles ``TaskBatch`` objects are built once at construction and reused
+every iteration — only the src/dst plane *parity* alternates (two
+pre-built spec lists), so no per-iteration task-spec construction remains
+on the hot path.  Closures read the live planes through the stepper
+(``self._cur_src``/``self._cur_dst``), which is what makes them reusable
+across plane flips.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from __future__ import annotations
 from repro.easypap.executor import SequentialBackend, TaskBatch, TileTask
 from repro.easypap.grid import Grid2D
 from repro.easypap.tiling import Tile, TileGrid
-from repro.sandpile.kernels import async_tile_relax, sync_tile
+from repro.sandpile.kernels import async_tile_relax, sync_tile, sync_tile_nc
 from repro.sandpile.lazy import LazyFlags
 
 __all__ = ["TiledSyncStepper", "TiledAsyncStepper", "wave_partition"]
@@ -77,6 +85,50 @@ class TiledSyncStepper:
             grid.swap_buffer(plane0)
             self._scratch = plane1
             self._shared = True
+        # -- zero-rebuild caches: closures, specs, and all-tiles batches are
+        # built once; iterations only alternate the plane parity
+        self._all_tiles = list(self.tiles)
+        self._changed_flags: dict[int, bool] = {}
+        self._cur_src = grid.data
+        self._cur_dst = self._scratch
+        self._tasks = [self._make_task(t) for t in self._all_tiles]
+        if self._shared:
+            kernel = "sync_tile_nc" if lazy else "sync_tile"
+            self._specs: tuple[list[TileTask], list[TileTask]] | None = (
+                [TileTask(kernel, 0, 1, t) for t in self._all_tiles],
+                [TileTask(kernel, 1, 0, t) for t in self._all_tiles],
+            )
+        else:
+            self._specs = None
+        self._full_batches: dict[int, TaskBatch] = {}
+
+    def _make_task(self, tile: Tile):
+        if self.lazy_flags is not None:
+            # lazy path: change detection happens once per batch, vectorised
+            # (LazyFlags.mark_from_diff), so the kernel skips its .any()
+            def task() -> float:
+                sync_tile_nc(self._cur_src, self._cur_dst, tile)
+                return _TOUCH_COST + tile.area
+        else:
+            def task() -> float:
+                self._changed_flags[tile.index] = sync_tile(self._cur_src, self._cur_dst, tile)
+                return _TOUCH_COST + tile.area
+        return task
+
+    def _batch_for(self, active: list[Tile]) -> TaskBatch:
+        parity = self._src_plane
+        if len(active) == len(self._all_tiles):
+            batch = self._full_batches.get(parity)
+            if batch is None:
+                spec = self._specs[parity] if self._specs is not None else None
+                batch = TaskBatch(self._tasks, tiles=self._all_tiles, spec=spec)
+                self._full_batches[parity] = batch
+            return batch
+        spec = None
+        if self._specs is not None:
+            cache = self._specs[parity]
+            spec = [cache[t.index] for t in active]
+        return TaskBatch([self._tasks[t.index] for t in active], tiles=active, spec=spec)
 
     def close(self) -> None:
         """Detach the grid from shared memory and release the backend."""
@@ -90,12 +142,14 @@ class TiledSyncStepper:
 
     def _active_tiles(self) -> list[Tile]:
         if self.lazy_flags is None:
-            return list(self.tiles)
+            return self._all_tiles
         return self.lazy_flags.active_tiles()
 
     def __call__(self) -> bool:
         src = self.grid.data
         dst = self._scratch
+        self._cur_src = src
+        self._cur_dst = dst
         active = self._active_tiles()
         self.tiles_computed += len(active)
         self.tiles_skipped += len(self.tiles) - len(active)
@@ -103,30 +157,21 @@ class TiledSyncStepper:
         # (Cheaper: copy everything, then overwrite active tiles.)
         if len(active) < len(self.tiles):
             dst[...] = src
-        changed_flags: dict[int, bool] = {}
+        self._changed_flags.clear()
 
-        def make_task(tile: Tile):
-            def task() -> float:
-                ch = sync_tile(src, dst, tile)
-                changed_flags[tile.index] = ch
-                return _TOUCH_COST + tile.area
-            return task
-
-        spec = None
-        if self._shared:
-            s, d = self._src_plane, 1 - self._src_plane
-            spec = [TileTask("sync_tile", s, d, t) for t in active]
-        batch = TaskBatch([make_task(t) for t in active], tiles=active, spec=spec)
+        batch = self._batch_for(active)
         result = self.backend.run(batch, iteration=self.iterations)
-        if result.returns is not None:
-            for t, ret in zip(active, result.returns):
-                changed_flags[t.index] = bool(ret)
 
-        changed = any(changed_flags.values())
         if self.lazy_flags is not None:
-            for t in active:
-                self.lazy_flags.mark(t, changed_flags.get(t.index, False))
-            self.lazy_flags.advance()
+            # one vectorised diff over the active frontier replaces both the
+            # per-tile change tests and the per-tile mark() loop
+            self.lazy_flags.mark_from_diff(src, dst)
+            changed = self.lazy_flags.advance()
+        else:
+            if result.returns is not None:
+                for t, ret in zip(active, result.returns):
+                    self._changed_flags[t.index] = bool(ret)
+            changed = any(self._changed_flags.values())
         # Account grains that toppled off the edge before flipping planes.
         if changed:
             lost = int(src[1:-1, 1:-1].sum()) - int(dst[1:-1, 1:-1].sum())
@@ -170,6 +215,37 @@ class TiledAsyncStepper:
             (plane,) = self.backend.bind_planes(grid.data)
             grid.swap_buffer(plane)
             self._shared = True
+        # -- zero-rebuild caches (the async kernel is in-place, so the spec
+        # planes never alternate and the all-tiles waves are fully static)
+        self._all_tiles = list(self.tiles)
+        self._changed_flags: dict[int, bool] = {}
+        self._tasks = [self._make_task(t) for t in self._all_tiles]
+        self._specs = (
+            [TileTask("async_tile_relax", 0, 0, t) for t in self._all_tiles]
+            if self._shared
+            else None
+        )
+        self._full_wave_batches: list[TaskBatch] | None = None
+
+    def _make_task(self, tile: Tile):
+        def task() -> float:
+            rounds = async_tile_relax(self.grid, tile)
+            self._changed_flags[tile.index] = rounds > 0
+            return _TOUCH_COST + rounds * tile.area
+        return task
+
+    def _wave_batch(self, wave: list[Tile]) -> TaskBatch:
+        spec = [self._specs[t.index] for t in wave] if self._specs is not None else None
+        return TaskBatch([self._tasks[t.index] for t in wave], tiles=wave, spec=spec)
+
+    def _wave_batches(self, active: list[Tile]) -> list[TaskBatch]:
+        if len(active) == len(self._all_tiles):
+            if self._full_wave_batches is None:
+                self._full_wave_batches = [
+                    self._wave_batch(w) for w in wave_partition(self._all_tiles)
+                ]
+            return self._full_wave_batches
+        return [self._wave_batch(w) for w in wave_partition(active)]
 
     def close(self) -> None:
         """Detach the grid from shared memory and release the backend."""
@@ -182,38 +258,26 @@ class TiledAsyncStepper:
 
     def _active_tiles(self) -> list[Tile]:
         if self.lazy_flags is None:
-            return list(self.tiles)
+            return self._all_tiles
         return self.lazy_flags.active_tiles()
 
     def __call__(self) -> bool:
-        grid = self.grid
         active = self._active_tiles()
         self.tiles_computed += len(active)
         self.tiles_skipped += len(self.tiles) - len(active)
-        changed_flags: dict[int, bool] = {}
+        self._changed_flags.clear()
 
-        def make_task(tile: Tile):
-            def task() -> float:
-                rounds = async_tile_relax(grid, tile)
-                changed_flags[tile.index] = rounds > 0
-                return _TOUCH_COST + rounds * tile.area
-            return task
-
-        for wave in wave_partition(active):
-            spec = None
-            if self._shared:
-                spec = [TileTask("async_tile_relax", 0, 0, t) for t in wave]
-            batch = TaskBatch([make_task(t) for t in wave], tiles=wave, spec=spec)
+        for batch in self._wave_batches(active):
             result = self.backend.run(batch, iteration=self.iterations)
             if result.returns is not None:
-                for t, rounds in zip(wave, result.returns):
-                    changed_flags[t.index] = rounds > 0
-        changed = any(changed_flags.values())
+                for t, rounds in zip(batch.tiles, result.returns):
+                    self._changed_flags[t.index] = rounds > 0
+        changed = any(self._changed_flags.values())
 
         if self.lazy_flags is not None:
             for t in active:
-                self.lazy_flags.mark(t, changed_flags.get(t.index, False))
+                self.lazy_flags.mark(t, self._changed_flags.get(t.index, False))
             self.lazy_flags.advance()
-        grid.drain_sink()
+        self.grid.drain_sink()
         self.iterations += 1
         return changed

@@ -9,11 +9,13 @@ is stable, and reports statistics.
 Registered variants
 -------------------
 ``sandpile``  : ``seq`` (scalar reference), ``vec`` (whole-grid numpy),
-``tiled``, ``lazy``, ``omp`` (tiled + scheduling policy; pick the executor
-with ``backend="simulated"|"threads"|"process"|"sequential"``), ``split``
+``frontier`` (bounding-box stepping over the active region), ``tiled``,
+``lazy``, ``omp`` (tiled + scheduling policy; pick the executor with
+``backend="simulated"|"threads"|"process"|"sequential"``), ``split``
 (inner/outer SIMD split).
 
-``asandpile`` : ``seq``, ``vec`` (sweep), ``tiled``, ``lazy``, ``omp``.
+``asandpile`` : ``seq``, ``vec`` (sweep), ``frontier``, ``tiled``,
+``lazy``, ``omp``.
 """
 
 from __future__ import annotations
@@ -27,7 +29,13 @@ from repro.easypap.kernel import get_variant, register_variant
 from repro.easypap.monitor import Trace
 from repro.sandpile.omp import TiledAsyncStepper, TiledSyncStepper
 from repro.sandpile.reference import async_step_reference, sync_step_reference
-from repro.sandpile.vectorized import AsyncVecStepper, SplitSyncStepper, SyncVecStepper
+from repro.sandpile.vectorized import (
+    AsyncVecStepper,
+    FrontierAsyncStepper,
+    FrontierSyncStepper,
+    SplitSyncStepper,
+    SyncVecStepper,
+)
 
 __all__ = ["RunResult", "run_to_fixpoint", "make_stepper"]
 
@@ -96,6 +104,13 @@ def _sandpile_vec(grid: Grid2D, **_opts):
     return SyncVecStepper(grid)
 
 
+@register_variant(
+    "sandpile", "frontier", description="bounding-box sync stepping over the active frontier"
+)
+def _sandpile_frontier(grid: Grid2D, **_opts):
+    return FrontierSyncStepper(grid)
+
+
 @register_variant("sandpile", "split", description="inner/outer tile split (SIMD lesson)")
 def _sandpile_split(grid: Grid2D, *, tile_size: int = 32, **_opts):
     return SplitSyncStepper(grid, tile_size)
@@ -144,6 +159,13 @@ def _asandpile_seq(grid: Grid2D, *, order: str = "raster", **_opts):
 @register_variant("asandpile", "vec", description="vectorised topple-all sweep")
 def _asandpile_vec(grid: Grid2D, **_opts):
     return AsyncVecStepper(grid)
+
+
+@register_variant(
+    "asandpile", "frontier", description="bounding-box topple sweeps over the active frontier"
+)
+def _asandpile_frontier(grid: Grid2D, **_opts):
+    return FrontierAsyncStepper(grid)
 
 
 @register_variant("asandpile", "tiled", description="tile-local relaxation, sequential tiles")

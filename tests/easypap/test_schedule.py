@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import SchedulingError
-from repro.easypap.schedule import POLICIES, chunk_plan, simulate_schedule
+from repro.easypap.schedule import POLICIES, chunk_plan, chunk_plan_cached, simulate_schedule
 
 
 class TestChunkPlan:
@@ -163,3 +163,34 @@ class TestSimulateSchedule:
         r = simulate_schedule([1.0] * 4, 2, "cyclic", chunk=2)
         a = r.assignment()
         assert a[0] == a[1] == 0 and a[2] == a[3] == 1
+
+
+class TestChunkPlanCache:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_cached_plan_matches_plain(self, policy):
+        plain = chunk_plan(37, 4, policy, 3)
+        cached = chunk_plan_cached(37, 4, policy, 3)
+        assert [list(c) for c in cached] == plain
+
+    def test_repeat_calls_return_identical_object(self):
+        a = chunk_plan_cached(64, 4, "dynamic", 2)
+        b = chunk_plan_cached(64, 4, "dynamic", 2)
+        assert a is b  # memoised: the hot path rebuilds nothing
+
+    def test_mutating_chunk_plan_output_does_not_poison_cache(self):
+        first = chunk_plan(16, 4, "static", 1)
+        first[0][0] = 999
+        first.clear()
+        assert chunk_plan(16, 4, "static", 1)[0][0] == 0
+
+    def test_cached_plan_is_immutable(self):
+        plan = chunk_plan_cached(16, 4, "static", 1)
+        with pytest.raises(TypeError):
+            plan[0][0] = 999
+
+    def test_invalid_args_raise_every_time(self):
+        for _ in range(2):  # errors must not be cached away
+            with pytest.raises(SchedulingError):
+                chunk_plan_cached(8, 4, "bogus", 1)
+            with pytest.raises(SchedulingError):
+                chunk_plan_cached(8, 4, "static", 0)

@@ -1,0 +1,201 @@
+"""Tests for the active-frontier (bounding-box) execution engine.
+
+Property tests pin the windowed steppers to the oracle on arbitrary seeded
+configurations — including the all-stable and single-active-cell edge cases
+— and check that every windowed primitive (``sync_step``/``async_sweep``
+with a window, ``unstable_bbox`` rescans) is bit-identical, step by step,
+to its full-grid counterpart, sink accounting included.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.easypap.grid import Grid2D
+from repro.sandpile.kernels import async_sweep, grow_window, sync_step, unstable_bbox
+from repro.sandpile.model import center_pile
+from repro.sandpile.simulate import run_to_fixpoint
+from repro.sandpile.theory import stabilize
+from repro.sandpile.vectorized import (
+    FrontierAsyncStepper,
+    FrontierSyncStepper,
+    SyncVecStepper,
+)
+
+grids = arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 10), st.integers(2, 10)),
+    elements=st.integers(0, 12),
+)
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+def _drive(stepper, limit=200_000):
+    n = 0
+    while stepper():
+        n += 1
+        assert n < limit
+    return n
+
+
+# -- fixpoint equivalence -----------------------------------------------------
+
+
+@given(interior=grids)
+@settings(**SETTINGS)
+def test_frontier_sync_fixpoint_matches_oracle(interior):
+    oracle = stabilize(Grid2D.from_interior(interior))
+    g = Grid2D.from_interior(interior)
+    _drive(FrontierSyncStepper(g))
+    assert np.array_equal(g.interior, oracle.interior)
+    assert g.sink_absorbed == oracle.sink_absorbed
+
+
+@given(interior=grids)
+@settings(**SETTINGS)
+def test_frontier_async_fixpoint_matches_oracle(interior):
+    oracle = stabilize(Grid2D.from_interior(interior))
+    g = Grid2D.from_interior(interior)
+    _drive(FrontierAsyncStepper(g))
+    assert np.array_equal(g.interior, oracle.interior)
+    assert g.sink_absorbed == oracle.sink_absorbed
+
+
+@given(interior=grids)
+@settings(**SETTINGS)
+def test_frontier_sync_matches_vec_step_for_step(interior):
+    """Same trajectory, not just the same fixpoint: iteration counts agree."""
+    ref = Grid2D.from_interior(interior)
+    ref_steps = _drive(SyncVecStepper(ref))
+    g = Grid2D.from_interior(interior)
+    steps = _drive(FrontierSyncStepper(g))
+    assert steps == ref_steps
+    assert np.array_equal(g.data, ref.data)
+    assert g.sink_absorbed == ref.sink_absorbed
+
+
+# -- edge cases ---------------------------------------------------------------
+
+
+def test_all_stable_returns_false_immediately():
+    g = Grid2D.from_interior(np.full((6, 6), 3, dtype=np.int64))
+    before = g.data.copy()
+    for cls in (FrontierSyncStepper, FrontierAsyncStepper):
+        stepper = cls(g)
+        assert stepper() is False
+        assert np.array_equal(g.data, before)
+        assert g.sink_absorbed == 0
+
+
+def test_single_active_cell():
+    interior = np.zeros((9, 9), dtype=np.int64)
+    interior[4, 4] = 4
+    oracle = stabilize(Grid2D.from_interior(interior))
+    for cls in (FrontierSyncStepper, FrontierAsyncStepper):
+        g = Grid2D.from_interior(interior)
+        _drive(cls(g))
+        assert np.array_equal(g.interior, oracle.interior)
+
+
+def test_single_active_cell_on_border():
+    interior = np.zeros((5, 5), dtype=np.int64)
+    interior[0, 0] = 7
+    oracle = stabilize(Grid2D.from_interior(interior))
+    for cls in (FrontierSyncStepper, FrontierAsyncStepper):
+        g = Grid2D.from_interior(interior)
+        _drive(cls(g))
+        assert np.array_equal(g.interior, oracle.interior)
+        assert g.sink_absorbed == oracle.sink_absorbed
+
+
+def test_reset_rescans_after_external_edit():
+    g = Grid2D.from_interior(np.zeros((8, 8), dtype=np.int64))
+    stepper = FrontierSyncStepper(g)
+    assert stepper() is False
+    g.interior[2, 2] = 5  # external edit the stepper did not see
+    stepper.reset()
+    _drive(stepper)
+    assert g.interior[2, 2] < 4
+
+
+# -- windowed primitives vs full-grid counterparts ----------------------------
+
+
+@given(interior=grids)
+@settings(**SETTINGS)
+def test_windowed_sync_step_equals_full_step(interior):
+    full = Grid2D.from_interior(interior)
+    win = Grid2D.from_interior(interior)
+    scratch_f = np.empty_like(full.data)
+    scratch_w = np.empty_like(win.data)
+    for _ in range(200_000):
+        bbox = unstable_bbox(win.interior)
+        c_full = sync_step(full, out=scratch_f)
+        if bbox is None:
+            assert not c_full
+            break
+        window = grow_window(bbox, win.height, win.width)
+        c_win = sync_step(win, out=scratch_w, window=window)
+        assert c_win == c_full
+        assert np.array_equal(win.data, full.data)
+        assert win.sink_absorbed == full.sink_absorbed
+        full.drain_sink()
+        win.drain_sink()
+        if not c_full:
+            break
+
+
+@given(interior=grids)
+@settings(**SETTINGS)
+def test_windowed_async_sweep_equals_full_sweep(interior):
+    full = Grid2D.from_interior(interior)
+    win = Grid2D.from_interior(interior)
+    for _ in range(200_000):
+        bbox = unstable_bbox(win.interior)
+        c_full = async_sweep(full)
+        if bbox is None:
+            assert not c_full
+            break
+        c_win = async_sweep(win, window=bbox)
+        assert c_win == c_full
+        assert np.array_equal(win.data, full.data)
+        assert win.sink_absorbed == full.sink_absorbed
+        if not c_full:
+            break
+
+
+class TestUnstableBbox:
+    def test_stable_grid_is_none(self):
+        assert unstable_bbox(np.full((5, 5), 3, dtype=np.int64)) is None
+
+    def test_bbox_is_tight(self):
+        a = np.zeros((8, 8), dtype=np.int64)
+        a[2, 3] = 4
+        a[5, 6] = 9
+        assert unstable_bbox(a) == (2, 6, 3, 7)
+
+    def test_window_restricted_scan(self):
+        a = np.zeros((8, 8), dtype=np.int64)
+        a[0, 0] = 4  # outside the window below: invisible to the scan
+        a[4, 4] = 4
+        assert unstable_bbox(a, (3, 8, 3, 8)) == (4, 5, 4, 5)
+        assert unstable_bbox(a, (3, 8, 3, 8)) != unstable_bbox(a)
+
+    def test_grow_window_clamps_to_grid(self):
+        assert grow_window((0, 5, 3, 8), 8, 8) == (0, 6, 2, 8)
+        assert grow_window((2, 3, 2, 3), 8, 8) == (1, 4, 1, 4)
+
+
+# -- registry integration -----------------------------------------------------
+
+
+def test_run_to_fixpoint_frontier_variant():
+    oracle = stabilize(center_pile(32, 32, 600))
+    for kernel in ("sandpile", "asandpile"):
+        g = center_pile(32, 32, 600)
+        result = run_to_fixpoint(g, kernel, "frontier")
+        assert np.array_equal(g.interior, oracle.interior)
+        assert result.iterations > 0
+        assert g.total_grains() + g.sink_absorbed == 600

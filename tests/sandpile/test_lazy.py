@@ -1,5 +1,7 @@
 """Tests for lazy tile tracking."""
 
+import numpy as np
+
 from repro.easypap.tiling import TileGrid
 from repro.sandpile.lazy import LazyFlags
 
@@ -50,15 +52,35 @@ class TestPropagation:
 
 
 class TestBookkeeping:
-    def test_counters_accumulate(self):
+    def test_counters_commit_at_advance(self):
         tg = TileGrid(8, 8, 4)  # 4 tiles
         flags = LazyFlags(tg)
-        flags.active_tiles()           # 4 computed
+        flags.active_tiles()           # 4 active, not yet committed
+        assert flags.computed_total == 0
         flags.mark(tg.at(0, 0), True)
-        flags.advance()
+        flags.advance()                # commits 4 computed / 0 skipped
+        assert flags.computed_total == 4
+        assert flags.skipped_total == 0
         flags.active_tiles()           # 3 active (corner + 2 neighbours)
+        flags.advance()                # commits 3 computed / 1 skipped
         assert flags.computed_total == 7
         assert flags.skipped_total == 1
+
+    def test_repeated_queries_do_not_inflate_counters(self):
+        tg = TileGrid(8, 8, 4)
+        flags = LazyFlags(tg)
+        for _ in range(5):
+            flags.active_tiles()       # querying is free; only advance commits
+        flags.advance()
+        assert flags.computed_total == 4
+        assert flags.skipped_total == 0
+
+    def test_advance_without_query_commits_nothing(self):
+        tg = TileGrid(8, 8, 4)
+        flags = LazyFlags(tg)
+        flags.advance()                # nothing was queried this iteration
+        assert flags.computed_total == 0
+        assert flags.skipped_total == 0
 
     def test_reset_marks_all_dirty(self):
         tg = TileGrid(8, 8, 4)
@@ -74,3 +96,97 @@ class TestBookkeeping:
         flags.active_tiles()
         flags.mark(tg.at(0, 0), False)
         assert not flags.advance()
+
+
+def _brute_force_active(tg: TileGrid, changed: set[tuple[int, int]]) -> set[tuple[int, int]]:
+    """Reference dilation: a tile is active iff it or a 4-neighbour changed."""
+    active = set()
+    for ty, tx in changed:
+        for dy, dx in ((0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)):
+            ny, nx = ty + dy, tx + dx
+            if 0 <= ny < tg.tiles_y and 0 <= nx < tg.tiles_x:
+                active.add((ny, nx))
+    return active
+
+
+class TestVectorizedDilation:
+    def test_matches_brute_force_on_random_patterns(self):
+        rng = np.random.default_rng(7)
+        tg = TileGrid(24, 24, 4)  # 6x6 tiles
+        for _ in range(20):
+            flags = LazyFlags(tg)
+            flags.advance()  # clear the initial everything-dirty state
+            changed = {
+                (int(ty), int(tx))
+                for ty, tx in zip(
+                    rng.integers(0, tg.tiles_y, 5), rng.integers(0, tg.tiles_x, 5)
+                )
+            }
+            for ty, tx in changed:
+                flags.mark(tg.at(ty, tx), True)
+            flags.advance()
+            active = {(t.ty, t.tx) for t in flags.active_tiles()}
+            assert active == _brute_force_active(tg, changed)
+
+    def test_active_indices_row_major(self):
+        tg = TileGrid(16, 16, 4)
+        flags = LazyFlags(tg)
+        idx = flags.active_indices()
+        assert list(idx) == sorted(idx)
+        assert [t.index for t in flags.active_tiles()] == list(idx)
+
+
+class TestMarkFromDiff:
+    def _frames(self, tg: TileGrid):
+        src = np.zeros((tg.height + 2, tg.width + 2), dtype=np.int64)
+        return src, src.copy()
+
+    def test_single_cell_diff_activates_containing_tile(self):
+        tg = TileGrid(16, 16, 4)
+        flags = LazyFlags(tg)
+        flags.active_tiles()
+        src, dst = self._frames(tg)
+        dst[1 + 5, 1 + 6] = 3  # interior cell (5, 6) -> tile (1, 1)
+        flags.mark_from_diff(src, dst)
+        flags.advance()
+        active = {(t.ty, t.tx) for t in flags.active_tiles()}
+        assert active == {(1, 1), (0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_no_diff_quiesces(self):
+        tg = TileGrid(16, 16, 4)
+        flags = LazyFlags(tg)
+        flags.active_tiles()
+        src, dst = self._frames(tg)
+        flags.mark_from_diff(src, dst)
+        assert not flags.advance()
+        assert flags.active_tiles() == []
+
+    def test_ragged_edge_tiles(self):
+        # 10x10 grid with 4-wide tiles -> edge tiles are 4x2 / 2x4 / 2x2
+        tg = TileGrid(10, 10, 4)
+        flags = LazyFlags(tg)
+        flags.active_tiles()
+        src, dst = self._frames(tg)
+        dst[1 + 9, 1 + 9] = 1  # bottom-right corner cell -> ragged tile (2, 2)
+        flags.mark_from_diff(src, dst)
+        flags.advance()
+        active = {(t.ty, t.tx) for t in flags.active_tiles()}
+        assert active == {(2, 2), (1, 2), (2, 1)}
+
+    def test_diff_outside_need_window_ignored(self):
+        # mark_from_diff only scans the current need window: after quiescing,
+        # a diff that the active set cannot have produced is not scanned
+        tg = TileGrid(16, 16, 4)
+        flags = LazyFlags(tg)
+        flags.active_tiles()
+        flags.mark(tg.at(0, 0), True)
+        flags.advance()  # need window = tiles (0,0),(0,1),(1,0)
+        flags.active_tiles()
+        src, dst = self._frames(tg)
+        dst[1 + 1, 1 + 1] = 2   # inside the window: seen
+        dst[1 + 14, 1 + 14] = 2  # tile (3,3), outside the window: not scanned
+        flags.mark_from_diff(src, dst)
+        flags.advance()
+        active = {(t.ty, t.tx) for t in flags.active_tiles()}
+        assert (3, 3) not in active
+        assert (0, 0) in active

@@ -197,6 +197,80 @@ class TestProcessBackendSteppers:
         g.interior[0, 0] += 1
         assert g.total_grains() >= 1
 
+
+class TestZeroRebuildBatches:
+    """Task closures, TileTask specs, and full batches are built once at
+    construction; iterations must not construct new ones."""
+
+    @staticmethod
+    def _count_tiletask(monkeypatch):
+        import repro.sandpile.omp as omp_mod
+
+        real = omp_mod.TileTask
+        counter = {"n": 0}
+
+        def counting(*args, **kwargs):
+            counter["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(omp_mod, "TileTask", counting)
+        return counter
+
+    @needs_processes
+    @pytest.mark.parametrize("lazy", [False, True])
+    def test_process_sync_iterations_build_no_specs(self, monkeypatch, lazy):
+        counter = self._count_tiletask(monkeypatch)
+        g = center_pile(32, 32, 2_000)
+        stepper = TiledSyncStepper(g, 8, backend=ProcessBackend(2, "static"), lazy=lazy)
+        try:
+            built_at_init = counter["n"]
+            assert built_at_init > 0  # the spec caches exist
+            for _ in range(10):
+                stepper()
+            assert counter["n"] == built_at_init
+        finally:
+            stepper.close()
+
+    @needs_processes
+    def test_process_async_iterations_build_no_specs(self, monkeypatch):
+        counter = self._count_tiletask(monkeypatch)
+        g = center_pile(32, 32, 2_000)
+        stepper = TiledAsyncStepper(g, 8, backend=ProcessBackend(2, "static"))
+        try:
+            built_at_init = counter["n"]
+            assert built_at_init > 0
+            for _ in range(10):
+                stepper()
+            assert counter["n"] == built_at_init
+        finally:
+            stepper.close()
+
+    def test_in_process_backends_never_build_specs(self, monkeypatch):
+        # closures suffice in-process: no TileTask should ever be constructed
+        counter = self._count_tiletask(monkeypatch)
+        g = center_pile(24, 24, 1_000)
+        stepper = TiledSyncStepper(g, 8, backend=SimulatedBackend(4, "dynamic"), lazy=True)
+        for _ in range(10):
+            stepper()
+        assert counter["n"] == 0
+
+    def test_full_batch_object_reused_across_iterations(self):
+        g = center_pile(24, 24, 1_000)
+        stepper = TiledSyncStepper(g, 8, backend=SimulatedBackend(2, "static"))
+        all_tiles = stepper._all_tiles
+        first = stepper._batch_for(all_tiles)
+        stepper()
+        assert stepper._batch_for(all_tiles) is first
+
+    def test_task_closures_read_live_planes(self):
+        # the cached closures must follow the plane flip, or iteration 2
+        # would recompute iteration 1's input
+        g = center_pile(16, 16, 300)
+        oracle = stabilize(center_pile(16, 16, 300))
+        stepper = TiledSyncStepper(g, 4, backend=ThreadBackend(2))
+        drive(stepper)
+        assert np.array_equal(g.interior, oracle.interior)
+
     def test_run_to_fixpoint_closes_backend(self, small_random_grid, small_random_stable):
         from repro.sandpile.simulate import run_to_fixpoint
 
