@@ -1,0 +1,101 @@
+"""Correctness tooling: footprints, race checking, halo analysis, lint.
+
+The package answers, mechanically, the questions the assignment's
+correctness discussion raises informally:
+
+* which cells does each tile task read and write? (:mod:`.footprint`)
+* can two concurrently-scheduled tasks conflict? (:mod:`.races`)
+* does the dynamic behaviour stay inside the static model? (:mod:`.shadow`)
+* is every registered variant's schedule as (un)safe as it claims?
+  (:mod:`.variants`)
+* is the MPI ghost-cell exchange deep enough and deadlock-free?
+  (:mod:`.halo`)
+* does the source obey the repo's structural invariants? (:mod:`.lint`)
+
+Everything is reachable from ``python -m repro.cli check``.
+"""
+
+from repro.analysis.footprint import (
+    Footprint,
+    declare_footprint,
+    declared_footprint,
+    footprint_for,
+    rect_cells,
+)
+from repro.analysis.halo import (
+    HaloVerdict,
+    Op,
+    PatternReport,
+    analyze_exchange_pattern,
+    check_halo_depth,
+    halo_ops,
+    match_pattern,
+)
+from repro.analysis.lint import DEFAULT_RULES, LintIssue, lint_paths, run_lint
+from repro.analysis.races import (
+    ConcurrencyModel,
+    Conflict,
+    CrossCheck,
+    RaceReport,
+    check_batch,
+    check_footprints,
+    check_phases,
+    cross_check,
+    dynamic_check,
+)
+from repro.analysis.shadow import (
+    Access,
+    ShadowPlane,
+    ShadowRecorder,
+    ShadowTrace,
+    trace_batch,
+    trace_tile_kernel,
+)
+from repro.analysis.variants import (
+    RACY_TAG,
+    VariantVerdict,
+    certify_all,
+    certify_variant,
+    variant_phases,
+    verdict_table,
+)
+
+__all__ = [
+    "Footprint",
+    "declare_footprint",
+    "declared_footprint",
+    "footprint_for",
+    "rect_cells",
+    "HaloVerdict",
+    "Op",
+    "PatternReport",
+    "analyze_exchange_pattern",
+    "check_halo_depth",
+    "halo_ops",
+    "match_pattern",
+    "DEFAULT_RULES",
+    "LintIssue",
+    "lint_paths",
+    "run_lint",
+    "ConcurrencyModel",
+    "Conflict",
+    "CrossCheck",
+    "RaceReport",
+    "check_batch",
+    "check_footprints",
+    "check_phases",
+    "cross_check",
+    "dynamic_check",
+    "Access",
+    "ShadowPlane",
+    "ShadowRecorder",
+    "ShadowTrace",
+    "trace_batch",
+    "trace_tile_kernel",
+    "RACY_TAG",
+    "VariantVerdict",
+    "certify_all",
+    "certify_variant",
+    "variant_phases",
+    "verdict_table",
+]

@@ -1,0 +1,244 @@
+"""Halo-sufficiency and message-pattern checking for the ghost-cell variant.
+
+Two invariants make :func:`repro.sandpile.mpi.run_distributed` correct:
+
+1. **Depth sufficiency** — running ``n`` stencil iterations between halo
+   exchanges consumes ``stencil_radius`` ghost rows of freshness per
+   iteration, so the halo must be at least ``stencil_radius x n`` rows
+   deep (the sandpile stencil has radius 1 and the runner performs
+   ``depth`` iterations per superstep — exactly the boundary case).
+   :func:`check_halo_depth` verifies the general inequality plus the
+   geometric constraint that a rank cannot export more rows than it owns.
+
+2. **Message matching** — every ``sendrecv``/``send``/``recv`` a rank
+   issues must pair with a partner operation of matching ``(partner,
+   tag)``, and the blocking receives must be satisfiable without circular
+   waits.  :func:`analyze_exchange_pattern` extracts the static operation
+   sequence of :class:`~repro.simmpi.ghost.HaloExchanger` per rank
+   (:func:`halo_ops`) and :func:`match_pattern` executes it symbolically
+   under the substrate's eager-send semantics, reporting unmatched
+   receives (deadlock) and unconsumed sends (tag/partner mismatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "HaloVerdict",
+    "check_halo_depth",
+    "Op",
+    "halo_ops",
+    "PatternReport",
+    "match_pattern",
+    "analyze_exchange_pattern",
+]
+
+# tag constants mirrored from repro.simmpi.ghost (kept numerically equal;
+# test_halo asserts the mirror)
+TAG_UP = 101
+TAG_DOWN = 102
+
+
+@dataclass(frozen=True)
+class HaloVerdict:
+    """Outcome of a depth-sufficiency check."""
+
+    ok: bool
+    depth: int
+    stencil_radius: int
+    iterations_between_exchanges: int
+    required_depth: int
+    reasons: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "INSUFFICIENT"
+        detail = f"; {'; '.join(self.reasons)}" if self.reasons else ""
+        return (
+            f"halo depth {self.depth} for radius {self.stencil_radius} x "
+            f"{self.iterations_between_exchanges} iterations "
+            f"(required >= {self.required_depth}): {status}{detail}"
+        )
+
+
+def check_halo_depth(
+    depth: int,
+    *,
+    stencil_radius: int = 1,
+    iterations_between_exchanges: int | None = None,
+    owned_rows: int | None = None,
+) -> HaloVerdict:
+    """Verify ``depth >= stencil_radius * iterations_between_exchanges``.
+
+    When *iterations_between_exchanges* is omitted it defaults to *depth*
+    (the runner's convention: a depth-``k`` halo buys ``k`` iterations).
+    *owned_rows*, when given, additionally enforces that a rank owns at
+    least ``depth`` rows — it must be able to *fill* the halo it exports.
+    Raises :class:`~repro.common.errors.ConfigurationError` on nonsensical
+    parameters; insufficiency is reported in the verdict, not raised.
+    """
+    if depth < 1:
+        raise ConfigurationError(f"halo depth must be >= 1, got {depth}")
+    if stencil_radius < 1:
+        raise ConfigurationError(f"stencil radius must be >= 1, got {stencil_radius}")
+    n = iterations_between_exchanges if iterations_between_exchanges is not None else depth
+    if n < 1:
+        raise ConfigurationError(f"iterations between exchanges must be >= 1, got {n}")
+    required = stencil_radius * n
+    reasons = []
+    if depth < required:
+        reasons.append(
+            f"{n} iterations of a radius-{stencil_radius} stencil consume "
+            f"{required} ghost rows but only {depth} are exchanged — "
+            f"iteration {depth // stencil_radius + 1} would read stale ghosts"
+        )
+    if owned_rows is not None and depth > owned_rows:
+        reasons.append(
+            f"rank owns {owned_rows} rows but must export {depth} boundary rows"
+        )
+    return HaloVerdict(
+        ok=not reasons,
+        depth=depth,
+        stencil_radius=stencil_radius,
+        iterations_between_exchanges=n,
+        required_depth=required,
+        reasons=tuple(reasons),
+    )
+
+
+# -- sendrecv pattern analysis -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Op:
+    """One point-to-point operation in a rank's static program."""
+
+    kind: str  # "send" | "recv"
+    partner: int
+    tag: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}(partner={self.partner}, tag={self.tag})"
+
+
+def halo_ops(rank: int, nranks: int, *, depth: int = 1) -> list[Op]:
+    """The operation sequence one :class:`HaloExchanger.exchange` issues.
+
+    Mirrors ``repro.simmpi.ghost.HaloExchanger.exchange`` exactly: middle
+    ranks issue two ``sendrecv`` pairs (send-up/recv-down with TAG_UP, then
+    send-down/recv-up with TAG_DOWN); the edge ranks issue the single
+    matching half.  *depth* does not change the pattern (whole-band
+    payloads), only the payload size.
+    """
+    up = rank - 1 if rank > 0 else None
+    down = rank + 1 if rank < nranks - 1 else None
+    if up is not None and down is not None:
+        return [
+            Op("send", up, TAG_UP), Op("recv", down, TAG_UP),
+            Op("send", down, TAG_DOWN), Op("recv", up, TAG_DOWN),
+        ]
+    if up is not None:  # bottom rank
+        return [Op("send", up, TAG_UP), Op("recv", up, TAG_DOWN)]
+    if down is not None:  # top rank
+        return [Op("recv", down, TAG_UP), Op("send", down, TAG_DOWN)]
+    return []  # single rank: no exchange
+
+
+@dataclass
+class PatternReport:
+    """Outcome of symbolically executing a message pattern."""
+
+    nranks: int
+    ok: bool
+    #: ranks stuck in a recv at the fixpoint: (rank, blocking Op)
+    blocked: list[tuple[int, Op]] = field(default_factory=list)
+    #: sends never received: (sender, Op)
+    unconsumed: list[tuple[int, Op]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human-readable match/deadlock diagnosis."""
+        if self.ok:
+            return f"{self.nranks}-rank pattern: all sends and recvs matched"
+        parts = []
+        for rank, op in self.blocked:
+            parts.append(f"rank {rank} deadlocks in {op} (no matching send ever posted)")
+        for rank, op in self.unconsumed:
+            parts.append(f"rank {rank}'s {op} is never received (tag/partner mismatch)")
+        return f"{self.nranks}-rank pattern: " + "; ".join(parts)
+
+
+def match_pattern(programs: Sequence[Sequence[Op]]) -> PatternReport:
+    """Symbolically execute per-rank op sequences under eager-send semantics.
+
+    Sends complete immediately (the substrate copies eagerly); a recv
+    blocks until a matching ``(source, dest, tag)`` message is in flight.
+    Repeatedly advances every rank until the system quiesces; anything
+    still blocked then is a genuine deadlock (no future send can appear),
+    and any message left in flight was never received.
+    """
+    nranks = len(programs)
+    pc = [0] * nranks
+    in_flight: dict[tuple[int, int, int], int] = {}  # (src, dst, tag) -> count
+
+    def invalid(rank: int, op: Op) -> bool:
+        return not (0 <= op.partner < nranks) or op.partner == rank
+
+    progress = True
+    while progress:
+        progress = False
+        for rank in range(nranks):
+            while pc[rank] < len(programs[rank]):
+                op = programs[rank][pc[rank]]
+                if invalid(rank, op):
+                    break  # treated as blocked: partner outside the world
+                if op.kind == "send":
+                    key = (rank, op.partner, op.tag)
+                    in_flight[key] = in_flight.get(key, 0) + 1
+                elif op.kind == "recv":
+                    key = (op.partner, rank, op.tag)
+                    if in_flight.get(key, 0) == 0:
+                        break  # blocked for now; a later send may unblock
+                    in_flight[key] -= 1
+                else:
+                    raise ConfigurationError(f"unknown op kind {op.kind!r}")
+                pc[rank] += 1
+                progress = True
+
+    blocked = [
+        (rank, programs[rank][pc[rank]])
+        for rank in range(nranks)
+        if pc[rank] < len(programs[rank])
+    ]
+    unconsumed = [
+        (src, Op("send", dst, tag))
+        for (src, dst, tag), count in in_flight.items()
+        for _ in range(count)
+    ]
+    return PatternReport(
+        nranks=nranks, ok=not blocked and not unconsumed,
+        blocked=blocked, unconsumed=unconsumed,
+    )
+
+
+def analyze_exchange_pattern(
+    nranks: int,
+    *,
+    depth: int = 1,
+    rounds: int = 1,
+    ops_fn: Callable[[int, int], list[Op]] | None = None,
+) -> PatternReport:
+    """Check the halo-exchange message pattern for *nranks* ranks.
+
+    *rounds* repeats the per-exchange sequence (supersteps); *ops_fn*
+    substitutes a custom per-rank program — the tests use it to inject a
+    corrupted pattern (wrong tag, wrong partner) and assert the analyzer
+    pinpoints the mismatch.
+    """
+    if nranks < 1:
+        raise ConfigurationError(f"need at least one rank, got {nranks}")
+    build = ops_fn if ops_fn is not None else (lambda r, n: halo_ops(r, n, depth=depth))
+    programs = [build(rank, nranks) * rounds for rank in range(nranks)]
+    return match_pattern(programs)

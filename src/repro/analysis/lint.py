@@ -1,0 +1,274 @@
+"""AST-based project lint: repo-specific invariants ruff cannot express.
+
+Four rules, each encoding a correctness convention of this codebase:
+
+* ``unregistered-tile-kernel`` — every kernel name a ``TileTask`` is
+  constructed with (as a string literal) must be registered somewhere via
+  ``register_tile_kernel``: an unregistered name only explodes inside a
+  worker process at runtime, far from the typo.
+* ``alloc-in-tile-kernel`` — functions registered as tile kernels (and the
+  helpers they call in the same module) run once per tile per iteration;
+  explicit array allocation (``np.empty``/``zeros``/...) there defeats the
+  zero-rebuild hot path.  Slice arithmetic temporaries are fine — the rule
+  targets allocation *calls*.
+* ``unseeded-rng`` — the legacy global numpy RNG (``np.random.rand`` etc.),
+  the stdlib ``random`` module, and argument-less ``default_rng()`` make
+  runs irreproducible; randomness must flow through seeded generators
+  (``repro.common.rng.make_rng``).
+* ``mutable-default-arg`` — a mutable default (list/dict/set literal or
+  constructor) is shared across calls; use ``None`` plus an in-body
+  default.
+
+A line ending in ``# analysis: allow`` suppresses all rules for that line
+(the equivalent of the race checker's whitelist annotation).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+__all__ = ["LintIssue", "lint_source", "lint_paths", "run_lint", "DEFAULT_RULES"]
+
+DEFAULT_RULES = (
+    "unregistered-tile-kernel",
+    "alloc-in-tile-kernel",
+    "unseeded-rng",
+    "mutable-default-arg",
+)
+
+_SUPPRESS_MARKER = "# analysis: allow"
+
+#: legacy global-state numpy RNG entry points (np.random.<name>(...))
+_LEGACY_NP_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf", "sample",
+    "choice", "shuffle", "permutation", "uniform", "normal", "standard_normal",
+    "poisson", "exponential", "binomial", "seed",
+}
+
+#: allocation calls with no place in a per-tile hot kernel
+_ALLOC_CALLS = {
+    "empty", "zeros", "ones", "full", "empty_like", "zeros_like", "ones_like",
+    "full_like", "array", "copy", "arange", "linspace",
+}
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty list when not a plain chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+def _is_numpy_alias(name: str) -> bool:
+    return name in ("np", "numpy")
+
+
+class _FileLint:
+    """Single-file AST pass collecting issues and cross-file facts."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.issues: list[LintIssue] = []
+        #: kernel names this file registers via register_tile_kernel(...)
+        self.registered_kernels: set[str] = set()
+        #: (name, line, col) of string-literal TileTask kernel arguments
+        self.tiletask_kernels: list[tuple[str, int, int]] = []
+        #: function names passed to register_tile_kernel (hot-path roots)
+        self._kernel_fn_names: set[str] = set()
+        self._functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+
+    def _suppressed(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].rstrip().endswith(_SUPPRESS_MARKER)
+        return False
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        if not self._suppressed(node):
+            self.issues.append(
+                LintIssue(self.path, getattr(node, "lineno", 0),
+                          getattr(node, "col_offset", 0), rule, message)
+            )
+
+    # -- collection ----------------------------------------------------------------
+
+    def collect(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._functions.setdefault(node.name, node)
+                self._check_mutable_defaults(node)
+            elif isinstance(node, ast.Call):
+                self._collect_call(node)
+        self._check_hot_kernels()
+
+    def _collect_call(self, call: ast.Call) -> None:
+        chain = _attr_chain(call.func)
+        name = chain[-1] if chain else ""
+        if name == "register_tile_kernel" and call.args:
+            first = call.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                self.registered_kernels.add(first.value)
+            if len(call.args) > 1 and isinstance(call.args[1], ast.Name):
+                self._kernel_fn_names.add(call.args[1].id)
+        elif name == "TileTask" and call.args:
+            first = call.args[0]
+            if (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+                and not self._suppressed(call)
+            ):
+                self.tiletask_kernels.append(
+                    (first.value, first.lineno, first.col_offset)
+                )
+        self._check_rng_call(call, chain)
+
+    # -- rule: unseeded-rng ---------------------------------------------------------
+
+    def _check_rng_call(self, call: ast.Call, chain: list[str]) -> None:
+        if len(chain) == 3 and _is_numpy_alias(chain[0]) and chain[1] == "random":
+            if chain[2] in _LEGACY_NP_RANDOM:
+                self.report(
+                    call, "unseeded-rng",
+                    f"legacy global numpy RNG np.random.{chain[2]}() is "
+                    f"irreproducible; use repro.common.rng.make_rng(seed)",
+                )
+            elif chain[2] == "default_rng" and not call.args and not call.keywords:
+                self.report(
+                    call, "unseeded-rng",
+                    "default_rng() without a seed is irreproducible; pass a "
+                    "seed (or use repro.common.rng.make_rng)",
+                )
+        elif len(chain) == 2 and chain[0] == "random":
+            self.report(
+                call, "unseeded-rng",
+                f"stdlib random.{chain[1]}() uses hidden global state; use a "
+                f"seeded numpy Generator instead",
+            )
+
+    # -- rule: mutable-default-arg ---------------------------------------------------
+
+    def _check_mutable_defaults(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(fn.args.defaults) + [d for d in fn.args.kw_defaults if d is not None]
+        for d in defaults:
+            bad = isinstance(
+                d, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+            )
+            if isinstance(d, ast.Call):
+                callee = _attr_chain(d.func)
+                bad = bool(callee) and callee[-1] in ("list", "dict", "set", "defaultdict")
+            if bad:
+                self.report(
+                    d, "mutable-default-arg",
+                    f"mutable default argument in {fn.name}() is shared across "
+                    f"calls; default to None and build inside the body",
+                )
+
+    # -- rule: alloc-in-tile-kernel ---------------------------------------------------
+
+    def _hot_functions(self) -> set[str]:
+        """Registered kernel fns plus same-module functions they (transitively) call."""
+        hot = set(self._kernel_fn_names)
+        frontier = list(hot)
+        while frontier:
+            fn = self._functions.get(frontier.pop())
+            if fn is None:
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                    callee = node.func.id
+                    if callee in self._functions and callee not in hot:
+                        hot.add(callee)
+                        frontier.append(callee)
+        return hot
+
+    def _check_hot_kernels(self) -> None:
+        for name in sorted(self._hot_functions()):
+            fn = self._functions.get(name)
+            if fn is None:
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = _attr_chain(node.func)
+                if (
+                    len(chain) == 2
+                    and _is_numpy_alias(chain[0])
+                    and chain[1] in _ALLOC_CALLS
+                ):
+                    self.report(
+                        node, "alloc-in-tile-kernel",
+                        f"np.{chain[1]}() inside hot tile kernel {name}() "
+                        f"allocates per tile per iteration; hoist the buffer "
+                        f"out of the kernel",
+                    )
+
+
+def lint_source(path: str, source: str) -> tuple[list[LintIssue], _FileLint]:
+    """Lint one file's source; returns (issues, per-file facts)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        issue = LintIssue(path, exc.lineno or 0, exc.offset or 0, "syntax-error", str(exc.msg))
+        empty = _FileLint(path, source, ast.Module(body=[], type_ignores=[]))
+        return [issue], empty
+    fl = _FileLint(path, source, tree)
+    fl.collect()
+    return fl.issues, fl
+
+
+def lint_paths(paths: Iterable[Path], *, rules: Sequence[str] = DEFAULT_RULES) -> list[LintIssue]:
+    """Lint the given files; cross-file rules see the whole set."""
+    issues: list[LintIssue] = []
+    registered: set[str] = set()
+    used: list[tuple[str, str, int, int]] = []  # (path, kernel, line, col)
+    for p in paths:
+        file_issues, facts = lint_source(str(p), p.read_text(encoding="utf-8"))
+        issues += file_issues
+        registered |= facts.registered_kernels
+        used += [(str(p), k, ln, col) for k, ln, col in facts.tiletask_kernels]
+    if "unregistered-tile-kernel" in rules:
+        for path, kernel, line, col in used:
+            if kernel not in registered:
+                issues.append(
+                    LintIssue(
+                        path, line, col, "unregistered-tile-kernel",
+                        f"TileTask kernel {kernel!r} is never registered via "
+                        f"register_tile_kernel",
+                    )
+                )
+    issues = [i for i in issues if i.rule in rules or i.rule == "syntax-error"]
+    issues.sort(key=lambda i: (i.path, i.line, i.col, i.rule))
+    return issues
+
+
+def run_lint(root: Path | None = None, *, rules: Sequence[str] = DEFAULT_RULES) -> list[LintIssue]:
+    """Lint every ``*.py`` under *root* (default: the installed ``repro`` package)."""
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    return lint_paths(sorted(Path(root).rglob("*.py")), rules=rules)

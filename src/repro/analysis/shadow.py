@@ -1,0 +1,363 @@
+"""Shadow-memory instrumentation: observe which cells a kernel touches.
+
+:class:`ShadowPlane` is an ``np.ndarray`` subclass that records every
+slice-level access made through it into a :class:`ShadowRecorder` — the
+pure-Python analogue of a ThreadSanitizer shadow word per cell, at the
+granularity numpy kernels actually operate (rectangular windows).
+
+Recording points:
+
+* ufunc evaluation — every windowed operand is a **read**, every windowed
+  ``out=`` target a **write** (this catches in-place ops such as
+  ``sub &= 3`` and ``d[ys, xs] += div``);
+* ``__setitem__`` — a **write** of the assigned window (plus a read of the
+  value when it is itself a tracked window);
+* reductions (``sum``/``any``/``all``/``min``/``max``) — a **read**;
+* unresolvable accesses (fancy indexing, boolean masks) fall back to the
+  view's whole window, keeping the record conservative.
+
+Each access is tagged with the active :class:`ShadowRecorder` context —
+``(task, worker, iteration)`` — so a batch replay attributes every cell
+touch to the task that performed it.  :func:`trace_batch` replays a
+``TileTask`` batch through the real registered kernels on instrumented
+planes and returns per-task observed footprints, which
+:func:`repro.analysis.races.dynamic_check` turns into the dynamic race
+verdict cross-checking the static one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.footprint import Cell, Footprint
+from repro.easypap.executor import TileTask, get_tile_kernel
+from repro.easypap.schedule import chunk_plan_cached
+
+__all__ = [
+    "Access",
+    "ShadowRecorder",
+    "ShadowPlane",
+    "ShadowTrace",
+    "trace_tile_kernel",
+    "trace_batch",
+]
+
+#: reductions that read the whole view without going through __array_ufunc__
+_READ_METHODS = ("sum", "any", "all", "min", "max", "mean")
+
+
+@dataclass(frozen=True)
+class Access:
+    """One recorded window access: who touched what, and how."""
+
+    plane: int
+    kind: str  # "read" | "write"
+    y0: int
+    y1: int
+    x0: int
+    x1: int
+    task: int | None
+    worker: int | None
+    iteration: int
+
+    def cells(self) -> set[Cell]:
+        """Expand the window to individual ``(plane, y, x)`` cells."""
+        return {
+            (self.plane, y, x)
+            for y in range(self.y0, self.y1)
+            for x in range(self.x0, self.x1)
+        }
+
+
+class ShadowRecorder:
+    """Collects :class:`Access` events under a ``(task, worker, iteration)`` context."""
+
+    def __init__(self) -> None:
+        self.events: list[Access] = []
+        self._task: int | None = None
+        self._worker: int | None = None
+        self._iteration = 0
+        self.enabled = True
+
+    @contextmanager
+    def context(self, task: int | None = None, worker: int | None = None, iteration: int = 0):
+        """Attribute all accesses inside the block to *task*/*worker*/*iteration*."""
+        prev = (self._task, self._worker, self._iteration)
+        self._task, self._worker, self._iteration = task, worker, iteration
+        try:
+            yield self
+        finally:
+            self._task, self._worker, self._iteration = prev
+
+    @contextmanager
+    def paused(self):
+        """Suspend recording (e.g. while asserting on plane contents)."""
+        prev, self.enabled = self.enabled, False
+        try:
+            yield self
+        finally:
+            self.enabled = prev
+
+    def record(self, plane: int, kind: str, window: tuple[int, int, int, int]) -> None:
+        """Append one window access under the current context."""
+        if not self.enabled:
+            return
+        y0, y1, x0, x1 = window
+        if y0 >= y1 or x0 >= x1:
+            return
+        self.events.append(
+            Access(plane, kind, y0, y1, x0, x1, self._task, self._worker, self._iteration)
+        )
+
+    def footprint(self, task: int | None) -> Footprint:
+        """Observed footprint of one task (reads/writes it actually made)."""
+        reads: set[Cell] = set()
+        writes: set[Cell] = set()
+        for ev in self.events:
+            if ev.task != task:
+                continue
+            (writes if ev.kind == "write" else reads).update(ev.cells())
+        return Footprint.of(reads, writes)
+
+    def tasks(self) -> list[int]:
+        """Distinct task ids seen, sorted (None contexts excluded)."""
+        return sorted({ev.task for ev in self.events if ev.task is not None})
+
+
+def _resolve_1d(idx, n: int) -> tuple[int, int] | None:
+    """Half-open extent selected by one basic index into an axis of size *n*."""
+    if isinstance(idx, slice):
+        start, stop, step = idx.indices(n)
+        if step > 0:
+            lo, hi = start, stop
+        else:  # negative step: cover the span conservatively
+            lo, hi = stop + 1, start + 1
+        return (max(lo, 0), min(max(hi, lo), n))
+    if isinstance(idx, (int, np.integer)):
+        i = int(idx)
+        if i < 0:
+            i += n
+        return (i, i + 1)
+    return None
+
+
+class ShadowPlane(np.ndarray):
+    """A 2D plane view that reports window accesses to a :class:`ShadowRecorder`.
+
+    Create with :meth:`wrap`; basic 2D slicing yields tracked sub-views
+    (their window is composed with the parent's), while derived result
+    arrays and unresolvable views become untracked and record nothing
+    further (unresolvable *accesses* are recorded conservatively at the
+    point they happen).
+    """
+
+    _rec: ShadowRecorder | None
+    _plane: int
+    _origin: tuple[int, int] | None
+
+    @classmethod
+    def wrap(cls, arr: np.ndarray, recorder: ShadowRecorder, plane: int) -> "ShadowPlane":
+        """Wrap a framed 2D array as a tracked plane (shares the buffer)."""
+        if arr.ndim != 2:
+            raise ValueError(f"ShadowPlane requires a 2D array, got shape {arr.shape}")
+        obj = np.asarray(arr).view(cls)
+        obj._rec = recorder
+        obj._plane = plane
+        obj._origin = (0, 0)
+        return obj
+
+    def __array_finalize__(self, obj) -> None:
+        self._rec = getattr(obj, "_rec", None)
+        self._plane = getattr(obj, "_plane", -1)
+        # results of operations are not grid windows; __getitem__ re-maps views
+        self._origin = None
+
+    # -- window bookkeeping ------------------------------------------------------
+
+    def _window(self) -> tuple[int, int, int, int] | None:
+        """This view's window in base-plane coordinates, or None if untracked."""
+        if self._origin is None or self.ndim != 2:
+            return None
+        oy, ox = self._origin
+        return (oy, oy + self.shape[0], ox, ox + self.shape[1])
+
+    def _record_self(self, kind: str) -> None:
+        win = self._window()
+        if win is not None and self._rec is not None:
+            self._rec.record(self._plane, kind, win)
+
+    def _resolve_key(self, key) -> tuple[tuple[int, int], tuple[int, int]] | None:
+        """Resolve a basic 2D index into per-axis extents relative to this view."""
+        if self.ndim != 2 or self._origin is None:
+            return None
+        if key is Ellipsis:
+            key = (slice(None), slice(None))
+        if not isinstance(key, tuple):
+            key = (key, slice(None))
+        if len(key) != 2:
+            return None
+        ys = _resolve_1d(key[0], self.shape[0])
+        xs = _resolve_1d(key[1], self.shape[1])
+        if ys is None or xs is None:
+            return None
+        return ys, xs
+
+    def _key_window(self, key) -> tuple[int, int, int, int]:
+        """Absolute window selected by *key*; whole view when unresolvable."""
+        resolved = self._resolve_key(key)
+        oy, ox = self._origin if self._origin is not None else (0, 0)
+        if resolved is None:
+            return (oy, oy + self.shape[0], ox, ox + self.shape[1])
+        (ylo, yhi), (xlo, xhi) = resolved
+        return (oy + ylo, oy + yhi, ox + xlo, ox + xhi)
+
+    # -- access interception ------------------------------------------------------
+
+    def __getitem__(self, key):
+        child = super().__getitem__(key)
+        if self._rec is None or self._origin is None:
+            return child
+        resolved = self._resolve_key(key)
+        both_slices = (
+            resolved is not None
+            and isinstance(key, tuple)
+            and len(key) == 2
+            and all(isinstance(k, slice) for k in key)
+        )
+        if both_slices and isinstance(child, ShadowPlane) and child.ndim == 2:
+            # a 2D rectangular sub-view stays tracked; reads are recorded
+            # when the view is actually used as an operand
+            oy, ox = self._origin
+            (ylo, _), (xlo, _) = resolved
+            child._origin = (oy + ylo, ox + xlo)
+            child._rec = self._rec
+            child._plane = self._plane
+            return child
+        # scalars, 1D rows/columns, fancy selections: record the read now
+        # (conservatively the whole view when unresolvable) and detach
+        self._rec.record(self._plane, "read", self._key_window(key))
+        if isinstance(child, ShadowPlane):
+            child._rec = None
+            child._origin = None
+        return child
+
+    def __setitem__(self, key, value) -> None:
+        if self._rec is not None and self._origin is not None:
+            self._rec.record(self._plane, "write", self._key_window(key))
+            if isinstance(value, ShadowPlane):
+                value._record_self("read")
+        super().__setitem__(key, value)
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        out = kwargs.get("out")
+        out_tuple = out if isinstance(out, tuple) else (out,) if out is not None else ()
+        for x in inputs:
+            if isinstance(x, ShadowPlane) and not any(o is x for o in out_tuple):
+                x._record_self("read")
+        for o in out_tuple:
+            if isinstance(o, ShadowPlane):
+                # in-place ufuncs (iadd, iand...) read and write the target
+                if any(x is o for x in inputs):
+                    o._record_self("read")
+                o._record_self("write")
+
+        def unwrap(x):
+            return x.view(np.ndarray) if isinstance(x, ShadowPlane) else x
+
+        if out is not None:
+            kwargs["out"] = tuple(unwrap(o) for o in out_tuple)
+        return getattr(ufunc, method)(*(unwrap(x) for x in inputs), **kwargs)
+
+
+def _add_read_method(name: str) -> None:
+    def method(self, *args, **kwargs):
+        self._record_self("read")
+        return getattr(self.view(np.ndarray), name)(*args, **kwargs)
+
+    method.__name__ = name
+    setattr(ShadowPlane, name, method)
+
+
+for _name in _READ_METHODS:
+    _add_read_method(_name)
+
+
+# -- batch replay ------------------------------------------------------------------
+
+
+@dataclass
+class ShadowTrace:
+    """Result of replaying one task batch on instrumented planes."""
+
+    recorder: ShadowRecorder
+    ntasks: int
+    shape: tuple[int, int]
+
+    def footprints(self) -> list[Footprint]:
+        """Observed per-task footprints, indexed like the batch."""
+        return [self.recorder.footprint(i) for i in range(self.ntasks)]
+
+    @property
+    def events(self) -> list[Access]:
+        """The raw ``(worker, iteration, cell-window, kind)`` access stream."""
+        return self.recorder.events
+
+
+def trace_tile_kernel(
+    task: TileTask,
+    shape: tuple[int, int],
+    *,
+    fill: int = 4,
+) -> Footprint:
+    """Discover a kernel's footprint by running it once on shadow planes.
+
+    Planes are filled with *fill* grains per cell (4 = everywhere unstable)
+    so data-dependent kernels such as ``async_tile_relax`` actually perform
+    their writes.  One execution is observed, so the result is a heuristic
+    lower bound of the may-access sets — prefer a declaration.
+    """
+    fn = get_tile_kernel(task.kernel)
+    rec = ShadowRecorder()
+    nplanes = max(task.src, task.dst) + 1
+    planes = [
+        ShadowPlane.wrap(np.full(shape, fill, dtype=np.int64), rec, p)
+        for p in range(nplanes)
+    ]
+    with rec.context(task=0):
+        fn(planes, task)
+    return rec.footprint(0)
+
+
+def trace_batch(
+    specs: list[TileTask],
+    planes: list[np.ndarray],
+    *,
+    nworkers: int = 1,
+    policy: str = "dynamic",
+    chunk: int = 1,
+    iteration: int = 0,
+) -> ShadowTrace:
+    """Replay a tile batch through the real kernels on instrumented planes.
+
+    Tasks execute sequentially in chunk-plan order (races are detected from
+    footprint overlap, not from wall-clock interleaving, so any serial
+    order observes the same access sets); each access is attributed to its
+    task and to the worker the plan places the chunk on (``chunk %
+    nworkers`` — exact for static/cyclic, a representative placement for
+    dynamic/guided).  *planes* are mutated exactly as a real run would
+    mutate them.
+    """
+    rec = ShadowRecorder()
+    shadow = [ShadowPlane.wrap(p, rec, i) for i, p in enumerate(planes)]
+    shape = planes[0].shape if planes else (0, 0)
+    chunks = chunk_plan_cached(len(specs), nworkers, policy, chunk)
+    for k, ch in enumerate(chunks):
+        worker = k % nworkers
+        for i in ch:
+            fn = get_tile_kernel(specs[i].kernel)
+            with rec.context(task=i, worker=worker, iteration=iteration):
+                fn(shadow, specs[i])
+    return ShadowTrace(recorder=rec, ntasks=len(specs), shape=shape)

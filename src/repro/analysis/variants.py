@@ -1,0 +1,212 @@
+"""Variant-level race certification: every registered kernel variant gets a
+machine-checked concurrency model.
+
+Each sandpile variant decomposes one iteration into *phases of concurrent
+units* (the executor contract: one ``backend.run`` call per phase, phases
+serialised by the call returning).  The unit granularity matches what the
+variant actually parallelises:
+
+* **tiled/lazy/omp (sync)** — one phase of ``sync_tile`` tasks: pure
+  gathers src -> dst, write-disjoint by construction;
+* **split** — same gather model over the inner+outer tile partition (the
+  two code paths write disjoint tiles of the same scratch plane);
+* **seq/vec/frontier (sync)** — cell-granular gather: each interior cell
+  reads its 4-neighbourhood from the source plane and writes its own cell
+  of the destination plane (no two cells write the same destination);
+* **tiled/lazy/omp (async)** — the four checkerboard waves of
+  ``async_tile_relax`` tasks (same-wave tiles are >= one tile apart, so
+  their one-cell write halos stay disjoint — for tiles >= 2 cells wide);
+* **seq/vec/frontier (async)** — cell-granular in-place sweep: each
+  unstable cell rewrites itself *and adds into its 4 neighbours on the
+  same plane*.  Adjacent units conflict, so the sweep is **racy by
+  design** — the paper's point about the asynchronous variant: it is only
+  correct because the sandpile is Abelian, not because the schedule is
+  conflict-free.  These variants are registered with the
+  ``racy-by-design`` tag; the certifier demands the verdict *match* the
+  tag, so an async variant silently becoming "clean" (model drift) fails
+  CI just as loudly as a sync variant becoming racy.
+
+Unmodelled variants fail certification: adding a new variant forces adding
+(or inheriting) an analysis model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.footprint import Footprint, footprint_for, rect_cells
+from repro.analysis.races import RaceReport, check_phases
+from repro.easypap.executor import TileTask
+from repro.easypap.kernel import REGISTRY, KernelRegistry
+from repro.easypap.tiling import TileGrid
+
+__all__ = [
+    "RACY_TAG",
+    "VariantVerdict",
+    "variant_phases",
+    "certify_variant",
+    "certify_all",
+    "verdict_table",
+]
+
+#: registry tag marking a variant whose schedule is deliberately racy
+RACY_TAG = "racy-by-design"
+
+
+# -- phase models -----------------------------------------------------------------
+
+
+def sync_cell_phase(height: int, width: int) -> list[list[Footprint]]:
+    """Cell-granular synchronous gather: plane 0 -> plane 1, one unit per cell."""
+    units = []
+    for y in range(1, height + 1):
+        for x in range(1, width + 1):
+            reads = {(0, y, x), (0, y - 1, x), (0, y + 1, x), (0, y, x - 1), (0, y, x + 1)}
+            units.append(Footprint.of(reads, {(1, y, x)}))
+    return [units]
+
+
+def async_cell_phase(height: int, width: int) -> list[list[Footprint]]:
+    """Cell-granular in-place topple sweep: one unit per cell, single plane.
+
+    A toppling cell masks itself (``&= 3``) and adds a grain portion into
+    each 4-neighbour — read-modify-writes of cells other units also write.
+    """
+    units = []
+    for y in range(1, height + 1):
+        for x in range(1, width + 1):
+            touched = {(0, y, x), (0, y - 1, x), (0, y + 1, x), (0, y, x - 1), (0, y, x + 1)}
+            units.append(Footprint.of(touched, touched))
+    return [units]
+
+
+def sync_tile_specs(height: int, width: int, tile_size: int) -> list[TileTask]:
+    """The one-phase batch the sync tiled steppers submit each iteration."""
+    return [TileTask("sync_tile", 0, 1, t) for t in TileGrid(height, width, tile_size)]
+
+
+def async_wave_specs(height: int, width: int, tile_size: int) -> list[list[TileTask]]:
+    """The four serialized checkerboard wave batches of the async stepper."""
+    from repro.sandpile.omp import wave_partition
+
+    waves = wave_partition(list(TileGrid(height, width, tile_size)))
+    return [[TileTask("async_tile_relax", 0, 0, t) for t in wave] for wave in waves]
+
+
+def _tile_phases(
+    height: int, width: int, tile_size: int, spec_phases: list[list[TileTask]]
+) -> list[list[Footprint]]:
+    shape = (height + 2, width + 2)
+    return [[footprint_for(t, shape) for t in phase] for phase in spec_phases]
+
+
+def variant_phases(
+    kernel: str,
+    variant: str,
+    *,
+    height: int,
+    width: int,
+    tile_size: int,
+) -> list[list[Footprint]] | None:
+    """Phase decomposition of one iteration of ``kernel/variant``.
+
+    Returns None for variants with no registered model.
+    """
+    builder = _MODELS.get((kernel, variant))
+    return builder(height, width, tile_size) if builder is not None else None
+
+
+_MODELS: dict[tuple[str, str], Callable[[int, int, int], list[list[Footprint]]]] = {
+    ("sandpile", "seq"): lambda h, w, ts: sync_cell_phase(h, w),
+    ("sandpile", "vec"): lambda h, w, ts: sync_cell_phase(h, w),
+    ("sandpile", "frontier"): lambda h, w, ts: sync_cell_phase(h, w),
+    ("sandpile", "tiled"): lambda h, w, ts: _tile_phases(h, w, ts, [sync_tile_specs(h, w, ts)]),
+    ("sandpile", "lazy"): lambda h, w, ts: _tile_phases(h, w, ts, [sync_tile_specs(h, w, ts)]),
+    ("sandpile", "omp"): lambda h, w, ts: _tile_phases(h, w, ts, [sync_tile_specs(h, w, ts)]),
+    ("sandpile", "split"): lambda h, w, ts: _tile_phases(h, w, ts, [sync_tile_specs(h, w, ts)]),
+    ("asandpile", "seq"): lambda h, w, ts: async_cell_phase(h, w),
+    ("asandpile", "vec"): lambda h, w, ts: async_cell_phase(h, w),
+    ("asandpile", "frontier"): lambda h, w, ts: async_cell_phase(h, w),
+    ("asandpile", "tiled"): lambda h, w, ts: _tile_phases(h, w, ts, async_wave_specs(h, w, ts)),
+    ("asandpile", "lazy"): lambda h, w, ts: _tile_phases(h, w, ts, async_wave_specs(h, w, ts)),
+    ("asandpile", "omp"): lambda h, w, ts: _tile_phases(h, w, ts, async_wave_specs(h, w, ts)),
+}
+
+
+# -- certification ----------------------------------------------------------------
+
+
+@dataclass
+class VariantVerdict:
+    """Outcome of certifying one registered variant."""
+
+    kernel: str
+    variant: str
+    verdict: str  # "race-free" | "racy" | "unmodelled"
+    expected: str  # what the registry tags promise
+    report: RaceReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Verdict matches the registered expectation."""
+        return self.verdict == self.expected
+
+    @property
+    def qualified_name(self) -> str:
+        """The 'kernel/variant' display name."""
+        return f"{self.kernel}/{self.variant}"
+
+
+def certify_variant(
+    kernel: str,
+    variant: str,
+    *,
+    height: int = 12,
+    width: int = 12,
+    tile_size: int = 4,
+    nworkers: int = 4,
+    policy: str = "dynamic",
+    chunk: int = 1,
+    registry: KernelRegistry | None = None,
+) -> VariantVerdict:
+    """Statically certify one variant's schedule on a representative grid.
+
+    ``dynamic`` with chunk 1 is the adversarial default: every cross-task
+    pair is potentially concurrent, so a clean verdict holds under every
+    other policy too (their concurrency relations are subsets).
+    """
+    import repro.sandpile.simulate  # noqa: F401 - fills the registry
+
+    reg = registry if registry is not None else REGISTRY
+    info = reg.get(kernel, variant)
+    expected = "racy" if RACY_TAG in info.tags else "race-free"
+    phases = variant_phases(kernel, variant, height=height, width=width, tile_size=tile_size)
+    if phases is None:
+        return VariantVerdict(kernel, variant, "unmodelled", expected)
+    report = check_phases(phases, nworkers=nworkers, policy=policy, chunk=chunk)
+    return VariantVerdict(kernel, variant, report.verdict, expected, report)
+
+
+def certify_all(
+    registry: KernelRegistry | None = None, **options
+) -> list[VariantVerdict]:
+    """Certify every variant in the registry (see :func:`certify_variant`)."""
+    import repro.sandpile.simulate  # noqa: F401 - fills the registry
+
+    reg = registry if registry is not None else REGISTRY
+    return [
+        certify_variant(info.kernel, info.name, registry=reg, **options)
+        for info in reg.all_variants()
+    ]
+
+
+def verdict_table(verdicts: list[VariantVerdict]) -> str:
+    """Render verdicts as an aligned text table (the CLI/CI output)."""
+    rows = [("variant", "verdict", "expected", "status")]
+    for v in verdicts:
+        rows.append((v.qualified_name, v.verdict, v.expected, "ok" if v.ok else "FAIL"))
+    widths = [max(len(r[i]) for r in rows) for i in range(4)]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip() for r in rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)

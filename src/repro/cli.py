@@ -1,14 +1,19 @@
 """Command-line entry points.
 
-Three small CLIs, one per assignment, mirroring how a student would poke
-at each system:
+Four small CLIs, mirroring how a student would poke at each system:
 
 * ``repro-sandpile`` — stabilise a configuration with a chosen kernel
   variant, print statistics and an ASCII rendering, optionally save a PPM;
 * ``repro-stripes``  — run the four-phase warming-stripes workflow, print
   the data-quality report and save the stripes image;
 * ``repro-carbon``   — answer the Tab-1/Tab-2 questions and print the
-  tables.
+  tables;
+* ``repro-check``    — run the correctness tooling: the AST project lint,
+  the static race certification of every registered variant, and the halo
+  depth/message-pattern analysis.  Exits non-zero on any unexpected
+  verdict, so CI can gate on it.
+
+``python -m repro.cli <command> ...`` dispatches to the same entry points.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-__all__ = ["sandpile_main", "stripes_main", "carbon_main"]
+__all__ = ["sandpile_main", "stripes_main", "carbon_main", "check_main", "main"]
 
 
 def sandpile_main(argv: list[str] | None = None) -> int:
@@ -200,3 +205,118 @@ def carbon_main(argv: list[str] | None = None) -> int:
             results = treasure_hunt()
             print(tab2_table(results, top=10))
     return 0
+
+
+def check_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-check`` (also ``python -m repro.cli check``).
+
+    Runs three gates and fails on the first broken one:
+
+    1. the AST project lint over ``src/repro``;
+    2. static race certification of every registered kernel variant —
+       each verdict must match the variant's registered expectation
+       (``racy-by-design`` variants must be flagged, everything else must
+       certify conflict-free);
+    3. halo-depth sufficiency and sendrecv pattern matching for the MPI
+       ghost-cell variant.
+    """
+    from repro.analysis import (
+        analyze_exchange_pattern,
+        certify_all,
+        check_halo_depth,
+        run_lint,
+        verdict_table,
+    )
+
+    p = argparse.ArgumentParser(prog="repro-check", description="Correctness tooling")
+    p.add_argument("--height", type=int, default=12, help="certification grid height")
+    p.add_argument("--width", type=int, default=12, help="certification grid width")
+    p.add_argument("--tile-size", type=int, default=4)
+    p.add_argument("--nworkers", type=int, default=4)
+    p.add_argument(
+        "--policy",
+        default="dynamic",
+        help="chunk-plan policy to certify under (dynamic chunk=1 is the "
+        "adversarial superset of all policies; default dynamic)",
+    )
+    p.add_argument("--chunk", type=int, default=1)
+    p.add_argument("--max-ranks", type=int, default=8, help="halo pattern world sizes to check")
+    p.add_argument("--skip-lint", action="store_true")
+    p.add_argument("--skip-races", action="store_true")
+    p.add_argument("--skip-halo", action="store_true")
+    args = p.parse_args(argv)
+
+    failed = False
+
+    if not args.skip_lint:
+        issues = run_lint()
+        if issues:
+            print(f"lint: {len(issues)} issue(s)")
+            for issue in issues:
+                print(f"  {issue}")
+            failed = True
+        else:
+            print("lint: clean")
+
+    if not args.skip_races:
+        verdicts = certify_all(
+            height=args.height,
+            width=args.width,
+            tile_size=args.tile_size,
+            nworkers=args.nworkers,
+            policy=args.policy,
+            chunk=args.chunk,
+        )
+        print(verdict_table(verdicts))
+        bad = [v for v in verdicts if not v.ok]
+        if bad:
+            for v in bad:
+                print(f"race check: {v.qualified_name} is {v.verdict}, expected {v.expected}")
+                if v.report is not None and v.report.conflicts:
+                    print(v.report.summary())
+            failed = True
+        else:
+            print(f"race check: all {len(verdicts)} variants match their expectation")
+
+    if not args.skip_halo:
+        for depth in (1, 2, 4):
+            verdict = check_halo_depth(depth, stencil_radius=1, iterations_between_exchanges=depth)
+            if not verdict.ok:
+                print(f"halo: {verdict}")
+                failed = True
+        for nranks in range(1, args.max_ranks + 1):
+            report = analyze_exchange_pattern(nranks)
+            if not report.ok:
+                print(f"halo: {report.describe()}")
+                failed = True
+        if not failed:
+            print(f"halo: depth model and 1..{args.max_ranks}-rank sendrecv patterns clean")
+
+    return 1 if failed else 0
+
+
+_COMMANDS = {
+    "sandpile": sandpile_main,
+    "stripes": stripes_main,
+    "carbon": carbon_main,
+    "check": check_main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatcher for ``python -m repro.cli <command> ...``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(sorted(_COMMANDS))
+        print(f"usage: python -m repro.cli {{{names}}} [options]")
+        return 0 if argv else 2
+    cmd = _COMMANDS.get(argv[0])
+    if cmd is None:
+        print(f"unknown command {argv[0]!r}; available: {', '.join(sorted(_COMMANDS))}",
+              file=sys.stderr)
+        return 2
+    return cmd(argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

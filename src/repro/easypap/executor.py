@@ -41,7 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError, SchedulingError
+from repro.common.errors import ConfigurationError, KernelError, SchedulingError
 from repro.common.resilience import Deadline, DegradationLog, FaultInjector, RetryPolicy
 from repro.easypap.monitor import TaskRecord, Trace
 from repro.easypap.schedule import (
@@ -57,6 +57,7 @@ __all__ = [
     "TaskBatch",
     "TileTask",
     "register_tile_kernel",
+    "get_tile_kernel",
     "SequentialBackend",
     "SimulatedBackend",
     "ThreadBackend",
@@ -85,14 +86,36 @@ class TileTask:
 _TILE_KERNELS: dict[str, Callable] = {}
 
 
-def register_tile_kernel(name: str, fn: Callable) -> None:
+def register_tile_kernel(name: str, fn: Callable, *, overwrite: bool = False) -> None:
     """Register *fn(planes, task)* as the executor of ``TileTask(kernel=name)``.
 
     *planes* is the list of shared arrays the backend bound; *task* the
     :class:`TileTask`.  The return value is surfaced in
     :attr:`ScheduleResult.returns` (steppers use it for changed flags).
+
+    Re-registering a *different* function under an existing name raises
+    :class:`~repro.common.errors.KernelError` unless ``overwrite=True`` —
+    silently replacing a kernel would change what already-built batches
+    execute.  Re-registering the *same* function is a no-op (module
+    re-import safety).
     """
+    existing = _TILE_KERNELS.get(name)
+    if existing is not None and existing is not fn and not overwrite:
+        raise KernelError(
+            f"tile kernel {name!r} already registered; pass overwrite=True to replace"
+        )
     _TILE_KERNELS[name] = fn
+
+
+def get_tile_kernel(name: str) -> Callable:
+    """Look up a registered tile kernel; raises KernelError listing what exists."""
+    try:
+        return _TILE_KERNELS[name]
+    except KeyError:
+        avail = ", ".join(sorted(_TILE_KERNELS)) or "<none>"
+        raise KernelError(
+            f"unknown tile kernel {name!r}; registered: {avail}"
+        ) from None
 
 
 class TaskBatch:

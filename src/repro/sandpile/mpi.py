@@ -107,7 +107,7 @@ def _rank_program(
     local = np.zeros((nrows + 2 * k, w + 2), dtype=np.int64)
     local[k : k + nrows, 1:-1] = block
     scratch = local.copy()
-    exchanger = HaloExchanger(comm, depth=k)
+    exchanger = HaloExchanger(comm, depth=k, owned_rows=nrows)
     top_rank = comm.rank == 0
     bottom_rank = comm.rank == comm.size - 1
 

@@ -151,18 +151,37 @@ def _sandpile_omp(
     return TiledSyncStepper(grid, tile_size, backend=be, lazy=lazy)
 
 
-@register_variant("asandpile", "seq", description="scalar reference in-place sweep (Fig. 2 async)")
+# The three cell-granular async sweeps are tagged racy-by-design: adjacent
+# cells read-modify-write each other on one plane, so a parallel schedule
+# of their units has true conflicts.  They are still correct *sequentially*
+# (and tolerably so in parallel) only because the sandpile is Abelian.  The
+# analysis certifier (repro.analysis.variants) requires the static verdict
+# to MATCH this tag — the whitelist is checked, not just ignored.
+@register_variant(
+    "asandpile",
+    "seq",
+    description="scalar reference in-place sweep (Fig. 2 async)",
+    tags=("racy-by-design",),
+)
 def _asandpile_seq(grid: Grid2D, *, order: str = "raster", **_opts):
     return lambda: async_step_reference(grid, order=order)
 
 
-@register_variant("asandpile", "vec", description="vectorised topple-all sweep")
+@register_variant(
+    "asandpile",
+    "vec",
+    description="vectorised topple-all sweep",
+    tags=("racy-by-design",),
+)
 def _asandpile_vec(grid: Grid2D, **_opts):
     return AsyncVecStepper(grid)
 
 
 @register_variant(
-    "asandpile", "frontier", description="bounding-box topple sweeps over the active frontier"
+    "asandpile",
+    "frontier",
+    description="bounding-box topple sweeps over the active frontier",
+    tags=("racy-by-design",),
 )
 def _asandpile_frontier(grid: Grid2D, **_opts):
     return FrontierAsyncStepper(grid)

@@ -57,11 +57,19 @@ class HaloExchanger:
     array rows, columns included, which keeps corner cells consistent).
     """
 
-    def __init__(self, comm: Communicator, depth: int = 1) -> None:
+    def __init__(
+        self, comm: Communicator, depth: int = 1, *, owned_rows: int | None = None
+    ) -> None:
         if depth < 1:
-            raise ConfigurationError("halo depth must be >= 1")
+            raise ConfigurationError(f"halo depth must be >= 1, got {depth}")
+        if owned_rows is not None and depth > owned_rows:
+            raise ConfigurationError(
+                f"halo depth {depth} exceeds the {owned_rows} owned rows of this "
+                f"rank: it cannot fill the boundary bands it must export"
+            )
         self.comm = comm
         self.depth = depth
+        self.owned_rows = owned_rows
         self.exchanges = 0
 
     @property

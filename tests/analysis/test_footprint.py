@@ -1,0 +1,164 @@
+"""Tests for the per-task footprint model."""
+
+import pytest
+
+import repro.sandpile.kernels  # noqa: F401 - registers the tile kernels
+from repro.analysis.footprint import (
+    Footprint,
+    _FOOTPRINTS,
+    async_tile_relax_footprint,
+    declare_footprint,
+    declared_footprint,
+    footprint_for,
+    rect_cells,
+    sync_tile_footprint,
+)
+from repro.common.errors import KernelError
+from repro.easypap.executor import TileTask
+from repro.easypap.tiling import Tile, TileGrid
+
+SHAPE = (10, 10)  # framed 8x8 grid
+
+
+def tile_at(index, ty, tx, y0, x0, h=4, w=4):
+    return Tile(index, ty, tx, y0, x0, h, w)
+
+
+class TestRectCells:
+    def test_expands_half_open_rectangle(self):
+        cells = rect_cells(1, 0, 2, 3, 5)
+        assert cells == {(1, 0, 3), (1, 0, 4), (1, 1, 3), (1, 1, 4)}
+
+    def test_empty_rectangle(self):
+        assert rect_cells(0, 2, 2, 0, 4) == set()
+
+
+class TestFootprint:
+    def test_write_write_conflict(self):
+        a = Footprint.of(set(), {(0, 1, 1)})
+        b = Footprint.of(set(), {(0, 1, 1), (0, 1, 2)})
+        c = a.conflicts_with(b)
+        assert c["write-write"] == {(0, 1, 1)}
+        assert not c["read-write"]
+        assert not a.independent_of(b)
+
+    def test_read_write_conflict(self):
+        a = Footprint.of({(0, 1, 1)}, {(0, 5, 5)})
+        b = Footprint.of(set(), {(0, 1, 1)})
+        c = a.conflicts_with(b)
+        assert c["read-write"] == {(0, 1, 1)}
+        assert not c["write-write"]
+
+    def test_read_read_is_independent(self):
+        a = Footprint.of({(0, 1, 1)}, {(0, 2, 2)})
+        b = Footprint.of({(0, 1, 1)}, {(0, 3, 3)})
+        assert a.independent_of(b)
+
+    def test_union(self):
+        a = Footprint.of({(0, 0, 0)}, {(1, 0, 0)})
+        b = Footprint.of({(0, 1, 1)}, {(1, 1, 1)})
+        u = a.union(b)
+        assert u.reads == {(0, 0, 0), (0, 1, 1)}
+        assert u.writes == {(1, 0, 0), (1, 1, 1)}
+
+    def test_touched_is_reads_and_writes(self):
+        fp = Footprint.of({(0, 0, 0)}, {(0, 1, 1)})
+        assert fp.touched == {(0, 0, 0), (0, 1, 1)}
+
+
+class TestSyncTileFootprint:
+    def test_writes_only_tile_interior_of_dst(self):
+        task = TileTask("sync_tile", 0, 1, tile_at(0, 0, 0, 0, 0))
+        fp = sync_tile_footprint(task, SHAPE)
+        assert fp.writes == rect_cells(1, 1, 5, 1, 5)
+
+    def test_reads_tile_plus_cross_halo_of_src(self):
+        task = TileTask("sync_tile", 0, 1, tile_at(0, 1, 1, 4, 4))
+        fp = sync_tile_footprint(task, SHAPE)
+        # interior
+        assert rect_cells(0, 5, 9, 5, 9) <= fp.reads
+        # one-cell cross bands, corners excluded
+        assert (0, 5, 4) in fp.reads and (0, 4, 5) in fp.reads
+        assert (0, 4, 4) not in fp.reads  # corner: 4-point stencil skips it
+
+    def test_adjacent_tiles_write_disjoint(self):
+        a = sync_tile_footprint(TileTask("sync_tile", 0, 1, tile_at(0, 0, 0, 0, 0)), SHAPE)
+        b = sync_tile_footprint(TileTask("sync_tile", 0, 1, tile_at(1, 0, 1, 0, 4)), SHAPE)
+        assert not a.writes & b.writes
+        # but b writes cells a reads (a's east halo): read-write on distinct planes
+        assert a.conflicts_with(b)["write-write"] == frozenset()
+
+    def test_full_grid_gather_is_race_free_pairwise(self):
+        tasks = [TileTask("sync_tile", 0, 1, t) for t in TileGrid(8, 8, 4)]
+        fps = [sync_tile_footprint(t, SHAPE) for t in tasks]
+        for i, a in enumerate(fps):
+            for b in fps[i + 1 :]:
+                assert not a.writes & b.writes
+
+
+class TestAsyncTileFootprint:
+    def test_reads_equal_writes_on_one_plane(self):
+        task = TileTask("async_tile_relax", 0, 0, tile_at(0, 0, 0, 0, 0))
+        fp = async_tile_relax_footprint(task, SHAPE)
+        assert fp.reads == fp.writes
+        assert all(c[0] == 0 for c in fp.touched)
+
+    def test_edge_adjacent_tiles_conflict(self):
+        a = async_tile_relax_footprint(
+            TileTask("async_tile_relax", 0, 0, tile_at(0, 0, 0, 0, 0)), SHAPE
+        )
+        b = async_tile_relax_footprint(
+            TileTask("async_tile_relax", 0, 0, tile_at(1, 0, 1, 0, 4)), SHAPE
+        )
+        assert a.conflicts_with(b)["write-write"]
+
+    def test_corner_adjacent_tiles_conflict(self):
+        # diagonal neighbours clash through their shifted halo bands --
+        # exactly why the wave partition needs 4 colours, not 2
+        a = async_tile_relax_footprint(
+            TileTask("async_tile_relax", 0, 0, tile_at(0, 0, 0, 0, 0)), SHAPE
+        )
+        b = async_tile_relax_footprint(
+            TileTask("async_tile_relax", 0, 0, tile_at(3, 1, 1, 4, 4)), SHAPE
+        )
+        assert not a.independent_of(b)
+
+    def test_same_wave_tiles_independent(self):
+        # two tiles apart in one axis (same checkerboard colour): halos miss
+        a = async_tile_relax_footprint(
+            TileTask("async_tile_relax", 0, 0, tile_at(0, 0, 0, 0, 0, 2, 2)), SHAPE
+        )
+        b = async_tile_relax_footprint(
+            TileTask("async_tile_relax", 0, 0, tile_at(1, 2, 2, 4, 4, 2, 2)), SHAPE
+        )
+        assert a.independent_of(b)
+
+
+class TestDeclarations:
+    def test_stock_kernels_declared(self):
+        for name in ("sync_tile", "sync_tile_nc", "async_tile_relax"):
+            task = TileTask(name, 0, 1 if name.startswith("sync") else 0, tile_at(0, 0, 0, 0, 0))
+            assert declared_footprint(task, SHAPE) is not None
+
+    def test_duplicate_declaration_rejected(self):
+        name = "tmp_dup_fp"
+        declare_footprint(name, sync_tile_footprint)
+        try:
+            with pytest.raises(KernelError):
+                declare_footprint(name, async_tile_relax_footprint)
+            # same function again is a no-op (re-import safety)
+            declare_footprint(name, sync_tile_footprint)
+            # explicit overwrite allowed
+            declare_footprint(name, async_tile_relax_footprint, overwrite=True)
+            assert _FOOTPRINTS[name] is async_tile_relax_footprint
+        finally:
+            _FOOTPRINTS.pop(name, None)
+
+    def test_footprint_for_prefers_declaration(self):
+        task = TileTask("sync_tile", 0, 1, tile_at(0, 0, 0, 0, 0))
+        assert footprint_for(task, SHAPE) == sync_tile_footprint(task, SHAPE)
+
+    def test_undeclared_kernel_raises_without_trace(self):
+        task = TileTask("no_such_kernel_fp", 0, 0, tile_at(0, 0, 0, 0, 0))
+        with pytest.raises(KernelError):
+            footprint_for(task, SHAPE, allow_trace=False)

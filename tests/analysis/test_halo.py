@@ -1,0 +1,144 @@
+"""Tests for halo-depth sufficiency and sendrecv pattern analysis."""
+
+import pytest
+
+from repro.analysis import halo
+from repro.analysis.halo import (
+    Op,
+    analyze_exchange_pattern,
+    check_halo_depth,
+    halo_ops,
+    match_pattern,
+)
+from repro.common.errors import ConfigurationError
+from repro.simmpi import ghost
+
+
+class TestTagMirror:
+    def test_tags_match_the_exchanger(self):
+        # the analyzer models ghost.py symbolically; the constants must agree
+        assert halo.TAG_UP == ghost._TAG_UP
+        assert halo.TAG_DOWN == ghost._TAG_DOWN
+
+
+class TestCheckHaloDepth:
+    def test_depth_equal_to_requirement_ok(self):
+        v = check_halo_depth(3, stencil_radius=1, iterations_between_exchanges=3)
+        assert v.ok and v.required_depth == 3
+
+    def test_depth_below_requirement_rejected(self):
+        v = check_halo_depth(2, stencil_radius=1, iterations_between_exchanges=3)
+        assert not v.ok
+        assert v.required_depth == 3
+        assert "stale" in str(v)
+
+    def test_radius_scales_requirement(self):
+        assert not check_halo_depth(3, stencil_radius=2, iterations_between_exchanges=2).ok
+        assert check_halo_depth(4, stencil_radius=2, iterations_between_exchanges=2).ok
+
+    def test_default_iterations_is_depth(self):
+        # the runner's convention: depth-k halo runs k iterations per superstep
+        v = check_halo_depth(4)
+        assert v.ok and v.iterations_between_exchanges == 4
+
+    def test_owned_rows_bound(self):
+        assert check_halo_depth(2, owned_rows=2).ok
+        v = check_halo_depth(3, owned_rows=2)
+        assert not v.ok
+        assert "owns 2 rows" in " ".join(v.reasons)
+
+    def test_nonsensical_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            check_halo_depth(0)
+        with pytest.raises(ConfigurationError):
+            check_halo_depth(1, stencil_radius=0)
+        with pytest.raises(ConfigurationError):
+            check_halo_depth(1, iterations_between_exchanges=0)
+
+
+class TestHaloOps:
+    def test_middle_rank_has_two_sendrecv_pairs(self):
+        ops = halo_ops(1, 3)
+        assert ops == [
+            Op("send", 0, halo.TAG_UP),
+            Op("recv", 2, halo.TAG_UP),
+            Op("send", 2, halo.TAG_DOWN),
+            Op("recv", 0, halo.TAG_DOWN),
+        ]
+
+    def test_edge_ranks_have_single_halves(self):
+        assert halo_ops(0, 3) == [Op("recv", 1, halo.TAG_UP), Op("send", 1, halo.TAG_DOWN)]
+        assert halo_ops(2, 3) == [Op("send", 1, halo.TAG_UP), Op("recv", 1, halo.TAG_DOWN)]
+
+    def test_single_rank_is_silent(self):
+        assert halo_ops(0, 1) == []
+
+
+class TestPatternMatching:
+    @pytest.mark.parametrize("nranks", range(1, 9))
+    def test_real_pattern_matches_at_every_world_size(self, nranks):
+        report = analyze_exchange_pattern(nranks)
+        assert report.ok, report.describe()
+        assert "matched" in report.describe()
+
+    def test_repeated_supersteps_stay_clean(self):
+        assert analyze_exchange_pattern(5, rounds=4).ok
+
+    def test_wrong_tag_reported_as_mismatch(self):
+        def corrupt(rank, nranks):
+            ops = halo_ops(rank, nranks)
+            if rank == 1:  # bottom rank of a 2-rank world sends a bogus tag
+                ops = [Op("send", 0, 999) if o.kind == "send" else o for o in ops]
+            return ops
+
+        report = analyze_exchange_pattern(2, ops_fn=corrupt)
+        assert not report.ok
+        assert any(op.tag == 999 for _, op in report.unconsumed)
+        # rank 0's recv of the real tag now starves
+        assert any(rank == 0 for rank, _ in report.blocked)
+        assert "deadlock" in report.describe() or "never received" in report.describe()
+
+    def test_recv_before_send_cycle_deadlocks(self):
+        # every rank blocks receiving before anyone sends: classic cycle
+        def corrupt(rank, nranks):
+            ops = halo_ops(rank, nranks)
+            recvs = [o for o in ops if o.kind == "recv"]
+            sends = [o for o in ops if o.kind == "send"]
+            return recvs + sends
+
+        report = analyze_exchange_pattern(3, ops_fn=corrupt)
+        assert not report.ok
+        assert len(report.blocked) == 3  # nobody makes progress
+
+    def test_wrong_partner_blocks(self):
+        def corrupt(rank, nranks):
+            if rank == 0:
+                return [Op("recv", 5, halo.TAG_UP)]  # partner outside the world
+            return halo_ops(rank, nranks)
+
+        report = analyze_exchange_pattern(2, ops_fn=corrupt)
+        assert not report.ok
+        assert any(rank == 0 for rank, _ in report.blocked)
+
+    def test_eager_sends_tolerate_any_send_order(self):
+        # sends complete immediately, so a rank may send everything first
+        def reorder(rank, nranks):
+            ops = halo_ops(rank, nranks)
+            sends = [o for o in ops if o.kind == "send"]
+            recvs = [o for o in ops if o.kind == "recv"]
+            return sends + recvs
+
+        assert analyze_exchange_pattern(4, ops_fn=reorder).ok
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analyze_exchange_pattern(0)
+
+    def test_match_pattern_counts_duplicate_messages(self):
+        programs = [
+            [Op("send", 1, 7), Op("send", 1, 7)],
+            [Op("recv", 0, 7)],
+        ]
+        report = match_pattern(programs)
+        assert not report.ok
+        assert report.unconsumed == [(0, Op("send", 1, 7))]

@@ -1,0 +1,149 @@
+"""Tests for the shadow-memory instrumentation."""
+
+import numpy as np
+
+import repro.sandpile.kernels  # noqa: F401 - registers the tile kernels
+from repro.analysis.footprint import (
+    async_tile_relax_footprint,
+    rect_cells,
+    sync_tile_footprint,
+)
+from repro.analysis.shadow import (
+    ShadowPlane,
+    ShadowRecorder,
+    trace_batch,
+    trace_tile_kernel,
+)
+from repro.easypap.executor import TileTask, get_tile_kernel
+from repro.easypap.tiling import Tile, TileGrid
+
+
+def make_plane(shape=(6, 6), fill=0):
+    rec = ShadowRecorder()
+    plane = ShadowPlane.wrap(np.full(shape, fill, dtype=np.int64), rec, 0)
+    return rec, plane
+
+
+def cells(rec, kind):
+    out = set()
+    for ev in rec.events:
+        if ev.kind == kind:
+            out |= ev.cells()
+    return out
+
+
+class TestShadowPlane:
+    def test_operand_read_recorded(self):
+        rec, p = make_plane(fill=2)
+        _ = p[1:3, 1:3] + 1
+        assert cells(rec, "read") == rect_cells(0, 1, 3, 1, 3)
+
+    def test_setitem_write_recorded(self):
+        rec, p = make_plane()
+        p[2:4, 0:2] = 7
+        assert cells(rec, "write") == rect_cells(0, 2, 4, 0, 2)
+
+    def test_inplace_op_records_read_and_write(self):
+        rec, p = make_plane(fill=5)
+        sub = p[1:3, 1:3]
+        sub &= 3
+        assert rect_cells(0, 1, 3, 1, 3) <= cells(rec, "read")
+        assert rect_cells(0, 1, 3, 1, 3) <= cells(rec, "write")
+
+    def test_augmented_setitem_records_write(self):
+        rec, p = make_plane(fill=1)
+        p[0:2, 0:2] += 1
+        assert rect_cells(0, 0, 2, 0, 2) <= cells(rec, "write")
+        assert np.array_equal(np.asarray(p[0:2, 0:2]), np.full((2, 2), 2))
+
+    def test_nested_subview_window_composes(self):
+        rec, p = make_plane(fill=1)
+        inner = p[2:6, 2:6][1:3, 0:2]  # absolute rows 3:5, cols 2:4
+        _ = inner + 0
+        assert cells(rec, "read") == rect_cells(0, 3, 5, 2, 4)
+
+    def test_reduction_records_read(self):
+        rec, p = make_plane(fill=1)
+        assert p[0:3, 0:3].sum() == 9
+        assert cells(rec, "read") == rect_cells(0, 0, 3, 0, 3)
+
+    def test_derived_array_is_untracked(self):
+        rec, p = make_plane(fill=4)
+        derived = p[1:3, 1:3] >> 2
+        before = len(rec.events)
+        _ = derived + 1  # operating on the result must not record again
+        assert len(rec.events) == before
+
+    def test_paused_suppresses_recording(self):
+        rec, p = make_plane(fill=1)
+        with rec.paused():
+            _ = p[0:2, 0:2] + 1
+            p[0:1, 0:1] = 9
+        assert rec.events == []
+
+    def test_context_attributes_accesses(self):
+        rec, p = make_plane(fill=1)
+        with rec.context(task=7, worker=2, iteration=3):
+            p[0:1, 0:1] = 5
+        ev = rec.events[-1]
+        assert (ev.task, ev.worker, ev.iteration) == (7, 2, 3)
+        assert rec.tasks() == [7]
+
+    def test_scalar_read_recorded_conservatively(self):
+        rec, p = make_plane(fill=1)
+        _ = p[2, 3]
+        assert (0, 2, 3) in cells(rec, "read")
+
+
+class TestTraceTileKernel:
+    def test_sync_trace_matches_declaration(self):
+        task = TileTask("sync_tile", 0, 1, Tile(0, 0, 0, 0, 0, 4, 4))
+        traced = trace_tile_kernel(task, (10, 10))
+        declared = sync_tile_footprint(task, (10, 10))
+        # soundness: every observed access is inside the declared bound
+        assert traced.reads <= declared.reads
+        assert traced.writes <= declared.writes
+        # saturated fill makes the kernel touch its whole window
+        assert traced.writes == declared.writes
+
+    def test_async_trace_within_declaration(self):
+        task = TileTask("async_tile_relax", 0, 0, Tile(0, 0, 0, 0, 0, 4, 4))
+        traced = trace_tile_kernel(task, (10, 10))
+        declared = async_tile_relax_footprint(task, (10, 10))
+        assert traced.reads <= declared.reads
+        assert traced.writes <= declared.writes
+        # every halo band receives grains on the all-unstable grid
+        assert declared.writes - rect_cells(0, 1, 5, 1, 5) <= traced.writes
+
+
+class TestTraceBatch:
+    def test_planes_mutated_like_a_real_run(self):
+        specs = [TileTask("sync_tile", 0, 1, t) for t in TileGrid(6, 6, 3)]
+        src = np.zeros((8, 8), dtype=np.int64)
+        src[1:-1, 1:-1] = 5
+        expected_src, expected_dst = src.copy(), np.zeros_like(src)
+        for t in specs:
+            get_tile_kernel(t.kernel)([expected_src, expected_dst], t)
+
+        planes = [src.copy(), np.zeros_like(src)]
+        trace = trace_batch(specs, planes, nworkers=4)
+        assert np.array_equal(planes[0], expected_src)
+        assert np.array_equal(planes[1], expected_dst)
+        assert trace.ntasks == len(specs)
+        assert trace.recorder.tasks() == list(range(len(specs)))
+
+    def test_footprints_indexed_like_batch(self):
+        specs = [TileTask("sync_tile", 0, 1, t) for t in TileGrid(6, 6, 3)]
+        planes = [np.full((8, 8), 4, dtype=np.int64), np.zeros((8, 8), dtype=np.int64)]
+        trace = trace_batch(specs, planes, nworkers=2)
+        fps = trace.footprints()
+        assert len(fps) == len(specs)
+        for spec, fp in zip(specs, fps):
+            assert fp.writes == sync_tile_footprint(spec, (8, 8)).writes
+
+    def test_workers_follow_chunk_plan(self):
+        specs = [TileTask("sync_tile", 0, 1, t) for t in TileGrid(6, 6, 3)]
+        planes = [np.zeros((8, 8), dtype=np.int64), np.zeros((8, 8), dtype=np.int64)]
+        trace = trace_batch(specs, planes, nworkers=2, policy="cyclic", chunk=1)
+        workers = {ev.task: ev.worker for ev in trace.events}
+        assert workers == {0: 0, 1: 1, 2: 0, 3: 1}

@@ -6,15 +6,18 @@ import numpy as np
 import pytest
 
 import repro.sandpile.kernels  # noqa: F401 - registers the tile kernels
-from repro.common.errors import ConfigurationError, SchedulingError
+from repro.common.errors import ConfigurationError, KernelError, SchedulingError
 from repro.easypap.executor import (
+    _TILE_KERNELS,
     ProcessBackend,
     SequentialBackend,
     SimulatedBackend,
     TaskBatch,
     ThreadBackend,
     TileTask,
+    get_tile_kernel,
     make_backend,
+    register_tile_kernel,
 )
 from repro.easypap.monitor import Trace
 from repro.easypap.schedule import chunk_plan
@@ -50,6 +53,54 @@ class TestTaskBatch:
     def test_tile_coords_default(self):
         b, _ = make_counter_batch(1)
         assert b.tile_coords(0) == (-1, -1)
+
+
+class TestTileKernelRegistry:
+    def test_duplicate_registration_rejected(self):
+        name = "tmp_dup_kernel"
+        register_tile_kernel(name, lambda planes, task: 1)
+        try:
+            with pytest.raises(KernelError, match="already registered"):
+                register_tile_kernel(name, lambda planes, task: 2)
+        finally:
+            _TILE_KERNELS.pop(name, None)
+
+    def test_same_function_reregistration_is_noop(self):
+        name = "tmp_idem_kernel"
+
+        def fn(planes, task):
+            return 1
+
+        register_tile_kernel(name, fn)
+        try:
+            register_tile_kernel(name, fn)  # re-import safety: no error
+            assert get_tile_kernel(name) is fn
+        finally:
+            _TILE_KERNELS.pop(name, None)
+
+    def test_explicit_overwrite_replaces(self):
+        name = "tmp_over_kernel"
+
+        def old(planes, task):
+            return 1
+
+        def new(planes, task):
+            return 2
+
+        register_tile_kernel(name, old)
+        try:
+            register_tile_kernel(name, new, overwrite=True)
+            assert get_tile_kernel(name) is new
+        finally:
+            _TILE_KERNELS.pop(name, None)
+
+    def test_get_unknown_kernel_lists_registered(self):
+        with pytest.raises(KernelError, match="sync_tile"):
+            get_tile_kernel("no_such_kernel")
+
+    def test_stock_kernels_resolvable(self):
+        for name in ("sync_tile", "sync_tile_nc", "async_tile_relax"):
+            assert callable(get_tile_kernel(name))
 
 
 class TestSequentialBackend:

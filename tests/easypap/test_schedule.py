@@ -165,6 +165,47 @@ class TestSimulateSchedule:
         assert a[0] == a[1] == 0 and a[2] == a[3] == 1
 
 
+class TestChunkOversizeAndRejection:
+    """chunk > ntasks, zero/negative parameters, cache identity."""
+
+    @pytest.mark.parametrize("policy", ("cyclic", "dynamic"))
+    def test_chunk_larger_than_ntasks_single_chunk(self, policy):
+        assert chunk_plan(3, 2, policy, 10) == [[0, 1, 2]]
+
+    def test_guided_chunk_larger_than_ntasks_single_chunk(self):
+        assert chunk_plan(3, 4, "guided", 10) == [[0, 1, 2]]
+
+    def test_static_ignores_chunk(self):
+        assert chunk_plan(6, 2, "static", 99) == chunk_plan(6, 2, "static", 1)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_chunk_oversize_still_covers_all_tasks(self, policy):
+        tasks = [t for c in chunk_plan(5, 3, policy, 100) for t in c]
+        assert sorted(tasks) == list(range(5))
+
+    @pytest.mark.parametrize("chunk", [0, -1, -100])
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_zero_and_negative_chunk_rejected(self, policy, chunk):
+        with pytest.raises(SchedulingError):
+            chunk_plan(4, 2, policy, chunk)
+
+    def test_negative_ntasks_rejected(self):
+        with pytest.raises(SchedulingError):
+            chunk_plan(-1, 2, "dynamic", 1)
+
+    def test_cache_identity_vs_fresh_lists(self):
+        # the cached form returns one immutable object per parameter tuple;
+        # the plain form must return fresh mutable lists every call
+        cached_a = chunk_plan_cached(12, 3, "guided", 2)
+        cached_b = chunk_plan_cached(12, 3, "guided", 2)
+        assert cached_a is cached_b
+        plain_a = chunk_plan(12, 3, "guided", 2)
+        plain_b = chunk_plan(12, 3, "guided", 2)
+        assert plain_a == plain_b
+        assert plain_a is not plain_b
+        assert all(x is not y for x, y in zip(plain_a, plain_b))
+
+
 class TestChunkPlanCache:
     @pytest.mark.parametrize("policy", POLICIES)
     def test_cached_plan_matches_plain(self, policy):

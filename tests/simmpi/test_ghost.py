@@ -94,6 +94,28 @@ class TestHaloExchanger:
         with pytest.raises(CommunicationError):
             run_ranks(1, body)
 
+    def test_depth_exceeding_owned_rows_rejected_at_construction(self):
+        # a rank that owns fewer rows than the halo depth cannot fill the
+        # bands it must export; this must fail at construction, not
+        # mid-exchange
+        def body(comm):
+            HaloExchanger(comm, depth=3, owned_rows=2)
+
+        from repro.common.errors import CommunicationError
+
+        with pytest.raises(CommunicationError, match="owned rows"):
+            run_ranks(2, body)
+
+    def test_owned_rows_at_least_depth_accepted(self):
+        def body(comm):
+            k = 2
+            local = np.zeros((4 + 2 * k, 3), dtype=np.int64)
+            ex = HaloExchanger(comm, depth=k, owned_rows=4)
+            ex.exchange(local)
+            return ex.owned_rows
+
+        assert run_ranks(2, body).results == [4, 4]
+
     def test_too_small_block_rejected(self):
         def body(comm):
             local = np.zeros((2, 3))
