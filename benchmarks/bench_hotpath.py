@@ -139,6 +139,33 @@ def measure_per_iteration(steps: int = 60, rounds: int = 5, only: set | None = N
     return out
 
 
+def measure_tracer_overhead(rounds: int = 5) -> float:
+    """Disabled-tracer overhead on the fig1a frontier hot path.
+
+    Runs the frontier variant to the fig1a fixpoint with ``obs=None``
+    (the untraced loop) and with ``obs=NullTracer()`` (the traced loop
+    taking its falsy fast branch), and returns the min-of-rounds wall-time
+    ratio (NullTracer / None).  The observability contract is that a
+    disabled tracer costs one branch per iteration, so the gate holds this
+    ratio at or below 1.05.
+    """
+    from repro.obs import NullTracer
+    from repro.sandpile.model import center_pile
+    from repro.sandpile.simulate import run_to_fixpoint
+
+    def run_once(obs) -> float:
+        grid = center_pile(SIZE, SIZE, GRAINS_1A)
+        t0 = time.perf_counter()
+        run_to_fixpoint(grid, "sandpile", "frontier", obs=obs)
+        return time.perf_counter() - t0
+
+    off, null = [], []
+    for _ in range(rounds):
+        off.append(run_once(None))
+        null.append(run_once(NullTracer()))
+    return min(null) / min(off)
+
+
 def _ratios(section: dict, key: str) -> dict:
     """Per-variant cost normalised to the in-process vec measurement."""
     base = section["vec"][key]
@@ -237,6 +264,18 @@ def cmd_check(tolerance: float) -> int:
         failures.append(f"fig1a frontier speedup vs lazy fell to {speedup:.2f}x (< 3x)")
     else:
         print(f"ok fig1a frontier speedup vs lazy: {speedup:.1f}x")
+
+    overhead = measure_tracer_overhead()
+    if overhead > 1.05:
+        # re-measure before failing: a sub-5% budget is within runner noise
+        overhead = measure_tracer_overhead(rounds=9)
+    if overhead > 1.05:
+        failures.append(
+            f"disabled-tracer overhead on fig1a frontier is "
+            f"{100 * (overhead - 1):.1f}% (> 5% budget)"
+        )
+    else:
+        print(f"ok disabled-tracer overhead: {100 * max(overhead - 1, 0):.1f}%")
     if failures:
         print("\nPERF REGRESSIONS:")
         for f in failures:

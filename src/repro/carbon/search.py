@@ -59,6 +59,7 @@ def grid_search(
     objective: Callable[..., float],
     *,
     constraint: Callable[..., bool] | None = None,
+    metrics=None,
 ):
     """Exhaustive minimisation of *objective* over the product of *axes*.
 
@@ -66,7 +67,16 @@ def grid_search(
     is the full list of ``(point, value, feasible)`` triples (handy for
     reporting the whole landscape).  Points violating *constraint* are
     recorded but cannot win.
+
+    *metrics* (a :class:`repro.obs.MetricsRegistry`) counts evaluated and
+    infeasible points under ``carbon_grid_points_total``, so sweep cost
+    shows up next to the substrate metrics.
     """
+    counter = (
+        metrics.counter("carbon_grid_points_total", "Grid-search points by outcome")
+        if metrics is not None
+        else None
+    )
     best_point = None
     best_value = float("inf")
     evaluations: list[tuple[tuple, float, bool]] = []
@@ -74,6 +84,8 @@ def grid_search(
         value = objective(*point)
         ok = constraint(*point) if constraint is not None else True
         evaluations.append((point, value, ok))
+        if counter is not None:
+            counter.inc(1, outcome="feasible" if ok else "infeasible")
         if ok and value < best_value:
             best_value = value
             best_point = point

@@ -11,7 +11,11 @@ Four small CLIs, mirroring how a student would poke at each system:
 * ``repro-check``    — run the correctness tooling: the AST project lint,
   the static race certification of every registered variant, and the halo
   depth/message-pattern analysis.  Exits non-zero on any unexpected
-  verdict, so CI can gate on it.
+  verdict, so CI can gate on it;
+* ``repro-trace``    — off-line trace exploration: export a recorded trace
+  (an ``repro.obs`` session or an easypap task-record file) to Chrome
+  trace-event JSON for https://ui.perfetto.dev, print an ASCII timeline or
+  numeric summary, or diff two runs side by side.
 
 ``python -m repro.cli <command> ...`` dispatches to the same entry points.
 """
@@ -19,9 +23,17 @@ Four small CLIs, mirroring how a student would poke at each system:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-__all__ = ["sandpile_main", "stripes_main", "carbon_main", "check_main", "main"]
+__all__ = [
+    "sandpile_main",
+    "stripes_main",
+    "carbon_main",
+    "check_main",
+    "trace_main",
+    "main",
+]
 
 
 def sandpile_main(argv: list[str] | None = None) -> int:
@@ -295,11 +307,118 @@ def check_main(argv: list[str] | None = None) -> int:
     return 1 if failed else 0
 
 
+def _load_any_trace(path: str):
+    """Load *path* as a Tracer, auto-detecting the file flavour.
+
+    ``repro.obs`` session files carry a ``type`` key on every row;
+    easypap task-record files (``Trace.save_jsonl``) do not and are
+    converted through the lossless adapter.
+    """
+    from repro.easypap.monitor import Trace
+    from repro.obs import Tracer
+    from repro.obs.adapters.easypap import trace_to_tracer
+
+    first = None
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                first = json.loads(line)
+                break
+    if first is not None and "type" in first:
+        return Tracer.load_jsonl(path)
+    return trace_to_tracer(Trace.load_jsonl(path))
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-trace`` (also ``python -m repro.cli trace``).
+
+    Subcommands:
+
+    * ``export``  — Chrome trace-event JSON (``--out``, Perfetto-loadable)
+      or an ASCII timeline (``--ascii``);
+    * ``summary`` — makespan / busy%% / per-lane task counts, optionally
+      for one easypap iteration (``--iteration``, agreeing with
+      ``Trace.summarize``);
+    * ``diff``    — two traces of the same workload side by side (the
+      Fig. 3 comparison, generalised).
+    """
+    from repro.obs import diff_summaries, summarize
+
+    p = argparse.ArgumentParser(prog="repro-trace", description="Off-line trace exploration")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    p_export = sub.add_parser("export", help="convert a trace for Perfetto (or the terminal)")
+    p_export.add_argument("input", help="trace file (obs session or easypap task records)")
+    p_export.add_argument("--out", metavar="PATH", help="write Chrome trace JSON here")
+    p_export.add_argument("--ascii", action="store_true", help="print an ASCII timeline")
+    p_export.add_argument("--pid", help="restrict the ASCII view to one track group")
+    p_export.add_argument("--width", type=int, default=72)
+
+    p_summary = sub.add_parser("summary", help="numeric summary of one trace")
+    p_summary.add_argument("input")
+    p_summary.add_argument("--pid", help="restrict to one track group")
+    p_summary.add_argument(
+        "--iteration", type=int, metavar="N",
+        help="easypap traces: summarise only iteration N (matches Trace.summarize)",
+    )
+
+    p_diff = sub.add_parser("diff", help="compare two traces of the same workload")
+    p_diff.add_argument("left")
+    p_diff.add_argument("right")
+    p_diff.add_argument("--pid", help="restrict both sides to one track group")
+    p_diff.add_argument(
+        "--iteration", type=int, metavar="N",
+        help="easypap traces: compare only iteration N on both sides",
+    )
+
+    args = p.parse_args(argv)
+
+    if args.command == "export":
+        tracer = _load_any_trace(args.input)
+        if args.ascii:
+            from repro.obs import ascii_timeline
+
+            print(ascii_timeline(tracer, width=args.width, pid=args.pid))
+        if args.out:
+            from repro.obs import save_chrome_trace
+
+            save_chrome_trace(tracer, args.out)
+            print(f"wrote {args.out} ({len(tracer.records)} records)")
+        if not args.ascii and not args.out:
+            print("nothing to do: pass --out PATH and/or --ascii", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.command == "summary":
+        tracer = _load_any_trace(args.input)
+        where = None
+        title = args.input
+        if args.iteration is not None:
+            where = lambda s: s.args.get("iteration") == args.iteration  # noqa: E731
+            title = f"{args.input} iteration {args.iteration}"
+        print(summarize(tracer, pid=args.pid, where=where).render(title=title))
+        return 0
+
+    # diff
+    where = None
+    left_name, right_name = args.left, args.right
+    if args.iteration is not None:
+        where = lambda s: s.args.get("iteration") == args.iteration  # noqa: E731
+        left_name = f"{args.left} iteration {args.iteration}"
+        right_name = f"{args.right} iteration {args.iteration}"
+    left = summarize(_load_any_trace(args.left), pid=args.pid, where=where)
+    right = summarize(_load_any_trace(args.right), pid=args.pid, where=where)
+    print(diff_summaries(left, right, left_name=left_name, right_name=right_name).render())
+    return 0
+
+
 _COMMANDS = {
     "sandpile": sandpile_main,
     "stripes": stripes_main,
     "carbon": carbon_main,
     "check": check_main,
+    "trace": trace_main,
 }
 
 

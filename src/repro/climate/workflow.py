@@ -10,6 +10,7 @@ codepath.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.climate.dwd import DwdDataset, generate_dataset
@@ -59,6 +60,7 @@ def run_warming_stripes_workflow(
     with_missing_winter: int | None = None,
     on_cluster: bool = False,
     cluster_config: ClusterConfig | None = None,
+    tracer=None,
 ) -> WorkflowResult:
     """Run acquisition -> pre-processing -> MapReduce -> validation.
 
@@ -73,38 +75,52 @@ def run_warming_stripes_workflow(
     on_cluster:
         Route the job through the simulated cluster instead of the local
         engine (identical results, different timing report).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; each of the four phases is
+        recorded as a wall-clock span under the ``climate`` track group.
     """
+
+    def _phase(name):
+        if tracer:
+            return tracer.span(name, cat="phase", pid="climate", tid="workflow")
+        return nullcontext({})
+
     # Phase 1: acquisition ("download" the synthetic DWD data).
-    dataset = generate_dataset(first_year, last_year, seed=seed)
-    if with_missing_winter is not None:
-        dataset.inject_missing(with_missing_winter, [11, 12])
+    with _phase("acquisition"):
+        dataset = generate_dataset(first_year, last_year, seed=seed)
+        if with_missing_winter is not None:
+            dataset.inject_missing(with_missing_winter, [11, 12])
 
     # Phase 2: pre-processing — flatten the chosen file shape into lines.
-    if input_format == "month-files":
-        files = dataset.month_files().values()
-    elif input_format == "station-files":
-        files = dataset.station_files().values()
-    else:
-        raise ValueError(f"unknown input_format {input_format!r}")
-    input_lines = [line for f in files for line in f]
-    splits = text_splits(input_lines, n_splits)
+    with _phase("pre-processing"):
+        if input_format == "month-files":
+            files = dataset.month_files().values()
+        elif input_format == "station-files":
+            files = dataset.station_files().values()
+        else:
+            raise ValueError(f"unknown input_format {input_format!r}")
+        input_lines = [line for f in files for line in f]
+        splits = text_splits(input_lines, n_splits)
 
     # Phase 3: analysis — the MapReduce job.
-    job = annual_mean_job(input_format=input_format)
-    if on_cluster:
-        cluster = SimulatedCluster(cluster_config or ClusterConfig())
-        job_result, _report = cluster.run(job, splits)
-    else:
-        job_result = run_job(job, splits)
-    annual_means = {int(k): float(v) for k, v in job_result.pairs}
+    with _phase("analysis"):
+        job = annual_mean_job(input_format=input_format)
+        if on_cluster:
+            cluster = SimulatedCluster(cluster_config or ClusterConfig())
+            job_result, _report = cluster.run(job, splits)
+        else:
+            job_result = run_job(job, splits)
+        annual_means = {int(k): float(v) for k, v in job_result.pairs}
 
     # Phase 4: validation — sample counts per year.
-    expected = EXPECTED_SAMPLES_PER_YEAR
-    if input_format == "station-files":
-        expected = 12 * len(dataset.states)
-    quality = validate_annual_counts(splits, _PARSERS[input_format], expected_per_year=expected)
-
-    stripes = WarmingStripes.from_annual_means(annual_means)
+    with _phase("validation"):
+        expected = EXPECTED_SAMPLES_PER_YEAR
+        if input_format == "station-files":
+            expected = 12 * len(dataset.states)
+        quality = validate_annual_counts(
+            splits, _PARSERS[input_format], expected_per_year=expected
+        )
+        stripes = WarmingStripes.from_annual_means(annual_means)
     return WorkflowResult(
         dataset=dataset,
         input_lines=input_lines,

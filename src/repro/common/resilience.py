@@ -202,6 +202,7 @@ class DegradationEvent:
     reason: str  # human-readable cause, e.g. the triggering exception
     attempt: int = 0  # which retry attempt recorded the event
     detail: dict = field(default_factory=dict)  # structured extras (tile ids...)
+    ts: float = 0.0  # perf_counter stamp at record time (0.0 = unstamped)
 
 
 class DegradationLog:
@@ -225,7 +226,9 @@ class DegradationLog:
         **detail,
     ) -> DegradationEvent:
         """Append and return a :class:`DegradationEvent`."""
-        ev = DegradationEvent(component, action, reason, attempt=attempt, detail=detail)
+        ev = DegradationEvent(
+            component, action, reason, attempt=attempt, detail=detail, ts=time.perf_counter()
+        )
         self.events.append(ev)
         return ev
 

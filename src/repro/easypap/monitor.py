@@ -20,6 +20,14 @@ import numpy as np
 
 __all__ = ["TaskRecord", "IterationSummary", "Trace", "TraceComparison", "compare_traces"]
 
+#: version stamped on every saved row; bump when the row shape changes
+TRACE_SCHEMA_VERSION = 1
+
+#: TaskRecord field names, for schema-tolerant loading
+_RECORD_FIELDS = frozenset(
+    ("iteration", "task", "worker", "start", "end", "kind", "tile_ty", "tile_tx")
+)
+
 
 @dataclass(frozen=True)
 class TaskRecord:
@@ -146,18 +154,29 @@ class Trace:
         t1 = max(r.end for r in recs)
         span = max(t1 - t0, 1e-12)
         workers = sorted({r.worker for r in recs})
-        lines = [f"iteration {iteration}: {len(recs)} tasks, makespan {span:.4g}"]
+        kinds = sorted({r.kind for r in recs})
+
+        def mark_for(kind: str) -> str:
+            return "G" if kind == "gpu" else ("c" if kind == "comm" else "#")
+
+        legend = "legend: " + "  ".join(f"{mark_for(k)}={k}" for k in kinds) + "  .=idle"
+        lines = [
+            f"iteration {iteration}: {len(recs)} tasks, makespan {span:.4g}",
+            legend,
+        ]
         for w in workers:
             row = ["."] * width
+            busy = 0.0
             for r in recs:
                 if r.worker != w:
                     continue
                 a = int((r.start - t0) / span * (width - 1))
                 b = int((r.end - t0) / span * (width - 1))
-                mark = "G" if r.kind == "gpu" else ("c" if r.kind == "comm" else "#")
+                mark = mark_for(r.kind)
                 for i in range(a, max(b, a) + 1):
                     row[i] = mark
-            lines.append(f"w{w:<3d} |{''.join(row)}|")
+                busy += r.duration
+            lines.append(f"w{w:<3d} |{''.join(row)}| {100 * busy / span:5.1f}% busy")
         return "\n".join(lines)
 
     def to_rows(self) -> list[dict]:
@@ -179,14 +198,25 @@ class Trace:
     # -- persistence (EASYPAP's "off-line trace exploration") -------------------
 
     def save_jsonl(self, path: str | os.PathLike) -> None:
-        """Write the trace as JSON lines for off-line exploration."""
+        """Write the trace as JSON lines for off-line exploration.
+
+        Each row carries a ``schema`` version so future readers can adapt;
+        :meth:`load_jsonl` ignores keys it does not know, so traces written
+        by newer code (or annotated by other tools) stay loadable.
+        """
         with open(path, "w", encoding="utf-8") as fh:
             for row in self.to_rows():
+                row["schema"] = TRACE_SCHEMA_VERSION
                 fh.write(json.dumps(row) + "\n")
 
     @classmethod
     def load_jsonl(cls, path: str | os.PathLike) -> "Trace":
-        """Load a trace previously written by :meth:`save_jsonl`."""
+        """Load a trace previously written by :meth:`save_jsonl`.
+
+        Unknown keys (the ``schema`` stamp, annotations from other tools,
+        fields from future versions) are ignored rather than crashing the
+        load, so old and new trace files both work.
+        """
         trace = cls()
         with open(path, encoding="utf-8") as fh:
             for line in fh:
@@ -194,7 +224,7 @@ class Trace:
                 if not line:
                     continue
                 row = json.loads(line)
-                trace.add(TaskRecord(**row))
+                trace.add(TaskRecord(**{k: v for k, v in row.items() if k in _RECORD_FIELDS}))
         return trace
 
 

@@ -3,12 +3,21 @@
 Counters are the MapReduce idiom for side statistics (records read,
 records written, bad rows skipped...).  They are grouped two levels deep
 (``group -> name -> count``), merge associatively across tasks, and are
-reported at job completion — all of which this small class reproduces.
+reported at job completion.
+
+The class keeps its original two-level API, but the storage is now one
+labelled :class:`repro.obs.metrics.Counter` in a per-instance
+:class:`~repro.obs.metrics.MetricsRegistry` — job counters and the
+observability metrics are a single source of truth, so a job's counters
+snapshot, diff, and export (JSON / Prometheus text) like any other
+metric.  Pass a shared *registry* to pool several jobs' counters into one
+exposition.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from repro.obs.metrics import Counter as _RegistryCounter
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Counters"]
 
@@ -19,33 +28,43 @@ class Counters:
     #: canonical framework groups
     TASK = "task"
 
-    def __init__(self) -> None:
-        self._groups: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    #: registry family holding every series, labelled (group=..., name=...)
+    METRIC_NAME = "mapreduce_counter_total"
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._metric: _RegistryCounter = self.registry.counter(
+            self.METRIC_NAME, "Hadoop-style job counters (group/name)"
+        )
 
     def increment(self, group: str, name: str, amount: int = 1) -> None:
         """Add *amount* (may be negative is a programming error: rejected)."""
         if amount < 0:
             raise ValueError("counters only move forward")
-        self._groups[group][name] += amount
+        self._metric.inc(amount, group=group, name=name)
 
     def value(self, group: str, name: str) -> int:
         """Current value (0 when never incremented)."""
-        return self._groups.get(group, {}).get(name, 0)
+        return int(self._metric.value(group=group, name=name))
 
     def group(self, group: str) -> dict[str, int]:
         """Snapshot of one group."""
-        return dict(self._groups.get(group, {}))
+        return self.as_dict().get(group, {})
 
     def merge(self, other: "Counters") -> None:
         """Fold *other* into this (used when collecting per-task counters)."""
-        for grp, names in other._groups.items():
-            for name, v in names.items():
-                self._groups[grp][name] += v
+        for key, v in other._metric.series().items():
+            self._metric.inc(v, **dict(key))
 
     def as_dict(self) -> dict[str, dict[str, int]]:
         """Plain-dict snapshot."""
-        return {g: dict(names) for g, names in self._groups.items()}
+        out: dict[str, dict[str, int]] = {}
+        for key, v in self._metric.series().items():
+            labels = dict(key)
+            out.setdefault(labels["group"], {})[labels["name"]] = int(v)
+        return out
 
     def __repr__(self) -> str:
-        total = sum(len(v) for v in self._groups.values())
-        return f"Counters({len(self._groups)} groups, {total} counters)"
+        groups = self.as_dict()
+        total = sum(len(v) for v in groups.values())
+        return f"Counters({len(groups)} groups, {total} counters)"

@@ -18,6 +18,7 @@ Phases, in Hadoop terms:
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -26,6 +27,9 @@ from repro.common.errors import ConfigurationError, SchedulingError
 from repro.common.resilience import DegradationLog, FaultInjector, RetryPolicy
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob
+
+#: track-group name under which run_job_parallel records trace spans
+_TRACE_PID = "mapreduce"
 
 __all__ = [
     "JobResult",
@@ -187,6 +191,7 @@ def run_job_parallel(
     retry: RetryPolicy | None = None,
     degradation: DegradationLog | None = None,
     fault_injector: FaultInjector | None = None,
+    tracer=None,
 ) -> JobResult:
     """Execute *job* over real thread-pool workers with retry-on-failure.
 
@@ -204,21 +209,51 @@ def run_job_parallel(
     ``fault_injector`` (tests) raises inside map/reduce tasks by task
     index — map tasks are indexed ``0..len(splits)-1``, reduce tasks
     continue at ``len(splits)``.  Retries are logged to ``degradation``.
+
+    *tracer* (a :class:`repro.obs.Tracer`) records one wall-clock span per
+    attempt — failed attempts under cat ``failed`` plus a ``fault``
+    instant — a ``shuffle`` span on its own lane, and flow arrows tracing
+    data from each map task through the shuffle into each reduce task.
     """
     retry = retry if retry is not None else RetryPolicy()
     splits = [list(s) for s in splits]
+
+    # worker lanes: pool thread ident -> small stable index, in first-task order
+    lanes: dict[int, int] = {}
+    lanes_lock = threading.Lock()
+
+    def _lane() -> int:
+        ident = threading.get_ident()
+        with lanes_lock:
+            return lanes.setdefault(ident, len(lanes))
+
+    #: winning attempt's span per (kind, task index), for the flow arrows
+    task_spans: dict[tuple, object] = {}
 
     def attempt_task(kind: str, index: int, fn):
         """Run *fn* with retries; returns (result, per-attempt counters)."""
         last: BaseException | None = None
         for attempt in range(1, retry.max_attempts + 1):
             local = Counters()
+            tid = _lane() if tracer else 0
+            t0 = tracer.clock() if tracer else 0.0
             try:
                 if fault_injector is not None:
                     fault_injector.check(index)
-                return fn(local), local
+                result = fn(local)
             except Exception as exc:  # noqa: BLE001 - retried per policy
                 last = exc
+                if tracer:
+                    t1 = tracer.clock()
+                    args = {"kind": kind, "task": index, "attempt": attempt, "failed": True}
+                    tracer.add_span(
+                        f"{kind}:{index}#a{attempt}",
+                        start=t0, end=t1, cat="failed", pid=_TRACE_PID, tid=tid, args=args,
+                    )
+                    tracer.instant(
+                        f"{kind} task {index} attempt {attempt} failed: {exc!r}",
+                        ts=t1, cat="fault", pid=_TRACE_PID, tid=tid, args=dict(args),
+                    )
                 if degradation is not None:
                     degradation.record(
                         "run_job_parallel",
@@ -230,6 +265,18 @@ def run_job_parallel(
                     )
                 if attempt < retry.max_attempts:
                     retry.sleep(attempt)
+                continue
+            if tracer:
+                task_spans[(kind, index)] = tracer.add_span(
+                    f"{kind}:{index}",
+                    start=t0,
+                    end=tracer.clock(),
+                    cat=kind,
+                    pid=_TRACE_PID,
+                    tid=tid,
+                    args={"kind": kind, "task": index, "attempt": attempt, "failed": False},
+                )
+            return result, local
         raise SchedulingError(
             f"{kind} task {index} failed after {retry.max_attempts} attempts: {last!r}"
         ) from last
@@ -251,7 +298,30 @@ def run_job_parallel(
             spills.append(spill)
             counters.merge(local)
 
+        t0 = tracer.clock() if tracer else 0.0
         partitions = shuffle(job, spills, counters)
+        shuffle_span = None
+        if tracer:
+            from repro.obs.records import FlowPoint
+
+            shuffle_span = tracer.add_span(
+                "shuffle",
+                start=t0,
+                end=tracer.clock(),
+                cat="comm",
+                pid=_TRACE_PID,
+                tid="shuffle",
+                args={"spills": len(spills), "partitions": len(partitions)},
+            )
+            for i in range(len(splits)):
+                s = task_spans.get(("map", i))
+                if s is not None:
+                    tracer.flow(
+                        f"spill:{i}",
+                        FlowPoint(_TRACE_PID, s.tid, s.end),
+                        FlowPoint(_TRACE_PID, "shuffle", shuffle_span.start),
+                        cat="shuffle",
+                    )
 
         reduce_futs = [
             pool.submit(
@@ -267,6 +337,19 @@ def run_job_parallel(
             part, local = fut.result()
             outputs.append(part)
             counters.merge(local)
+
+        if tracer and shuffle_span is not None:
+            from repro.obs.records import FlowPoint
+
+            for p in range(len(partitions)):
+                s = task_spans.get(("reduce", len(splits) + p))
+                if s is not None:
+                    tracer.flow(
+                        f"partition:{p}",
+                        FlowPoint(_TRACE_PID, "shuffle", shuffle_span.end),
+                        FlowPoint(_TRACE_PID, s.tid, s.start),
+                        cat="shuffle",
+                    )
 
     pairs = [pair for part in outputs for pair in part]
     return JobResult(pairs=pairs, counters=counters, partitions=outputs)

@@ -1,0 +1,76 @@
+"""repro.obs — unified tracing & metrics across all execution substrates.
+
+One data model (:mod:`~repro.obs.records`), one recorder
+(:class:`~repro.obs.tracer.Tracer` and its zero-overhead stand-in
+:class:`~repro.obs.tracer.NullTracer`), one registry
+(:class:`~repro.obs.metrics.MetricsRegistry`), and exporters for Chrome
+trace-event JSON (Perfetto), Prometheus text, and ASCII timelines.
+Substrate adapters live in :mod:`repro.obs.adapters`; the CLI surface is
+``python -m repro.cli trace {export,summary,diff}``.
+
+Hot paths take an optional tracer and guard with plain truthiness::
+
+    if tracer:
+        tracer.instant("retry", ...)
+
+``NullTracer`` is falsy, so disabled tracing costs a single branch.
+"""
+
+from repro.obs.clock import ManualClock, WallClock
+from repro.obs.export import (
+    ascii_timeline,
+    chrome_trace_events,
+    save_chrome_trace,
+    to_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+)
+from repro.obs.records import (
+    SCHEMA_VERSION,
+    CounterRecord,
+    FlowPoint,
+    FlowRecord,
+    InstantRecord,
+    SpanRecord,
+)
+from repro.obs.summary import (
+    LaneSummary,
+    SummaryDiff,
+    TraceSummary,
+    diff_summaries,
+    summarize,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SpanRecord",
+    "InstantRecord",
+    "FlowRecord",
+    "FlowPoint",
+    "CounterRecord",
+    "WallClock",
+    "ManualClock",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "diff_snapshots",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "ascii_timeline",
+    "LaneSummary",
+    "TraceSummary",
+    "SummaryDiff",
+    "summarize",
+    "diff_summaries",
+]

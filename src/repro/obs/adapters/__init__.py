@@ -1,0 +1,40 @@
+"""Substrate adapters: each converts (or instruments) one execution layer.
+
+* :mod:`repro.obs.adapters.easypap`   — per-tile spans from
+  :class:`~repro.easypap.monitor.TaskRecord`, losslessly both ways.
+* :mod:`repro.obs.adapters.mapreduce` — simulated-cluster attempt spans
+  with shuffle flow arrows; degradation events as instants.
+* :mod:`repro.obs.adapters.simmpi`    — conversion helpers for the live
+  instrumentation in :mod:`repro.simmpi.comm` (virtual-time pt2pt spans
+  and send→recv flows are recorded by the communicator itself when its
+  world carries a tracer).
+* :mod:`repro.obs.adapters.wrench`    — DAG task spans per site/resource
+  plus energy counter tracks.
+
+The real thread/process backends and ``run_job_parallel`` take a tracer
+directly; the adapters here cover the substrates that already produce
+structured reports.
+"""
+
+from repro.obs.adapters.easypap import (
+    EASYPAP_PID,
+    degradation_to_instants,
+    trace_to_tracer,
+    tracer_to_trace,
+)
+from repro.obs.adapters.mapreduce import MAPREDUCE_PID, cluster_report_to_tracer
+from repro.obs.adapters.simmpi import SIMMPI_PID, world_report_summary
+from repro.obs.adapters.wrench import WRENCH_PID, simulation_result_to_tracer
+
+__all__ = [
+    "EASYPAP_PID",
+    "MAPREDUCE_PID",
+    "SIMMPI_PID",
+    "WRENCH_PID",
+    "trace_to_tracer",
+    "tracer_to_trace",
+    "degradation_to_instants",
+    "cluster_report_to_tracer",
+    "world_report_summary",
+    "simulation_result_to_tracer",
+]

@@ -1,0 +1,130 @@
+"""mapreduce adapter: cluster attempts, shuffle arrows, job counters.
+
+:func:`cluster_report_to_tracer` projects a
+:class:`~repro.mapreduce.cluster.ClusterReport` (virtual time) onto the
+unified model: each task *attempt* becomes a span on its worker's lane
+(failed, straggling and speculative attempts carry those flags in args
+and distinct categories, so Perfetto can colour them apart), the shuffle
+barrier becomes a span on a dedicated lane, and flow arrows draw the
+data's path — every successful map attempt into the shuffle, the shuffle
+into every first successful reduce attempt.
+
+:func:`counters_to_registry` folds Hadoop-style job
+:class:`~repro.mapreduce.counters.Counters` into a metrics registry
+(they already *are* one — see the shim in that module — but this also
+bridges counters collected elsewhere).
+
+The wall-clock twin, :func:`repro.mapreduce.engine.run_job_parallel`,
+takes a tracer directly and records real attempt spans and retry
+instants itself.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.cluster import ClusterConfig, ClusterReport
+from repro.mapreduce.counters import Counters
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.records import FlowPoint
+from repro.obs.tracer import Tracer
+
+__all__ = ["MAPREDUCE_PID", "SHUFFLE_LANE", "cluster_report_to_tracer", "counters_to_registry"]
+
+MAPREDUCE_PID = "mapreduce"
+SHUFFLE_LANE = "shuffle"
+
+
+def _attempt_cat(a) -> str:
+    if a.failed:
+        return "failed"
+    if a.speculative:
+        return "speculative"
+    return a.phase
+
+
+def cluster_report_to_tracer(
+    report: ClusterReport,
+    config: ClusterConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
+    pid: str = MAPREDUCE_PID,
+) -> Tracer:
+    """Convert a simulated-cluster run into spans + shuffle flow arrows."""
+    if tracer is None:
+        tracer = Tracer(process=pid)
+
+    shuffle_span = None
+    if report.shuffle_finish > report.map_finish or report.attempts:
+        shuffle_span = tracer.add_span(
+            "shuffle",
+            start=report.map_finish,
+            end=report.shuffle_finish,
+            cat="comm",
+            pid=pid,
+            tid=SHUFFLE_LANE,
+            args={"phase": "shuffle"},
+        )
+
+    #: first successful (non-speculative) attempt per reduce task, for arrows
+    first_reduce: dict[int, object] = {}
+    for a in sorted(report.attempts, key=lambda a: (a.start, a.phase, a.task, a.attempt)):
+        span = tracer.add_span(
+            f"{a.phase}:{a.task}#a{a.attempt}",
+            start=a.start,
+            end=a.end,
+            cat=_attempt_cat(a),
+            pid=pid,
+            tid=a.worker,
+            args={
+                "phase": a.phase,
+                "task": a.task,
+                "attempt": a.attempt,
+                "failed": a.failed,
+                "straggled": a.straggled,
+                "speculative": a.speculative,
+            },
+        )
+        if a.failed:
+            tracer.instant(
+                f"{a.phase} task {a.task} attempt {a.attempt} failed",
+                ts=a.end,
+                cat="fault",
+                pid=pid,
+                tid=a.worker,
+                args={"phase": a.phase, "task": a.task, "attempt": a.attempt},
+            )
+            continue
+        if shuffle_span is None:
+            continue
+        if a.phase == "map" and not a.speculative:
+            # the spill leaves the mapper when the attempt completes
+            tracer.flow(
+                f"spill:{a.task}",
+                FlowPoint(pid, a.worker, a.end),
+                FlowPoint(pid, SHUFFLE_LANE, shuffle_span.start),
+                cat="shuffle",
+            )
+        elif a.phase == "reduce" and not a.speculative and a.task not in first_reduce:
+            first_reduce[a.task] = span
+            tracer.flow(
+                f"partition:{a.task}",
+                FlowPoint(pid, SHUFFLE_LANE, shuffle_span.end),
+                FlowPoint(pid, a.worker, a.start),
+                cat="shuffle",
+            )
+    return tracer
+
+
+def counters_to_registry(
+    counters: Counters,
+    registry: MetricsRegistry | None = None,
+    *,
+    name: str = "mapreduce_counter_total",
+) -> MetricsRegistry:
+    """Fold two-level job counters into a labelled registry counter."""
+    if registry is None:
+        registry = MetricsRegistry()
+    metric = registry.counter(name, "Hadoop-style job counters (group/name)")
+    for group, names in counters.as_dict().items():
+        for cname, v in names.items():
+            metric.inc(v, group=group, name=cname)
+    return registry

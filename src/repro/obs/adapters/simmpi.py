@@ -1,0 +1,75 @@
+"""simmpi adapter: summaries and metrics for virtual-time MPI traces.
+
+Unlike the report-shaped substrates, simmpi records its trace *live*:
+pass ``tracer=`` to :func:`repro.simmpi.runner.run_ranks` (or to
+:class:`~repro.simmpi.comm.World` directly) and every rank's communicator
+writes compute/comm spans on its own virtual clock, with send→recv flow
+arrows carried by the messages themselves.  This module holds the
+post-run helpers: :func:`world_report_summary` merges the trace view with
+the :class:`~repro.simmpi.runner.WorldReport` numbers, and
+:func:`stats_to_registry` folds per-rank :class:`~repro.simmpi.comm.CommStats`
+into a metrics registry.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.summary import TraceSummary, summarize
+from repro.obs.tracer import Tracer
+from repro.simmpi.runner import WorldReport
+
+__all__ = ["SIMMPI_PID", "world_report_summary", "stats_to_registry"]
+
+SIMMPI_PID = "simmpi"
+
+
+def world_report_summary(
+    report: WorldReport,
+    tracer: Tracer | None = None,
+    *,
+    pid: str = SIMMPI_PID,
+) -> TraceSummary:
+    """Summarise an SPMD run, preferring the trace when one was recorded.
+
+    With a tracer, the lanes are per-rank and busy time splits into the
+    compute/pt2pt/collective categories the communicator recorded; the
+    makespan then agrees with ``report.makespan`` (the slowest rank's
+    final virtual clock).  Without one, the report's clocks alone yield a
+    lanes-only summary (one "span" per rank covering its whole clock).
+    """
+    if tracer is not None:
+        return summarize(tracer, pid=pid)
+    # degenerate view: each rank busy for its whole virtual clock
+    synth = Tracer(process=pid)
+    for rank, clock in enumerate(report.clocks):
+        synth.add_span(
+            f"rank {rank}",
+            start=0.0,
+            end=clock,
+            cat="compute",
+            pid=pid,
+            tid=rank,
+        )
+    return summarize(synth, pid=pid)
+
+
+def stats_to_registry(
+    report: WorldReport,
+    registry: MetricsRegistry | None = None,
+) -> MetricsRegistry:
+    """Fold per-rank communication counters into labelled metrics."""
+    if registry is None:
+        registry = MetricsRegistry()
+    sent = registry.counter("simmpi_messages_sent_total", "Messages sent per rank")
+    recvd = registry.counter("simmpi_messages_received_total", "Messages received per rank")
+    bsent = registry.counter("simmpi_bytes_sent_total", "Bytes sent per rank")
+    brecv = registry.counter("simmpi_bytes_received_total", "Bytes received per rank")
+    clock = registry.gauge("simmpi_virtual_clock_seconds", "Final virtual clock per rank")
+    for rank, st in enumerate(report.stats):
+        label = {"rank": str(rank)}
+        sent.inc(st.messages_sent, **label)
+        recvd.inc(st.messages_received, **label)
+        bsent.inc(st.bytes_sent, **label)
+        brecv.inc(st.bytes_received, **label)
+        clock.set(report.clocks[rank], **label)
+    return registry

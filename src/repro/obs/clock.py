@@ -1,0 +1,57 @@
+"""Clock sources for tracers.
+
+A tracer timestamps context-manager spans by calling its clock; substrates
+with their own notion of time (the virtual clocks of ``simmpi``/``wrench``,
+the simulated cluster's schedule) bypass the clock entirely and record
+spans with explicit start/end instead.
+
+* :class:`WallClock` — monotonic wall time, zeroed at construction.  The
+  epoch is exposed so absolute ``time.perf_counter()`` stamps taken
+  elsewhere (e.g. :class:`~repro.common.resilience.DegradationLog` events)
+  can be rebased onto the same axis.
+* :class:`ManualClock` — a clock that only moves when told to; useful in
+  tests and for replaying simulated timelines through the context-manager
+  API.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["WallClock", "ManualClock"]
+
+
+class WallClock:
+    """Monotonic seconds since construction (comparable across threads)."""
+
+    def __init__(self) -> None:
+        #: absolute ``time.perf_counter()`` at t=0 of this clock
+        self.epoch = time.perf_counter()
+
+    def __call__(self) -> float:
+        return time.perf_counter() - self.epoch
+
+    def rebase(self, absolute_perf_counter: float) -> float:
+        """Convert an absolute ``perf_counter()`` stamp onto this clock."""
+        return absolute_perf_counter - self.epoch
+
+
+class ManualClock:
+    """A clock under test/replay control: ``now`` is whatever was set."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def set(self, now: float) -> None:
+        """Jump the clock to *now*."""
+        self.now = float(now)
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("clocks do not run backwards")
+        self.now += seconds
+        return self.now

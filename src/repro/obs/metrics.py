@@ -1,0 +1,314 @@
+"""Metrics registry: counters, gauges, histograms with labels.
+
+The second half of the observability layer (spans say *when*, metrics say
+*how much*).  Modelled on the Prometheus client-library surface, trimmed
+to what the substrates need:
+
+* :class:`Counter`   — monotonically increasing totals (records mapped,
+  retries taken, tiles skipped);
+* :class:`Gauge`     — set-to-current values (active workers, frontier
+  area);
+* :class:`Histogram` — bucketed distributions with sum/count (task
+  durations, message sizes).
+
+Every metric takes free-form labels (``counter.inc(2, phase="map")``);
+each distinct label combination is an independent series.  The registry
+snapshots to plain dicts, diffs two snapshots (counters/histograms by
+subtraction, gauges by final value), and exports JSON or the Prometheus
+text exposition format.
+
+``repro.mapreduce.counters.Counters`` is a thin shim over one registry
+counter (see that module), so Hadoop-style job counters and these metrics
+are a single source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from bisect import bisect_left
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram buckets (seconds-flavoured, Prometheus defaults)
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _labelkey(labels: dict) -> tuple:
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise ConfigurationError(f"invalid label name {k!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _fmt_labels(key: tuple) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Common storage: one float per label combination."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._values: dict[tuple, float] = {}
+        self._lock = threading.Lock()
+
+    def value(self, **labels) -> float:
+        """Current value of one series (0 when never touched)."""
+        return self._values.get(_labelkey(labels), 0.0)
+
+    def series(self) -> dict[tuple, float]:
+        """Snapshot of every series: labelkey -> value."""
+        with self._lock:
+            return dict(self._values)
+
+    def samples(self) -> list[dict]:
+        """Snapshot rows: ``{"labels": {...}, "value": v}`` per series."""
+        return [
+            {"labels": dict(key), "value": v} for key, v in sorted(self.series().items())
+        ]
+
+
+class Counter(_Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        """Add *amount* (>= 0) to the labelled series."""
+        if amount < 0:
+            raise ConfigurationError("counters only move forward")
+        key = _labelkey(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labelled series to *value*."""
+        with self._lock:
+            self._values[_labelkey(labels)] = float(value)
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        """Add *amount* (may be negative) to the labelled series."""
+        key = _labelkey(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        """Subtract *amount* from the labelled series."""
+        self.inc(-amount, **labels)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with per-series sum and count."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets=None) -> None:
+        super().__init__(name, help)
+        bs = tuple(float(b) for b in (buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bs or list(bs) != sorted(bs) or len(set(bs)) != len(bs):
+            raise ConfigurationError("buckets must be a non-empty strictly increasing sequence")
+        self.buckets = bs
+        #: labelkey -> [count per finite bucket] (cumulative counts are
+        #: derived at snapshot time; +Inf is the series count)
+        self._bucket_counts: dict[tuple, list[int]] = {}
+        self._sums: dict[tuple, float] = {}
+        self._counts: dict[tuple, int] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the labelled series."""
+        if math.isnan(value):
+            raise ConfigurationError("cannot observe NaN")
+        key = _labelkey(labels)
+        i = bisect_left(self.buckets, value)
+        with self._lock:
+            counts = self._bucket_counts.setdefault(key, [0] * len(self.buckets))
+            if i < len(self.buckets):
+                counts[i] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def count(self, **labels) -> int:
+        """Observations recorded in one series."""
+        return self._counts.get(_labelkey(labels), 0)
+
+    def sum(self, **labels) -> float:
+        """Sum of observations in one series."""
+        return self._sums.get(_labelkey(labels), 0.0)
+
+    def value(self, **labels) -> float:
+        """For histograms, the series *sum* (keeps diffing uniform)."""
+        return self.sum(**labels)
+
+    def samples(self) -> list[dict]:
+        """Snapshot rows with cumulative bucket counts per series."""
+        with self._lock:
+            keys = sorted(self._counts)
+            out = []
+            for key in keys:
+                counts = self._bucket_counts.get(key, [0] * len(self.buckets))
+                cumulative: dict[str, int] = {}
+                running = 0
+                for ub, c in zip(self.buckets, counts):
+                    running += c
+                    cumulative[repr(ub)] = running
+                cumulative["+Inf"] = self._counts[key]
+                out.append(
+                    {
+                        "labels": dict(key),
+                        "count": self._counts[key],
+                        "sum": self._sums[key],
+                        "buckets": cumulative,
+                    }
+                )
+            return out
+
+
+class MetricsRegistry:
+    """Named metric families; the unit of snapshot/export."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter family."""
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge family."""
+        return self._register(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "", *, buckets=None) -> Histogram:
+        """Get or create a histogram family."""
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        """The family registered under *name*, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted family names."""
+        return sorted(self._metrics)
+
+    # -- snapshot / diff ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every family and series (JSON-safe)."""
+        return {
+            name: {
+                "type": m.kind,
+                "help": m.help,
+                "samples": m.samples(),
+            }
+            for name, m in sorted(self._metrics.items())
+        }
+
+    # -- export --------------------------------------------------------------------
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for name, m in sorted(self._metrics.items()):
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} {m.kind}")
+            if isinstance(m, Histogram):
+                for row in m.samples():
+                    key = _labelkey(row["labels"])
+                    for ub, c in row["buckets"].items():
+                        le = _fmt_labels(key + (("le", ub),))
+                        lines.append(f"{name}_bucket{le} {c}")
+                    lines.append(f"{name}_sum{_fmt_labels(key)} {row['sum']}")
+                    lines.append(f"{name}_count{_fmt_labels(key)} {row['count']}")
+            else:
+                for row in m.samples():
+                    labels = _fmt_labels(_labelkey(row["labels"]))
+                    v = row["value"]
+                    out = repr(int(v)) if float(v).is_integer() else repr(v)
+                    lines.append(f"{name}{labels} {out}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def diff_snapshots(after: dict, before: dict) -> dict:
+    """What changed between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Counters and histograms subtract (series missing from *before* count
+    from zero); gauges report the *after* value.  Series whose delta is
+    zero are dropped, so the result reads as "what this run did".
+    """
+
+    def sample_key(row: dict) -> tuple:
+        return _labelkey(row["labels"])
+
+    out: dict = {}
+    for name, fam in after.items():
+        old = before.get(name, {"samples": []})
+        old_by_key = {sample_key(r): r for r in old.get("samples", [])}
+        rows = []
+        for row in fam["samples"]:
+            prev = old_by_key.get(sample_key(row))
+            if fam["type"] == "gauge":
+                rows.append(dict(row))
+                continue
+            if fam["type"] == "histogram":
+                d_count = row["count"] - (prev["count"] if prev else 0)
+                d_sum = row["sum"] - (prev["sum"] if prev else 0.0)
+                if d_count or d_sum:
+                    rows.append(
+                        {"labels": row["labels"], "count": d_count, "sum": d_sum}
+                    )
+                continue
+            delta = row["value"] - (prev["value"] if prev else 0.0)
+            if delta:
+                rows.append({"labels": row["labels"], "value": delta})
+        if rows:
+            out[name] = {"type": fam["type"], "help": fam.get("help", ""), "samples": rows}
+    return out

@@ -1,0 +1,161 @@
+"""The trace event model shared by every execution substrate.
+
+EASYPAP's trace explorer, Hadoop's job history, and WRENCH's simulation
+dumps all answer the same question — *what ran where, when, and what did
+it talk to* — with substrate-specific records.  ``repro.obs`` normalises
+them into four record kinds, deliberately mirroring the Chrome
+trace-event / Perfetto vocabulary so export is a projection rather than a
+translation:
+
+* :class:`SpanRecord`    — a named interval on a ``(pid, tid)`` lane
+  (Chrome's complete ``"X"`` event).  ``pid`` is a *track group* (a
+  backend, a simulated cluster, an MPI world, a platform site) and
+  ``tid`` a lane within it (worker, rank, resource).
+* :class:`InstantRecord` — a point event (retries, degradations,
+  speculative launches; Chrome ``"i"``).
+* :class:`FlowRecord`    — an arrow between two points on (possibly
+  different) lanes: MPI send→recv, mapreduce map→shuffle→reduce
+  (Chrome ``"s"``/``"f"``).
+* :class:`CounterRecord` — a sampled counter track (energy, queue
+  depth; Chrome ``"C"``).
+
+Timestamps are float *seconds* on whichever clock the producing substrate
+uses — wall clocks for the real backends, the **virtual clocks** of
+``simmpi``/``wrench``/the simulated cluster.  Records never mix clocks
+within one ``pid``, which is all the exporters need.
+
+Rows (the JSONL persistence form) carry ``schema`` and ``type`` fields;
+loaders ignore unknown keys and unknown types so old readers survive new
+writers and vice versa.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SpanRecord",
+    "InstantRecord",
+    "FlowRecord",
+    "CounterRecord",
+    "FlowPoint",
+    "record_to_row",
+    "row_to_record",
+]
+
+#: bump when a row shape changes incompatibly; loaders accept <= current
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FlowPoint:
+    """One endpoint of a flow arrow: a point on a lane."""
+
+    pid: str
+    tid: int | str
+    ts: float
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A named interval on lane ``(pid, tid)``; times in seconds."""
+
+    name: str
+    cat: str
+    pid: str
+    tid: int | str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+    span_id: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """A point event on lane ``(pid, tid)``."""
+
+    name: str
+    cat: str
+    pid: str
+    tid: int | str
+    ts: float
+    args: dict = field(default_factory=dict)
+    #: Chrome instant scope: "t" thread, "p" process, "g" global
+    scope: str = "t"
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """An arrow from ``src`` to ``dst`` (e.g. an MPI message in flight)."""
+
+    name: str
+    cat: str
+    flow_id: int
+    src: FlowPoint
+    dst: FlowPoint
+
+
+@dataclass(frozen=True)
+class CounterRecord:
+    """A sample of one or more counter series on track ``(pid, name)``."""
+
+    name: str
+    pid: str
+    ts: float
+    values: dict = field(default_factory=dict)
+
+
+_TYPE_OF = {
+    SpanRecord: "span",
+    InstantRecord: "instant",
+    FlowRecord: "flow",
+    CounterRecord: "counter",
+}
+
+
+def record_to_row(record) -> dict:
+    """Serialise one record to a JSON-friendly row (with schema/type tags)."""
+    row = {"type": _TYPE_OF[type(record)], "schema": SCHEMA_VERSION}
+    for f in dataclasses.fields(record):
+        v = getattr(record, f.name)
+        if isinstance(v, FlowPoint):
+            v = {"pid": v.pid, "tid": v.tid, "ts": v.ts}
+        row[f.name] = v
+    return row
+
+
+def _filtered_kwargs(cls, row: dict) -> dict:
+    """Keep only the keys *cls* declares — unknown keys are forward compat."""
+    allowed = {f.name for f in dataclasses.fields(cls)}
+    return {k: v for k, v in row.items() if k in allowed}
+
+
+def row_to_record(row: dict):
+    """Rebuild a record from a row; returns None for unknown row types.
+
+    Unknown keys are ignored (newer writers may add fields); unknown
+    ``type`` values yield None so loaders can skip rows they do not
+    understand instead of crashing on them.
+    """
+    kind = row.get("type")
+    if kind == "span":
+        return SpanRecord(**_filtered_kwargs(SpanRecord, row))
+    if kind == "instant":
+        return InstantRecord(**_filtered_kwargs(InstantRecord, row))
+    if kind == "flow":
+        kw = _filtered_kwargs(FlowRecord, row)
+        for end in ("src", "dst"):
+            p = kw[end]
+            if isinstance(p, dict):
+                kw[end] = FlowPoint(**_filtered_kwargs(FlowPoint, p))
+        return FlowRecord(**kw)
+    if kind == "counter":
+        return CounterRecord(**_filtered_kwargs(CounterRecord, row))
+    return None

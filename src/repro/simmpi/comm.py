@@ -69,6 +69,11 @@ class Message:
     payload: object
     nbytes: int
     arrival: float  # virtual time at which the payload is available
+    # tracing carry-alongs (0 when the world has no tracer): the flow id
+    # and send time ride with the message so the receiver can draw the
+    # send->recv arrow in one shot at absorb time
+    flow_id: int = 0
+    sent_ts: float = 0.0
 
 
 @dataclass
@@ -97,6 +102,7 @@ class World:
         cost_model: CostModel | None = None,
         *,
         deadlock_timeout: float = _DEADLOCK_TIMEOUT,
+        tracer=None,
     ) -> None:
         if size < 1:
             raise CommunicationError(f"world size must be >= 1, got {size}")
@@ -105,6 +111,10 @@ class World:
         self.size = size
         self.cost_model = cost_model or CostModel()
         self.deadlock_timeout = deadlock_timeout
+        #: optional repro.obs tracer; communicators record virtual-time
+        #: spans and send->recv flows on it (guarded by truthiness, so a
+        #: NullTracer costs one branch)
+        self.tracer = tracer
         self._mailboxes: list[deque[Message]] = [deque() for _ in range(size)]
         self._conditions = [threading.Condition() for _ in range(size)]
         self._barrier = threading.Barrier(size)
@@ -235,7 +245,18 @@ class Communicator:
         """Advance this rank's virtual clock by a local-computation cost."""
         if seconds < 0:
             raise ValueError("compute time cannot be negative")
+        start = self.clock
         self.clock += seconds
+        tracer = self.world.tracer
+        if tracer:
+            tracer.add_span(
+                "compute",
+                start=start,
+                end=self.clock,
+                cat="compute",
+                pid=_TRACE_PID,
+                tid=self.rank,
+            )
 
     # -- point-to-point ------------------------------------------------------------
 
@@ -248,24 +269,70 @@ class Communicator:
             pass
         cm = self.world.cost_model
         nbytes = payload_nbytes(obj)
+        start = self.clock
         self.clock += cm.overhead
         arrival = self.clock + cm.transfer_time(nbytes)
-        msg = Message(self.rank, dest, tag, _copy_payload(obj), nbytes, arrival)
+        tracer = self.world.tracer
+        flow_id = tracer.new_flow_id() if tracer else 0
+        msg = Message(
+            self.rank, dest, tag, _copy_payload(obj), nbytes, arrival,
+            flow_id=flow_id, sent_ts=start,
+        )
         self.stats.messages_sent += 1
         self.stats.bytes_sent += nbytes
         self.stats.sends_by_tag[tag] = self.stats.sends_by_tag.get(tag, 0) + 1
+        if tracer:
+            tracer.add_span(
+                _op_label("send", tag),
+                start=start,
+                end=self.clock,
+                cat="comm",
+                pid=_TRACE_PID,
+                tid=self.rank,
+                args={"dest": dest, "tag": tag, "nbytes": nbytes},
+            )
         self.world.deliver(msg)
+
+    def _absorb_message(self, msg: Message):
+        """Advance the clock past *msg*, count it, record the recv span.
+
+        The single choke point for message absorption — ``recv``,
+        ``gather`` at the root, and non-blocking ``Request`` completion
+        all land here, so the clock rule (wait until arrival, pay the
+        overhead) and the tracing live in exactly one place.
+        """
+        wait_start = self.clock
+        cm = self.world.cost_model
+        self.clock = max(self.clock, msg.arrival) + cm.overhead
+        self.stats.messages_received += 1
+        self.stats.bytes_received += msg.nbytes
+        tracer = self.world.tracer
+        if tracer:
+            tracer.add_span(
+                _op_label("recv", msg.tag),
+                start=wait_start,
+                end=self.clock,
+                cat="comm",
+                pid=_TRACE_PID,
+                tid=self.rank,
+                args={"source": msg.source, "tag": msg.tag, "nbytes": msg.nbytes},
+            )
+            if msg.flow_id:
+                tracer.flow(
+                    _op_label("msg", msg.tag),
+                    (_TRACE_PID, msg.source, msg.sent_ts),
+                    (_TRACE_PID, self.rank, self.clock),
+                    cat="comm",
+                    flow_id=msg.flow_id,
+                )
+        return msg.payload
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Block until a matching message arrives; returns the payload."""
         if source != ANY_SOURCE and not (0 <= source < self.size):
             raise CommunicationError(f"rank {self.rank}: invalid source {source}")
         msg = self.world.take(self.rank, source, tag)
-        cm = self.world.cost_model
-        self.clock = max(self.clock, msg.arrival) + cm.overhead
-        self.stats.messages_received += 1
-        self.stats.bytes_received += msg.nbytes
-        return msg.payload
+        return self._absorb_message(msg)
 
     def sendrecv(self, sendobj, dest: int, recvsource: int, *, sendtag: int = 0, recvtag: int = ANY_TAG):
         """Simultaneous send and receive (halo-exchange safe)."""
@@ -312,11 +379,7 @@ class Communicator:
             out[root] = _copy_payload(obj)
             for _ in range(self.size - 1):
                 msg = self.world.take(self.rank, ANY_SOURCE, _TAG_GATHER)
-                cm = self.world.cost_model
-                self.clock = max(self.clock, msg.arrival) + cm.overhead
-                self.stats.messages_received += 1
-                self.stats.bytes_received += msg.nbytes
-                out[msg.source] = msg.payload
+                out[msg.source] = self._absorb_message(msg)
             return out
         self.send(obj, root, tag=_TAG_GATHER)
         return None
@@ -378,12 +441,7 @@ class Request:
         return self._done
 
     def _absorb(self, msg: Message) -> None:
-        comm = self._comm
-        cm = comm.world.cost_model
-        comm.clock = max(comm.clock, msg.arrival) + cm.overhead
-        comm.stats.messages_received += 1
-        comm.stats.bytes_received += msg.nbytes
-        self._payload = msg.payload
+        self._payload = self._comm._absorb_message(msg)
         self._done = True
 
     def test(self):
@@ -415,6 +473,16 @@ _TAG_NAMES = {
     _TAG_GATHER: "gather (also: allgather, barrier, reduce)",
     _TAG_SCATTER: "scatter",
 }
+
+#: track-group name under which communicators record trace spans
+_TRACE_PID = "simmpi"
+
+_SHORT_TAG_NAMES = {_TAG_BCAST: "bcast", _TAG_GATHER: "gather", _TAG_SCATTER: "scatter"}
+
+
+def _op_label(op: str, tag: int) -> str:
+    """Span/flow name for an operation: ``send[bcast]``, ``recv[101]``."""
+    return f"{op}[{_SHORT_TAG_NAMES.get(tag, tag)}]"
 
 
 def _add(a, b):

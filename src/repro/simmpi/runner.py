@@ -61,6 +61,7 @@ def run_ranks(
     cost_model: CostModel | None = None,
     deadlock_timeout: float = 60.0,
     wall_timeout: float = 300.0,
+    tracer=None,
     **kwargs,
 ) -> WorldReport:
     """Run ``fn(comm, *args, **kwargs)`` on *nranks* simulated ranks.
@@ -73,10 +74,16 @@ def run_ranks(
     SPMD run (the old hard-coded 300 s).  When either expires, the raised
     error names the blocked ranks and the ``(source, tag)`` each was
     waiting on.
+
+    *tracer* (a :class:`repro.obs.Tracer`) makes every communicator record
+    virtual-time compute/comm spans and send→recv flow arrows under the
+    ``simmpi`` track group, one lane per rank.
     """
     if wall_timeout <= 0:
         raise CommunicationError(f"wall_timeout must be > 0, got {wall_timeout}")
-    world = World(nranks, cost_model=cost_model, deadlock_timeout=deadlock_timeout)
+    world = World(
+        nranks, cost_model=cost_model, deadlock_timeout=deadlock_timeout, tracer=tracer
+    )
     comms = [Communicator(world, r) for r in range(nranks)]
     results: list = [None] * nranks
     failures: list[RankFailure] = []

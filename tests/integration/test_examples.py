@@ -4,6 +4,7 @@ Each example executes in a subprocess exactly as a user would run it;
 the fast ones run always, the heavyweight ones are marked slow.
 """
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -34,6 +35,14 @@ class TestFastExamples:
         out = run_example("soc_avalanches.py", str(tmp_path))
         assert "CCDF slope" in out
         assert (tmp_path / "toppling_profile.ppm").exists()
+
+    def test_trace_explorer(self, tmp_path):
+        out = run_example("trace_explorer.py", str(tmp_path))
+        assert "static vs dynamic" in out
+        assert "makespan" in out and "% busy" in out
+        for policy in ("static", "dynamic"):
+            doc = json.loads((tmp_path / f"trace_{policy}.json").read_text())
+            assert any(e.get("ph") == "X" for e in doc["traceEvents"])
 
     def test_warming_stripes(self, tmp_path):
         out = run_example("warming_stripes.py", str(tmp_path))

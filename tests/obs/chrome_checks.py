@@ -1,0 +1,77 @@
+"""Shared structural validation of exported Chrome trace-event JSON.
+
+Used by the exporter unit tests and by every per-substrate acceptance
+test: one checker, so "Perfetto-loadable" means the same thing for
+easypap, mapreduce, simmpi and wrench traces.
+"""
+
+from collections import defaultdict
+
+_KNOWN_PHASES = {"M", "X", "i", "s", "f", "C"}
+
+#: slack for float second->microsecond conversion at span boundaries
+_EPS_US = 1e-3
+
+
+def assert_valid_chrome_doc(doc: dict) -> None:
+    """Assert *doc* is a structurally valid Chrome trace-event document."""
+    assert isinstance(doc, dict)
+    assert isinstance(doc.get("traceEvents"), list)
+    events = doc["traceEvents"]
+    assert events, "trace has no events"
+
+    named_pids = set()
+    spans_by_lane: dict[tuple, list[dict]] = defaultdict(list)
+    flows_by_id: dict[object, list[dict]] = defaultdict(list)
+
+    for e in events:
+        assert e["ph"] in _KNOWN_PHASES, f"unknown phase {e['ph']!r}"
+        assert isinstance(e["name"], str) and e["name"]
+        assert isinstance(e["pid"], int)
+        if e["ph"] == "M":
+            if e["name"] == "process_name":
+                named_pids.add(e["pid"])
+            continue
+        assert e["ts"] >= 0, f"negative ts in {e}"
+        if e["ph"] == "X":
+            assert e["dur"] >= 0, f"negative dur in {e}"
+            spans_by_lane[(e["pid"], e["tid"])].append(e)
+        elif e["ph"] in ("s", "f"):
+            flows_by_id[e["id"]].append(e)
+        elif e["ph"] == "i":
+            assert e.get("s") in ("t", "p", "g")
+
+    # every event's process is named by an "M" metadata row
+    for e in events:
+        assert e["pid"] in named_pids, f"pid {e['pid']} has no process_name"
+
+    # spans per lane: non-overlapping (one lane = one worker/rank/resource)
+    for lane, spans in spans_by_lane.items():
+        spans.sort(key=lambda e: e["ts"])
+        for prev, nxt in zip(spans, spans[1:]):
+            assert nxt["ts"] >= prev["ts"], f"ts not monotonic on lane {lane}"
+            assert nxt["ts"] >= prev["ts"] + prev["dur"] - _EPS_US, (
+                f"overlapping spans on lane {lane}: {prev['name']} / {nxt['name']}"
+            )
+
+    # flows: each id pairs one "s" with one "f" (bp="e"), and both ends
+    # land inside an actual span on their lane
+    for fid, pair in flows_by_id.items():
+        phases = sorted(e["ph"] for e in pair)
+        assert phases == ["f", "s"], f"flow {fid} is not an s/f pair: {phases}"
+        fin = next(e for e in pair if e["ph"] == "f")
+        assert fin.get("bp") == "e", f"flow {fid} finish lacks bp='e'"
+        for e in pair:
+            lane = (e["pid"], e["tid"])
+            assert any(
+                s["ts"] - _EPS_US <= e["ts"] <= s["ts"] + s["dur"] + _EPS_US
+                for s in spans_by_lane.get(lane, [])
+            ), f"flow {fid} endpoint at ts={e['ts']} touches no span on lane {lane}"
+
+
+def count_phases(doc: dict) -> dict:
+    """Histogram of event phases, for quick shape assertions."""
+    out: dict[str, int] = defaultdict(int)
+    for e in doc["traceEvents"]:
+        out[e["ph"]] += 1
+    return dict(out)

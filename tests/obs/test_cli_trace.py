@@ -1,0 +1,116 @@
+"""Tests for the ``repro-trace`` CLI (``python -m repro.cli trace ...``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main, trace_main
+from repro.easypap.monitor import TaskRecord, Trace
+from repro.obs import Tracer, summarize
+from repro.obs.adapters.easypap import trace_to_tracer
+
+from tests.obs.chrome_checks import assert_valid_chrome_doc
+
+
+@pytest.fixture
+def obs_session(tmp_path):
+    """An obs session file with two lanes and a flow."""
+    t = Tracer(process="demo")
+    a = t.add_span("produce", start=0.0, end=1.0, tid=0)
+    b = t.add_span("consume", start=1.5, end=2.0, tid=1)
+    t.flow("hand-off", a, ("demo", 1, b.start))
+    path = tmp_path / "session.jsonl"
+    t.save_jsonl(path)
+    return path
+
+
+@pytest.fixture
+def easypap_file(tmp_path):
+    """An easypap task-record file (no ``type`` keys -> auto-detected)."""
+    trace = Trace()
+    trace.extend(
+        [
+            TaskRecord(1, 0, 0, 0.0, 1.0, "compute", 0, 0),
+            TaskRecord(1, 1, 1, 0.25, 0.75, "compute", 0, 1),
+            TaskRecord(2, 0, 0, 1.0, 1.5, "compute", 0, 0),
+        ]
+    )
+    path = tmp_path / "easypap.jsonl"
+    trace.save_jsonl(path)
+    return trace, path
+
+
+class TestExport:
+    def test_chrome_json_out(self, obs_session, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert trace_main(["export", str(obs_session), "--out", str(out)]) == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert_valid_chrome_doc(doc)
+        assert doc["otherData"]["process"] == "demo"
+
+    def test_ascii(self, obs_session, capsys):
+        assert trace_main(["export", str(obs_session), "--ascii", "--width", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "2 spans" in out and "legend:" in out and "% busy" in out
+
+    def test_easypap_file_autodetected(self, easypap_file, tmp_path):
+        _, path = easypap_file
+        out = tmp_path / "chrome.json"
+        assert trace_main(["export", str(path), "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert_valid_chrome_doc(doc)
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == 3
+
+    def test_no_output_requested_is_an_error(self, obs_session, capsys):
+        assert trace_main(["export", str(obs_session)]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+
+class TestSummary:
+    def test_matches_trace_summarize(self, easypap_file, capsys):
+        """Acceptance: CLI numbers == ``Trace.summarize`` on the same run."""
+        trace, path = easypap_file
+        assert trace_main(["summary", str(path), "--iteration", "1"]) == 0
+        out = capsys.readouterr().out
+
+        expected = trace.summarize(1)
+        obs = summarize(
+            trace_to_tracer(trace), where=lambda s: s.args.get("iteration") == 1
+        )
+        assert obs.span_count == expected.task_count
+        assert obs.makespan == pytest.approx(expected.makespan)
+        assert obs.worker_busy == pytest.approx(expected.worker_busy)
+        # and the CLI printed exactly that summary
+        assert out == obs.render(title=f"{path} iteration 1") + "\n"
+
+    def test_whole_trace_summary(self, obs_session, capsys):
+        assert trace_main(["summary", str(obs_session)]) == 0
+        assert "2 spans" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_side_by_side(self, obs_session, easypap_file, capsys):
+        _, right = easypap_file
+        assert trace_main(["diff", str(obs_session), str(right)]) == 0
+        out = capsys.readouterr().out
+        assert f"{obs_session} vs {right}" in out
+        assert "makespan" in out and "ratio" in out
+
+    def test_iteration_filter_applies_to_both_sides(self, easypap_file, capsys):
+        trace, path = easypap_file
+        assert trace_main(["diff", str(path), str(path), "--iteration", "1"]) == 0
+        out = capsys.readouterr().out
+        assert f"{path} iteration 1 vs {path} iteration 1" in out
+        # iteration 1 has 2 of the 3 records on each side
+        assert "spans     : 2 vs 2" in out
+
+
+class TestDispatch:
+    def test_module_dispatcher_routes_trace(self, obs_session, capsys):
+        assert main(["trace", "summary", str(obs_session)]) == 0
+        assert "2 spans" in capsys.readouterr().out
+
+    def test_usage_lists_trace(self, capsys):
+        assert main(["--help"]) == 0
+        assert "trace" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Tests for the exporters: Chrome trace-event JSON and ASCII timelines."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, ascii_timeline, save_chrome_trace, to_chrome_trace
+from repro.obs.records import FlowPoint
+
+from tests.obs.chrome_checks import assert_valid_chrome_doc, count_phases
+
+
+def sample_tracer() -> Tracer:
+    """Two track groups, numeric and named lanes, every record kind."""
+    t = Tracer(process="alpha")
+    a = t.add_span("map:0", start=0.0, end=1.0, cat="compute", tid=0)
+    b = t.add_span("map:1", start=0.2, end=1.4, cat="compute", tid=1)
+    sh = t.add_span("shuffle", start=1.4, end=2.0, cat="comm", tid="shuffle")
+    t.add_span("other", start=0.0, end=0.5, cat="compute", pid="beta", tid=0)
+    t.instant("fault", ts=0.9, cat="fault", tid=1, scope="t")
+    t.flow("spill:0", FlowPoint("alpha", 0, a.end), FlowPoint("alpha", "shuffle", sh.start))
+    t.flow("spill:1", FlowPoint("alpha", 1, b.end), FlowPoint("alpha", "shuffle", sh.start))
+    t.counter("energy", {"joules": 5.0}, ts=1.0)
+    return t
+
+
+class TestChromeExport:
+    def test_document_is_valid(self):
+        doc = to_chrome_trace(sample_tracer())
+        assert_valid_chrome_doc(doc)
+        phases = count_phases(doc)
+        assert phases["X"] == 4
+        assert phases["i"] == 1
+        assert phases["s"] == 2 and phases["f"] == 2
+        assert phases["C"] == 1
+
+    def test_metadata_names_processes_and_threads(self):
+        doc = to_chrome_trace(sample_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        pnames = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        tnames = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert pnames == {"alpha", "beta"}
+        assert {"worker 0", "worker 1", "shuffle"} <= tnames
+
+    def test_timestamps_are_microseconds(self):
+        doc = to_chrome_trace(sample_tracer())
+        sh = next(e for e in doc["traceEvents"] if e.get("name") == "shuffle")
+        assert sh["ts"] == pytest.approx(1.4e6)
+        assert sh["dur"] == pytest.approx(0.6e6)
+
+    def test_numeric_lanes_order_before_named(self):
+        t = Tracer(process="p")
+        for tid in ("zz", 2, 0, 10):
+            t.add_span("s", start=0, end=1, tid=tid)
+        doc = to_chrome_trace(t)
+        names = [
+            e["args"]["name"]
+            for e in sorted(
+                (e for e in doc["traceEvents"] if e["name"] == "thread_name"),
+                key=lambda e: e["tid"],
+            )
+        ]
+        assert names == ["worker 0", "worker 2", "worker 10", "zz"]
+
+    def test_negative_duration_clamped(self):
+        t = Tracer()
+        t.add_span("backwards", start=1.0, end=0.5)
+        (x,) = [e for e in to_chrome_trace(t)["traceEvents"] if e["ph"] == "X"]
+        assert x["dur"] == 0.0
+
+    def test_save_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(sample_tracer(), path)
+        doc = json.loads(path.read_text())
+        assert_valid_chrome_doc(doc)
+        assert doc["otherData"]["producer"] == "repro.obs"
+
+
+class TestAsciiTimeline:
+    def test_has_legend_and_busy_column(self):
+        out = ascii_timeline(sample_tracer(), width=40)
+        lines = out.splitlines()
+        assert "legend:" in lines[1]
+        assert "#=compute" in lines[1] and "c=comm" in lines[1]
+        assert ".=idle" in lines[1]
+        assert all("% busy" in row for row in lines[2:])
+        # multiple pids present -> lanes are labelled pid/tid
+        assert any(row.lstrip().startswith("alpha/") for row in lines[2:])
+
+    def test_pid_filter(self):
+        out = ascii_timeline(sample_tracer(), pid="beta")
+        assert "1 spans" in out.splitlines()[0]
+
+    def test_empty(self):
+        assert ascii_timeline(Tracer()) == "<no spans>"
+        assert ascii_timeline(sample_tracer(), pid="nope") == "<no spans for pid 'nope'>"
+
+    def test_busy_fraction_value(self):
+        t = Tracer(process="p")
+        t.add_span("half", start=0.0, end=1.0, tid=0)
+        t.add_span("idleness", start=1.0, end=2.0, tid=1)
+        out = ascii_timeline(t, width=20)
+        # each lane is busy for half the 2s window
+        assert out.count(" 50.0% busy") == 2
