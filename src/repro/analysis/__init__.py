@@ -53,8 +53,10 @@ from repro.analysis.shadow import (
 )
 from repro.analysis.variants import (
     RACY_TAG,
+    FrontierCertification,
     VariantVerdict,
     certify_all,
+    certify_dynamic_frontier,
     certify_variant,
     variant_phases,
     verdict_table,
@@ -93,8 +95,10 @@ __all__ = [
     "trace_batch",
     "trace_tile_kernel",
     "RACY_TAG",
+    "FrontierCertification",
     "VariantVerdict",
     "certify_all",
+    "certify_dynamic_frontier",
     "certify_variant",
     "variant_phases",
     "verdict_table",

@@ -189,4 +189,6 @@ def footprint_for(task: TileTask, shape: tuple[int, int], *, allow_trace: bool =
 
 declare_footprint("sync_tile", sync_tile_footprint)
 declare_footprint("sync_tile_nc", sync_tile_footprint)
+# the compiled window gather computes the same cells through a fused loop
+declare_footprint("sync_tile_cnc", sync_tile_footprint)
 declare_footprint("async_tile_relax", async_tile_relax_footprint)

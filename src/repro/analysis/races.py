@@ -69,14 +69,29 @@ class Conflict:
 
 
 class ConcurrencyModel:
-    """May-run-concurrently relation induced by one chunk plan."""
+    """May-run-concurrently relation induced by one chunk plan.
 
-    def __init__(self, ntasks: int, nworkers: int, policy: str = "dynamic", chunk: int = 1) -> None:
+    By default the plan is rebuilt from the scheduling parameters (the
+    memoised static path).  Pass ``plan=`` to certify an *externally built*
+    plan — e.g. the per-iteration frontier plans from
+    :func:`~repro.easypap.schedule.dynamic_chunk_plan`, whose task counts
+    vary every iteration and must not round-trip through the LRU.
+    """
+
+    def __init__(
+        self,
+        ntasks: int,
+        nworkers: int,
+        policy: str = "dynamic",
+        chunk: int = 1,
+        *,
+        plan: tuple[tuple[int, ...], ...] | None = None,
+    ) -> None:
         self.ntasks = ntasks
         self.nworkers = nworkers
         self.policy = policy
         self.chunk = chunk
-        chunks = chunk_plan_cached(ntasks, nworkers, policy, chunk)
+        chunks = plan if plan is not None else chunk_plan_cached(ntasks, nworkers, policy, chunk)
         self._chunk_of = np.empty(ntasks, dtype=np.int64)
         for k, ch in enumerate(chunks):
             for i in ch:
@@ -190,19 +205,24 @@ def check_phases(
     policy: str = "dynamic",
     chunk: int = 1,
     mode: str = "static",
+    plans: Sequence[tuple[tuple[int, ...], ...] | None] | None = None,
 ) -> RaceReport:
     """Check a sequence of parallel phases (phases themselves are serialised).
 
     This models the executor contract exactly: every ``backend.run(batch)``
     call is one parallel phase; consecutive phases are separated by the
     implicit barrier of the call returning (e.g. the async stepper's
-    checkerboard waves).
+    checkerboard waves).  *plans*, when given, supplies a pre-built chunk
+    plan per phase (None entries fall back to the cached builder) — this is
+    how dynamic frontier schedules are certified against the exact plan the
+    backend executed.
     """
     conflicts: list[Conflict] = []
     ntasks = 0
     for p, fps in enumerate(phases):
         ntasks += len(fps)
-        conc = ConcurrencyModel(len(fps), nworkers, policy, chunk)
+        plan = plans[p] if plans is not None else None
+        conc = ConcurrencyModel(len(fps), nworkers, policy, chunk, plan=plan)
         conflicts += check_footprints(fps, conc, phase=p)
     return RaceReport(
         nworkers=nworkers,
@@ -222,14 +242,16 @@ def check_batch(
     nworkers: int,
     policy: str = "dynamic",
     chunk: int = 1,
+    plan: tuple[tuple[int, ...], ...] | None = None,
 ) -> RaceReport:
     """Statically check one ``TaskBatch`` worth of tile specs.
 
     *shape* is the framed plane shape the specs index into; footprints are
-    the declared (or traced) per-kernel models.
+    the declared (or traced) per-kernel models.  *plan* pins the exact
+    chunk plan to certify (dynamic frontier batches).
     """
     fps = [footprint_for(t, shape) for t in specs]
-    return check_phases([fps], nworkers=nworkers, policy=policy, chunk=chunk)
+    return check_phases([fps], nworkers=nworkers, policy=policy, chunk=chunk, plans=[plan])
 
 
 def dynamic_check(
@@ -240,19 +262,22 @@ def dynamic_check(
     policy: str = "dynamic",
     chunk: int = 1,
     iteration: int = 0,
+    plan: tuple[tuple[int, ...], ...] | None = None,
 ) -> tuple[RaceReport, ShadowTrace]:
     """Shadow-replay the batch and race-check the *observed* footprints.
 
     Returns the dynamic report plus the trace (for cross-checking against
-    the static verdict).  The planes are mutated like a real run.
+    the static verdict).  The planes are mutated like a real run.  *plan*
+    pins the replay (and the concurrency relation) to an externally built
+    chunk plan.
     """
     trace = trace_batch(
         list(specs), list(planes),
-        nworkers=nworkers, policy=policy, chunk=chunk, iteration=iteration,
+        nworkers=nworkers, policy=policy, chunk=chunk, iteration=iteration, plan=plan,
     )
     fps = trace.footprints()
     report = check_phases(
-        [fps], nworkers=nworkers, policy=policy, chunk=chunk, mode="dynamic"
+        [fps], nworkers=nworkers, policy=policy, chunk=chunk, mode="dynamic", plans=[plan]
     )
     return report, trace
 

@@ -339,6 +339,7 @@ def trace_batch(
     policy: str = "dynamic",
     chunk: int = 1,
     iteration: int = 0,
+    plan: tuple[tuple[int, ...], ...] | None = None,
 ) -> ShadowTrace:
     """Replay a tile batch through the real kernels on instrumented planes.
 
@@ -348,12 +349,13 @@ def trace_batch(
     task and to the worker the plan places the chunk on (``chunk %
     nworkers`` — exact for static/cyclic, a representative placement for
     dynamic/guided).  *planes* are mutated exactly as a real run would
-    mutate them.
+    mutate them.  *plan* replays an externally built chunk plan (dynamic
+    frontier batches) instead of rebuilding one from the parameters.
     """
     rec = ShadowRecorder()
     shadow = [ShadowPlane.wrap(p, rec, i) for i, p in enumerate(planes)]
     shape = planes[0].shape if planes else (0, 0)
-    chunks = chunk_plan_cached(len(specs), nworkers, policy, chunk)
+    chunks = plan if plan is not None else chunk_plan_cached(len(specs), nworkers, policy, chunk)
     for k, ch in enumerate(chunks):
         worker = k % nworkers
         for i in ch:

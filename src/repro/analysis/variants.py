@@ -32,11 +32,11 @@ Unmodelled variants fail certification: adding a new variant forces adding
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.analysis.footprint import Footprint, footprint_for, rect_cells
-from repro.analysis.races import RaceReport, check_phases
+from repro.analysis.races import CrossCheck, RaceReport, check_phases, cross_check, dynamic_check
 from repro.easypap.executor import TileTask
 from repro.easypap.kernel import REGISTRY, KernelRegistry
 from repro.easypap.tiling import TileGrid
@@ -47,6 +47,8 @@ __all__ = [
     "variant_phases",
     "certify_variant",
     "certify_all",
+    "certify_dynamic_frontier",
+    "FrontierCertification",
     "verdict_table",
 ]
 
@@ -124,6 +126,12 @@ _MODELS: dict[tuple[str, str], Callable[[int, int, int], list[list[Footprint]]]]
     ("sandpile", "tiled"): lambda h, w, ts: _tile_phases(h, w, ts, [sync_tile_specs(h, w, ts)]),
     ("sandpile", "lazy"): lambda h, w, ts: _tile_phases(h, w, ts, [sync_tile_specs(h, w, ts)]),
     ("sandpile", "omp"): lambda h, w, ts: _tile_phases(h, w, ts, [sync_tile_specs(h, w, ts)]),
+    # the frontier selection is a subset of the full tile batch, and under
+    # the adversarial dynamic policy every cross-task pair is potentially
+    # concurrent — so certifying the full batch is a sound upper bound for
+    # every per-iteration selection; certify_dynamic_frontier additionally
+    # checks the *actual* per-iteration plans of a real run
+    ("sandpile", "pfrontier"): lambda h, w, ts: _tile_phases(h, w, ts, [sync_tile_specs(h, w, ts)]),
     ("sandpile", "split"): lambda h, w, ts: _tile_phases(h, w, ts, [sync_tile_specs(h, w, ts)]),
     ("asandpile", "seq"): lambda h, w, ts: async_cell_phase(h, w),
     ("asandpile", "vec"): lambda h, w, ts: async_cell_phase(h, w),
@@ -199,6 +207,113 @@ def certify_all(
         certify_variant(info.kernel, info.name, registry=reg, **options)
         for info in reg.all_variants()
     ]
+
+
+@dataclass
+class FrontierCertification:
+    """Verdict of certifying the per-iteration plans of a real frontier run.
+
+    ``iterations`` counts the batches certified; ``dynamic_batches`` the
+    ones that went through the uncached dynamic-plan path; ``crosses``
+    holds one static-vs-shadow confrontation per iteration.
+    """
+
+    iterations: int
+    dynamic_batches: int
+    nworkers: int
+    policy: str
+    crosses: list[CrossCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every plan race-free, every shadow replay inside declared sets."""
+        return all(c.ok and not c.static.racy for c in self.crosses)
+
+    def summary(self) -> str:
+        """One-line verdict for CLI/CI output."""
+        verdict = "race-free" if self.ok else "RACY/UNSOUND"
+        return (
+            f"dynamic frontier schedule: {verdict} over {self.iterations} iteration(s) "
+            f"({self.dynamic_batches} dynamic batch(es), policy={self.policy} "
+            f"nworkers={self.nworkers})"
+        )
+
+
+def certify_dynamic_frontier(
+    *,
+    height: int = 48,
+    width: int = 48,
+    tile_size: int = 8,
+    nworkers: int = 4,
+    policy: str = "dynamic",
+    chunk: int = 1,
+    max_iterations: int = 200,
+) -> FrontierCertification:
+    """Certify the *actual* per-iteration schedules of a frontier run.
+
+    The whole-batch model in ``_MODELS`` proves any subset of the full tile
+    grid race-free; this goes further and checks the concrete artefacts:
+    a :class:`~repro.sandpile.pfrontier.ParallelFrontierStepper` is driven
+    to its fixpoint on a representative off-centre grid (so windows hit the
+    grid edge) while every submitted batch is captured together with the
+    exact chunk plan the backend would build for it — cached for the full
+    batch, :func:`~repro.easypap.schedule.dynamic_chunk_plan` for frontier
+    selections.  Each captured batch is statically checked under its plan
+    and shadow-replayed on the pre-step plane snapshot; the cross-check
+    demands every observed access stay inside the declared footprints.
+    """
+    import numpy as np
+
+    from repro.easypap.executor import SequentialBackend, _plan_for
+    from repro.easypap.grid import Grid2D
+    from repro.sandpile.pfrontier import ParallelFrontierStepper
+
+    captured: list[tuple[list[TileTask], tuple, list]] = []
+    dynamic_batches = 0
+
+    class _CapturingBackend(SequentialBackend):
+        planes: list = []
+
+        def run(self, batch, *, iteration=0, kind="compute"):
+            nonlocal dynamic_batches
+            plan = _plan_for(batch, nworkers, policy, chunk)
+            if batch.dynamic:
+                dynamic_batches += 1
+            captured.append(
+                (list(batch.spec), plan, [np.array(p) for p in self.planes])
+            )
+            return super().run(batch, iteration=iteration, kind=kind)
+
+    grid = Grid2D(height, width)
+    # off-centre pile: the window crosses the edge, exercising clamped plans
+    grid.interior[1, 1] = 6 * max(height, width)
+    grid.interior[height // 2, width // 2] = 8
+    backend = _CapturingBackend()
+    stepper = ParallelFrontierStepper(grid, tile_size, backend=backend)
+    backend.planes = stepper.planes
+    for _ in range(max_iterations):
+        if not stepper():
+            break
+
+    shape = (height + 2, width + 2)
+    crosses: list[CrossCheck] = []
+    for it, (specs, plan, planes) in enumerate(captured):
+        fps = [footprint_for(t, shape) for t in specs]
+        static = check_phases(
+            [fps], nworkers=nworkers, policy=policy, chunk=chunk, plans=[plan]
+        )
+        dynamic, _trace = dynamic_check(
+            specs, planes, nworkers=nworkers, policy=policy, chunk=chunk,
+            iteration=it, plan=plan,
+        )
+        crosses.append(cross_check(static, dynamic))
+    return FrontierCertification(
+        iterations=len(captured),
+        dynamic_batches=dynamic_batches,
+        nworkers=nworkers,
+        policy=policy,
+        crosses=crosses,
+    )
 
 
 def verdict_table(verdicts: list[VariantVerdict]) -> str:

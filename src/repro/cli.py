@@ -222,19 +222,24 @@ def carbon_main(argv: list[str] | None = None) -> int:
 def check_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-check`` (also ``python -m repro.cli check``).
 
-    Runs three gates and fails on the first broken one:
+    Runs four gates and fails on the first broken one:
 
     1. the AST project lint over ``src/repro``;
     2. static race certification of every registered kernel variant —
        each verdict must match the variant's registered expectation
        (``racy-by-design`` variants must be flagged, everything else must
        certify conflict-free);
-    3. halo-depth sufficiency and sendrecv pattern matching for the MPI
+    3. dynamic-schedule certification of the parallel frontier: the exact
+       per-iteration chunk plans of a real ``pfrontier`` run are statically
+       checked and shadow-replayed (observed accesses must stay inside the
+       declared footprints);
+    4. halo-depth sufficiency and sendrecv pattern matching for the MPI
        ghost-cell variant.
     """
     from repro.analysis import (
         analyze_exchange_pattern,
         certify_all,
+        certify_dynamic_frontier,
         check_halo_depth,
         run_lint,
         verdict_table,
@@ -255,6 +260,8 @@ def check_main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-ranks", type=int, default=8, help="halo pattern world sizes to check")
     p.add_argument("--skip-lint", action="store_true")
     p.add_argument("--skip-races", action="store_true")
+    p.add_argument("--skip-dynamic", action="store_true",
+                   help="skip the dynamic frontier-schedule certification")
     p.add_argument("--skip-halo", action="store_true")
     args = p.parse_args(argv)
 
@@ -289,6 +296,14 @@ def check_main(argv: list[str] | None = None) -> int:
             failed = True
         else:
             print(f"race check: all {len(verdicts)} variants match their expectation")
+
+    if not args.skip_dynamic:
+        cert = certify_dynamic_frontier(
+            nworkers=args.nworkers, policy=args.policy, chunk=args.chunk
+        )
+        print(cert.summary())
+        if not cert.ok:
+            failed = True
 
     if not args.skip_halo:
         for depth in (1, 2, 4):

@@ -49,6 +49,7 @@ from repro.easypap.schedule import (
     ScheduleResult,
     TaskSpan,
     chunk_plan_cached,
+    dynamic_chunk_plan,
     simulate_schedule,
 )
 from repro.easypap.tiling import Tile
@@ -135,6 +136,12 @@ class TaskBatch:
         description of each task that :class:`ProcessBackend` can ship to
         worker processes (closures cannot cross a process boundary).
         Backends without process workers ignore it and run the closures.
+    dynamic:
+        Mark batches whose task count varies per iteration (frontier
+        selections).  Plan-consuming backends then build the chunk plan
+        through the uncached :func:`~repro.easypap.schedule.dynamic_chunk_plan`
+        fast path instead of :func:`~repro.easypap.schedule.chunk_plan_cached`,
+        so a moving frontier cannot thrash the static-plan cache.
     """
 
     def __init__(
@@ -144,6 +151,7 @@ class TaskBatch:
         tiles: Sequence[Tile] | None = None,
         costs: Sequence[float] | None = None,
         spec: Sequence[TileTask] | None = None,
+        dynamic: bool = False,
     ) -> None:
         self.tasks = list(tasks)
         if tiles is not None and len(tiles) != len(self.tasks):
@@ -155,6 +163,7 @@ class TaskBatch:
         self.tiles = list(tiles) if tiles is not None else None
         self.costs = [float(c) for c in costs] if costs is not None else None
         self.spec = list(spec) if spec is not None else None
+        self.dynamic = bool(dynamic)
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -165,6 +174,13 @@ class TaskBatch:
             return (-1, -1)
         t = self.tiles[i]
         return (t.ty, t.tx)
+
+
+def _plan_for(batch: TaskBatch, nworkers: int, policy: str, chunk: int):
+    """The chunk plan for *batch*: cached for static batches, uncached for
+    dynamic (per-iteration frontier) ones."""
+    build = dynamic_chunk_plan if batch.dynamic else chunk_plan_cached
+    return build(len(batch), nworkers, policy, chunk)
 
 
 def _record_spans(
@@ -253,11 +269,8 @@ class SimulatedBackend:
     def run(self, batch: TaskBatch, *, iteration: int = 0, kind: str = "compute") -> ScheduleResult:
         # Execute in policy chunk order first (and measure if requested)...
         """Execute the batch; returns the resulting schedule placement."""
-        order = [
-            i
-            for ch in chunk_plan_cached(len(batch), self.nworkers, self.policy, self.chunk)
-            for i in ch
-        ]
+        plan = _plan_for(batch, self.nworkers, self.policy, self.chunk)
+        order = [i for ch in plan for i in ch]
         measured: list[float] = [0.0] * len(batch)
         returned: list[object] = [None] * len(batch)
         for i in order:
@@ -276,7 +289,7 @@ class SimulatedBackend:
                 float(r) if isinstance(r, (int, float)) and not isinstance(r, bool) else 1.0
                 for r in returned
             ]
-        result = simulate_schedule(costs, self.nworkers, self.policy, chunk=self.chunk)
+        result = simulate_schedule(costs, self.nworkers, self.policy, chunk=self.chunk, plan=plan)
         _record_spans(result.spans, batch, self.trace, iteration, kind)
         return result
 
@@ -725,7 +738,7 @@ class ProcessBackend:
         if self._pool is None:
             raise SchedulingError("bind_planes() must be called before running tile batches")
         n = len(batch)
-        chunks = chunk_plan_cached(n, self.nworkers, self.policy, self.chunk)
+        chunks = _plan_for(batch, self.nworkers, self.policy, self.chunk)
         epoch = time.perf_counter()
         spans: list[TaskSpan | None] = [None] * n
         returns: list[object] = [None] * n

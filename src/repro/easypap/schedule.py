@@ -36,6 +36,7 @@ __all__ = [
     "simulate_schedule",
     "chunk_plan",
     "chunk_plan_cached",
+    "dynamic_chunk_plan",
 ]
 
 POLICIES = ("static", "cyclic", "dynamic", "guided")
@@ -129,16 +130,17 @@ def chunk_plan(ntasks: int, nworkers: int, policy: str, chunk: int) -> list[list
     return [list(c) for c in chunk_plan_cached(ntasks, nworkers, policy, chunk)]
 
 
-@lru_cache(maxsize=4096)
-def chunk_plan_cached(
+def dynamic_chunk_plan(
     ntasks: int, nworkers: int, policy: str, chunk: int
 ) -> tuple[tuple[int, ...], ...]:
-    """Memoised, immutable form of :func:`chunk_plan`.
+    """Uncached chunk plan for task counts that change every iteration.
 
-    A plan depends only on ``(ntasks, nworkers, policy, chunk)``, yet the
-    steppers ask for it every iteration — caching removes that rebuild from
-    the per-step hot path (backends reuse the identical tuple each step).
-    Invalid parameters raise :class:`SchedulingError` and are not cached.
+    A frontier-windowed batch presents a *new* ``ntasks`` almost every
+    step (the dirty bbox moves), so routing it through
+    :func:`chunk_plan_cached` would fill the LRU with plans that are never
+    reused and eventually evict the hot static (full-grid) plans.  Dynamic
+    schedules call this fast path instead; only parameter-stable plans
+    belong in the cache.
     """
     if ntasks < 0:
         raise SchedulingError("negative task count")
@@ -163,6 +165,23 @@ def chunk_plan_cached(
     raise SchedulingError(f"unknown policy {policy!r}; choose from {POLICIES}")
 
 
+@lru_cache(maxsize=4096)
+def chunk_plan_cached(
+    ntasks: int, nworkers: int, policy: str, chunk: int
+) -> tuple[tuple[int, ...], ...]:
+    """Memoised, immutable form of :func:`chunk_plan` for *static* plans.
+
+    A plan depends only on ``(ntasks, nworkers, policy, chunk)``, yet the
+    steppers ask for it every iteration — caching removes that rebuild from
+    the per-step hot path (backends reuse the identical tuple each step).
+    Only use this for parameter-stable plans (full tile grids, fixed
+    batches); schedules whose task count varies per iteration must use
+    :func:`dynamic_chunk_plan`, or they thrash the cache.  Invalid
+    parameters raise :class:`SchedulingError` and are not cached.
+    """
+    return dynamic_chunk_plan(ntasks, nworkers, policy, chunk)
+
+
 def simulate_schedule(
     costs: Sequence[float],
     nworkers: int,
@@ -170,6 +189,7 @@ def simulate_schedule(
     *,
     chunk: int = 1,
     start_time: float = 0.0,
+    plan: tuple[tuple[int, ...], ...] | None = None,
 ) -> ScheduleResult:
     """Simulate executing tasks with the given *costs* under a policy.
 
@@ -186,6 +206,11 @@ def simulate_schedule(
         (ignored by ``static``).
     start_time:
         Virtual time at which all workers become available.
+    plan:
+        Optional prebuilt chunk plan (as returned by
+        :func:`chunk_plan_cached` or :func:`dynamic_chunk_plan`) covering
+        exactly ``len(costs)`` tasks; when omitted the cached plan for the
+        parameters is used.
     """
     if nworkers < 1:
         raise SchedulingError(f"need at least one worker, got {nworkers}")
@@ -193,7 +218,7 @@ def simulate_schedule(
     for i, c in enumerate(costs):
         if c < 0:
             raise SchedulingError(f"task {i} has negative cost {c}")
-    chunks = chunk_plan_cached(len(costs), nworkers, policy, chunk)
+    chunks = plan if plan is not None else chunk_plan_cached(len(costs), nworkers, policy, chunk)
     spans: list[TaskSpan] = []
 
     if policy in ("static", "cyclic"):

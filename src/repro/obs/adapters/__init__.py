@@ -19,6 +19,7 @@ structured reports.
 from repro.obs.adapters.easypap import (
     EASYPAP_PID,
     degradation_to_instants,
+    frontier_to_counters,
     trace_to_tracer,
     tracer_to_trace,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "trace_to_tracer",
     "tracer_to_trace",
     "degradation_to_instants",
+    "frontier_to_counters",
     "cluster_report_to_tracer",
     "world_report_summary",
     "simulation_result_to_tracer",

@@ -27,6 +27,7 @@ __all__ = [
     "trace_to_tracer",
     "tracer_to_trace",
     "degradation_to_instants",
+    "frontier_to_counters",
 ]
 
 EASYPAP_PID = "easypap"
@@ -88,6 +89,39 @@ def tracer_to_trace(tracer: Tracer, *, pid: str = EASYPAP_PID) -> Trace:
             )
         )
     return trace
+
+
+def frontier_to_counters(
+    tracer: Tracer,
+    window_log,
+    *,
+    pid: str = EASYPAP_PID,
+    name: str = "frontier",
+) -> int:
+    """Project a frontier stepper's ``window_log`` onto counter tracks.
+
+    *window_log* is the ``(iteration, (y0, y1, x0, x1), active_tiles)``
+    list kept by :class:`~repro.sandpile.pfrontier.ParallelFrontierStepper`
+    (and anything mirroring its contract).  Each entry becomes one counter
+    sample — ``window_cells`` and ``active_tiles`` series, stamped with
+    the iteration as the timestamp — so the shrinking frontier renders as
+    a decaying curve next to the worker lanes of the same run.  Returns
+    the number of samples written.
+    """
+    n = 0
+    for iteration, window, active in window_log:
+        y0, y1, x0, x1 = window
+        tracer.counter(
+            name,
+            {
+                "window_cells": (y1 - y0) * (x1 - x0),
+                "active_tiles": active,
+            },
+            ts=float(iteration),
+            pid=pid,
+        )
+        n += 1
+    return n
 
 
 def degradation_to_instants(

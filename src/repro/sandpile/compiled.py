@@ -1,0 +1,81 @@
+"""Optional compiled stencil inner loop (``pip install repro[compiled]``).
+
+The numpy tile kernels are already vectorised, but each slice expression
+still materialises temporaries and walks the tile five times.  When numba
+is installed (the ``[compiled]`` extra) the synchronous gather is lowered
+to one fused scalar loop over the window — the "as fast as the hardware
+allows" end of the assignment's optimisation ladder.  Without numba the
+module degrades to a pure-NumPy window kernel with identical semantics;
+nothing else in the repo may import numba directly, so the dependency
+stays strictly optional.
+
+Both paths are exposed through :func:`sync_window` and the registered
+``sync_tile_cnc`` tile kernel (the compiled counterpart of
+``sync_tile_nc``: no per-tile change test, detection happens per batch).
+Tests assert the two implementations are bit-identical, so a host without
+numba exercises exactly the semantics a host with numba ships.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.easypap.executor import register_tile_kernel
+
+__all__ = ["HAVE_NUMBA", "sync_window", "sync_window_numpy"]
+
+try:  # pragma: no cover - exercised only when the [compiled] extra is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:
+    njit = None
+    HAVE_NUMBA = False
+
+
+def sync_window_numpy(src: np.ndarray, dst: np.ndarray, y0: int, y1: int, x0: int, x1: int) -> None:
+    """Pure-NumPy synchronous gather of interior window ``[y0:y1, x0:x1]``.
+
+    *src*/*dst* are framed ``(H+2, W+2)`` planes; window coordinates are
+    interior coordinates, shifted by +1 internally to skip the sink frame.
+    Semantically identical to :func:`~repro.sandpile.kernels.sync_tile_nc`
+    over the same rectangle.
+    """
+    ys = slice(y0 + 1, y1 + 1)
+    xs = slice(x0 + 1, x1 + 1)
+    dst[ys, xs] = (
+        (src[ys, xs] & 3)
+        + (src[ys, x0:x1] >> 2)
+        + (src[ys, x0 + 2 : x1 + 2] >> 2)
+        + (src[y0:y1, xs] >> 2)
+        + (src[y0 + 2 : y1 + 2, xs] >> 2)
+    )
+
+
+if HAVE_NUMBA:  # pragma: no cover - the numpy fallback is what CI measures
+
+    @njit(cache=True, nogil=True)
+    def _sync_window_jit(src, dst, y0, y1, x0, x1):  # pragma: no cover
+        for y in range(y0 + 1, y1 + 1):
+            for x in range(x0 + 1, x1 + 1):
+                dst[y, x] = (
+                    (src[y, x] & 3)
+                    + (src[y, x - 1] >> 2)
+                    + (src[y, x + 1] >> 2)
+                    + (src[y - 1, x] >> 2)
+                    + (src[y + 1, x] >> 2)
+                )
+
+    #: compiled synchronous window gather (numba fused loop)
+    sync_window = _sync_window_jit
+
+else:
+    sync_window = sync_window_numpy
+
+
+def _sync_tile_cnc_kernel(planes, task) -> None:
+    t = task.tile
+    sync_window(planes[task.src], planes[task.dst], t.y0, t.y1, t.x0, t.x1)
+
+
+register_tile_kernel("sync_tile_cnc", _sync_tile_cnc_kernel)

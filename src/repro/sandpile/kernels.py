@@ -59,12 +59,24 @@ def unstable_bbox(interior: np.ndarray, window: Window | None = None) -> Window 
     *interior* is the unframed ``(H, W)`` interior plane; when *window* is
     given only that sub-rectangle is scanned (activity can only appear
     where the previous step computed, so the scan stays O(window)).
+
+    The window is clamped to the interior first.  A dirty region touching
+    the grid edge, padded by naive ``y0 - pad`` arithmetic, yields a
+    negative start — which numpy slicing would silently wrap to the *end*
+    of the plane, dropping the boundary rows/columns from the scan and
+    reporting a false fixpoint while edge cells are still unstable.
+    Degenerate (empty or inverted) windows scan nothing and return None.
     """
     if window is None:
         y0, x0 = 0, 0
         y1, x1 = interior.shape
     else:
         y0, y1, x0, x1 = window
+        y0, x0 = max(y0, 0), max(x0, 0)
+        y1 = min(y1, interior.shape[0])
+        x1 = min(x1, interior.shape[1])
+        if y0 >= y1 or x0 >= x1:
+            return None
     mask = interior[y0:y1, x0:x1] >= 4
     rows = np.flatnonzero(mask.any(axis=1))
     if rows.size == 0:
@@ -79,7 +91,14 @@ def unstable_bbox(interior: np.ndarray, window: Window | None = None) -> Window 
 
 
 def grow_window(window: Window, height: int, width: int, pad: int = 1) -> Window:
-    """Grow a bounding box by *pad* cells, clipped to the interior."""
+    """Grow a bounding box by *pad* cells, clipped to the interior.
+
+    Clamping happens per side: a box anchored at the grid edge keeps its
+    boundary row/column (the sink frame absorbs what topples over), while
+    the opposite side still grows by the full *pad*.
+    """
+    if pad < 0:
+        raise ValueError(f"pad must be >= 0, got {pad}")
     y0, y1, x0, x1 = window
     return (max(y0 - pad, 0), min(y1 + pad, height), max(x0 - pad, 0), min(x1 + pad, width))
 

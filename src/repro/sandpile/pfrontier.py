@@ -1,0 +1,190 @@
+"""Parallel active frontier: frontier-aware chunk plans on real workers.
+
+PR 3's frontier steppers are ~4x faster than lazy but single-worker; the
+process backend is multi-worker but steps the full tile grid.  This module
+fuses them: each iteration, only the tiles intersecting the current dirty
+bounding box (grown by one cell — the exactness invariant of the windowed
+synchronous step) are mapped onto the backend's workers, and the chunk
+plan is rebuilt *over the active set* every iteration, so work rebalances
+as the bbox moves.
+
+Key design points:
+
+* **Single live plane + scratch, no parity flip.**  Workers always read
+  plane 0 (the live grid) and write plane 1 (scratch) — a pure gather, so
+  active tiles are mutually independent and any schedule is race-free.
+  After the barrier the parent copies the *window* back into the live
+  plane: cells of active tiles outside the window recompute to themselves
+  (all their neighbours are stable), so the O(window) copy-back is exact
+  and the scratch plane never needs a full-grid refresh.  Per-iteration
+  parent cost is O(window), worker cost O(active tiles) — the frontier
+  win survives parallel dispatch.
+* **Zero-rebuild dynamic batches.**  Task closures and picklable
+  :class:`~repro.easypap.executor.TileTask` specs are built once at
+  construction, indexed by tile id; a shrinking frontier *selects from*
+  them (``specs[t.index]``), never reconstructs.  The all-tiles batch is
+  cached whole.
+* **Uncached dynamic chunk plans.**  Partial batches carry
+  ``dynamic=True``, routing the backend through
+  :func:`~repro.easypap.schedule.dynamic_chunk_plan` — a moving frontier
+  produces a new task count every iteration, which would thrash (and
+  eventually evict the hot static plans from) the LRU behind
+  :func:`~repro.easypap.schedule.chunk_plan_cached`.
+* **Crash recovery intact.**  Dispatch goes through
+  ``ProcessBackend.run``, so worker deaths mid-frontier-batch are healed
+  by the PR 2 machinery (pool rebuild, re-submit only missing tiles); the
+  parent-side closures run against the same shared planes if the backend
+  degrades to threads.
+* **Optional compiled inner loop.**  With ``use_compiled=True`` tiles run
+  the ``sync_tile_cnc`` kernel from :mod:`repro.sandpile.compiled` —
+  numba-fused when the ``[compiled]`` extra is installed, bit-identical
+  pure NumPy otherwise.
+
+``window_log`` records ``(iteration, window, active_tiles)`` per step so
+the obs adapter can render the shrinking frontier as counter tracks next
+to the worker lanes.
+"""
+
+from __future__ import annotations
+
+import repro.sandpile.compiled  # noqa: F401 - registers sync_tile_cnc for forked workers
+from repro.easypap.executor import SequentialBackend, TaskBatch, TileTask
+from repro.easypap.grid import Grid2D
+from repro.easypap.tiling import Tile, TileGrid
+from repro.sandpile.compiled import sync_window
+from repro.sandpile.kernels import Window, grow_window, sync_tile_nc, unstable_bbox
+
+__all__ = ["ParallelFrontierStepper"]
+
+#: relative cost of merely touching a tile vs. computing one cell
+_TOUCH_COST = 1.0
+
+
+class ParallelFrontierStepper:
+    """Synchronous frontier stepper dispatching active tiles to a backend.
+
+    Step-for-step equivalent to
+    :class:`~repro.sandpile.vectorized.FrontierSyncStepper` (same iteration
+    count, same fixpoint, same sink accounting), with the window's tile
+    cover executed by the backend instead of one monolithic slice update.
+    """
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        tile_size: int = 32,
+        *,
+        backend=None,
+        use_compiled: bool = False,
+    ) -> None:
+        self.grid = grid
+        self.tiles = TileGrid(grid.height, grid.width, tile_size)
+        self.backend = backend if backend is not None else SequentialBackend()
+        self.iterations = 0
+        self.tiles_computed = 0
+        self.tiles_skipped = 0
+        self.window_cells = 0
+        #: per-iteration ``(iteration, window, active_tiles)`` — the obs
+        #: adapter turns this into frontier counter tracks
+        self.window_log: list[tuple[int, Window, int]] = []
+        self.use_compiled = use_compiled
+        self._scratch = grid.data.copy()
+        self._shared = False
+        if getattr(self.backend, "uses_processes", False):
+            plane0, plane1 = self.backend.bind_planes(grid.data, self._scratch)
+            grid.swap_buffer(plane0)
+            self._scratch = plane1
+            self._shared = True
+        # -- zero-rebuild caches: per-tile closures and specs, built once,
+        # indexed by tile id; iterations only *select* from them
+        kernel = "sync_tile_cnc" if use_compiled else "sync_tile_nc"
+        self._all_tiles = list(self.tiles)
+        self._tasks = [self._make_task(t) for t in self._all_tiles]
+        # specs are built even off the process backend: the analysis layer
+        # certifies the exact batches the stepper submits
+        self._specs: list[TileTask] = [TileTask(kernel, 0, 1, t) for t in self._all_tiles]
+        self._full_batch: TaskBatch | None = None
+        self._bbox = unstable_bbox(grid.interior)
+
+    def _make_task(self, tile: Tile):
+        if self.use_compiled:
+            def task() -> float:
+                sync_window(self.grid.data, self._scratch, tile.y0, tile.y1, tile.x0, tile.x1)
+                return _TOUCH_COST + tile.area
+        else:
+            def task() -> float:
+                sync_tile_nc(self.grid.data, self._scratch, tile)
+                return _TOUCH_COST + tile.area
+        return task
+
+    def _batch_for(self, active: list[Tile]) -> TaskBatch:
+        if len(active) == len(self._all_tiles):
+            # the all-tiles batch is parameter-stable: cache it whole and
+            # let the backend use the memoised static chunk plan
+            if self._full_batch is None:
+                self._full_batch = TaskBatch(
+                    self._tasks, tiles=self._all_tiles, spec=self._specs
+                )
+            return self._full_batch
+        return TaskBatch(
+            [self._tasks[t.index] for t in active],
+            tiles=active,
+            spec=[self._specs[t.index] for t in active],
+            dynamic=True,
+        )
+
+    @property
+    def planes(self) -> list:
+        """The two framed planes the batches index (0 = live, 1 = scratch)."""
+        return [self.grid.data, self._scratch]
+
+    def reset(self) -> None:
+        """Rescan the whole grid (e.g. after an external grid edit)."""
+        self._bbox = unstable_bbox(self.grid.interior)
+
+    def close(self) -> None:
+        """Detach the grid from shared memory and release the backend."""
+        if self._shared:
+            self.grid.swap_buffer(self.grid.data.copy())
+            self._scratch = self._scratch.copy()
+            self._shared = False
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ParallelFrontierStepper":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __call__(self) -> bool:
+        bbox = self._bbox
+        self.iterations += 1
+        if bbox is None:
+            # no unstable cell anywhere: the synchronous step is the identity
+            return False
+        grid = self.grid
+        window = grow_window(bbox, grid.height, grid.width)
+        active = self.tiles.tiles_in_window(window)
+        self.tiles_computed += len(active)
+        self.tiles_skipped += len(self.tiles) - len(active)
+        self.window_cells += (window[1] - window[0]) * (window[3] - window[2])
+        self.window_log.append((self.iterations - 1, window, len(active)))
+
+        self.backend.run(self._batch_for(active), iteration=self.iterations - 1)
+
+        # window slices in frame coordinates
+        y0, y1, x0, x1 = window
+        ys = slice(y0 + 1, y1 + 1)
+        xs = slice(x0 + 1, x1 + 1)
+        live = grid.data
+        new = self._scratch[ys, xs]
+        old = live[ys, xs]
+        changed = bool((new != old).any())
+        if y0 == 0 or x0 == 0 or y1 == grid.height or x1 == grid.width:
+            # net window deficit == grains that toppled into the sink frame
+            grid.sink_absorbed += int(old.sum()) - int(new.sum())
+        live[ys, xs] = new
+        self._bbox = unstable_bbox(grid.interior, window)
+        return changed

@@ -11,7 +11,8 @@ Registered variants
 ``sandpile``  : ``seq`` (scalar reference), ``vec`` (whole-grid numpy),
 ``frontier`` (bounding-box stepping over the active region), ``tiled``,
 ``lazy``, ``omp`` (tiled + scheduling policy; pick the executor with
-``backend="simulated"|"threads"|"process"|"sequential"``), ``split``
+``backend="simulated"|"threads"|"process"|"sequential"``), ``pfrontier``
+(frontier-aware dynamic chunk plans on real process workers), ``split``
 (inner/outer SIMD split).
 
 ``asandpile`` : ``seq``, ``vec`` (sweep), ``frontier``, ``tiled``,
@@ -28,6 +29,7 @@ from repro.easypap.grid import Grid2D
 from repro.easypap.kernel import get_variant, register_variant
 from repro.easypap.monitor import Trace
 from repro.sandpile.omp import TiledAsyncStepper, TiledSyncStepper
+from repro.sandpile.pfrontier import ParallelFrontierStepper
 from repro.sandpile.reference import async_step_reference, sync_step_reference
 from repro.sandpile.vectorized import (
     AsyncVecStepper,
@@ -149,6 +151,35 @@ def _sandpile_omp(
         allow_fallback=allow_fallback, degradation=degradation,
     )
     return TiledSyncStepper(grid, tile_size, backend=be, lazy=lazy)
+
+
+@register_variant(
+    "sandpile",
+    "pfrontier",
+    description="frontier-aware dynamic chunk plans on real workers",
+)
+def _sandpile_pfrontier(
+    grid: Grid2D,
+    *,
+    tile_size: int = 32,
+    nworkers: int = 4,
+    policy: str = "dynamic",
+    chunk: int = 1,
+    backend: str = "process",
+    use_compiled: bool = False,
+    trace: Trace | None = None,
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    allow_fallback: bool = True,
+    degradation: DegradationLog | None = None,
+    **_opts,
+):
+    be = _make_backend(
+        backend, nworkers, policy, chunk, trace,
+        retry=retry, task_timeout=task_timeout,
+        allow_fallback=allow_fallback, degradation=degradation,
+    )
+    return ParallelFrontierStepper(grid, tile_size, backend=be, use_compiled=use_compiled)
 
 
 # The three cell-granular async sweeps are tagged racy-by-design: adjacent

@@ -228,3 +228,52 @@ def test_property_dynamic_conflicts_subset_of_static(h, w, ts, nworkers, policy)
         }
         for c in dynamic.conflicts:
             assert (c.kind, c.task_a, c.task_b, c.plane, c.cell) in static_keys
+
+
+# -- plan pinning: certifying externally built (dynamic frontier) plans --------------
+
+
+class TestPlanOverride:
+    def test_single_chunk_plan_serialises_everything(self):
+        m = ConcurrencyModel(4, 4, "dynamic", 1, plan=((0, 1, 2, 3),))
+        assert not any(m.concurrent(a, b) for a in range(4) for b in range(4))
+
+    def test_pinned_plan_overrides_parameter_rebuild(self):
+        # parameters alone would give unit chunks (all pairs concurrent);
+        # the pinned plan groups 0,1 and 2,3, serialising those pairs
+        m = ConcurrencyModel(4, 2, "dynamic", 1, plan=((0, 1), (2, 3)))
+        assert m.chunk_of(1) == 0 and m.chunk_of(2) == 1
+        assert not m.concurrent(0, 1)
+        assert not m.concurrent(2, 3)
+        assert m.concurrent(1, 2)
+
+    def test_racy_batch_certified_safe_under_serialising_plan(self):
+        # the flat async batch is racy under the rebuilt plan, but an
+        # externally built one-chunk plan proves this execution race-free
+        specs = [t for wave in async_wave_specs(8, 8, 4) for t in wave]
+        racy = check_batch(specs, (10, 10), nworkers=4, policy="dynamic", chunk=1)
+        assert racy.racy
+        plan = (tuple(range(len(specs))),)
+        safe = check_batch(specs, (10, 10), nworkers=4, policy="dynamic", chunk=1, plan=plan)
+        assert safe.verdict == "race-free"
+
+    def test_dynamic_check_respects_pinned_plan(self):
+        specs = [t for wave in async_wave_specs(8, 8, 4) for t in wave]
+        plan = (tuple(range(len(specs))),)
+        static = check_batch(specs, (10, 10), nworkers=4, policy="dynamic", chunk=1, plan=plan)
+        dynamic, _ = dynamic_check(
+            specs, [framed(8, 8, 8)], nworkers=4, policy="dynamic", chunk=1, plan=plan
+        )
+        cc = cross_check(static, dynamic)
+        assert not static.racy and not dynamic.racy
+        assert cc.sound and cc.agree and cc.ok
+
+    def test_frontier_subset_plan_race_free(self):
+        # a partial frontier batch: a subset of sync tiles under the exact
+        # uncached plan the process backend would execute
+        from repro.easypap.schedule import dynamic_chunk_plan
+
+        specs = sync_tile_specs(8, 8, 4)[:3]  # 3 active tiles of 4
+        plan = dynamic_chunk_plan(len(specs), 4, "dynamic", 1)
+        report = check_batch(specs, (10, 10), nworkers=4, policy="dynamic", chunk=1, plan=plan)
+        assert report.verdict == "race-free"

@@ -86,3 +86,35 @@ class TestCertifyAll:
         for v in verdicts:
             assert v.qualified_name in table
         assert "FAIL" not in table
+
+
+class TestCertifyDynamicFrontier:
+    """End-to-end certification of the frontier's per-iteration plans."""
+
+    def test_real_run_certifies_race_free(self):
+        from repro.analysis.variants import certify_dynamic_frontier
+
+        cert = certify_dynamic_frontier(
+            height=20, width=20, tile_size=4, nworkers=4, max_iterations=120
+        )
+        assert cert.ok
+        assert cert.iterations > 0
+        # the off-centre seed shrinks the frontier: dynamic batches happen
+        assert cert.dynamic_batches > 0
+        assert len(cert.crosses) == cert.iterations
+        for cc in cert.crosses:
+            assert cc.sound and cc.ok
+            assert not cc.static.racy
+        text = cert.summary()
+        assert "race-free" in text
+        assert str(cert.iterations) in text
+
+    def test_certifies_under_static_policy_too(self):
+        from repro.analysis.variants import certify_dynamic_frontier
+
+        cert = certify_dynamic_frontier(
+            height=16, width=16, tile_size=4, nworkers=2, policy="static",
+            max_iterations=120,
+        )
+        assert cert.ok
+        assert "policy=static" in cert.summary()

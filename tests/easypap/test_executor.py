@@ -54,6 +54,24 @@ class TestTaskBatch:
         b, _ = make_counter_batch(1)
         assert b.tile_coords(0) == (-1, -1)
 
+    def test_dynamic_flag_routes_around_the_plan_cache(self):
+        from repro.easypap.executor import _plan_for
+        from repro.easypap.schedule import chunk_plan_cached
+
+        static_b, _ = make_counter_batch(9)
+        dynamic_b, _ = make_counter_batch(9)
+        dynamic_b.dynamic = True
+        assert static_b.dynamic is False  # default: cached static planning
+        cached = _plan_for(static_b, 3, "dynamic", 1)
+        assert _plan_for(static_b, 3, "dynamic", 1) is cached  # memoised
+        before = chunk_plan_cached.cache_info()
+        fresh = _plan_for(dynamic_b, 3, "dynamic", 1)
+        after = chunk_plan_cached.cache_info()
+        assert fresh == cached  # same schedule either way
+        assert fresh is not cached  # but planned outside the LRU
+        assert after.currsize == before.currsize
+        assert after.misses == before.misses
+
 
 class TestTileKernelRegistry:
     def test_duplicate_registration_rejected(self):

@@ -100,6 +100,44 @@ class TestWorkerCrashRecovery:
         assert np.array_equal(g.interior, ref.interior)
 
 
+class TestFrontierCrashRecovery:
+    @needs_processes
+    def test_kill_mid_frontier_batch_resumes_from_dirty_bbox(self):
+        """Satellite: a worker death inside a *dynamic* frontier batch must
+        heal on the rebuilt pool and resume from the correct dirty bbox —
+        the whole run stays bit-identical to the single-worker frontier."""
+        from repro.sandpile.pfrontier import ParallelFrontierStepper
+        from repro.sandpile.vectorized import FrontierSyncStepper
+
+        ref = Grid2D(24, 24)
+        ref.interior[4, 4] = 500
+        ref.interior[18, 19] = 300
+        g = ref.copy()
+        ref_stepper = FrontierSyncStepper(ref)
+        ref_steps = 0
+        while ref_stepper():
+            ref_steps += 1
+
+        log = DegradationLog()
+        injector = FaultInjector(kill_on_tasks={1}, max_fires=1)
+        be = ProcessBackend(
+            2, "dynamic", retry=FAST_RETRY, degradation=log, fault_injector=injector
+        )
+        with ParallelFrontierStepper(g, tile_size=4, backend=be) as stepper:
+            steps = 0
+            while stepper():
+                steps += 1
+                # recovery must not corrupt the frontier's view of the grid:
+                # the next bbox is recomputed from the healed window
+                assert stepper._bbox is None or stepper._bbox[0] < stepper._bbox[1]
+            assert be.uses_processes  # rebuilt, not degraded to threads
+        assert injector.fires == 1
+        assert len(log.by_action("pool-rebuild")) >= 1
+        assert steps == ref_steps
+        assert np.array_equal(g.interior, ref.interior)
+        assert g.sink_absorbed == ref.sink_absorbed
+
+
 class TestRetryExhaustion:
     @needs_processes
     def test_exhaustion_degrades_to_threads(self):

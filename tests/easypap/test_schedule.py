@@ -3,7 +3,13 @@
 import pytest
 
 from repro.common.errors import SchedulingError
-from repro.easypap.schedule import POLICIES, chunk_plan, chunk_plan_cached, simulate_schedule
+from repro.easypap.schedule import (
+    POLICIES,
+    chunk_plan,
+    chunk_plan_cached,
+    dynamic_chunk_plan,
+    simulate_schedule,
+)
 
 
 class TestChunkPlan:
@@ -235,3 +241,48 @@ class TestChunkPlanCache:
                 chunk_plan_cached(8, 4, "bogus", 1)
             with pytest.raises(SchedulingError):
                 chunk_plan_cached(8, 4, "static", 0)
+
+
+class TestDynamicChunkPlan:
+    """The uncached planner behind frontier-style varying task counts.
+
+    Regression for the LRU-thrash bug: a moving frontier produces a new
+    ``ntasks`` every iteration, and planning those through the cached path
+    churned (and could evict hot static plans from) the LRU.  The dynamic
+    path must produce identical plans while leaving the cache untouched.
+    """
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_cached_plan_contents(self, policy):
+        for ntasks in (0, 1, 7, 37, 100):
+            assert dynamic_chunk_plan(ntasks, 4, policy, 3) == chunk_plan_cached(
+                ntasks, 4, policy, 3
+            )
+
+    def test_does_not_touch_the_lru_cache(self):
+        chunk_plan_cached.cache_clear()
+        hot = chunk_plan_cached(256, 8, "static", 1)  # a hot static plan
+        before = chunk_plan_cached.cache_info()
+        # a shrinking frontier: a different task count every iteration
+        for ntasks in range(64, 0, -1):
+            dynamic_chunk_plan(ntasks, 8, "dynamic", 1)
+        after = chunk_plan_cached.cache_info()
+        assert after.currsize == before.currsize
+        assert after.misses == before.misses
+        # the hot plan survived: identity preserved, no eviction
+        assert chunk_plan_cached(256, 8, "static", 1) is hot
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fresh_tuples_every_call(self, policy):
+        a = dynamic_chunk_plan(12, 3, policy, 2)
+        b = dynamic_chunk_plan(12, 3, policy, 2)
+        assert a == b
+        assert a is not b  # uncached: nothing retained between calls
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(SchedulingError):
+            dynamic_chunk_plan(-1, 2, "dynamic", 1)
+        with pytest.raises(SchedulingError):
+            dynamic_chunk_plan(8, 2, "bogus", 1)
+        with pytest.raises(SchedulingError):
+            dynamic_chunk_plan(8, 2, "static", 0)

@@ -304,3 +304,43 @@ class TestWrenchSubstrate:
         assert len([s for s in tracer.spans() if s.cat == "failed"]) == len(failures)
         assert len(tracer.instants()) == len(failures)
         assert_valid_chrome_doc(to_chrome_trace(tracer))
+
+
+class TestFrontierCounters:
+    """The pfrontier window log projects onto counter tracks."""
+
+    def test_window_log_becomes_counter_samples(self):
+        from repro.obs.adapters import frontier_to_counters
+
+        tracer = Tracer()
+        log = [
+            (0, (0, 20, 0, 20), 9),
+            (1, (2, 18, 3, 17), 4),
+            (2, (7, 11, 8, 12), 1),
+        ]
+        n = frontier_to_counters(tracer, log)
+        assert n == 3
+        samples = tracer.counters()
+        assert len(samples) == 3
+        assert [s.ts for s in samples] == [0.0, 1.0, 2.0]
+        assert samples[0].values == {"window_cells": 400, "active_tiles": 9}
+        assert samples[1].values == {"window_cells": 224, "active_tiles": 4}
+        assert samples[2].values == {"window_cells": 16, "active_tiles": 1}
+        assert all(s.pid == "easypap" and s.name == "frontier" for s in samples)
+
+    def test_live_stepper_log_round_trips(self):
+        from repro.obs.adapters import frontier_to_counters
+        from repro.sandpile.model import center_pile
+        from repro.sandpile.pfrontier import ParallelFrontierStepper
+
+        g = center_pile(24, 24, 200)
+        with ParallelFrontierStepper(g, tile_size=8) as stepper:
+            while stepper():
+                pass
+        tracer = Tracer()
+        n = frontier_to_counters(tracer, stepper.window_log, name="fr")
+        assert n == len(stepper.window_log) > 0
+        # the shrinking frontier decays to its final window
+        cells = [s.values["window_cells"] for s in tracer.counters()]
+        assert max(cells) <= 24 * 24
+        assert sum(cells) == stepper.window_cells

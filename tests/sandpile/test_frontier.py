@@ -187,6 +187,66 @@ class TestUnstableBbox:
         assert grow_window((0, 5, 3, 8), 8, 8) == (0, 6, 2, 8)
         assert grow_window((2, 3, 2, 3), 8, 8) == (1, 4, 1, 4)
 
+    def test_grow_window_rejects_negative_pad(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            grow_window((2, 3, 2, 3), 8, 8, pad=-1)
+
+    # -- satellite regression: windows anchored at (or past) the grid edge.
+    # Negative window starts used to flow into numpy slices, where they wrap
+    # to the array's far end and silently drop boundary rows from the scan.
+
+    def test_edge_anchored_window_sees_boundary_cells(self):
+        a = np.zeros((6, 6), dtype=np.int64)
+        a[0, 2] = 4  # unstable cell on the top boundary row
+        assert unstable_bbox(a, (-1, 2, 1, 4)) == (0, 1, 2, 3)
+        a2 = np.zeros((6, 6), dtype=np.int64)
+        a2[5, 5] = 4  # unstable cell in the bottom-right corner
+        assert unstable_bbox(a2, (4, 9, 4, 9)) == (5, 6, 5, 6)
+
+    def test_fully_out_of_range_window_is_empty(self):
+        a = np.full((6, 6), 9, dtype=np.int64)  # everything unstable...
+        assert unstable_bbox(a, (-4, 0, 0, 6)) is None  # ...but not in view
+        assert unstable_bbox(a, (6, 10, 0, 6)) is None
+
+    def test_empty_and_inverted_windows_are_none(self):
+        a = np.full((6, 6), 9, dtype=np.int64)
+        assert unstable_bbox(a, (3, 3, 0, 6)) is None  # zero-height
+        assert unstable_bbox(a, (4, 2, 0, 6)) is None  # inverted
+
+    @given(interior=grids)
+    @settings(**SETTINGS)
+    def test_oversized_window_equals_full_scan(self, interior):
+        h, w = interior.shape
+        assert unstable_bbox(interior, (-3, h + 3, -3, w + 3)) == unstable_bbox(interior)
+
+    @given(
+        interior=grids,
+        y0=st.integers(-4, 12),
+        dy=st.integers(0, 14),
+        x0=st.integers(-4, 12),
+        dx=st.integers(0, 14),
+    )
+    @settings(**SETTINGS)
+    def test_window_scan_equals_clamped_reference(self, interior, y0, dy, x0, dx):
+        """Arbitrary (possibly overhanging) windows match a boolean-mask
+        reference that only considers in-range cells inside the window."""
+        h, w = interior.shape
+        window = (y0, y0 + dy, x0, x0 + dx)
+        mask = np.zeros_like(interior, dtype=bool)
+        mask[max(y0, 0): max(y0 + dy, 0), max(x0, 0): max(x0 + dx, 0)] = True
+        ys, xs = np.nonzero((interior >= 4) & mask)
+        expected = None
+        if ys.size:
+            expected = (
+                int(ys.min()),
+                int(ys.max()) + 1,
+                int(xs.min()),
+                int(xs.max()) + 1,
+            )
+        assert unstable_bbox(interior, window) == expected
+
 
 # -- registry integration -----------------------------------------------------
 

@@ -1,0 +1,247 @@
+"""Tests for the parallel active-frontier stepper (dynamic chunk plans).
+
+Pins :class:`~repro.sandpile.pfrontier.ParallelFrontierStepper` to the
+oracle and to the single-worker frontier stepper step-for-step, and checks
+the scheduling contract the design depends on: batches *select from*
+construction-time tasks/specs (zero rebuild), partial batches are flagged
+``dynamic`` so the backend plans them without touching the LRU cache, and
+the all-tiles batch is one cached object.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.easypap.executor import ProcessBackend, SequentialBackend
+from repro.easypap.grid import Grid2D
+from repro.easypap.tiling import TileGrid
+from repro.sandpile.compiled import HAVE_NUMBA, sync_window, sync_window_numpy
+from repro.sandpile.kernels import sync_tile_nc
+from repro.sandpile.model import center_pile, random_uniform
+from repro.sandpile.pfrontier import ParallelFrontierStepper
+from repro.sandpile.simulate import run_to_fixpoint
+from repro.sandpile.theory import stabilize
+from repro.sandpile.vectorized import FrontierSyncStepper
+
+grids = arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 10), st.integers(2, 10)),
+    elements=st.integers(0, 12),
+)
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+needs_processes = pytest.mark.skipif(
+    not ProcessBackend.available(), reason="fork/shared_memory unavailable"
+)
+
+
+def _drive(stepper, limit=200_000):
+    n = 0
+    while stepper():
+        n += 1
+        assert n < limit
+    return n
+
+
+class _RecordingBackend(SequentialBackend):
+    """Sequential backend that keeps every batch it was handed."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches = []
+
+    def run(self, batch, iteration=0):
+        self.batches.append(batch)
+        return super().run(batch, iteration=iteration)
+
+
+# -- correctness --------------------------------------------------------------
+
+
+@given(interior=grids)
+@settings(**SETTINGS)
+def test_fixpoint_matches_oracle(interior):
+    oracle = stabilize(Grid2D.from_interior(interior))
+    g = Grid2D.from_interior(interior)
+    with ParallelFrontierStepper(g, tile_size=3) as stepper:
+        _drive(stepper)
+    assert np.array_equal(g.interior, oracle.interior)
+    assert g.sink_absorbed == oracle.sink_absorbed
+
+
+@given(interior=grids)
+@settings(**SETTINGS)
+def test_matches_frontier_sync_step_for_step(interior):
+    """Same trajectory as the single-worker frontier stepper, not just the
+    same fixpoint: per-step change flags, planes, and sink all agree."""
+    ref = Grid2D.from_interior(interior)
+    ref_stepper = FrontierSyncStepper(ref)
+    g = Grid2D.from_interior(interior)
+    with ParallelFrontierStepper(g, tile_size=4) as stepper:
+        for _ in range(200_000):
+            c_ref = ref_stepper()
+            c = stepper()
+            assert c == c_ref
+            assert np.array_equal(g.data, ref.data)
+            assert g.sink_absorbed == ref.sink_absorbed
+            if not c:
+                break
+
+
+def test_two_piles_match_oracle():
+    g = Grid2D(33, 47)
+    g.interior[3, 5] = 900
+    g.interior[28, 40] = 700
+    oracle = stabilize(g.copy())
+    with ParallelFrontierStepper(g, tile_size=8) as stepper:
+        _drive(stepper)
+    assert np.array_equal(g.interior, oracle.interior)
+    assert g.sink_absorbed == oracle.sink_absorbed
+
+
+def test_all_stable_returns_false_immediately():
+    g = Grid2D.from_interior(np.full((6, 6), 3, dtype=np.int64))
+    before = g.data.copy()
+    with ParallelFrontierStepper(g, tile_size=4) as stepper:
+        assert stepper() is False
+        assert np.array_equal(g.data, before)
+    assert g.sink_absorbed == 0
+
+
+def test_reset_rescans_after_external_edit():
+    g = Grid2D.from_interior(np.zeros((8, 8), dtype=np.int64))
+    with ParallelFrontierStepper(g, tile_size=4) as stepper:
+        assert stepper() is False
+        g.interior[2, 2] = 5  # external edit the stepper did not see
+        stepper.reset()
+        _drive(stepper)
+    assert g.interior[2, 2] < 4
+
+
+# -- scheduling contract ------------------------------------------------------
+
+
+def test_partial_batches_select_not_rebuild():
+    """A shrinking frontier reuses construction-time tasks and specs by
+    identity — the zero-rebuild invariant extended to dynamic tile sets."""
+    g = center_pile(24, 24, 160)
+    be = _RecordingBackend()
+    stepper = ParallelFrontierStepper(g, tile_size=8, backend=be)
+    _drive(stepper)
+    assert be.batches, "stepper never submitted work"
+    partial = [b for b in be.batches if len(b) < len(stepper._all_tiles)]
+    assert partial, "a 160-grain pile on a 24x24 grid must have partial batches"
+    for batch in partial:
+        assert batch.dynamic
+        for task, tile, spec in zip(batch.tasks, batch.tiles, batch.spec):
+            assert task is stepper._tasks[tile.index]
+            assert spec is stepper._specs[tile.index]
+
+
+def test_full_batch_is_cached_whole():
+    g = Grid2D.from_interior(np.full((16, 16), 6, dtype=np.int64))
+    be = _RecordingBackend()
+    stepper = ParallelFrontierStepper(g, tile_size=8, backend=be)
+    stepper()
+    stepper()
+    full = [b for b in be.batches if len(b) == len(stepper._all_tiles)]
+    assert len(full) >= 2, "a saturated grid must submit full batches"
+    assert full[0] is full[1], "the all-tiles batch must be one cached object"
+    assert not full[0].dynamic
+
+
+def test_counters_and_window_log():
+    g = center_pile(32, 32, 400)
+    with ParallelFrontierStepper(g, tile_size=8) as stepper:
+        n = _drive(stepper)
+    # the final call sees a stable grid and submits nothing
+    assert stepper.iterations == n + 1
+    assert len(stepper.window_log) == n
+    assert stepper.tiles_computed > 0
+    total = len(stepper.tiles)
+    for i, (iteration, window, active) in enumerate(stepper.window_log):
+        assert iteration == i
+        y0, y1, x0, x1 = window
+        assert 0 <= y0 < y1 <= g.height and 0 <= x0 < x1 <= g.width
+        assert 1 <= active <= total
+    assert stepper.window_cells == sum(
+        (w[1] - w[0]) * (w[3] - w[2]) for _, w, _ in stepper.window_log
+    )
+
+
+# -- process backend ----------------------------------------------------------
+
+
+@needs_processes
+def test_process_backend_bit_identical():
+    base = random_uniform(37, 41, max_grains=10, seed=23)
+    ref = base.copy()
+    ref_steps = _drive(FrontierSyncStepper(ref))
+    g = base.copy()
+    with ParallelFrontierStepper(
+        g, tile_size=8, backend=ProcessBackend(2, "dynamic")
+    ) as stepper:
+        steps = _drive(stepper)
+    assert steps == ref_steps
+    assert np.array_equal(g.interior, ref.interior)
+    assert g.sink_absorbed == ref.sink_absorbed
+
+
+@needs_processes
+def test_close_detaches_shared_memory():
+    g = center_pile(16, 16, 60)
+    stepper = ParallelFrontierStepper(g, tile_size=8, backend=ProcessBackend(2))
+    _drive(stepper)
+    final = g.interior.copy()
+    stepper.close()
+    stepper.close()  # idempotent
+    # the grid survives pool shutdown: its plane was copied out of shm
+    assert np.array_equal(g.interior, final)
+    g.interior[0, 0] = 1  # still writable after detach
+
+
+@needs_processes
+def test_registry_variant_runs_on_processes():
+    oracle = stabilize(center_pile(32, 32, 600))
+    g = center_pile(32, 32, 600)
+    result = run_to_fixpoint(
+        g, "sandpile", "pfrontier", tile_size=8, nworkers=2, policy="dynamic"
+    )
+    assert np.array_equal(g.interior, oracle.interior)
+    assert result.iterations > 0
+    assert g.total_grains() + g.sink_absorbed == 600
+
+
+# -- compiled path (numba optional, NumPy fallback always present) ------------
+
+
+@given(interior=grids)
+@settings(**SETTINGS)
+def test_sync_window_numpy_matches_tile_kernel(interior):
+    g = Grid2D.from_interior(interior)
+    dst_a = g.data.copy()
+    dst_b = g.data.copy()
+    for tile in TileGrid(g.height, g.width, 4):
+        sync_tile_nc(g.data, dst_a, tile)
+        sync_window_numpy(g.data, dst_b, tile.y0, tile.y1, tile.x0, tile.x1)
+    assert np.array_equal(dst_a, dst_b)
+
+
+def test_compiled_stepper_matches_oracle():
+    base = center_pile(24, 24, 300)
+    oracle = stabilize(base.copy())
+    g = base.copy()
+    with ParallelFrontierStepper(g, tile_size=8, use_compiled=True) as stepper:
+        _drive(stepper)
+    assert np.array_equal(g.interior, oracle.interior)
+    assert g.sink_absorbed == oracle.sink_absorbed
+
+
+def test_sync_window_fallback_wiring():
+    if HAVE_NUMBA:
+        assert sync_window is not sync_window_numpy
+    else:
+        assert sync_window is sync_window_numpy
