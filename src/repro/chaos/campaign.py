@@ -1,0 +1,164 @@
+"""Run a list of chaos scenarios and account for every outcome.
+
+:func:`run_campaign` executes each scenario through its substrate
+harness in an isolated temp directory, classifies the outcome
+(``passed`` / ``violated`` / ``skipped`` / ``error``), and exports
+counters through a :class:`repro.obs.metrics.MetricsRegistry`:
+
+* ``chaos_scenarios_total{substrate,kind,status}`` — one per scenario;
+* ``chaos_invariant_violations_total{substrate,kind,invariant}`` — one
+  per violated invariant;
+* plus every ``supervisor_*`` counter the scenarios' supervisors emit
+  (retries, checkpoints, degradations), since harnesses share the
+  campaign registry.
+
+Scenarios that require real worker processes are **skipped** (not
+silently passed) where ``ProcessBackend`` is unavailable; a skipped row
+never counts as a violation but stays visible in the report and the
+metrics, so a campaign cannot go green by losing coverage.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.chaos.harnesses import _Ctx, run_scenario
+from repro.chaos.scenarios import Scenario, default_campaign
+from repro.common.tables import format_table
+
+__all__ = ["ScenarioOutcome", "CampaignReport", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What happened when one scenario ran."""
+
+    scenario: Scenario
+    status: str  # "passed" | "violated" | "skipped" | "error"
+    violations: tuple[str, ...] = ()
+    detail: dict = field(default_factory=dict)
+    duration: float = 0.0
+
+
+@dataclass
+class CampaignReport:
+    """All scenario outcomes plus the campaign's metrics registry."""
+
+    outcomes: list[ScenarioOutcome]
+    metrics: object  # MetricsRegistry
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing was violated and nothing blew up."""
+        return all(o.status in ("passed", "skipped") for o in self.outcomes)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {"passed": 0, "violated": 0, "skipped": 0, "error": 0}
+        for o in self.outcomes:
+            out[o.status] = out.get(o.status, 0) + 1
+        return out
+
+    def render(self) -> str:
+        """Human-readable campaign table plus the verdict line."""
+        rows = []
+        for o in self.outcomes:
+            note = ", ".join(o.violations) if o.violations else o.detail.get("reason", "")
+            rows.append(
+                [
+                    o.scenario.substrate,
+                    o.scenario.kind,
+                    str(o.scenario.seed),
+                    o.status,
+                    f"{o.duration:.2f}s",
+                    str(note),
+                ]
+            )
+        table = format_table(
+            ["substrate", "kind", "seed", "status", "time", "notes"], rows
+        )
+        c = self.counts
+        verdict = (
+            f"{c['passed']} passed, {c['violated']} violated, "
+            f"{c['skipped']} skipped, {c['error']} errored -> "
+            + ("OK" if self.ok else "FAILED")
+        )
+        return f"{table}\n{verdict}"
+
+
+def _processes_available() -> bool:
+    from repro.easypap.executor import ProcessBackend
+
+    return ProcessBackend.available()
+
+
+def run_campaign(
+    scenarios: list[Scenario] | None = None,
+    *,
+    metrics=None,
+    tracer=None,
+    workdir: str | Path | None = None,
+) -> CampaignReport:
+    """Execute *scenarios* (default: :func:`default_campaign`).
+
+    *metrics* (a :class:`~repro.obs.metrics.MetricsRegistry`) collects
+    the campaign and supervisor counters; one is created when omitted.
+    *tracer* receives the supervisors' degradation/checkpoint instants.
+    *workdir* hosts per-scenario checkpoint directories (default: a
+    self-cleaning temp directory).
+    """
+    if metrics is None:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    scenarios = default_campaign() if scenarios is None else scenarios
+    scenario_counter = metrics.counter(
+        "chaos_scenarios_total", "chaos scenarios by outcome"
+    )
+    violation_counter = metrics.counter(
+        "chaos_invariant_violations_total", "violated chaos invariants"
+    )
+    have_processes = _processes_available()
+
+    outcomes: list[ScenarioOutcome] = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        base = Path(workdir) if workdir is not None else Path(tmp)
+        for i, sc in enumerate(scenarios):
+            t0 = time.perf_counter()
+            if sc.requires_processes and not have_processes:
+                outcome = ScenarioOutcome(
+                    sc, "skipped", detail={"reason": "worker processes unavailable"}
+                )
+            else:
+                scdir = base / f"{i:03d}-{sc.substrate}-{sc.kind}"
+                scdir.mkdir(parents=True, exist_ok=True)
+                ctx = _Ctx(scdir, metrics=metrics, tracer=tracer)
+                try:
+                    violations, detail = run_scenario(sc, ctx)
+                except Exception as exc:  # noqa: BLE001 - one row must not sink the campaign
+                    outcome = ScenarioOutcome(
+                        sc,
+                        "error",
+                        violations=("unexpected-exception",),
+                        detail={"error": repr(exc), "traceback": traceback.format_exc()},
+                        duration=time.perf_counter() - t0,
+                    )
+                else:
+                    outcome = ScenarioOutcome(
+                        sc,
+                        "violated" if violations else "passed",
+                        violations=tuple(violations),
+                        detail=detail,
+                        duration=time.perf_counter() - t0,
+                    )
+            outcomes.append(outcome)
+            scenario_counter.inc(
+                substrate=sc.substrate, kind=sc.kind, status=outcome.status
+            )
+            for inv in outcome.violations:
+                violation_counter.inc(substrate=sc.substrate, kind=sc.kind, invariant=inv)
+    return CampaignReport(outcomes=outcomes, metrics=metrics)

@@ -15,7 +15,10 @@ Four small CLIs, mirroring how a student would poke at each system:
 * ``repro-trace``    — off-line trace exploration: export a recorded trace
   (an ``repro.obs`` session or an easypap task-record file) to Chrome
   trace-event JSON for https://ui.perfetto.dev, print an ASCII timeline or
-  numeric summary, or diff two runs side by side.
+  numeric summary, or diff two runs side by side;
+* ``repro-chaos``    — run a chaos campaign: fault scenarios × substrates
+  × seeds, each asserting recovery invariants (bit-identical results,
+  bounded retries, honest accounting).  Exits non-zero on any violation.
 
 ``python -m repro.cli <command> ...`` dispatches to the same entry points.
 """
@@ -32,6 +35,7 @@ __all__ = [
     "carbon_main",
     "check_main",
     "trace_main",
+    "chaos_main",
     "main",
 ]
 
@@ -428,12 +432,95 @@ def trace_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def chaos_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-chaos`` (also ``python -m repro.cli chaos``).
+
+    Subcommands:
+
+    * ``run``  — execute a campaign (default: every meaningful
+      substrate × fault-kind cell) and print the outcome table; exits 1
+      on any violated invariant or errored scenario.  ``--metrics-json``
+      / ``--metrics-prom`` export the campaign and supervisor counters.
+    * ``list`` — print the scenarios a ``run`` with the same filters
+      would execute, without running anything.
+    """
+    from repro.chaos import KINDS, SUBSTRATES, default_campaign, run_campaign
+
+    p = argparse.ArgumentParser(prog="repro-chaos", description="Chaos campaigns")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_filters(sp):
+        sp.add_argument(
+            "--substrate", action="append", choices=sorted(SUBSTRATES),
+            help="restrict to a substrate (repeatable; default: all four)",
+        )
+        sp.add_argument(
+            "--kind", action="append", choices=sorted(KINDS),
+            help="restrict to a fault kind (repeatable; default: all)",
+        )
+        sp.add_argument(
+            "--seed", type=int, action="append",
+            help="campaign seed (repeatable; default: the library seed)",
+        )
+
+    p_run = sub.add_parser("run", help="execute a campaign and assert its invariants")
+    add_filters(p_run)
+    p_run.add_argument("--metrics-json", metavar="PATH",
+                       help="write the campaign metrics registry as JSON")
+    p_run.add_argument("--metrics-prom", metavar="PATH",
+                       help="write the metrics in Prometheus text format")
+    p_run.add_argument("--trace-out", metavar="PATH",
+                       help="save the supervisors' degradation trace (obs JSONL)")
+
+    p_list = sub.add_parser("list", help="print the matching scenarios without running")
+    add_filters(p_list)
+
+    args = p.parse_args(argv)
+
+    kwargs = {}
+    if args.substrate:
+        kwargs["substrates"] = tuple(args.substrate)
+    if args.kind:
+        kwargs["kinds"] = tuple(args.kind)
+    if args.seed:
+        kwargs["seeds"] = tuple(args.seed)
+    scenarios = default_campaign(**kwargs)
+
+    if args.command == "list":
+        for sc in scenarios:
+            extra = " (needs worker processes)" if sc.requires_processes else ""
+            print(f"{sc.name}{extra}")
+        print(f"{len(scenarios)} scenario(s)")
+        return 0
+
+    from repro.obs import Tracer
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    tracer = Tracer(process="chaos") if args.trace_out else None
+    report = run_campaign(scenarios, metrics=metrics, tracer=tracer)
+    print(report.render())
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_json(indent=2))
+        print(f"wrote {args.metrics_json}")
+    if args.metrics_prom:
+        with open(args.metrics_prom, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_prometheus())
+        print(f"wrote {args.metrics_prom}")
+    if args.trace_out:
+        tracer.save_jsonl(args.trace_out)
+        print(f"wrote {args.trace_out}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "sandpile": sandpile_main,
     "stripes": stripes_main,
     "carbon": carbon_main,
     "check": check_main,
     "trace": trace_main,
+    "chaos": chaos_main,
 }
 
 

@@ -1,6 +1,8 @@
 """Shared infrastructure: RNG, units, tables, colours, timing, errors, resilience."""
 
+from repro.common.checkpoint import CHECKPOINT_FORMAT, CheckpointStore, Snapshot
 from repro.common.errors import (
+    CheckpointError,
     CommunicationError,
     ConfigurationError,
     DataValidationError,
@@ -9,6 +11,7 @@ from repro.common.errors import (
     SchedulingError,
     SimulationError,
 )
+from repro.common.job import Job, JobProgress, OneShotJob
 from repro.common.resilience import (
     Deadline,
     DegradationEvent,
@@ -18,6 +21,13 @@ from repro.common.resilience import (
     RetryPolicy,
 )
 from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng, spawn_rngs
+from repro.common.supervisor import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Heartbeat,
+    JobInterrupted,
+    Supervisor,
+)
 from repro.common.tables import Table, format_table, histogram_bar
 from repro.common.timing import Stopwatch, TimingResult, time_call
 
@@ -29,6 +39,18 @@ __all__ = [
     "SchedulingError",
     "DataValidationError",
     "KernelError",
+    "CheckpointError",
+    "Job",
+    "JobProgress",
+    "OneShotJob",
+    "CHECKPOINT_FORMAT",
+    "CheckpointStore",
+    "Snapshot",
+    "Supervisor",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Heartbeat",
+    "JobInterrupted",
     "InjectedFault",
     "RetryPolicy",
     "Deadline",

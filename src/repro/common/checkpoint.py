@@ -1,0 +1,202 @@
+"""Durable, versioned, corruption-detecting checkpoint storage.
+
+A :class:`CheckpointStore` is a directory of numbered snapshots.  Every
+snapshot is written **atomically** (temp file in the same directory,
+flush + fsync, then ``os.replace``) so a crash mid-write can never leave
+a half-written file under a valid name, and carries
+
+* a **format version** — the loader only accepts snapshots whose format
+  it knows; bump :data:`CHECKPOINT_FORMAT` whenever the envelope layout
+  changes incompatibly (policy: readers never guess at unknown formats,
+  they fall back to an older readable snapshot or report none);
+* a **SHA-256 digest** of the pickled payload — flipped bits or
+  truncation make :meth:`CheckpointStore.load` raise
+  :class:`~repro.common.errors.CheckpointError` instead of handing back
+  silently wrong state;
+* the **step counter** at snapshot time, so resume logic can account for
+  work honestly.
+
+:meth:`CheckpointStore.load_latest` walks snapshots newest-first and
+skips unreadable ones (recording them in :attr:`CheckpointStore.rejected`),
+which is what makes the chaos campaign's checkpoint-corruption scenario
+recoverable: corrupting the newest file degrades to the previous one
+rather than to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import CheckpointError, ConfigurationError
+
+__all__ = ["CHECKPOINT_FORMAT", "Snapshot", "CheckpointStore"]
+
+#: current envelope format; see the module docstring for the bump policy
+CHECKPOINT_FORMAT = 1
+
+_NAME_RE = re.compile(r"^(?P<prefix>.+)-(?P<step>\d{8})\.ckpt$")
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One loaded snapshot: the job state plus its envelope metadata."""
+
+    step: int
+    state: dict
+    meta: dict
+    path: Path
+
+
+class CheckpointStore:
+    """Numbered snapshots in one directory, newest wins.
+
+    Parameters
+    ----------
+    directory:
+        Created if missing.  One store per job; snapshots are named
+        ``{prefix}-{step:08d}.ckpt``.
+    keep:
+        How many snapshots to retain; older ones are pruned after each
+        successful save (>= 2 keeps a fallback for corruption recovery).
+    """
+
+    def __init__(self, directory: str | os.PathLike, *, keep: int = 3, prefix: str = "ckpt") -> None:
+        if keep < 1:
+            raise ConfigurationError(f"keep must be >= 1, got {keep}")
+        if not prefix or "/" in prefix:
+            raise ConfigurationError(f"invalid snapshot prefix {prefix!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.prefix = prefix
+        #: (path, reason) pairs for snapshots load_latest refused
+        self.rejected: list[tuple[Path, str]] = []
+
+    # -- write ------------------------------------------------------------------
+
+    def save(self, state: dict, *, step: int, meta: dict | None = None) -> Path:
+        """Atomically persist *state* as the snapshot for *step*.
+
+        The payload is pickled first, digested, and wrapped in the
+        versioned envelope; the envelope lands under its final name only
+        via ``os.replace``, so concurrent readers never observe a partial
+        file.  Returns the snapshot path.
+        """
+        if step < 0:
+            raise ConfigurationError(f"step must be >= 0, got {step}")
+        payload = pickle.dumps({"state": state, "meta": dict(meta or {})}, protocol=4)
+        envelope = {
+            "format": CHECKPOINT_FORMAT,
+            "step": int(step),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        final = self.directory / f"{self.prefix}-{step:08d}.ckpt"
+        fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=f".{self.prefix}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(envelope, fh, protocol=4)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        self._fsync_directory()
+        self._prune()
+        return final
+
+    def _fsync_directory(self) -> None:
+        # make the rename itself durable (posix); best-effort elsewhere
+        try:
+            dfd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(dfd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(dfd)
+
+    def _prune(self) -> None:
+        snaps = self.snapshot_paths()
+        for path in snaps[: -self.keep]:
+            try:
+                path.unlink()
+            except FileNotFoundError:  # pragma: no cover - concurrent prune
+                pass
+
+    # -- read -------------------------------------------------------------------
+
+    def snapshot_paths(self) -> list[Path]:
+        """Snapshot files present, sorted oldest to newest by step."""
+        out = []
+        for path in self.directory.iterdir():
+            m = _NAME_RE.match(path.name)
+            if m and m.group("prefix") == self.prefix:
+                out.append((int(m.group("step")), path))
+        return [p for _, p in sorted(out)]
+
+    def load(self, path: str | os.PathLike) -> Snapshot:
+        """Load and verify one snapshot file.
+
+        Raises :class:`CheckpointError` on truncation, bit corruption
+        (digest mismatch), or an unknown format version.
+        """
+        path = Path(path)
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+        except FileNotFoundError:
+            raise CheckpointError(f"no such snapshot: {path}") from None
+        except Exception as exc:
+            raise CheckpointError(f"unreadable snapshot {path.name}: {exc!r}") from exc
+        if not isinstance(envelope, dict) or "payload" not in envelope:
+            raise CheckpointError(f"snapshot {path.name} has no envelope")
+        fmt = envelope.get("format")
+        if fmt != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"snapshot {path.name} has format {fmt!r}; this reader only "
+                f"understands format {CHECKPOINT_FORMAT}"
+            )
+        payload = envelope["payload"]
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != envelope.get("sha256"):
+            raise CheckpointError(f"snapshot {path.name} failed its checksum (corrupt)")
+        try:
+            body = pickle.loads(payload)
+        except Exception as exc:  # digest passed but payload unpicklable
+            raise CheckpointError(f"snapshot {path.name} payload undecodable: {exc!r}") from exc
+        return Snapshot(
+            step=int(envelope.get("step", 0)),
+            state=body.get("state", {}),
+            meta=body.get("meta", {}),
+            path=path,
+        )
+
+    def load_latest(self) -> Snapshot | None:
+        """The newest *readable* snapshot, or None when none exists.
+
+        Corrupt or unknown-format snapshots are skipped (and listed in
+        :attr:`rejected`) so that a damaged newest file degrades to the
+        previous good one instead of failing the resume.
+        """
+        for path in reversed(self.snapshot_paths()):
+            try:
+                return self.load(path)
+            except CheckpointError as exc:
+                self.rejected.append((path, str(exc)))
+        return None
+
+    def __len__(self) -> int:
+        return len(self.snapshot_paths())

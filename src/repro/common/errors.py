@@ -15,6 +15,7 @@ __all__ = [
     "SchedulingError",
     "DataValidationError",
     "KernelError",
+    "CheckpointError",
 ]
 
 
@@ -44,3 +45,8 @@ class DataValidationError(ReproError, ValueError):
 
 class KernelError(ReproError, RuntimeError):
     """A compute kernel or kernel variant misbehaved (unknown name, ...)."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint could not be written, read, or applied (corruption,
+    format mismatch, or a snapshot that does not belong to the job)."""

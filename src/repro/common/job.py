@@ -1,0 +1,181 @@
+"""One ``Job`` protocol over every real execution path.
+
+PR 2 gave each substrate its own resilience wiring; this module extracts
+the contract that lets resilience, observability, and (eventually) a
+service layer apply *uniformly*: a job is something that advances in
+discrete, restartable **steps** towards a **result**, can report
+**progress**, and — when the substrate allows it — can **checkpoint** its
+state and be **restored** from a snapshot.
+
+The four real execution paths implement it:
+
+* :class:`repro.easypap.job.SandpileJob` — one step per stepper iteration
+  (all registered variants, including ``pfrontier`` on the process
+  backend); checkpoints carry the grid plane, sink counter, and iteration
+  count.
+* :class:`repro.mapreduce.stepjob.MapReduceStepJob` — one step per map
+  task / shuffle / reduce partition; checkpoints carry the phase manifest
+  (completed spills, partitions, outputs, per-task counters).
+* :class:`repro.simmpi.job.SimMpiJob` — an SPMD world is atomic: one
+  step runs the whole world; the only checkpoint boundary is completion.
+* :class:`repro.wrench.job.WrenchJob` — likewise atomic: one step runs
+  the discrete-event simulation.
+
+:class:`~repro.common.supervisor.Supervisor` drives any job with
+retries, a circuit breaker, heartbeats, and interval/SIGTERM
+checkpointing; :mod:`repro.chaos` injects faults against the same
+surface and asserts recovery invariants.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.common.errors import CheckpointError, ConfigurationError
+
+__all__ = ["JobProgress", "Job", "OneShotJob"]
+
+
+@dataclass(frozen=True)
+class JobProgress:
+    """How far a job has advanced.
+
+    ``steps_total`` is ``None`` when the job cannot know it up front
+    (run-to-fixpoint workloads discover their iteration count).
+    """
+
+    steps_done: int
+    done: bool
+    steps_total: int | None = None
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def fraction(self) -> float | None:
+        """Completed fraction in [0, 1], or None when the total is unknown."""
+        if self.steps_total is None or self.steps_total <= 0:
+            return 1.0 if self.done else None
+        return min(1.0, self.steps_done / self.steps_total)
+
+
+class Job(abc.ABC):
+    """A stepwise execution unit every substrate adapter implements.
+
+    Contract:
+
+    * :meth:`step` performs one unit of work and returns ``True`` while
+      more work remains; once it has returned ``False`` the job is done
+      and further calls must keep returning ``False``.
+    * :meth:`result` is only meaningful after the job is done.
+    * when :attr:`supports_checkpoint` is True, :meth:`checkpoint`
+      returns a picklable snapshot from which :meth:`restore` (called on
+      a *fresh* job built with the same configuration) reproduces the
+      exact execution state — the resumed run must be bit-identical to an
+      uninterrupted one.
+    * :attr:`retryable_steps` declares that a step which *raised* left no
+      partial state behind, so a supervisor may simply call it again.
+    """
+
+    #: human-readable job name (campaign rows, metrics labels)
+    name: str = "job"
+    #: which execution substrate this job runs on
+    substrate: str = "generic"
+    #: a failed (raised) step may be re-invoked without corrupting state
+    retryable_steps: bool = True
+    #: checkpoint()/restore() are implemented
+    supports_checkpoint: bool = False
+
+    @abc.abstractmethod
+    def step(self) -> bool:
+        """Advance one unit of work; True while more work remains."""
+
+    @abc.abstractmethod
+    def result(self):
+        """The job's outcome (call only once :meth:`progress` says done)."""
+
+    @abc.abstractmethod
+    def progress(self) -> JobProgress:
+        """Current progress."""
+
+    def checkpoint(self) -> dict:
+        """A picklable snapshot of the execution state."""
+        raise ConfigurationError(f"{type(self).__name__} does not support checkpointing")
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a snapshot produced by :meth:`checkpoint`."""
+        raise ConfigurationError(f"{type(self).__name__} does not support checkpointing")
+
+    def close(self) -> None:
+        """Release any owned resources (pools, shared memory); idempotent."""
+
+    def __enter__(self) -> "Job":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def run(self, *, max_steps: int | None = None):
+        """Drive the job to completion without supervision; returns the result.
+
+        The unsupervised twin of :meth:`Supervisor.run
+        <repro.common.supervisor.Supervisor.run>` — no retries, no
+        checkpoints — used by tests and baselines.
+        """
+        steps = 0
+        while self.step():
+            steps += 1
+            if max_steps is not None and steps >= max_steps and not self.progress().done:
+                raise ConfigurationError(
+                    f"{self.name}: exceeded max_steps={max_steps} without completing"
+                )
+        return self.result()
+
+
+class OneShotJob(Job):
+    """Base for substrates whose execution is one atomic call.
+
+    Subclasses implement :meth:`compute`; the only checkpoint boundary is
+    completion — a snapshot of a finished job carries its result, so
+    restoring it skips the recomputation entirely, while restoring an
+    unfinished snapshot is a no-op (the work simply reruns, which is safe
+    because :meth:`compute` must be pure).
+    """
+
+    supports_checkpoint = True
+    retryable_steps = True
+
+    def __init__(self) -> None:
+        self._done = False
+        self._result = None
+
+    @abc.abstractmethod
+    def compute(self):
+        """Run the whole workload; must be pure (safe to re-invoke)."""
+
+    def step(self) -> bool:
+        if self._done:
+            return False
+        self._result = self.compute()
+        self._done = True
+        return False
+
+    def result(self):
+        """The computed outcome (None until done)."""
+        return self._result
+
+    def progress(self) -> JobProgress:
+        """0 or 1 steps: atomic jobs have a single boundary."""
+        return JobProgress(steps_done=1 if self._done else 0, done=self._done, steps_total=1)
+
+    def checkpoint(self) -> dict:
+        """Snapshot at the completion boundary (result included when done)."""
+        return {"kind": "one-shot", "done": self._done, "result": self._result}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a completion snapshot (unfinished snapshots re-run)."""
+        if state.get("kind") != "one-shot":
+            raise CheckpointError(
+                f"snapshot kind {state.get('kind')!r} does not fit a one-shot job"
+            )
+        self._done = bool(state.get("done", False))
+        self._result = state.get("result") if self._done else None

@@ -131,9 +131,18 @@ class FaultInjector:
     ``BrokenProcessPool`` in the parent; ``raise_on_tasks`` names indices
     that raise :class:`InjectedFault` in-process instead.  Each injector
     fires at most ``max_fires`` times *globally* — the count lives in a
-    :class:`multiprocessing.Value`, shared by fork with every worker (and
-    with rebuilt pools), so retried tasks succeed and recovery paths can
-    be asserted rather than looping forever.
+    :class:`multiprocessing.Value`, shared with every worker (and with
+    rebuilt pools), so retried tasks succeed and recovery paths can be
+    asserted rather than looping forever.
+
+    Start-method compatibility: the shared counter is created in the
+    **spawn** context, which CPython accepts in every sharing mode we
+    use — fork-pool inheritance, spawn ``Process(args=...)``, and spawn
+    pool ``initargs`` (a *fork*-context ``Value`` handed to a spawn
+    worker raises "A SemLock created in a fork context is being shared
+    with a process in a spawn context").  Plain ``pickle.dumps`` of an
+    injector still refuses by design — synchronized objects may only
+    travel through multiprocessing's own channels.
     """
 
     #: exit status used by killed workers, distinctive in diagnostics
@@ -153,10 +162,9 @@ class FaultInjector:
         if self.kill_on_tasks & self.raise_on_tasks:
             raise ConfigurationError("a task index cannot both kill and raise")
         self.max_fires = max_fires
-        # fork-shared so one-shot semantics survive pool rebuilds
-        self._fired = multiprocessing.get_context("fork" if os.name == "posix" else "spawn").Value(
-            "i", 0
-        )
+        # spawn-context Value: inheritable by fork AND shippable to spawn
+        # workers (a fork-context SemLock cannot cross into spawn children)
+        self._fired = multiprocessing.get_context("spawn").Value("i", 0)
 
     @property
     def fires(self) -> int:

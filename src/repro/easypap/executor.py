@@ -819,12 +819,14 @@ def make_backend(
     task_timeout: float | None = None,
     allow_fallback: bool = True,
     degradation: DegradationLog | None = None,
+    fault_injector: FaultInjector | None = None,
 ):
     """Factory: ``sequential``, ``simulated``, ``threads``, or ``process``.
 
     The resilience knobs (``retry``, ``task_timeout``, ``allow_fallback``,
-    ``degradation``) apply to the ``process`` backend — the only one with
-    workers that can crash or hang — and are ignored by the others.
+    ``degradation``, ``fault_injector``) apply to the ``process`` backend —
+    the only one with workers that can crash or hang — and are ignored by
+    the others.
     """
     if name == "sequential":
         return SequentialBackend(trace=trace)
@@ -842,5 +844,6 @@ def make_backend(
             task_timeout=task_timeout,
             allow_fallback=allow_fallback,
             degradation=degradation,
+            fault_injector=fault_injector,
         )
     raise ConfigurationError(f"unknown backend {name!r}")

@@ -1,0 +1,149 @@
+"""The easypap substrate as a :class:`~repro.common.job.Job`.
+
+:class:`SandpileJob` drives any registered kernel variant — including
+``pfrontier`` on the process backend — one stepper iteration per protocol
+step, until the grid reaches its fixpoint.
+
+Checkpointing is **restore-by-rebuild**: a snapshot carries the full grid
+plane (interior + sink frame), the sink counter, and the iteration count;
+``restore`` copies them back and rebuilds the stepper from the restored
+grid.  That is exact for every variant because the frontier window is a
+pure function of the grid — the bbox rescan invariant guarantees a
+full-grid ``unstable_bbox`` scan on the restored plane equals the window
+an uninterrupted run would carry (cells outside the old window cannot be
+unstable), and the pfrontier scratch plane never holds live state between
+iterations (copy-back takes only the window).  Resumed runs are therefore
+bit-identical, which the chaos kill-and-resume scenario asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import CheckpointError
+from repro.common.job import Job, JobProgress
+from repro.easypap.grid import Grid2D
+
+__all__ = ["SandpileJob"]
+
+
+class SandpileJob(Job):
+    """Run ``kernel/variant`` on a grid to its fixpoint, one step at a time.
+
+    Parameters mirror :func:`repro.sandpile.simulate.run_to_fixpoint`;
+    extra *options* flow to the variant factory (``tile_size``,
+    ``nworkers``, ``backend``, ``fault_injector``...).  The stepper is
+    built lazily on the first step so that a restored grid rebuilds its
+    stepper from the snapshot, not from the initial state.
+
+    The synchronous family is double-buffered (writes land off-plane
+    until commit), so a raised step leaves the live plane intact and
+    ``retryable_steps`` is True; pass ``retryable=False`` for in-place
+    asynchronous variants.
+    """
+
+    substrate = "easypap"
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        kernel: str = "sandpile",
+        variant: str = "frontier",
+        *,
+        max_iterations: int = 10**7,
+        retryable: bool = True,
+        **options,
+    ) -> None:
+        self.grid = grid
+        self.kernel = kernel
+        self.variant = variant
+        self.max_iterations = max_iterations
+        self.options = options
+        self.name = f"{kernel}/{variant}"
+        self.retryable_steps = retryable
+        self.supports_checkpoint = True
+        self.iterations = 0
+        self._done = False
+        self._stepper = None
+
+    def _ensure_stepper(self):
+        if self._stepper is None:
+            # imported here: simulate imports executor/steppers, keep the
+            # adapter importable without pulling the whole stack eagerly
+            from repro.sandpile.simulate import make_stepper
+
+            self._stepper = make_stepper(self.grid, self.kernel, self.variant, **self.options)
+        return self._stepper
+
+    # -- protocol ----------------------------------------------------------------
+
+    def step(self) -> bool:
+        if self._done:
+            return False
+        if self.iterations >= self.max_iterations:
+            raise CheckpointError(
+                f"{self.name}: no fixpoint within {self.max_iterations} iterations"
+            )
+        changed = self._ensure_stepper()()
+        if changed:
+            self.iterations += 1
+            return True
+        self._done = True
+        return False
+
+    def result(self) -> dict:
+        """Fixpoint fingerprint: iterations, final interior, sink counter."""
+        return {
+            "iterations": self.iterations,
+            "grid": self.grid.interior.copy(),
+            "sink_absorbed": self.grid.sink_absorbed,
+        }
+
+    def progress(self) -> JobProgress:
+        return JobProgress(
+            steps_done=self.iterations,
+            done=self._done,
+            steps_total=None,
+            detail={"kernel": self.kernel, "variant": self.variant},
+        )
+
+    def close(self) -> None:
+        stepper, self._stepper = self._stepper, None
+        if stepper is not None:
+            close = getattr(stepper, "close", None)
+            if close is not None:
+                close()
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Full plane + sink counter + iteration count (see module docs)."""
+        return {
+            "kind": "sandpile",
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "shape": tuple(self.grid.shape),
+            "plane": self.grid.data.copy(),
+            "sink_absorbed": self.grid.sink_absorbed,
+            "iterations": self.iterations,
+            "done": self._done,
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "sandpile":
+            raise CheckpointError(f"snapshot kind {state.get('kind')!r} is not a sandpile job")
+        if (state.get("kernel"), state.get("variant")) != (self.kernel, self.variant):
+            raise CheckpointError(
+                f"snapshot is for {state.get('kernel')}/{state.get('variant')}, "
+                f"this job runs {self.name}"
+            )
+        if tuple(state.get("shape", ())) != tuple(self.grid.shape):
+            raise CheckpointError(
+                f"snapshot grid {state.get('shape')} does not match {tuple(self.grid.shape)}"
+            )
+        # drop any live stepper: it caches plane views of the pre-restore grid
+        self.close()
+        np.copyto(self.grid.data, state["plane"])
+        self.grid.sink_absorbed = int(state["sink_absorbed"])
+        self.iterations = int(state["iterations"])
+        self._done = bool(state.get("done", False))

@@ -1,0 +1,176 @@
+"""The mapreduce substrate as a :class:`~repro.common.job.Job`.
+
+:class:`MapReduceStepJob` runs the canonical pipeline one task per
+protocol step — map task per split, one shuffle step, reduce task per
+partition — and checkpoints a **phase manifest** between steps: the
+completed spills, the shuffled partitions, the reduce outputs, and the
+per-task counter dicts, all accumulated in task order.
+
+Determinism mirrors :func:`repro.mapreduce.engine.run_job_parallel`:
+every task is pure over its immutable input and accumulates into a
+*fresh* per-step :class:`~repro.mapreduce.counters.Counters`, committed
+only when the step succeeds.  A raised step therefore leaves no partial
+state (``retryable_steps``), an interrupted run resumes from its manifest
+without re-running completed tasks, and the final ``JobResult`` —
+pairs, partitions, *and* counters — is bit-identical to
+:func:`~repro.mapreduce.engine.run_job` however many faults occurred.
+
+Fault injection uses the engine's task indexing: map tasks are
+``0..len(splits)-1``, reduce tasks continue at ``len(splits)``, the
+shuffle is not indexed (it is engine-internal, never a worker task).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.common.errors import CheckpointError
+from repro.common.job import Job, JobProgress
+from repro.common.resilience import FaultInjector
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.engine import (
+    JobResult,
+    combine_pairs,
+    map_split,
+    reduce_partition,
+    shuffle,
+)
+from repro.mapreduce.job import MapReduceJob
+
+__all__ = ["MapReduceStepJob"]
+
+
+def _counters_from_dict(d: dict) -> Counters:
+    c = Counters()
+    for group, names in d.items():
+        for name, amount in names.items():
+            c.increment(group, name, amount)
+    return c
+
+
+class MapReduceStepJob(Job):
+    """Run *job* over *splits*, one map/shuffle/reduce task per step."""
+
+    substrate = "mapreduce"
+    supports_checkpoint = True
+    retryable_steps = True
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        splits: Sequence[Iterable[tuple]],
+        *,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
+        self.job = job
+        self.splits = [list(s) for s in splits]
+        self.fault_injector = fault_injector
+        self.name = f"mapreduce/{job.name}"
+        # the manifest: everything below is exactly the checkpointed state
+        self.spills: list[list[tuple]] = []
+        self.partitions: list[list[tuple]] | None = None
+        self.outputs: list[list[tuple]] = []
+        #: per-task counter dicts, in commit order (maps, shuffle, reduces)
+        self.counter_dicts: list[dict] = []
+        self._done = False
+
+    # -- phase bookkeeping --------------------------------------------------------
+
+    @property
+    def phase(self) -> str:
+        if self._done:
+            return "done"
+        if len(self.spills) < len(self.splits):
+            return "map"
+        if self.partitions is None:
+            return "shuffle"
+        return "reduce"
+
+    def _total_steps(self) -> int:
+        # maps + shuffle + reduces; num_reducers is static on the job
+        return len(self.splits) + 1 + self.job.num_reducers
+
+    def _steps_done(self) -> int:
+        return (
+            len(self.spills)
+            + (0 if self.partitions is None else 1)
+            + len(self.outputs)
+        )
+
+    # -- protocol ----------------------------------------------------------------
+
+    def step(self) -> bool:
+        if self._done:
+            return False
+        phase = self.phase
+        local = Counters()  # fresh per step: a raised step commits nothing
+        if phase == "map":
+            index = len(self.spills)
+            if self.fault_injector is not None:
+                self.fault_injector.check(index)
+            spill = combine_pairs(self.job, map_split(self.job, self.splits[index], local), local)
+            self.spills.append(spill)
+        elif phase == "shuffle":
+            self.partitions = shuffle(self.job, self.spills, local)
+        else:  # reduce
+            p = len(self.outputs)
+            if self.fault_injector is not None:
+                self.fault_injector.check(len(self.splits) + p)
+            self.outputs.append(reduce_partition(self.job, self.partitions[p], local))
+        self.counter_dicts.append(local.as_dict())
+        if self._steps_done() >= self._total_steps():
+            self._done = True
+            return False
+        return True
+
+    def result(self) -> JobResult:
+        """Bit-identical to the sequential engine's :class:`JobResult`."""
+        counters = Counters()
+        for d in self.counter_dicts:  # task order == sequential merge order
+            counters.merge(_counters_from_dict(d))
+        pairs = [pair for part in self.outputs for pair in part]
+        return JobResult(pairs=pairs, counters=counters, partitions=self.outputs)
+
+    def progress(self) -> JobProgress:
+        return JobProgress(
+            steps_done=self._steps_done(),
+            done=self._done,
+            steps_total=self._total_steps(),
+            detail={"phase": self.phase, "job": self.job.name},
+        )
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """The phase manifest (see module docs); everything is picklable."""
+        return {
+            "kind": "mapreduce",
+            "job": self.job.name,
+            "num_splits": len(self.splits),
+            "num_reducers": self.job.num_reducers,
+            "spills": list(self.spills),
+            "partitions": None if self.partitions is None else list(self.partitions),
+            "outputs": list(self.outputs),
+            "counter_dicts": list(self.counter_dicts),
+            "done": self._done,
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "mapreduce":
+            raise CheckpointError(f"snapshot kind {state.get('kind')!r} is not a mapreduce job")
+        if state.get("job") != self.job.name:
+            raise CheckpointError(
+                f"snapshot is for job {state.get('job')!r}, this job is {self.job.name!r}"
+            )
+        if (
+            state.get("num_splits") != len(self.splits)
+            or state.get("num_reducers") != self.job.num_reducers
+        ):
+            raise CheckpointError(
+                "snapshot geometry (splits/reducers) does not match this job"
+            )
+        self.spills = list(state["spills"])
+        self.partitions = None if state["partitions"] is None else list(state["partitions"])
+        self.outputs = list(state["outputs"])
+        self.counter_dicts = list(state["counter_dicts"])
+        self._done = bool(state.get("done", False))

@@ -46,6 +46,8 @@ class TraceSummary:
     t1: float
     lanes: dict[tuple, LaneSummary] = field(default_factory=dict)
     by_cat: dict[str, int] = field(default_factory=dict)
+    #: degradation instants counted by ``(substrate pid, component:action)``
+    degradations: dict[tuple, int] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -100,6 +102,11 @@ class TraceSummary:
                 f"  {pid}/{tid}: {lane.span_count} spans, busy {lane.busy:.6g}s "
                 f"({100 * lane.busy_fraction(self.makespan):.1f}%)"
             )
+        if self.degradations:
+            total = sum(self.degradations.values())
+            lines.append(f"  degradations: {total} event(s)")
+            for (pid, kind), n in sorted(self.degradations.items()):
+                lines.append(f"    {pid}: {kind} x{n}")
         return "\n".join(lines)
 
 
@@ -114,14 +121,26 @@ def summarize(
     *where* is a predicate over :class:`SpanRecord` — e.g.
     ``lambda s: s.args.get("iteration") == 7`` to summarise one iteration
     of an easypap run.
+
+    Degradation instants (``cat="degradation"``, the shape every
+    substrate adapter and the job supervisor emit) are counted by
+    ``(pid, name)`` — substrate by fallback kind — so retries, pool
+    rebuilds, and checkpoint rejections are visible in ``repro-trace
+    summary`` without opening Perfetto.
     """
+    degradations: dict[tuple, int] = defaultdict(int)
+    for rec in tracer.instants():
+        if rec.cat == "degradation" and (pid is None or rec.pid == pid):
+            degradations[(rec.pid, rec.name)] += 1
     spans: list[SpanRecord] = [
         s
         for s in tracer.spans()
         if (pid is None or s.pid == pid) and (where is None or where(s))
     ]
     if not spans:
-        return TraceSummary(span_count=0, t0=0.0, t1=0.0)
+        return TraceSummary(
+            span_count=0, t0=0.0, t1=0.0, degradations=dict(degradations)
+        )
     busy: dict[tuple, float] = defaultdict(float)
     counts: dict[tuple, int] = defaultdict(int)
     by_cat: dict[str, int] = defaultdict(int)
@@ -140,6 +159,7 @@ def summarize(
         t1=max(s.end for s in spans),
         lanes=lanes,
         by_cat=dict(by_cat),
+        degradations=dict(degradations),
     )
 
 

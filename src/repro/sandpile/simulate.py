@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.resilience import DegradationLog, RetryPolicy
+from repro.common.resilience import DegradationLog, FaultInjector, RetryPolicy
 from repro.easypap.executor import SequentialBackend, make_backend
 from repro.easypap.grid import Grid2D
 from repro.easypap.kernel import get_variant, register_variant
@@ -73,6 +73,7 @@ def _make_backend(
     task_timeout: float | None = None,
     allow_fallback: bool = True,
     degradation: DegradationLog | None = None,
+    fault_injector: FaultInjector | None = None,
 ):
     # thin alias over the executor factory: "sequential", "simulated",
     # "threads", or "process" (real worker processes over shared memory);
@@ -87,6 +88,7 @@ def _make_backend(
         task_timeout=task_timeout,
         allow_fallback=allow_fallback,
         degradation=degradation,
+        fault_injector=fault_injector,
     )
 
 
@@ -143,12 +145,14 @@ def _sandpile_omp(
     task_timeout: float | None = None,
     allow_fallback: bool = True,
     degradation: DegradationLog | None = None,
+    fault_injector: FaultInjector | None = None,
     **_opts,
 ):
     be = _make_backend(
         backend, nworkers, policy, chunk, trace,
         retry=retry, task_timeout=task_timeout,
         allow_fallback=allow_fallback, degradation=degradation,
+        fault_injector=fault_injector,
     )
     return TiledSyncStepper(grid, tile_size, backend=be, lazy=lazy)
 
@@ -172,12 +176,14 @@ def _sandpile_pfrontier(
     task_timeout: float | None = None,
     allow_fallback: bool = True,
     degradation: DegradationLog | None = None,
+    fault_injector: FaultInjector | None = None,
     **_opts,
 ):
     be = _make_backend(
         backend, nworkers, policy, chunk, trace,
         retry=retry, task_timeout=task_timeout,
         allow_fallback=allow_fallback, degradation=degradation,
+        fault_injector=fault_injector,
     )
     return ParallelFrontierStepper(grid, tile_size, backend=be, use_compiled=use_compiled)
 
@@ -243,12 +249,14 @@ def _asandpile_omp(
     task_timeout: float | None = None,
     allow_fallback: bool = True,
     degradation: DegradationLog | None = None,
+    fault_injector: FaultInjector | None = None,
     **_opts,
 ):
     be = _make_backend(
         backend, nworkers, policy, chunk, trace,
         retry=retry, task_timeout=task_timeout,
         allow_fallback=allow_fallback, degradation=degradation,
+        fault_injector=fault_injector,
     )
     return TiledAsyncStepper(grid, tile_size, backend=be, lazy=lazy)
 

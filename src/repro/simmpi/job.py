@@ -1,0 +1,49 @@
+"""The simmpi substrate as a :class:`~repro.common.job.Job`.
+
+An SPMD world is atomic: ranks rendezvous on sends, receives, and
+barriers, so there is no consistent cut to snapshot mid-run from outside
+the world.  :class:`SimMpiJob` is therefore a
+:class:`~repro.common.job.OneShotJob` — one protocol step runs the whole
+world via :func:`repro.simmpi.runner.run_ranks`, the only checkpoint
+boundary is completion, and a retried step simply re-runs the world
+(safe: the simulator is deterministic for a deterministic rank
+function).
+"""
+
+from __future__ import annotations
+
+from repro.common.job import OneShotJob
+from repro.simmpi.runner import run_ranks
+
+__all__ = ["SimMpiJob"]
+
+
+class SimMpiJob(OneShotJob):
+    """Run ``fn(comm, *args, **kwargs)`` on *nranks* simulated ranks.
+
+    ``runner_options`` flow to :func:`run_ranks` (``cost_model``,
+    ``deadlock_timeout``, ``wall_timeout``, ``tracer``).  The result is a
+    plain dict fingerprint of the :class:`~repro.simmpi.runner.WorldReport`
+    — per-rank values, makespan, message totals — so checkpoint payloads
+    stay picklable for arbitrary rank functions.
+    """
+
+    substrate = "simmpi"
+
+    def __init__(self, nranks: int, fn, *args, **runner_options) -> None:
+        super().__init__()
+        self.nranks = nranks
+        self.fn = fn
+        self.args = args
+        self.runner_options = runner_options
+        self.name = f"simmpi/{getattr(fn, '__name__', 'world')}x{nranks}"
+
+    def compute(self) -> dict:
+        report = run_ranks(self.nranks, self.fn, *self.args, **self.runner_options)
+        return {
+            "results": list(report.results),
+            "clocks": list(report.clocks),
+            "makespan": report.makespan,
+            "total_messages": report.total_messages,
+            "total_bytes": report.total_bytes,
+        }

@@ -1,0 +1,65 @@
+"""The wrench substrate as a :class:`~repro.common.job.Job`.
+
+A discrete-event workflow simulation is atomic from the outside — the
+event loop owns all state — so :class:`WrenchJob` is a
+:class:`~repro.common.job.OneShotJob`: one protocol step runs the whole
+simulation, the only checkpoint boundary is completion, and retried
+steps re-run it (safe: the simulator is deterministic per seed, and
+each run consumes a *fresh* platform from ``platform_factory`` because
+platform resource state is mutated by a run).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.job import OneShotJob
+from repro.wrench.simulation import FaultModel, simulate
+from repro.wrench.workflow import Workflow
+
+__all__ = ["WrenchJob"]
+
+
+class WrenchJob(OneShotJob):
+    """Simulate *workflow* on platforms built by *platform_factory*.
+
+    The result is a plain dict fingerprint of the
+    :class:`~repro.wrench.simulation.SimulationResult`: makespan, the
+    per-task ``(name, site, start, end, attempt, failed)`` execution
+    tuples (sorted by name for order-stable comparison), energy, and the
+    failure count — picklable and bit-comparable across runs.
+    """
+
+    substrate = "wrench"
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        platform_factory: Callable[[], object],
+        placement: dict[str, str] | None = None,
+        *,
+        initial_data_site: str | None = None,
+        fault_model: FaultModel | None = None,
+    ) -> None:
+        super().__init__()
+        self.workflow = workflow
+        self.platform_factory = platform_factory
+        self.placement = placement
+        self.initial_data_site = initial_data_site
+        self.fault_model = fault_model
+        self.name = f"wrench/{workflow.name}"
+
+    def compute(self) -> dict:
+        kwargs = {"fault_model": self.fault_model}
+        if self.initial_data_site is not None:
+            kwargs["initial_data_site"] = self.initial_data_site
+        result = simulate(self.workflow, self.platform_factory(), self.placement, **kwargs)
+        executions = sorted(
+            (e.task, e.site, e.start, e.end, e.attempt, e.failed) for e in result.executions
+        )
+        return {
+            "makespan": result.makespan,
+            "executions": executions,
+            "total_energy": result.total_energy,
+            "failures": result.failures,
+        }

@@ -1,0 +1,111 @@
+"""Tests for the campaign runner: classification, metrics, reporting.
+
+A tiny real subset runs in the default suite; the full matrix lives in
+``test_faults_matrix.py`` under the ``faults`` marker.
+"""
+
+import pytest
+
+from repro.chaos import CampaignReport, Scenario, ScenarioOutcome, run_campaign
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class TestLiteCampaign:
+    def test_kill_resume_lite(self, tmp_path):
+        # one checkpointing substrate and one atomic substrate, for real
+        scs = [
+            Scenario(substrate="mapreduce", kind="kill-resume"),
+            Scenario(substrate="simmpi", kind="kill-resume"),
+        ]
+        reg = MetricsRegistry()
+        tr = Tracer(process="chaos")
+        report = run_campaign(scs, metrics=reg, tracer=tr, workdir=tmp_path)
+        assert report.ok, report.render()
+        assert [o.status for o in report.outcomes] == ["passed", "passed"]
+        prom = reg.to_prometheus()
+        assert 'chaos_scenarios_total{kind="kill-resume",status="passed",substrate="mapreduce"}' in prom
+        assert "supervisor_checkpoints_total" in prom
+
+    def test_corrupt_checkpoint_lite(self, tmp_path):
+        report = run_campaign(
+            [Scenario(substrate="mapreduce", kind="corrupt-checkpoint")],
+            workdir=tmp_path,
+        )
+        assert report.ok, report.render()
+        assert report.outcomes[0].detail["rejected_snapshots"] >= 1
+
+
+class TestClassification:
+    def test_violations_fail_the_campaign(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            "repro.chaos.campaign.run_scenario",
+            lambda sc, ctx: (["bit-identical"], {}),
+        )
+        reg = MetricsRegistry()
+        report = run_campaign(
+            [Scenario(substrate="simmpi", kind="kill-resume")],
+            metrics=reg,
+            workdir=tmp_path,
+        )
+        assert not report.ok
+        assert report.outcomes[0].status == "violated"
+        assert report.outcomes[0].violations == ("bit-identical",)
+        assert "chaos_invariant_violations_total" in reg.to_prometheus()
+        assert "FAILED" in report.render()
+
+    def test_harness_crash_becomes_error_row(self, monkeypatch, tmp_path):
+        def boom(sc, ctx):
+            raise RuntimeError("harness exploded")
+
+        monkeypatch.setattr("repro.chaos.campaign.run_scenario", boom)
+        report = run_campaign(
+            [Scenario(substrate="simmpi", kind="kill-resume")], workdir=tmp_path
+        )
+        assert not report.ok
+        out = report.outcomes[0]
+        assert out.status == "error"
+        assert out.violations == ("unexpected-exception",)
+        assert "harness exploded" in out.detail["traceback"]
+
+    def test_process_scenarios_skip_visibly(self, monkeypatch, tmp_path):
+        monkeypatch.setattr("repro.chaos.campaign._processes_available", lambda: False)
+        reg = MetricsRegistry()
+        report = run_campaign(
+            [Scenario(substrate="easypap", kind="worker-kill", requires_processes=True)],
+            metrics=reg,
+            workdir=tmp_path,
+        )
+        assert report.ok  # skipped is not a failure...
+        assert report.outcomes[0].status == "skipped"
+        assert "worker processes unavailable" in report.render()  # ...but stays visible
+        assert 'status="skipped"' in reg.to_prometheus()
+
+
+class TestReport:
+    def test_render_and_counts(self):
+        outcomes = [
+            ScenarioOutcome(Scenario(substrate="simmpi", kind="deadline"), "passed"),
+            ScenarioOutcome(
+                Scenario(substrate="wrench", kind="kill-resume"),
+                "violated",
+                violations=("bit-identical", "honest-work"),
+            ),
+        ]
+        report = CampaignReport(outcomes=outcomes, metrics=MetricsRegistry())
+        assert report.counts == {"passed": 1, "violated": 1, "skipped": 0, "error": 0}
+        text = report.render()
+        assert "bit-identical, honest-work" in text
+        assert "1 passed, 1 violated, 0 skipped, 0 errored -> FAILED" in text
+
+    def test_empty_campaign_is_ok(self):
+        assert CampaignReport(outcomes=[], metrics=MetricsRegistry()).ok
+
+
+@pytest.mark.parametrize("substrate", ["simmpi", "wrench"])
+def test_atomic_substrate_kill_resume(substrate, tmp_path):
+    """Atomic substrates resume to the same result from a cold snapshot."""
+    report = run_campaign(
+        [Scenario(substrate=substrate, kind="kill-resume")], workdir=tmp_path
+    )
+    assert report.ok, report.render()

@@ -1,0 +1,137 @@
+"""The real chaos matrix (``faults`` marker; CI runs it in its own job).
+
+Covers the acceptance bar directly: the full default campaign passes
+with zero violations, and kill-and-resume is bit-identical on the
+easypap process backend (pfrontier) and on mapreduce.
+"""
+
+import pytest
+
+from repro.chaos import Scenario, default_campaign, run_campaign
+from repro.common.checkpoint import CheckpointStore
+from repro.common.resilience import RetryPolicy
+from repro.common.rng import make_rng
+from repro.common.supervisor import JobInterrupted, Supervisor
+from repro.easypap.executor import ProcessBackend
+
+pytestmark = pytest.mark.faults
+
+needs_processes = pytest.mark.skipif(
+    not ProcessBackend.available(), reason="worker processes unavailable"
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+
+class TestCampaignMatrix:
+    @needs_processes
+    def test_full_default_campaign_zero_violations(self, tmp_path):
+        report = run_campaign(default_campaign(), workdir=tmp_path)
+        assert report.ok, report.render()
+        assert report.counts["violated"] == 0
+        assert report.counts["error"] == 0
+        assert report.counts["skipped"] == 0  # with processes, everything runs
+
+    def test_two_substrates_three_kinds(self, tmp_path):
+        # the CI chaos job's core cut: no process dependency, still real faults
+        scs = default_campaign(
+            substrates=("mapreduce", "simmpi"),
+            kinds=("inject-raise", "corrupt-checkpoint", "kill-resume"),
+        )
+        assert len(scs) >= 5
+        report = run_campaign(scs, workdir=tmp_path)
+        assert report.ok, report.render()
+
+    def test_campaign_reproducible_per_seed(self, tmp_path):
+        scs = [Scenario(substrate="wrench", kind="worker-kill", seed=9)]
+        a = run_campaign(scs, workdir=tmp_path / "a")
+        b = run_campaign(scs, workdir=tmp_path / "b")
+        assert a.ok and b.ok, a.render() + "\n" + b.render()
+        assert a.outcomes[0].detail["failures"] == b.outcomes[0].detail["failures"]
+
+
+def _pile(seed: int, n: int = 48):
+    from repro.easypap.grid import Grid2D
+
+    g = Grid2D(n, n)
+    g.interior[:] = 0
+    rng = make_rng(seed)
+    r, c = int(rng.integers(n // 4, 3 * n // 4)), int(rng.integers(n // 4, 3 * n // 4))
+    g.interior[r, c] = 1200
+    return g
+
+
+@needs_processes
+class TestKillResumePFrontierProcess:
+    """Acceptance: kill-and-resume on the parallel frontier stepper over
+    real worker processes is bit-identical to an uninterrupted run."""
+
+    def test_bit_identical_resume(self, tmp_path):
+        from repro.easypap.job import SandpileJob
+
+        def make_job():
+            return SandpileJob(
+                _pile(11),
+                variant="pfrontier",
+                backend="process",
+                nworkers=2,
+                tile_size=8,
+                retry=FAST_RETRY,
+            )
+
+        with make_job() as baseline_job:
+            baseline = baseline_job.run()
+        store = CheckpointStore(tmp_path / "ckpt", keep=5)
+        with make_job() as job:
+            sup = Supervisor(job, retry=FAST_RETRY, store=store, checkpoint_every_steps=16)
+            with pytest.raises(JobInterrupted) as intr:
+                sup.run(stop_after_steps=baseline["iterations"] // 2)
+            assert intr.value.snapshot_path is not None
+        with make_job() as job2:
+            sup2 = Supervisor(job2, retry=FAST_RETRY, store=store)
+            resumed = sup2.resume()
+        assert resumed["iterations"] == baseline["iterations"]
+        assert resumed["sink_absorbed"] == baseline["sink_absorbed"]
+        assert resumed["grid"].tobytes() == baseline["grid"].tobytes()
+
+
+class TestKillResumeMapReduce:
+    """Acceptance: kill-and-resume mid-shuffle matches the sequential oracle."""
+
+    def test_bit_identical_resume(self, tmp_path):
+        from repro.mapreduce.engine import run_job
+        from repro.mapreduce.job import MapReduceJob
+        from repro.mapreduce.stepjob import MapReduceStepJob
+
+        rng = make_rng(5)
+        words = ["ash", "beech", "cedar", "fir", "oak"]
+        splits = [
+            [(f"s{i}:{j}", " ".join(rng.choice(words, size=8))) for j in range(4)]
+            for i in range(6)
+        ]
+
+        def mapper(key, value):
+            for w in value.split():
+                yield (w, 1)
+
+        def reducer(key, values):
+            yield (key, sum(values))
+
+        job = MapReduceJob(name="wc", mapper=mapper, reducer=reducer, num_reducers=3)
+        baseline = run_job(job, splits)
+
+        store = CheckpointStore(tmp_path / "ckpt", keep=5)
+        sup = Supervisor(
+            MapReduceStepJob(job, splits),
+            retry=FAST_RETRY,
+            store=store,
+            checkpoint_every_steps=1,
+        )
+        with pytest.raises(JobInterrupted):
+            sup.run(stop_after_steps=len(splits) + 1)  # stop right after shuffle
+        resumed = Supervisor(
+            MapReduceStepJob(job, splits), retry=FAST_RETRY, store=store
+        ).resume()
+        assert resumed.pairs == baseline.pairs
+        assert resumed.partitions == baseline.partitions
+        assert resumed.counters.as_dict() == baseline.counters.as_dict()

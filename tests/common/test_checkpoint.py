@@ -1,0 +1,134 @@
+"""Tests for the durable checkpoint store: atomicity, versioning, corruption."""
+
+import pickle
+
+import pytest
+
+from repro.common.checkpoint import CHECKPOINT_FORMAT, CheckpointStore
+from repro.common.errors import CheckpointError, ConfigurationError
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ckpt", keep=3)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, store):
+        path = store.save({"grid": [1, 2, 3]}, step=7, meta={"job": "t"})
+        snap = store.load(path)
+        assert snap.step == 7
+        assert snap.state == {"grid": [1, 2, 3]}
+        assert snap.meta == {"job": "t"}
+
+    def test_load_latest_newest_wins(self, store):
+        store.save({"v": 1}, step=1)
+        store.save({"v": 2}, step=2)
+        snap = store.load_latest()
+        assert snap.step == 2 and snap.state == {"v": 2}
+
+    def test_empty_store(self, store):
+        assert store.load_latest() is None
+        assert len(store) == 0
+
+    def test_no_stray_tmp_files(self, store):
+        store.save({"v": 1}, step=1)
+        names = [p.name for p in store.directory.iterdir()]
+        assert all(not n.endswith(".tmp") for n in names)
+
+    def test_prune_keeps_newest_n(self, store):
+        for s in range(6):
+            store.save({"v": s}, step=s)
+        steps = [store.load(p).step for p in store.snapshot_paths()]
+        assert steps == [3, 4, 5]
+
+    def test_invalid_config_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(tmp_path, keep=0)
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(tmp_path, prefix="a/b")
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(tmp_path).save({}, step=-1)
+
+    def test_prefixes_are_isolated(self, tmp_path):
+        a = CheckpointStore(tmp_path, prefix="a")
+        b = CheckpointStore(tmp_path, prefix="b")
+        a.save({"who": "a"}, step=1)
+        b.save({"who": "b"}, step=9)
+        assert a.load_latest().state == {"who": "a"}
+        assert b.load_latest().state == {"who": "b"}
+
+
+class TestCorruption:
+    def test_bitflip_detected(self, store):
+        path = store.save({"v": 1}, step=1)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="checksum|unreadable|envelope"):
+            store.load(path)
+
+    def test_truncation_detected(self, store):
+        path = store.save({"v": 1}, step=1)
+        path.write_bytes(path.read_bytes()[: 20])
+        with pytest.raises(CheckpointError):
+            store.load(path)
+
+    def test_missing_file(self, store):
+        with pytest.raises(CheckpointError, match="no such"):
+            store.load(store.directory / "ckpt-00000099.ckpt")
+
+    def test_load_latest_falls_back_past_corrupt(self, store):
+        store.save({"v": 1}, step=1)
+        newest = store.save({"v": 2}, step=2)
+        data = bytearray(newest.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        newest.write_bytes(bytes(data))
+        snap = store.load_latest()
+        assert snap.step == 1 and snap.state == {"v": 1}
+        assert len(store.rejected) == 1
+        assert store.rejected[0][0] == newest
+
+    def test_all_corrupt_returns_none(self, store):
+        path = store.save({"v": 1}, step=1)
+        path.write_bytes(b"garbage")
+        assert store.load_latest() is None
+        assert len(store.rejected) == 1
+
+
+class TestFormatVersion:
+    def test_unknown_format_rejected(self, store):
+        path = store.save({"v": 1}, step=1)
+        with open(path, "rb") as fh:
+            env = pickle.load(fh)
+        env["format"] = CHECKPOINT_FORMAT + 1
+        with open(path, "wb") as fh:
+            pickle.dump(env, fh)
+        with pytest.raises(CheckpointError, match="format"):
+            store.load(path)
+
+    def test_unknown_format_falls_back(self, store):
+        store.save({"v": 1}, step=1)
+        newest = store.save({"v": 2}, step=2)
+        with open(newest, "rb") as fh:
+            env = pickle.load(fh)
+        env["format"] = 99
+        with open(newest, "wb") as fh:
+            pickle.dump(env, fh)
+        assert store.load_latest().state == {"v": 1}
+
+
+class TestAtomicity:
+    def test_overwrite_same_step_is_atomic(self, store):
+        store.save({"v": "old"}, step=5)
+        store.save({"v": "new"}, step=5)
+        assert store.load_latest().state == {"v": "new"}
+        assert len(store) == 1
+
+    def test_failed_pickle_leaves_no_snapshot(self, store):
+        store.save({"v": 1}, step=1)
+        with pytest.raises(Exception):
+            store.save({"bad": lambda: 0}, step=2)  # lambdas do not pickle
+        # the failed save must not shadow or destroy the good snapshot
+        assert store.load_latest().step == 1
+        assert all(not p.name.endswith(".tmp") for p in store.directory.iterdir())

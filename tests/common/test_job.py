@@ -1,0 +1,147 @@
+"""Tests for the Job protocol and its OneShot base."""
+
+import pytest
+
+from repro.common.errors import CheckpointError, ConfigurationError
+from repro.common.job import Job, JobProgress, OneShotJob
+
+
+class CountJob(Job):
+    """Counts to n; checkpointable; optionally fails on chosen steps."""
+
+    name = "count"
+    substrate = "test"
+    supports_checkpoint = True
+
+    def __init__(self, n, fail_on=()):
+        self.n = n
+        self.i = 0
+        self.fail_on = set(fail_on)
+        self.closed = 0
+
+    def step(self):
+        if self.i + 1 in self.fail_on:
+            self.fail_on.discard(self.i + 1)
+            raise ConfigurationError(f"boom at {self.i + 1}")
+        if self.i >= self.n:
+            return False
+        self.i += 1
+        return self.i < self.n
+
+    def result(self):
+        return self.i
+
+    def progress(self):
+        return JobProgress(steps_done=self.i, done=self.i >= self.n, steps_total=self.n)
+
+    def checkpoint(self):
+        return {"i": self.i}
+
+    def restore(self, state):
+        self.i = state["i"]
+
+    def close(self):
+        self.closed += 1
+
+
+class TestJobProtocol:
+    def test_run_drives_to_completion(self):
+        assert CountJob(5).run() == 5
+
+    def test_run_max_steps_guard(self):
+        with pytest.raises(ConfigurationError, match="max_steps"):
+            CountJob(100).run(max_steps=3)
+
+    def test_step_false_is_sticky(self):
+        job = CountJob(2)
+        job.run()
+        assert job.step() is False
+        assert job.step() is False
+
+    def test_context_manager_closes(self):
+        with CountJob(3) as job:
+            job.run()
+        assert job.closed == 1
+
+    def test_checkpoint_restore_roundtrip(self):
+        job = CountJob(10)
+        for _ in range(4):
+            job.step()
+        snap = job.checkpoint()
+        fresh = CountJob(10)
+        fresh.restore(snap)
+        assert fresh.run() == 10
+        assert fresh.i == job.run()
+
+    def test_default_checkpoint_refuses(self):
+        class Bare(Job):
+            def step(self):
+                return False
+
+            def result(self):
+                return None
+
+            def progress(self):
+                return JobProgress(steps_done=0, done=True)
+
+        with pytest.raises(ConfigurationError):
+            Bare().checkpoint()
+        with pytest.raises(ConfigurationError):
+            Bare().restore({})
+
+
+class TestJobProgress:
+    def test_fraction(self):
+        assert JobProgress(steps_done=3, done=False, steps_total=6).fraction == 0.5
+
+    def test_unknown_total(self):
+        assert JobProgress(steps_done=3, done=False).fraction is None
+        assert JobProgress(steps_done=3, done=True).fraction == 1.0
+
+    def test_fraction_clamped(self):
+        assert JobProgress(steps_done=9, done=False, steps_total=6).fraction == 1.0
+
+
+class Doubler(OneShotJob):
+    def __init__(self, x):
+        super().__init__()
+        self.x = x
+        self.computed = 0
+
+    def compute(self):
+        self.computed += 1
+        return self.x * 2
+
+
+class TestOneShotJob:
+    def test_single_step_completes(self):
+        job = Doubler(21)
+        assert job.step() is False
+        assert job.result() == 42
+        assert job.progress().done
+
+    def test_compute_runs_once(self):
+        job = Doubler(1)
+        job.run()
+        job.step()
+        assert job.computed == 1
+
+    def test_completion_checkpoint_skips_recompute(self):
+        job = Doubler(5)
+        job.run()
+        snap = job.checkpoint()
+        fresh = Doubler(5)
+        fresh.restore(snap)
+        assert fresh.run() == 10
+        assert fresh.computed == 0  # restored at the completion boundary
+
+    def test_unfinished_checkpoint_reruns(self):
+        snap = Doubler(5).checkpoint()
+        fresh = Doubler(5)
+        fresh.restore(snap)
+        assert fresh.run() == 10
+        assert fresh.computed == 1
+
+    def test_foreign_snapshot_rejected(self):
+        with pytest.raises(CheckpointError):
+            Doubler(1).restore({"kind": "sandpile"})

@@ -143,3 +143,84 @@ class TestDegradationLog:
         log.record("X", "retry", "boom", attempt=2)
         assert "retry" in log.summary()
         assert "attempt 2" in log.summary()
+
+
+# -- spawn-context regression (module-level children: spawn must pickle them) --
+
+
+def _spawn_child_check(injector, task_index, queue):
+    try:
+        injector.check(task_index)
+        queue.put("no-fault")
+    except InjectedFault:
+        queue.put("injected")
+
+
+_POOL_INJECTOR = None
+
+
+def _spawn_pool_init(injector):
+    global _POOL_INJECTOR
+    _POOL_INJECTOR = injector
+
+
+def _spawn_pool_task(index):
+    try:
+        _POOL_INJECTOR.check(index)
+        return "ok"
+    except InjectedFault:
+        return "injected"
+
+
+class TestFaultInjectorSpawnContext:
+    """The shared fire-counter must survive every start method we use.
+
+    Regression: a fork-context ``multiprocessing.Value`` handed to a
+    spawn worker raises "A SemLock created in a fork context is being
+    shared with a process in a spawn context"; the injector now builds
+    its counter in the spawn context, which all modes accept.
+    """
+
+    def test_spawn_process_args(self):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        inj = FaultInjector(raise_on_tasks={0}, max_fires=1)
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_spawn_child_check, args=(inj, 0, queue))
+        proc.start()
+        assert queue.get(timeout=30) == "injected"
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+        assert inj.fires == 1  # counter shared back to the parent
+
+    def test_spawn_pool_initargs(self):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        inj = FaultInjector(raise_on_tasks={1}, max_fires=1)
+        with ctx.Pool(1, initializer=_spawn_pool_init, initargs=(inj,)) as pool:
+            results = pool.map(_spawn_pool_task, [0, 1, 2])
+        assert results == ["ok", "injected", "ok"]
+        assert inj.fires == 1
+
+    def test_fork_inheritance_still_works(self):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        inj = FaultInjector(raise_on_tasks={0}, max_fires=1)
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_spawn_child_check, args=(inj, 0, queue))
+        proc.start()
+        assert queue.get(timeout=30) == "injected"
+        proc.join(timeout=30)
+        assert inj.fires == 1
+
+    def test_plain_pickle_still_refuses(self):
+        import pickle
+
+        inj = FaultInjector(raise_on_tasks={0})
+        with pytest.raises(RuntimeError, match="inheritance"):
+            pickle.dumps(inj)

@@ -1,0 +1,101 @@
+"""Property tests for RetryPolicy (hypothesis): jitter, bounds, exhaustion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.common.resilience import RetryPolicy
+from repro.common.supervisor import Supervisor
+from tests.common.test_job import CountJob
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=8),
+    base_delay=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    backoff=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    max_delay=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=0.1, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+class TestJitterReproducibility:
+    @settings(**SETTINGS)
+    @given(policy=policies)
+    def test_schedule_reproducible_per_seed(self, policy):
+        twin = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay=policy.base_delay,
+            backoff=policy.backoff,
+            max_delay=policy.max_delay,
+            jitter=policy.jitter,
+            seed=policy.seed,
+        )
+        schedule = [policy.delay(a) for a in range(1, policy.max_attempts + 1)]
+        assert schedule == [twin.delay(a) for a in range(1, policy.max_attempts + 1)]
+        # and stable across repeated queries of the same policy object
+        assert schedule == [policy.delay(a) for a in range(1, policy.max_attempts + 1)]
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_jitter_is_seed_derived(self, seed):
+        a = RetryPolicy(base_delay=0.0, jitter=1.0, seed=seed)
+        b = RetryPolicy(base_delay=0.0, jitter=1.0, seed=seed)
+        assert [a.delay(k) for k in (1, 2, 3)] == [b.delay(k) for k in (1, 2, 3)]
+
+
+class TestMonotoneBounded:
+    @settings(**SETTINGS)
+    @given(policy=policies)
+    def test_delay_bounded_by_cap_plus_jitter(self, policy):
+        for attempt in range(1, policy.max_attempts + 1):
+            d = policy.delay(attempt)
+            assert 0.0 <= d <= min(
+                policy.base_delay * policy.backoff ** (attempt - 1), policy.max_delay
+            ) + policy.jitter
+
+    @settings(**SETTINGS)
+    @given(policy=policies)
+    def test_base_schedule_monotone_nondecreasing(self, policy):
+        # without jitter the backoff curve never shrinks between attempts
+        bare = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay=policy.base_delay,
+            backoff=policy.backoff,
+            max_delay=policy.max_delay,
+            jitter=0.0,
+            seed=policy.seed,
+        )
+        schedule = [bare.delay(a) for a in range(1, bare.max_attempts + 1)]
+        assert all(x <= y for x, y in zip(schedule, schedule[1:]))
+
+
+class TestExhaustion:
+    @settings(**SETTINGS)
+    @given(max_attempts=st.integers(min_value=1, max_value=6))
+    def test_retries_left_counts_down_to_zero(self, max_attempts):
+        policy = RetryPolicy(max_attempts=max_attempts, base_delay=0.0)
+        left = [policy.retries_left(a) for a in range(1, max_attempts + 2)]
+        assert left == list(range(max_attempts - 1, -1, -1)) + [0]
+
+    @settings(**SETTINGS)
+    @given(max_attempts=st.integers(min_value=1, max_value=5))
+    def test_supervisor_exhausts_in_exactly_max_attempts(self, max_attempts):
+        attempts = []
+
+        class AlwaysFails(CountJob):
+            def step(self):
+                attempts.append(1)
+                raise SimulationError("permanent")
+
+        sup = Supervisor(
+            AlwaysFails(3),
+            retry=RetryPolicy(max_attempts=max_attempts, base_delay=0.0),
+        )
+        with pytest.raises(SimulationError):
+            sup.run()
+        assert len(attempts) == max_attempts
+        assert sup.retries_used == max_attempts - 1

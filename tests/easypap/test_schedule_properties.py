@@ -60,10 +60,12 @@ def test_no_overlap_per_worker(costs, p, policy, chunk):
 @settings(**SETTINGS)
 def test_dynamic_never_worse_than_cyclic_by_much(costs, p, chunk):
     # dynamic adapts to skew; cyclic is its static pre-assignment.  Dynamic
-    # can lose on adversarial orders but never by more than one max task.
+    # hands out whole chunks greedily, so by Graham's bound it can lose on
+    # adversarial orders by at most one max-cost *chunk* (cyclic may happen
+    # to balance the chunks that greedy assignment lands last).
     dyn = simulate_schedule(costs, p, "dynamic", chunk=chunk).makespan
     cyc = simulate_schedule(costs, p, "cyclic", chunk=chunk).makespan
-    assert dyn <= cyc + max(costs, default=0.0) + 1e-9
+    assert dyn <= cyc + chunk * max(costs, default=0.0) + 1e-9
 
 
 @given(n=st.integers(0, 60), p=workers_strategy, policy=policy_strategy, chunk=chunk_strategy)

@@ -1,0 +1,121 @@
+"""Tests for MapReduceStepJob: oracle equivalence and checkpoint round-trips."""
+
+import pytest
+
+from repro.common.errors import CheckpointError, ConfigurationError
+from repro.common.resilience import FaultInjector, InjectedFault
+from repro.common.rng import make_rng
+from repro.mapreduce.engine import run_job
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.stepjob import MapReduceStepJob
+
+
+def _wordcount(seed=3, nsplits=5, num_reducers=3):
+    rng = make_rng(seed)
+    words = ["ash", "beech", "cedar", "fir", "oak", "pine"]
+    splits = [
+        [(f"s{i}:{j}", " ".join(rng.choice(words, size=6))) for j in range(3)]
+        for i in range(nsplits)
+    ]
+
+    def mapper(key, value):
+        for w in value.split():
+            yield (w, 1)
+
+    def reducer(key, values):
+        yield (key, sum(values))
+
+    job = MapReduceJob(name="wc", mapper=mapper, reducer=reducer, num_reducers=num_reducers)
+    return job, splits
+
+
+def _assert_same_result(a, b):
+    assert a.pairs == b.pairs
+    assert a.partitions == b.partitions
+    assert a.counters.as_dict() == b.counters.as_dict()
+
+
+class TestOracleEquivalence:
+    def test_stepped_run_matches_run_job(self):
+        job, splits = _wordcount()
+        stepped = MapReduceStepJob(job, splits)
+        stepped.run()
+        _assert_same_result(stepped.result(), run_job(job, splits))
+
+    def test_phases_in_order(self):
+        job, splits = _wordcount(nsplits=2, num_reducers=2)
+        stepped = MapReduceStepJob(job, splits)
+        phases = []
+        while True:
+            phases.append(stepped.phase)
+            if not stepped.step():
+                break
+        assert phases == ["map", "map", "shuffle", "reduce", "reduce"]
+        assert stepped.phase == "done"
+        assert stepped.progress().done
+
+    def test_step_count_is_honest(self):
+        job, splits = _wordcount()
+        stepped = MapReduceStepJob(job, splits)
+        steps = 0
+        while stepped.step() or steps == 0:
+            steps += 1
+        assert steps + 1 == len(splits) + 1 + job.num_reducers
+        assert stepped.progress().fraction == 1.0
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("stop_after", [1, 3, 5, 6, 8])
+    def test_resume_at_any_phase_is_bit_identical(self, stop_after):
+        job, splits = _wordcount()
+        oracle = run_job(job, splits)
+        first = MapReduceStepJob(job, splits)
+        for _ in range(stop_after):
+            first.step()
+        manifest = first.checkpoint()
+        fresh = MapReduceStepJob(job, splits)
+        fresh.restore(manifest)
+        assert fresh.progress().steps_done == stop_after
+        fresh.run()
+        _assert_same_result(fresh.result(), oracle)
+
+    def test_foreign_snapshot_rejected(self):
+        job, splits = _wordcount()
+        stepped = MapReduceStepJob(job, splits)
+        with pytest.raises(CheckpointError, match="kind"):
+            stepped.restore({"kind": "sandpile"})
+        with pytest.raises(CheckpointError, match="job"):
+            stepped.restore({"kind": "mapreduce", "job": "other"})
+        bad_geom = MapReduceStepJob(job, splits[:2]).checkpoint()
+        with pytest.raises(CheckpointError, match="geometry"):
+            stepped.restore(bad_geom)
+
+
+class TestFaultInjection:
+    def test_raised_step_commits_nothing(self):
+        job, splits = _wordcount()
+        injector = FaultInjector(raise_on_tasks={1}, max_fires=1)
+        stepped = MapReduceStepJob(job, splits, fault_injector=injector)
+        assert stepped.step()  # map 0 is fine
+        before = stepped.checkpoint()
+        with pytest.raises(InjectedFault):
+            stepped.step()  # map 1 raises before any commit
+        assert stepped.checkpoint() == before
+        stepped.run()  # injector exhausted: the retried task succeeds
+        _assert_same_result(stepped.result(), run_job(job, splits))
+
+    def test_reduce_indices_continue_after_splits(self):
+        job, splits = _wordcount(nsplits=2, num_reducers=2)
+        injector = FaultInjector(raise_on_tasks={len(splits)}, max_fires=1)
+        stepped = MapReduceStepJob(job, splits, fault_injector=injector)
+        for _ in range(len(splits) + 1):  # maps + shuffle run clean
+            stepped.step()
+        with pytest.raises(InjectedFault):
+            stepped.step()  # first reduce task carries index len(splits)
+        assert injector.fires == 1
+
+
+def test_run_max_steps_guard():
+    job, splits = _wordcount()
+    with pytest.raises(ConfigurationError, match="max_steps"):
+        MapReduceStepJob(job, splits).run(max_steps=2)

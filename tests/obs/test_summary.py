@@ -114,3 +114,38 @@ def _tracer_with(*, makespan: float, nspans: int) -> Tracer:
     for i in range(nspans):
         t.add_span(f"s{i}", start=i * step, end=(i + 1) * step, tid=i % 2)
     return t
+
+
+class TestDegradationsInSummary:
+    def _tracer(self) -> Tracer:
+        t = Tracer(process="p")
+        t.add_span("s0", start=0.0, end=1.0, tid=0)
+        t.instant("Supervisor:step-retry", ts=0.2, cat="degradation", pid="easypap")
+        t.instant("Supervisor:step-retry", ts=0.4, cat="degradation", pid="easypap")
+        t.instant("ProcessBackend:pool-rebuild", ts=0.5, cat="degradation", pid="mapreduce")
+        t.instant("checkpoint", ts=0.6, cat="checkpoint", pid="easypap")  # not a degradation
+        return t
+
+    def test_counted_by_substrate_and_kind(self):
+        s = summarize(self._tracer())
+        assert s.degradations == {
+            ("easypap", "Supervisor:step-retry"): 2,
+            ("mapreduce", "ProcessBackend:pool-rebuild"): 1,
+        }
+
+    def test_pid_filter_applies(self):
+        s = summarize(self._tracer(), pid="mapreduce")
+        assert s.degradations == {("mapreduce", "ProcessBackend:pool-rebuild"): 1}
+
+    def test_rendered_even_without_spans(self):
+        t = Tracer(process="p")
+        t.instant("Supervisor:interrupted", ts=0.0, cat="degradation", pid="simmpi")
+        s = summarize(t)
+        assert s.span_count == 0
+        text = s.render()
+        assert "degradations: 1 event(s)" in text
+        assert "simmpi: Supervisor:interrupted x1" in text
+
+    def test_clean_trace_renders_no_degradation_block(self):
+        text = summarize(_tracer_with(makespan=1.0, nspans=2)).render()
+        assert "degradations" not in text

@@ -1,0 +1,40 @@
+"""Tests for SimMpiJob, the simmpi OneShot Job adapter."""
+
+from repro.simmpi.job import SimMpiJob
+
+
+def _allreduce(comm):
+    return comm.allreduce(comm.rank + 1)
+
+
+def _ring(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(comm.rank, dest=right, tag=0)
+    return comm.recv(source=left, tag=0)
+
+
+class TestSimMpiJob:
+    def test_allreduce_world(self):
+        result = SimMpiJob(4, _allreduce).run()
+        assert result["results"] == [10, 10, 10, 10]
+        assert result["total_messages"] > 0
+
+    def test_name_carries_world_and_size(self):
+        assert SimMpiJob(3, _allreduce).name == "simmpi/_allreducex3"
+
+    def test_deterministic_replay(self):
+        assert SimMpiJob(5, _ring).run() == SimMpiJob(5, _ring).run()
+
+    def test_completion_checkpoint_skips_rerun(self):
+        job = SimMpiJob(4, _allreduce)
+        result = job.run()
+        snap = job.checkpoint()
+        fresh = SimMpiJob(4, _allreduce)
+        fresh.restore(snap)
+        assert fresh.run() == result
+        assert fresh.progress().done
+
+    def test_runner_options_flow_through(self):
+        result = SimMpiJob(2, _ring, deadlock_timeout=1.0, wall_timeout=10.0).run()
+        assert result["results"] == [1, 0]

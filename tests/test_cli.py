@@ -90,3 +90,56 @@ class TestCarbonAnswerKey:
         assert "TAB 1" in out and "TAB 2" in out
         assert "Reference optimum" in out
         assert "Q3-5 reference optimum" in out
+
+
+class TestChaosCli:
+    def test_list_prints_matrix_without_running(self, capsys):
+        from repro.cli import chaos_main
+
+        rc = chaos_main(["list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "easypap/kill-resume" in out
+        assert "14 scenario(s)" in out
+
+    def test_list_respects_filters(self, capsys):
+        from repro.cli import chaos_main
+
+        rc = chaos_main(["list", "--substrate", "simmpi", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simmpi/inject-raise@seed=7" in out
+        assert "easypap" not in out
+
+    def test_empty_filter_errors_out(self):
+        from repro.cli import chaos_main
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            chaos_main(["run", "--substrate", "wrench", "--kind", "deadline"])
+
+    def test_run_lite_campaign_with_exports(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import chaos_main
+
+        mj = tmp_path / "metrics.json"
+        mp = tmp_path / "metrics.prom"
+        tr = tmp_path / "trace.jsonl"
+        rc = chaos_main(
+            [
+                "run",
+                "--substrate", "simmpi",
+                "--kind", "kill-resume",
+                "--metrics-json", str(mj),
+                "--metrics-prom", str(mp),
+                "--trace-out", str(tr),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 passed, 0 violated, 0 skipped, 0 errored -> OK" in out
+        payload = json.loads(mj.read_text())
+        assert any("chaos_scenarios_total" in str(k) for k in payload)
+        assert "chaos_scenarios_total" in mp.read_text()
+        assert tr.exists()

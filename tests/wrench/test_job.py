@@ -1,0 +1,47 @@
+"""Tests for WrenchJob, the wrench OneShot Job adapter."""
+
+from repro.wrench.job import WrenchJob
+from repro.wrench.platform import make_platform
+from repro.wrench.simulation import FaultModel
+from repro.wrench.workflow import montage_workflow
+
+
+def _wf(seed=3):
+    return montage_workflow(n_projections=4, n_difffits=5, seed=seed)
+
+
+def _factory():
+    return make_platform(cluster_nodes=4)
+
+
+class TestWrenchJob:
+    def test_runs_whole_workflow(self):
+        wf = _wf()
+        result = WrenchJob(wf, _factory).run()
+        assert result["makespan"] > 0
+        assert len(result["executions"]) == len(wf.tasks)
+        assert result["failures"] == 0
+
+    def test_fresh_platform_per_run_keeps_replays_identical(self):
+        wf = _wf()
+        job = WrenchJob(wf, _factory)
+        first = job.run()
+        again = WrenchJob(wf, _factory).run()
+        assert first == again
+
+    def test_faulted_run_is_deterministic_per_seed(self):
+        wf = _wf()
+        fm = FaultModel(failure_prob=0.3, max_attempts=6, seed=13)
+        a = WrenchJob(wf, _factory, fault_model=fm).run()
+        b = WrenchJob(wf, _factory, fault_model=FaultModel(failure_prob=0.3, max_attempts=6, seed=13)).run()
+        assert a == b
+        assert a["failures"] >= 0
+
+    def test_completion_checkpoint_skips_rerun(self):
+        wf = _wf()
+        job = WrenchJob(wf, _factory)
+        result = job.run()
+        snap = job.checkpoint()
+        fresh = WrenchJob(wf, _factory)
+        fresh.restore(snap)
+        assert fresh.run() == result
