@@ -38,6 +38,7 @@ __all__ = [
     "declared_footprint",
     "footprint_for",
     "sync_tile_footprint",
+    "sync_tile_k_footprint",
     "async_tile_relax_footprint",
 ]
 
@@ -137,6 +138,34 @@ def async_tile_relax_footprint(task: TileTask, shape: tuple[int, int]) -> Footpr
     return Footprint.of(tile_cells | halo, tile_cells | halo)
 
 
+def sync_tile_k_footprint(task: TileTask, shape: tuple[int, int]) -> Footprint:
+    """``sync_tile_k``/``sync_tile_kc``: fused *k*-step trapezoid gather.
+
+    A *k*-step fused tile needs the tile grown by ``k`` (its dependency
+    cone, halo depth ``stencil radius x k``) plus the one-cell stencil ring
+    around it: sub-step 1 gathers the grown-by-``k-1`` region straight off
+    the global source plane, reaching one more cell outward.  Growth clamps
+    at the interior; the clamped sides read the sink frame instead, which
+    the full framed rectangle below covers.  Reads are declared as the full
+    rectangle (corners included) — a data-independent upper bound, which
+    keeps the declaration sound and the observed-within-declared check of
+    the shadow tracer valid.  Writes stay exactly the owned tile on the
+    destination plane, so fused bands remain write-disjoint under any
+    schedule — the same race-freedom shape as the single-step kernels.
+    """
+    t = task.tile
+    k = int(task.arg or 1)
+    frame_h, frame_w = shape
+    gy0 = max(t.y0 - k, 0)
+    gy1 = min(t.y1 + k, frame_h - 2)
+    gx0 = max(t.x0 - k, 0)
+    gx1 = min(t.x1 + k, frame_w - 2)
+    # grown rect plus its one-cell ring, in framed coordinates
+    reads = rect_cells(task.src, gy0, gy1 + 2, gx0, gx1 + 2)
+    writes = _tile_frame_rect(task.dst, t)
+    return Footprint.of(reads, writes)
+
+
 #: tile-kernel name -> fn(task, framed_shape) -> Footprint
 _FOOTPRINTS: dict[str, Callable[[TileTask, tuple[int, int]], Footprint]] = {}
 
@@ -191,4 +220,7 @@ declare_footprint("sync_tile", sync_tile_footprint)
 declare_footprint("sync_tile_nc", sync_tile_footprint)
 # the compiled window gather computes the same cells through a fused loop
 declare_footprint("sync_tile_cnc", sync_tile_footprint)
+# the temporal-blocking kernels share one model: k comes from task.arg
+declare_footprint("sync_tile_k", sync_tile_k_footprint)
+declare_footprint("sync_tile_kc", sync_tile_k_footprint)
 declare_footprint("async_tile_relax", async_tile_relax_footprint)

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.analysis.footprint import Footprint, footprint_for, rect_cells
+from repro.analysis.halo import HaloVerdict, check_halo_depth
 from repro.analysis.races import CrossCheck, RaceReport, check_phases, cross_check, dynamic_check
 from repro.easypap.executor import TileTask
 from repro.easypap.kernel import REGISTRY, KernelRegistry
@@ -215,7 +216,9 @@ class FrontierCertification:
 
     ``iterations`` counts the batches certified; ``dynamic_batches`` the
     ones that went through the uncached dynamic-plan path; ``crosses``
-    holds one static-vs-shadow confrontation per iteration.
+    holds one static-vs-shadow confrontation per iteration.  For fused runs
+    (``k > 1``) ``halo`` carries the temporal-blocking depth verdict: the
+    window growth per dispatch must cover ``stencil radius x k`` sub-steps.
     """
 
     iterations: int
@@ -223,18 +226,23 @@ class FrontierCertification:
     nworkers: int
     policy: str
     crosses: list[CrossCheck] = field(default_factory=list)
+    k: int = 1
+    halo: "HaloVerdict | None" = None
 
     @property
     def ok(self) -> bool:
-        """Every plan race-free, every shadow replay inside declared sets."""
+        """Every plan race-free, shadow replays in-bounds, halo depth sound."""
+        if self.halo is not None and not self.halo.ok:
+            return False
         return all(c.ok and not c.static.racy for c in self.crosses)
 
     def summary(self) -> str:
         """One-line verdict for CLI/CI output."""
         verdict = "race-free" if self.ok else "RACY/UNSOUND"
+        fused = f" k={self.k} fused, halo {'ok' if self.halo.ok else 'BAD'}," if self.halo else ""
         return (
-            f"dynamic frontier schedule: {verdict} over {self.iterations} iteration(s) "
-            f"({self.dynamic_batches} dynamic batch(es), policy={self.policy} "
+            f"dynamic frontier schedule: {verdict} over {self.iterations} dispatch(es) "
+            f"({self.dynamic_batches} dynamic batch(es),{fused} policy={self.policy} "
             f"nworkers={self.nworkers})"
         )
 
@@ -248,6 +256,8 @@ def certify_dynamic_frontier(
     policy: str = "dynamic",
     chunk: int = 1,
     max_iterations: int = 200,
+    k: int = 1,
+    nbands: int | None = None,
 ) -> FrontierCertification:
     """Certify the *actual* per-iteration schedules of a frontier run.
 
@@ -261,6 +271,13 @@ def certify_dynamic_frontier(
     selections.  Each captured batch is statically checked under its plan
     and shadow-replayed on the pre-step plane snapshot; the cross-check
     demands every observed access stay inside the declared footprints.
+
+    With ``k > 1`` the stepper submits fused ``sync_tile_k`` band batches;
+    the same machinery then certifies the temporal-blocking schedule (the
+    grown read trapezoids of concurrent bands overlap, but writes stay
+    disjoint), and the verdict additionally carries the
+    :func:`~repro.analysis.halo.check_halo_depth` judgment that the
+    window's growth-per-dispatch covers ``stencil radius x k`` sub-steps.
     """
     import numpy as np
 
@@ -289,7 +306,11 @@ def certify_dynamic_frontier(
     grid.interior[1, 1] = 6 * max(height, width)
     grid.interior[height // 2, width // 2] = 8
     backend = _CapturingBackend()
-    stepper = ParallelFrontierStepper(grid, tile_size, backend=backend)
+    if nbands is None and k > 1:
+        # the capturing backend is sequential (nworkers would default the
+        # band count to 1); certify the decomposition a real pool would run
+        nbands = nworkers
+    stepper = ParallelFrontierStepper(grid, tile_size, backend=backend, k=k, nbands=nbands)
     backend.planes = stepper.planes
     for _ in range(max_iterations):
         if not stepper():
@@ -307,12 +328,18 @@ def certify_dynamic_frontier(
             iteration=it, plan=plan,
         )
         crosses.append(cross_check(static, dynamic))
+    halo: HaloVerdict | None = None
+    if k > 1:
+        # one dispatch advances k radius-1 sub-steps on a window grown by k
+        halo = check_halo_depth(k, stencil_radius=1, iterations_between_exchanges=k)
     return FrontierCertification(
         iterations=len(captured),
         dynamic_batches=dynamic_batches,
         nworkers=nworkers,
         policy=policy,
         crosses=crosses,
+        k=k,
+        halo=halo,
     )
 
 

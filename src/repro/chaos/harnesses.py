@@ -143,6 +143,37 @@ def run_easypap(sc: Scenario, ctx: _Ctx) -> tuple[list[str], dict]:
             violations.append("bit-identical")
         if result["iterations"] != baseline["iterations"]:
             violations.append("honest-work")
+
+        if sc.kind == "worker-kill":
+            # fused temporal blocking must survive the same kill: after the
+            # pool rebuild the resident band registration is replayed to the
+            # fresh workers, and the Abelian fixpoint (grid + sink) matches
+            # the unfused reference bit for bit.  Iteration counts are NOT
+            # compared — a k-fused run takes ~1/k stepper calls by design.
+            log_k = DegradationLog()
+            injector_k = FaultInjector(kill_on_tasks={0}, max_fires=1)
+            with SandpileJob(
+                _easypap_grid(sc.seed, n),
+                variant="pfrontier",
+                backend="process",
+                nworkers=2,
+                tile_size=tile,
+                k=2,
+                retry=_RETRY,
+                fault_injector=injector_k,
+                degradation=log_k,
+            ) as job_k:
+                result_k = ctx.supervisor(job_k, degradation=log_k).run()
+            detail["fused_fires"] = injector_k.fires
+            if injector_k.fires < 1:
+                violations.append("fault-fired")
+            if not log_k.by_action("pool-rebuild"):
+                violations.append("degradation-recorded")
+            if (
+                result_k["sink_absorbed"] != ref[1]
+                or result_k["grid"].tobytes() != ref[2]
+            ):
+                violations.append("bit-identical")
         return violations, detail
 
     if sc.kind == "deadline":

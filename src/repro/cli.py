@@ -60,7 +60,7 @@ def sandpile_main(argv: list[str] | None = None) -> int:
         "--variant",
         default="vec",
         help="kernel variant: seq, vec, frontier (bounding-box stepping over "
-        "the active region), tiled, lazy, split, omp (default vec)",
+        "the active region), tiled, lazy, split, omp, pfrontier (default vec)",
     )
     p.add_argument("--tile-size", type=int, default=32)
     p.add_argument("--nworkers", type=int, default=4)
@@ -73,6 +73,14 @@ def sandpile_main(argv: list[str] | None = None) -> int:
         "thread pool, or real worker processes over shared memory (process)",
     )
     p.add_argument("--chunk", type=int, default=1, help="chunk size for cyclic/dynamic/guided")
+    p.add_argument(
+        "--fused-k",
+        type=int,
+        default=1,
+        metavar="K",
+        help="pfrontier: temporal-blocking depth — fuse K grid iterations into "
+        "one resident band dispatch per worker round-trip (default 1)",
+    )
     p.add_argument(
         "--max-retries",
         type=int,
@@ -112,8 +120,11 @@ def sandpile_main(argv: list[str] | None = None) -> int:
 
     opts = {}
     degradation = None
-    if args.variant in ("tiled", "lazy", "omp", "split"):
+    if args.variant in ("tiled", "lazy", "omp", "split", "pfrontier"):
         opts["tile_size"] = args.tile_size
+    if args.variant == "pfrontier":
+        opts["nworkers"] = args.nworkers
+        opts["k"] = args.fused_k
     if args.variant == "omp":
         opts["nworkers"] = args.nworkers
         opts["policy"] = args.policy
@@ -236,7 +247,8 @@ def check_main(argv: list[str] | None = None) -> int:
     3. dynamic-schedule certification of the parallel frontier: the exact
        per-iteration chunk plans of a real ``pfrontier`` run are statically
        checked and shadow-replayed (observed accesses must stay inside the
-       declared footprints);
+       declared footprints) — once at ``k=1`` and once at the fused
+       temporal-blocking depth (``--fused-k``, halo verdict included);
     4. halo-depth sufficiency and sendrecv pattern matching for the MPI
        ghost-cell variant.
     """
@@ -261,6 +273,12 @@ def check_main(argv: list[str] | None = None) -> int:
         "adversarial superset of all policies; default dynamic)",
     )
     p.add_argument("--chunk", type=int, default=1)
+    p.add_argument(
+        "--fused-k",
+        type=int,
+        default=3,
+        help="temporal-blocking depth to certify the fused pfrontier schedule at",
+    )
     p.add_argument("--max-ranks", type=int, default=8, help="halo pattern world sizes to check")
     p.add_argument("--skip-lint", action="store_true")
     p.add_argument("--skip-races", action="store_true")
@@ -302,12 +320,13 @@ def check_main(argv: list[str] | None = None) -> int:
             print(f"race check: all {len(verdicts)} variants match their expectation")
 
     if not args.skip_dynamic:
-        cert = certify_dynamic_frontier(
-            nworkers=args.nworkers, policy=args.policy, chunk=args.chunk
-        )
-        print(cert.summary())
-        if not cert.ok:
-            failed = True
+        for k in (1, args.fused_k):
+            cert = certify_dynamic_frontier(
+                nworkers=args.nworkers, policy=args.policy, chunk=args.chunk, k=k
+            )
+            print(cert.summary())
+            if not cert.ok:
+                failed = True
 
     if not args.skip_halo:
         for depth in (1, 2, 4):

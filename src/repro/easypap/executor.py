@@ -13,15 +13,19 @@ assignment's needs:
 * :class:`ThreadBackend` — a real :class:`concurrent.futures.ThreadPoolExecutor`
   pool, demonstrating that the tasks genuinely are thread-safe (numpy
   releases the GIL for large array ops); wall-clock spans are recorded.
-* :class:`ProcessBackend` — a real ``multiprocessing`` pool over
+* :class:`ProcessBackend` — a **persistent-worker runtime** over
   :mod:`multiprocessing.shared_memory`-backed grid planes: the first
   backend whose speedup is measured on actual hardware rather than
-  simulated.  Tile batches are described by picklable :class:`TileTask`
-  specs and dispatched under the same ``static``/``cyclic``/``dynamic``/
-  ``guided`` chunk plans as :func:`~repro.easypap.schedule.simulate_schedule`
-  (static/cyclic as per-worker chunk lists, dynamic/guided through the
-  pool's shared work queue).  When ``fork`` or shared memory is
-  unavailable it degrades gracefully to a :class:`ThreadBackend`.
+  simulated.  Each worker is a long-lived forked process holding one end
+  of a command/result pipe pair; planes are attached once at spawn, and
+  recurring batches are *registered resident* once per batch identity so
+  an iteration ships only a tiny command tuple (batch id, plan selection
+  spans, epoch) instead of re-pickling chunk items.  Chunks still follow
+  the same ``static``/``cyclic``/``dynamic``/``guided`` plans as
+  :func:`~repro.easypap.schedule.simulate_schedule` (static/cyclic as one
+  command per worker, dynamic/guided parent-fed with bounded prefetch).
+  When ``fork`` or shared memory is unavailable it degrades gracefully to
+  a :class:`ThreadBackend`.
 
 All backends return the executed :class:`~repro.easypap.schedule.TaskSpan`
 list and optionally feed a :class:`~repro.easypap.monitor.Trace`.
@@ -30,12 +34,14 @@ list and optionally feed a :class:`~repro.easypap.monitor.Trace`.
 from __future__ import annotations
 
 import multiprocessing
-import os
+import multiprocessing.connection
+import pickle
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeoutError
+import weakref
+from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from collections import deque
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -50,13 +56,16 @@ from repro.easypap.schedule import (
     TaskSpan,
     chunk_plan_cached,
     dynamic_chunk_plan,
+    expand_spans,
+    index_spans,
     simulate_schedule,
 )
-from repro.easypap.tiling import Tile
+from repro.easypap.tiling import Tile, band_tiles
 
 __all__ = [
     "TaskBatch",
     "TileTask",
+    "BandRule",
     "register_tile_kernel",
     "get_tile_kernel",
     "SequentialBackend",
@@ -73,13 +82,42 @@ class TileTask:
 
     ``kernel`` names a function registered with :func:`register_tile_kernel`;
     ``src``/``dst`` index into the plane list bound to the executing
-    :class:`ProcessBackend` (equal for in-place kernels).
+    :class:`ProcessBackend` (equal for in-place kernels).  ``arg`` carries
+    an optional kernel parameter (the fused step count ``k`` for temporal
+    blocking kernels); plain kernels ignore it.
     """
 
     kernel: str
     src: int
     dst: int
     tile: Tile
+    arg: object = None
+
+
+@dataclass(frozen=True)
+class BandRule:
+    """Recipe for a band-decomposed batch the dispatch protocol can replay.
+
+    A batch carrying a :class:`BandRule` promises that its tasks are
+    exactly ``band_tiles(window, nbands)`` applied through *kernel* with
+    fused step count *k* — so a worker that has the rule registered as a
+    resident can rebuild any task from the command tuple alone and the
+    parent ships only ``(window, nbands, selection-spans)`` per iteration.
+    """
+
+    kernel: str
+    src: int
+    dst: int
+    k: int
+    window: tuple[int, int, int, int]
+    nbands: int
+
+    def tasks(self) -> list[TileTask]:
+        """Materialise the tile tasks this rule denotes (worker side)."""
+        return [
+            TileTask(self.kernel, self.src, self.dst, t, arg=self.k)
+            for t in band_tiles(self.window, self.nbands)
+        ]
 
 
 #: name -> fn(planes, task) for kernels executable from a TileTask spec.
@@ -142,6 +180,11 @@ class TaskBatch:
         through the uncached :func:`~repro.easypap.schedule.dynamic_chunk_plan`
         fast path instead of :func:`~repro.easypap.schedule.chunk_plan_cached`,
         so a moving frontier cannot thrash the static-plan cache.
+    bands:
+        Optional :class:`BandRule` asserting the batch's tasks are a band
+        decomposition replayable from ``(window, nbands)`` alone.  The
+        process backend then dispatches the batch through a resident band
+        rule — per-iteration commands carry no per-tile data at all.
     """
 
     def __init__(
@@ -152,6 +195,7 @@ class TaskBatch:
         costs: Sequence[float] | None = None,
         spec: Sequence[TileTask] | None = None,
         dynamic: bool = False,
+        bands: BandRule | None = None,
     ) -> None:
         self.tasks = list(tasks)
         if tiles is not None and len(tiles) != len(self.tasks):
@@ -160,10 +204,13 @@ class TaskBatch:
             raise ConfigurationError("costs and tasks must have equal length")
         if spec is not None and len(spec) != len(self.tasks):
             raise ConfigurationError("spec and tasks must have equal length")
+        if bands is not None and bands.nbands != len(self.tasks):
+            raise ConfigurationError("bands.nbands and tasks must have equal length")
         self.tiles = list(tiles) if tiles is not None else None
         self.costs = [float(c) for c in costs] if costs is not None else None
         self.spec = list(spec) if spec is not None else None
         self.dynamic = bool(dynamic)
+        self.bands = bands
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -354,7 +401,7 @@ def _proc_attach(
     plane_specs: list[tuple[str, tuple, str]],
     fault_injector: FaultInjector | None = None,
 ) -> None:
-    """Pool initializer: map every shared plane into this worker process."""
+    """Worker initializer: map every shared plane into this worker process."""
     from multiprocessing import shared_memory
 
     segments = [shared_memory.SharedMemory(name=name) for name, _, _ in plane_specs]
@@ -366,36 +413,123 @@ def _proc_attach(
     _PROC_PLANES["injector"] = fault_injector
 
 
-def _proc_run_chunk(
-    items: list[tuple[int, TileTask]], epoch: float
-) -> list[tuple[int, int, float, float, object]]:
-    """Execute one chunk of tile tasks in a worker process.
+def _resident_items(resident: dict, bid: int | None, payload):
+    """Yield ``(index, TileTask)`` for one run command.
 
-    Returns ``(task_index, pid, start, end, return_value)`` per task; times
-    are offsets from *epoch* (CLOCK_MONOTONIC is system-wide on the
-    platforms where fork exists, so offsets are comparable across workers).
+    Three payload shapes, by dispatch mode:
+
+    * oneshot (``bid is None``): an explicit ``[(index, TileTask), ...]``
+      list, pickled whole — the fallback for batches with no stable
+      identity;
+    * spec resident: selection spans into the registered spec list;
+    * band resident: ``(window, nbands, selection-spans)`` — the tasks are
+      rebuilt from :func:`~repro.easypap.tiling.band_tiles`, so the command
+      carries no per-tile data.
     """
+    if bid is None:
+        yield from payload
+        return
+    kind, body = resident[bid]
+    if kind == "specs":
+        for i in expand_spans(payload):
+            yield i, body[i]
+    else:  # "bands": body is (kernel, src, dst, k)
+        kernel, src, dst, k = body
+        window, nbands, sel = payload
+        tiles = band_tiles(window, nbands)
+        for i in expand_spans(sel):
+            t = tiles[i]
+            yield i, TileTask(kernel, src, dst, t, arg=k)
+
+
+def _worker_main(
+    conn,
+    wid: int,
+    plane_specs: list[tuple[str, tuple, str]],
+    fault_injector: FaultInjector | None,
+) -> None:
+    """Persistent worker loop: attach planes once, then serve commands.
+
+    Commands arrive pre-pickled over *conn* (one duplex pipe per worker):
+
+    * ``("stop",)`` — exit the loop;
+    * ``("register", bid, (kind, body))`` — install a resident batch;
+    * ``("run", seq, epoch, bid, payload)`` — execute a selection and
+      reply ``(seq, wid, rows, err)`` where rows are
+      ``(index, start, end, return_value)`` with times offset from
+      *epoch* (CLOCK_MONOTONIC is system-wide where fork exists, so
+      offsets are comparable across workers).
+
+    ``seq`` is the parent's epoch tag: replies from a previous attempt
+    are discarded by the barrier, so a slow worker can never corrupt a
+    retried batch's bookkeeping.  A failed task aborts the remaining
+    selection and travels back in ``err``; completed rows are still
+    reported so the parent re-submits only what is genuinely missing.
+    """
+    _proc_attach(plane_specs, fault_injector)
     arrays = _PROC_PLANES["arrays"]
     injector: FaultInjector | None = _PROC_PLANES.get("injector")
-    pid = os.getpid()
-    out = []
-    for idx, task in items:
-        fn = _TILE_KERNELS.get(task.kernel)
-        if fn is None:
-            raise SchedulingError(
-                f"tile kernel {task.kernel!r} is not registered in this worker"
-            )
-        if injector is not None:
-            injector.check(idx)
-        t0 = time.perf_counter() - epoch
-        ret = fn(arrays, task)
-        t1 = time.perf_counter() - epoch
-        out.append((idx, pid, t0, t1, ret))
-    return out
+    resident: dict[int, tuple] = {}
+    while True:
+        try:
+            msg = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):  # parent went away: nothing left to serve
+            return
+        op = msg[0]
+        if op == "stop":
+            return
+        if op == "register":
+            resident[msg[1]] = msg[2]
+            continue
+        _, seq, epoch, bid, payload = msg
+        rows: list[tuple[int, float, float, object]] = []
+        err: Exception | None = None
+        try:
+            for idx, task in _resident_items(resident, bid, payload):
+                fn = _TILE_KERNELS.get(task.kernel)
+                if fn is None:
+                    raise SchedulingError(
+                        f"tile kernel {task.kernel!r} is not registered in this worker"
+                    )
+                if injector is not None:
+                    injector.check(idx)
+                t0 = time.perf_counter() - epoch
+                ret = fn(arrays, task)
+                t1 = time.perf_counter() - epoch
+                rows.append((idx, t0, t1, ret))
+        except Exception as exc:
+            err = exc
+        try:
+            buf = pickle.dumps((seq, wid, rows, err))
+        except Exception:  # unpicklable exception: ship its repr instead
+            buf = pickle.dumps((seq, wid, rows, SchedulingError(repr(err))))
+        try:
+            conn.send_bytes(buf)
+        except Exception:  # parent pipe gone mid-reply
+            return
+
+
+#: outstanding commands per worker under dynamic/guided parent-fed dispatch
+_PREFETCH = 2
+
+
+class _Worker:
+    """Parent-side handle for one persistent worker slot."""
+
+    __slots__ = ("proc", "conn", "wid", "alive", "inflight")
+
+    def __init__(self, proc, conn, wid: int) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.wid = wid
+        self.alive = True
+        #: FIFO of (send offset from epoch, task indices) per sent command;
+        #: replies arrive in command order, so popleft pairs them back up
+        self.inflight: deque = deque()
 
 
 class ProcessBackend:
-    """Run tile batches on real worker processes over shared-memory planes.
+    """Run tile batches on persistent worker processes over shared planes.
 
     Usage contract (what the tiled steppers implement):
 
@@ -409,22 +543,40 @@ class ProcessBackend:
        :attr:`ScheduleResult.returns`;
     4. :meth:`close` when done (also a context manager).
 
+    **Dispatch protocol.**  Each of the ``nworkers`` slots is one forked
+    :class:`multiprocessing.Process` running :func:`_worker_main` behind a
+    duplex pipe; planes attach once at spawn.  Batches with a stable
+    identity become *residents*: a non-dynamic spec batch is registered
+    once (its :class:`TileTask` list pickled a single time, keyed by batch
+    object identity), and a batch carrying a :class:`BandRule` registers
+    the rule's ``(kernel, src, dst, k)`` — after which an iteration ships
+    only ``("run", seq, epoch, batch_id, selection)`` where the selection
+    is a handful of index spans (plus ``(window, nbands)`` for bands).
+    ``seq`` is an epoch tag acting as the barrier generation: the collect
+    loop discards replies from earlier attempts, so rebuilt pools can
+    never double-account a task.  Batches without a stable identity
+    (dynamic spec batches, e.g. frontier tile selections) fall back to
+    oneshot commands carrying ``(index, TileTask)`` items.
+
     Chunks follow :func:`~repro.easypap.schedule.chunk_plan` exactly:
-    ``static``/``cyclic`` chunks are pre-assigned to logical workers
-    (chunk *k* belongs to worker ``k % nworkers``) and shipped as one
-    submission per worker; ``dynamic``/``guided`` chunks are individual
-    submissions consumed from the pool's shared queue by whichever process
-    frees up first, with worker IDs stably derived from the worker's PID.
+    ``static``/``cyclic`` chunks are pre-assigned to worker slots (chunk
+    *k* belongs to worker ``k % nworkers``) and shipped as one command per
+    worker; ``dynamic``/``guided`` chunks are parent-fed — each worker
+    holds at most :data:`_PREFETCH` outstanding commands and receives the
+    next chunk as its replies arrive, which reproduces the shared-queue
+    semantics without a contended queue.
 
     When ``fork`` or shared memory is unavailable the backend degrades to
     a :class:`ThreadBackend` (``uses_processes`` is False and closures run
     in-process); batches without a ``spec`` take the same thread path.
 
     **Fault tolerance** (the real-hardware mirror of the simulated
-    cluster's re-execution story): worker crashes mid-batch —
-    ``BrokenProcessPool`` — do not lose the batch.  The pool is rebuilt
-    (workers re-attach the still-live shared planes by name), and only the
-    tasks whose spans are missing are re-submitted; tile kernels are
+    cluster's re-execution story): a worker death mid-batch — surfaced as
+    ``BrokenProcessPool`` — does not lose the batch.  Replies already in
+    the dead worker's pipe are drained, live workers keep completing their
+    commands, then the pool is rebuilt: fresh workers re-attach the
+    still-live shared planes by name and **re-register every resident
+    batch** before the missing spans are re-submitted; tile kernels are
     idempotent, so re-running one is safe.  Retries follow ``retry``
     (a :class:`~repro.common.resilience.RetryPolicy`); each attempt may be
     bounded by ``task_timeout`` seconds, after which hung workers are
@@ -435,6 +587,14 @@ class ProcessBackend:
     Every recovery step is recorded in ``degradation``
     (a :class:`~repro.common.resilience.DegradationLog`) when one is
     supplied.
+
+    **Dispatch metrics.**  Pass ``metrics`` (a
+    :class:`repro.obs.metrics.MetricsRegistry`) to count commands and
+    serialized bytes per dispatch mode (``easypap_dispatch_commands_total``,
+    ``easypap_dispatch_bytes_total``, labelled ``mode=oneshot|resident|
+    register``), batches (``easypap_dispatch_batches_total``), and observe
+    the command-send-to-first-task delay
+    (``easypap_dispatch_queue_wait_seconds``).
     """
 
     def __init__(
@@ -449,6 +609,7 @@ class ProcessBackend:
         allow_fallback: bool = True,
         degradation: DegradationLog | None = None,
         fault_injector: FaultInjector | None = None,
+        metrics=None,
     ) -> None:
         if nworkers < 1:
             raise ConfigurationError("nworkers must be >= 1")
@@ -467,11 +628,38 @@ class ProcessBackend:
         self.allow_fallback = allow_fallback
         self.degradation = degradation
         self.fault_injector = fault_injector
-        self._pool: ProcessPoolExecutor | None = None
+        self.metrics = metrics
+        self._m_commands = self._m_bytes = self._m_batches = self._m_wait = None
+        if metrics is not None:
+            self._m_commands = metrics.counter(
+                "easypap_dispatch_commands_total",
+                "commands sent to persistent workers, by dispatch mode",
+            )
+            self._m_bytes = metrics.counter(
+                "easypap_dispatch_bytes_total",
+                "serialized command bytes shipped to workers, by dispatch mode",
+            )
+            self._m_batches = metrics.counter(
+                "easypap_dispatch_batches_total",
+                "batches dispatched on worker processes (one per iteration)",
+            )
+            self._m_wait = metrics.histogram(
+                "easypap_dispatch_queue_wait_seconds",
+                "delay between command send and its first task starting",
+                buckets=(1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 1.0),
+            )
+        self._workers: list[_Worker] | None = None
         self._shm: list = []
         self._planes: list[np.ndarray] = []
         self._plane_specs: list[tuple[str, tuple, str]] = []
-        self._pid_to_wid: dict[int, int] = {}
+        self._seq = 0
+        self._next_bid = 0
+        #: bid -> registration payload, re-sent to every freshly spawned worker
+        self._residents: dict[int, tuple] = {}
+        self._spec_bids: "weakref.WeakKeyDictionary[TaskBatch, int]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._band_bids: dict[tuple, int] = {}
         self._threads: ThreadBackend | None = None
         self._closed = False
         self._reported_thread_degradation = False
@@ -518,48 +706,115 @@ class ProcessBackend:
         self._start_pool()
         return list(self._planes)
 
-    def _start_pool(self) -> None:
-        """(Re)create the worker pool attached to the current planes."""
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.nworkers,
-            mp_context=multiprocessing.get_context("fork"),
-            initializer=_proc_attach,
-            initargs=(self._plane_specs, self.fault_injector),
-        )
-        self._pid_to_wid = {}
+    def _post(self, wk: _Worker, buf: bytes, *, mode: str) -> None:
+        """Ship one pre-pickled command; counts dispatch metrics."""
+        wk.conn.send_bytes(buf)
+        if self._m_commands is not None:
+            self._m_commands.inc(mode=mode)
+            self._m_bytes.inc(len(buf), mode=mode)
 
-    def _worker_id(self, pid: int) -> int:
-        """Stable logical worker index for a pool process (first-seen order)."""
-        wid = self._pid_to_wid.get(pid)
-        if wid is None:
-            wid = len(self._pid_to_wid)
-            self._pid_to_wid[pid] = wid
-        return wid
+    def _start_pool(self) -> None:
+        """(Re)spawn the persistent workers attached to the current planes.
+
+        Every live resident registration is replayed to the fresh workers
+        before any run command can reach them — the crash-recovery
+        guarantee that lets resident batches survive pool rebuilds.
+        """
+        ctx = multiprocessing.get_context("fork")
+        workers: list[_Worker] = []
+        for wid in range(self.nworkers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, wid, self._plane_specs, self.fault_injector),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            workers.append(_Worker(proc, parent_conn, wid))
+        self._workers = workers
+        for bid, payload in self._residents.items():
+            buf = pickle.dumps(("register", bid, payload))
+            for wk in workers:
+                self._post(wk, buf, mode="register")
+
+    def _register_resident(self, payload: tuple) -> int:
+        """Install a resident registration on every live worker; returns its id."""
+        bid = self._next_bid
+        self._next_bid += 1
+        self._residents[bid] = payload
+        buf = pickle.dumps(("register", bid, payload))
+        for wk in self._workers or ():
+            if wk.alive:
+                try:
+                    self._post(wk, buf, mode="register")
+                except OSError:
+                    wk.alive = False
+        return bid
+
+    def _resident_for(self, batch: TaskBatch) -> int | None:
+        """The resident batch id to dispatch *batch* under (None = oneshot).
+
+        Band-rule batches share one registration per ``(kernel, src, dst,
+        k)``; non-dynamic spec batches register their spec list once per
+        batch object (weakly keyed, so a dropped batch frees its slot).
+        Dynamic spec batches have no stable identity and stay oneshot.
+        """
+        if batch.bands is not None:
+            b = batch.bands
+            key = (b.kernel, b.src, b.dst, b.k)
+            bid = self._band_bids.get(key)
+            if bid is None:
+                bid = self._register_resident(("bands", key))
+                self._band_bids[key] = bid
+            return bid
+        if batch.dynamic or not batch.spec:
+            return None
+        bid = self._spec_bids.get(batch)
+        if bid is None:
+            bid = self._register_resident(("specs", list(batch.spec)))
+            self._spec_bids[batch] = bid
+            weakref.finalize(batch, self._residents.pop, bid, None)
+        return bid
 
     # -- lifecycle --------------------------------------------------------------
 
     def _teardown_pool(self, *, terminate: bool = False) -> None:
-        """Shut the pool down without touching the shared planes.
+        """Shut the workers down without touching the shared planes.
 
-        Never raises: teardown runs on error paths (broken pools, timed-out
+        Never raises: teardown runs on error paths (dead workers, timed-out
         attempts, ``close()`` after a failed ``run``) where a secondary
         exception would mask the original failure.  With ``terminate``,
-        worker processes are killed first so a hung worker cannot stall
-        ``shutdown(wait=True)``.
+        worker processes are killed outright so a hung worker cannot stall
+        the join.
         """
-        pool, self._pool = self._pool, None
-        if pool is None:
+        workers, self._workers = self._workers, None
+        if not workers:
             return
-        if terminate:
-            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        stop = pickle.dumps(("stop",))
+        for wk in workers:
+            if terminate or not wk.alive:
                 try:
-                    proc.terminate()
+                    wk.proc.terminate()
                 except Exception:  # pragma: no cover - already-dead worker
                     pass
-        try:
-            pool.shutdown(wait=True, cancel_futures=True)
-        except Exception:  # pragma: no cover - broken pools may refuse politely
-            pass
+            else:
+                try:
+                    wk.conn.send_bytes(stop)
+                except Exception:
+                    pass
+        for wk in workers:
+            try:
+                wk.proc.join(timeout=1.0)
+                if wk.proc.is_alive():  # ignored the stop command: kill it
+                    wk.proc.terminate()
+                    wk.proc.join(timeout=1.0)
+            except Exception:  # pragma: no cover - pathological process state
+                pass
+            try:
+                wk.conn.close()
+            except Exception:  # pragma: no cover - double close
+                pass
 
     def _rebuild_pool(self) -> None:
         """Replace a broken/hung pool; workers re-attach the live planes."""
@@ -644,59 +899,153 @@ class ProcessBackend:
             + more
         )
 
-    def _submit_missing(self, batch: TaskBatch, chunks, missing: set[int], epoch: float):
-        """Submit the chunks owed for *missing*; returns (wid, future) pairs.
+    def _dispatch(
+        self,
+        batch: TaskBatch,
+        chunks,
+        missing: set[int],
+        epoch: float,
+        deadline: Deadline,
+        spans,
+        returns,
+    ) -> Exception | None:
+        """Run one attempt of the command/collect protocol for *missing*.
 
         Chunks keep their original worker assignment (static/cyclic) or
         queue order (dynamic/guided); already-completed tasks are filtered
-        out, so a retry re-submits only the spans still missing.
+        out, so a retry re-submits only the spans still missing.  Returns
+        the first failure seen (or None).  A dead worker fails only its
+        own outstanding commands — replies already in its pipe are
+        drained, and live workers keep completing, which is what makes
+        re-submitting *only* the missing spans possible.
         """
-        submissions: list[tuple[int | None, object]] = []
-        if self.policy in ("static", "cyclic"):
-            # fixed assignment: each logical worker gets its chunk list whole
-            per_worker: list[list[tuple[int, TileTask]]] = [[] for _ in range(self.nworkers)]
-            for k, ch in enumerate(chunks):
-                per_worker[k % self.nworkers].extend(
-                    (i, batch.spec[i]) for i in ch if i in missing
-                )
-            for w, items in enumerate(per_worker):
-                if items:
-                    submissions.append((w, self._pool.submit(_proc_run_chunk, items, epoch)))
-        else:
-            # dynamic/guided: the pool's input queue is the shared work queue
-            for ch in chunks:
-                items = [(i, batch.spec[i]) for i in ch if i in missing]
-                if items:
-                    submissions.append((None, self._pool.submit(_proc_run_chunk, items, epoch)))
-        return submissions
-
-    def _collect(self, submissions, deadline: Deadline, spans, returns, missing: set[int]):
-        """Harvest whatever finished; returns the first failure seen (or None).
-
-        A broken pool fails only the futures that never ran — results from
-        chunks that completed before the crash are kept, which is what
-        makes re-submitting *only* the missing spans possible.
-        """
+        bid = self._resident_for(batch)
+        self._seq += 1
+        seq = self._seq
+        mode = "oneshot" if bid is None else "resident"
         failure: Exception | None = None
-        for wid, fut in submissions:
+        outstanding = 0
+        pending: deque[list[int]] = deque()
+        for wk in self._workers:
+            wk.inflight.clear()
+
+        def send(wk: _Worker, idxs: list[int]) -> bool:
+            nonlocal outstanding
+            if bid is None:
+                payload = [(i, batch.spec[i]) for i in idxs]
+            elif batch.bands is not None:
+                payload = (batch.bands.window, batch.bands.nbands, index_spans(idxs))
+            else:
+                payload = index_spans(idxs)
+            buf = pickle.dumps(("run", seq, epoch, bid, payload))
             try:
-                rows = fut.result(timeout=deadline.remaining())
-            except BrokenProcessPool as exc:
-                failure = failure or exc
-                continue
-            except FuturesTimeoutError:
+                self._post(wk, buf, mode=mode)
+            except OSError:
+                wk.alive = False
+                return False
+            wk.inflight.append((time.perf_counter() - epoch, idxs))
+            outstanding += 1
+            return True
+
+        def recv_one(wk: _Worker) -> bool:
+            """Consume one reply from *wk*; False when the pipe is dead."""
+            nonlocal failure, outstanding
+            try:
+                rseq, _rwid, rows, err = pickle.loads(wk.conn.recv_bytes())
+            except (EOFError, OSError):
+                return False
+            if rseq != seq:  # stale reply from a pre-rebuild attempt
+                return True
+            send_off, _idxs = wk.inflight.popleft()
+            outstanding -= 1
+            for idx, t0, t1, ret in rows:
+                spans[idx] = TaskSpan(idx, wk.wid, t0, t1)
+                returns[idx] = ret
+                missing.discard(idx)
+            if rows and self._m_wait is not None:
+                self._m_wait.observe(max(rows[0][1] - send_off, 0.0))
+            if err is not None:
+                failure = failure or err
+            elif pending and failure is None and wk.alive:
+                idxs = pending.popleft()
+                if not send(wk, idxs):
+                    pending.appendleft(idxs)
+            return True
+
+        def mark_dead(wk: _Worker) -> None:
+            nonlocal failure, outstanding
+            # dead first (so the drain cannot feed it more work), then
+            # harvest whatever replies the worker managed to send
+            wk.alive = False
+            try:
+                while wk.inflight and wk.conn.poll(0) and recv_one(wk):
+                    pass
+            except OSError:
+                pass
+            if wk.inflight:
+                outstanding -= len(wk.inflight)
+                wk.inflight.clear()
+            failure = failure or BrokenProcessPool(
+                f"worker {wk.wid} (pid {wk.proc.pid}) died mid-batch"
+            )
+
+        # -- ship the attempt's commands ----------------------------------------
+        if self.policy in ("static", "cyclic"):
+            # fixed assignment: each worker slot gets its chunk list whole
+            per_worker: list[list[int]] = [[] for _ in range(self.nworkers)]
+            for k, ch in enumerate(chunks):
+                per_worker[k % self.nworkers].extend(i for i in ch if i in missing)
+            for w, idxs in enumerate(per_worker):
+                if not idxs:
+                    continue
+                wk = self._workers[w]
+                if not wk.alive or not send(wk, idxs):
+                    failure = failure or BrokenProcessPool(
+                        f"worker {w} is gone; its chunks cannot run this attempt"
+                    )
+        else:
+            # dynamic/guided: parent-fed shared queue with bounded prefetch
+            for ch in chunks:
+                idxs = [i for i in ch if i in missing]
+                if idxs:
+                    pending.append(idxs)
+            for _ in range(_PREFETCH):
+                for wk in self._workers:
+                    if not pending:
+                        break
+                    if wk.alive and len(wk.inflight) < _PREFETCH:
+                        idxs = pending.popleft()
+                        if not send(wk, idxs):
+                            pending.appendleft(idxs)
+
+        # -- collect under the epoch-tagged barrier ------------------------------
+        while outstanding > 0:
+            conns = {wk.conn: wk for wk in self._workers if wk.alive and wk.inflight}
+            sentinels = {
+                wk.proc.sentinel: wk for wk in self._workers if wk.alive and wk.inflight
+            }
+            if not conns:  # pragma: no cover - deaths above already drained
+                break
+            ready = multiprocessing.connection.wait(
+                list(conns) + list(sentinels), timeout=deadline.remaining()
+            )
+            if not ready:
                 failure = failure or SchedulingError(
                     f"attempt exceeded task_timeout={self.task_timeout}s"
                 )
-                continue
-            except Exception as exc:  # a task raised inside the worker
-                failure = failure or exc
-                continue
-            for idx, pid, t0, t1, ret in rows:
-                w = wid if wid is not None else self._worker_id(pid)
-                spans[idx] = TaskSpan(idx, w, t0, t1)
-                returns[idx] = ret
-                missing.discard(idx)
+                break
+            for obj in ready:
+                wk = conns.get(obj)
+                if wk is not None:
+                    if wk.alive and wk.inflight and not recv_one(wk):
+                        mark_dead(wk)
+                else:
+                    wk = sentinels[obj]
+                    if wk.alive and wk.inflight:  # conn may have handled it already
+                        mark_dead(wk)
+        if pending:
+            # chunks nobody could take (workers died faster than they fed)
+            failure = failure or BrokenProcessPool("no live workers left to feed")
         return failure
 
     def _fallback_to_threads(self, batch: TaskBatch, missing: set[int], spans, returns, epoch):
@@ -735,7 +1084,7 @@ class ProcessBackend:
             raise ConfigurationError("backend is closed")
         if not self.uses_processes or batch.spec is None:
             return self._run_threads(batch, iteration, kind)
-        if self._pool is None:
+        if self._workers is None:
             raise SchedulingError("bind_planes() must be called before running tile batches")
         n = len(batch)
         chunks = _plan_for(batch, self.nworkers, self.policy, self.chunk)
@@ -743,14 +1092,12 @@ class ProcessBackend:
         spans: list[TaskSpan | None] = [None] * n
         returns: list[object] = [None] * n
         missing: set[int] = set(range(n))
+        if self._m_batches is not None and n:
+            self._m_batches.inc()
         attempt = 1
         while missing:
             deadline = Deadline(self.task_timeout)
-            try:
-                submissions = self._submit_missing(batch, chunks, missing, epoch)
-                failure = self._collect(submissions, deadline, spans, returns, missing)
-            except BrokenProcessPool as exc:  # pool already broken at submit time
-                failure = exc
+            failure = self._dispatch(batch, chunks, missing, epoch, deadline, spans, returns)
             if not missing:
                 break
             if failure is None:
@@ -820,13 +1167,15 @@ def make_backend(
     allow_fallback: bool = True,
     degradation: DegradationLog | None = None,
     fault_injector: FaultInjector | None = None,
+    metrics=None,
 ):
     """Factory: ``sequential``, ``simulated``, ``threads``, or ``process``.
 
     The resilience knobs (``retry``, ``task_timeout``, ``allow_fallback``,
-    ``degradation``, ``fault_injector``) apply to the ``process`` backend —
-    the only one with workers that can crash or hang — and are ignored by
-    the others.
+    ``degradation``, ``fault_injector``) and the dispatch ``metrics``
+    registry apply to the ``process`` backend — the only one with workers
+    that can crash, hang, or receive commands — and are ignored by the
+    others.
     """
     if name == "sequential":
         return SequentialBackend(trace=trace)
@@ -845,5 +1194,6 @@ def make_backend(
             allow_fallback=allow_fallback,
             degradation=degradation,
             fault_injector=fault_injector,
+            metrics=metrics,
         )
     raise ConfigurationError(f"unknown backend {name!r}")

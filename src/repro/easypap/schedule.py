@@ -37,6 +37,8 @@ __all__ = [
     "chunk_plan",
     "chunk_plan_cached",
     "dynamic_chunk_plan",
+    "index_spans",
+    "expand_spans",
 ]
 
 POLICIES = ("static", "cyclic", "dynamic", "guided")
@@ -163,6 +165,30 @@ def dynamic_chunk_plan(
             pos += size
         return tuple(chunks)
     raise SchedulingError(f"unknown policy {policy!r}; choose from {POLICIES}")
+
+
+def index_spans(indices) -> tuple[tuple[int, int], ...]:
+    """Compress a set/list of task indices into sorted half-open runs.
+
+    The persistent-worker dispatch protocol ships plan selections as
+    ``((lo, hi), ...)`` spans rather than explicit index lists: a frontier
+    chunk is almost always contiguous, so a command tuple stays a few tens
+    of bytes no matter how many tiles it covers.  Inverse of
+    :func:`expand_spans`.
+    """
+    idxs = sorted(indices)
+    spans: list[tuple[int, int]] = []
+    for i in idxs:
+        if spans and spans[-1][1] == i:
+            spans[-1] = (spans[-1][0], i + 1)
+        else:
+            spans.append((i, i + 1))
+    return tuple(spans)
+
+
+def expand_spans(spans) -> list[int]:
+    """Expand ``((lo, hi), ...)`` half-open runs back into an index list."""
+    return [i for lo, hi in spans for i in range(lo, hi)]
 
 
 @lru_cache(maxsize=4096)

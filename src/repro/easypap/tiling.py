@@ -15,7 +15,7 @@ from collections.abc import Iterator
 
 from repro.common.errors import ConfigurationError
 
-__all__ = ["Tile", "TileGrid"]
+__all__ = ["Tile", "TileGrid", "band_tiles"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,37 @@ class Tile:
     def slices(self) -> tuple[slice, slice]:
         """Interior-coordinate slices selecting this tile."""
         return slice(self.y0, self.y1), slice(self.x0, self.x1)
+
+
+def band_tiles(window: tuple[int, int, int, int], nbands: int) -> list[Tile]:
+    """Cut the interior rectangle *window* into ``nbands`` full-width row bands.
+
+    Band decomposition is the persistent-worker dispatch shape: a command
+    tuple carries only ``(window, nbands)`` and both sides rebuild the same
+    tile list deterministically, so nothing per-tile ever crosses the pipe.
+    Full-window-wide bands also keep every row contiguous in memory, which
+    is what lets the fused stencil kernels vectorise across the whole
+    window width.
+
+    ``nbands`` is clamped to the window height (never returns an empty
+    band); rows are dealt as evenly as possible, earlier bands taking the
+    remainder.  Degenerate windows return no tiles.
+    """
+    y0, y1, x0, x1 = window
+    height, width = y1 - y0, x1 - x0
+    if height <= 0 or width <= 0:
+        return []
+    if nbands < 1:
+        raise ConfigurationError(f"nbands must be >= 1, got {nbands}")
+    n = min(nbands, height)
+    base, rem = divmod(height, n)
+    tiles: list[Tile] = []
+    row = y0
+    for i in range(n):
+        h = base + (1 if i < rem else 0)
+        tiles.append(Tile(index=i, ty=i, tx=0, y0=row, x0=x0, h=h, w=width))
+        row += h
+    return tiles
 
 
 class TileGrid:

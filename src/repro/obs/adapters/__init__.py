@@ -19,6 +19,7 @@ structured reports.
 from repro.obs.adapters.easypap import (
     EASYPAP_PID,
     degradation_to_instants,
+    dispatch_to_counters,
     frontier_to_counters,
     trace_to_tracer,
     tracer_to_trace,
@@ -35,6 +36,7 @@ __all__ = [
     "trace_to_tracer",
     "tracer_to_trace",
     "degradation_to_instants",
+    "dispatch_to_counters",
     "frontier_to_counters",
     "cluster_report_to_tracer",
     "world_report_summary",

@@ -28,6 +28,7 @@ __all__ = [
     "tracer_to_trace",
     "degradation_to_instants",
     "frontier_to_counters",
+    "dispatch_to_counters",
 ]
 
 EASYPAP_PID = "easypap"
@@ -121,6 +122,52 @@ def frontier_to_counters(
             pid=pid,
         )
         n += 1
+    return n
+
+
+def dispatch_to_counters(
+    tracer: Tracer,
+    registry,
+    *,
+    pid: str = EASYPAP_PID,
+    prefix: str = "easypap_dispatch",
+    ts: float = 0.0,
+) -> int:
+    """Project the process backend's dispatch metrics onto counter tracks.
+
+    *registry* is the :class:`~repro.obs.metrics.MetricsRegistry` handed to
+    :func:`~repro.easypap.executor.make_backend`; every family whose name
+    starts with *prefix* (``easypap_dispatch_commands_total``,
+    ``..._bytes_total``, ``..._batches_total``,
+    ``..._queue_wait_seconds``) becomes one counter track.  Counter series
+    are keyed by their labels (``mode=resident`` ...); histograms project
+    their per-series ``sum`` and ``count``.  The samples land at *ts* (end
+    of run — the registry holds totals, not a time series), which is
+    enough for ``repro-trace summary`` to report how many commands and
+    serialized bytes a run shipped per iteration.  Returns the number of
+    counter records written.
+    """
+
+    def series_key(labels: dict) -> str:
+        return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "total"
+
+    n = 0
+    for name in registry.names():
+        if not name.startswith(prefix):
+            continue
+        metric = registry.get(name)
+        values: dict[str, float] = {}
+        if metric.kind == "histogram":
+            for row in metric.samples():
+                key = series_key(row["labels"])
+                values[f"{key}:sum"] = row["sum"]
+                values[f"{key}:count"] = row["count"]
+        else:
+            for row in metric.samples():
+                values[series_key(row["labels"])] = row["value"]
+        if values:
+            tracer.counter(name, values, ts=ts, pid=pid)
+            n += 1
     return n
 
 

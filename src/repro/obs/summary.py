@@ -48,6 +48,9 @@ class TraceSummary:
     by_cat: dict[str, int] = field(default_factory=dict)
     #: degradation instants counted by ``(substrate pid, component:action)``
     degradations: dict[tuple, int] = field(default_factory=dict)
+    #: counter tracks: name -> {series: last-sampled value} (e.g. the
+    #: process backend's dispatch metrics projected by the easypap adapter)
+    counters: dict[str, dict] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -107,6 +110,11 @@ class TraceSummary:
             lines.append(f"  degradations: {total} event(s)")
             for (pid, kind), n in sorted(self.degradations.items()):
                 lines.append(f"    {pid}: {kind} x{n}")
+        if self.counters:
+            lines.append("  counters:")
+            for name, series in sorted(self.counters.items()):
+                body = ", ".join(f"{k}={v:.6g}" for k, v in sorted(series.items()))
+                lines.append(f"    {name}: {body}")
         return "\n".join(lines)
 
 
@@ -132,6 +140,13 @@ def summarize(
     for rec in tracer.instants():
         if rec.cat == "degradation" and (pid is None or rec.pid == pid):
             degradations[(rec.pid, rec.name)] += 1
+    # counter tracks keep their *last* sample per series: totals (like the
+    # dispatch metrics) read as the run's final count, decaying tracks
+    # (like the frontier window) as where they ended up
+    counters: dict[str, dict] = {}
+    for rec in tracer.counters():
+        if pid is None or rec.pid == pid:
+            counters.setdefault(rec.name, {}).update(rec.values)
     spans: list[SpanRecord] = [
         s
         for s in tracer.spans()
@@ -139,7 +154,8 @@ def summarize(
     ]
     if not spans:
         return TraceSummary(
-            span_count=0, t0=0.0, t1=0.0, degradations=dict(degradations)
+            span_count=0, t0=0.0, t1=0.0,
+            degradations=dict(degradations), counters=counters,
         )
     busy: dict[tuple, float] = defaultdict(float)
     counts: dict[tuple, int] = defaultdict(int)
@@ -160,6 +176,7 @@ def summarize(
         lanes=lanes,
         by_cat=dict(by_cat),
         degradations=dict(degradations),
+        counters=counters,
     )
 
 

@@ -31,6 +31,8 @@ Kernel glossary (paper names in parentheses):
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.easypap.executor import register_tile_kernel
@@ -41,6 +43,7 @@ __all__ = [
     "sync_step",
     "sync_tile",
     "sync_tile_nc",
+    "sync_tile_k_array",
     "async_sweep",
     "async_tile_relax",
     "async_tile_relax_array",
@@ -208,6 +211,119 @@ def sync_tile_nc(src: np.ndarray, dst: np.ndarray, tile: Tile) -> None:
     )
 
 
+def _gather5(s: np.ndarray, d: np.ndarray, sy: int, sx: int, dy: int, dx: int, h: int, w: int) -> None:
+    """One synchronous gather of an ``h x w`` region across two framed arrays.
+
+    ``(sy, sx)``/``(dy, dx)`` are the *framed* coordinates of the region's
+    first cell in source/destination.  Expressed entirely in ufuncs so a
+    shadow-plane source records every read (the dynamic race certifier
+    replays fused kernels through this path).
+    """
+    d[dy : dy + h, dx : dx + w] = (
+        (s[sy : sy + h, sx : sx + w] & 3)
+        + (s[sy : sy + h, sx - 1 : sx - 1 + w] >> 2)
+        + (s[sy : sy + h, sx + 1 : sx + 1 + w] >> 2)
+        + (s[sy - 1 : sy - 1 + h, sx : sx + w] >> 2)
+        + (s[sy + 1 : sy + 1 + h, sx : sx + w] >> 2)
+    )
+
+
+_fused_scratch = threading.local()
+
+
+def _fused_buffers(h: int, w: int, dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+    """Reusable per-thread buffer pair for the fused trapezoid.
+
+    One backing pair per thread, grown monotonically to the largest
+    window seen and sliced down to each request, so the steady state of a
+    fused run allocates nothing.  Only the one-cell frame is re-zeroed
+    (it plays the sink at clamped edges): the first sub-step overwrites
+    buffer ``a``'s whole interior, and every later read stays inside the
+    previous sub-step's written region or the frame, so stale interior
+    cells are never observed.
+    """
+    pair = getattr(_fused_scratch, "pair", None)
+    if (
+        pair is None
+        or pair[0].dtype != dtype
+        or pair[0].shape[0] < h + 2
+        or pair[0].shape[1] < w + 2
+    ):
+        hh = h + 2 if pair is None else max(h + 2, pair[0].shape[0])
+        ww = w + 2 if pair is None else max(w + 2, pair[0].shape[1])
+        # amortised: reallocated only when a thread first sees a larger window
+        pair = _fused_scratch.pair = (
+            np.zeros((hh, ww), dtype=dtype),  # analysis: allow
+            np.zeros((hh, ww), dtype=dtype),  # analysis: allow
+        )
+    a = pair[0][: h + 2, : w + 2]
+    b = pair[1][: h + 2, : w + 2]
+    for m in (a, b):
+        m[0, :] = 0
+        m[-1, :] = 0
+        m[:, 0] = 0
+        m[:, -1] = 0
+    return a, b
+
+
+def sync_tile_k_array(src: np.ndarray, dst: np.ndarray, tile: Tile, k: int) -> None:
+    """Advance one tile *k* synchronous iterations in a single call.
+
+    Temporal blocking (a shrinking trapezoid): the tile's k-step dependency
+    cone — the tile grown by ``k``, clamped to the interior — is consumed
+    from *src* in the first sub-step, intermediate states live in local
+    buffers, and only the final sub-step writes the owned tile rectangle
+    into *dst*.  Writes are therefore disjoint across tiles under any
+    schedule, and the result is bit-identical to ``k`` single
+    :func:`sync_tile_nc` steps provided the caller's window grew the
+    active region by ``k`` (halo depth ``radius x k``, which
+    ``repro.analysis.halo`` certifies).
+
+    The local buffers carry a one-cell zero frame: where the grown region
+    is clamped at the interior edge it plays the sink (the real frame is
+    held at zero between steps), elsewhere it is never read because each
+    sub-step shrinks the computed region by the one-cell reach of the
+    stencil.  No sink accounting happens here — the caller settles the
+    window's grain deficit exactly as for single steps.
+    """
+    if k == 1:
+        sync_tile_nc(src, dst, tile)
+        return
+    H = src.shape[0] - 2
+    W = src.shape[1] - 2
+
+    def grown(s: int) -> Window:
+        return (
+            max(tile.y0 - s, 0),
+            min(tile.y1 + s, H),
+            max(tile.x0 - s, 0),
+            min(tile.x1 + s, W),
+        )
+
+    # sub-step j (1-based) computes the tile grown by k-j; the largest,
+    # grown by k-1, is read straight off the global plane (its own one-cell
+    # read halo makes the full grown-by-k cone)
+    gy0, gy1, gx0, gx1 = grown(k - 1)
+    h, w = gy1 - gy0, gx1 - gx0
+    a, b = _fused_buffers(h, w, src.dtype)
+    _gather5(src, a, gy0 + 1, gx0 + 1, 1, 1, h, w)
+    for j in range(2, k):
+        ry0, ry1, rx0, rx1 = grown(k - j)
+        ly, lx = ry0 - gy0 + 1, rx0 - gx0 + 1
+        _gather5(a, b, ly, lx, ly, lx, ry1 - ry0, rx1 - rx0)
+        a, b = b, a
+    _gather5(
+        a,
+        dst,
+        tile.y0 - gy0 + 1,
+        tile.x0 - gx0 + 1,
+        tile.y0 + 1,
+        tile.x0 + 1,
+        tile.h,
+        tile.w,
+    )
+
+
 def async_sweep(grid: Grid2D, window: Window | None = None) -> bool:
     """Topple every currently-unstable cell once, in place (one sweep).
 
@@ -316,6 +432,12 @@ def _async_tile_relax_kernel(planes, task) -> int:
     return async_tile_relax_array(planes[task.src], task.tile)
 
 
+def _sync_tile_k_kernel(planes, task) -> None:
+    # task.arg carries the fused step count k (None/0 degrades to 1)
+    return sync_tile_k_array(planes[task.src], planes[task.dst], task.tile, int(task.arg or 1))
+
+
 register_tile_kernel("sync_tile", _sync_tile_kernel)
 register_tile_kernel("sync_tile_nc", _sync_tile_nc_kernel)
 register_tile_kernel("async_tile_relax", _async_tile_relax_kernel)
+register_tile_kernel("sync_tile_k", _sync_tile_k_kernel)

@@ -128,7 +128,12 @@ class TiledSyncStepper:
         if self._specs is not None:
             cache = self._specs[parity]
             spec = [cache[t.index] for t in active]
-        return TaskBatch([self._tasks[t.index] for t in active], tiles=active, spec=spec)
+        # lazily-selected partials change shape every iteration: dynamic=True
+        # keeps them out of the static-plan LRU and the process backend's
+        # resident-batch registry (both keyed on stable batch identity)
+        return TaskBatch(
+            [self._tasks[t.index] for t in active], tiles=active, spec=spec, dynamic=True
+        )
 
     def close(self) -> None:
         """Detach the grid from shared memory and release the backend."""
@@ -234,18 +239,24 @@ class TiledAsyncStepper:
             return _TOUCH_COST + rounds * tile.area
         return task
 
-    def _wave_batch(self, wave: list[Tile]) -> TaskBatch:
+    def _wave_batch(self, wave: list[Tile], *, dynamic: bool = False) -> TaskBatch:
         spec = [self._specs[t.index] for t in wave] if self._specs is not None else None
-        return TaskBatch([self._tasks[t.index] for t in wave], tiles=wave, spec=spec)
+        return TaskBatch(
+            [self._tasks[t.index] for t in wave], tiles=wave, spec=spec, dynamic=dynamic
+        )
 
     def _wave_batches(self, active: list[Tile]) -> list[TaskBatch]:
         if len(active) == len(self._all_tiles):
+            # the full waves are cached whole: stable identities, so the
+            # process backend may register them as resident batches
             if self._full_wave_batches is None:
                 self._full_wave_batches = [
                     self._wave_batch(w) for w in wave_partition(self._all_tiles)
                 ]
             return self._full_wave_batches
-        return [self._wave_batch(w) for w in wave_partition(active)]
+        # lazily-selected waves are rebuilt per iteration: dynamic=True keeps
+        # them oneshot (no resident-registry churn, no static-plan LRU thrash)
+        return [self._wave_batch(w, dynamic=True) for w in wave_partition(active)]
 
     def close(self) -> None:
         """Detach the grid from shared memory and release the backend."""

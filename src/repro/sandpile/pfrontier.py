@@ -39,6 +39,17 @@ Key design points:
   the ``sync_tile_cnc`` kernel from :mod:`repro.sandpile.compiled` —
   numba-fused when the ``[compiled]`` extra is installed, bit-identical
   pure NumPy otherwise.
+* **Temporal blocking (``k > 1``).**  With fused step count *k* the
+  stepper advances the grid *k* iterations per dispatch: the window is
+  the bbox grown by ``k`` (halo depth ``radius x k``), decomposed into
+  :func:`~repro.easypap.tiling.band_tiles` row bands — one per worker —
+  each running the ``sync_tile_k`` /``sync_tile_kc`` trapezoid kernel.
+  Band batches carry a :class:`~repro.easypap.executor.BandRule`, so the
+  process backend's resident dispatch ships only ``(window, nbands,
+  spans)`` per *k* iterations.  The changed flag is ``or``-ed with bbox
+  liveness because a parallel sandpile can sit on a periodic orbit whose
+  period divides ``k`` (``f^k(x) == x`` with ``x`` unstable must not
+  report a fixpoint).
 
 ``window_log`` records ``(iteration, window, active_tiles)`` per step so
 the obs adapter can render the shrinking frontier as counter tracks next
@@ -47,12 +58,19 @@ to the worker lanes.
 
 from __future__ import annotations
 
-import repro.sandpile.compiled  # noqa: F401 - registers sync_tile_cnc for forked workers
-from repro.easypap.executor import SequentialBackend, TaskBatch, TileTask
+import repro.sandpile.compiled  # noqa: F401 - registers sync_tile_cnc/_kc for forked workers
+from repro.common.errors import ConfigurationError
+from repro.easypap.executor import BandRule, SequentialBackend, TaskBatch, TileTask
 from repro.easypap.grid import Grid2D
-from repro.easypap.tiling import Tile, TileGrid
-from repro.sandpile.compiled import sync_window
-from repro.sandpile.kernels import Window, grow_window, sync_tile_nc, unstable_bbox
+from repro.easypap.tiling import Tile, TileGrid, band_tiles
+from repro.sandpile.compiled import sync_window, sync_window_k
+from repro.sandpile.kernels import (
+    Window,
+    grow_window,
+    sync_tile_k_array,
+    sync_tile_nc,
+    unstable_bbox,
+)
 
 __all__ = ["ParallelFrontierStepper"]
 
@@ -76,10 +94,22 @@ class ParallelFrontierStepper:
         *,
         backend=None,
         use_compiled: bool = False,
+        k: int = 1,
+        nbands: int | None = None,
     ) -> None:
+        if k < 1:
+            raise ConfigurationError(f"fused step count k must be >= 1, got {k}")
+        if nbands is not None and nbands < 1:
+            raise ConfigurationError(f"nbands must be >= 1, got {nbands}")
         self.grid = grid
         self.tiles = TileGrid(grid.height, grid.width, tile_size)
         self.backend = backend if backend is not None else SequentialBackend()
+        self.k = k
+        #: band count for the fused (k > 1) decomposition; defaults to one
+        #: band per backend worker so every worker owns one contiguous strip
+        self.nbands = nbands if nbands is not None else max(
+            1, getattr(self.backend, "nworkers", 1)
+        )
         self.iterations = 0
         self.tiles_computed = 0
         self.tiles_skipped = 0
@@ -98,6 +128,7 @@ class ParallelFrontierStepper:
         # -- zero-rebuild caches: per-tile closures and specs, built once,
         # indexed by tile id; iterations only *select* from them
         kernel = "sync_tile_cnc" if use_compiled else "sync_tile_nc"
+        self._band_kernel = "sync_tile_kc" if use_compiled else "sync_tile_k"
         self._all_tiles = list(self.tiles)
         self._tasks = [self._make_task(t) for t in self._all_tiles]
         # specs are built even off the process backend: the analysis layer
@@ -116,6 +147,38 @@ class ParallelFrontierStepper:
                 sync_tile_nc(self.grid.data, self._scratch, tile)
                 return _TOUCH_COST + tile.area
         return task
+
+    def _make_band_task(self, tile: Tile):
+        k = self.k
+        if self.use_compiled:
+            def task() -> float:
+                sync_window_k(self.grid.data, self._scratch, tile.y0, tile.y1, tile.x0, tile.x1, k)
+                return _TOUCH_COST + tile.area
+        else:
+            def task() -> float:
+                sync_tile_k_array(self.grid.data, self._scratch, tile, k)
+                return _TOUCH_COST + tile.area
+        return task
+
+    def _band_batch_for(self, window: Window) -> tuple[TaskBatch, int]:
+        """Fused-k batch over *window* cut into row bands.
+
+        The batch carries a :class:`~repro.easypap.executor.BandRule`, so
+        on the process backend the per-iteration command is just
+        ``(window, nbands, spans)`` against a resident registration; the
+        spec/closure lists exist for the thread/sequential paths and for
+        the analysis layer's certification of the submitted batch.
+        """
+        tiles = band_tiles(window, self.nbands)
+        kernel = self._band_kernel
+        batch = TaskBatch(
+            [self._make_band_task(t) for t in tiles],
+            tiles=tiles,
+            spec=[TileTask(kernel, 0, 1, t, arg=self.k) for t in tiles],
+            dynamic=True,
+            bands=BandRule(kernel, 0, 1, self.k, window, len(tiles)),
+        )
+        return batch, len(tiles)
 
     def _batch_for(self, active: list[Tile]) -> TaskBatch:
         if len(active) == len(self._all_tiles):
@@ -160,19 +223,25 @@ class ParallelFrontierStepper:
 
     def __call__(self) -> bool:
         bbox = self._bbox
-        self.iterations += 1
+        k = self.k
+        self.iterations += k
         if bbox is None:
             # no unstable cell anywhere: the synchronous step is the identity
             return False
         grid = self.grid
-        window = grow_window(bbox, grid.height, grid.width)
-        active = self.tiles.tiles_in_window(window)
-        self.tiles_computed += len(active)
-        self.tiles_skipped += len(self.tiles) - len(active)
+        window = grow_window(bbox, grid.height, grid.width, k)
+        if k == 1:
+            active = self.tiles.tiles_in_window(window)
+            batch = self._batch_for(active)
+            ntiles = len(active)
+            self.tiles_skipped += len(self.tiles) - ntiles
+        else:
+            batch, ntiles = self._band_batch_for(window)
+        self.tiles_computed += ntiles
         self.window_cells += (window[1] - window[0]) * (window[3] - window[2])
-        self.window_log.append((self.iterations - 1, window, len(active)))
+        self.window_log.append((self.iterations - k, window, ntiles))
 
-        self.backend.run(self._batch_for(active), iteration=self.iterations - 1)
+        self.backend.run(batch, iteration=self.iterations - k)
 
         # window slices in frame coordinates
         y0, y1, x0, x1 = window
@@ -184,7 +253,13 @@ class ParallelFrontierStepper:
         changed = bool((new != old).any())
         if y0 == 0 or x0 == 0 or y1 == grid.height or x1 == grid.width:
             # net window deficit == grains that toppled into the sink frame
+            # during all k fused sub-steps (no grain crosses the window rim:
+            # activity at sub-step s stays inside the bbox grown by s <= k)
             grid.sink_absorbed += int(old.sum()) - int(new.sum())
         live[ys, xs] = new
         self._bbox = unstable_bbox(grid.interior, window)
-        return changed
+        if k == 1:
+            return changed
+        # a parallel sandpile can orbit with period dividing k: state equal
+        # after k steps does NOT imply a fixpoint while unstable cells remain
+        return changed or (self._bbox is not None)

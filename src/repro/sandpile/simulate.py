@@ -74,6 +74,7 @@ def _make_backend(
     allow_fallback: bool = True,
     degradation: DegradationLog | None = None,
     fault_injector: FaultInjector | None = None,
+    metrics=None,
 ):
     # thin alias over the executor factory: "sequential", "simulated",
     # "threads", or "process" (real worker processes over shared memory);
@@ -89,6 +90,7 @@ def _make_backend(
         allow_fallback=allow_fallback,
         degradation=degradation,
         fault_injector=fault_injector,
+        metrics=metrics,
     )
 
 
@@ -171,21 +173,26 @@ def _sandpile_pfrontier(
     chunk: int = 1,
     backend: str = "process",
     use_compiled: bool = False,
+    k: int = 1,
+    nbands: int | None = None,
     trace: Trace | None = None,
     retry: RetryPolicy | None = None,
     task_timeout: float | None = None,
     allow_fallback: bool = True,
     degradation: DegradationLog | None = None,
     fault_injector: FaultInjector | None = None,
+    metrics=None,
     **_opts,
 ):
     be = _make_backend(
         backend, nworkers, policy, chunk, trace,
         retry=retry, task_timeout=task_timeout,
         allow_fallback=allow_fallback, degradation=degradation,
-        fault_injector=fault_injector,
+        fault_injector=fault_injector, metrics=metrics,
     )
-    return ParallelFrontierStepper(grid, tile_size, backend=be, use_compiled=use_compiled)
+    return ParallelFrontierStepper(
+        grid, tile_size, backend=be, use_compiled=use_compiled, k=k, nbands=nbands
+    )
 
 
 # The three cell-granular async sweeps are tagged racy-by-design: adjacent
@@ -331,7 +338,9 @@ def run_to_fixpoint(
     return RunResult(
         kernel=kernel,
         variant=variant,
-        iterations=iterations,
+        # a temporally-blocked stepper advances k grid iterations per call;
+        # report executed grid iterations, not dispatches
+        iterations=iterations * getattr(stepper, "k", 1),
         final_grid=grid,
         tiles_computed=getattr(stepper, "tiles_computed", 0),
         tiles_skipped=getattr(stepper, "tiles_skipped", 0),

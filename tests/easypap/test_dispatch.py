@@ -1,0 +1,211 @@
+"""Tests for the persistent-worker dispatch runtime.
+
+The process backend keeps workers resident: shared planes are attached
+once, stable batches register once per identity, and every subsequent
+iteration ships only a tiny command tuple per worker.  These tests pin
+the pieces the executor contract tests don't see directly: the resident
+registries, the band-rule command shape, the dispatch metrics, and the
+re-registration guarantee after a pool rebuild.
+"""
+
+import numpy as np
+import pytest
+
+import repro.sandpile.kernels  # noqa: F401 - registers the tile kernels
+from repro.common.errors import ConfigurationError
+from repro.easypap.executor import BandRule, ProcessBackend, TaskBatch, TileTask
+from repro.easypap.grid import Grid2D
+from repro.easypap.schedule import expand_spans, index_spans
+from repro.easypap.tiling import TileGrid, band_tiles
+from repro.obs.metrics import MetricsRegistry
+
+needs_processes = pytest.mark.skipif(
+    not ProcessBackend.available(), reason="fork/shared_memory unavailable"
+)
+
+
+def make_planes(n=12, grains=6):
+    g = Grid2D(n, n)
+    g.interior[:] = grains
+    return g, g.data.copy()
+
+
+def expected_after(g, k=1):
+    from repro.sandpile.kernels import sync_step
+
+    e = g.copy()
+    for _ in range(k):
+        sync_step(e)
+    return e
+
+
+# -- index spans --------------------------------------------------------------
+
+
+class TestIndexSpans:
+    def test_contiguous_collapses_to_one_span(self):
+        assert index_spans(range(5)) == ((0, 5),)
+
+    def test_gaps_split_spans(self):
+        assert index_spans([0, 1, 4, 5, 9]) == ((0, 2), (4, 6), (9, 10))
+
+    def test_unsorted_input_is_normalised(self):
+        assert index_spans([5, 1, 0, 4]) == ((0, 2), (4, 6),)
+
+    def test_roundtrip(self):
+        idxs = [0, 2, 3, 7, 8, 9, 20]
+        assert expand_spans(index_spans(idxs)) == sorted(idxs)
+
+    def test_empty(self):
+        assert index_spans([]) == ()
+        assert expand_spans(()) == []
+
+
+# -- band rules ---------------------------------------------------------------
+
+
+class TestBandRule:
+    def test_tasks_match_band_tiles(self):
+        rule = BandRule("sync_tile_k", 0, 1, 3, (2, 10, 0, 8), 4)
+        tasks = rule.tasks()
+        tiles = band_tiles((2, 10, 0, 8), 4)
+        assert [t.tile for t in tasks] == tiles
+        assert all(t.arg == 3 and t.kernel == "sync_tile_k" for t in tasks)
+
+    def test_band_count_must_match_task_count(self):
+        rule = BandRule("sync_tile_k", 0, 1, 2, (0, 8, 0, 8), 2)
+        tasks = [TileTask("sync_tile_k", 0, 1, t, arg=2) for t in band_tiles((0, 8, 0, 8), 2)]
+        with pytest.raises(ConfigurationError):
+            TaskBatch([lambda: None], tiles=[tasks[0].tile], spec=[tasks[0]], bands=rule)
+
+    def test_band_tiles_cover_window_disjointly(self):
+        window = (3, 17, 2, 9)
+        tiles = band_tiles(window, 5)
+        rows = sorted((t.y0, t.y1) for t in tiles)
+        assert rows[0][0] == 3 and rows[-1][1] == 17
+        assert all(a[1] == b[0] for a, b in zip(rows, rows[1:]))
+        assert all(t.x0 == 2 and t.x1 == 9 for t in tiles)
+
+    def test_nbands_clamped_to_height(self):
+        assert len(band_tiles((0, 3, 0, 10), 8)) == 3
+
+
+# -- resident dispatch --------------------------------------------------------
+
+
+class TestResidentDispatch:
+    @needs_processes
+    def test_spec_batch_registers_once_and_stays_correct(self):
+        g, scratch = make_planes()
+        tiles = list(TileGrid(12, 12, 4))
+        spec = [TileTask("sync_tile_nc", 0, 1, t) for t in tiles]
+        batch = TaskBatch([lambda: None] * len(tiles), tiles=tiles, spec=spec)
+        reg = MetricsRegistry()
+        with ProcessBackend(2, metrics=reg) as be:
+            p0, p1 = be.bind_planes(g.data, scratch)
+            for _ in range(3):
+                be.run(batch)
+            assert np.array_equal(p1[1:-1, 1:-1], expected_after(g).interior)
+            commands = reg.get("easypap_dispatch_commands_total")
+            # one registration broadcast (2 workers), then resident commands
+            assert commands.value(mode="register") == 2.0
+            assert commands.value(mode="resident") > 0
+            assert commands.value(mode="oneshot") == 0
+
+    @needs_processes
+    def test_resident_commands_are_smaller_than_oneshot(self):
+        g, scratch = make_planes()
+        tiles = list(TileGrid(12, 12, 4))
+        spec = [TileTask("sync_tile_nc", 0, 1, t) for t in tiles]
+        resident = TaskBatch([lambda: None] * len(tiles), tiles=tiles, spec=spec)
+        reg = MetricsRegistry()
+        with ProcessBackend(2, metrics=reg) as be:
+            be.bind_planes(g.data, scratch)
+            be.run(resident)  # registration + first resident run
+            base = reg.get("easypap_dispatch_bytes_total").value(mode="resident")
+            be.run(resident)
+            steady = reg.get("easypap_dispatch_bytes_total").value(mode="resident") - base
+            # a fresh dynamic batch ships its full spec every time
+            oneshot = TaskBatch(
+                [lambda: None] * len(tiles), tiles=tiles, spec=list(spec), dynamic=True
+            )
+            be.run(oneshot)
+            one = reg.get("easypap_dispatch_bytes_total").value(mode="oneshot")
+            assert steady < one / 4
+
+    @needs_processes
+    def test_band_batch_computes_fused_steps(self):
+        g, scratch = make_planes()
+        k, window = 3, (0, 12, 0, 12)
+        rule = BandRule("sync_tile_k", 0, 1, k, window, 2)
+        tiles = band_tiles(window, 2)
+        spec = [TileTask("sync_tile_k", 0, 1, t, arg=k) for t in tiles]
+        batch = TaskBatch(
+            [lambda: None] * len(tiles), tiles=tiles, spec=spec, dynamic=True, bands=rule
+        )
+        with ProcessBackend(2) as be:
+            _, p1 = be.bind_planes(g.data, scratch)
+            be.run(batch)
+            assert np.array_equal(p1[1:-1, 1:-1], expected_after(g, k).interior)
+
+    @needs_processes
+    def test_band_rule_is_resident_across_fresh_batches(self):
+        g, scratch = make_planes()
+        k, window = 2, (0, 12, 0, 12)
+        reg = MetricsRegistry()
+        with ProcessBackend(2, metrics=reg) as be:
+            be.bind_planes(g.data, scratch)
+            for _ in range(3):
+                # a fresh batch object per iteration, same (kernel,src,dst,k)
+                rule = BandRule("sync_tile_k", 0, 1, k, window, 2)
+                tiles = band_tiles(window, 2)
+                spec = [TileTask("sync_tile_k", 0, 1, t, arg=k) for t in tiles]
+                be.run(TaskBatch(
+                    [lambda: None] * len(tiles), tiles=tiles, spec=spec,
+                    dynamic=True, bands=rule,
+                ))
+            commands = reg.get("easypap_dispatch_commands_total")
+            assert commands.value(mode="register") == 2.0  # one broadcast only
+            assert commands.value(mode="oneshot") == 0
+
+    @needs_processes
+    def test_dynamic_spec_batches_stay_oneshot(self):
+        g, scratch = make_planes()
+        tiles = list(TileGrid(12, 12, 4))
+        reg = MetricsRegistry()
+        with ProcessBackend(2, metrics=reg) as be:
+            be.bind_planes(g.data, scratch)
+            for _ in range(2):
+                spec = [TileTask("sync_tile_nc", 0, 1, t) for t in tiles]
+                be.run(TaskBatch(
+                    [lambda: None] * len(tiles), tiles=tiles, spec=spec, dynamic=True
+                ))
+            commands = reg.get("easypap_dispatch_commands_total")
+            assert commands.value(mode="register") == 0
+            assert commands.value(mode="oneshot") > 0
+
+    @needs_processes
+    def test_queue_wait_histogram_sampled(self):
+        g, scratch = make_planes()
+        tiles = list(TileGrid(12, 12, 4))
+        spec = [TileTask("sync_tile_nc", 0, 1, t) for t in tiles]
+        reg = MetricsRegistry()
+        with ProcessBackend(2, metrics=reg) as be:
+            be.bind_planes(g.data, scratch)
+            be.run(TaskBatch([lambda: None] * len(tiles), tiles=tiles, spec=spec))
+            hist = reg.get("easypap_dispatch_queue_wait_seconds")
+            assert hist.count() > 0
+
+    @needs_processes
+    def test_residents_survive_pool_rebuild(self):
+        g, scratch = make_planes()
+        tiles = list(TileGrid(12, 12, 4))
+        spec = [TileTask("sync_tile_nc", 0, 1, t) for t in tiles]
+        batch = TaskBatch([lambda: None] * len(tiles), tiles=tiles, spec=spec)
+        with ProcessBackend(2) as be:
+            _, p1 = be.bind_planes(g.data, scratch)
+            be.run(batch)  # registers the resident spec
+            be._rebuild_pool()  # fresh workers must replay the registration
+            p1[:] = 0
+            be.run(batch)
+            assert np.array_equal(p1[1:-1, 1:-1], expected_after(g).interior)
