@@ -4,6 +4,8 @@ The package answers, mechanically, the questions the assignment's
 correctness discussion raises informally:
 
 * which cells does each tile task read and write? (:mod:`.footprint`)
+* can those cell sets be derived from the kernel's own source, so new
+  kernels are certified without hand declarations? (:mod:`.symbolic`)
 * can two concurrently-scheduled tasks conflict? (:mod:`.races`)
 * does the dynamic behaviour stay inside the static model? (:mod:`.shadow`)
 * is every registered variant's schedule as (un)safe as it claims?
@@ -28,6 +30,7 @@ from repro.analysis.halo import (
     PatternReport,
     analyze_exchange_pattern,
     check_halo_depth,
+    footprint_halo_radius,
     halo_ops,
     match_pattern,
 )
@@ -42,6 +45,18 @@ from repro.analysis.races import (
     check_phases,
     cross_check,
     dynamic_check,
+)
+from repro.analysis.symbolic import (
+    DeclarationCheck,
+    KernelVerdict,
+    SymbolicRefusal,
+    certify_kernel,
+    certify_kernels,
+    infer_footprint,
+    inference_refusal,
+    kernel_verdict_table,
+    verify_declaration,
+    verify_declarations,
 )
 from repro.analysis.shadow import (
     Access,
@@ -73,8 +88,19 @@ __all__ = [
     "PatternReport",
     "analyze_exchange_pattern",
     "check_halo_depth",
+    "footprint_halo_radius",
     "halo_ops",
     "match_pattern",
+    "DeclarationCheck",
+    "KernelVerdict",
+    "SymbolicRefusal",
+    "certify_kernel",
+    "certify_kernels",
+    "infer_footprint",
+    "inference_refusal",
+    "kernel_verdict_table",
+    "verify_declaration",
+    "verify_declarations",
     "DEFAULT_RULES",
     "LintIssue",
     "lint_paths",

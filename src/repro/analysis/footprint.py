@@ -5,26 +5,34 @@ set of ``(plane, y, x)`` cells a task may *read* and may *write* during one
 application, expressed in framed-array coordinates (the ``(H+2, W+2)``
 planes the executors operate on, sink frame included).
 
-Footprints come from two sources:
+Footprints come from three sources, recorded in :attr:`Footprint.source`:
 
-* **Declarations** — every tile kernel registered with
-  :func:`~repro.easypap.executor.register_tile_kernel` should declare its
+* **Declarations** (``source="declared"``) — every tile kernel registered
+  with :func:`~repro.easypap.executor.register_tile_kernel` may declare its
   footprint via :func:`declare_footprint`; declarations are data-independent
   upper bounds ("may read/may write"), which is what makes the static
   checker sound: if declared footprints do not overlap, no execution can
   race.  This module ships declarations for the three stock kernels
-  (``sync_tile``, ``sync_tile_nc``, ``async_tile_relax``).
-* **Shadow tracing** — kernels without a declaration are executed once on
-  instrumented :class:`~repro.analysis.shadow.ShadowPlane` arrays filled
-  with unstable cells, and the observed access windows become the
-  footprint.  Tracing observes *one* execution, so it is a heuristic
-  discovery aid (the saturated fill makes every stock kernel touch its full
-  window); declarations remain the trustworthy source.
+  (``sync_tile``, ``sync_tile_nc``, ``async_tile_relax``) and the compiled
+  and fused families built on them.
+* **Symbolic inference** (``source="inferred"``) — undeclared kernels are
+  analyzed by the abstract interpreter in :mod:`repro.analysis.symbolic`,
+  which derives the may-sets from the kernel's own slice expressions.  An
+  inferred footprint is as sound as a declaration (it covers every path the
+  abstract domain can represent), so gallery kernels need no hand model.
+* **Shadow tracing** (``source="traced"``) — only when inference *refuses*
+  a kernel is it executed once on instrumented
+  :class:`~repro.analysis.shadow.ShadowPlane` arrays filled with unstable
+  cells, and the observed access windows become the footprint.  Tracing
+  observes *one* execution, so it is a heuristic discovery aid; the
+  fallback is never silent — :func:`footprint_for` emits a warning naming
+  the refusal reason.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.errors import KernelError
@@ -53,15 +61,24 @@ def rect_cells(plane: int, y0: int, y1: int, x0: int, x1: int) -> set[Cell]:
 
 @dataclass(frozen=True)
 class Footprint:
-    """May-read / may-write cell sets of one task application."""
+    """May-read / may-write cell sets of one task application.
+
+    ``source`` records provenance — ``"declared"`` (hand model),
+    ``"inferred"`` (symbolic interpreter), ``"traced"`` (shadow execution),
+    or ``"observed"`` (raw shadow recording).  It is excluded from
+    equality/hashing: two footprints with the same cells are the same
+    footprint, which is exactly what the declared-vs-inferred verifier
+    compares.
+    """
 
     reads: frozenset[Cell]
     writes: frozenset[Cell]
+    source: str = field(default="declared", compare=False)
 
     @staticmethod
-    def of(reads: set[Cell], writes: set[Cell]) -> "Footprint":
+    def of(reads: set[Cell], writes: set[Cell], source: str = "declared") -> "Footprint":
         """Build from plain sets."""
-        return Footprint(frozenset(reads), frozenset(writes))
+        return Footprint(frozenset(reads), frozenset(writes), source)
 
     @property
     def touched(self) -> frozenset[Cell]:
@@ -70,7 +87,8 @@ class Footprint:
 
     def union(self, other: "Footprint") -> "Footprint":
         """Combined footprint of running both tasks."""
-        return Footprint(self.reads | other.reads, self.writes | other.writes)
+        source = self.source if self.source == other.source else "mixed"
+        return Footprint(self.reads | other.reads, self.writes | other.writes, source)
 
     def conflicts_with(self, other: "Footprint") -> dict[str, frozenset[Cell]]:
         """Overlap cells by conflict kind; empty sets mean independence.
@@ -197,19 +215,35 @@ def declared_footprint(task: TileTask, shape: tuple[int, int]) -> Footprint | No
 
 
 def footprint_for(task: TileTask, shape: tuple[int, int], *, allow_trace: bool = True) -> Footprint:
-    """Footprint of *task*: declared if available, else shadow-traced.
+    """Footprint of *task*: declared, else symbolically inferred, else traced.
 
-    With ``allow_trace=False`` an undeclared kernel raises
-    :class:`~repro.common.errors.KernelError` instead of falling back to
-    the (heuristic) dynamic discovery.
+    The resolution chain is sound-first: a hand declaration wins, an
+    undeclared kernel gets the abstract interpreter's inferred may-sets
+    (:func:`repro.analysis.symbolic.infer_footprint`), and only a kernel
+    the interpreter *refuses* falls back to single-execution shadow
+    tracing — loudly, via a :class:`UserWarning` carrying the refusal
+    reason, never silently.  With ``allow_trace=False`` the refusal raises
+    :class:`~repro.common.errors.KernelError` instead.
     """
     fp = declared_footprint(task, shape)
     if fp is not None:
         return fp
-    if not allow_trace:
-        raise KernelError(
-            f"tile kernel {task.kernel!r} has no declared footprint "
-            f"(declare one with repro.analysis.declare_footprint)"
+    from repro.analysis.symbolic import SymbolicRefusal, infer_footprint
+
+    try:
+        return infer_footprint(task, shape)
+    except SymbolicRefusal as refusal:
+        if not allow_trace:
+            raise KernelError(
+                f"tile kernel {task.kernel!r} has no declared footprint and "
+                f"symbolic inference refused it ({refusal}); declare one with "
+                f"repro.analysis.declare_footprint"
+            ) from None
+        warnings.warn(
+            f"tile kernel {task.kernel!r}: no declaration and symbolic inference "
+            f"refused ({refusal}); falling back to heuristic shadow tracing",
+            UserWarning,
+            stacklevel=2,
         )
     from repro.analysis.shadow import trace_tile_kernel
 

@@ -30,6 +30,7 @@ from repro.common.errors import ConfigurationError
 __all__ = [
     "HaloVerdict",
     "check_halo_depth",
+    "footprint_halo_radius",
     "Op",
     "halo_ops",
     "PatternReport",
@@ -107,6 +108,26 @@ def check_halo_depth(
         required_depth=required,
         reasons=tuple(reasons),
     )
+
+
+def footprint_halo_radius(footprint, tile) -> int:
+    """Halo radius a footprint implies: how far its reads reach past *tile*.
+
+    The Chebyshev (L-inf) distance of the farthest read cell outside the
+    tile's framed rectangle, maximised over planes — 0 for a tile-local
+    kernel, 1 for the 4/8-point stencils, ``k`` for a ``k``-step fused
+    trapezoid on an unclamped tile.  This is the ``stencil_radius x
+    iterations`` product :func:`check_halo_depth` budgets for, now derived
+    from the (declared or inferred) footprint instead of hand-entered.
+    """
+    y0, y1 = tile.y0 + 1, tile.y1 + 1
+    x0, x1 = tile.x0 + 1, tile.x1 + 1
+    radius = 0
+    for _plane, y, x in footprint.reads:
+        dy = max(y0 - y, y - (y1 - 1), 0)
+        dx = max(x0 - x, x - (x1 - 1), 0)
+        radius = max(radius, max(dy, dx))
+    return radius
 
 
 # -- sendrecv pattern analysis -----------------------------------------------------

@@ -18,6 +18,16 @@ Four rules, each encoding a correctness convention of this codebase:
 * ``mutable-default-arg`` — a mutable default (list/dict/set literal or
   constructor) is shared across calls; use ``None`` plus an in-body
   default.
+* ``footprint-undeclared-uninferable`` — a kernel registered via
+  ``register_tile_kernel`` with no ``declare_footprint`` must at least be
+  *inferable* by the symbolic interpreter
+  (:mod:`repro.analysis.symbolic`); a kernel that is neither declared nor
+  inferable has no sound footprint, so the race checker would silently
+  degrade to one-shot shadow tracing for it.  Kernels in the live runtime
+  registry are probed with the actual interpreter; registration sites
+  whose kernel is not importable here fall back to scanning the registered
+  function's AST (same file only) for constructs outside the interpreter's
+  soundness boundary.
 
 A line ending in ``# analysis: allow`` suppresses all rules for that line
 (the equivalent of the race checker's whitelist annotation).
@@ -37,6 +47,7 @@ DEFAULT_RULES = (
     "alloc-in-tile-kernel",
     "unseeded-rng",
     "mutable-default-arg",
+    "footprint-undeclared-uninferable",
 )
 
 _SUPPRESS_MARKER = "# analysis: allow"
@@ -95,6 +106,10 @@ class _FileLint:
         self.issues: list[LintIssue] = []
         #: kernel names this file registers via register_tile_kernel(...)
         self.registered_kernels: set[str] = set()
+        #: kernel names this file declares via declare_footprint(...)
+        self.declared_footprints: set[str] = set()
+        #: (name, fn name, line, col) of unsuppressed registration calls
+        self.registration_sites: list[tuple[str, str | None, int, int]] = []
         #: (name, line, col) of string-literal TileTask kernel arguments
         self.tiletask_kernels: list[tuple[str, int, int]] = []
         #: function names passed to register_tile_kernel (hot-path roots)
@@ -130,10 +145,20 @@ class _FileLint:
         name = chain[-1] if chain else ""
         if name == "register_tile_kernel" and call.args:
             first = call.args[0]
+            fn_name = None
+            if len(call.args) > 1 and isinstance(call.args[1], ast.Name):
+                fn_name = call.args[1].id
+                self._kernel_fn_names.add(fn_name)
             if isinstance(first, ast.Constant) and isinstance(first.value, str):
                 self.registered_kernels.add(first.value)
-            if len(call.args) > 1 and isinstance(call.args[1], ast.Name):
-                self._kernel_fn_names.add(call.args[1].id)
+                if not self._suppressed(call):
+                    self.registration_sites.append(
+                        (first.value, fn_name, call.lineno, call.col_offset)
+                    )
+        elif name == "declare_footprint" and call.args:
+            first = call.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                self.declared_footprints.add(first.value)
         elif name == "TileTask" and call.args:
             first = call.args[0]
             if (
@@ -240,16 +265,57 @@ def lint_source(path: str, source: str) -> tuple[list[LintIssue], _FileLint]:
     return fl.issues, fl
 
 
+def _uninferable_reason(name: str, fn_name: str | None, facts: "_FileLint") -> str | None:
+    """Why the undeclared kernel *name* has no inferable footprint, or None.
+
+    Kernels alive in the runtime registry get the authoritative probe —
+    the symbolic interpreter itself, over representative tile geometries.
+    A registration whose kernel is not importable here (synthetic test
+    files, out-of-tree code) falls back to a syntactic scan of the
+    registered function (same file only) for constructs the interpreter
+    refuses; helpers it calls are not followed in that mode.
+    """
+    try:
+        from repro.analysis.symbolic import (
+            UNINTERPRETABLE_NODES,
+            inference_refusal,
+        )
+        from repro.easypap.executor import registered_tile_kernels
+    except Exception:  # pragma: no cover - analysis stack unavailable
+        return None
+    for mod in ("repro.sandpile.simulate", "repro.gallery"):
+        try:
+            __import__(mod)  # fill the runtime registry for the probe
+        except Exception:  # pragma: no cover - partial installs
+            pass
+    if name in registered_tile_kernels():
+        return inference_refusal(name)
+    fn = facts._functions.get(fn_name) if fn_name else None
+    if fn is None:
+        return None
+    for node in ast.walk(fn):
+        if isinstance(node, UNINTERPRETABLE_NODES):
+            return f"{type(node).__name__} at line {node.lineno}"
+    return None
+
+
 def lint_paths(paths: Iterable[Path], *, rules: Sequence[str] = DEFAULT_RULES) -> list[LintIssue]:
     """Lint the given files; cross-file rules see the whole set."""
     issues: list[LintIssue] = []
     registered: set[str] = set()
+    declared: set[str] = set()
     used: list[tuple[str, str, int, int]] = []  # (path, kernel, line, col)
+    sites: list[tuple[str, str, str | None, int, int, _FileLint]] = []
     for p in paths:
         file_issues, facts = lint_source(str(p), p.read_text(encoding="utf-8"))
         issues += file_issues
         registered |= facts.registered_kernels
+        declared |= facts.declared_footprints
         used += [(str(p), k, ln, col) for k, ln, col in facts.tiletask_kernels]
+        sites += [
+            (str(p), k, fn, ln, col, facts)
+            for k, fn, ln, col in facts.registration_sites
+        ]
     if "unregistered-tile-kernel" in rules:
         for path, kernel, line, col in used:
             if kernel not in registered:
@@ -258,6 +324,20 @@ def lint_paths(paths: Iterable[Path], *, rules: Sequence[str] = DEFAULT_RULES) -
                         path, line, col, "unregistered-tile-kernel",
                         f"TileTask kernel {kernel!r} is never registered via "
                         f"register_tile_kernel",
+                    )
+                )
+    if "footprint-undeclared-uninferable" in rules:
+        for path, kernel, fn_name, line, col, facts in sites:
+            if kernel in declared:
+                continue
+            reason = _uninferable_reason(kernel, fn_name, facts)
+            if reason is not None:
+                issues.append(
+                    LintIssue(
+                        path, line, col, "footprint-undeclared-uninferable",
+                        f"tile kernel {kernel!r} has no declared footprint and "
+                        f"symbolic inference refuses it ({reason}); declare a "
+                        f"footprint or simplify the kernel",
                     )
                 )
     issues = [i for i in issues if i.rule in rules or i.rule == "syntax-error"]

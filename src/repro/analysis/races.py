@@ -243,14 +243,19 @@ def check_batch(
     policy: str = "dynamic",
     chunk: int = 1,
     plan: tuple[tuple[int, ...], ...] | None = None,
+    allow_trace: bool = True,
 ) -> RaceReport:
     """Statically check one ``TaskBatch`` worth of tile specs.
 
-    *shape* is the framed plane shape the specs index into; footprints are
-    the declared (or traced) per-kernel models.  *plan* pins the exact
-    chunk plan to certify (dynamic frontier batches).
+    *shape* is the framed plane shape the specs index into; footprints
+    follow the declared → inferred → traced resolution of
+    :func:`~repro.analysis.footprint.footprint_for`.  ``allow_trace=False``
+    demands a sound source (declaration or symbolic inference) and raises
+    on kernels that have neither — certification paths use it so a verdict
+    never rests on a single traced execution.  *plan* pins the exact chunk
+    plan to certify (dynamic frontier batches).
     """
-    fps = [footprint_for(t, shape) for t in specs]
+    fps = [footprint_for(t, shape, allow_trace=allow_trace) for t in specs]
     return check_phases([fps], nworkers=nworkers, policy=policy, chunk=chunk, plans=[plan])
 
 

@@ -120,7 +120,7 @@ class ShadowRecorder:
             if ev.task != task:
                 continue
             (writes if ev.kind == "write" else reads).update(ev.cells())
-        return Footprint.of(reads, writes)
+        return Footprint.of(reads, writes, source="observed")
 
     def tasks(self) -> list[int]:
         """Distinct task ids seen, sorted (None contexts excluded)."""
@@ -328,7 +328,8 @@ def trace_tile_kernel(
     ]
     with rec.context(task=0):
         fn(planes, task)
-    return rec.footprint(0)
+    fp = rec.footprint(0)
+    return Footprint(fp.reads, fp.writes, "traced")
 
 
 def trace_batch(

@@ -45,6 +45,7 @@ from repro.easypap.tiling import TileGrid
 __all__ = [
     "RACY_TAG",
     "VariantVerdict",
+    "gather_cell_phase",
     "variant_phases",
     "certify_variant",
     "certify_all",
@@ -87,6 +88,35 @@ def async_cell_phase(height: int, width: int) -> list[list[Footprint]]:
 def sync_tile_specs(height: int, width: int, tile_size: int) -> list[TileTask]:
     """The one-phase batch the sync tiled steppers submit each iteration."""
     return [TileTask("sync_tile", 0, 1, t) for t in TileGrid(height, width, tile_size)]
+
+
+def gather_cell_phase(height: int, width: int, offsets) -> list[list[Footprint]]:
+    """Cell-granular double-buffered gather with an arbitrary read stencil.
+
+    One unit per interior cell: reads the cell plus *offsets* neighbours on
+    plane 0, writes its own cell on plane 1 — the model of any gallery
+    ``vec`` variant; the stencil shape is the only parameter.
+    """
+    units = []
+    for y in range(1, height + 1):
+        for x in range(1, width + 1):
+            reads = {(0, y, x)} | {(0, y + dy, x + dx) for dy, dx in offsets}
+            units.append(Footprint.of(reads, {(1, y, x)}))
+    return [units]
+
+
+#: the two gallery stencils, as (dy, dx) read offsets around each cell
+CROSS_OFFSETS = ((-1, 0), (1, 0), (0, -1), (0, 1))
+MOORE_OFFSETS = tuple(
+    (dy, dx) for dy in (-1, 0, 1) for dx in (-1, 0, 1) if (dy, dx) != (0, 0)
+)
+
+
+def gallery_tile_specs(
+    kernel: str, height: int, width: int, tile_size: int
+) -> list[TileTask]:
+    """The one-phase batch a gallery ``tiled`` variant submits per iteration."""
+    return [TileTask(kernel, 0, 1, t) for t in TileGrid(height, width, tile_size)]
 
 
 def async_wave_specs(height: int, width: int, tile_size: int) -> list[list[TileTask]]:
@@ -140,6 +170,12 @@ _MODELS: dict[tuple[str, str], Callable[[int, int, int], list[list[Footprint]]]]
     ("asandpile", "tiled"): lambda h, w, ts: _tile_phases(h, w, ts, async_wave_specs(h, w, ts)),
     ("asandpile", "lazy"): lambda h, w, ts: _tile_phases(h, w, ts, async_wave_specs(h, w, ts)),
     ("asandpile", "omp"): lambda h, w, ts: _tile_phases(h, w, ts, async_wave_specs(h, w, ts)),
+    # gallery kernels carry no hand declaration: their tiled models run on
+    # footprints the symbolic interpreter infers from the kernel source
+    ("heat", "vec"): lambda h, w, ts: gather_cell_phase(h, w, CROSS_OFFSETS),
+    ("heat", "tiled"): lambda h, w, ts: _tile_phases(h, w, ts, [gallery_tile_specs("heat_tile", h, w, ts)]),
+    ("life", "vec"): lambda h, w, ts: gather_cell_phase(h, w, MOORE_OFFSETS),
+    ("life", "tiled"): lambda h, w, ts: _tile_phases(h, w, ts, [gallery_tile_specs("life_tile", h, w, ts)]),
 }
 
 
@@ -185,6 +221,7 @@ def certify_variant(
     pair is potentially concurrent, so a clean verdict holds under every
     other policy too (their concurrency relations are subsets).
     """
+    import repro.gallery  # noqa: F401 - fills the registry
     import repro.sandpile.simulate  # noqa: F401 - fills the registry
 
     reg = registry if registry is not None else REGISTRY
@@ -201,6 +238,7 @@ def certify_all(
     registry: KernelRegistry | None = None, **options
 ) -> list[VariantVerdict]:
     """Certify every variant in the registry (see :func:`certify_variant`)."""
+    import repro.gallery  # noqa: F401 - fills the registry
     import repro.sandpile.simulate  # noqa: F401 - fills the registry
 
     reg = registry if registry is not None else REGISTRY

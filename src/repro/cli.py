@@ -9,9 +9,11 @@ Four small CLIs, mirroring how a student would poke at each system:
 * ``repro-carbon``   — answer the Tab-1/Tab-2 questions and print the
   tables;
 * ``repro-check``    — run the correctness tooling: the AST project lint,
-  the static race certification of every registered variant, and the halo
-  depth/message-pattern analysis.  Exits non-zero on any unexpected
-  verdict, so CI can gate on it;
+  symbolic footprint verification/certification over the kernel registry
+  (``repro-check symbolic`` runs that gate alone, ``--format json`` for
+  the CI artifact), the static race certification of every registered
+  variant, and the halo depth/message-pattern analysis.  Exits non-zero
+  on any unexpected verdict, so CI can gate on it;
 * ``repro-trace``    — off-line trace exploration: export a recorded trace
   (an ``repro.obs`` session or an easypap task-record file) to Chrome
   trace-event JSON for https://ui.perfetto.dev, print an ASCII timeline or
@@ -34,6 +36,7 @@ __all__ = [
     "stripes_main",
     "carbon_main",
     "check_main",
+    "symbolic_main",
     "trace_main",
     "chaos_main",
     "main",
@@ -234,24 +237,94 @@ def carbon_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def symbolic_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-check symbolic``.
+
+    Runs the symbolic footprint pass over the full tile-kernel registry:
+    every hand declaration is cross-checked against the inferred footprint
+    (fails on under-declaration, warns on over-declaration) and every
+    kernel gets a static verdict — race-free, racy-by-design, or
+    refused-with-reason.  ``--format json`` emits the machine-readable
+    report CI uploads as an artifact.
+    """
+    import repro.gallery  # noqa: F401 - fills the kernel registry
+    import repro.sandpile.simulate  # noqa: F401 - fills the kernel registry
+    from repro.analysis.symbolic import (
+        certify_kernels,
+        kernel_verdict_table,
+        verdicts_to_json,
+        verify_declarations,
+    )
+
+    p = argparse.ArgumentParser(
+        prog="repro-check symbolic",
+        description="Symbolic footprint inference: verify declarations, certify kernels",
+    )
+    p.add_argument("--format", choices=["table", "json"], default="table")
+    p.add_argument("--out", metavar="PATH", help="also write the report to a file")
+    args = p.parse_args(argv)
+
+    checks = verify_declarations()
+    verdicts = certify_kernels()
+    report = verdicts_to_json(verdicts, checks)
+
+    if args.format == "json":
+        text = json.dumps(report, indent=2)
+    else:
+        lines = [kernel_verdict_table(verdicts), ""]
+        for c in checks:
+            marker = "ok" if c.ok else "FAIL"
+            lines.append(f"declaration {c.kernel}: {c.status} [{marker}] ({c.detail})")
+        over = [c for c in checks if c.status == "over-declared"]
+        for c in over:
+            lines.append(
+                f"warning: {c.kernel} is over-declared (sound, but conservative)"
+            )
+        text = "\n".join(lines)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(report, indent=2) if args.format != "json" else text)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if not report["ok"]:
+        bad = [v["kernel"] for v in report["kernels"] if not v["ok"]]
+        bad += [c["kernel"] for c in report["declarations"] if not c["ok"]]
+        print(
+            f"symbolic: FAILED for {', '.join(sorted(set(bad)))}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def check_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-check`` (also ``python -m repro.cli check``).
 
-    Runs four gates and fails on the first broken one:
+    ``repro-check symbolic ...`` dispatches to the symbolic-inference
+    subcommand (:func:`symbolic_main`).  Otherwise runs five gates and
+    fails on the first broken one:
 
     1. the AST project lint over ``src/repro``;
-    2. static race certification of every registered kernel variant —
+    2. symbolic footprint verification and kernel certification (the
+       ``symbolic`` subcommand's checks, table format);
+    3. static race certification of every registered kernel variant —
        each verdict must match the variant's registered expectation
        (``racy-by-design`` variants must be flagged, everything else must
        certify conflict-free);
-    3. dynamic-schedule certification of the parallel frontier: the exact
+    4. dynamic-schedule certification of the parallel frontier: the exact
        per-iteration chunk plans of a real ``pfrontier`` run are statically
        checked and shadow-replayed (observed accesses must stay inside the
        declared footprints) — once at ``k=1`` and once at the fused
        temporal-blocking depth (``--fused-k``, halo verdict included);
-    4. halo-depth sufficiency and sendrecv pattern matching for the MPI
+    5. halo-depth sufficiency and sendrecv pattern matching for the MPI
        ghost-cell variant.
     """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "symbolic":
+        return symbolic_main(argv[1:])
+
     from repro.analysis import (
         analyze_exchange_pattern,
         certify_all,
@@ -281,6 +354,8 @@ def check_main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--max-ranks", type=int, default=8, help="halo pattern world sizes to check")
     p.add_argument("--skip-lint", action="store_true")
+    p.add_argument("--skip-symbolic", action="store_true",
+                   help="skip symbolic footprint verification/certification")
     p.add_argument("--skip-races", action="store_true")
     p.add_argument("--skip-dynamic", action="store_true",
                    help="skip the dynamic frontier-schedule certification")
@@ -298,6 +373,10 @@ def check_main(argv: list[str] | None = None) -> int:
             failed = True
         else:
             print("lint: clean")
+
+    if not args.skip_symbolic:
+        if symbolic_main([]) != 0:
+            failed = True
 
     if not args.skip_races:
         verdicts = certify_all(

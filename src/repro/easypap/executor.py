@@ -68,6 +68,9 @@ __all__ = [
     "BandRule",
     "register_tile_kernel",
     "get_tile_kernel",
+    "registered_tile_kernels",
+    "tile_kernel_tags",
+    "registry_version",
     "SequentialBackend",
     "SimulatedBackend",
     "ThreadBackend",
@@ -124,13 +127,31 @@ class BandRule:
 #: Worker processes are forked after registration, so they inherit this.
 _TILE_KERNELS: dict[str, Callable] = {}
 
+#: name -> behavioural tags declared at registration (e.g. "racy-by-design")
+_TILE_KERNEL_TAGS: dict[str, tuple[str, ...]] = {}
 
-def register_tile_kernel(name: str, fn: Callable, *, overwrite: bool = False) -> None:
+#: bumped on every (re-)registration; lets analysis caches keyed on the
+#: registry's contents invalidate without holding function references
+_REGISTRY_VERSION = 0
+
+
+def register_tile_kernel(
+    name: str,
+    fn: Callable,
+    *,
+    overwrite: bool = False,
+    tags: tuple[str, ...] = (),
+) -> None:
     """Register *fn(planes, task)* as the executor of ``TileTask(kernel=name)``.
 
     *planes* is the list of shared arrays the backend bound; *task* the
     :class:`TileTask`.  The return value is surfaced in
     :attr:`ScheduleResult.returns` (steppers use it for changed flags).
+
+    *tags* declare behaviour the analysis layer must reconcile with its
+    static verdict — ``"racy-by-design"`` marks kernels whose adjacent-tile
+    schedules conflict on purpose (in-place relaxation); an untagged kernel
+    certified racy fails ``repro-check symbolic``.
 
     Re-registering a *different* function under an existing name raises
     :class:`~repro.common.errors.KernelError` unless ``overwrite=True`` —
@@ -138,12 +159,30 @@ def register_tile_kernel(name: str, fn: Callable, *, overwrite: bool = False) ->
     execute.  Re-registering the *same* function is a no-op (module
     re-import safety).
     """
+    global _REGISTRY_VERSION
     existing = _TILE_KERNELS.get(name)
     if existing is not None and existing is not fn and not overwrite:
         raise KernelError(
             f"tile kernel {name!r} already registered; pass overwrite=True to replace"
         )
     _TILE_KERNELS[name] = fn
+    _TILE_KERNEL_TAGS[name] = tuple(tags)
+    _REGISTRY_VERSION += 1
+
+
+def registered_tile_kernels() -> dict[str, Callable]:
+    """Snapshot of the tile-kernel registry (name -> executor function)."""
+    return dict(_TILE_KERNELS)
+
+
+def tile_kernel_tags(name: str) -> tuple[str, ...]:
+    """Behavioural tags kernel *name* was registered with (may be empty)."""
+    return _TILE_KERNEL_TAGS.get(name, ())
+
+
+def registry_version() -> int:
+    """Monotonic counter bumped on every registration (cache invalidation)."""
+    return _REGISTRY_VERSION
 
 
 def get_tile_kernel(name: str) -> Callable:

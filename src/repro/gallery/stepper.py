@@ -1,0 +1,78 @@
+"""Generic double-buffered tiled stepper for gallery kernels.
+
+The sandpile steppers in :mod:`repro.sandpile.omp` are specialised (lazy
+flags, sink accounting, wave partitions); gallery kernels only need the
+core shape — tile the interior, run one batch of pure gather tasks per
+iteration through a backend, flip the planes.  The specs use the kernel
+*registry* (``TileTask`` + :func:`~repro.easypap.executor.get_tile_kernel`)
+rather than direct calls, so a stepper exercises exactly the code path the
+symbolic certifier reasons about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.easypap.executor import SequentialBackend, TaskBatch, TileTask, get_tile_kernel
+from repro.easypap.grid import Grid2D
+from repro.easypap.tiling import TileGrid
+
+__all__ = ["TiledKernelStepper"]
+
+
+class TiledKernelStepper:
+    """Run a registered double-buffered tile kernel over every tile.
+
+    The kernel must be a pure gather: read source plane, write only its own
+    tile on the destination plane (the certifier enforces this — see
+    ``repro-check symbolic``).  Tasks and batches are built once; iterations
+    rebind ``_cur_src``/``_cur_dst`` and swap buffers, following the
+    zero-rebuild idiom of :class:`~repro.sandpile.omp.TiledSyncStepper`.
+    """
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        kernel: str,
+        tile_size: int = 32,
+        *,
+        backend=None,
+    ) -> None:
+        self.grid = grid
+        self.kernel = kernel
+        self.tiles = TileGrid(grid.height, grid.width, tile_size)
+        self.backend = backend if backend is not None else SequentialBackend()
+        self._fn = get_tile_kernel(kernel)
+        self._scratch = grid.data.copy()
+        self._cur_src = grid.data
+        self._cur_dst = self._scratch
+        self.iterations = 0
+        self.tiles_computed = 0
+        all_tiles = list(self.tiles)
+        specs = [TileTask(kernel, 0, 1, t) for t in all_tiles]
+
+        def make_task(spec: TileTask):
+            def task() -> float:
+                self._fn([self._cur_src, self._cur_dst], spec)
+                return float(spec.tile.area)
+
+            return task
+
+        self._batch = TaskBatch([make_task(s) for s in specs], tiles=all_tiles, spec=specs)
+
+    def __call__(self) -> bool:
+        self._cur_src = self.grid.data
+        self._cur_dst = self._scratch
+        self.backend.run(self._batch, iteration=self.iterations)
+        self.tiles_computed += len(self.tiles)
+        changed = not np.array_equal(
+            self._cur_dst[1:-1, 1:-1], self._cur_src[1:-1, 1:-1]
+        )
+        self._scratch = self.grid.swap_buffer(self._scratch)
+        self.iterations += 1
+        return changed
+
+    def close(self) -> None:
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()

@@ -135,6 +135,68 @@ class TestUnregisteredTileKernel:
         assert lint_paths([use]) == []
 
 
+class TestFootprintUndeclaredUninferable:
+    UNINFERABLE = (
+        'def hot(planes, task):\n'
+        '    cells = [planes[0][y, y] for y in range(task.tile.y0, task.tile.y1)]\n'
+        '    return sum(cells)\n'
+        'register_tile_kernel("synthetic_hot", hot)\n'
+    )
+
+    def test_uninferable_registration_flagged(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.UNINFERABLE)
+        issues = [i for i in lint_paths([mod])
+                  if i.rule == "footprint-undeclared-uninferable"]
+        assert len(issues) == 1
+        assert "synthetic_hot" in issues[0].message
+        assert "ListComp" in issues[0].message
+
+    def test_declared_footprint_silences_rule(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.UNINFERABLE + 'declare_footprint("synthetic_hot", model)\n')
+        assert [i for i in lint_paths([mod])
+                if i.rule == "footprint-undeclared-uninferable"] == []
+
+    def test_declaration_in_another_file_counts(self, tmp_path):
+        reg = tmp_path / "reg.py"
+        dec = tmp_path / "dec.py"
+        reg.write_text(self.UNINFERABLE)
+        dec.write_text('declare_footprint("synthetic_hot", model)\n')
+        assert [i for i in lint_paths([reg, dec])
+                if i.rule == "footprint-undeclared-uninferable"] == []
+
+    def test_suppression_marker(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.UNINFERABLE.replace(
+            'register_tile_kernel("synthetic_hot", hot)',
+            'register_tile_kernel("synthetic_hot", hot)  # analysis: allow',
+        ))
+        assert [i for i in lint_paths([mod])
+                if i.rule == "footprint-undeclared-uninferable"] == []
+
+    def test_inferable_kernel_clean(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            'def hot(planes, task):\n'
+            '    planes[1][1:-1, 1:-1] = planes[0][1:-1, 1:-1]\n'
+            'register_tile_kernel("synthetic_copy", hot)\n'
+        )
+        assert [i for i in lint_paths([mod])
+                if i.rule == "footprint-undeclared-uninferable"] == []
+
+    def test_live_registry_kernels_probe_clean(self):
+        # gallery kernels are undeclared but inferable: the runtime probe
+        # (not the syntactic fallback) must clear them
+        from pathlib import Path
+
+        import repro.gallery as gallery
+
+        path = Path(gallery.__path__[0]) / "life.py"
+        assert [i for i in lint_paths([path])
+                if i.rule == "footprint-undeclared-uninferable"] == []
+
+
 class TestRepoIsClean:
     def test_src_repro_passes_its_own_lint(self):
         issues = run_lint()

@@ -143,3 +143,46 @@ class TestChaosCli:
         assert any("chaos_scenarios_total" in str(k) for k in payload)
         assert "chaos_scenarios_total" in mp.read_text()
         assert tr.exists()
+
+
+class TestSymbolicCli:
+    def test_table_output(self, capsys):
+        from repro.cli import symbolic_main
+
+        assert symbolic_main([]) == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out and "verdict" in out  # table header
+        assert "heat_tile" in out and "inferred" in out
+        assert "racy-by-design" in out
+        assert "declaration sync_tile: exact [ok]" in out
+        assert "over-declared" in out  # the fused k-family warns
+
+    def test_json_output_is_parseable(self, capsys):
+        import json
+
+        from repro.cli import symbolic_main
+
+        assert symbolic_main(["--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        kernels = {k["kernel"]: k for k in report["kernels"]}
+        assert kernels["life_tile"]["source"] == "inferred"
+        assert kernels["async_tile_relax"]["verdict"] == "racy-by-design"
+        assert all(k["verdict"] != "refused-with-reason" for k in kernels.values())
+
+    def test_out_file_always_json(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import symbolic_main
+
+        out = tmp_path / "verdicts.json"
+        assert symbolic_main(["--out", str(out)]) == 0  # table to stdout
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert {c["status"] for c in report["declarations"]} == {"exact", "over-declared"}
+
+    def test_check_main_dispatches_subcommand(self, capsys):
+        from repro.cli import check_main
+
+        assert check_main(["symbolic", "--format", "json"]) == 0
+        assert '"kernels"' in capsys.readouterr().out
