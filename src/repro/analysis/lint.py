@@ -18,6 +18,12 @@ Four rules, each encoding a correctness convention of this codebase:
 * ``mutable-default-arg`` — a mutable default (list/dict/set literal or
   constructor) is shared across calls; use ``None`` plus an in-body
   default.
+* ``blocking-call-in-async`` — ``time.sleep`` or a blocking ``Job.step()``
+  call directly inside an ``async def`` stalls the event loop (and with
+  it every tenant of the serve layer); such work belongs behind
+  ``loop.run_in_executor`` (the convention ``repro.serve.service``
+  follows).  Code inside nested *sync* ``def``/``lambda`` bodies is
+  exempt — that is exactly the executor-offload shape.
 * ``footprint-undeclared-uninferable`` — a kernel registered via
   ``register_tile_kernel`` with no ``declare_footprint`` must at least be
   *inferable* by the symbolic interpreter
@@ -47,6 +53,7 @@ DEFAULT_RULES = (
     "alloc-in-tile-kernel",
     "unseeded-rng",
     "mutable-default-arg",
+    "blocking-call-in-async",
     "footprint-undeclared-uninferable",
 )
 
@@ -136,6 +143,8 @@ class _FileLint:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self._functions.setdefault(node.name, node)
                 self._check_mutable_defaults(node)
+                if isinstance(node, ast.AsyncFunctionDef):
+                    self._check_async_blocking(node)
             elif isinstance(node, ast.Call):
                 self._collect_call(node)
         self._check_hot_kernels()
@@ -188,11 +197,21 @@ class _FileLint:
                     "seed (or use repro.common.rng.make_rng)",
                 )
         elif len(chain) == 2 and chain[0] == "random":
-            self.report(
-                call, "unseeded-rng",
-                f"stdlib random.{chain[1]}() uses hidden global state; use a "
-                f"seeded numpy Generator instead",
-            )
+            if chain[1] == "Random":
+                # random.Random(seed) is an instance RNG, not global state;
+                # only the argument-less form is irreproducible
+                if not call.args and not call.keywords:
+                    self.report(
+                        call, "unseeded-rng",
+                        "random.Random() without a seed is irreproducible; "
+                        "pass a seed",
+                    )
+            else:
+                self.report(
+                    call, "unseeded-rng",
+                    f"stdlib random.{chain[1]}() uses hidden global state; use a "
+                    f"seeded numpy Generator instead",
+                )
 
     # -- rule: mutable-default-arg ---------------------------------------------------
 
@@ -211,6 +230,43 @@ class _FileLint:
                     f"mutable default argument in {fn.name}() is shared across "
                     f"calls; default to None and build inside the body",
                 )
+
+    # -- rule: blocking-call-in-async -------------------------------------------------
+
+    def _check_async_blocking(self, fn: ast.AsyncFunctionDef) -> None:
+        """Flag event-loop-blocking calls lexically on the coroutine's path.
+
+        Nested sync ``def``/``lambda`` bodies are skipped: they do not run
+        on the loop unless called there, and the dominant pattern is
+        passing them to ``loop.run_in_executor`` — the offload this rule
+        pushes towards.  (Nested ``async def`` bodies are visited when
+        the outer walk reaches them, so they are skipped here too.)
+        """
+        stack = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain == ["time", "sleep"]:
+                    self.report(
+                        node, "blocking-call-in-async",
+                        f"time.sleep() inside async {fn.name}() blocks the event "
+                        f"loop; await asyncio.sleep() instead",
+                    )
+                elif (
+                    len(chain) >= 2
+                    and chain[-1] == "step"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    self.report(
+                        node, "blocking-call-in-async",
+                        f"blocking Job.step() inside async {fn.name}() stalls the "
+                        f"event loop; offload via loop.run_in_executor",
+                    )
+            stack.extend(ast.iter_child_nodes(node))
 
     # -- rule: alloc-in-tile-kernel ---------------------------------------------------
 

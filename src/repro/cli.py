@@ -20,7 +20,13 @@ Four small CLIs, mirroring how a student would poke at each system:
   numeric summary, or diff two runs side by side;
 * ``repro-chaos``    — run a chaos campaign: fault scenarios × substrates
   × seeds, each asserting recovery invariants (bit-identical results,
-  bounded retries, honest accounting).  Exits non-zero on any violation.
+  bounded retries, honest accounting).  Exits non-zero on any violation;
+* ``repro-serve``    — the multi-tenant job service: ``run`` a batch of
+  spec submissions from a config + jobs file, ``submit`` one spec (with
+  an optional durable result cache, so resubmitting is a cache hit even
+  across processes), ``bench`` an open-arrival Poisson stream and report
+  latency percentiles vs offered load.  ``--metrics-prom`` /
+  ``--trace-out`` export the SLO metrics and the Perfetto trace.
 
 ``python -m repro.cli <command> ...`` dispatches to the same entry points.
 """
@@ -39,6 +45,7 @@ __all__ = [
     "symbolic_main",
     "trace_main",
     "chaos_main",
+    "serve_main",
     "main",
 ]
 
@@ -612,6 +619,199 @@ def chaos_main(argv: list[str] | None = None) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_param(text: str):
+    """``key=value`` with JSON-decoded value (bare words stay strings)."""
+    if "=" not in text:
+        raise ValueError(f"expected key=value, got {text!r}")
+    key, _, raw = text.partition("=")
+    try:
+        return key, json.loads(raw)
+    except json.JSONDecodeError:
+        return key, raw
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-serve`` (also ``python -m repro.cli serve``).
+
+    Subcommands:
+
+    * ``run``    — start a service from ``--config`` (JSON always, YAML
+      when pyyaml is installed), submit every job in ``--jobs`` (a JSON
+      list of ``{"tenant", "substrate", "workload", "params",
+      "priority"}`` rows), drain, and print per-job outcomes plus the
+      SLO summary.  Exits 1 when any job *failed* (rejections are honest
+      outcomes, not errors).
+    * ``submit`` — one spec through an ephemeral single-tenant service;
+      with ``--cache-dir`` the result persists, so resubmitting the same
+      spec is a cache hit even in a fresh process.
+    * ``bench``  — an open-arrival Poisson stream of mixed-substrate
+      specs; prints latency percentiles vs offered load.
+    """
+    import asyncio
+
+    from repro.obs import MetricsRegistry, Tracer, save_chrome_trace
+    from repro.obs.adapters.serve import render_slo
+    from repro.serve import (
+        JobCancelled,
+        JobService,
+        JobSpec,
+        Rejected,
+        ResultCache,
+        ServiceConfig,
+        TenantPolicy,
+        load_config,
+        run_bench,
+    )
+
+    p = argparse.ArgumentParser(prog="repro-serve", description="Multi-tenant async job service")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_exports(sp):
+        sp.add_argument("--metrics-prom", metavar="PATH",
+                        help="write the metrics registry in Prometheus text format")
+        sp.add_argument("--metrics-json", metavar="PATH",
+                        help="write the metrics registry as JSON")
+        sp.add_argument("--trace-out", metavar="PATH",
+                        help="write the per-job spans as Chrome trace JSON (Perfetto)")
+
+    p_run = sub.add_parser("run", help="serve a batch of submissions from files")
+    p_run.add_argument("--config", required=True, metavar="PATH",
+                       help="service config file (tenants, workers, cache_dir)")
+    p_run.add_argument("--jobs", required=True, metavar="PATH",
+                       help="JSON list of submissions")
+    add_exports(p_run)
+
+    p_submit = sub.add_parser("submit", help="run one spec through an ephemeral service")
+    p_submit.add_argument("--substrate", required=True)
+    p_submit.add_argument("--workload", required=True)
+    p_submit.add_argument("--param", action="append", default=[], metavar="K=V",
+                          help="spec parameter (repeatable; value parsed as JSON)")
+    p_submit.add_argument("--tenant", default="cli")
+    p_submit.add_argument("--cache-dir", metavar="DIR",
+                          help="durable result cache (resubmission = cross-process hit)")
+    add_exports(p_submit)
+
+    p_bench = sub.add_parser("bench", help="open-arrival Poisson load bench")
+    p_bench.add_argument("--requests", type=int, default=50)
+    p_bench.add_argument("--rate", type=float, default=25.0,
+                         help="offered load, requests/second (default 25)")
+    p_bench.add_argument("--workers", type=int, default=2)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--tenants", type=int, default=3,
+                         help="synthetic tenant count (weights 1..N, default 3)")
+    p_bench.add_argument("--max-queued", type=int, default=16,
+                         help="per-tenant queue bound (lower it to see shedding)")
+    p_bench.add_argument("--cache-dir", metavar="DIR", help="durable result cache")
+    add_exports(p_bench)
+
+    args = p.parse_args(argv)
+
+    metrics = MetricsRegistry()
+    tracer = Tracer(process="serve") if args.trace_out else None
+
+    def export() -> None:
+        if args.metrics_prom:
+            with open(args.metrics_prom, "w", encoding="utf-8") as fh:
+                fh.write(metrics.to_prometheus())
+            print(f"wrote {args.metrics_prom}")
+        if args.metrics_json:
+            with open(args.metrics_json, "w", encoding="utf-8") as fh:
+                fh.write(metrics.to_json(indent=2))
+            print(f"wrote {args.metrics_json}")
+        if args.trace_out:
+            save_chrome_trace(tracer, args.trace_out)
+            print(f"wrote {args.trace_out} ({len(tracer.records)} records)")
+
+    if args.command == "run":
+        config = load_config(args.config)
+        with open(args.jobs, encoding="utf-8") as fh:
+            rows = json.load(fh)
+        cache = ResultCache(config.cache_dir, memory=config.memory_cache)
+
+        async def drive() -> int:
+            failed = 0
+            async with JobService(
+                config.tenants, workers=config.workers, cache=cache,
+                metrics=metrics, tracer=tracer,
+            ) as service:
+                handles = [
+                    service.submit(
+                        JobSpec(row["substrate"], row["workload"], row.get("params", {})),
+                        tenant=row.get("tenant", "default"),
+                        priority=int(row.get("priority", 0)),
+                    )
+                    for row in rows
+                ]
+                for row, handle in zip(rows, handles):
+                    label = (f"{row.get('tenant', 'default')}: "
+                             f"{row['substrate']}/{row['workload']}")
+                    try:
+                        result = await handle.result()
+                    except JobCancelled as exc:
+                        print(f"{label}: cancelled ({exc})")
+                        continue
+                    except Exception as exc:
+                        print(f"{label}: FAILED ({exc})", file=sys.stderr)
+                        failed += 1
+                        continue
+                    if isinstance(result, Rejected):
+                        print(f"{label}: {result}")
+                    else:
+                        hit = " [cache hit]" if handle.cached else ""
+                        print(f"{label}: done{hit} key={handle.key[:12]}")
+            return failed
+
+        failures = asyncio.run(drive())
+        print(render_slo(metrics))
+        export()
+        return 1 if failures else 0
+
+    if args.command == "submit":
+        params = dict(_parse_param(t) for t in args.param)
+        spec = JobSpec(args.substrate, args.workload, params)
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+        async def one() -> int:
+            async with JobService(
+                [TenantPolicy(name=args.tenant)], workers=1, cache=cache,
+                metrics=metrics, tracer=tracer,
+            ) as service:
+                handle = service.submit(spec, tenant=args.tenant)
+                result = await handle.result()
+                if isinstance(result, Rejected):
+                    print(str(result), file=sys.stderr)
+                    return 1
+                hit = " [cache hit]" if handle.cached else ""
+                print(f"{spec.substrate}/{spec.workload}: done{hit} key={handle.key}")
+                print(json.dumps(result, default=repr, indent=2, sort_keys=True))
+                return 0
+
+        rc = asyncio.run(one())
+        export()
+        return rc
+
+    # bench
+    tenants = [
+        TenantPolicy(name=f"tenant{i}", weight=float(i), max_queued=args.max_queued)
+        for i in range(1, args.tenants + 1)
+    ]
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache(None)
+
+    async def bench() -> None:
+        async with JobService(
+            tenants, workers=args.workers, cache=cache, metrics=metrics, tracer=tracer,
+        ) as service:
+            report = await run_bench(
+                service, requests=args.requests, rate=args.rate, seed=args.seed
+            )
+        print(report.render())
+
+    asyncio.run(bench())
+    print(render_slo(metrics))
+    export()
+    return 0
+
+
 _COMMANDS = {
     "sandpile": sandpile_main,
     "stripes": stripes_main,
@@ -619,6 +819,7 @@ _COMMANDS = {
     "check": check_main,
     "trace": trace_main,
     "chaos": chaos_main,
+    "serve": serve_main,
 }
 
 

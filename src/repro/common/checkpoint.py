@@ -21,6 +21,17 @@ skips unreadable ones (recording them in :attr:`CheckpointStore.rejected`),
 which is what makes the chaos campaign's checkpoint-corruption scenario
 recoverable: corrupting the newest file degrades to the previous one
 rather than to an error.
+
+**Concurrency.** ``mkstemp`` + ``os.replace`` already makes each write
+atomic per file, but two writers sharing a directory used to race the
+keep-N pruning: writer A could list, writer B replace a new snapshot, and
+A's prune then delete B's just-written file — exactly what the
+:mod:`repro.serve` result cache provokes when two identical submissions
+finish together.  Two fixes close it: all stores on the same directory in
+this process serialize save+prune on a shared per-directory lock, and
+readers tolerate files that vanish between listing and open (a concurrent
+prune is not corruption, so :meth:`CheckpointStore.load_latest` skips
+vanished files without recording a rejection).
 """
 
 from __future__ import annotations
@@ -30,12 +41,27 @@ import os
 import pickle
 import re
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.common.errors import CheckpointError, ConfigurationError
 
 __all__ = ["CHECKPOINT_FORMAT", "Snapshot", "CheckpointStore"]
+
+#: one lock per resolved store directory, shared by every CheckpointStore
+#: instance in this process (save/prune serialization, see module docs)
+_DIR_LOCKS: dict[str, threading.Lock] = {}
+_DIR_LOCKS_GUARD = threading.Lock()
+
+
+def _dir_lock(directory: Path) -> threading.Lock:
+    key = str(directory.resolve())
+    with _DIR_LOCKS_GUARD:
+        lock = _DIR_LOCKS.get(key)
+        if lock is None:
+            lock = _DIR_LOCKS[key] = threading.Lock()
+        return lock
 
 #: current envelope format; see the module docstring for the bump policy
 CHECKPOINT_FORMAT = 1
@@ -75,6 +101,7 @@ class CheckpointStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
         self.prefix = prefix
+        self._lock = _dir_lock(self.directory)
         #: (path, reason) pairs for snapshots load_latest refused
         self.rejected: list[tuple[Path, str]] = []
 
@@ -98,21 +125,24 @@ class CheckpointStore:
             "payload": payload,
         }
         final = self.directory / f"{self.prefix}-{step:08d}.ckpt"
-        fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=f".{self.prefix}-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(envelope, fh, protocol=4)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, final)
-        except BaseException:
+        with self._lock:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{self.prefix}-", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp)
-            except FileNotFoundError:
-                pass
-            raise
-        self._fsync_directory()
-        self._prune()
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(envelope, fh, protocol=4)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, final)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except FileNotFoundError:
+                    pass
+                raise
+            self._fsync_directory()
+            self._prune()
         return final
 
     def _fsync_directory(self) -> None:
@@ -189,12 +219,16 @@ class CheckpointStore:
 
         Corrupt or unknown-format snapshots are skipped (and listed in
         :attr:`rejected`) so that a damaged newest file degrades to the
-        previous good one instead of failing the resume.
+        previous good one instead of failing the resume.  A file that
+        *vanished* between listing and open was pruned by a concurrent
+        writer, not corrupted — it is skipped without a rejection entry.
         """
         for path in reversed(self.snapshot_paths()):
             try:
                 return self.load(path)
             except CheckpointError as exc:
+                if not path.exists():  # concurrently pruned, not damaged
+                    continue
                 self.rejected.append((path, str(exc)))
         return None
 

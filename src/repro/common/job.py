@@ -74,6 +74,10 @@ class Job(abc.ABC):
       uninterrupted one.
     * :attr:`retryable_steps` declares that a step which *raised* left no
       partial state behind, so a supervisor may simply call it again.
+    * :meth:`describe` returns the canonical construction-time fields —
+      the content-addressed cache in :mod:`repro.serve` hashes them, so
+      two jobs whose ``describe()`` dicts are equal must compute
+      bit-identical results.
     """
 
     #: human-readable job name (campaign rows, metrics labels)
@@ -96,6 +100,20 @@ class Job(abc.ABC):
     @abc.abstractmethod
     def progress(self) -> JobProgress:
         """Current progress."""
+
+    def describe(self) -> dict:
+        """Canonical, JSON-serialisable construction-time description.
+
+        The contract for cache correctness: every field the computed
+        result depends on must appear here, and two jobs with equal
+        descriptions must produce bit-identical results.  Substrate
+        adapters built from a :class:`repro.serve.spec.JobSpec` return
+        the spec's own fields so ``spec -> job -> describe()`` round-trips
+        (see ``tests/serve/test_spec.py``); directly constructed jobs
+        fall back to a digest of their inputs.  Call it before stepping —
+        it reflects the *initial* configuration, not live state.
+        """
+        return {"substrate": self.substrate, "workload": "custom", "name": self.name}
 
     def checkpoint(self) -> dict:
         """A picklable snapshot of the execution state."""

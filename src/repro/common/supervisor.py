@@ -174,6 +174,12 @@ class Supervisor:
         Install a ``SIGTERM`` handler for the duration of :meth:`run`
         that requests a cooperative stop (checkpoint, then
         :class:`JobInterrupted`).  Only possible from the main thread.
+    on_step:
+        Optional callable invoked after every *completed* step with
+        ``(steps_done, progress)`` — the progress-streaming hook the
+        :mod:`repro.serve` service uses to publish
+        :class:`~repro.common.job.JobProgress` snapshots without polling.
+        It runs on the supervising thread and must not raise.
     """
 
     def __init__(
@@ -190,6 +196,7 @@ class Supervisor:
         tracer=None,
         metrics=None,
         handle_sigterm: bool = False,
+        on_step=None,
     ) -> None:
         if checkpoint_every_steps is not None and checkpoint_every_steps < 1:
             raise ConfigurationError(
@@ -216,6 +223,7 @@ class Supervisor:
         self.tracer = tracer
         self.metrics = metrics
         self.handle_sigterm = handle_sigterm
+        self.on_step = on_step
         self.steps_done = 0
         self.retries_used = 0
         self.checkpoints_written = 0
@@ -370,6 +378,8 @@ class Supervisor:
                 self.steps_done += 1
                 self.heartbeat.beat()
                 self._count("supervisor_steps_total", "job steps completed under supervision")
+                if self.on_step is not None:
+                    self.on_step(self.steps_done, self.job.progress())
                 if self._checkpoint_due():
                     self._checkpoint(reason="interval")
                 if not more:

@@ -18,9 +18,11 @@ bit-identical, which the chaos kill-and-resume scenario asserts.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
-from repro.common.errors import CheckpointError
+from repro.common.errors import CheckpointError, ConfigurationError
 from repro.common.job import Job, JobProgress
 from repro.easypap.grid import Grid2D
 
@@ -65,6 +67,82 @@ class SandpileJob(Job):
         self.iterations = 0
         self._done = False
         self._stepper = None
+        #: spec params when built via from_spec; None for direct-grid jobs
+        self._spec_params: dict | None = None
+        # construction-time grid digest: the describe() fallback for jobs
+        # handed an arbitrary grid (hash now, before stepping mutates it)
+        self._grid_sha256 = hashlib.sha256(grid.data.tobytes()).hexdigest()
+
+    # -- spec / describe ---------------------------------------------------------
+
+    #: spec param defaults understood by from_spec (also its validation table)
+    SPEC_DEFAULTS = {
+        "config": "center",
+        "size": 32,
+        "grains": 1200,
+        "n_piles": 4,
+        "pile_grains": 512,
+        "seed": 0,
+        "kernel": "sandpile",
+        "variant": "frontier",
+        "tile_size": 8,
+        "nworkers": 2,
+        "k": 1,
+    }
+
+    @classmethod
+    def from_spec(cls, params: dict) -> "SandpileJob":
+        """Build the job from canonical spec params (the serve constructor).
+
+        The grid is rebuilt deterministically from ``config``/``size``/
+        ``grains``/``seed``, so equal params always yield bit-identical
+        initial state — the property the content-addressed cache needs.
+        """
+        from repro.sandpile import center_pile, sparse_random, uniform
+
+        unknown = set(params) - set(cls.SPEC_DEFAULTS)
+        if unknown:
+            raise ConfigurationError(f"unknown sandpile spec params: {sorted(unknown)}")
+        p = {**cls.SPEC_DEFAULTS, **params}
+        size = int(p["size"])
+        if p["config"] == "center":
+            grid = center_pile(size, size, int(p["grains"]))
+        elif p["config"] == "uniform":
+            grid = uniform(size, size, int(p["grains"]))
+        elif p["config"] == "sparse":
+            grid = sparse_random(
+                size, size,
+                n_piles=int(p["n_piles"]),
+                pile_grains=int(p["pile_grains"]),
+                seed=int(p["seed"]),
+            )
+        else:
+            raise ConfigurationError(f"unknown sandpile config {p['config']!r}")
+        options = {}
+        if p["variant"] in ("tiled", "lazy", "omp", "split", "pfrontier"):
+            options["tile_size"] = int(p["tile_size"])
+        if p["variant"] == "pfrontier":
+            options["nworkers"] = int(p["nworkers"])
+            options["k"] = int(p["k"])
+        job = cls(grid, p["kernel"], p["variant"], **options)
+        job._spec_params = {k: p[k] for k in sorted(cls.SPEC_DEFAULTS)}
+        return job
+
+    def describe(self) -> dict:
+        """Canonical cache-key fields (spec params, or a grid digest)."""
+        out = {
+            "substrate": self.substrate,
+            "workload": "sandpile",
+            "kernel": self.kernel,
+            "variant": self.variant,
+        }
+        if self._spec_params is not None:
+            out["params"] = dict(self._spec_params)
+        else:
+            out["grid_sha256"] = self._grid_sha256
+            out["options"] = {k: self.options[k] for k in sorted(self.options)
+                              if isinstance(self.options[k], (int, float, str, bool))}
+        return out
 
     def _ensure_stepper(self):
         if self._stepper is None:

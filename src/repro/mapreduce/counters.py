@@ -64,6 +64,23 @@ class Counters:
             out.setdefault(labels["group"], {})[labels["name"]] = int(v)
         return out
 
+    # -- pickling ----------------------------------------------------------------
+    # Results that carry counters (mapreduce JobResult) flow through the
+    # serve layer's content-addressed cache, which pickles them; the
+    # registry's locks cannot be pickled, so the state is the plain-dict
+    # snapshot and unpickling rebuilds a *private* registry.  Counter
+    # values survive exactly (and in as_dict order, so equal counters
+    # re-pickle to equal bytes); a shared-registry association does not.
+
+    def __getstate__(self) -> dict:
+        return {"counters": self.as_dict()}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        for group, names in state["counters"].items():
+            for name, amount in names.items():
+                self.increment(group, name, amount)
+
     def __repr__(self) -> str:
         groups = self.as_dict()
         total = sum(len(v) for v in groups.values())

@@ -22,9 +22,10 @@ shuffle is not indexed (it is engine-internal, never a worker task).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Sequence
 
-from repro.common.errors import CheckpointError
+from repro.common.errors import CheckpointError, ConfigurationError
 from repro.common.job import Job, JobProgress
 from repro.common.resilience import FaultInjector
 from repro.mapreduce.counters import Counters
@@ -37,7 +38,43 @@ from repro.mapreduce.engine import (
 )
 from repro.mapreduce.job import MapReduceJob
 
-__all__ = ["MapReduceStepJob"]
+__all__ = ["MapReduceStepJob", "wordcount_workload"]
+
+#: vocabulary of the deterministic wordcount workload (spec-addressable)
+_WORDCOUNT_WORDS = ("ash", "beech", "cedar", "fir", "oak", "pine", "yew")
+
+
+def wordcount_workload(
+    *, seed: int = 0, nsplits: int = 4, lines_per_split: int = 4,
+    words_per_line: int = 8, num_reducers: int = 3,
+) -> tuple[MapReduceJob, list[list[tuple]]]:
+    """A deterministic wordcount job + splits, addressable by spec params.
+
+    Equal params yield byte-equal splits (seeded RNG over a fixed
+    vocabulary), so the serve cache can key runs on the params alone.
+    """
+    from repro.common.rng import make_rng
+
+    rng = make_rng(int(seed))
+    splits = [
+        [
+            (f"s{i}:{j}", " ".join(rng.choice(_WORDCOUNT_WORDS, size=int(words_per_line))))
+            for j in range(int(lines_per_split))
+        ]
+        for i in range(int(nsplits))
+    ]
+
+    def mapper(key, value):
+        for w in value.split():
+            yield (w, 1)
+
+    def reducer(key, values):
+        yield (key, sum(values))
+
+    job = MapReduceJob(
+        name="wordcount", mapper=mapper, reducer=reducer, num_reducers=int(num_reducers)
+    )
+    return job, splits
 
 
 def _counters_from_dict(d: dict) -> Counters:
@@ -73,6 +110,46 @@ class MapReduceStepJob(Job):
         #: per-task counter dicts, in commit order (maps, shuffle, reduces)
         self.counter_dicts: list[dict] = []
         self._done = False
+        #: spec params when built via from_spec; None for direct jobs
+        self._spec_params: dict | None = None
+
+    # -- spec / describe ---------------------------------------------------------
+
+    #: spec param defaults understood by from_spec (wordcount workload)
+    SPEC_DEFAULTS = {
+        "seed": 0,
+        "nsplits": 4,
+        "lines_per_split": 4,
+        "words_per_line": 8,
+        "num_reducers": 3,
+    }
+
+    @classmethod
+    def from_spec(cls, params: dict) -> "MapReduceStepJob":
+        """Build the deterministic wordcount workload from spec params."""
+        unknown = set(params) - set(cls.SPEC_DEFAULTS)
+        if unknown:
+            raise ConfigurationError(f"unknown wordcount spec params: {sorted(unknown)}")
+        p = {**cls.SPEC_DEFAULTS, **params}
+        job, splits = wordcount_workload(**{k: int(v) for k, v in p.items()})
+        step_job = cls(job, splits)
+        step_job._spec_params = {k: int(p[k]) for k in sorted(cls.SPEC_DEFAULTS)}
+        return step_job
+
+    def describe(self) -> dict:
+        """Canonical cache-key fields (spec params, or an input digest)."""
+        out = {
+            "substrate": self.substrate,
+            "workload": "wordcount" if self._spec_params is not None else "custom",
+            "job": self.job.name,
+            "num_reducers": self.job.num_reducers,
+        }
+        if self._spec_params is not None:
+            out["params"] = dict(self._spec_params)
+        else:
+            # repr of (str, str) pair lists is stable across processes
+            out["splits_sha256"] = hashlib.sha256(repr(self.splits).encode()).hexdigest()
+        return out
 
     # -- phase bookkeeping --------------------------------------------------------
 

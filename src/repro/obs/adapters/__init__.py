@@ -10,6 +10,9 @@
   world carries a tracer).
 * :mod:`repro.obs.adapters.wrench`    — DAG task spans per site/resource
   plus energy counter tracks.
+* :mod:`repro.obs.adapters.serve`     — SLO views over the job service's
+  metrics: histogram quantile estimation (p50/p99) and the summary table
+  ``repro-serve`` prints.
 
 The real thread/process backends and ``run_job_parallel`` take a tracer
 directly; the adapters here cover the substrates that already produce
@@ -25,12 +28,14 @@ from repro.obs.adapters.easypap import (
     tracer_to_trace,
 )
 from repro.obs.adapters.mapreduce import MAPREDUCE_PID, cluster_report_to_tracer
+from repro.obs.adapters.serve import SERVE_PID, estimate_quantile, render_slo, slo_summary
 from repro.obs.adapters.simmpi import SIMMPI_PID, world_report_summary
 from repro.obs.adapters.wrench import WRENCH_PID, simulation_result_to_tracer
 
 __all__ = [
     "EASYPAP_PID",
     "MAPREDUCE_PID",
+    "SERVE_PID",
     "SIMMPI_PID",
     "WRENCH_PID",
     "trace_to_tracer",
@@ -41,4 +46,7 @@ __all__ = [
     "cluster_report_to_tracer",
     "world_report_summary",
     "simulation_result_to_tracer",
+    "estimate_quantile",
+    "slo_summary",
+    "render_slo",
 ]

@@ -1,0 +1,197 @@
+"""Admission control: per-tenant quotas, weighted-fair queues, shedding.
+
+The open-arrival view of serving (the request-cloning reproducibility
+report in PAPERS.md) needs three properties from the front door:
+
+* **bounded queues** — a tenant whose backlog exceeds ``max_queued`` is
+  *shed*, honestly: the submission resolves to a :class:`Rejected`
+  result naming the reason, never silently dropped;
+* **per-tenant concurrency quotas** — at most ``max_active`` of a
+  tenant's jobs run at once, whatever the pool has free;
+* **weighted-fair ordering** — tenants drain in proportion to their
+  ``weight`` (classic virtual-time WFQ approximation: each pick advances
+  the tenant's virtual time by ``1/weight``; the lowest virtual time
+  among *eligible* tenants goes next, and an idle tenant re-enters at
+  the current global virtual time so it cannot hoard credit).
+
+Within one tenant, higher ``priority`` wins, FIFO among equals.
+
+The queue is plain synchronous Python: the asyncio service mutates it
+only from the event-loop thread, and the unit tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["TenantPolicy", "Rejected", "AdmissionQueue"]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's contract with the service."""
+
+    name: str
+    weight: float = 1.0
+    max_active: int = 2
+    max_queued: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name cannot be empty")
+        if self.weight <= 0:
+            raise ConfigurationError(f"tenant {self.name}: weight must be > 0")
+        if self.max_active < 1:
+            raise ConfigurationError(f"tenant {self.name}: max_active must be >= 1")
+        if self.max_queued < 0:
+            raise ConfigurationError(f"tenant {self.name}: max_queued must be >= 0")
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """An honest shed: the submission's *result* when admission refuses it.
+
+    Reasons: ``unknown-tenant``, ``queue-full``, ``shutting-down``.
+    """
+
+    reason: str
+    tenant: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"Rejected[{self.tenant}]: {self.reason}{extra}"
+
+
+@dataclass
+class _TenantState:
+    policy: TenantPolicy
+    heap: list = field(default_factory=list)  # (-priority, seq, item)
+    vtime: float = 0.0
+    queued: int = 0
+    shed: int = 0
+    served: int = 0
+
+
+class AdmissionQueue:
+    """Weighted-fair, quota-bounded multi-tenant queue (see module docs)."""
+
+    def __init__(self, tenants) -> None:
+        self._tenants: dict[str, _TenantState] = {}
+        for pol in tenants:
+            if pol.name in self._tenants:
+                raise ConfigurationError(f"duplicate tenant {pol.name!r}")
+            self._tenants[pol.name] = _TenantState(policy=pol)
+        self._seq = itertools.count()
+        self._global_vtime = 0.0
+        self._cancelled: set[int] = set()
+
+    # -- submission side ----------------------------------------------------------
+
+    def offer(self, tenant: str, item, *, priority: int = 0):
+        """Queue *item* for *tenant*; returns a ticket int, or :class:`Rejected`.
+
+        The ticket cancels the entry later (:meth:`cancel`).
+        """
+        st = self._tenants.get(tenant)
+        if st is None:
+            known = ", ".join(sorted(self._tenants)) or "<none>"
+            return Rejected("unknown-tenant", tenant, f"known tenants: {known}")
+        if st.queued >= st.policy.max_queued:
+            st.shed += 1
+            return Rejected(
+                "queue-full", tenant,
+                f"{st.queued} queued >= max_queued={st.policy.max_queued}",
+            )
+        if st.queued == 0:
+            # idle tenant re-enters at the global virtual time: no credit hoarding
+            st.vtime = max(st.vtime, self._global_vtime)
+        ticket = next(self._seq)
+        heapq.heappush(st.heap, (-int(priority), ticket, item))
+        st.queued += 1
+        return ticket
+
+    def cancel(self, tenant: str, ticket: int) -> bool:
+        """Remove a queued entry by ticket (lazy deletion); False if gone."""
+        st = self._tenants.get(tenant)
+        if st is None or ticket in self._cancelled:
+            return False
+        for _, t, _ in st.heap:
+            if t == ticket:
+                self._cancelled.add(ticket)
+                st.queued -= 1
+                return True
+        return False
+
+    # -- scheduler side -----------------------------------------------------------
+
+    def next_ready(self, active: dict[str, int]):
+        """Pop the next ``(tenant, item)`` the quotas allow, or None.
+
+        *active* maps tenant -> currently running jobs; a tenant at its
+        ``max_active`` is skipped even when its virtual time is lowest.
+        """
+        best: _TenantState | None = None
+        for st in self._tenants.values():
+            self._drop_cancelled(st)
+            if not st.heap:
+                continue
+            if active.get(st.policy.name, 0) >= st.policy.max_active:
+                continue
+            if best is None or st.vtime < best.vtime:
+                best = st
+        if best is None:
+            return None
+        _, _, item = heapq.heappop(best.heap)
+        best.queued -= 1
+        best.served += 1
+        best.vtime += 1.0 / best.policy.weight
+        self._global_vtime = max(self._global_vtime, best.vtime)
+        return best.policy.name, item
+
+    def _drop_cancelled(self, st: _TenantState) -> None:
+        while st.heap and st.heap[0][1] in self._cancelled:
+            _, ticket, _ = heapq.heappop(st.heap)
+            self._cancelled.discard(ticket)
+
+    def drain(self):
+        """Pop every queued ``(tenant, item)`` (shutdown without serving)."""
+        out = []
+        for st in self._tenants.values():
+            self._drop_cancelled(st)
+            while st.heap:
+                self._drop_cancelled(st)
+                if not st.heap:
+                    break
+                _, _, item = heapq.heappop(st.heap)
+                st.queued -= 1
+                out.append((st.policy.name, item))
+        return out
+
+    # -- introspection ------------------------------------------------------------
+
+    def queued(self, tenant: str | None = None) -> int:
+        """Entries waiting (for one tenant, or in total)."""
+        if tenant is not None:
+            st = self._tenants.get(tenant)
+            return st.queued if st else 0
+        return sum(st.queued for st in self._tenants.values())
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        """The policy registered for *tenant* (KeyError when unknown)."""
+        return self._tenants[tenant].policy
+
+    def tenants(self) -> list[str]:
+        """Sorted tenant names."""
+        return sorted(self._tenants)
+
+    def stats(self) -> dict:
+        """Per-tenant queued/shed/served counters."""
+        return {
+            name: {"queued": st.queued, "shed": st.shed, "served": st.served}
+            for name, st in sorted(self._tenants.items())
+        }

@@ -1,0 +1,174 @@
+"""Open-arrival load bench for the serve layer.
+
+Drives a Poisson request stream (exponential inter-arrivals at a chosen
+offered load) of mixed-substrate specs from several tenants against a
+live :class:`~repro.serve.service.JobService`, then reports end-to-end
+latency percentiles, outcome counts, and the cache hit rate — the
+latency-vs-offered-load curve the request-cloning line of work in
+PAPERS.md studies, scaled to a teaching repo.
+
+Everything is seeded: arrivals, tenant choice, and spec choice come from
+one ``random.Random(seed)``, so a bench run is reproducible
+request-for-request (modulo wall-clock service times).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.serve.admission import Rejected
+from repro.serve.service import JobCancelled, JobService
+from repro.serve.spec import JobSpec
+
+__all__ = ["BenchReport", "DEFAULT_MIX", "default_spec_mix", "run_bench"]
+
+
+def default_spec_mix() -> list[JobSpec]:
+    """A small mixed-substrate workload pool (seconds-scale in total).
+
+    Deliberately includes repeats-by-construction: several distinct specs
+    plus duplicates, so an open-arrival stream exercises the cache.
+    """
+    return [
+        JobSpec("easypap", "sandpile", {"size": 16, "grains": 300, "variant": "frontier"}),
+        JobSpec("easypap", "sandpile", {"size": 16, "grains": 500, "variant": "seq"}),
+        JobSpec("mapreduce", "wordcount", {"nsplits": 2, "lines_per_split": 2}),
+        JobSpec("mapreduce", "wordcount", {"nsplits": 3, "num_reducers": 2}),
+        JobSpec("simmpi", "world", {"nranks": 2}),
+        JobSpec("simmpi", "world", {"world": "ring", "nranks": 3}),
+        JobSpec("wrench", "montage", {"n_projections": 3, "n_difffits": 4}),
+    ]
+
+
+DEFAULT_MIX = default_spec_mix
+
+
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_vals:
+        return 0.0
+    i = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[int(i)]
+
+
+@dataclass
+class BenchReport:
+    """What one bench run measured."""
+
+    requests: int
+    rate: float
+    duration: float
+    completed: int = 0
+    cache_hits: int = 0
+    rejected: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    #: end-to-end submit→resolve latencies of completed requests, seconds
+    latencies: list[float] = field(default_factory=list)
+    by_tenant: dict[str, dict[str, int]] = field(default_factory=dict)
+    rejected_reasons: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of bench wall time."""
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """End-to-end latency percentile (q in [0, 1]) over completions."""
+        return _percentile(sorted(self.latencies), q)
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"offered load {self.rate:.1f} req/s, {self.requests} requests "
+            f"in {self.duration:.2f}s (throughput {self.throughput:.1f} done/s)",
+            f"outcomes: {self.completed} completed ({self.cache_hits} cache hits), "
+            f"{self.rejected} rejected, {self.failed} failed, {self.cancelled} cancelled",
+        ]
+        if self.latencies:
+            lines.append(
+                "latency p50/p90/p99: "
+                f"{self.percentile(0.50) * 1e3:.1f} / "
+                f"{self.percentile(0.90) * 1e3:.1f} / "
+                f"{self.percentile(0.99) * 1e3:.1f} ms"
+            )
+        for reason, n in sorted(self.rejected_reasons.items()):
+            lines.append(f"  shed[{reason}]: {n}")
+        for tenant, row in sorted(self.by_tenant.items()):
+            cells = ", ".join(f"{k}={v}" for k, v in sorted(row.items()))
+            lines.append(f"  {tenant}: {cells}")
+        return "\n".join(lines)
+
+
+async def run_bench(
+    service: JobService,
+    *,
+    requests: int = 50,
+    rate: float = 20.0,
+    seed: int = 0,
+    specs=None,
+    tenants=None,
+) -> BenchReport:
+    """Drive an open-arrival Poisson stream against a *started* service.
+
+    Submits *requests* specs at exponential inter-arrival times with mean
+    ``1/rate`` (the open-arrival model: arrivals do not wait for prior
+    completions), awaits every handle, and returns a
+    :class:`BenchReport`.
+    """
+    if requests < 1:
+        raise ConfigurationError(f"requests must be >= 1, got {requests}")
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be > 0, got {rate}")
+    pool = list(specs) if specs is not None else default_spec_mix()
+    names = list(tenants) if tenants is not None else [p.name for p in service.policies]
+    if not pool or not names:
+        raise ConfigurationError("bench needs at least one spec and one tenant")
+    rng = random.Random(seed)
+
+    t0 = time.monotonic()
+    pending: list[tuple[str, float, object]] = []
+    for _ in range(requests):
+        spec = rng.choice(pool)
+        tenant = rng.choice(names)
+        submitted = time.monotonic()  # before submit: cache hits resolve inside it
+        handle = service.submit(spec, tenant=tenant)
+        pending.append((tenant, submitted, handle))
+        await asyncio.sleep(rng.expovariate(rate))
+
+    report = BenchReport(requests=requests, rate=rate, duration=0.0)
+
+    def bump(tenant: str, outcome: str) -> None:
+        report.by_tenant.setdefault(tenant, {})[outcome] = (
+            report.by_tenant.get(tenant, {}).get(outcome, 0) + 1
+        )
+
+    for tenant, submitted, handle in pending:
+        try:
+            result = await handle.result()
+        except JobCancelled:
+            report.cancelled += 1
+            bump(tenant, "cancelled")
+            continue
+        except Exception:
+            report.failed += 1
+            bump(tenant, "failed")
+            continue
+        if isinstance(result, Rejected):
+            report.rejected += 1
+            report.rejected_reasons[result.reason] = (
+                report.rejected_reasons.get(result.reason, 0) + 1
+            )
+            bump(tenant, "rejected")
+            continue
+        report.completed += 1
+        report.latencies.append((handle.finished_at or time.monotonic()) - submitted)
+        if handle.cached:
+            report.cache_hits += 1
+        bump(tenant, "completed")
+    report.duration = time.monotonic() - t0
+    return report

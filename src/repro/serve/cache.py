@@ -1,0 +1,123 @@
+"""Content-addressed result cache over the durable checkpoint store.
+
+Maps a :func:`~repro.serve.spec.cache_key` to a finished job result.
+Two layers:
+
+* an **in-process memory layer** holding the pickled payload — a cache
+  hit for a resubmitted assignment costs one dict lookup plus an
+  unpickle (every hit gets a *fresh* object, so a tenant mutating its
+  result cannot poison later hits);
+* a **durable layer**: one :class:`~repro.common.checkpoint.CheckpointStore`
+  per key (sharded directories, ``root/ab/<key>/``), which buys the
+  envelope guarantees for free — atomic writes, sha256 verification, and
+  (since the concurrency fix) safe concurrent same-key writers: two
+  identical in-flight submissions that finish together both ``put`` the
+  same key, the per-directory lock serializes them, and the last atomic
+  replace wins with bit-identical content.
+
+Cached results are bit-identical to fresh runs because the pickle
+round-trip is exact for the result fingerprints every substrate job
+returns (plain dicts of ints/floats/strs/ndarrays).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+from repro.common.checkpoint import CheckpointStore
+from repro.common.errors import CheckpointError
+
+__all__ = ["ResultCache", "result_fingerprint"]
+
+
+def result_fingerprint(result) -> str:
+    """sha256 of the pickled result — the bit-identity yardstick in tests.
+
+    Deterministic for the dict-of-scalars/ndarray results the substrate
+    jobs produce (insertion order is construction order, which is fixed).
+    """
+    return hashlib.sha256(pickle.dumps(result, protocol=4)).hexdigest()
+
+
+class ResultCache:
+    """Durable key -> result map with an in-process memory layer.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created on first put.  ``None`` disables the durable
+        layer (memory-only, for tests and ephemeral services).
+    memory:
+        Keep pickled payloads in process memory so repeat hits skip the
+        disk read (default True).
+    """
+
+    def __init__(self, directory: str | os.PathLike | None, *, memory: bool = True) -> None:
+        self.directory = None if directory is None else Path(directory)
+        self._memory: dict[str, bytes] | None = {} if memory else None
+        self.hits = 0
+        self.misses = 0
+
+    def _store(self, key: str) -> CheckpointStore:
+        assert self.directory is not None
+        return CheckpointStore(self.directory / key[:2] / key, keep=1, prefix="result")
+
+    # -- read --------------------------------------------------------------------
+
+    def get(self, key: str):
+        """The cached result for *key* (a fresh unpickle), or None."""
+        if self._memory is not None:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self.hits += 1
+                return pickle.loads(payload)
+        if self.directory is not None and (self.directory / key[:2] / key).is_dir():
+            try:
+                snap = self._store(key).load_latest()
+            except CheckpointError:  # pragma: no cover - unreadable store dir
+                snap = None
+            if snap is not None:
+                payload = pickle.dumps(snap.state["result"], protocol=4)
+                if self._memory is not None:
+                    self._memory[key] = payload
+                self.hits += 1
+                return pickle.loads(payload)
+        self.misses += 1
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        if self._memory is not None and key in self._memory:
+            return True
+        return (
+            self.directory is not None
+            and (self.directory / key[:2] / key).is_dir()
+            and len(self._store(key)) > 0
+        )
+
+    # -- write -------------------------------------------------------------------
+
+    def put(self, key: str, result, *, meta: dict | None = None) -> None:
+        """Persist *result* under *key* (idempotent; last writer wins)."""
+        payload = pickle.dumps(result, protocol=4)
+        if self._memory is not None:
+            self._memory[key] = payload
+        if self.directory is not None:
+            self._store(key).save({"result": result}, step=0, meta=dict(meta or {}))
+
+    # -- stats -------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups so far (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        if self._memory is not None:
+            return len(self._memory)
+        if self.directory is None or not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*"))

@@ -12,10 +12,45 @@ function).
 
 from __future__ import annotations
 
+from repro.common.errors import ConfigurationError
 from repro.common.job import OneShotJob
 from repro.simmpi.runner import run_ranks
 
-__all__ = ["SimMpiJob"]
+__all__ = ["SimMpiJob", "register_world", "registered_worlds"]
+
+
+def _allreduce_world(comm):
+    """Every rank allreduces ``rank + 1`` (deterministic, all-to-all)."""
+    return comm.allreduce(comm.rank + 1)
+
+
+def _ring_world(comm):
+    """Pass a token once around the ring; returns the hop count seen."""
+    if comm.size == 1:
+        return 1  # a self-send would rendezvous with nobody
+    nxt, prev = (comm.rank + 1) % comm.size, (comm.rank - 1) % comm.size
+    if comm.rank == 0:
+        comm.send(1, dest=nxt, tag=0)
+        return comm.recv(source=prev, tag=0)
+    hops = comm.recv(source=prev, tag=0)
+    comm.send(hops + 1, dest=nxt, tag=0)
+    return hops
+
+
+#: named deterministic SPMD worlds a JobSpec can address
+_WORLDS: dict[str, object] = {"allreduce": _allreduce_world, "ring": _ring_world}
+
+
+def register_world(name: str, fn) -> None:
+    """Register a named rank function for spec-addressed submission."""
+    if name in _WORLDS:
+        raise ConfigurationError(f"world {name!r} already registered")
+    _WORLDS[name] = fn
+
+
+def registered_worlds() -> tuple[str, ...]:
+    """Sorted names of the spec-addressable worlds."""
+    return tuple(sorted(_WORLDS))
 
 
 class SimMpiJob(OneShotJob):
@@ -37,6 +72,40 @@ class SimMpiJob(OneShotJob):
         self.args = args
         self.runner_options = runner_options
         self.name = f"simmpi/{getattr(fn, '__name__', 'world')}x{nranks}"
+        #: spec params when built via from_spec; None for direct jobs
+        self._spec_params: dict | None = None
+
+    # -- spec / describe ---------------------------------------------------------
+
+    #: spec param defaults understood by from_spec
+    SPEC_DEFAULTS = {"world": "allreduce", "nranks": 4}
+
+    @classmethod
+    def from_spec(cls, params: dict) -> "SimMpiJob":
+        """Build a named registered world from canonical spec params."""
+        unknown = set(params) - set(cls.SPEC_DEFAULTS)
+        if unknown:
+            raise ConfigurationError(f"unknown simmpi spec params: {sorted(unknown)}")
+        p = {**cls.SPEC_DEFAULTS, **params}
+        world = p["world"]
+        if world not in _WORLDS:
+            raise ConfigurationError(
+                f"unknown simmpi world {world!r}; registered: {', '.join(registered_worlds())}"
+            )
+        job = cls(int(p["nranks"]), _WORLDS[world])
+        job._spec_params = {"world": str(world), "nranks": int(p["nranks"])}
+        return job
+
+    def describe(self) -> dict:
+        """Canonical cache-key fields (world name + rank count)."""
+        out = {"substrate": self.substrate, "nranks": self.nranks}
+        if self._spec_params is not None:
+            out["workload"] = "world"
+            out["params"] = dict(self._spec_params)
+        else:
+            out["workload"] = "custom"
+            out["world"] = getattr(self.fn, "__qualname__", repr(self.fn))
+        return out
 
     def compute(self) -> dict:
         report = run_ranks(self.nranks, self.fn, *self.args, **self.runner_options)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.common.errors import ConfigurationError
 from repro.common.job import OneShotJob
 from repro.wrench.simulation import FaultModel, simulate
 from repro.wrench.workflow import Workflow
@@ -48,6 +49,58 @@ class WrenchJob(OneShotJob):
         self.initial_data_site = initial_data_site
         self.fault_model = fault_model
         self.name = f"wrench/{workflow.name}"
+        #: spec params when built via from_spec; None for direct jobs
+        self._spec_params: dict | None = None
+
+    # -- spec / describe ---------------------------------------------------------
+
+    #: spec param defaults understood by from_spec (Montage on the
+    #: two-site assignment platform)
+    SPEC_DEFAULTS = {
+        "n_projections": 6,
+        "n_difffits": 8,
+        "gflop_scale": 1.0,
+        "seed": 7,
+        "cluster_nodes": 8,
+    }
+
+    @classmethod
+    def from_spec(cls, params: dict) -> "WrenchJob":
+        """Build a Montage simulation from canonical spec params."""
+        from repro.wrench.platform import make_platform
+        from repro.wrench.workflow import montage_workflow
+
+        unknown = set(params) - set(cls.SPEC_DEFAULTS)
+        if unknown:
+            raise ConfigurationError(f"unknown wrench spec params: {sorted(unknown)}")
+        p = {**cls.SPEC_DEFAULTS, **params}
+        wf = montage_workflow(
+            n_projections=int(p["n_projections"]),
+            n_difffits=int(p["n_difffits"]),
+            gflop_scale=float(p["gflop_scale"]),
+            seed=int(p["seed"]),
+        )
+        nodes = int(p["cluster_nodes"])
+        job = cls(wf, lambda: make_platform(cluster_nodes=nodes))
+        job._spec_params = {
+            "n_projections": int(p["n_projections"]),
+            "n_difffits": int(p["n_difffits"]),
+            "gflop_scale": float(p["gflop_scale"]),
+            "seed": int(p["seed"]),
+            "cluster_nodes": nodes,
+        }
+        return job
+
+    def describe(self) -> dict:
+        """Canonical cache-key fields (montage params, or workflow name)."""
+        out = {"substrate": self.substrate, "workflow": self.workflow.name}
+        if self._spec_params is not None:
+            out["workload"] = "montage"
+            out["params"] = dict(self._spec_params)
+        else:
+            out["workload"] = "custom"
+            out["tasks"] = len(self.workflow.tasks)
+        return out
 
     def compute(self) -> dict:
         kwargs = {"fault_model": self.fault_model}

@@ -197,6 +197,99 @@ class TestFootprintUndeclaredUninferable:
                 if i.rule == "footprint-undeclared-uninferable"] == []
 
 
+class TestStdlibRandomInstances:
+    def test_seeded_random_instance_clean(self):
+        assert lint_snippet(
+            "import random\ndef f(seed):\n    return random.Random(seed)\n"
+        ) == []
+
+    def test_unseeded_random_instance_flagged(self):
+        issues = lint_snippet("import random\ndef f():\n    return random.Random()\n")
+        assert rules(issues) == ["unseeded-rng"]
+
+    def test_module_level_functions_still_flagged(self):
+        issues = lint_snippet("import random\ndef f():\n    return random.choice([1])\n")
+        assert rules(issues) == ["unseeded-rng"]
+
+
+class TestBlockingCallInAsync:
+    def test_time_sleep_in_coroutine_flagged(self):
+        issues = lint_snippet(
+            """
+            import time
+            async def poll():
+                time.sleep(0.1)
+            """
+        )
+        assert rules(issues) == ["blocking-call-in-async"]
+        assert "asyncio.sleep" in issues[0].message
+
+    def test_job_step_in_coroutine_flagged(self):
+        issues = lint_snippet(
+            """
+            async def drive(job):
+                while job.step():
+                    pass
+            """
+        )
+        assert rules(issues) == ["blocking-call-in-async"]
+        assert "run_in_executor" in issues[0].message
+
+    def test_sync_function_not_flagged(self):
+        issues = lint_snippet(
+            """
+            import time
+            def poll():
+                time.sleep(0.1)
+            """
+        )
+        assert issues == []
+
+    def test_nested_sync_def_is_exempt(self):
+        # the offload pattern itself: a sync closure handed to an executor
+        issues = lint_snippet(
+            """
+            async def drive(job, loop, pool):
+                def work():
+                    while job.step():
+                        pass
+                await loop.run_in_executor(pool, work)
+            """
+        )
+        assert issues == []
+
+    def test_asyncio_sleep_clean(self):
+        issues = lint_snippet(
+            """
+            import asyncio
+            async def poll():
+                await asyncio.sleep(0.1)
+            """
+        )
+        assert issues == []
+
+    def test_suppression_comment(self):
+        issues = lint_snippet(
+            """
+            import time
+            async def probe():
+                time.sleep(0.1)  # analysis: allow
+            """
+        )
+        assert issues == []
+
+    def test_stepper_with_args_not_flagged(self):
+        # EasyPAP steppers take an iteration count: step(n) is a compute
+        # call, not the Job protocol method this rule targets
+        issues = lint_snippet(
+            """
+            async def drive(stepper):
+                stepper.step(5)
+            """
+        )
+        assert issues == []
+
+
 class TestRepoIsClean:
     def test_src_repro_passes_its_own_lint(self):
         issues = run_lint()

@@ -1,6 +1,7 @@
 """Tests for the durable checkpoint store: atomicity, versioning, corruption."""
 
 import pickle
+from pathlib import Path
 
 import pytest
 
@@ -132,3 +133,50 @@ class TestAtomicity:
         # the failed save must not shadow or destroy the good snapshot
         assert store.load_latest().step == 1
         assert all(not p.name.endswith(".tmp") for p in store.directory.iterdir())
+
+
+class TestConcurrency:
+    def test_concurrent_same_step_writers(self, tmp_path):
+        # the serve layer runs several supervisors in one process; two
+        # stores over one directory saving the same step must interleave
+        # without errors or torn files
+        import threading
+
+        stores = [CheckpointStore(tmp_path / "shared") for _ in range(4)]
+        errors = []
+
+        def writer(store, tag):
+            try:
+                for i in range(10):
+                    store.save({"writer": tag, "i": i}, step=7)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(s, t)) for t, s in enumerate(stores)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        snap = CheckpointStore(tmp_path / "shared").load_latest()
+        assert snap.step == 7 and snap.state["i"] == 9
+
+    def test_load_latest_skips_vanished_file_silently(self, store, monkeypatch):
+        # a snapshot pruned by a concurrent writer between listing and
+        # open is not corruption: fall back without a rejection entry
+        store.save({"v": 1}, step=1)
+        doomed = store.save({"v": 2}, step=2)
+        real_load = CheckpointStore.load
+
+        def racing_load(self, path):
+            if Path(path) == doomed and doomed.exists():
+                doomed.unlink()  # pruned between iterdir() and open()
+                raise CheckpointError(f"no such snapshot: {path}")
+            return real_load(self, path)
+
+        monkeypatch.setattr(CheckpointStore, "load", racing_load)
+        snap = store.load_latest()
+        assert snap.state == {"v": 1}
+        assert store.rejected == []

@@ -202,6 +202,42 @@ class TestCheckpointResume:
         sup2 = Supervisor(SlowJob(1000), retry=FAST, store=store)
         assert sup2.resume() == 1000
 
+    def test_cross_thread_cancel_checkpoints_without_orphans(self, tmp_path):
+        # the serve layer cancels running jobs by calling request_stop()
+        # from the event-loop thread while the supervisor runs on an
+        # executor thread: the interrupt must carry the final snapshot
+        # and leave nothing but the single "interrupted" entry behind
+        class SlowJob(CountJob):
+            def step(self):
+                time.sleep(0.005)
+                return super().step()
+
+        store = CheckpointStore(tmp_path)
+        log = DegradationLog()
+        sup = Supervisor(SlowJob(500), retry=FAST, store=store, degradation=log)
+        caught = []
+
+        def drive():
+            try:
+                sup.run()
+            except JobInterrupted as exc:
+                caught.append(exc)
+
+        worker = threading.Thread(target=drive)
+        worker.start()
+        while sup.steps_done < 3:
+            time.sleep(0.001)
+        sup.request_stop()
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        assert len(caught) == 1
+        intr = caught[0]
+        assert intr.snapshot_path is not None
+        assert intr.snapshot_path.exists()
+        assert [e.action for e in log.events] == ["interrupted"]
+        sup2 = Supervisor(SlowJob(500), retry=FAST, store=store)
+        assert sup2.resume() == 500
+
     def test_resume_with_empty_store_starts_fresh(self, tmp_path):
         store = CheckpointStore(tmp_path)
         sup = Supervisor(CountJob(4), retry=FAST, store=store)

@@ -1,0 +1,103 @@
+"""Tests for the content-addressed result cache."""
+
+import threading
+
+import numpy as np
+
+from repro.serve.cache import ResultCache, result_fingerprint
+
+KEY = "ab" + "0" * 62
+KEY2 = "cd" + "1" * 62
+
+
+class TestMemoryLayer:
+    def test_put_get_roundtrip(self):
+        cache = ResultCache(None)
+        cache.put(KEY, {"makespan": 1.5, "grid": np.arange(4)})
+        got = cache.get(KEY)
+        assert got["makespan"] == 1.5
+        assert np.array_equal(got["grid"], np.arange(4))
+
+    def test_miss_returns_none(self):
+        cache = ResultCache(None)
+        assert cache.get(KEY) is None
+        assert KEY not in cache
+
+    def test_hits_return_fresh_objects(self):
+        # a tenant mutating its result must not poison later hits
+        cache = ResultCache(None)
+        cache.put(KEY, {"values": [1, 2, 3]})
+        first = cache.get(KEY)
+        first["values"].append(99)
+        assert cache.get(KEY)["values"] == [1, 2, 3]
+
+    def test_hit_rate_accounting(self):
+        cache = ResultCache(None)
+        assert cache.hit_rate == 0.0
+        cache.get(KEY)  # miss
+        cache.put(KEY, 1)
+        cache.get(KEY)  # hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_put_is_idempotent(self):
+        cache = ResultCache(None)
+        cache.put(KEY, {"v": 1})
+        cache.put(KEY, {"v": 1})
+        assert len(cache) == 1
+
+
+class TestDurableLayer:
+    def test_survives_a_fresh_cache_instance(self, tmp_path):
+        a = ResultCache(tmp_path / "cache")
+        result = {"executions": [("t", "site", 0.0, 1.0)], "makespan": 1.0}
+        a.put(KEY, result, meta={"tenant": "alice"})
+        b = ResultCache(tmp_path / "cache")  # simulates a new process
+        got = b.get(KEY)
+        assert result_fingerprint(got) == result_fingerprint(result)
+        assert b.hits == 1
+
+    def test_durable_without_memory_layer(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", memory=False)
+        cache.put(KEY, {"v": 7})
+        assert cache.get(KEY) == {"v": 7}
+        assert KEY in cache
+
+    def test_keys_shard_into_subdirectories(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(KEY, 1)
+        cache.put(KEY2, 2)
+        assert (tmp_path / "cache" / "ab" / KEY).is_dir()
+        assert (tmp_path / "cache" / "cd" / KEY2).is_dir()
+        assert len(ResultCache(tmp_path / "cache", memory=False)) == 2
+
+    def test_concurrent_same_key_writers(self, tmp_path):
+        # two identical in-flight submissions may finish together; both
+        # put the same key and the survivor must stay readable
+        cache = ResultCache(tmp_path / "cache", memory=False)
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(10):
+                    cache.put(KEY, {"v": 42})
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.get(KEY) == {"v": 42}
+
+
+class TestFingerprint:
+    def test_equal_values_equal_fingerprints(self):
+        a = {"grid": np.arange(9).reshape(3, 3), "iters": 4}
+        b = {"grid": np.arange(9).reshape(3, 3), "iters": 4}
+        assert result_fingerprint(a) == result_fingerprint(b)
+
+    def test_different_values_differ(self):
+        assert result_fingerprint({"v": 1}) != result_fingerprint({"v": 2})

@@ -1,0 +1,354 @@
+"""Tests for the async job service: futures, cancel, progress, SLOs.
+
+The tests drive real asyncio services over the real substrates; each
+async body runs under ``asyncio.run`` inside a sync test (no
+pytest-asyncio dependency).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.job import Job, JobProgress
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve import (
+    JobCancelled,
+    JobHandle,
+    JobService,
+    JobSpec,
+    Rejected,
+    ResultCache,
+    TenantPolicy,
+    register_workload,
+    result_fingerprint,
+)
+
+#: fast mixed-substrate specs (distinct cache keys unless repeated)
+FAST_SPECS = [
+    JobSpec("easypap", "sandpile", {"size": 16, "grains": 200, "variant": "seq"}),
+    JobSpec("easypap", "sandpile", {"size": 16, "grains": 300}),
+    JobSpec("mapreduce", "wordcount", {"nsplits": 2, "lines_per_split": 2}),
+    JobSpec("mapreduce", "wordcount", {"nsplits": 3, "num_reducers": 2}),
+    JobSpec("simmpi", "world", {"nranks": 2}),
+    JobSpec("simmpi", "world", {"world": "ring", "nranks": 3}),
+    JobSpec("wrench", "montage", {"n_projections": 3, "n_difffits": 4}),
+]
+
+#: a sandpile with enough iterations to observe/cancel mid-flight
+SLOW_SPEC = JobSpec("easypap", "sandpile", {"size": 24, "grains": 6000, "variant": "seq"})
+
+
+class SlowCountJob(Job):
+    """Deterministic steps with a real (tiny) duration; checkpointable."""
+
+    name = "slow-count"
+    substrate = "test"
+    supports_checkpoint = True
+
+    def __init__(self, n=200, delay=0.002):
+        self.n, self.delay, self.i = n, delay, 0
+
+    def step(self):
+        import time
+
+        if self.i >= self.n:
+            return False
+        time.sleep(self.delay)
+        self.i += 1
+        return self.i < self.n
+
+    def result(self):
+        return {"count": self.i}
+
+    def progress(self):
+        return JobProgress(steps_done=self.i, done=self.i >= self.n, steps_total=self.n)
+
+    def checkpoint(self):
+        return {"i": self.i}
+
+    def restore(self, state):
+        self.i = state["i"]
+
+
+class FailingJob(Job):
+    name = "doomed"
+    substrate = "test"
+    retryable_steps = True
+
+    def step(self):
+        raise SimulationError("wired to fail")
+
+    def result(self):  # pragma: no cover - never completes
+        return None
+
+    def progress(self):
+        return JobProgress(steps_done=0, done=False)
+
+
+# registered once at import: service tests share the global spec registry
+register_workload("test", "slow-count", lambda p: SlowCountJob(**p),
+                  defaults={"n": 200, "delay": 0.002})
+register_workload("test", "doomed", lambda p: FailingJob())
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSubmitBasics:
+    def test_submit_and_await_result(self):
+        async def body():
+            async with JobService([TenantPolicy(name="a")], workers=1) as svc:
+                handle = svc.submit(FAST_SPECS[2], tenant="a")
+                assert isinstance(handle, JobHandle)
+                result = await handle.result()
+                assert handle.status == JobHandle.DONE
+                assert handle.done()
+                return result
+
+        result = run(body())
+        assert result.pairs  # mapreduce JobResult
+
+    def test_unknown_tenant_is_honestly_rejected(self):
+        async def body():
+            async with JobService([TenantPolicy(name="a")], workers=1) as svc:
+                return await svc.submit(FAST_SPECS[2], tenant="ghost").result()
+
+        r = run(body())
+        assert isinstance(r, Rejected) and r.reason == "unknown-tenant"
+
+    def test_invalid_spec_is_honestly_rejected(self):
+        async def body():
+            async with JobService([TenantPolicy(name="a")], workers=1) as svc:
+                bad = JobSpec("easypap", "no-such-workload")
+                return await svc.submit(bad, tenant="a").result()
+
+        r = run(body())
+        assert isinstance(r, Rejected) and r.reason == "invalid-spec"
+
+    def test_failed_job_raises_its_error(self):
+        async def body():
+            async with JobService([TenantPolicy(name="a")], workers=1) as svc:
+                handle = svc.submit(JobSpec("test", "doomed"), tenant="a")
+                with pytest.raises(SimulationError, match="wired to fail"):
+                    await handle.result()
+                assert handle.status == JobHandle.FAILED
+
+        run(body())
+
+    def test_submit_after_stop_is_rejected(self):
+        async def body():
+            svc = JobService([TenantPolicy(name="a")], workers=1)
+            await svc.start()
+            await svc.stop()
+            return await svc.submit(FAST_SPECS[2], tenant="a").result()
+
+        r = run(body())
+        assert isinstance(r, Rejected) and r.reason == "shutting-down"
+
+    def test_stop_without_drain_sheds_queued_jobs(self):
+        async def body():
+            svc = JobService([TenantPolicy(name="a", max_active=1, max_queued=16)],
+                             workers=1)
+            await svc.start()
+            handles = [
+                svc.submit(JobSpec("test", "slow-count", {"n": 50}), tenant="a")
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0.05)  # let the first job start
+            await svc.stop(drain=False)
+            return [await _outcome(h) for h in handles]
+
+        outcomes = run(body())
+        assert any(o == "shutting-down" for o in outcomes)
+
+
+async def _outcome(handle):
+    try:
+        r = await handle.result()
+    except JobCancelled:
+        return "cancelled"
+    except Exception:
+        return "failed"
+    return r.reason if isinstance(r, Rejected) else "ok"
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self):
+        async def body():
+            pol = TenantPolicy(name="a", max_active=1, max_queued=8)
+            async with JobService([pol], workers=1) as svc:
+                running = svc.submit(JobSpec("test", "slow-count", {"n": 100}), tenant="a")
+                queued = svc.submit(JobSpec("test", "slow-count", {"n": 101}), tenant="a")
+                assert queued.cancel() is True
+                with pytest.raises(JobCancelled, match="queued"):
+                    await queued.result()
+                assert queued.status == JobHandle.CANCELLED
+                assert (await running.result())["count"] == 100
+
+        run(body())
+
+    def test_cancel_running_job_interrupts_mid_step(self):
+        async def body():
+            async with JobService([TenantPolicy(name="a")], workers=1) as svc:
+                handle = svc.submit(
+                    JobSpec("test", "slow-count", {"n": 2000}), tenant="a"
+                )
+                async for progress in handle.progress():
+                    if progress.steps_done >= 3:
+                        handle.cancel()
+                        break
+                with pytest.raises(JobCancelled):
+                    await handle.result()
+                assert handle.status == JobHandle.CANCELLED
+
+        run(body())
+
+    def test_cancel_done_handle_is_false(self):
+        async def body():
+            async with JobService([TenantPolicy(name="a")], workers=1) as svc:
+                handle = svc.submit(FAST_SPECS[2], tenant="a")
+                await handle.result()
+                return handle.cancel()
+
+        assert run(body()) is False
+
+
+class TestProgressStreaming:
+    def test_progress_snapshots_arrive_in_order(self):
+        async def body():
+            async with JobService([TenantPolicy(name="a")], workers=1) as svc:
+                handle = svc.submit(
+                    JobSpec("test", "slow-count", {"n": 10}), tenant="a"
+                )
+                seen = [p.steps_done async for p in handle.progress()]
+                result = await handle.result()
+                return seen, result
+
+        seen, result = run(body())
+        assert result == {"count": 10}
+        assert seen == sorted(seen)
+        assert seen[-1] == 10
+
+    def test_progress_on_done_handle_yields_nothing(self):
+        async def body():
+            async with JobService([TenantPolicy(name="a")], workers=1) as svc:
+                handle = svc.submit(FAST_SPECS[2], tenant="a")
+                await handle.result()
+                return [p async for p in handle.progress()]
+
+        assert run(body()) == []
+
+
+class TestAcceptance:
+    """The ISSUE's integration scenario: >= 20 mixed jobs, 3 tenants."""
+
+    def test_mixed_tenant_load(self, tmp_path):
+        metrics = MetricsRegistry()
+        tracer = Tracer(process="serve")
+        cache = ResultCache(tmp_path / "cache")
+        tenants = [
+            TenantPolicy(name="alice", weight=3.0, max_active=2, max_queued=24),
+            TenantPolicy(name="bob", weight=1.0, max_active=1, max_queued=4),
+            TenantPolicy(name="carol", weight=1.0, max_active=2, max_queued=24),
+        ]
+
+        async def body():
+            async with JobService(
+                tenants, workers=3, cache=cache, metrics=metrics, tracer=tracer
+            ) as svc:
+                names = ["alice", "bob", "carol"]
+                handles = [
+                    svc.submit(FAST_SPECS[i % len(FAST_SPECS)], tenant=names[i % 3])
+                    for i in range(21)
+                ]
+                outcomes = [await _outcome(h) for h in handles]
+                # resubmit an identical job: must be served from the cache,
+                # bit-identical to the fresh run that populated it
+                fresh = next(
+                    h for h in handles
+                    if h.spec == FAST_SPECS[0] and h.status == JobHandle.DONE
+                    and not h.cached
+                )
+                again = svc.submit(FAST_SPECS[0], tenant="carol")
+                cached_result = await again.result()
+                return outcomes, svc.stats(), fresh, again, cached_result
+
+        outcomes, stats, fresh, again, cached_result = run(body())
+
+        # every submission completed or was honestly rejected
+        assert set(outcomes) <= {"ok", "queue-full"}
+        assert outcomes.count("ok") >= 15
+
+        # cache hit, bit identical
+        assert again.cached is True
+        fresh_result = asyncio.run(fresh.result())
+        assert result_fingerprint(cached_result) == result_fingerprint(fresh_result)
+
+        # per-tenant quotas were enforced throughout
+        for pol in tenants:
+            assert stats["peak_active"].get(pol.name, 0) <= pol.max_active
+
+        # the SLO series are exposed with nonzero samples
+        prom = metrics.to_prometheus()
+        assert "serve_queue_latency_seconds_count" in prom
+        assert "serve_job_seconds_count" in prom
+        assert "serve_cache_hit_ratio" in prom
+        qh = metrics.get("serve_queue_latency_seconds")
+        assert sum(qh.count(tenant=t) for t in ("alice", "bob", "carol")) >= 15
+        assert metrics.get("serve_job_seconds").samples()  # nonzero series
+        assert metrics.get("serve_cache_hit_ratio").samples()[0]["value"] > 0
+
+        # every completed job left a queued span, a run span, and flows
+        run_spans = [s for s in tracer.spans() if s.name.startswith("serve:run:")]
+        assert len(run_spans) >= 15
+        assert len([f for f in tracer.flows() if f.name == "serve:admit"]) == len(run_spans)
+
+    def test_weighted_tenant_is_not_starved(self):
+        # one worker, equal arrival: the heavy tenant finishes jobs
+        # without waiting for the light tenant's whole backlog
+        async def body():
+            pols = [
+                TenantPolicy(name="heavy", weight=4.0, max_active=1, max_queued=32),
+                TenantPolicy(name="light", weight=1.0, max_active=1, max_queued=32),
+            ]
+            order = []
+            async with JobService(pols, workers=1) as svc:
+                handles = []
+                for i in range(4):
+                    handles.append(
+                        (svc.submit(JobSpec("test", "slow-count",
+                                            {"n": 5, "delay": 0.001}), tenant="light"), "light"))
+                    handles.append(
+                        (svc.submit(JobSpec("test", "slow-count",
+                                            {"n": 6 + i, "delay": 0.001}), tenant="heavy"), "heavy"))
+                done = set()
+                while len(done) < len(handles):
+                    for h, who in handles:
+                        if h.done() and id(h) not in done:
+                            done.add(id(h))
+                            order.append(who)
+                    await asyncio.sleep(0.002)
+            return order
+
+        order = run(body())
+        assert "heavy" in order[:3]  # heavy was not queued behind all of light
+
+
+class TestConfigErrors:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobService([TenantPolicy(name="a")], workers=0)
+
+    def test_double_start_rejected(self):
+        async def body():
+            svc = JobService([TenantPolicy(name="a")], workers=1)
+            await svc.start()
+            try:
+                with pytest.raises(ConfigurationError):
+                    await svc.start()
+            finally:
+                await svc.stop()
+
+        run(body())

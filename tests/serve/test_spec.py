@@ -1,0 +1,133 @@
+"""Tests for job specs: canonicalisation, cache keys, describe round-trips."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.serve.spec import (
+    JobSpec,
+    build_job,
+    cache_key,
+    canonical_spec,
+    register_workload,
+    registered_workloads,
+)
+
+
+class TestCanonicalisation:
+    def test_partial_params_merge_defaults(self):
+        c = canonical_spec(JobSpec("mapreduce", "wordcount", {"nsplits": 2}))
+        assert c["params"]["nsplits"] == 2
+        assert c["params"]["num_reducers"] == 3  # default filled in
+        assert list(c["params"]) == sorted(c["params"])
+
+    def test_partial_and_explicit_defaults_share_a_key(self):
+        partial = JobSpec("simmpi", "world", {})
+        explicit = JobSpec("simmpi", "world", {"world": "allreduce", "nranks": 4})
+        assert cache_key(partial) == cache_key(explicit)
+
+    def test_different_params_different_keys(self):
+        a = cache_key(JobSpec("simmpi", "world", {"nranks": 2}))
+        b = cache_key(JobSpec("simmpi", "world", {"nranks": 3}))
+        assert a != b
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            cache_key(JobSpec("easypap", "nope"))
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown params"):
+            canonical_spec(JobSpec("wrench", "montage", {"bogus": 1}))
+
+    def test_builtins_registered(self):
+        pairs = registered_workloads()
+        for want in [
+            ("easypap", "sandpile"),
+            ("mapreduce", "wordcount"),
+            ("simmpi", "world"),
+            ("wrench", "montage"),
+        ]:
+            assert want in pairs
+
+    def test_duplicate_registration_rejected(self):
+        register_workload("test", "dup-probe", lambda p: None)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_workload("test", "dup-probe", lambda p: None)
+
+
+class TestKeyStability:
+    def test_key_stable_across_processes(self):
+        spec = JobSpec("easypap", "sandpile", {"size": 16, "grains": 300})
+        here = cache_key(spec)
+        code = (
+            "from repro.serve.spec import JobSpec, cache_key;"
+            "print(cache_key(JobSpec('easypap', 'sandpile',"
+            " {'size': 16, 'grains': 300})))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True
+        )
+        assert out.stdout.strip() == here
+
+    def test_key_ignores_volatile_kernel_registry_version(self):
+        # the per-process kernel-registration counter depends on import
+        # order; cache keys must not move when it bumps
+        from repro.easypap import executor
+
+        spec = JobSpec("easypap", "sandpile", {"size": 16})
+        before = cache_key(spec)
+        v0 = executor.registry_version()
+        executor.register_tile_kernel(
+            "spec-stability-probe", lambda *a, **k: None
+        )  # analysis: allow
+        try:
+            assert executor.registry_version() > v0
+            assert cache_key(spec) == before
+        finally:
+            executor._TILE_KERNELS.pop("spec-stability-probe", None)
+            executor._TILE_KERNEL_TAGS.pop("spec-stability-probe", None)
+
+    def test_key_tracks_declared_workload_version(self):
+        register_workload("test", "versioned-v1", lambda p: None, version=1)
+        register_workload("test", "versioned-v2", lambda p: None, version=2)
+        k1 = cache_key(JobSpec("test", "versioned-v1"))
+        k2 = cache_key(JobSpec("test", "versioned-v2"))
+        assert k1 != k2
+
+
+class TestDescribeRoundTrip:
+    """spec -> build_job -> describe() must reproduce the canonical fields."""
+
+    CASES = [
+        JobSpec("easypap", "sandpile", {"size": 16, "grains": 200, "variant": "seq"}),
+        JobSpec("mapreduce", "wordcount", {"nsplits": 2, "lines_per_split": 2}),
+        JobSpec("simmpi", "world", {"nranks": 2}),
+        JobSpec("wrench", "montage", {"n_projections": 3, "n_difffits": 4}),
+    ]
+
+    @pytest.mark.parametrize("spec", CASES, ids=lambda s: s.substrate)
+    def test_round_trip(self, spec):
+        canon = canonical_spec(spec)
+        with build_job(spec) as job:
+            desc = job.describe()
+        assert desc["substrate"] == spec.substrate
+        assert desc["workload"] == spec.workload
+        assert desc["params"] == canon["params"]
+
+    def test_direct_jobs_fall_back_to_digests(self):
+        from repro.easypap.job import SandpileJob
+        from repro.sandpile import center_pile
+
+        with SandpileJob(center_pile(8, 8, 40), variant="seq") as job:
+            desc = job.describe()
+        assert "params" not in desc  # no spec: identified by content digest
+        assert len(desc["grid_sha256"]) == 64
+
+    def test_equal_descriptions_equal_results(self):
+        spec = JobSpec("mapreduce", "wordcount", {"nsplits": 2})
+        with build_job(spec) as a, build_job(spec) as b:
+            assert a.describe() == b.describe()
+            ra, rb = a.run(), b.run()
+        assert ra.pairs == rb.pairs
